@@ -1,0 +1,91 @@
+//! Microbenchmarks of the practical item-based CF: per-action processing
+//! cost (with and without pruning / windowing) and recommendation latency.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use tencentrec::action::{ActionType, UserAction};
+use tencentrec::cf::{CfConfig, ItemCF, WindowConfig};
+
+fn workload(n: usize) -> Vec<UserAction> {
+    let mut rng = SmallRng::seed_from_u64(1);
+    (0..n)
+        .map(|i| {
+            let user = rng.gen_range(0..5_000u64);
+            let cluster = user % 50;
+            let item = if rng.gen_bool(0.8) {
+                cluster * 40 + rng.gen_range(0..12)
+            } else {
+                rng.gen_range(0..2_000)
+            };
+            UserAction::new(
+                user,
+                item,
+                if rng.gen_bool(0.3) {
+                    ActionType::Purchase
+                } else {
+                    ActionType::Click
+                },
+                i as u64 * 20,
+            )
+        })
+        .collect()
+}
+
+fn config(pruning: Option<f64>, window: Option<WindowConfig>) -> CfConfig {
+    CfConfig {
+        top_k: 10,
+        pruning_delta: pruning,
+        window,
+        ..Default::default()
+    }
+}
+
+fn bench_process(c: &mut Criterion) {
+    let actions = workload(20_000);
+    let window = Some(WindowConfig {
+        session_ms: 60_000,
+        sessions: 10,
+    });
+    let mut group = c.benchmark_group("cf_process");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(actions.len() as u64));
+    for (name, cfg) in [
+        ("baseline", config(None, None)),
+        ("pruning", config(Some(1e-3), None)),
+        ("windowed", config(None, window)),
+        ("pruning+window", config(Some(1e-3), window)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || ItemCF::new(cfg.clone()),
+                |mut cf| {
+                    for a in &actions {
+                        cf.process(a);
+                    }
+                    cf
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_recommend(c: &mut Criterion) {
+    let actions = workload(50_000);
+    let mut cf = ItemCF::new(config(None, None));
+    for a in &actions {
+        cf.process(a);
+    }
+    c.bench_function("cf_recommend_top8", |b| {
+        let mut user = 0u64;
+        b.iter(|| {
+            user = (user + 1) % 5_000;
+            std::hint::black_box(cf.recommend(user, 8))
+        })
+    });
+}
+
+criterion_group!(benches, bench_process, bench_recommend);
+criterion_main!(benches);

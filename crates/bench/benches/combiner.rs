@@ -1,0 +1,77 @@
+//! Combiner microbenchmark: buffered partial aggregation vs direct
+//! per-event TDStore writes under Zipf skew (§5.3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use tdstore::{StoreConfig, TdStore};
+use tencentrec::combiner::{CombineOp, Combiner};
+
+const EVENTS: usize = 100_000;
+
+fn zipf_events(theta: f64) -> Vec<u64> {
+    let n = 5_000usize;
+    let mut cdf = Vec::with_capacity(n);
+    let mut total = 0.0;
+    for i in 1..=n {
+        total += 1.0 / (i as f64).powf(theta);
+        cdf.push(total);
+    }
+    for c in &mut cdf {
+        *c /= total;
+    }
+    let mut rng = SmallRng::seed_from_u64(5);
+    (0..EVENTS)
+        .map(|_| {
+            let u: f64 = rng.gen();
+            cdf.partition_point(|&c| c < u) as u64
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hot_item_writes");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(EVENTS as u64));
+    for theta in [0.9f64, 1.2] {
+        let events = zipf_events(theta);
+        group.bench_with_input(
+            BenchmarkId::new("direct", format!("zipf{theta}")),
+            &events,
+            |b, events| {
+                b.iter(|| {
+                    let store = TdStore::new(StoreConfig::default());
+                    for &k in events {
+                        store.incr_f64(&k.to_le_bytes(), 1.0).unwrap();
+                    }
+                    store
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("combined", format!("zipf{theta}")),
+            &events,
+            |b, events| {
+                b.iter(|| {
+                    let store = TdStore::new(StoreConfig::default());
+                    let mut combiner = Combiner::new(CombineOp::Add, 1_024);
+                    for &k in events {
+                        if let Some(batch) = combiner.add(k, 1.0) {
+                            for (key, delta) in batch {
+                                store.incr_f64(&key.to_le_bytes(), delta).unwrap();
+                            }
+                        }
+                    }
+                    for (key, delta) in combiner.flush() {
+                        store.incr_f64(&key.to_le_bytes(), delta).unwrap();
+                    }
+                    store
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! §4.1.3: the cost of reflecting ONE new observation — incremental
+//! update vs rebuilding the model, at several accumulated-history sizes.
+//! This is the asymmetry that makes real-time recommendation feasible at
+//! all: the incremental path is O(items-in-history) while the rebuild is
+//! O(total actions).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use tencentrec::action::{ActionType, UserAction};
+use tencentrec::cf::{CfConfig, ItemCF};
+
+fn history(n: usize) -> Vec<UserAction> {
+    let mut rng = SmallRng::seed_from_u64(2);
+    (0..n)
+        .map(|i| {
+            UserAction::new(
+                rng.gen_range(0..(n as u64 / 20).max(10)),
+                rng.gen_range(0..(n as u64 / 40).max(10)),
+                ActionType::Click,
+                i as u64 * 10,
+            )
+        })
+        .collect()
+}
+
+fn config() -> CfConfig {
+    CfConfig {
+        pruning_delta: None,
+        ..Default::default()
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("one_new_observation");
+    group.sample_size(10);
+    for size in [2_000usize, 10_000, 50_000] {
+        let actions = history(size);
+        let probe = UserAction::new(1, 3, ActionType::Purchase, size as u64 * 10);
+
+        // Incremental: a warm model absorbs one action.
+        let mut warm = ItemCF::new(config());
+        for a in &actions {
+            warm.process(a);
+        }
+        group.bench_with_input(
+            BenchmarkId::new("incremental", size),
+            &size,
+            |b, _| {
+                b.iter_batched(
+                    || warm.clone(), // clone outside the timing loop
+                    |mut cf| {
+                        cf.process(&probe);
+                        std::hint::black_box(cf.stats())
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+
+        // Batch: rebuild from the full history including the new action
+        // (what a periodic system pays, amortised over its period).
+        group.bench_with_input(BenchmarkId::new("rebuild", size), &size, |b, _| {
+            b.iter(|| {
+                let mut cf = ItemCF::new(config());
+                for a in &actions {
+                    cf.process(a);
+                }
+                cf.process(&probe);
+                std::hint::black_box(cf.stats())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! TDAccess microbenchmarks: produce and consume throughput, with and
+//! without small segments (roll pressure).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tdaccess::{AccessCluster, ClusterConfig, SegmentConfig};
+
+const MESSAGES: usize = 20_000;
+
+fn bench_produce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tdaccess_produce");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(MESSAGES as u64));
+    for (name, segment) in [
+        ("default_segments", SegmentConfig::default()),
+        (
+            "small_segments",
+            SegmentConfig {
+                max_messages: 256,
+                max_bytes: usize::MAX,
+                spill_dir: None,
+            },
+        ),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let cluster = AccessCluster::new(ClusterConfig {
+                    brokers: 3,
+                    segment: segment.clone(),
+                });
+                cluster.create_topic("t", 6).unwrap();
+                let producer = cluster.producer("t").unwrap();
+                for i in 0..MESSAGES as u64 {
+                    producer
+                        .send(Some(&i.to_le_bytes()), b"payload-payload-payload")
+                        .unwrap();
+                }
+                cluster
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_consume(c: &mut Criterion) {
+    let cluster = AccessCluster::new(ClusterConfig {
+        brokers: 3,
+        ..Default::default()
+    });
+    cluster.create_topic("t", 6).unwrap();
+    let producer = cluster.producer("t").unwrap();
+    for i in 0..MESSAGES as u64 {
+        producer
+            .send(Some(&i.to_le_bytes()), b"payload-payload-payload")
+            .unwrap();
+    }
+    let mut group = c.benchmark_group("tdaccess_consume");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(MESSAGES as u64));
+    group.bench_function("full_replay", |b| {
+        b.iter(|| {
+            let mut consumer = cluster.consumer("t", "bench-group").unwrap();
+            let mut total = 0usize;
+            loop {
+                let batch = consumer.poll(512).unwrap();
+                if batch.is_empty() {
+                    break;
+                }
+                total += batch.len();
+            }
+            assert_eq!(total, MESSAGES);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_produce, bench_consume);
+criterion_main!(benches);

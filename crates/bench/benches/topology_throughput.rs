@@ -1,0 +1,63 @@
+//! End-to-end throughput of the Fig. 6 CF topology (spout → pretreatment →
+//! history → counts/pairs → TDStore), the single-machine counterpart of
+//! §6.1's cluster numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use crossbeam::channel::unbounded;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+use tdstore::{StoreConfig, TdStore};
+use tencentrec::action::{ActionType, UserAction};
+use tencentrec::topology::{build_cf_topology, CfParallelism, CfPipelineConfig};
+
+const ACTIONS: usize = 20_000;
+
+fn workload() -> Vec<UserAction> {
+    let mut rng = SmallRng::seed_from_u64(4);
+    (0..ACTIONS)
+        .map(|i| {
+            UserAction::new(
+                rng.gen_range(0..2_000u64),
+                rng.gen_range(0..500u64),
+                if rng.gen_bool(0.3) {
+                    ActionType::Purchase
+                } else {
+                    ActionType::Click
+                },
+                i as u64 * 10,
+            )
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let actions = workload();
+    let mut group = c.benchmark_group("topology");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(ACTIONS as u64));
+    group.bench_function("cf_pipeline_20k_actions", |b| {
+        b.iter(|| {
+            let store = TdStore::new(StoreConfig::default());
+            let (tx, rx) = unbounded();
+            let topo = build_cf_topology(
+                rx,
+                store,
+                CfPipelineConfig::default(),
+                CfParallelism::default(),
+            )
+            .expect("valid topology");
+            let handle = topo.launch();
+            for a in &actions {
+                tx.send(*a).unwrap();
+            }
+            drop(tx);
+            assert!(handle.wait_idle(Duration::from_secs(120)));
+            handle.shutdown(Duration::from_secs(5));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

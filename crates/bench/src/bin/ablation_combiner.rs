@@ -1,0 +1,87 @@
+//! §5.3 ablation: the combiner under hot-item skew.
+//!
+//! "There will be large number of records of the hot news generated for
+//! the computation [...] all of these records will be sent over the
+//! network to a single worker." The combiner merges same-key tuples before
+//! the costly TDStore write; this ablation measures the write reduction as
+//! traffic skew grows.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+use tdstore::{StoreConfig, TdStore};
+use tencentrec::combiner::{CombineOp, Combiner};
+
+/// Zipf(θ) sampler over `n` keys (inverse-CDF on precomputed weights).
+struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize, theta: f64) -> Self {
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for i in 1..=n {
+            total += 1.0 / (i as f64).powf(theta);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    fn sample(&self, rng: &mut SmallRng) -> u64 {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u) as u64
+    }
+}
+
+fn main() {
+    const EVENTS: usize = 500_000;
+    const KEYS: usize = 10_000;
+    const FLUSH_KEYS: usize = 1_024;
+    println!("== Ablation: combiner write reduction under Zipf skew ==");
+    println!(
+        "{:<7} {:>12} {:>14} {:>11} {:>13} {:>13}",
+        "zipf θ", "events", "store writes", "reduction", "direct(s)", "combined(s)"
+    );
+    for theta in [0.0, 0.6, 0.9, 1.1, 1.4] {
+        let zipf = Zipf::new(KEYS, theta);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let events: Vec<u64> = (0..EVENTS).map(|_| zipf.sample(&mut rng)).collect();
+
+        // Direct: one TDStore write per event.
+        let store = TdStore::new(StoreConfig::default());
+        let start = Instant::now();
+        for &k in &events {
+            store.incr_f64(&k.to_le_bytes(), 1.0).unwrap();
+        }
+        let direct_time = start.elapsed().as_secs_f64();
+
+        // Combined: buffer and flush at FLUSH_KEYS distinct keys.
+        let store = TdStore::new(StoreConfig::default());
+        let mut combiner = Combiner::new(CombineOp::Add, FLUSH_KEYS);
+        let mut writes = 0u64;
+        let start = Instant::now();
+        for &k in &events {
+            if let Some(batch) = combiner.add(k, 1.0) {
+                for (key, delta) in batch {
+                    store.incr_f64(&key.to_le_bytes(), delta).unwrap();
+                    writes += 1;
+                }
+            }
+        }
+        for (key, delta) in combiner.flush() {
+            store.incr_f64(&key.to_le_bytes(), delta).unwrap();
+            writes += 1;
+        }
+        let combined_time = start.elapsed().as_secs_f64();
+        println!(
+            "{theta:<7} {EVENTS:>12} {writes:>14} {:>10.1}x {:>13.2} {:>13.2}",
+            EVENTS as f64 / writes as f64,
+            direct_time,
+            combined_time
+        );
+    }
+}

@@ -1,0 +1,15 @@
+//! Figure 10: CTR of Tencent News over one week — TencentRec (real-time CB
+//! + demographic complement) vs Original (CB model rebuilt hourly).
+
+use bench::{print_daily_ctr, run_arms};
+use workload::apps::{news_app, original_news_arm, tencentrec_news_arm};
+
+fn main() {
+    let app = news_app(2024, 7);
+    let results = run_arms(
+        &app,
+        |world| tencentrec_news_arm(world.catalog().clone()),
+        |world| original_news_arm(world.catalog().clone(), 60 * 60 * 1000),
+    );
+    print_daily_ctr("Figure 10: Tencent News CTR, one week", &results);
+}

@@ -1,0 +1,20 @@
+//! Figure 11: average read count per user of Tencent News over one week —
+//! TencentRec vs the hourly-rebuilt Original. Reads = organic reads plus
+//! reads driven by clicked recommendations, so better recommendations lift
+//! the curve.
+
+use bench::{print_daily_reads, run_arms};
+use workload::apps::{news_app, original_news_arm, tencentrec_news_arm};
+
+fn main() {
+    let app = news_app(2024, 7);
+    let results = run_arms(
+        &app,
+        |world| tencentrec_news_arm(world.catalog().clone()),
+        |world| original_news_arm(world.catalog().clone(), 60 * 60 * 1000),
+    );
+    print_daily_reads(
+        "Figure 11: Tencent News average read count per user, one week",
+        &results,
+    );
+}

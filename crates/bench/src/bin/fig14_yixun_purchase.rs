@@ -1,0 +1,29 @@
+//! Figure 14: CTR of the similar-purchase recommendation position in
+//! YiXun over one week — unconstrained co-purchase CF, where the paper
+//! observes a *smaller* (but still consistent) improvement than in the
+//! sparse similar-price position.
+
+use bench::{print_daily_ctr, run_arms};
+use workload::apps::{
+    ecommerce_app, original_cf_arm_with, purchase_heavy_weights, tencentrec_cf_arm_with,
+};
+use workload::Position;
+
+fn main() {
+    let mut app = ecommerce_app(77, 7, Position::Plain);
+    // Purchase-shelf browsing is driven more by stable preferences than by
+    // the momentary mission ("relatively explicit preferences about the
+    // user"), so the session term matters less here than on the
+    // similar-price shelf.
+    app.clicks.long_weight = 0.5;
+    app.clicks.session_weight = 0.6;
+    let results = run_arms(
+        &app,
+        |_| tencentrec_cf_arm_with(purchase_heavy_weights()),
+        |_| original_cf_arm_with(24 * 60 * 60 * 1000, purchase_heavy_weights()),
+    );
+    print_daily_ctr(
+        "Figure 14: YiXun similar-purchase recommendation CTR, one week",
+        &results,
+    );
+}

@@ -1,0 +1,115 @@
+#![warn(missing_docs)]
+//! Shared harness for the experiment binaries that regenerate every table
+//! and figure of the paper's evaluation (see `EXPERIMENTS.md` at the repo
+//! root for the paper-vs-measured record).
+
+use tencentrec::engine::StreamRecommender;
+use workload::apps::AppSpec;
+use workload::{improvement_stats, run_simulation, DayMetrics, ImprovementStats, World};
+
+/// The two arms of one A/B comparison.
+pub struct ArmResults {
+    /// Per-day metrics of the TencentRec arm.
+    pub tencentrec: Vec<DayMetrics>,
+    /// Per-day metrics of the Original arm.
+    pub original: Vec<DayMetrics>,
+}
+
+impl ArmResults {
+    /// Daily CTR improvements (%) and summary.
+    pub fn ctr_improvement(&self) -> (Vec<f64>, ImprovementStats) {
+        improvement_stats(&self.tencentrec, &self.original, DayMetrics::ctr)
+    }
+
+    /// Daily reads-per-user improvements (%) and summary.
+    pub fn reads_improvement(&self) -> (Vec<f64>, ImprovementStats) {
+        improvement_stats(
+            &self.tencentrec,
+            &self.original,
+            DayMetrics::reads_per_user,
+        )
+    }
+}
+
+/// Runs both arms of `app` against identically seeded worlds. The arm
+/// constructors receive the world's shared item catalog.
+pub fn run_arms<T, O>(
+    app: &AppSpec,
+    make_tencentrec: impl Fn(&World) -> T,
+    make_original: impl Fn(&World) -> O,
+) -> ArmResults
+where
+    T: StreamRecommender,
+    O: StreamRecommender,
+{
+    let mut world_a = World::new(app.world.clone());
+    let mut rec_a = make_tencentrec(&world_a);
+    let tencentrec = run_simulation(&mut world_a, &mut rec_a, &app.clicks, &app.sim);
+
+    let mut world_b = World::new(app.world.clone());
+    let mut rec_b = make_original(&world_b);
+    let original = run_simulation(&mut world_b, &mut rec_b, &app.clicks, &app.sim);
+
+    ArmResults {
+        tencentrec,
+        original,
+    }
+}
+
+/// Prints a Fig. 10/13/14-style daily CTR table.
+pub fn print_daily_ctr(title: &str, results: &ArmResults) {
+    let (daily, stats) = results.ctr_improvement();
+    println!("\n== {title} ==");
+    println!(
+        "{:>4} {:>14} {:>14} {:>12}",
+        "day", "TencentRec CTR", "Original CTR", "improvement"
+    );
+    for (i, ((ours, orig), imp)) in results
+        .tencentrec
+        .iter()
+        .zip(&results.original)
+        .zip(&daily)
+        .enumerate()
+    {
+        println!(
+            "{:>4} {:>13.2}% {:>13.2}% {:>+11.2}%",
+            i + 1,
+            ours.ctr() * 100.0,
+            orig.ctr() * 100.0,
+            imp
+        );
+    }
+    println!(
+        "summary: avg {:+.2}%  min {:+.2}%  max {:+.2}%",
+        stats.avg, stats.min, stats.max
+    );
+}
+
+/// Prints a Fig. 11-style reads-per-user table.
+pub fn print_daily_reads(title: &str, results: &ArmResults) {
+    let (daily, stats) = results.reads_improvement();
+    println!("\n== {title} ==");
+    println!(
+        "{:>4} {:>16} {:>16} {:>12}",
+        "day", "TencentRec reads", "Original reads", "improvement"
+    );
+    for (i, ((ours, orig), imp)) in results
+        .tencentrec
+        .iter()
+        .zip(&results.original)
+        .zip(&daily)
+        .enumerate()
+    {
+        println!(
+            "{:>4} {:>16.2} {:>16.2} {:>+11.2}%",
+            i + 1,
+            ours.reads_per_user(),
+            orig.reads_per_user(),
+            imp
+        );
+    }
+    println!(
+        "summary: avg {:+.2}%  min {:+.2}%  max {:+.2}%",
+        stats.avg, stats.min, stats.max
+    );
+}

@@ -1,0 +1,169 @@
+//! User actions and the implicit-feedback rating model (§4.1.2).
+//!
+//! Production systems rarely see explicit star ratings; they see clicks,
+//! browses, purchases. TencentRec assigns each action type a weight, takes
+//! the **maximum** weight a user has shown on an item as the user's rating
+//! for it ("which can reduce the noise brought by the various messy
+//! implicit feedback"), and derives pair co-ratings as the **minimum** of
+//! the two item ratings (Eq. 3).
+
+use crate::types::{ItemId, Timestamp, UserId};
+
+/// Kinds of implicit feedback observed in the applications the paper
+/// serves (news, video, e-commerce, ads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ActionType {
+    /// Item shown to the user (used by CTR accounting; weight usually 0).
+    Impression,
+    /// Browsed / viewed the item page.
+    Browse,
+    /// Clicked the item.
+    Click,
+    /// Read / watched to completion.
+    Read,
+    /// Shared the item.
+    Share,
+    /// Commented on the item.
+    Comment,
+    /// Added to cart.
+    AddToCart,
+    /// Purchased the item.
+    Purchase,
+}
+
+impl ActionType {
+    /// Wire code for stream tuples.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Decodes a wire code.
+    pub fn from_code(code: u8) -> Option<ActionType> {
+        Self::ALL.get(code as usize).copied()
+    }
+
+    /// All action types, for iteration in tests and generators.
+    pub const ALL: [ActionType; 8] = [
+        ActionType::Impression,
+        ActionType::Browse,
+        ActionType::Click,
+        ActionType::Read,
+        ActionType::Share,
+        ActionType::Comment,
+        ActionType::AddToCart,
+        ActionType::Purchase,
+    ];
+}
+
+/// Action-type → rating weight table. "We set different weights to
+/// different action types. For example, a browse behavior may correspond
+/// to a one star rating while a purchase behavior corresponds to a three
+/// star rating."
+#[derive(Debug, Clone)]
+pub struct ActionWeights {
+    weights: [f64; 8],
+}
+
+impl Default for ActionWeights {
+    fn default() -> Self {
+        let mut weights = [0.0; 8];
+        weights[ActionType::Impression as usize] = 0.0;
+        weights[ActionType::Browse as usize] = 1.0;
+        weights[ActionType::Click as usize] = 2.0;
+        weights[ActionType::Read as usize] = 3.0;
+        weights[ActionType::Share as usize] = 4.0;
+        weights[ActionType::Comment as usize] = 4.0;
+        weights[ActionType::AddToCart as usize] = 4.0;
+        weights[ActionType::Purchase as usize] = 5.0;
+        ActionWeights { weights }
+    }
+}
+
+impl ActionWeights {
+    /// Weight of one action type.
+    pub fn weight(&self, action: ActionType) -> f64 {
+        self.weights[action as usize]
+    }
+
+    /// Overrides the weight of one action type (must be ≥ 0).
+    pub fn set(&mut self, action: ActionType, weight: f64) -> &mut Self {
+        assert!(weight >= 0.0, "rating weights are non-negative");
+        self.weights[action as usize] = weight;
+        self
+    }
+
+    /// Largest configured weight (the rating scale's upper bound).
+    pub fn max_weight(&self) -> f64 {
+        self.weights.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// One user action tuple, as produced by the pretreatment layer:
+/// `<user, item, action>` plus the event time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UserAction {
+    /// Acting user.
+    pub user: UserId,
+    /// Target item.
+    pub item: ItemId,
+    /// What the user did.
+    pub action: ActionType,
+    /// Event time in stream milliseconds.
+    pub timestamp: Timestamp,
+}
+
+impl UserAction {
+    /// Convenience constructor.
+    pub fn new(user: UserId, item: ItemId, action: ActionType, timestamp: Timestamp) -> Self {
+        UserAction {
+            user,
+            item,
+            action,
+            timestamp,
+        }
+    }
+}
+
+/// The co-rating of two item ratings (Eq. 3):
+/// `co-rating(ip, iq) = min(r_up, r_uq)`.
+#[inline]
+pub fn co_rating(r_p: f64, r_q: f64) -> f64 {
+    r_p.min(r_q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_weights_are_ordered_by_engagement() {
+        let w = ActionWeights::default();
+        assert!(w.weight(ActionType::Impression) < w.weight(ActionType::Browse));
+        assert!(w.weight(ActionType::Browse) < w.weight(ActionType::Click));
+        assert!(w.weight(ActionType::Click) < w.weight(ActionType::Read));
+        assert!(w.weight(ActionType::Read) < w.weight(ActionType::Purchase));
+        assert_eq!(w.max_weight(), 5.0);
+    }
+
+    #[test]
+    fn set_overrides_weight() {
+        let mut w = ActionWeights::default();
+        w.set(ActionType::Click, 10.0);
+        assert_eq!(w.weight(ActionType::Click), 10.0);
+        assert_eq!(w.max_weight(), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weight_rejected() {
+        ActionWeights::default().set(ActionType::Click, -1.0);
+    }
+
+    #[test]
+    fn co_rating_is_min() {
+        assert_eq!(co_rating(2.0, 5.0), 2.0);
+        assert_eq!(co_rating(5.0, 2.0), 2.0);
+        assert_eq!(co_rating(3.0, 3.0), 3.0);
+        assert_eq!(co_rating(0.0, 4.0), 0.0);
+    }
+}

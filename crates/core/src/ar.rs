@@ -1,0 +1,285 @@
+//! Association-rule based recommendation (AR, §4).
+//!
+//! Mines `X → Y` rules from per-user sessions: `support(X→Y)` is how many
+//! sessions contained both items, `confidence(X→Y) = support(X,Y) /
+//! support(X)`. Counts are maintained incrementally per action (a session
+//! is a burst of activity separated by a gap), optionally over a sliding
+//! window, so rules track what is co-consumed *right now*.
+
+use crate::cf::counts::{WindowConfig, WindowedCounts};
+use crate::types::{FxHashMap, ItemId, ItemPair, Timestamp, UserId};
+
+/// Configuration of the association-rule recommender.
+#[derive(Debug, Clone)]
+pub struct ArConfig {
+    /// A new session starts after this much inactivity.
+    pub session_gap_ms: u64,
+    /// Minimum pair support for a rule to fire.
+    pub min_support: f64,
+    /// Minimum confidence for a rule to fire.
+    pub min_confidence: f64,
+    /// Sliding window over the transaction counts.
+    pub window: Option<WindowConfig>,
+}
+
+impl Default for ArConfig {
+    fn default() -> Self {
+        ArConfig {
+            session_gap_ms: 30 * 60 * 1000,
+            min_support: 2.0,
+            min_confidence: 0.1,
+            window: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct SessionState {
+    items: Vec<ItemId>,
+    last_ts: Timestamp,
+}
+
+/// A mined rule `antecedent → consequent`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rule {
+    /// The item already in the user's session.
+    pub antecedent: ItemId,
+    /// The recommended item.
+    pub consequent: ItemId,
+    /// Sessions containing both.
+    pub support: f64,
+    /// `support / support(antecedent)`.
+    pub confidence: f64,
+}
+
+/// The association-rule recommender.
+#[derive(Debug, Clone)]
+pub struct AssociationRules {
+    config: ArConfig,
+    /// Sessions containing each item (transaction counts).
+    item_sessions: WindowedCounts<ItemId>,
+    /// Sessions containing each pair.
+    pair_sessions: WindowedCounts<ItemPair>,
+    /// Live session per user.
+    sessions: FxHashMap<UserId, SessionState>,
+}
+
+impl AssociationRules {
+    /// New recommender.
+    pub fn new(config: ArConfig) -> Self {
+        AssociationRules {
+            item_sessions: WindowedCounts::new(config.window),
+            pair_sessions: WindowedCounts::new(config.window),
+            sessions: FxHashMap::default(),
+            config,
+        }
+    }
+
+    /// Feeds one (user, item, timestamp) interaction. Counting happens as
+    /// the session grows: the n-th item of a session increments its own
+    /// transaction count once and one pair count per co-session item.
+    pub fn process(&mut self, user: UserId, item: ItemId, ts: Timestamp) {
+        // Advance both watermarks so reads see a consistent window even
+        // when this event only touches one of the two accumulators.
+        self.item_sessions.advance_to_ts(ts);
+        self.pair_sessions.advance_to_ts(ts);
+        let session = self.sessions.entry(user).or_default();
+        if ts.saturating_sub(session.last_ts) > self.config.session_gap_ms
+            && !session.items.is_empty()
+        {
+            session.items.clear();
+        }
+        session.last_ts = ts;
+        if session.items.contains(&item) {
+            return; // same item twice in one session counts once
+        }
+        self.item_sessions.add(item, 1.0, ts);
+        for &other in &session.items {
+            self.pair_sessions.add(ItemPair::new(item, other), 1.0, ts);
+        }
+        session.items.push(item);
+    }
+
+    /// Sessions containing `item`.
+    pub fn item_support(&self, item: ItemId) -> f64 {
+        self.item_sessions.get(&item)
+    }
+
+    /// Sessions containing both items.
+    pub fn pair_support(&self, a: ItemId, b: ItemId) -> f64 {
+        if a == b {
+            return self.item_support(a);
+        }
+        self.pair_sessions.get(&ItemPair::new(a, b))
+    }
+
+    /// Confidence of the rule `x → y`.
+    pub fn confidence(&self, x: ItemId, y: ItemId) -> f64 {
+        let sx = self.item_support(x);
+        if sx == 0.0 {
+            0.0
+        } else {
+            self.pair_support(x, y) / sx
+        }
+    }
+
+    /// Rules fireable from `antecedent`, passing the support/confidence
+    /// thresholds, strongest first.
+    pub fn rules_from(&self, antecedent: ItemId, n: usize) -> Vec<Rule> {
+        let sx = self.item_support(antecedent);
+        if sx == 0.0 {
+            return Vec::new();
+        }
+        let mut rules: Vec<Rule> = self
+            .pair_sessions
+            .iter()
+            .filter(|(pair, _)| pair.a == antecedent || pair.b == antecedent)
+            .map(|(pair, &support)| Rule {
+                antecedent,
+                consequent: pair.other(antecedent),
+                support,
+                confidence: support / sx,
+            })
+            .filter(|r| {
+                r.support >= self.config.min_support
+                    && r.confidence >= self.config.min_confidence
+            })
+            .collect();
+        rules.sort_by(|a, b| {
+            b.confidence
+                .total_cmp(&a.confidence)
+                .then(b.support.total_cmp(&a.support))
+                .then(a.consequent.cmp(&b.consequent))
+        });
+        rules.truncate(n);
+        rules
+    }
+
+    /// Recommendations for a user: rules fired from their current session
+    /// items, deduplicated, scored by confidence.
+    pub fn recommend(&self, user: UserId, n: usize) -> Vec<(ItemId, f64)> {
+        let Some(session) = self.sessions.get(&user) else {
+            return Vec::new();
+        };
+        let mut best: FxHashMap<ItemId, f64> = FxHashMap::default();
+        for &item in &session.items {
+            for rule in self.rules_from(item, n * 4) {
+                if session.items.contains(&rule.consequent) {
+                    continue;
+                }
+                let entry = best.entry(rule.consequent).or_insert(0.0);
+                *entry = entry.max(rule.confidence);
+            }
+        }
+        let mut recs: Vec<(ItemId, f64)> = best.into_iter().collect();
+        recs.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        recs.truncate(n);
+        recs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ar() -> AssociationRules {
+        AssociationRules::new(ArConfig {
+            min_support: 2.0,
+            min_confidence: 0.2,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn counts_sessions_not_events() {
+        let mut a = ar();
+        a.process(1, 10, 0);
+        a.process(1, 10, 1); // duplicate in session
+        assert_eq!(a.item_support(10), 1.0);
+        // A new session after the gap counts again.
+        a.process(1, 10, 100_000_000);
+        assert_eq!(a.item_support(10), 2.0);
+    }
+
+    #[test]
+    fn pairs_within_session_only() {
+        let mut a = ar();
+        a.process(1, 10, 0);
+        a.process(1, 11, 10);
+        assert_eq!(a.pair_support(10, 11), 1.0);
+        // New session: no pair with the old item.
+        a.process(1, 12, 100_000_000);
+        assert_eq!(a.pair_support(10, 12), 0.0);
+        assert_eq!(a.pair_support(11, 12), 0.0);
+    }
+
+    #[test]
+    fn confidence_definition() {
+        let mut a = ar();
+        // Three sessions with bread; two of them also have butter.
+        for (user, has_butter) in [(1u64, true), (2, true), (3, false)] {
+            a.process(user, 1, 0); // bread
+            if has_butter {
+                a.process(user, 2, 1); // butter
+            }
+        }
+        assert!((a.confidence(1, 2) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((a.confidence(2, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rules_respect_thresholds() {
+        let mut a = ar();
+        a.process(1, 1, 0);
+        a.process(1, 2, 1);
+        // support(1→2) = 1 < min_support 2 → no rule.
+        assert!(a.rules_from(1, 10).is_empty());
+        a.process(2, 1, 0);
+        a.process(2, 2, 1);
+        let rules = a.rules_from(1, 10);
+        assert_eq!(rules.len(), 1);
+        assert_eq!(rules[0].consequent, 2);
+        assert_eq!(rules[0].support, 2.0);
+        assert_eq!(rules[0].confidence, 1.0);
+    }
+
+    #[test]
+    fn recommend_from_current_session() {
+        let mut a = ar();
+        // Many users co-buy 1 and 2.
+        for u in 1..=5u64 {
+            a.process(u, 1, 0);
+            a.process(u, 2, 1);
+        }
+        // User 99 starts a session with item 1.
+        a.process(99, 1, 10);
+        let recs = a.recommend(99, 3);
+        assert_eq!(recs[0].0, 2);
+        assert!(recs[0].1 > 0.5);
+    }
+
+    #[test]
+    fn no_session_no_recommendations() {
+        let a = ar();
+        assert!(a.recommend(1, 5).is_empty());
+    }
+
+    #[test]
+    fn windowed_rules_expire() {
+        let mut a = AssociationRules::new(ArConfig {
+            min_support: 1.0,
+            min_confidence: 0.0,
+            window: Some(WindowConfig {
+                session_ms: 1_000,
+                sessions: 2,
+            }),
+            session_gap_ms: 100,
+        });
+        a.process(1, 1, 0);
+        a.process(1, 2, 10);
+        assert_eq!(a.pair_support(1, 2), 1.0);
+        // Far later, counts expired.
+        a.process(2, 3, 50_000);
+        assert_eq!(a.pair_support(1, 2), 0.0);
+    }
+}

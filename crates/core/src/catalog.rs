@@ -1,0 +1,121 @@
+//! Item metadata: categories, prices, tags/content terms.
+//!
+//! Content-based recommendation (§4), application filter rules ("the
+//! recommended items should be of one specific category or of price within
+//! a certain range", §5.1) and the YiXun similar-price position (§6.4) all
+//! need item attributes; this catalog is their shared source.
+
+use crate::types::{FxHashMap, ItemId};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// Identifier of a content tag / term.
+pub type TagId = u32;
+/// Identifier of an item category.
+pub type CategoryId = u32;
+
+/// Attributes of one item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ItemMeta {
+    /// Category (news section, product department, ...).
+    pub category: CategoryId,
+    /// Price (0 for non-commerce items).
+    pub price: f64,
+    /// Weighted content tags (un-normalised; the CB algorithm normalises).
+    pub tags: Vec<(TagId, f64)>,
+}
+
+/// Shared, concurrently readable item catalog. New items can be registered
+/// at any time — the stream never stops for catalog changes.
+#[derive(Debug, Clone, Default)]
+pub struct ItemCatalog {
+    inner: Arc<RwLock<FxHashMap<ItemId, ItemMeta>>>,
+}
+
+impl ItemCatalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) an item's metadata.
+    pub fn upsert(&self, item: ItemId, meta: ItemMeta) {
+        self.inner.write().insert(item, meta);
+    }
+
+    /// Metadata of an item.
+    pub fn get(&self, item: ItemId) -> Option<ItemMeta> {
+        self.inner.read().get(&item).cloned()
+    }
+
+    /// Category of an item.
+    pub fn category(&self, item: ItemId) -> Option<CategoryId> {
+        self.inner.read().get(&item).map(|m| m.category)
+    }
+
+    /// Price of an item.
+    pub fn price(&self, item: ItemId) -> Option<f64> {
+        self.inner.read().get(&item).map(|m| m.price)
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Runs `f` over every `(item, meta)` pair.
+    pub fn for_each(&self, mut f: impl FnMut(ItemId, &ItemMeta)) {
+        for (&item, meta) in self.inner.read().iter() {
+            f(item, meta);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(category: CategoryId, price: f64) -> ItemMeta {
+        ItemMeta {
+            category,
+            price,
+            tags: vec![(1, 1.0)],
+        }
+    }
+
+    #[test]
+    fn upsert_and_get() {
+        let c = ItemCatalog::new();
+        assert!(c.get(1).is_none());
+        c.upsert(1, meta(3, 9.99));
+        assert_eq!(c.category(1), Some(3));
+        assert_eq!(c.price(1), Some(9.99));
+        assert_eq!(c.len(), 1);
+        c.upsert(1, meta(4, 1.0));
+        assert_eq!(c.category(1), Some(4));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let c = ItemCatalog::new();
+        let c2 = c.clone();
+        c.upsert(7, meta(1, 2.0));
+        assert_eq!(c2.price(7), Some(2.0));
+    }
+
+    #[test]
+    fn for_each_visits_all() {
+        let c = ItemCatalog::new();
+        c.upsert(1, meta(0, 1.0));
+        c.upsert(2, meta(0, 2.0));
+        let mut total = 0.0;
+        c.for_each(|_, m| total += m.price);
+        assert_eq!(total, 3.0);
+    }
+}

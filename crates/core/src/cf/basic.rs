@@ -1,0 +1,223 @@
+//! The basic (batch, explicit-feedback) item-based CF of §4.1.1 — both a
+//! baseline in its own right (StreamRec-style systems require exactly this
+//! kind of explicit matrix) and the reference implementation the
+//! incremental algorithm is validated against.
+
+use crate::types::{FxHashMap, ItemId, UserId};
+
+/// In-memory user–item rating matrix with brute-force similarity.
+#[derive(Debug, Clone, Default)]
+pub struct ExplicitItemCF {
+    /// user → item → rating.
+    ratings: FxHashMap<UserId, FxHashMap<ItemId, f64>>,
+    /// item → users who rated it (inverted index for similarity).
+    raters: FxHashMap<ItemId, Vec<UserId>>,
+}
+
+impl ExplicitItemCF {
+    /// Empty matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets (overwrites) a rating.
+    pub fn add_rating(&mut self, user: UserId, item: ItemId, rating: f64) {
+        let entry = self.ratings.entry(user).or_default();
+        if entry.insert(item, rating).is_none() {
+            self.raters.entry(item).or_default().push(user);
+        }
+    }
+
+    /// A user's rating (0 when absent, as the paper specifies).
+    pub fn rating(&self, user: UserId, item: ItemId) -> f64 {
+        self.ratings
+            .get(&user)
+            .and_then(|r| r.get(&item))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Classic cosine similarity (Eq. 1):
+    /// `sim = Σ r_up·r_uq / (√Σr_up² · √Σr_uq²)`.
+    pub fn cosine_similarity(&self, p: ItemId, q: ItemId) -> f64 {
+        let mut dot = 0.0;
+        let mut norm_p = 0.0;
+        let mut norm_q = 0.0;
+        for ratings in self.ratings.values() {
+            let rp = ratings.get(&p).copied().unwrap_or(0.0);
+            let rq = ratings.get(&q).copied().unwrap_or(0.0);
+            dot += rp * rq;
+            norm_p += rp * rp;
+            norm_q += rq * rq;
+        }
+        if norm_p == 0.0 || norm_q == 0.0 {
+            0.0
+        } else {
+            dot / (norm_p.sqrt() * norm_q.sqrt())
+        }
+    }
+
+    /// The practical similarity of Eq. 4:
+    /// `sim = Σ min(r_up, r_uq) / (√Σr_up · √Σr_uq)` — co-rating numerator
+    /// and L1-based norms, the form the incremental counts decompose.
+    pub fn practical_similarity(&self, p: ItemId, q: ItemId) -> f64 {
+        let mut pair = 0.0;
+        let mut count_p = 0.0;
+        let mut count_q = 0.0;
+        for ratings in self.ratings.values() {
+            let rp = ratings.get(&p).copied().unwrap_or(0.0);
+            let rq = ratings.get(&q).copied().unwrap_or(0.0);
+            pair += rp.min(rq);
+            count_p += rp;
+            count_q += rq;
+        }
+        if count_p == 0.0 || count_q == 0.0 {
+            0.0
+        } else {
+            pair / (count_p.sqrt() * count_q.sqrt())
+        }
+    }
+
+    /// Top-`k` most similar items to `p` by the chosen measure.
+    pub fn top_k_similar(&self, p: ItemId, k: usize, practical: bool) -> Vec<(ItemId, f64)> {
+        let mut scores: Vec<(ItemId, f64)> = self
+            .raters
+            .keys()
+            .filter(|&&q| q != p)
+            .map(|&q| {
+                let s = if practical {
+                    self.practical_similarity(p, q)
+                } else {
+                    self.cosine_similarity(p, q)
+                };
+                (q, s)
+            })
+            .filter(|&(_, s)| s > 0.0)
+            .collect();
+        scores.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        scores.truncate(k);
+        scores
+    }
+
+    /// Rating prediction (Eq. 2): similarity-weighted average of the
+    /// user's ratings over `p`'s k nearest neighbours.
+    pub fn predict(&self, user: UserId, p: ItemId, k: usize, practical: bool) -> f64 {
+        let neighbours = self.top_k_similar(p, k, practical);
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (q, sim) in neighbours {
+            let r = self.rating(user, q);
+            if r > 0.0 {
+                num += sim * r;
+                den += sim;
+            }
+        }
+        if den == 0.0 {
+            0.0
+        } else {
+            num / den
+        }
+    }
+
+    /// Top-`n` recommendations: unseen items ranked by predicted rating.
+    pub fn recommend(&self, user: UserId, n: usize, k: usize, practical: bool) -> Vec<(ItemId, f64)> {
+        let seen = self.ratings.get(&user);
+        let mut scored: Vec<(ItemId, f64)> = self
+            .raters
+            .keys()
+            .filter(|&&item| seen.is_none_or(|s| !s.contains_key(&item)))
+            .map(|&item| (item, self.predict(user, item, k, practical)))
+            .filter(|&(_, s)| s > 0.0)
+            .collect();
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        scored.truncate(n);
+        scored
+    }
+
+    /// Number of known items.
+    pub fn item_count(&self) -> usize {
+        self.raters.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> ExplicitItemCF {
+        let mut m = ExplicitItemCF::new();
+        // users 1..3, items 10..12
+        m.add_rating(1, 10, 5.0);
+        m.add_rating(1, 11, 5.0);
+        m.add_rating(2, 10, 3.0);
+        m.add_rating(2, 11, 3.0);
+        m.add_rating(3, 10, 4.0);
+        m.add_rating(3, 12, 2.0);
+        m
+    }
+
+    #[test]
+    fn cosine_similarity_hand_computed() {
+        let m = matrix();
+        // i10 = (5,3,4), i11 = (5,3,0): dot = 34, |i10| = √50, |i11| = √34
+        let expected = 34.0 / (50.0f64.sqrt() * 34.0f64.sqrt());
+        assert!((m.cosine_similarity(10, 11) - expected).abs() < 1e-12);
+        // Symmetry.
+        assert_eq!(m.cosine_similarity(10, 11), m.cosine_similarity(11, 10));
+    }
+
+    #[test]
+    fn practical_similarity_hand_computed() {
+        let m = matrix();
+        // Σ min: user1 min(5,5)=5, user2 min(3,3)=3, user3 min(4,0)=0 → 8
+        // counts: itemCount(10) = 12, itemCount(11) = 8
+        let expected = 8.0 / (12.0f64.sqrt() * 8.0f64.sqrt());
+        assert!((m.practical_similarity(10, 11) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn practical_similarity_bounded_by_one() {
+        // Identical rating vectors give sim = Σr / (√Σr·√Σr) = 1.
+        let mut m = ExplicitItemCF::new();
+        for u in 0..5 {
+            m.add_rating(u, 1, 2.0 + u as f64);
+            m.add_rating(u, 2, 2.0 + u as f64);
+        }
+        assert!((m.practical_similarity(1, 2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_items_have_zero_similarity() {
+        let m = matrix();
+        assert_eq!(m.cosine_similarity(10, 999), 0.0);
+        assert_eq!(m.practical_similarity(999, 998), 0.0);
+    }
+
+    #[test]
+    fn prediction_weights_by_similarity() {
+        let m = matrix();
+        // Predict item 11 for user 3 who rated 10 (4.0) and 12 (2.0).
+        let p = m.predict(3, 11, 5, false);
+        assert!(p > 0.0 && p <= 5.0);
+        // Item 12 is only co-rated with 10 by user 3 → sim(11,12) = 0, so
+        // prediction equals user 3's rating of item 10.
+        assert!((p - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recommend_excludes_seen() {
+        let m = matrix();
+        let recs = m.recommend(1, 10, 5, false);
+        for (item, _) in &recs {
+            assert!(*item == 12, "user 1 already saw 10 and 11");
+        }
+    }
+
+    #[test]
+    fn top_k_truncates_and_sorts() {
+        let m = matrix();
+        let top = m.top_k_similar(10, 1, false);
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].0, 11, "11 shares two raters; 12 shares one");
+    }
+}

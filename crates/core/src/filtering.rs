@@ -1,0 +1,239 @@
+//! Real-time filtering mechanisms (§4.3 and §5.1).
+//!
+//! Two kinds of filters shape the final recommendation list:
+//!
+//! * **real-time personalised filtering** — a user's interests fade, so
+//!   only the most recent `k` items drive prediction ([`RecentTracker`]);
+//! * **application filter rules** — "the recommended items should be of
+//!   one specific category or of price within a certain range"
+//!   ([`ItemFilter`] implementations composed in a [`FilterChain`]).
+
+use crate::catalog::{CategoryId, ItemCatalog};
+use crate::types::{FxHashMap, FxHashSet, ItemId, Timestamp, UserId};
+use std::collections::VecDeque;
+
+/// Tracks each user's most recent `k` distinct items — the state behind
+/// real-time personalised filtering, usable standalone by any algorithm.
+#[derive(Debug, Clone)]
+pub struct RecentTracker {
+    k: usize,
+    users: FxHashMap<UserId, VecDeque<(ItemId, Timestamp)>>,
+}
+
+impl RecentTracker {
+    /// Tracker keeping `k` items per user.
+    pub fn new(k: usize) -> Self {
+        RecentTracker {
+            k: k.max(1),
+            users: FxHashMap::default(),
+        }
+    }
+
+    /// Records an interaction.
+    pub fn touch(&mut self, user: UserId, item: ItemId, ts: Timestamp) {
+        let q = self.users.entry(user).or_default();
+        if let Some(pos) = q.iter().position(|&(i, _)| i == item) {
+            q.remove(pos);
+        }
+        q.push_front((item, ts));
+        q.truncate(self.k);
+    }
+
+    /// The user's recent items, newest first.
+    pub fn recent(&self, user: UserId) -> impl Iterator<Item = (ItemId, Timestamp)> + '_ {
+        self.users
+            .get(&user)
+            .into_iter()
+            .flat_map(|q| q.iter().copied())
+    }
+
+    /// Whether `item` is among the user's recent items.
+    pub fn is_recent(&self, user: UserId, item: ItemId) -> bool {
+        self.users
+            .get(&user)
+            .is_some_and(|q| q.iter().any(|&(i, _)| i == item))
+    }
+}
+
+/// A predicate over candidate items.
+pub trait ItemFilter: Send + Sync {
+    /// Whether `item` may be recommended.
+    fn accept(&self, item: ItemId) -> bool;
+}
+
+/// Keeps only items of one category.
+pub struct CategoryFilter {
+    catalog: ItemCatalog,
+    category: CategoryId,
+}
+
+impl CategoryFilter {
+    /// Filter on `category`.
+    pub fn new(catalog: ItemCatalog, category: CategoryId) -> Self {
+        CategoryFilter { catalog, category }
+    }
+}
+
+impl ItemFilter for CategoryFilter {
+    fn accept(&self, item: ItemId) -> bool {
+        self.catalog.category(item) == Some(self.category)
+    }
+}
+
+/// Keeps items whose price lies within `[lo, hi]` — the YiXun
+/// similar-price position.
+pub struct PriceRangeFilter {
+    catalog: ItemCatalog,
+    lo: f64,
+    hi: f64,
+}
+
+impl PriceRangeFilter {
+    /// Filter on the inclusive price range `[lo, hi]`.
+    pub fn new(catalog: ItemCatalog, lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi, "empty price range");
+        PriceRangeFilter { catalog, lo, hi }
+    }
+
+    /// The range around `price` within relative tolerance `rel` (e.g. 0.3
+    /// = ±30%), as used for "goods with similar prices".
+    pub fn around(catalog: ItemCatalog, price: f64, rel: f64) -> Self {
+        Self::new(catalog, price * (1.0 - rel), price * (1.0 + rel))
+    }
+}
+
+impl ItemFilter for PriceRangeFilter {
+    fn accept(&self, item: ItemId) -> bool {
+        self.catalog
+            .price(item)
+            .is_some_and(|p| p >= self.lo && p <= self.hi)
+    }
+}
+
+/// Excludes an explicit set of items (e.g. already purchased).
+pub struct ExcludeFilter {
+    excluded: FxHashSet<ItemId>,
+}
+
+impl ExcludeFilter {
+    /// Filter excluding the given items.
+    pub fn new(excluded: impl IntoIterator<Item = ItemId>) -> Self {
+        ExcludeFilter {
+            excluded: excluded.into_iter().collect(),
+        }
+    }
+}
+
+impl ItemFilter for ExcludeFilter {
+    fn accept(&self, item: ItemId) -> bool {
+        !self.excluded.contains(&item)
+    }
+}
+
+/// Conjunction of filters — the per-application `FilterBolt` logic.
+#[derive(Default)]
+pub struct FilterChain {
+    filters: Vec<Box<dyn ItemFilter>>,
+}
+
+impl FilterChain {
+    /// Empty chain (accepts everything).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a filter.
+    pub fn push(mut self, filter: impl ItemFilter + 'static) -> Self {
+        self.filters.push(Box::new(filter));
+        self
+    }
+
+    /// Whether every filter accepts `item`.
+    pub fn accept(&self, item: ItemId) -> bool {
+        self.filters.iter().all(|f| f.accept(item))
+    }
+
+    /// Retains accepted items in a scored candidate list.
+    pub fn apply(&self, candidates: &mut Vec<(ItemId, f64)>) {
+        candidates.retain(|&(item, _)| self.accept(item));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::ItemMeta;
+
+    fn catalog() -> ItemCatalog {
+        let c = ItemCatalog::new();
+        for (item, category, price) in [(1u64, 0u32, 10.0), (2, 0, 100.0), (3, 1, 12.0)] {
+            c.upsert(
+                item,
+                ItemMeta {
+                    category,
+                    price,
+                    tags: vec![],
+                },
+            );
+        }
+        c
+    }
+
+    #[test]
+    fn recent_tracker_orders_and_caps() {
+        let mut t = RecentTracker::new(2);
+        t.touch(1, 10, 0);
+        t.touch(1, 11, 1);
+        t.touch(1, 10, 2); // moves to front
+        t.touch(1, 12, 3); // evicts 11
+        let items: Vec<ItemId> = t.recent(1).map(|(i, _)| i).collect();
+        assert_eq!(items, vec![12, 10]);
+        assert!(t.is_recent(1, 10));
+        assert!(!t.is_recent(1, 11));
+        assert!(!t.is_recent(2, 10));
+    }
+
+    #[test]
+    fn category_filter() {
+        let f = CategoryFilter::new(catalog(), 0);
+        assert!(f.accept(1));
+        assert!(f.accept(2));
+        assert!(!f.accept(3));
+        assert!(!f.accept(99), "unknown items rejected");
+    }
+
+    #[test]
+    fn price_filter_and_around() {
+        let f = PriceRangeFilter::new(catalog(), 5.0, 20.0);
+        assert!(f.accept(1));
+        assert!(!f.accept(2));
+        assert!(f.accept(3));
+        let around = PriceRangeFilter::around(catalog(), 10.0, 0.3);
+        assert!(around.accept(1)); // 10 in [7,13]
+        assert!(around.accept(3)); // 12 in [7,13]
+        assert!(!around.accept(2));
+    }
+
+    #[test]
+    fn chain_conjunction() {
+        let chain = FilterChain::new()
+            .push(CategoryFilter::new(catalog(), 0))
+            .push(PriceRangeFilter::new(catalog(), 5.0, 20.0));
+        let mut candidates = vec![(1u64, 0.9), (2, 0.8), (3, 0.7)];
+        chain.apply(&mut candidates);
+        assert_eq!(candidates, vec![(1, 0.9)]);
+    }
+
+    #[test]
+    fn exclude_filter() {
+        let f = ExcludeFilter::new([2u64, 3]);
+        assert!(f.accept(1));
+        assert!(!f.accept(2));
+    }
+
+    #[test]
+    fn empty_chain_accepts_all() {
+        let chain = FilterChain::new();
+        assert!(chain.accept(42));
+    }
+}

@@ -1,0 +1,431 @@
+//! The spout and bolts of the CF pipeline (Fig. 4 mapped onto Fig. 6).
+//!
+//! Every bolt is state-free: all cross-tuple state lives in TDStore, so a
+//! restarted task resumes exactly where the store left off. Routing
+//! guarantees make the store updates conflict-free: actions are grouped by
+//! user (histories), item deltas by item (`itemCount`s), pair deltas by
+//! pair (`pairCount`s and similarity), mirroring §4.1.3's "by the key
+//! grouping, only a single worker node should operate over a specific item
+//! pair".
+
+use crate::action::{ActionType, ActionWeights, UserAction};
+use crate::cf::counts::WindowConfig;
+use crate::cf::pruning::PruneState;
+use crate::topology::state::{
+    decode_history, encode_history, session_key, sim_list_threshold, update_sim_list,
+    windowed_sum,
+};
+use crate::types::{keys, ItemPair};
+use crossbeam::channel::Receiver;
+use tdstore::TdStore;
+use tstorm::prelude::*;
+
+/// Stream carrying item-count deltas.
+pub const ITEM_DELTA: &str = "item_delta";
+/// Stream carrying pair-count deltas.
+pub const PAIR_DELTA: &str = "pair_delta";
+
+/// Shared CF-pipeline parameters.
+#[derive(Debug, Clone)]
+pub struct CfPipelineConfig {
+    /// Implicit-feedback weights.
+    pub weights: ActionWeights,
+    /// Linked time for pair formation.
+    pub linked_time_ms: u64,
+    /// Sliding window (None = unbounded counts).
+    pub window: Option<WindowConfig>,
+    /// Similar-items list size.
+    pub top_k: usize,
+    /// Recent items used at query time.
+    pub recent_k: usize,
+    /// Hoeffding δ; None disables pruning.
+    pub pruning_delta: Option<f64>,
+    /// Per-user history size bound in the store.
+    pub max_history: usize,
+    /// Fine-grained cache capacity in the `ItemCount` bolt (§5.2);
+    /// 0 disables caching.
+    pub cache_capacity: usize,
+    /// Combiner flush bound in the `ItemCount` bolt (§5.3): buffer up to
+    /// this many distinct keys before writing through (ticks also flush);
+    /// 0 disables combining.
+    pub combiner_keys: usize,
+}
+
+impl Default for CfPipelineConfig {
+    fn default() -> Self {
+        CfPipelineConfig {
+            weights: ActionWeights::default(),
+            linked_time_ms: 6 * 60 * 60 * 1000,
+            window: None,
+            top_k: 20,
+            recent_k: 10,
+            pruning_delta: None,
+            max_history: 1024,
+            cache_capacity: 0,
+            combiner_keys: 0,
+        }
+    }
+}
+
+impl CfPipelineConfig {
+    /// Session bucket for a timestamp (`u64::MAX` = the un-windowed
+    /// bucket).
+    pub fn session_of(&self, ts: u64) -> u64 {
+        self.window.map_or(u64::MAX, |w| w.session_of(ts))
+    }
+
+    /// Window length in sessions (0 = un-windowed).
+    pub fn window_sessions(&self) -> usize {
+        self.window.map_or(0, |w| w.sessions)
+    }
+}
+
+/// Spout feeding user actions from a channel (in production, the consumer
+/// side of TDAccess; in tests, a test fixture).
+pub struct ActionSpout {
+    source: Receiver<UserAction>,
+    emitted: u64,
+}
+
+impl ActionSpout {
+    /// Spout reading from `source` until it disconnects.
+    pub fn new(source: Receiver<UserAction>) -> Self {
+        ActionSpout { source, emitted: 0 }
+    }
+}
+
+impl Spout for ActionSpout {
+    fn next_tuple(&mut self, collector: &mut SpoutCollector) -> bool {
+        match self.source.try_recv() {
+            Ok(action) => {
+                self.emitted += 1;
+                collector.emit(
+                    vec![
+                        Value::U64(action.user),
+                        Value::U64(action.item),
+                        Value::U64(action.action.code() as u64),
+                        Value::U64(action.timestamp),
+                    ],
+                    Some(self.emitted),
+                );
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn declare_outputs(&self) -> Vec<StreamDef> {
+        vec![StreamDef::new(
+            DEFAULT_STREAM,
+            ["user", "item", "action", "ts"],
+        )]
+    }
+}
+
+/// Pretreatment (§5.1): parses and validates raw tuples, dropping
+/// unqualified ones, and forwards clean action tuples.
+pub struct PretreatmentBolt {
+    dropped: u64,
+}
+
+impl PretreatmentBolt {
+    /// New bolt.
+    pub fn new() -> Self {
+        PretreatmentBolt { dropped: 0 }
+    }
+}
+
+impl Default for PretreatmentBolt {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Bolt for PretreatmentBolt {
+    fn execute(&mut self, tuple: &Tuple, collector: &mut BoltCollector) -> Result<(), String> {
+        let code = tuple.u64("action");
+        if code > u8::MAX as u64 || ActionType::from_code(code as u8).is_none() {
+            self.dropped += 1;
+            return Ok(()); // unqualified tuple: filtered, still acked
+        }
+        collector.emit(tuple.values().to_vec());
+        Ok(())
+    }
+
+    fn declare_outputs(&self) -> Vec<StreamDef> {
+        vec![StreamDef::new(
+            DEFAULT_STREAM,
+            ["user", "item", "action", "ts"],
+        )]
+    }
+}
+
+/// The user-behaviour-history layer (Fig. 4, layer 1). Grouped by `user`;
+/// history state lives in TDStore under `hist:<user>`.
+pub struct UserHistoryBolt {
+    store: TdStore,
+    config: CfPipelineConfig,
+}
+
+impl UserHistoryBolt {
+    /// New bolt over the shared store.
+    pub fn new(store: TdStore, config: CfPipelineConfig) -> Self {
+        UserHistoryBolt { store, config }
+    }
+}
+
+impl Bolt for UserHistoryBolt {
+    fn execute(&mut self, tuple: &Tuple, collector: &mut BoltCollector) -> Result<(), String> {
+        let user = tuple.u64("user");
+        let item = tuple.u64("item");
+        let code = tuple.u64("action") as u8;
+        let ts = tuple.u64("ts");
+        let action = ActionType::from_code(code).ok_or("bad action code")?;
+        let weight = self.config.weights.weight(action);
+
+        let mut delta_rating = 0.0;
+        let mut pair_deltas: Vec<(ItemPair, f64)> = Vec::new();
+        let linked = self.config.linked_time_ms;
+        let max_history = self.config.max_history;
+        self.store
+            .update(&keys::user_history(user), |raw| {
+                delta_rating = 0.0;
+                pair_deltas.clear();
+                let mut entries = raw.map(decode_history).unwrap_or_default();
+                let old = entries
+                    .iter()
+                    .find(|&&(i, _, _)| i == item)
+                    .map_or(0.0, |&(_, r, _)| r);
+                let new = old.max(weight);
+                delta_rating = new - old;
+                for &(other, rating, last_ts) in &entries {
+                    if other == item || ts.saturating_sub(last_ts) > linked {
+                        continue;
+                    }
+                    let delta = new.min(rating) - old.min(rating);
+                    if delta != 0.0 {
+                        pair_deltas.push((ItemPair::new(item, other), delta));
+                    }
+                }
+                entries.retain(|&(i, _, _)| i != item);
+                entries.push((item, new, ts));
+                if entries.len() > max_history {
+                    // Drop the stalest record to bound history size.
+                    let (idx, _) = entries
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, &(_, _, t))| t)
+                        .expect("non-empty");
+                    entries.swap_remove(idx);
+                }
+                Some(encode_history(&entries))
+            })
+            .map_err(|e| e.to_string())?;
+
+        if delta_rating != 0.0 {
+            collector.emit_on(
+                ITEM_DELTA,
+                vec![
+                    Value::U64(item),
+                    Value::F64(delta_rating),
+                    Value::U64(ts),
+                ],
+            );
+        }
+        for (pair, delta) in pair_deltas.drain(..) {
+            collector.emit_on(
+                PAIR_DELTA,
+                vec![
+                    Value::U64(pair.a),
+                    Value::U64(pair.b),
+                    Value::F64(delta),
+                    Value::U64(ts),
+                ],
+            );
+        }
+        Ok(())
+    }
+
+    fn declare_outputs(&self) -> Vec<StreamDef> {
+        vec![
+            StreamDef::new(ITEM_DELTA, ["item", "delta", "ts"]),
+            StreamDef::new(PAIR_DELTA, ["a", "b", "delta", "ts"]),
+        ]
+    }
+}
+
+/// `ItemCount` statistics unit (Fig. 6): grouped by `item`, accumulates
+/// `itemCount` buckets in TDStore, optionally through the fine-grained
+/// cache (§5.2 — safe because fields grouping makes this task the only
+/// writer of its keys) and the combiner (§5.3 — hot-item updates merge in
+/// memory and flush on the size bound or the tick).
+pub struct ItemCountBolt {
+    store: TdStore,
+    config: CfPipelineConfig,
+    cache: Option<crate::cache::CachedStore>,
+    combiner: Option<crate::combiner::Combiner<Vec<u8>>>,
+}
+
+impl ItemCountBolt {
+    /// New bolt over the shared store.
+    pub fn new(store: TdStore, config: CfPipelineConfig) -> Self {
+        let cache = (config.cache_capacity > 0)
+            .then(|| crate::cache::CachedStore::new(store.clone(), config.cache_capacity));
+        let combiner = (config.combiner_keys > 0).then(|| {
+            crate::combiner::Combiner::new(crate::combiner::CombineOp::Add, config.combiner_keys)
+        });
+        ItemCountBolt {
+            store,
+            config,
+            cache,
+            combiner,
+        }
+    }
+
+    fn write(&mut self, key: &[u8], delta: f64) -> Result<(), String> {
+        match &mut self.cache {
+            Some(cache) => cache.incr_f64(key, delta).map(|_| ()),
+            None => self.store.incr_f64(key, delta).map(|_| ()),
+        }
+        .map_err(|e| e.to_string())
+    }
+
+    fn flush_combiner(&mut self) -> Result<(), String> {
+        if let Some(combiner) = &mut self.combiner {
+            for (key, delta) in combiner.flush() {
+                match &mut self.cache {
+                    Some(cache) => cache.incr_f64(&key, delta).map(|_| ()),
+                    None => self.store.incr_f64(&key, delta).map(|_| ()),
+                }
+                .map_err(|e| e.to_string())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Bolt for ItemCountBolt {
+    fn execute(&mut self, tuple: &Tuple, _collector: &mut BoltCollector) -> Result<(), String> {
+        let item = tuple.u64("item");
+        let delta = tuple.f64("delta");
+        let ts = tuple.u64("ts");
+        let session = self.config.session_of(ts);
+        let key = session_key(&keys::item_count(item), session);
+        match &mut self.combiner {
+            Some(combiner) => {
+                if let Some(batch) = combiner.add(key, delta) {
+                    for (key, delta) in batch {
+                        match &mut self.cache {
+                            Some(cache) => cache.incr_f64(&key, delta).map(|_| ()),
+                            None => self.store.incr_f64(&key, delta).map(|_| ()),
+                        }
+                        .map_err(|e| e.to_string())?;
+                    }
+                }
+                Ok(())
+            }
+            None => self.write(&key, delta),
+        }
+    }
+
+    fn tick(&mut self, _collector: &mut BoltCollector) {
+        // "We will fetch the tuples from the combiner and do the costly
+        // calculation like TDStore writes at the predefined intervals."
+        let _ = self.flush_combiner();
+    }
+
+    fn cleanup(&mut self) {
+        let _ = self.flush_combiner();
+    }
+}
+
+/// The pair layer: grouped by `(a, b)`, performs Algorithm 1 — pruning
+/// check, `pairCount` update, similarity recomputation (Eq. 5/10), and
+/// similar-items list maintenance with Hoeffding pruning.
+pub struct CfPairBolt {
+    store: TdStore,
+    config: CfPipelineConfig,
+    /// Local pruning state is safe: pairs are key-grouped, so one task
+    /// owns any given pair for the topology's lifetime.
+    pruning: Option<PruneState>,
+}
+
+impl CfPairBolt {
+    /// New bolt over the shared store.
+    pub fn new(store: TdStore, config: CfPipelineConfig) -> Self {
+        let pruning = config.pruning_delta.map(PruneState::new);
+        CfPairBolt {
+            store,
+            config,
+            pruning,
+        }
+    }
+}
+
+impl Bolt for CfPairBolt {
+    fn execute(&mut self, tuple: &Tuple, _collector: &mut BoltCollector) -> Result<(), String> {
+        let a = tuple.u64("a");
+        let b = tuple.u64("b");
+        let delta = tuple.f64("delta");
+        let ts = tuple.u64("ts");
+        let pair = ItemPair::new(a, b);
+        if self.pruning.as_ref().is_some_and(|p| p.is_pruned(pair)) {
+            return Ok(());
+        }
+        let session = self.config.session_of(ts);
+        let windows = self.config.window_sessions();
+        let map_err = |e: tdstore::StoreError| e.to_string();
+
+        // Update pairCount.
+        let pc_key = keys::pair_count(pair);
+        self.store
+            .incr_f64(&session_key(&pc_key, session), delta)
+            .map_err(map_err)?;
+
+        // Recompute the similarity from the decomposed counts.
+        let current_session = if windows == 0 { 0 } else { session };
+        let pc = windowed_sum(&self.store, &pc_key, current_session, windows).map_err(map_err)?;
+        let ic_a = windowed_sum(&self.store, &keys::item_count(pair.a), current_session, windows)
+            .map_err(map_err)?;
+        let ic_b = windowed_sum(&self.store, &keys::item_count(pair.b), current_session, windows)
+            .map_err(map_err)?;
+        let sim = if ic_a > 0.0 && ic_b > 0.0 {
+            (pc / (ic_a.sqrt() * ic_b.sqrt())).max(0.0)
+        } else {
+            0.0
+        };
+
+        // Update both items' similar-items lists.
+        let k = self.config.top_k;
+        self.store
+            .update(&keys::similar_items(pair.a), |raw| {
+                Some(update_sim_list(raw, pair.b, sim, k))
+            })
+            .map_err(map_err)?;
+        self.store
+            .update(&keys::similar_items(pair.b), |raw| {
+                Some(update_sim_list(raw, pair.a, sim, k))
+            })
+            .map_err(map_err)?;
+
+        // Hoeffding pruning (bidirectional threshold).
+        if let Some(pruning) = &mut self.pruning {
+            let ta = sim_list_threshold(
+                self.store
+                    .get(&keys::similar_items(pair.a))
+                    .map_err(map_err)?
+                    .as_deref(),
+                k,
+            );
+            let tb = sim_list_threshold(
+                self.store
+                    .get(&keys::similar_items(pair.b))
+                    .map_err(map_err)?
+                    .as_deref(),
+                k,
+            );
+            pruning.observe(pair, sim, ta.min(tb));
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,214 @@
+//! The recommender engine of Fig. 9, distributed form: answers user
+//! queries purely from TDStore state maintained by the topologies —
+//! CF candidates (Eq. 2 + real-time personalised filtering) complemented
+//! by the user's demographic group's hot items, mirroring
+//! [`crate::engine::RecommendEngine`] but with no in-process model at all.
+//!
+//! "The recommender engine accepts user queries preprocessed by the front
+//! end and utilizes the computing results in TDStore to generate the
+//! recommendation results."
+
+use crate::db::GroupScheme;
+use crate::topology::bolts::CfPipelineConfig;
+use crate::topology::demographic::{hot_items, DemographicPipelineConfig, ProfileRegistry};
+use crate::topology::state::decode_history;
+use crate::topology::TopologyRecommender;
+use crate::types::{keys, FxHashSet, ItemId, UserId};
+use tdstore::TdStore;
+
+/// Query-side configuration.
+#[derive(Debug, Clone, Default)]
+pub struct ServingConfig {
+    /// CF pipeline parameters (must match the running CF topology).
+    pub cf: CfPipelineConfig,
+    /// Demographic pipeline parameters (must match the running DB
+    /// topology).
+    pub db: DemographicPipelineConfig,
+    /// CF candidates with total similarity mass below this are dropped
+    /// and backfilled by the demographic complement.
+    pub min_confidence: f64,
+}
+
+/// The store-backed recommender front end.
+pub struct RecommenderFrontEnd {
+    store: TdStore,
+    cf: TopologyRecommender,
+    config: ServingConfig,
+    profiles: ProfileRegistry,
+}
+
+impl RecommenderFrontEnd {
+    /// Front end over the shared store and profile registry.
+    pub fn new(store: TdStore, config: ServingConfig, profiles: ProfileRegistry) -> Self {
+        RecommenderFrontEnd {
+            cf: TopologyRecommender::new(store.clone(), config.cf.clone()),
+            store,
+            config,
+            profiles,
+        }
+    }
+
+    /// Items the user has already engaged with, per the stored history.
+    fn seen(&self, user: UserId) -> FxHashSet<ItemId> {
+        self.store
+            .get(&keys::user_history(user))
+            .ok()
+            .flatten()
+            .map(|raw| decode_history(&raw).into_iter().map(|(i, _, _)| i).collect())
+            .unwrap_or_default()
+    }
+
+    /// Top-`n` recommendations for `user` at stream time `now`: CF first,
+    /// demographic hot items to fill the page.
+    pub fn recommend(&self, user: UserId, n: usize, now: u64) -> Vec<(ItemId, f64)> {
+        let mut recs: Vec<(ItemId, f64)> = self.cf.recommend(user, n);
+        recs.truncate(n);
+        if recs.len() < n {
+            let scheme: &GroupScheme = &self.config.db.scheme;
+            let group = scheme.group_of(&self.profiles.get(user));
+            let mut exclude = self.seen(user);
+            for &(item, _) in &recs {
+                exclude.insert(item);
+            }
+            let floor = recs.last().map_or(1.0, |&(_, s)| s);
+            let hot = hot_items(&self.store, group, &self.config.db, now, n * 2);
+            let max_hot = hot.first().map_or(1.0, |&(_, c)| c.max(1.0));
+            for (item, count) in hot {
+                if recs.len() >= n {
+                    break;
+                }
+                if exclude.contains(&item) {
+                    continue;
+                }
+                recs.push((item, 0.9 * floor * count / max_hot));
+            }
+        }
+        recs.truncate(n);
+        recs
+    }
+
+    /// Direct access to the CF query engine.
+    pub fn cf(&self) -> &TopologyRecommender {
+        &self.cf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::{ActionType, UserAction};
+    use crate::db::DemographicProfile;
+    use crate::topology::demographic::build_demographic_topology;
+    use crate::topology::{build_cf_topology, CfParallelism};
+    use crossbeam::channel::unbounded;
+    use std::time::Duration;
+    use tdstore::StoreConfig;
+
+    fn profile(gender: u8, age: u8) -> DemographicProfile {
+        DemographicProfile {
+            gender,
+            age,
+            region: 0,
+        }
+    }
+
+    /// Runs both the CF and demographic topologies over the same store,
+    /// then serves queries from it.
+    fn serve(actions: Vec<UserAction>, profiles: ProfileRegistry) -> RecommenderFrontEnd {
+        let store = TdStore::new(StoreConfig::default());
+        let config = ServingConfig::default();
+
+        let (tx, rx) = unbounded();
+        for a in &actions {
+            tx.send(*a).unwrap();
+        }
+        drop(tx);
+        let cf_topo = build_cf_topology(
+            rx,
+            store.clone(),
+            config.cf.clone(),
+            CfParallelism::default(),
+        )
+        .unwrap();
+        let cf_handle = cf_topo.launch();
+
+        let (tx, rx) = unbounded();
+        for a in &actions {
+            tx.send(*a).unwrap();
+        }
+        drop(tx);
+        let db_topo = build_demographic_topology(
+            rx,
+            profiles.clone(),
+            store.clone(),
+            config.db.clone(),
+            2,
+            2,
+        )
+        .unwrap();
+        let db_handle = db_topo.launch();
+
+        assert!(cf_handle.wait_idle(Duration::from_secs(30)));
+        assert!(db_handle.wait_idle(Duration::from_secs(30)));
+        cf_handle.shutdown(Duration::from_secs(5));
+        db_handle.shutdown(Duration::from_secs(5));
+        RecommenderFrontEnd::new(store, config, profiles)
+    }
+
+    fn click(user: UserId, item: ItemId, ts: u64) -> UserAction {
+        UserAction::new(user, item, ActionType::Click, ts)
+    }
+
+    #[test]
+    fn warm_user_gets_cf_candidates() {
+        let profiles = ProfileRegistry::new();
+        let mut actions = Vec::new();
+        for u in 1..=20u64 {
+            profiles.set(u, profile(0, 25));
+            actions.push(click(u, 1, u * 10));
+            actions.push(click(u, 2, u * 10 + 1));
+        }
+        actions.push(click(99, 1, 500));
+        let front = serve(actions, profiles);
+        let recs = front.recommend(99, 3, 1_000);
+        assert_eq!(recs.first().map(|r| r.0), Some(2), "{recs:?}");
+    }
+
+    #[test]
+    fn cold_user_gets_group_hot_items_from_store() {
+        let profiles = ProfileRegistry::new();
+        let mut actions = Vec::new();
+        // Young women click item 7; older men click item 8.
+        for u in 1..=10u64 {
+            profiles.set(u, profile(0, 25));
+            profiles.set(100 + u, profile(1, 45));
+            actions.push(click(u, 7, u));
+            actions.push(click(100 + u, 8, u));
+        }
+        // Cold users of each group.
+        profiles.set(500, profile(0, 22));
+        profiles.set(501, profile(1, 48));
+        let front = serve(actions, profiles);
+        let w = front.recommend(500, 2, 1_000);
+        let m = front.recommend(501, 2, 1_000);
+        assert_eq!(w.first().map(|r| r.0), Some(7), "women's group: {w:?}");
+        assert_eq!(m.first().map(|r| r.0), Some(8), "men's group: {m:?}");
+    }
+
+    #[test]
+    fn complement_excludes_seen_items() {
+        let profiles = ProfileRegistry::new();
+        let mut actions = Vec::new();
+        for u in 1..=10u64 {
+            profiles.set(u, profile(0, 25));
+            actions.push(click(u, 7, u));
+        }
+        // User 3 already clicked the group's only hot item.
+        let front = serve(actions, profiles);
+        let recs = front.recommend(3, 3, 1_000);
+        assert!(
+            recs.iter().all(|&(i, _)| i != 7),
+            "seen item must not come back: {recs:?}"
+        );
+    }
+}

@@ -1,0 +1,255 @@
+//! Binary encodings for algorithm state held in TDStore.
+//!
+//! The topology's bolts are state-free (§5.1): everything they need
+//! between tuples lives in TDStore so "the topology can conduct fast
+//! failure recovery". These helpers define the value formats for user
+//! histories, similar-items lists, and session-suffixed windowed counts.
+
+use crate::types::{ItemId, Timestamp};
+use tdstore::{StoreError, TdStore};
+
+/// One user-history record: `(item, rating, last action ts)`.
+pub type HistoryRecord = (ItemId, f64, Timestamp);
+
+/// Encodes a user history as fixed 24-byte records.
+pub fn encode_history(entries: &[HistoryRecord]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(entries.len() * 24);
+    for &(item, rating, ts) in entries {
+        out.extend_from_slice(&item.to_le_bytes());
+        out.extend_from_slice(&rating.to_le_bytes());
+        out.extend_from_slice(&ts.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes a user history (ignores a trailing partial record).
+pub fn decode_history(raw: &[u8]) -> Vec<HistoryRecord> {
+    raw.chunks_exact(24)
+        .map(|c| {
+            (
+                u64::from_le_bytes(c[0..8].try_into().unwrap()),
+                f64::from_le_bytes(c[8..16].try_into().unwrap()),
+                u64::from_le_bytes(c[16..24].try_into().unwrap()),
+            )
+        })
+        .collect()
+}
+
+/// One similar-items entry: `(item, similarity)`.
+pub type SimRecord = (ItemId, f64);
+
+/// Encodes a similar-items list (already sorted best-first).
+pub fn encode_sim_list(entries: &[SimRecord]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(entries.len() * 16);
+    for &(item, sim) in entries {
+        out.extend_from_slice(&item.to_le_bytes());
+        out.extend_from_slice(&sim.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes a similar-items list.
+pub fn decode_sim_list(raw: &[u8]) -> Vec<SimRecord> {
+    raw.chunks_exact(16)
+        .map(|c| {
+            (
+                u64::from_le_bytes(c[0..8].try_into().unwrap()),
+                f64::from_le_bytes(c[8..16].try_into().unwrap()),
+            )
+        })
+        .collect()
+}
+
+/// Inserts/updates `(other, sim)` in an encoded top-`k` list, preserving
+/// descending order. Returns the new encoding.
+pub fn update_sim_list(raw: Option<&[u8]>, other: ItemId, sim: f64, k: usize) -> Vec<u8> {
+    let mut entries = raw.map(decode_sim_list).unwrap_or_default();
+    if let Some(pos) = entries.iter().position(|&(i, _)| i == other) {
+        entries.remove(pos);
+    }
+    if sim > 0.0 {
+        let pos = entries.partition_point(|&(_, s)| s >= sim);
+        entries.insert(pos, (other, sim));
+        entries.truncate(k);
+    }
+    encode_sim_list(&entries)
+}
+
+/// The pruning threshold of an encoded list: k-th score when full, else 0.
+pub fn sim_list_threshold(raw: Option<&[u8]>, k: usize) -> f64 {
+    match raw {
+        None => 0.0,
+        Some(raw) => {
+            let entries = decode_sim_list(raw);
+            if entries.len() < k {
+                0.0
+            } else {
+                entries.last().map_or(0.0, |&(_, s)| s)
+            }
+        }
+    }
+}
+
+/// Key for a windowed count bucket: `prefix` + raw key + session index.
+/// Un-windowed counts use session `u64::MAX` as the single bucket.
+pub fn session_key(base: &[u8], session: u64) -> Vec<u8> {
+    let mut k = Vec::with_capacity(base.len() + 9);
+    k.extend_from_slice(base);
+    k.push(b'@');
+    k.extend_from_slice(&session.to_le_bytes());
+    k
+}
+
+/// Adds `delta` to the windowed count bucket of `base` at `session`.
+pub fn windowed_incr(
+    store: &TdStore,
+    base: &[u8],
+    session: u64,
+    delta: f64,
+) -> Result<f64, StoreError> {
+    store.incr_f64(&session_key(base, session), delta)
+}
+
+/// Sums the last `window` session buckets of `base` ending at
+/// `current_session` (pass `window = 0` for the un-windowed bucket).
+pub fn windowed_sum(
+    store: &TdStore,
+    base: &[u8],
+    current_session: u64,
+    window: usize,
+) -> Result<f64, StoreError> {
+    if window == 0 {
+        return Ok(store
+            .get_f64(&session_key(base, u64::MAX))?
+            .unwrap_or(0.0));
+    }
+    let mut total = 0.0;
+    let oldest = current_session.saturating_sub(window as u64 - 1);
+    for session in oldest..=current_session {
+        total += store.get_f64(&session_key(base, session))?.unwrap_or(0.0);
+    }
+    Ok(total)
+}
+
+/// Deletes windowed count buckets whose session is older than
+/// `current_session - window + 1` for every key under `prefix`. Returns
+/// the number of buckets removed.
+///
+/// The sliding-window counts write one store key per `(base, session)`;
+/// expired sessions stop being *read* immediately (the window sum skips
+/// them) but their buckets linger. Production systems run this as a
+/// periodic maintenance task to bound store size.
+pub fn gc_expired_sessions(
+    store: &TdStore,
+    prefix: &[u8],
+    current_session: u64,
+    window: usize,
+) -> Result<usize, StoreError> {
+    if window == 0 {
+        return Ok(0); // unbounded counts: nothing expires
+    }
+    let oldest_kept = current_session.saturating_sub(window as u64 - 1);
+    let mut removed = 0;
+    for (key, _) in store.scan_prefix(prefix)? {
+        // Keys end with `@<session:8 bytes LE>`.
+        if key.len() < 9 || key[key.len() - 9] != b'@' {
+            continue;
+        }
+        let session = u64::from_le_bytes(key[key.len() - 8..].try_into().expect("8 bytes"));
+        if session != u64::MAX && session < oldest_kept && store.delete(&key)? {
+            removed += 1;
+        }
+    }
+    Ok(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdstore::StoreConfig;
+
+    #[test]
+    fn history_round_trip() {
+        let entries = vec![(1u64, 2.5f64, 100u64), (9, 5.0, 200)];
+        assert_eq!(decode_history(&encode_history(&entries)), entries);
+        assert!(decode_history(&[]).is_empty());
+    }
+
+    #[test]
+    fn sim_list_round_trip() {
+        let entries = vec![(3u64, 0.9f64), (7, 0.5)];
+        assert_eq!(decode_sim_list(&encode_sim_list(&entries)), entries);
+    }
+
+    #[test]
+    fn update_sim_list_keeps_order_and_k() {
+        let raw = update_sim_list(None, 1, 0.5, 2);
+        let raw = update_sim_list(Some(&raw), 2, 0.9, 2);
+        let raw = update_sim_list(Some(&raw), 3, 0.7, 2);
+        assert_eq!(decode_sim_list(&raw), vec![(2, 0.9), (3, 0.7)]);
+        // Updating an existing entry reorders.
+        let raw = update_sim_list(Some(&raw), 3, 0.95, 2);
+        assert_eq!(decode_sim_list(&raw), vec![(3, 0.95), (2, 0.9)]);
+        // Dropping to zero removes.
+        let raw = update_sim_list(Some(&raw), 3, 0.0, 2);
+        assert_eq!(decode_sim_list(&raw), vec![(2, 0.9)]);
+    }
+
+    #[test]
+    fn threshold_semantics() {
+        assert_eq!(sim_list_threshold(None, 2), 0.0);
+        let raw = update_sim_list(None, 1, 0.5, 2);
+        assert_eq!(sim_list_threshold(Some(&raw), 2), 0.0, "not full");
+        let raw = update_sim_list(Some(&raw), 2, 0.8, 2);
+        assert_eq!(sim_list_threshold(Some(&raw), 2), 0.5);
+    }
+
+    #[test]
+    fn windowed_counts_in_store() {
+        let store = TdStore::new(StoreConfig::default());
+        windowed_incr(&store, b"ic:7", 10, 2.0).unwrap();
+        windowed_incr(&store, b"ic:7", 11, 3.0).unwrap();
+        windowed_incr(&store, b"ic:7", 20, 5.0).unwrap();
+        // Window of 3 sessions ending at 12 sees sessions 10..=12.
+        assert_eq!(windowed_sum(&store, b"ic:7", 12, 3).unwrap(), 5.0);
+        // Window ending at 20 sees only session 20.
+        assert_eq!(windowed_sum(&store, b"ic:7", 20, 3).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn gc_removes_only_expired_buckets() {
+        let store = TdStore::new(StoreConfig::default());
+        windowed_incr(&store, b"ic:1", 5, 1.0).unwrap();
+        windowed_incr(&store, b"ic:1", 9, 1.0).unwrap();
+        windowed_incr(&store, b"ic:1", 10, 1.0).unwrap();
+        windowed_incr(&store, b"ic:2", 2, 1.0).unwrap();
+        // Window of 3 ending at session 10 keeps sessions 8..=10.
+        let removed = gc_expired_sessions(&store, b"ic:", 10, 3).unwrap();
+        assert_eq!(removed, 2, "sessions 5 and 2 expire");
+        assert_eq!(windowed_sum(&store, b"ic:1", 10, 3).unwrap(), 2.0);
+        assert_eq!(store.len().unwrap(), 2);
+    }
+
+    #[test]
+    fn gc_ignores_unwindowed_buckets() {
+        let store = TdStore::new(StoreConfig::default());
+        windowed_incr(&store, b"ic:7", u64::MAX, 3.0).unwrap();
+        assert_eq!(gc_expired_sessions(&store, b"ic:", 1_000, 2).unwrap(), 0);
+        assert_eq!(windowed_sum(&store, b"ic:7", 0, 0).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn gc_noop_for_unbounded_window() {
+        let store = TdStore::new(StoreConfig::default());
+        windowed_incr(&store, b"ic:7", 3, 1.0).unwrap();
+        assert_eq!(gc_expired_sessions(&store, b"ic:", 100, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn unwindowed_bucket() {
+        let store = TdStore::new(StoreConfig::default());
+        windowed_incr(&store, b"ic:9", u64::MAX, 1.5).unwrap();
+        windowed_incr(&store, b"ic:9", u64::MAX, 1.5).unwrap();
+        assert_eq!(windowed_sum(&store, b"ic:9", 0, 0).unwrap(), 3.0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Consumer group member: polls assigned partitions, tracks offsets.
+
+use crate::error::AccessError;
+use crate::master::{PartitionId, TopicMeta};
+use crate::message::Message;
+use crate::AccessCluster;
+use std::collections::HashMap;
+
+/// One member of a consumer group. `poll` reads from the partitions the
+/// master assigned to this member, advancing per-partition offsets so each
+/// message is delivered once within the group.
+pub struct Consumer {
+    cluster: AccessCluster,
+    meta: TopicMeta,
+    group: String,
+    member: u64,
+    offsets: HashMap<PartitionId, u64>,
+    /// Round-robin cursor over assigned partitions for fairness.
+    cursor: usize,
+}
+
+impl Consumer {
+    pub(crate) fn new(
+        cluster: AccessCluster,
+        meta: TopicMeta,
+        group: String,
+        member: u64,
+    ) -> Self {
+        Consumer {
+            cluster,
+            meta,
+            group,
+            member,
+            offsets: HashMap::new(),
+            cursor: 0,
+        }
+    }
+
+    /// This member's id within its group.
+    pub fn member_id(&self) -> u64 {
+        self.member
+    }
+
+    /// Reads up to `max` messages across the member's assigned partitions,
+    /// fairly round-robining between them. Returns an empty vec when all
+    /// assigned partitions are exhausted.
+    pub fn poll(&mut self, max: usize) -> Result<Vec<Message>, AccessError> {
+        let assigned =
+            self.cluster
+                .group_assignment(&self.meta.name, &self.group, self.member)?;
+        if assigned.is_empty() || max == 0 {
+            return Ok(Vec::new());
+        }
+        let mut out = Vec::new();
+        let n = assigned.len();
+        for i in 0..n {
+            if out.len() >= max {
+                break;
+            }
+            let pid = assigned[(self.cursor + i) % n];
+            let from = *self.offsets.entry(pid).or_insert(0);
+            let broker_id = self.cluster.route(&self.meta.name, pid)?;
+            let broker = self.cluster.broker(broker_id)?;
+            let batch = broker.read(&self.meta.name, pid, from, max - out.len())?;
+            if let Some(last) = batch.last() {
+                self.offsets.insert(pid, last.offset + 1);
+            }
+            out.extend(batch);
+        }
+        self.cursor = (self.cursor + 1) % n;
+        Ok(out)
+    }
+
+    /// Resets this member's offset for one partition (replay).
+    pub fn seek(&mut self, pid: PartitionId, offset: u64) {
+        self.offsets.insert(pid, offset);
+    }
+
+    /// Current committed offset for a partition (0 when never polled).
+    pub fn position(&self, pid: PartitionId) -> u64 {
+        self.offsets.get(&pid).copied().unwrap_or(0)
+    }
+
+    /// Messages retained but not yet consumed across this member's
+    /// assigned partitions (consumer lag).
+    pub fn lag(&self) -> Result<u64, AccessError> {
+        let assigned =
+            self.cluster
+                .group_assignment(&self.meta.name, &self.group, self.member)?;
+        let mut total = 0;
+        for pid in assigned {
+            let broker = self.cluster.broker(self.cluster.route(&self.meta.name, pid)?)?;
+            let end = broker.partition_end_offset(&self.meta.name, pid)?;
+            total += end.saturating_sub(self.position(pid));
+        }
+        Ok(total)
+    }
+}
+
+impl Drop for Consumer {
+    fn drop(&mut self) {
+        self.cluster
+            .leave_group(&self.meta.name, &self.group, self.member);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{AccessCluster, ClusterConfig};
+
+    #[test]
+    fn two_members_split_the_topic() {
+        let cluster = AccessCluster::new(ClusterConfig::default());
+        cluster.create_topic("t", 4).unwrap();
+        let p = cluster.producer("t").unwrap();
+        for i in 0..40u32 {
+            p.send(None, &i.to_le_bytes()).unwrap();
+        }
+        let mut a = cluster.consumer("t", "g").unwrap();
+        let mut b = cluster.consumer("t", "g").unwrap();
+        let got_a = a.poll(100).unwrap();
+        let got_b = b.poll(100).unwrap();
+        assert_eq!(got_a.len() + got_b.len(), 40);
+        assert!(!got_a.is_empty() && !got_b.is_empty());
+    }
+
+    #[test]
+    fn member_leave_hands_partitions_to_survivor() {
+        let cluster = AccessCluster::new(ClusterConfig::default());
+        cluster.create_topic("t", 2).unwrap();
+        let p = cluster.producer("t").unwrap();
+        for i in 0..10u32 {
+            p.send(None, &i.to_le_bytes()).unwrap();
+        }
+        let mut a = cluster.consumer("t", "g").unwrap();
+        {
+            let _b = cluster.consumer("t", "g").unwrap();
+            // `a` only gets one partition while `b` is alive.
+            assert_eq!(a.poll(100).unwrap().len(), 5);
+        } // b dropped -> leaves group
+        assert_eq!(a.poll(100).unwrap().len(), 5, "takes over b's partition");
+    }
+
+    #[test]
+    fn seek_replays() {
+        let cluster = AccessCluster::new(ClusterConfig::default());
+        cluster.create_topic("t", 1).unwrap();
+        let p = cluster.producer("t").unwrap();
+        for i in 0..5u32 {
+            p.send(None, &i.to_le_bytes()).unwrap();
+        }
+        let mut c = cluster.consumer("t", "g").unwrap();
+        assert_eq!(c.poll(100).unwrap().len(), 5);
+        assert_eq!(c.position(0), 5);
+        c.seek(0, 0);
+        assert_eq!(c.poll(100).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn lag_tracks_unconsumed_messages() {
+        let cluster = AccessCluster::new(ClusterConfig::default());
+        cluster.create_topic("t", 2).unwrap();
+        let p = cluster.producer("t").unwrap();
+        for i in 0..10u32 {
+            p.send(None, &i.to_le_bytes()).unwrap();
+        }
+        let mut c = cluster.consumer("t", "g").unwrap();
+        assert_eq!(c.lag().unwrap(), 10);
+        c.poll(4).unwrap();
+        assert_eq!(c.lag().unwrap(), 6);
+        while !c.poll(100).unwrap().is_empty() {}
+        assert_eq!(c.lag().unwrap(), 0);
+    }
+
+    #[test]
+    fn poll_zero_returns_empty() {
+        let cluster = AccessCluster::new(ClusterConfig::default());
+        cluster.create_topic("t", 1).unwrap();
+        let mut c = cluster.consumer("t", "g").unwrap();
+        assert!(c.poll(0).unwrap().is_empty());
+    }
+}

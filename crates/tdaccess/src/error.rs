@@ -1,0 +1,46 @@
+//! Error type for TDAccess operations.
+
+use crate::broker::BrokerId;
+use std::fmt;
+
+/// Errors returned by cluster, producer and consumer operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessError {
+    /// The topic already exists.
+    TopicExists(String),
+    /// The topic is not registered with the master.
+    UnknownTopic(String),
+    /// The partition id is out of range for the topic.
+    UnknownPartition(String, u32),
+    /// The addressed data server is down or unknown.
+    BrokerUnavailable(BrokerId),
+    /// A disk spill or disk read failed.
+    Io(String),
+    /// A topic must have at least one partition.
+    ZeroPartitions(String),
+}
+
+impl fmt::Display for AccessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessError::TopicExists(t) => write!(f, "topic `{t}` already exists"),
+            AccessError::UnknownTopic(t) => write!(f, "unknown topic `{t}`"),
+            AccessError::UnknownPartition(t, p) => {
+                write!(f, "unknown partition {p} of topic `{t}`")
+            }
+            AccessError::BrokerUnavailable(id) => write!(f, "data server {id} unavailable"),
+            AccessError::Io(e) => write!(f, "io error: {e}"),
+            AccessError::ZeroPartitions(t) => {
+                write!(f, "topic `{t}` must have at least one partition")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AccessError {}
+
+impl From<std::io::Error> for AccessError {
+    fn from(e: std::io::Error) -> Self {
+        AccessError::Io(e.to_string())
+    }
+}

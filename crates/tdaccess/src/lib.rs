@@ -1,0 +1,302 @@
+#![warn(missing_docs)]
+//! # tdaccess — Tencent Data Access
+//!
+//! Reproduction of the paper's TDAccess component (§3.2): a unified
+//! publish/subscribe layer decoupling data sources from the stream
+//! processing system.
+//!
+//! * Topics are split into **partitions** spread over **data servers**
+//!   (brokers); producers and consumers work in partition parallelism.
+//! * Data servers share nothing; an active/standby **master** pair keeps
+//!   the route table and balances partitions over brokers and consumers.
+//! * Partitions are **segmented append-only logs**. Unlike a transient
+//!   message queue, data is retained (optionally spilled to disk with
+//!   sequential reads/writes) so late or offline consumers can replay —
+//!   the paper's "unconditional availability".
+//! * Consumer groups track per-partition offsets; within a partition,
+//!   delivery order equals append order.
+//!
+//! ```
+//! use tdaccess::{AccessCluster, ClusterConfig};
+//! let cluster = AccessCluster::new(ClusterConfig { brokers: 3, ..Default::default() });
+//! cluster.create_topic("user_actions", 4).unwrap();
+//! let producer = cluster.producer("user_actions").unwrap();
+//! producer.send(Some(b"user42"), b"clicked item 7").unwrap();
+//! let mut consumer = cluster.consumer("user_actions", "recommender").unwrap();
+//! let batch = consumer.poll(10).unwrap();
+//! assert_eq!(batch.len(), 1);
+//! assert_eq!(&batch[0].payload[..], b"clicked item 7");
+//! ```
+
+mod broker;
+mod consumer;
+mod error;
+mod master;
+mod message;
+mod producer;
+mod segment;
+
+pub use broker::{Broker, BrokerId};
+pub use consumer::Consumer;
+pub use error::AccessError;
+pub use master::{MasterServer, MasterState, PartitionId, TopicMeta};
+pub use message::Message;
+pub use producer::Producer;
+pub use segment::{Partition, Segment, SegmentConfig};
+
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// Cluster-wide configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of data servers.
+    pub brokers: usize,
+    /// Segment sizing/spill behaviour for every partition.
+    pub segment: SegmentConfig,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            brokers: 2,
+            segment: SegmentConfig::default(),
+        }
+    }
+}
+
+/// An in-process TDAccess cluster: brokers plus an active/standby master
+/// pair. Cheap to clone (shared state).
+#[derive(Clone)]
+pub struct AccessCluster {
+    inner: Arc<ClusterInner>,
+}
+
+struct ClusterInner {
+    brokers: Vec<Broker>,
+    /// Index 0 = active, 1 = standby; swapped on failover.
+    masters: RwLock<[MasterServer; 2]>,
+    segment: SegmentConfig,
+}
+
+impl AccessCluster {
+    /// Builds a cluster with `config.brokers` data servers.
+    pub fn new(config: ClusterConfig) -> Self {
+        assert!(config.brokers > 0, "need at least one broker");
+        let brokers: Vec<Broker> = (0..config.brokers)
+            .map(|i| Broker::new(i as BrokerId))
+            .collect();
+        let broker_ids: Vec<BrokerId> = brokers.iter().map(|b| b.id()).collect();
+        let state = MasterState::new(broker_ids);
+        let masters = [
+            MasterServer::new_active(state.clone()),
+            MasterServer::new_standby(state),
+        ];
+        AccessCluster {
+            inner: Arc::new(ClusterInner {
+                brokers,
+                masters: RwLock::new(masters),
+                segment: config.segment,
+            }),
+        }
+    }
+
+    /// Registers a topic with `partitions` partitions, assigning each to a
+    /// broker via the active master.
+    pub fn create_topic(&self, topic: &str, partitions: usize) -> Result<(), AccessError> {
+        let assignment = {
+            let mut masters = self.inner.masters.write();
+            masters[0].create_topic(topic, partitions)?
+        };
+        for (pid, broker_id) in assignment {
+            self.broker(broker_id)?
+                .create_partition(topic, pid, self.inner.segment.clone());
+        }
+        Ok(())
+    }
+
+    /// A producer handle for `topic`.
+    pub fn producer(&self, topic: &str) -> Result<Producer, AccessError> {
+        let meta = self.topic_meta(topic)?;
+        Ok(Producer::new(self.clone(), meta))
+    }
+
+    /// A consumer handle for `topic` in consumer `group`. Each handle is a
+    /// group *member*; partitions are balanced over the group's members by
+    /// the master.
+    pub fn consumer(&self, topic: &str, group: &str) -> Result<Consumer, AccessError> {
+        let meta = self.topic_meta(topic)?;
+        let member = {
+            let mut masters = self.inner.masters.write();
+            masters[0].join_group(topic, group)?
+        };
+        Ok(Consumer::new(self.clone(), meta, group.to_string(), member))
+    }
+
+    /// Current metadata for `topic`.
+    pub fn topic_meta(&self, topic: &str) -> Result<TopicMeta, AccessError> {
+        self.inner.masters.read()[0].topic_meta(topic)
+    }
+
+    /// Partition assignment for one member of a consumer group.
+    pub(crate) fn group_assignment(
+        &self,
+        topic: &str,
+        group: &str,
+        member: u64,
+    ) -> Result<Vec<PartitionId>, AccessError> {
+        self.inner.masters.read()[0].group_assignment(topic, group, member)
+    }
+
+    /// Removes a member from a consumer group (rebalances the rest).
+    pub(crate) fn leave_group(&self, topic: &str, group: &str, member: u64) {
+        let mut masters = self.inner.masters.write();
+        masters[0].leave_group(topic, group, member);
+    }
+
+    pub(crate) fn broker(&self, id: BrokerId) -> Result<&Broker, AccessError> {
+        self.inner
+            .brokers
+            .get(id as usize)
+            .filter(|b| b.is_alive())
+            .ok_or(AccessError::BrokerUnavailable(id))
+    }
+
+    /// Broker hosting a given partition, per the active master's routes.
+    pub(crate) fn route(&self, topic: &str, pid: PartitionId) -> Result<BrokerId, AccessError> {
+        self.inner.masters.read()[0].route(topic, pid)
+    }
+
+    /// Kills the active master; the standby takes over with the shared
+    /// replicated state ("an active server and a standby server").
+    pub fn fail_over_master(&self) {
+        let mut masters = self.inner.masters.write();
+        masters.swap(0, 1);
+        masters[0].promote();
+        masters[1].demote();
+    }
+
+    /// Whether the currently active master started as the standby.
+    pub fn active_master_is_former_standby(&self) -> bool {
+        self.inner.masters.read()[0].started_as_standby()
+    }
+
+    /// Number of brokers.
+    pub fn broker_count(&self) -> usize {
+        self.inner.brokers.len()
+    }
+
+    /// Total number of messages retained across all partitions of `topic`.
+    pub fn topic_len(&self, topic: &str) -> Result<u64, AccessError> {
+        let meta = self.topic_meta(topic)?;
+        let mut total = 0;
+        for pid in 0..meta.partitions {
+            let broker = self.broker(self.route(topic, pid)?)?;
+            total += broker.partition_end_offset(topic, pid)?;
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_produce_consume() {
+        let cluster = AccessCluster::new(ClusterConfig::default());
+        cluster.create_topic("t", 3).unwrap();
+        let producer = cluster.producer("t").unwrap();
+        for i in 0..100u32 {
+            producer
+                .send(Some(&i.to_le_bytes()), format!("m{i}").as_bytes())
+                .unwrap();
+        }
+        let mut consumer = cluster.consumer("t", "g").unwrap();
+        let mut got = Vec::new();
+        loop {
+            let batch = consumer.poll(17).unwrap();
+            if batch.is_empty() {
+                break;
+            }
+            got.extend(batch);
+        }
+        assert_eq!(got.len(), 100);
+    }
+
+    #[test]
+    fn keyed_messages_preserve_order() {
+        let cluster = AccessCluster::new(ClusterConfig::default());
+        cluster.create_topic("t", 4).unwrap();
+        let producer = cluster.producer("t").unwrap();
+        for i in 0..50u32 {
+            producer.send(Some(b"same-key"), &i.to_le_bytes()).unwrap();
+        }
+        let mut consumer = cluster.consumer("t", "g").unwrap();
+        let mut seen = Vec::new();
+        loop {
+            let batch = consumer.poll(8).unwrap();
+            if batch.is_empty() {
+                break;
+            }
+            for m in batch {
+                seen.push(u32::from_le_bytes(m.payload[..4].try_into().unwrap()));
+            }
+        }
+        assert_eq!(seen, (0..50).collect::<Vec<_>>(), "per-key order broken");
+    }
+
+    #[test]
+    fn independent_groups_see_all_messages() {
+        let cluster = AccessCluster::new(ClusterConfig::default());
+        cluster.create_topic("t", 2).unwrap();
+        let producer = cluster.producer("t").unwrap();
+        for i in 0..10u32 {
+            producer.send(None, &i.to_le_bytes()).unwrap();
+        }
+        let mut a = cluster.consumer("t", "ga").unwrap();
+        let mut b = cluster.consumer("t", "gb").unwrap();
+        assert_eq!(a.poll(100).unwrap().len(), 10);
+        assert_eq!(b.poll(100).unwrap().len(), 10);
+    }
+
+    #[test]
+    fn master_failover_preserves_routes() {
+        let cluster = AccessCluster::new(ClusterConfig::default());
+        cluster.create_topic("t", 3).unwrap();
+        let producer = cluster.producer("t").unwrap();
+        producer.send(Some(b"k"), b"before").unwrap();
+        cluster.fail_over_master();
+        assert!(cluster.active_master_is_former_standby());
+        producer.send(Some(b"k"), b"after").unwrap();
+        let mut c = cluster.consumer("t", "g").unwrap();
+        let mut msgs = Vec::new();
+        loop {
+            let batch = c.poll(10).unwrap();
+            if batch.is_empty() {
+                break;
+            }
+            msgs.extend(batch);
+        }
+        assert_eq!(msgs.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_topic_rejected() {
+        let cluster = AccessCluster::new(ClusterConfig::default());
+        cluster.create_topic("t", 1).unwrap();
+        assert!(matches!(
+            cluster.create_topic("t", 1),
+            Err(AccessError::TopicExists(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_topic_rejected() {
+        let cluster = AccessCluster::new(ClusterConfig::default());
+        assert!(matches!(
+            cluster.producer("ghost"),
+            Err(AccessError::UnknownTopic(_))
+        ));
+    }
+}

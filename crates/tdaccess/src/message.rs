@@ -1,0 +1,149 @@
+//! Message representation and binary framing for disk segments.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// A single record in a partition log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Offset within the partition (assigned at append).
+    pub offset: u64,
+    /// Milliseconds since the producer's epoch (caller-supplied clock).
+    pub timestamp_ms: u64,
+    /// Optional partitioning key.
+    pub key: Option<Bytes>,
+    /// Payload bytes.
+    pub payload: Bytes,
+}
+
+impl Message {
+    /// Approximate in-memory footprint, used for segment rolling.
+    pub fn size_bytes(&self) -> usize {
+        24 + self.key.as_ref().map_or(0, |k| k.len()) + self.payload.len()
+    }
+
+    /// Serialises the message with length-prefixed framing:
+    /// `offset:u64 | ts:u64 | key_len:i32 | key | payload_len:u32 | payload`
+    /// (key_len = -1 encodes "no key").
+    pub fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(self.offset);
+        buf.put_u64_le(self.timestamp_ms);
+        match &self.key {
+            None => buf.put_i32_le(-1),
+            Some(k) => {
+                buf.put_i32_le(k.len() as i32);
+                buf.put_slice(k);
+            }
+        }
+        buf.put_u32_le(self.payload.len() as u32);
+        buf.put_slice(&self.payload);
+    }
+
+    /// Decodes one message from `buf`, advancing it. Returns `None` when
+    /// the buffer does not hold a complete frame.
+    pub fn decode(buf: &mut Bytes) -> Option<Message> {
+        if buf.remaining() < 8 + 8 + 4 {
+            return None;
+        }
+        let offset = buf.get_u64_le();
+        let timestamp_ms = buf.get_u64_le();
+        let key_len = buf.get_i32_le();
+        let key = if key_len < 0 {
+            None
+        } else {
+            let key_len = key_len as usize;
+            if buf.remaining() < key_len {
+                return None;
+            }
+            Some(buf.copy_to_bytes(key_len))
+        };
+        if buf.remaining() < 4 {
+            return None;
+        }
+        let payload_len = buf.get_u32_le() as usize;
+        if buf.remaining() < payload_len {
+            return None;
+        }
+        let payload = buf.copy_to_bytes(payload_len);
+        Some(Message {
+            offset,
+            timestamp_ms,
+            key,
+            payload,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(m: &Message) -> Message {
+        let mut buf = BytesMut::new();
+        m.encode(&mut buf);
+        let mut bytes = buf.freeze();
+        Message::decode(&mut bytes).expect("complete frame")
+    }
+
+    #[test]
+    fn encode_decode_with_key() {
+        let m = Message {
+            offset: 42,
+            timestamp_ms: 1234,
+            key: Some(Bytes::from_static(b"user-7")),
+            payload: Bytes::from_static(b"clicked item 9"),
+        };
+        assert_eq!(roundtrip(&m), m);
+    }
+
+    #[test]
+    fn encode_decode_without_key() {
+        let m = Message {
+            offset: 0,
+            timestamp_ms: 0,
+            key: None,
+            payload: Bytes::from_static(b""),
+        };
+        assert_eq!(roundtrip(&m), m);
+    }
+
+    #[test]
+    fn decode_incomplete_returns_none() {
+        let m = Message {
+            offset: 1,
+            timestamp_ms: 2,
+            key: Some(Bytes::from_static(b"k")),
+            payload: Bytes::from_static(b"p"),
+        };
+        let mut buf = BytesMut::new();
+        m.encode(&mut buf);
+        let full = buf.freeze();
+        for cut in 0..full.len() {
+            let mut partial = full.slice(..cut);
+            assert!(
+                Message::decode(&mut partial).is_none(),
+                "cut at {cut} should be incomplete"
+            );
+        }
+    }
+
+    #[test]
+    fn multiple_frames_decode_in_sequence() {
+        let mut buf = BytesMut::new();
+        for i in 0..5u64 {
+            Message {
+                offset: i,
+                timestamp_ms: i * 10,
+                key: None,
+                payload: Bytes::from(vec![i as u8; i as usize]),
+            }
+            .encode(&mut buf);
+        }
+        let mut bytes = buf.freeze();
+        for i in 0..5u64 {
+            let m = Message::decode(&mut bytes).unwrap();
+            assert_eq!(m.offset, i);
+            assert_eq!(m.payload.len(), i as usize);
+        }
+        assert!(Message::decode(&mut bytes).is_none());
+    }
+}

@@ -1,0 +1,326 @@
+//! Segmented append-only partition logs.
+//!
+//! A partition is a sequence of segments. The active segment accumulates
+//! messages in memory; when it reaches its size bound it is sealed and,
+//! if a spill directory is configured, written to disk with one sequential
+//! write (the paper: "we utilize sequential operations to accelerate the
+//! speed of reads and writes to the largest extent"). Reads address
+//! messages by offset and stream them back in order regardless of which
+//! segments are hot or spilled.
+
+use crate::error::AccessError;
+use crate::message::Message;
+use bytes::{Bytes, BytesMut};
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Sizing and spill policy for segments.
+#[derive(Debug, Clone)]
+pub struct SegmentConfig {
+    /// Seal the active segment after this many messages.
+    pub max_messages: usize,
+    /// ... or after this many payload bytes, whichever comes first.
+    pub max_bytes: usize,
+    /// When set, sealed segments are written here and evicted from memory.
+    pub spill_dir: Option<PathBuf>,
+}
+
+impl Default for SegmentConfig {
+    fn default() -> Self {
+        SegmentConfig {
+            max_messages: 4096,
+            max_bytes: 4 << 20,
+            spill_dir: None,
+        }
+    }
+}
+
+enum SegmentData {
+    /// Resident in memory.
+    Hot(Vec<Message>),
+    /// Sealed and written to disk; holds the message count.
+    Spilled { path: PathBuf, count: usize },
+}
+
+/// One log segment: a contiguous offset range of a partition.
+pub struct Segment {
+    base_offset: u64,
+    bytes: usize,
+    data: SegmentData,
+}
+
+impl Segment {
+    fn new(base_offset: u64) -> Self {
+        Segment {
+            base_offset,
+            bytes: 0,
+            data: SegmentData::Hot(Vec::new()),
+        }
+    }
+
+    /// First offset in this segment.
+    pub fn base_offset(&self) -> u64 {
+        self.base_offset
+    }
+
+    /// Number of messages in this segment.
+    pub fn len(&self) -> usize {
+        match &self.data {
+            SegmentData::Hot(v) => v.len(),
+            SegmentData::Spilled { count, .. } => *count,
+        }
+    }
+
+    /// True when the segment holds no messages.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the segment has been spilled to disk.
+    pub fn is_spilled(&self) -> bool {
+        matches!(self.data, SegmentData::Spilled { .. })
+    }
+
+    fn append(&mut self, msg: Message) {
+        let SegmentData::Hot(v) = &mut self.data else {
+            panic!("append to sealed segment");
+        };
+        self.bytes += msg.size_bytes();
+        v.push(msg);
+    }
+
+    fn full(&self, config: &SegmentConfig) -> bool {
+        self.len() >= config.max_messages || self.bytes >= config.max_bytes
+    }
+
+    /// Seals the segment; spills to `path` when provided.
+    fn seal(&mut self, path: Option<PathBuf>) -> Result<(), AccessError> {
+        let SegmentData::Hot(v) = &mut self.data else {
+            return Ok(());
+        };
+        let Some(path) = path else {
+            return Ok(()); // stays hot, just no longer active
+        };
+        let mut buf = BytesMut::with_capacity(self.bytes + v.len() * 24);
+        for m in v.iter() {
+            m.encode(&mut buf);
+        }
+        let count = v.len();
+        let mut file = fs::File::create(&path)?;
+        file.write_all(&buf)?;
+        file.sync_all()?;
+        self.data = SegmentData::Spilled { path, count };
+        Ok(())
+    }
+
+    /// Copies messages with offsets in `[from, from+max)` into `out`,
+    /// in offset order.
+    fn read_into(
+        &self,
+        from: u64,
+        max: usize,
+        out: &mut Vec<Message>,
+    ) -> Result<(), AccessError> {
+        if max == 0 {
+            return Ok(());
+        }
+        match &self.data {
+            SegmentData::Hot(v) => {
+                let skip = from.saturating_sub(self.base_offset) as usize;
+                out.extend(v.iter().skip(skip).take(max).cloned());
+            }
+            SegmentData::Spilled { path, .. } => {
+                let raw = fs::read(path)?;
+                let mut bytes = Bytes::from(raw);
+                while let Some(m) = Message::decode(&mut bytes) {
+                    if m.offset >= from {
+                        out.push(m);
+                        if out.len() >= max {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A partition: ordered segments plus the next offset to assign.
+pub struct Partition {
+    name: String,
+    config: SegmentConfig,
+    segments: Vec<Segment>,
+    next_offset: u64,
+}
+
+impl Partition {
+    /// Creates an empty partition. `name` (e.g. `"actions-3"`) prefixes
+    /// spill file names.
+    pub fn new(name: &str, config: SegmentConfig) -> Self {
+        if let Some(dir) = &config.spill_dir {
+            let _ = fs::create_dir_all(dir);
+        }
+        Partition {
+            name: name.to_string(),
+            config,
+            segments: vec![Segment::new(0)],
+            next_offset: 0,
+        }
+    }
+
+    /// Appends a record, returning its offset.
+    pub fn append(
+        &mut self,
+        key: Option<Bytes>,
+        payload: Bytes,
+        timestamp_ms: u64,
+    ) -> Result<u64, AccessError> {
+        let offset = self.next_offset;
+        self.next_offset += 1;
+        let active = self.segments.last_mut().expect("always one segment");
+        active.append(Message {
+            offset,
+            timestamp_ms,
+            key,
+            payload,
+        });
+        if active.full(&self.config) {
+            let spill_path = self.config.spill_dir.as_ref().map(|d| {
+                d.join(format!("{}-{:020}.seg", self.name, active.base_offset()))
+            });
+            active.seal(spill_path)?;
+            self.segments.push(Segment::new(self.next_offset));
+        }
+        Ok(offset)
+    }
+
+    /// Reads up to `max` messages starting at offset `from`.
+    pub fn read(&self, from: u64, max: usize) -> Result<Vec<Message>, AccessError> {
+        let mut out = Vec::new();
+        // Binary search for the first segment that can contain `from`.
+        let start = match self
+            .segments
+            .binary_search_by(|s| s.base_offset().cmp(&from))
+        {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        };
+        for seg in &self.segments[start..] {
+            if out.len() >= max {
+                break;
+            }
+            seg.read_into(from, max - out.len(), &mut out)?;
+        }
+        Ok(out)
+    }
+
+    /// Offset that the next appended message will receive.
+    pub fn end_offset(&self) -> u64 {
+        self.next_offset
+    }
+
+    /// Number of segments (spilled + hot).
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Number of spilled segments.
+    pub fn spilled_count(&self) -> usize {
+        self.segments.iter().filter(|s| s.is_spilled()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> SegmentConfig {
+        SegmentConfig {
+            max_messages: 4,
+            max_bytes: usize::MAX,
+            spill_dir: None,
+        }
+    }
+
+    #[test]
+    fn append_assigns_sequential_offsets() {
+        let mut p = Partition::new("t-0", small_config());
+        for i in 0..10 {
+            let off = p
+                .append(None, Bytes::from(format!("m{i}")), i)
+                .unwrap();
+            assert_eq!(off, i);
+        }
+        assert_eq!(p.end_offset(), 10);
+    }
+
+    #[test]
+    fn rolls_segments_at_max_messages() {
+        let mut p = Partition::new("t-0", small_config());
+        for i in 0..9u64 {
+            p.append(None, Bytes::from_static(b"x"), i).unwrap();
+        }
+        assert_eq!(p.segment_count(), 3, "9 messages / 4 per segment");
+    }
+
+    #[test]
+    fn read_spans_segments() {
+        let mut p = Partition::new("t-0", small_config());
+        for i in 0..10u64 {
+            p.append(None, Bytes::from(vec![i as u8]), i).unwrap();
+        }
+        let msgs = p.read(2, 6).unwrap();
+        assert_eq!(msgs.len(), 6);
+        assert_eq!(
+            msgs.iter().map(|m| m.offset).collect::<Vec<_>>(),
+            vec![2, 3, 4, 5, 6, 7]
+        );
+    }
+
+    #[test]
+    fn read_past_end_is_empty() {
+        let mut p = Partition::new("t-0", small_config());
+        p.append(None, Bytes::from_static(b"x"), 0).unwrap();
+        assert!(p.read(5, 10).unwrap().is_empty());
+    }
+
+    #[test]
+    fn spills_to_disk_and_reads_back() {
+        let dir = std::env::temp_dir().join(format!("tdaccess-test-{}", std::process::id()));
+        let config = SegmentConfig {
+            max_messages: 4,
+            max_bytes: usize::MAX,
+            spill_dir: Some(dir.clone()),
+        };
+        let mut p = Partition::new("spill-0", config);
+        for i in 0..10u64 {
+            p.append(Some(Bytes::from(vec![i as u8])), Bytes::from(format!("payload-{i}")), i)
+                .unwrap();
+        }
+        assert!(p.spilled_count() >= 2, "two sealed segments should spill");
+        let msgs = p.read(0, 100).unwrap();
+        assert_eq!(msgs.len(), 10);
+        for (i, m) in msgs.iter().enumerate() {
+            assert_eq!(m.offset, i as u64);
+            assert_eq!(m.payload, Bytes::from(format!("payload-{i}")));
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn rolls_on_byte_budget() {
+        let config = SegmentConfig {
+            max_messages: usize::MAX,
+            max_bytes: 100,
+            spill_dir: None,
+        };
+        let mut p = Partition::new("t-0", config);
+        for i in 0..10u64 {
+            p.append(None, Bytes::from(vec![0u8; 40]), i).unwrap();
+        }
+        assert!(p.segment_count() > 1);
+    }
+}

@@ -1,0 +1,310 @@
+//! FDB: append-only log file with an in-memory index.
+//!
+//! Every put/delete appends a framed record to the log; an in-memory map
+//! tracks the latest offset per key. Reopening replays the log, so data
+//! survives process restarts. `flush` rewrites the log keeping only live
+//! records (compaction).
+//!
+//! Record framing: `key_len:u32 | key | val_len:i32 | value` where
+//! `val_len = -1` marks a delete.
+
+use super::StorageEngine;
+use crate::error::StoreError;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+
+struct FdbInner {
+    file: File,
+    /// key → (value offset, value length) into the log file.
+    index: HashMap<Vec<u8>, (u64, u32)>,
+    /// Current append position.
+    end: u64,
+}
+
+/// File-backed engine.
+pub struct FdbEngine {
+    path: PathBuf,
+    inner: Mutex<FdbInner>,
+}
+
+impl FdbEngine {
+    /// Opens (or creates) the log at `path`, replaying existing records.
+    pub fn open(path: PathBuf) -> Result<Self, StoreError> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let mut raw = Vec::new();
+        file.read_to_end(&mut raw)?;
+        let mut index = HashMap::new();
+        let mut pos = 0usize;
+        while pos + 8 <= raw.len() {
+            let key_len = u32::from_le_bytes(raw[pos..pos + 4].try_into().unwrap()) as usize;
+            pos += 4;
+            if pos + key_len + 4 > raw.len() {
+                break; // truncated tail record: ignore
+            }
+            let key = raw[pos..pos + key_len].to_vec();
+            pos += key_len;
+            let val_len = i32::from_le_bytes(raw[pos..pos + 4].try_into().unwrap());
+            pos += 4;
+            if val_len < 0 {
+                index.remove(&key);
+            } else {
+                let val_len = val_len as usize;
+                if pos + val_len > raw.len() {
+                    break;
+                }
+                index.insert(key, (pos as u64, val_len as u32));
+                pos += val_len;
+            }
+        }
+        let end = pos as u64;
+        // Drop any torn tail record so a shorter future append cannot
+        // leave stale bytes that replay might misparse.
+        file.set_len(end)?;
+        file.seek(SeekFrom::Start(end))?;
+        Ok(FdbEngine {
+            path,
+            inner: Mutex::new(FdbInner { file, index, end }),
+        })
+    }
+
+    fn append(inner: &mut FdbInner, key: &[u8], value: Option<&[u8]>) -> std::io::Result<()> {
+        let mut rec =
+            Vec::with_capacity(8 + key.len() + value.map_or(0, <[u8]>::len));
+        rec.extend_from_slice(&(key.len() as u32).to_le_bytes());
+        rec.extend_from_slice(key);
+        match value {
+            None => rec.extend_from_slice(&(-1i32).to_le_bytes()),
+            Some(v) => {
+                rec.extend_from_slice(&(v.len() as i32).to_le_bytes());
+                let value_offset = inner.end + rec.len() as u64;
+                rec.extend_from_slice(v);
+                inner
+                    .index
+                    .insert(key.to_vec(), (value_offset, v.len() as u32));
+            }
+        }
+        if value.is_none() {
+            inner.index.remove(key);
+        }
+        inner.file.write_all(&rec)?;
+        inner.end += rec.len() as u64;
+        Ok(())
+    }
+
+    fn read_at(inner: &mut FdbInner, offset: u64, len: u32) -> std::io::Result<Vec<u8>> {
+        let mut buf = vec![0u8; len as usize];
+        inner.file.seek(SeekFrom::Start(offset))?;
+        inner.file.read_exact(&mut buf)?;
+        inner.file.seek(SeekFrom::Start(inner.end))?;
+        Ok(buf)
+    }
+}
+
+impl StorageEngine for FdbEngine {
+    fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        let mut inner = self.inner.lock();
+        let (off, len) = *inner.index.get(key)?;
+        Self::read_at(&mut inner, off, len).ok()
+    }
+
+    fn put(&self, key: &[u8], value: Vec<u8>) {
+        let mut inner = self.inner.lock();
+        Self::append(&mut inner, key, Some(&value)).expect("fdb append");
+    }
+
+    fn delete(&self, key: &[u8]) -> bool {
+        let mut inner = self.inner.lock();
+        let existed = inner.index.contains_key(key);
+        if existed {
+            Self::append(&mut inner, key, None).expect("fdb append");
+        }
+        existed
+    }
+
+    fn update(&self, key: &[u8], f: &mut super::UpdateFn<'_>) -> Option<Vec<u8>> {
+        let mut inner = self.inner.lock();
+        let old = inner
+            .index
+            .get(key)
+            .copied()
+            .and_then(|(off, len)| Self::read_at(&mut inner, off, len).ok());
+        let new = f(old.as_deref());
+        Self::append(&mut inner, key, new.as_deref()).expect("fdb append");
+        new
+    }
+
+    fn len(&self) -> usize {
+        self.inner.lock().index.len()
+    }
+
+    fn scan_prefix(&self, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let mut inner = self.inner.lock();
+        let hits: Vec<(Vec<u8>, (u64, u32))> = inner
+            .index
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(k, &loc)| (k.clone(), loc))
+            .collect();
+        hits.into_iter()
+            .filter_map(|(k, (off, len))| {
+                Self::read_at(&mut inner, off, len).ok().map(|v| (k, v))
+            })
+            .collect()
+    }
+
+    /// Compaction: rewrites the log with only live records.
+    fn flush(&self) {
+        let mut inner = self.inner.lock();
+        let live: Vec<(Vec<u8>, Vec<u8>)> = {
+            let keys: Vec<(Vec<u8>, (u64, u32))> = inner
+                .index
+                .iter()
+                .map(|(k, &loc)| (k.clone(), loc))
+                .collect();
+            keys.into_iter()
+                .filter_map(|(k, (off, len))| {
+                    Self::read_at(&mut inner, off, len).ok().map(|v| (k, v))
+                })
+                .collect()
+        };
+        let tmp = self.path.with_extension("compact");
+        {
+            let file = OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&tmp)
+                .expect("create compact file");
+            inner.file = file;
+            inner.end = 0;
+            inner.index.clear();
+            for (k, v) in live {
+                Self::append(&mut inner, &k, Some(&v)).expect("fdb compact append");
+            }
+            inner.file.sync_all().ok();
+        }
+        std::fs::rename(&tmp, &self.path).expect("swap compacted log");
+        // Reopen the renamed file for continued appends.
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&self.path)
+            .expect("reopen compacted log");
+        file.seek(SeekFrom::Start(inner.end)).expect("seek end");
+        inner.file = file;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::conformance;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "fdb-test-{}-{}-{tag}.fdb",
+            std::process::id(),
+            std::thread::current().name().unwrap_or("t").replace("::", "-")
+        ))
+    }
+
+    fn open(tag: &str) -> FdbEngine {
+        let p = temp_path(tag);
+        let _ = std::fs::remove_file(&p);
+        FdbEngine::open(p).unwrap()
+    }
+
+    #[test]
+    fn conformance_suite() {
+        conformance::basic_crud(&open("crud"));
+        conformance::update_semantics(&open("update"));
+        conformance::prefix_scan(&open("scan"));
+        conformance::many_keys(&open("many"));
+    }
+
+    #[test]
+    fn reopen_replays_log() {
+        let p = temp_path("reopen");
+        let _ = std::fs::remove_file(&p);
+        {
+            let e = FdbEngine::open(p.clone()).unwrap();
+            e.put(b"a", vec![1]);
+            e.put(b"b", vec![2]);
+            e.delete(b"a");
+            e.put(b"c", vec![3, 3]);
+        }
+        let e = FdbEngine::open(p.clone()).unwrap();
+        assert!(e.get(b"a").is_none());
+        assert_eq!(e.get(b"b"), Some(vec![2]));
+        assert_eq!(e.get(b"c"), Some(vec![3, 3]));
+        assert_eq!(e.len(), 2);
+        let _ = std::fs::remove_file(p);
+    }
+
+    #[test]
+    fn truncated_tail_record_is_ignored_on_reopen() {
+        // A crash mid-append leaves a partial record at the log tail;
+        // reopening must recover everything before it.
+        let p = temp_path("torn");
+        let _ = std::fs::remove_file(&p);
+        {
+            let e = FdbEngine::open(p.clone()).unwrap();
+            e.put(b"a", vec![1]);
+            e.put(b"b", vec![2, 2]);
+        }
+        // Simulate the torn write.
+        {
+            use std::io::Write;
+            let mut f = OpenOptions::new().append(true).open(&p).unwrap();
+            f.write_all(&(5u32).to_le_bytes()).unwrap(); // key_len
+            f.write_all(b"par").unwrap(); // ...but only 3 key bytes
+        }
+        let e = FdbEngine::open(p.clone()).unwrap();
+        assert_eq!(e.get(b"a"), Some(vec![1]));
+        assert_eq!(e.get(b"b"), Some(vec![2, 2]));
+        assert_eq!(e.len(), 2);
+        // And the log remains appendable afterwards.
+        e.put(b"c", vec![3]);
+        drop(e);
+        let e2 = FdbEngine::open(p.clone()).unwrap();
+        assert_eq!(e2.get(b"c"), Some(vec![3]));
+        let _ = std::fs::remove_file(p);
+    }
+
+    #[test]
+    fn compaction_shrinks_log_and_preserves_data() {
+        let p = temp_path("compact");
+        let _ = std::fs::remove_file(&p);
+        let e = FdbEngine::open(p.clone()).unwrap();
+        for round in 0..10u8 {
+            for i in 0..20u32 {
+                e.put(&i.to_le_bytes(), vec![round; 32]);
+            }
+        }
+        let before = std::fs::metadata(&p).unwrap().len();
+        e.flush();
+        let after = std::fs::metadata(&p).unwrap().len();
+        assert!(after < before / 5, "compaction should drop dead records");
+        for i in 0..20u32 {
+            assert_eq!(e.get(&i.to_le_bytes()), Some(vec![9; 32]));
+        }
+        // Still writable after compaction, and replayable.
+        e.put(b"post", vec![7]);
+        drop(e);
+        let e2 = FdbEngine::open(p.clone()).unwrap();
+        assert_eq!(e2.get(b"post"), Some(vec![7]));
+        assert_eq!(e2.len(), 21);
+        let _ = std::fs::remove_file(p);
+    }
+}

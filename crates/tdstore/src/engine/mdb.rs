@@ -1,0 +1,126 @@
+//! MDB: sharded in-memory hash map engine.
+//!
+//! The default engine for recommendation status data: the paper stores the
+//! hot `itemCount`/`pairCount`/similar-items state in a "distributed
+//! memory-based key-value storage". Sharding by key hash keeps lock
+//! contention low under the many-writer access pattern of the topology.
+
+use super::StorageEngine;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Sharded hash-map engine.
+pub struct MdbEngine {
+    shards: Vec<Mutex<HashMap<Vec<u8>, Vec<u8>>>>,
+}
+
+impl MdbEngine {
+    /// Engine with `shards` independent locks (rounded up to a power of
+    /// two).
+    pub fn new(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        MdbEngine {
+            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, key: &[u8]) -> &Mutex<HashMap<Vec<u8>, Vec<u8>>> {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in key {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        &self.shards[(h as usize) & (self.shards.len() - 1)]
+    }
+}
+
+impl StorageEngine for MdbEngine {
+    fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        self.shard(key).lock().get(key).cloned()
+    }
+
+    fn put(&self, key: &[u8], value: Vec<u8>) {
+        self.shard(key).lock().insert(key.to_vec(), value);
+    }
+
+    fn delete(&self, key: &[u8]) -> bool {
+        self.shard(key).lock().remove(key).is_some()
+    }
+
+    fn update(&self, key: &[u8], f: &mut super::UpdateFn<'_>) -> Option<Vec<u8>> {
+        let mut shard = self.shard(key).lock();
+        let new = f(shard.get(key).map(Vec::as_slice));
+        match new {
+            Some(v) => {
+                shard.insert(key.to_vec(), v.clone());
+                Some(v)
+            }
+            None => {
+                shard.remove(key);
+                None
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    fn scan_prefix(&self, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock();
+            for (k, v) in shard.iter() {
+                if k.starts_with(prefix) {
+                    out.push((k.clone(), v.clone()));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::conformance;
+    use std::sync::Arc;
+
+    #[test]
+    fn conformance_suite() {
+        conformance::basic_crud(&MdbEngine::new(4));
+        conformance::update_semantics(&MdbEngine::new(4));
+        conformance::prefix_scan(&MdbEngine::new(4));
+        conformance::many_keys(&MdbEngine::new(4));
+    }
+
+    #[test]
+    fn single_shard_works() {
+        conformance::basic_crud(&MdbEngine::new(1));
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_increments() {
+        let engine = Arc::new(MdbEngine::new(8));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let e = Arc::clone(&engine);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        e.update(b"counter", &mut |old| {
+                            let n = old
+                                .map(|v| u64::from_le_bytes(v.try_into().unwrap()))
+                                .unwrap_or(0);
+                            Some((n + 1).to_le_bytes().to_vec())
+                        });
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let v = engine.get(b"counter").unwrap();
+        assert_eq!(u64::from_le_bytes(v.try_into().unwrap()), 8000);
+    }
+}

@@ -1,0 +1,156 @@
+//! Pluggable storage engines. The paper's data servers support MDB
+//! (memory), LDB (LevelDB-style log-structured), RDB and FDB (file) — here
+//! MDB, LDB and FDB are implemented from scratch behind one trait.
+
+mod fdb;
+mod ldb;
+mod mdb;
+mod rdb;
+
+pub use fdb::FdbEngine;
+pub use ldb::LdbEngine;
+pub use mdb::MdbEngine;
+pub use rdb::RdbEngine;
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// The closure form used by [`StorageEngine::update`].
+pub type UpdateFn<'a> = dyn FnMut(Option<&[u8]>) -> Option<Vec<u8>> + 'a;
+
+/// Uniform engine interface. All methods are linearisable per key: an
+/// engine must make `update` atomic with respect to concurrent access to
+/// the same key.
+pub trait StorageEngine: Send + Sync {
+    /// Current value for `key`.
+    fn get(&self, key: &[u8]) -> Option<Vec<u8>>;
+
+    /// Stores `value` under `key`.
+    fn put(&self, key: &[u8], value: Vec<u8>);
+
+    /// Removes `key`; returns whether it was present.
+    fn delete(&self, key: &[u8]) -> bool;
+
+    /// Atomic read-modify-write: `f` maps the current value to the new one
+    /// (`None` result deletes the key). Returns the new value.
+    fn update(&self, key: &[u8], f: &mut UpdateFn<'_>) -> Option<Vec<u8>>;
+
+    /// Number of live keys.
+    fn len(&self) -> usize;
+
+    /// Whether the engine holds no keys.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All `(key, value)` pairs whose key starts with `prefix`, unordered.
+    fn scan_prefix(&self, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)>;
+
+    /// Flushes buffered state (no-op for pure-memory engines).
+    fn flush(&self) {}
+}
+
+/// Which engine a store should use for its data instances.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Sharded in-memory hash map (the paper's Memory DataBase).
+    Mdb,
+    /// Memtable + sorted immutable runs with tombstones (Level DataBase).
+    Ldb,
+    /// Ordered in-memory map with range scans (Redis DataBase).
+    Rdb,
+    /// Append-only log file with in-memory index (File DataBase); files
+    /// live under the given directory.
+    Fdb(PathBuf),
+}
+
+impl EngineKind {
+    /// Instantiates an engine for data instance `instance_id`.
+    pub fn create(&self, instance_id: u32) -> Arc<dyn StorageEngine> {
+        match self {
+            EngineKind::Mdb => Arc::new(MdbEngine::new(16)),
+            EngineKind::Ldb => Arc::new(LdbEngine::new(Default::default())),
+            EngineKind::Rdb => Arc::new(RdbEngine::new()),
+            EngineKind::Fdb(dir) => Arc::new(
+                FdbEngine::open(dir.join(format!("instance-{instance_id}.fdb")))
+                    .expect("open fdb log"),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod conformance {
+    //! Shared behavioural test-suite run against every engine.
+
+    use super::StorageEngine;
+
+    pub(crate) fn basic_crud(engine: &dyn StorageEngine) {
+        assert!(engine.get(b"a").is_none());
+        engine.put(b"a", vec![1]);
+        assert_eq!(engine.get(b"a"), Some(vec![1]));
+        engine.put(b"a", vec![2]);
+        assert_eq!(engine.get(b"a"), Some(vec![2]));
+        assert_eq!(engine.len(), 1);
+        assert!(engine.delete(b"a"));
+        assert!(!engine.delete(b"a"));
+        assert!(engine.get(b"a").is_none());
+        assert_eq!(engine.len(), 0);
+        assert!(engine.is_empty());
+    }
+
+    pub(crate) fn update_semantics(engine: &dyn StorageEngine) {
+        // Insert through update.
+        let v = engine.update(b"ctr", &mut |old| {
+            assert!(old.is_none());
+            Some(vec![1])
+        });
+        assert_eq!(v, Some(vec![1]));
+        // Increment through update.
+        let v = engine.update(b"ctr", &mut |old| {
+            let mut v = old.unwrap().to_vec();
+            v[0] += 1;
+            Some(v)
+        });
+        assert_eq!(v, Some(vec![2]));
+        assert_eq!(engine.get(b"ctr"), Some(vec![2]));
+        // Delete through update.
+        let v = engine.update(b"ctr", &mut |_| None);
+        assert_eq!(v, None);
+        assert!(engine.get(b"ctr").is_none());
+        assert_eq!(engine.len(), 0);
+    }
+
+    pub(crate) fn prefix_scan(engine: &dyn StorageEngine) {
+        engine.put(b"item:1", vec![1]);
+        engine.put(b"item:2", vec![2]);
+        engine.put(b"pair:1", vec![3]);
+        let mut items = engine.scan_prefix(b"item:");
+        items.sort();
+        assert_eq!(
+            items,
+            vec![
+                (b"item:1".to_vec(), vec![1]),
+                (b"item:2".to_vec(), vec![2])
+            ]
+        );
+        assert_eq!(engine.scan_prefix(b"zzz").len(), 0);
+        assert_eq!(engine.scan_prefix(b"").len(), 3);
+    }
+
+    pub(crate) fn many_keys(engine: &dyn StorageEngine) {
+        for i in 0..1000u32 {
+            engine.put(&i.to_le_bytes(), i.to_le_bytes().to_vec());
+        }
+        assert_eq!(engine.len(), 1000);
+        for i in (0..1000u32).step_by(7) {
+            assert_eq!(engine.get(&i.to_le_bytes()), Some(i.to_le_bytes().to_vec()));
+        }
+        for i in (0..1000u32).step_by(2) {
+            engine.delete(&i.to_le_bytes());
+        }
+        assert_eq!(engine.len(), 500);
+        assert!(engine.get(&4u32.to_le_bytes()).is_none());
+        assert!(engine.get(&5u32.to_le_bytes()).is_some());
+    }
+}

@@ -1,0 +1,40 @@
+//! Error type for TDStore operations.
+
+use std::fmt;
+
+/// Errors returned by the TDStore client and servers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The addressed data server is down.
+    ServerDown(u32),
+    /// No data server is available to host an instance.
+    NoServers,
+    /// An instance id is not in the route table.
+    UnknownInstance(u32),
+    /// A disk operation failed (FDB engine).
+    Io(String),
+    /// An instance has no live replica left.
+    InstanceLost(u32),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::ServerDown(id) => write!(f, "data server {id} is down"),
+            StoreError::NoServers => write!(f, "no data servers available"),
+            StoreError::UnknownInstance(i) => write!(f, "unknown data instance {i}"),
+            StoreError::Io(e) => write!(f, "io error: {e}"),
+            StoreError::InstanceLost(i) => {
+                write!(f, "data instance {i} has no live replica")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e.to_string())
+    }
+}

@@ -1,0 +1,468 @@
+#![warn(missing_docs)]
+//! # tdstore — Tencent Data Store
+//!
+//! Reproduction of the paper's TDStore (§3.3): a distributed memory-based
+//! key-value store holding the recommendation *status data* (user
+//! histories, `itemCount`s, `pairCount`s, similar-item lists), so that the
+//! stream topology itself can stay state-free and fail fast.
+//!
+//! * A **config-server pair** owns the route table; clients fetch it once
+//!   and then talk to data servers directly.
+//! * The key space is split into **data instances**; each instance has a
+//!   host replica and a slave replica on different data servers, so "almost
+//!   all the data servers are providing service simultaneously".
+//! * Hosts notify slaves after updates and the slave applies them "when
+//!   idle" — reproduced as an explicit sync queue with configurable
+//!   auto-sync, so the lazy-replication window is testable.
+//! * Storage engines are pluggable: [`engine::MdbEngine`] (sharded memory),
+//!   [`engine::LdbEngine`] (log-structured), [`engine::FdbEngine`]
+//!   (file-backed).
+//!
+//! ```
+//! use tdstore::{StoreConfig, TdStore};
+//! let store = TdStore::new(StoreConfig::default());
+//! store.put(b"item_count:42", 3.5f64.to_le_bytes().to_vec()).unwrap();
+//! store.incr_f64(b"item_count:42", 1.5).unwrap();
+//! assert_eq!(store.get_f64(b"item_count:42").unwrap(), Some(5.0));
+//! ```
+
+pub mod engine;
+mod error;
+mod route;
+mod server;
+
+pub use engine::{EngineKind, FdbEngine, LdbEngine, MdbEngine, RdbEngine, StorageEngine};
+pub use error::StoreError;
+pub use route::{ConfigServers, InstanceId, InstanceRoute, RouteTable, ServerId};
+pub use server::DataServer;
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Store construction parameters.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Number of data servers.
+    pub servers: u32,
+    /// Number of data instances (key-space shards).
+    pub instances: u32,
+    /// Keep a slave replica per instance.
+    pub replicated: bool,
+    /// Engine used by every replica.
+    pub engine: EngineKind,
+    /// Auto-drain the replication queue after this many writes
+    /// (0 = only on explicit [`TdStore::sync`]).
+    pub sync_every: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            servers: 4,
+            instances: 16,
+            replicated: true,
+            engine: EngineKind::Mdb,
+            sync_every: 256,
+        }
+    }
+}
+
+struct SyncOp {
+    instance: InstanceId,
+    key: Vec<u8>,
+    /// `None` = delete.
+    value: Option<Vec<u8>>,
+}
+
+struct StoreInner {
+    config_servers: ConfigServers,
+    servers: Vec<Arc<DataServer>>,
+    engine: EngineKind,
+    pending: Mutex<Vec<SyncOp>>,
+    writes_since_sync: AtomicUsize,
+    sync_every: usize,
+}
+
+/// An instance id paired with its host engine (internal routing result).
+type RoutedEngine = (InstanceId, Arc<dyn StorageEngine>);
+
+/// A set of raw `(key, value)` pairs returned by scans.
+pub type KvPairs = Vec<(Vec<u8>, Vec<u8>)>;
+
+/// Client handle to a TDStore deployment. Cheap to clone.
+#[derive(Clone)]
+pub struct TdStore {
+    inner: Arc<StoreInner>,
+}
+
+impl TdStore {
+    /// Builds an in-process deployment per `config`.
+    pub fn new(config: StoreConfig) -> Self {
+        assert!(config.servers > 0 && config.instances > 0);
+        let table = RouteTable::new(config.instances, config.servers, config.replicated);
+        let servers: Vec<Arc<DataServer>> = (0..config.servers)
+            .map(|i| Arc::new(DataServer::new(i)))
+            .collect();
+        for instance in 0..config.instances {
+            let route = table.get(instance).expect("instance in table").clone();
+            servers[route.host as usize].ensure_replica(instance, &config.engine);
+            if let Some(slave) = route.slave {
+                servers[slave as usize].ensure_replica(instance, &config.engine);
+            }
+        }
+        TdStore {
+            inner: Arc::new(StoreInner {
+                config_servers: ConfigServers::new(table),
+                servers,
+                engine: config.engine,
+                pending: Mutex::new(Vec::new()),
+                writes_since_sync: AtomicUsize::new(0),
+                sync_every: config.sync_every,
+            }),
+        }
+    }
+
+    fn host_engine(&self, key: &[u8]) -> Result<RoutedEngine, StoreError> {
+        let instance = self.inner.config_servers.instance_for(key);
+        let route = self.inner.config_servers.route(instance)?;
+        let engine = self.inner.servers[route.host as usize].replica(instance)?;
+        Ok((instance, engine))
+    }
+
+    fn record_write(&self, instance: InstanceId, key: &[u8], value: Option<Vec<u8>>) {
+        self.inner.pending.lock().push(SyncOp {
+            instance,
+            key: key.to_vec(),
+            value,
+        });
+        if self.inner.sync_every > 0
+            && self.inner.writes_since_sync.fetch_add(1, Ordering::Relaxed) + 1
+                >= self.inner.sync_every
+        {
+            self.sync();
+        }
+    }
+
+    /// Reads a value.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, StoreError> {
+        let (_, engine) = self.host_engine(key)?;
+        Ok(engine.get(key))
+    }
+
+    /// Writes a value.
+    pub fn put(&self, key: &[u8], value: Vec<u8>) -> Result<(), StoreError> {
+        let (instance, engine) = self.host_engine(key)?;
+        engine.put(key, value.clone());
+        self.record_write(instance, key, Some(value));
+        Ok(())
+    }
+
+    /// Deletes a key; returns whether it existed.
+    pub fn delete(&self, key: &[u8]) -> Result<bool, StoreError> {
+        let (instance, engine) = self.host_engine(key)?;
+        let existed = engine.delete(key);
+        self.record_write(instance, key, None);
+        Ok(existed)
+    }
+
+    /// Atomic read-modify-write on one key; returns the new value.
+    pub fn update(
+        &self,
+        key: &[u8],
+        mut f: impl FnMut(Option<&[u8]>) -> Option<Vec<u8>>,
+    ) -> Result<Option<Vec<u8>>, StoreError> {
+        let (instance, engine) = self.host_engine(key)?;
+        let new = engine.update(key, &mut f);
+        self.record_write(instance, key, new.clone());
+        Ok(new)
+    }
+
+    /// Typed helper: reads a little-endian `f64`.
+    pub fn get_f64(&self, key: &[u8]) -> Result<Option<f64>, StoreError> {
+        Ok(self
+            .get(key)?
+            .and_then(|v| v.as_slice().try_into().ok().map(f64::from_le_bytes)))
+    }
+
+    /// Typed helper: atomically adds `delta` to an `f64` (missing = 0);
+    /// returns the new value.
+    pub fn incr_f64(&self, key: &[u8], delta: f64) -> Result<f64, StoreError> {
+        let new = self.update(key, |old| {
+            let cur = old
+                .and_then(|v| v.try_into().ok().map(f64::from_le_bytes))
+                .unwrap_or(0.0);
+            Some((cur + delta).to_le_bytes().to_vec())
+        })?;
+        Ok(new
+            .and_then(|v| v.as_slice().try_into().ok().map(f64::from_le_bytes))
+            .expect("update always writes"))
+    }
+
+    /// Reads many keys in one call (the paper's data servers are sized
+    /// for "the large amount of reads and writes"; batching amortises the
+    /// routing work). Results align with `keys`; missing keys yield
+    /// `None`.
+    pub fn batch_get(&self, batch: &[&[u8]]) -> Result<Vec<Option<Vec<u8>>>, StoreError> {
+        batch.iter().map(|key| self.get(key)).collect()
+    }
+
+    /// Writes many `(key, value)` pairs in one call.
+    pub fn batch_put(&self, batch: Vec<(Vec<u8>, Vec<u8>)>) -> Result<(), StoreError> {
+        for (key, value) in batch {
+            self.put(&key, value)?;
+        }
+        Ok(())
+    }
+
+    /// All `(key, value)` pairs with the given key prefix, across all
+    /// instances (unordered).
+    pub fn scan_prefix(&self, prefix: &[u8]) -> Result<KvPairs, StoreError> {
+        let mut out = Vec::new();
+        for instance in 0..self.inner.config_servers.instances() {
+            let route = self.inner.config_servers.route(instance)?;
+            let engine = self.inner.servers[route.host as usize].replica(instance)?;
+            out.extend(engine.scan_prefix(prefix));
+        }
+        Ok(out)
+    }
+
+    /// Total number of live keys (host replicas).
+    pub fn len(&self) -> Result<usize, StoreError> {
+        let mut total = 0;
+        for instance in 0..self.inner.config_servers.instances() {
+            let route = self.inner.config_servers.route(instance)?;
+            total += self.inner.servers[route.host as usize]
+                .replica(instance)?
+                .len();
+        }
+        Ok(total)
+    }
+
+    /// Whether the store holds no keys.
+    pub fn is_empty(&self) -> Result<bool, StoreError> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Drains the replication queue: applies every pending host write to
+    /// the corresponding slave replica ("the slave data server will update
+    /// its data when idle").
+    pub fn sync(&self) {
+        let ops: Vec<SyncOp> = std::mem::take(&mut *self.inner.pending.lock());
+        self.inner.writes_since_sync.store(0, Ordering::Relaxed);
+        for op in ops {
+            let Ok(route) = self.inner.config_servers.route(op.instance) else {
+                continue;
+            };
+            let Some(slave) = route.slave else { continue };
+            let Ok(engine) = self.inner.servers[slave as usize].replica(op.instance) else {
+                continue;
+            };
+            match op.value {
+                Some(v) => engine.put(&op.key, v),
+                None => {
+                    engine.delete(&op.key);
+                }
+            }
+        }
+    }
+
+    /// Number of writes not yet replicated.
+    pub fn pending_sync_ops(&self) -> usize {
+        self.inner.pending.lock().len()
+    }
+
+    /// Kills data server `id` and fails over every instance it hosted to
+    /// its slave; new slaves are provisioned and re-seeded from the new
+    /// hosts. Writes that were never synced are lost — exactly the
+    /// real-world lazy-replication window.
+    pub fn kill_server(&self, id: ServerId) -> Result<(), StoreError> {
+        self.inner.servers[id as usize].kill();
+        let alive: Vec<ServerId> = self
+            .inner
+            .servers
+            .iter()
+            .filter(|s| s.is_alive())
+            .map(|s| s.id())
+            .collect();
+        if alive.is_empty() {
+            return Err(StoreError::NoServers);
+        }
+        let changed = self.inner.config_servers.fail_server(id, &alive)?;
+        // Re-seed new slaves from their (possibly just-promoted) hosts.
+        for (instance, host, slave) in changed {
+            let host_engine = self.inner.servers[host as usize].replica(instance)?;
+            if let Some(slave) = slave {
+                let server = &self.inner.servers[slave as usize];
+                server.ensure_replica(instance, &self.inner.engine);
+                let slave_engine = server.replica(instance)?;
+                for (k, v) in host_engine.scan_prefix(b"") {
+                    slave_engine.put(&k, v);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes every live replica engine.
+    pub fn flush(&self) {
+        for server in &self.inner.servers {
+            if !server.is_alive() {
+                continue;
+            }
+            for instance in 0..self.inner.config_servers.instances() {
+                if let Ok(engine) = server.replica(instance) {
+                    engine.flush();
+                }
+            }
+        }
+    }
+
+    /// Number of data servers (alive or dead).
+    pub fn server_count(&self) -> usize {
+        self.inner.servers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> TdStore {
+        TdStore::new(StoreConfig::default())
+    }
+
+    #[test]
+    fn basic_round_trip() {
+        let s = store();
+        assert!(s.get(b"k").unwrap().is_none());
+        s.put(b"k", vec![1, 2]).unwrap();
+        assert_eq!(s.get(b"k").unwrap(), Some(vec![1, 2]));
+        assert!(s.delete(b"k").unwrap());
+        assert!(!s.delete(b"k").unwrap());
+        assert!(s.is_empty().unwrap());
+    }
+
+    #[test]
+    fn f64_helpers() {
+        let s = store();
+        assert_eq!(s.incr_f64(b"c", 2.5).unwrap(), 2.5);
+        assert_eq!(s.incr_f64(b"c", -1.0).unwrap(), 1.5);
+        assert_eq!(s.get_f64(b"c").unwrap(), Some(1.5));
+        assert_eq!(s.get_f64(b"missing").unwrap(), None);
+    }
+
+    #[test]
+    fn scan_prefix_spans_instances() {
+        let s = store();
+        for i in 0..64u32 {
+            s.put(format!("item:{i}").as_bytes(), vec![i as u8])
+                .unwrap();
+            s.put(format!("pair:{i}").as_bytes(), vec![i as u8])
+                .unwrap();
+        }
+        assert_eq!(s.scan_prefix(b"item:").unwrap().len(), 64);
+        assert_eq!(s.len().unwrap(), 128);
+    }
+
+    #[test]
+    fn failover_after_sync_preserves_data() {
+        let cfg = StoreConfig {
+            sync_every: 0, // manual sync
+            ..Default::default()
+        };
+        let s = TdStore::new(cfg);
+        for i in 0..100u32 {
+            s.put(format!("k{i}").as_bytes(), vec![i as u8]).unwrap();
+        }
+        s.sync();
+        s.kill_server(0).unwrap();
+        for i in 0..100u32 {
+            assert_eq!(
+                s.get(format!("k{i}").as_bytes()).unwrap(),
+                Some(vec![i as u8]),
+                "key k{i} lost after failover"
+            );
+        }
+    }
+
+    #[test]
+    fn failover_without_sync_loses_only_unsynced_writes() {
+        let cfg = StoreConfig {
+            sync_every: 0,
+            ..Default::default()
+        };
+        let s = TdStore::new(cfg);
+        s.put(b"a", vec![1]).unwrap();
+        s.sync();
+        s.put(b"b", vec![2]).unwrap(); // never synced
+        s.kill_server(0).unwrap();
+        assert_eq!(s.get(b"a").unwrap(), Some(vec![1]));
+    }
+
+    #[test]
+    fn double_failover_with_enough_servers() {
+        let s = TdStore::new(StoreConfig {
+            servers: 4,
+            instances: 8,
+            replicated: true,
+            engine: EngineKind::Mdb,
+            sync_every: 1,
+        });
+        for i in 0..50u32 {
+            s.put(format!("k{i}").as_bytes(), vec![i as u8]).unwrap();
+        }
+        s.kill_server(0).unwrap();
+        s.kill_server(1).unwrap();
+        for i in 0..50u32 {
+            assert_eq!(
+                s.get(format!("k{i}").as_bytes()).unwrap(),
+                Some(vec![i as u8])
+            );
+        }
+    }
+
+    #[test]
+    fn auto_sync_triggers() {
+        let s = TdStore::new(StoreConfig {
+            sync_every: 10,
+            ..Default::default()
+        });
+        for i in 0..25u32 {
+            s.put(format!("k{i}").as_bytes(), vec![0]).unwrap();
+        }
+        assert!(s.pending_sync_ops() < 10);
+    }
+
+    #[test]
+    fn works_with_ldb_engine() {
+        let s = TdStore::new(StoreConfig {
+            engine: EngineKind::Ldb,
+            ..Default::default()
+        });
+        for i in 0..200u32 {
+            s.incr_f64(format!("c{}", i % 10).as_bytes(), 1.0).unwrap();
+        }
+        assert_eq!(s.get_f64(b"c3").unwrap(), Some(20.0));
+        s.flush();
+        assert_eq!(s.get_f64(b"c3").unwrap(), Some(20.0));
+    }
+
+    #[test]
+    fn batch_ops_round_trip() {
+        let s = store();
+        s.batch_put(vec![(b"a".to_vec(), vec![1]), (b"b".to_vec(), vec![2])])
+            .unwrap();
+        let got = s.batch_get(&[b"a", b"missing", b"b"]).unwrap();
+        assert_eq!(got, vec![Some(vec![1]), None, Some(vec![2])]);
+    }
+
+    #[test]
+    fn update_delete_via_none() {
+        let s = store();
+        s.put(b"k", vec![1]).unwrap();
+        let new = s.update(b"k", |_| None).unwrap();
+        assert!(new.is_none());
+        assert!(s.get(b"k").unwrap().is_none());
+    }
+}

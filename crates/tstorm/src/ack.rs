@@ -1,0 +1,287 @@
+//! XOR ack tracking, after Storm's acker design.
+//!
+//! Every root message emitted by a spout with a message id owns an entry in
+//! the acker. Each tuple-tree edge is a random 64-bit id; the entry keeps
+//! the XOR of all edge ids seen so far. Creating an edge and acking it each
+//! XOR the same id into the entry, so the entry reaches zero exactly when
+//! every edge has been both created and acked — regardless of arrival
+//! order. A sweep fails entries older than the message timeout.
+
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Control messages delivered to spout tasks.
+#[derive(Debug)]
+pub(crate) enum SpoutMsg {
+    Ack(u64),
+    Fail(u64),
+    /// Stop emitting new tuples but keep servicing acks.
+    Deactivate,
+    Shutdown,
+}
+
+#[derive(Debug)]
+pub(crate) enum AckerMsg {
+    /// Root created by spout `slot` with user message id `msg_id`;
+    /// `xor` folds the edge ids of the initial deliveries.
+    Init {
+        root: u64,
+        xor: u64,
+        slot: usize,
+        msg_id: u64,
+    },
+    /// XOR delta from a bolt completing an execute.
+    Xor { root: u64, xor: u64 },
+    /// Explicit failure of a tree.
+    Fail { root: u64 },
+    Shutdown,
+}
+
+struct Entry {
+    pending: u64,
+    init: bool,
+    slot: usize,
+    msg_id: u64,
+    created: Instant,
+}
+
+/// Runs the acker loop until shutdown. `pending_gauge` mirrors the number of
+/// live entries so the topology can detect quiescence.
+pub(crate) fn run_acker(
+    rx: Receiver<AckerMsg>,
+    spouts: Vec<Sender<SpoutMsg>>,
+    timeout: Duration,
+    pending_gauge: Arc<AtomicI64>,
+) {
+    let mut entries: HashMap<u64, Entry> = HashMap::new();
+    let sweep_every = timeout.min(Duration::from_millis(500)).max(Duration::from_millis(10));
+    let mut next_sweep = Instant::now() + sweep_every;
+    loop {
+        let wait = next_sweep.saturating_duration_since(Instant::now());
+        match rx.recv_timeout(wait) {
+            Ok(AckerMsg::Init {
+                root,
+                xor,
+                slot,
+                msg_id,
+            }) => {
+                let e = entries.entry(root).or_insert_with(|| {
+                    pending_gauge.fetch_add(1, Ordering::Relaxed);
+                    Entry {
+                        pending: 0,
+                        init: false,
+                        slot,
+                        msg_id,
+                        created: Instant::now(),
+                    }
+                });
+                e.init = true;
+                e.slot = slot;
+                e.msg_id = msg_id;
+                e.pending ^= xor;
+                if e.init && e.pending == 0 {
+                    let e = entries.remove(&root).expect("entry just inserted");
+                    pending_gauge.fetch_sub(1, Ordering::Relaxed);
+                    let _ = spouts[e.slot].send(SpoutMsg::Ack(e.msg_id));
+                }
+            }
+            Ok(AckerMsg::Xor { root, xor }) => {
+                let e = entries.entry(root).or_insert_with(|| {
+                    pending_gauge.fetch_add(1, Ordering::Relaxed);
+                    Entry {
+                        pending: 0,
+                        init: false,
+                        slot: 0,
+                        msg_id: 0,
+                        created: Instant::now(),
+                    }
+                });
+                e.pending ^= xor;
+                if e.init && e.pending == 0 {
+                    let e = entries.remove(&root).expect("entry just updated");
+                    pending_gauge.fetch_sub(1, Ordering::Relaxed);
+                    let _ = spouts[e.slot].send(SpoutMsg::Ack(e.msg_id));
+                }
+            }
+            Ok(AckerMsg::Fail { root }) => {
+                if let Some(e) = entries.remove(&root) {
+                    pending_gauge.fetch_sub(1, Ordering::Relaxed);
+                    if e.init {
+                        let _ = spouts[e.slot].send(SpoutMsg::Fail(e.msg_id));
+                    }
+                }
+            }
+            Ok(AckerMsg::Shutdown) => break,
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+        if Instant::now() >= next_sweep {
+            let now = Instant::now();
+            let expired: Vec<u64> = entries
+                .iter()
+                .filter(|(_, e)| now.duration_since(e.created) > timeout)
+                .map(|(&r, _)| r)
+                .collect();
+            for root in expired {
+                if let Some(e) = entries.remove(&root) {
+                    pending_gauge.fetch_sub(1, Ordering::Relaxed);
+                    if e.init {
+                        let _ = spouts[e.slot].send(SpoutMsg::Fail(e.msg_id));
+                    }
+                }
+            }
+            next_sweep = now + sweep_every;
+        }
+    }
+    pending_gauge.fetch_sub(entries.len() as i64, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+
+    fn setup(
+        timeout: Duration,
+    ) -> (
+        Sender<AckerMsg>,
+        Receiver<SpoutMsg>,
+        Arc<AtomicI64>,
+        std::thread::JoinHandle<()>,
+    ) {
+        let (tx, rx) = unbounded();
+        let (stx, srx) = unbounded();
+        let gauge = Arc::new(AtomicI64::new(0));
+        let g = Arc::clone(&gauge);
+        let h = std::thread::spawn(move || run_acker(rx, vec![stx], timeout, g));
+        (tx, srx, gauge, h)
+    }
+
+    #[test]
+    fn simple_tree_completes() {
+        let (tx, srx, gauge, h) = setup(Duration::from_secs(5));
+        // spout emits root 7 with one edge id 0xAB, msg id 42
+        tx.send(AckerMsg::Init {
+            root: 7,
+            xor: 0xAB,
+            slot: 0,
+            msg_id: 42,
+        })
+        .unwrap();
+        // bolt acks the edge (no children)
+        tx.send(AckerMsg::Xor { root: 7, xor: 0xAB }).unwrap();
+        match srx.recv_timeout(Duration::from_secs(2)).unwrap() {
+            SpoutMsg::Ack(42) => {}
+            other => panic!("expected Ack(42), got {other:?}"),
+        }
+        tx.send(AckerMsg::Shutdown).unwrap();
+        h.join().unwrap();
+        assert_eq!(gauge.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn out_of_order_xor_before_init() {
+        let (tx, srx, _g, h) = setup(Duration::from_secs(5));
+        tx.send(AckerMsg::Xor { root: 1, xor: 0x10 }).unwrap();
+        tx.send(AckerMsg::Init {
+            root: 1,
+            xor: 0x10,
+            slot: 0,
+            msg_id: 9,
+        })
+        .unwrap();
+        match srx.recv_timeout(Duration::from_secs(2)).unwrap() {
+            SpoutMsg::Ack(9) => {}
+            other => panic!("expected Ack(9), got {other:?}"),
+        }
+        tx.send(AckerMsg::Shutdown).unwrap();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn multi_edge_tree() {
+        let (tx, srx, _g, h) = setup(Duration::from_secs(5));
+        // root with two initial edges
+        tx.send(AckerMsg::Init {
+            root: 3,
+            xor: 0xA ^ 0xB,
+            slot: 0,
+            msg_id: 1,
+        })
+        .unwrap();
+        // first bolt acks edge 0xA and creates child edge 0xC
+        tx.send(AckerMsg::Xor {
+            root: 3,
+            xor: 0xA ^ 0xC,
+        })
+        .unwrap();
+        assert!(srx.try_recv().is_err(), "tree not complete yet");
+        // second bolt acks 0xB; third acks 0xC
+        tx.send(AckerMsg::Xor { root: 3, xor: 0xB }).unwrap();
+        tx.send(AckerMsg::Xor { root: 3, xor: 0xC }).unwrap();
+        match srx.recv_timeout(Duration::from_secs(2)).unwrap() {
+            SpoutMsg::Ack(1) => {}
+            other => panic!("expected Ack(1), got {other:?}"),
+        }
+        tx.send(AckerMsg::Shutdown).unwrap();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn explicit_fail_notifies_spout() {
+        let (tx, srx, _g, h) = setup(Duration::from_secs(5));
+        tx.send(AckerMsg::Init {
+            root: 5,
+            xor: 0x1,
+            slot: 0,
+            msg_id: 77,
+        })
+        .unwrap();
+        tx.send(AckerMsg::Fail { root: 5 }).unwrap();
+        match srx.recv_timeout(Duration::from_secs(2)).unwrap() {
+            SpoutMsg::Fail(77) => {}
+            other => panic!("expected Fail(77), got {other:?}"),
+        }
+        tx.send(AckerMsg::Shutdown).unwrap();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn timeout_fails_stale_tree() {
+        let (tx, srx, _g, h) = setup(Duration::from_millis(50));
+        tx.send(AckerMsg::Init {
+            root: 8,
+            xor: 0x2,
+            slot: 0,
+            msg_id: 11,
+        })
+        .unwrap();
+        match srx.recv_timeout(Duration::from_secs(2)).unwrap() {
+            SpoutMsg::Fail(11) => {}
+            other => panic!("expected timeout Fail(11), got {other:?}"),
+        }
+        tx.send(AckerMsg::Shutdown).unwrap();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn zero_edge_init_acks_immediately() {
+        let (tx, srx, _g, h) = setup(Duration::from_secs(5));
+        tx.send(AckerMsg::Init {
+            root: 9,
+            xor: 0,
+            slot: 0,
+            msg_id: 5,
+        })
+        .unwrap();
+        match srx.recv_timeout(Duration::from_secs(2)).unwrap() {
+            SpoutMsg::Ack(5) => {}
+            other => panic!("expected Ack(5), got {other:?}"),
+        }
+        tx.send(AckerMsg::Shutdown).unwrap();
+        h.join().unwrap();
+    }
+}

@@ -1,0 +1,360 @@
+//! Simulated cluster model: Nimbus, Supervisors and worker slots (the
+//! paper's Fig. 1).
+//!
+//! The executor in this crate runs everything in one process, but the
+//! placement and failure-recovery *logic* of a Storm cluster is modelled
+//! here so it can be tested: Nimbus assigns tasks to supervisor slots,
+//! keeps all state in a coordination store ("zookeeper"), and is fail-fast —
+//! killing and restarting Nimbus loses nothing, and supervisor failures
+//! trigger reassignment of only the affected tasks.
+
+use std::collections::BTreeMap;
+
+/// Identifier of a supervisor node.
+pub type SupervisorId = u32;
+
+/// A logical task: `(component, task_index)`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId {
+    /// Component name in the topology.
+    pub component: String,
+    /// Task index within the component.
+    pub index: usize,
+}
+
+/// A supervisor with a fixed number of worker slots.
+#[derive(Debug, Clone)]
+pub struct Supervisor {
+    /// Node identifier.
+    pub id: SupervisorId,
+    /// Worker slots this node offers.
+    pub slots: usize,
+    /// Whether the node is currently up.
+    pub alive: bool,
+}
+
+/// The replicated coordination state ("zookeeper"): survives Nimbus
+/// restarts by construction.
+#[derive(Debug, Clone, Default)]
+pub struct CoordinationStore {
+    /// Registered supervisors.
+    pub supervisors: BTreeMap<SupervisorId, Supervisor>,
+    /// Current task → supervisor assignment.
+    pub assignments: BTreeMap<TaskId, SupervisorId>,
+    /// Declared topology: component name → parallelism.
+    pub topology: BTreeMap<String, usize>,
+}
+
+/// Errors from cluster scheduling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// Total alive slots are fewer than total tasks.
+    InsufficientCapacity {
+        /// Tasks that need placement.
+        tasks: usize,
+        /// Alive worker slots available.
+        slots: usize,
+    },
+    /// The supervisor id is not registered.
+    UnknownSupervisor(SupervisorId),
+}
+
+/// The master scheduler. Nimbus itself is stateless: all decisions are
+/// written to (and on restart recovered from) the [`CoordinationStore`].
+pub struct Nimbus {
+    store: CoordinationStore,
+}
+
+impl Nimbus {
+    /// Fresh cluster with no supervisors.
+    pub fn new() -> Self {
+        Nimbus {
+            store: CoordinationStore::default(),
+        }
+    }
+
+    /// "Restarts" Nimbus from coordination state — the fail-fast property:
+    /// a recovered Nimbus is indistinguishable from the original.
+    pub fn recover(store: CoordinationStore) -> Self {
+        Nimbus { store }
+    }
+
+    /// Read access to the coordination state.
+    pub fn store(&self) -> &CoordinationStore {
+        &self.store
+    }
+
+    /// Registers a supervisor with `slots` worker slots.
+    pub fn add_supervisor(&mut self, id: SupervisorId, slots: usize) {
+        self.store.supervisors.insert(
+            id,
+            Supervisor {
+                id,
+                slots,
+                alive: true,
+            },
+        );
+    }
+
+    /// Declares (or replaces) the topology and assigns every task.
+    pub fn submit_topology(
+        &mut self,
+        components: impl IntoIterator<Item = (String, usize)>,
+    ) -> Result<(), ClusterError> {
+        self.store.topology = components.into_iter().collect();
+        self.store.assignments.clear();
+        self.schedule_unassigned()
+    }
+
+    fn all_tasks(&self) -> Vec<TaskId> {
+        self.store
+            .topology
+            .iter()
+            .flat_map(|(c, &p)| {
+                (0..p).map(move |i| TaskId {
+                    component: c.clone(),
+                    index: i,
+                })
+            })
+            .collect()
+    }
+
+    fn capacity(&self) -> usize {
+        self.store
+            .supervisors
+            .values()
+            .filter(|s| s.alive)
+            .map(|s| s.slots)
+            .sum()
+    }
+
+    fn load(&self, id: SupervisorId) -> usize {
+        self.store
+            .assignments
+            .values()
+            .filter(|&&s| s == id)
+            .count()
+    }
+
+    /// Assigns every currently unassigned task to the least-loaded alive
+    /// supervisor with free slots.
+    fn schedule_unassigned(&mut self) -> Result<(), ClusterError> {
+        let tasks = self.all_tasks();
+        let unassigned: Vec<TaskId> = tasks
+            .into_iter()
+            .filter(|t| !self.store.assignments.contains_key(t))
+            .collect();
+        let assigned = self.store.assignments.len();
+        if assigned + unassigned.len() > self.capacity() {
+            return Err(ClusterError::InsufficientCapacity {
+                tasks: assigned + unassigned.len(),
+                slots: self.capacity(),
+            });
+        }
+        for task in unassigned {
+            let target = self
+                .store
+                .supervisors
+                .values()
+                .filter(|s| s.alive && self.load(s.id) < s.slots)
+                .min_by_key(|s| (self.load(s.id), s.id))
+                .expect("capacity checked above")
+                .id;
+            self.store.assignments.insert(task, target);
+        }
+        Ok(())
+    }
+
+    /// Marks a supervisor dead and reassigns only its tasks.
+    /// Returns the reassigned tasks.
+    pub fn fail_supervisor(&mut self, id: SupervisorId) -> Result<Vec<TaskId>, ClusterError> {
+        let sup = self
+            .store
+            .supervisors
+            .get_mut(&id)
+            .ok_or(ClusterError::UnknownSupervisor(id))?;
+        sup.alive = false;
+        let orphaned: Vec<TaskId> = self
+            .store
+            .assignments
+            .iter()
+            .filter(|(_, &s)| s == id)
+            .map(|(t, _)| t.clone())
+            .collect();
+        for t in &orphaned {
+            self.store.assignments.remove(t);
+        }
+        self.schedule_unassigned()?;
+        Ok(orphaned)
+    }
+
+    /// Brings a supervisor back (its old tasks stay where they were moved).
+    pub fn revive_supervisor(&mut self, id: SupervisorId) -> Result<(), ClusterError> {
+        let sup = self
+            .store
+            .supervisors
+            .get_mut(&id)
+            .ok_or(ClusterError::UnknownSupervisor(id))?;
+        sup.alive = true;
+        Ok(())
+    }
+
+    /// Full rebalance: clears assignments and reschedules everything so
+    /// load is spread over all alive supervisors.
+    pub fn rebalance(&mut self) -> Result<(), ClusterError> {
+        self.store.assignments.clear();
+        self.schedule_unassigned()
+    }
+
+    /// Checks scheduling invariants: every task assigned exactly once, no
+    /// dead supervisor holds tasks, no supervisor exceeds its slots, and
+    /// load imbalance between alive supervisors is at most their slot
+    /// difference + 1.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let tasks = self.all_tasks();
+        for t in &tasks {
+            match self.store.assignments.get(t) {
+                None => return Err(format!("task {t:?} unassigned")),
+                Some(s) => {
+                    let sup = self
+                        .store
+                        .supervisors
+                        .get(s)
+                        .ok_or(format!("task {t:?} on unknown supervisor {s}"))?;
+                    if !sup.alive {
+                        return Err(format!("task {t:?} on dead supervisor {s}"));
+                    }
+                }
+            }
+        }
+        if self.store.assignments.len() != tasks.len() {
+            return Err("stale assignments for removed tasks".to_string());
+        }
+        for sup in self.store.supervisors.values() {
+            let load = self.load(sup.id);
+            if load > sup.slots {
+                return Err(format!(
+                    "supervisor {} over capacity: {load}/{}",
+                    sup.id, sup.slots
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for Nimbus {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(slots: &[usize]) -> Nimbus {
+        let mut n = Nimbus::new();
+        for (i, &s) in slots.iter().enumerate() {
+            n.add_supervisor(i as SupervisorId, s);
+        }
+        n
+    }
+
+    fn topo() -> Vec<(String, usize)> {
+        vec![
+            ("spout".to_string(), 2),
+            ("cf".to_string(), 4),
+            ("store".to_string(), 2),
+        ]
+    }
+
+    #[test]
+    fn submit_assigns_all_tasks() {
+        let mut n = cluster(&[4, 4, 4]);
+        n.submit_topology(topo()).unwrap();
+        n.check_invariants().unwrap();
+        assert_eq!(n.store().assignments.len(), 8);
+    }
+
+    #[test]
+    fn balanced_assignment() {
+        let mut n = cluster(&[8, 8]);
+        n.submit_topology(topo()).unwrap();
+        let l0 = n.load(0);
+        let l1 = n.load(1);
+        assert!((l0 as i64 - l1 as i64).abs() <= 1, "{l0} vs {l1}");
+    }
+
+    #[test]
+    fn insufficient_capacity_rejected() {
+        let mut n = cluster(&[3, 3]);
+        let err = n.submit_topology(topo()).unwrap_err();
+        assert_eq!(
+            err,
+            ClusterError::InsufficientCapacity { tasks: 8, slots: 6 }
+        );
+    }
+
+    #[test]
+    fn supervisor_failure_reassigns_only_orphans() {
+        let mut n = cluster(&[4, 4, 4]);
+        n.submit_topology(topo()).unwrap();
+        let before = n.store().assignments.clone();
+        let orphans = n.fail_supervisor(1).unwrap();
+        n.check_invariants().unwrap();
+        for (task, sup) in &n.store().assignments {
+            if !orphans.contains(task) {
+                assert_eq!(before[task], *sup, "non-orphan task moved: {task:?}");
+            } else {
+                assert_ne!(*sup, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn failure_without_spare_capacity_errors() {
+        let mut n = cluster(&[4, 4]);
+        n.submit_topology(topo()).unwrap();
+        assert!(matches!(
+            n.fail_supervisor(0),
+            Err(ClusterError::InsufficientCapacity { .. })
+        ));
+    }
+
+    #[test]
+    fn nimbus_restart_recovers_state() {
+        let mut n = cluster(&[4, 4, 4]);
+        n.submit_topology(topo()).unwrap();
+        let snapshot = n.store().clone();
+        // Nimbus "dies"; a new one recovers from coordination state.
+        let recovered = Nimbus::recover(snapshot);
+        recovered.check_invariants().unwrap();
+        assert_eq!(recovered.store().assignments, n.store().assignments);
+    }
+
+    #[test]
+    fn revive_and_rebalance_uses_new_capacity() {
+        let mut n = cluster(&[8, 8]);
+        n.submit_topology(topo()).unwrap();
+        n.fail_supervisor(0).unwrap();
+        assert_eq!(n.load(1), 8);
+        n.revive_supervisor(0).unwrap();
+        n.rebalance().unwrap();
+        n.check_invariants().unwrap();
+        assert!(n.load(0) >= 3, "rebalance should move tasks back");
+    }
+
+    #[test]
+    fn unknown_supervisor_errors() {
+        let mut n = cluster(&[4]);
+        assert_eq!(
+            n.fail_supervisor(9),
+            Err(ClusterError::UnknownSupervisor(9))
+        );
+        assert_eq!(
+            n.revive_supervisor(9),
+            Err(ClusterError::UnknownSupervisor(9))
+        );
+    }
+}

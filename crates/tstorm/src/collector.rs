@@ -1,0 +1,256 @@
+//! Output collectors: the emit path shared by spouts and bolts, including
+//! routing, anchoring and in-flight accounting.
+
+use crate::ack::AckerMsg;
+use crate::grouping::{Route, RoutingRule};
+use crate::metrics::ComponentMetrics;
+use crate::tuple::{Anchors, Schema, Tuple, Value, DEFAULT_STREAM};
+use crossbeam::channel::Sender;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Messages delivered to bolt task queues.
+#[derive(Debug)]
+pub(crate) enum BoltMsg {
+    Tuple(Tuple),
+    Tick,
+    Shutdown,
+}
+
+/// One subscription edge from a producer stream to a consumer component.
+pub(crate) struct ConsumerEdge {
+    pub(crate) rule: Arc<RoutingRule>,
+    pub(crate) senders: Vec<Sender<BoltMsg>>,
+}
+
+/// Per-producer-stream output spec: interned stream name, schema, consumers.
+pub(crate) struct StreamOutputs {
+    pub(crate) stream: Arc<str>,
+    pub(crate) schema: Schema,
+    pub(crate) consumers: Vec<ConsumerEdge>,
+}
+
+/// All output streams of one component, keyed by stream id.
+pub(crate) type OutputMap = HashMap<String, StreamOutputs>;
+
+/// State shared by both collector kinds.
+pub(crate) struct EmitterCore {
+    pub(crate) component: Arc<str>,
+    pub(crate) task_index: usize,
+    pub(crate) outputs: Arc<OutputMap>,
+    pub(crate) acker: Sender<AckerMsg>,
+    pub(crate) inflight: Arc<AtomicI64>,
+    pub(crate) metrics: Arc<ComponentMetrics>,
+    pub(crate) rng: SmallRng,
+}
+
+impl EmitterCore {
+    pub(crate) fn new(
+        component: Arc<str>,
+        task_index: usize,
+        outputs: Arc<OutputMap>,
+        acker: Sender<AckerMsg>,
+        inflight: Arc<AtomicI64>,
+        metrics: Arc<ComponentMetrics>,
+    ) -> Self {
+        EmitterCore {
+            component,
+            task_index,
+            outputs,
+            acker,
+            inflight,
+            metrics,
+            rng: SmallRng::from_entropy(),
+        }
+    }
+
+    /// Routes `values` on `stream` to every subscribed consumer task.
+    /// `make_anchors` produces the per-delivery anchor list and lets the
+    /// caller observe the generated edge ids.
+    fn dispatch(
+        &mut self,
+        stream: &str,
+        values: Vec<Value>,
+        mut make_anchors: impl FnMut(&mut SmallRng) -> Anchors,
+    ) -> usize {
+        let out = self
+            .outputs
+            .get(stream)
+            .unwrap_or_else(|| panic!("component `{}` emitted on undeclared stream `{stream}`", self.component));
+        assert_eq!(
+            values.len(),
+            out.schema.len(),
+            "component `{}` emitted {} values on stream `{stream}` which declares {} fields",
+            self.component,
+            values.len(),
+            out.schema.len()
+        );
+        let values: Arc<[Value]> = values.into();
+        let mut deliveries = 0usize;
+        // Split borrows: `outputs` is behind an Arc we must not hold mutably
+        // while calling `send_one`, so clone the cheap Arc first.
+        let outputs = Arc::clone(&self.outputs);
+        let out = outputs.get(stream).expect("checked above");
+        for edge in &out.consumers {
+            match edge.rule.route(&values, edge.senders.len()) {
+                Route::One(i) => {
+                    deliveries += self.send_one(edge, i, &values, out, &mut make_anchors);
+                }
+                Route::All => {
+                    for i in 0..edge.senders.len() {
+                        deliveries += self.send_one(edge, i, &values, out, &mut make_anchors);
+                    }
+                }
+            }
+        }
+        self.metrics.emitted.fetch_add(1, Ordering::Relaxed);
+        deliveries
+    }
+
+    fn send_one(
+        &mut self,
+        edge: &ConsumerEdge,
+        task: usize,
+        values: &Arc<[Value]>,
+        out: &StreamOutputs,
+        make_anchors: &mut impl FnMut(&mut SmallRng) -> Anchors,
+    ) -> usize {
+        let anchors = make_anchors(&mut self.rng);
+        let tuple = Tuple::from_parts(
+            Arc::clone(values),
+            out.schema.clone(),
+            Arc::clone(&out.stream),
+            Arc::clone(&self.component),
+            self.task_index,
+            anchors,
+        );
+        self.inflight.fetch_add(1, Ordering::Relaxed);
+        if edge.senders[task].send(BoltMsg::Tuple(tuple)).is_err() {
+            // Consumer already shut down; drop silently (only happens during
+            // teardown).
+            self.inflight.fetch_sub(1, Ordering::Relaxed);
+            0
+        } else {
+            1
+        }
+    }
+}
+
+/// Collector handed to [`crate::component::Spout::next_tuple`].
+pub struct SpoutCollector {
+    pub(crate) core: EmitterCore,
+    /// Global slot of this spout task within the acker's notification table.
+    pub(crate) slot: usize,
+    pub(crate) emitted_roots: Arc<AtomicU64>,
+}
+
+impl SpoutCollector {
+    /// Emits on the default stream. With `Some(msg_id)` the tuple tree is
+    /// tracked and `ack`/`fail` will eventually be called with `msg_id`.
+    pub fn emit(&mut self, values: Vec<Value>, msg_id: Option<u64>) {
+        self.emit_on(DEFAULT_STREAM, values, msg_id);
+    }
+
+    /// Emits on a named stream.
+    pub fn emit_on(&mut self, stream: &str, values: Vec<Value>, msg_id: Option<u64>) {
+        self.emitted_roots.fetch_add(1, Ordering::Relaxed);
+        match msg_id {
+            None => {
+                self.core
+                    .dispatch(stream, values, |_| Arc::from(Vec::new()));
+            }
+            Some(id) => {
+                let root: u64 = self.core.rng.gen();
+                let mut xor = 0u64;
+                self.core.dispatch(stream, values, |rng| {
+                    let edge: u64 = rng.gen();
+                    xor ^= edge;
+                    Arc::from(vec![(root, edge)])
+                });
+                // Sent after the deliveries; the acker tolerates Xor-before-
+                // Init, and a zero-delivery emit acks immediately.
+                let _ = self.core.acker.send(AckerMsg::Init {
+                    root,
+                    xor,
+                    slot: self.slot,
+                    msg_id: id,
+                });
+            }
+        }
+    }
+}
+
+/// Collector handed to [`crate::component::Bolt::execute`] and `tick`.
+pub struct BoltCollector {
+    pub(crate) core: EmitterCore,
+    /// Anchors of the tuple currently being executed (empty inside `tick`).
+    pub(crate) current_anchors: Anchors,
+    /// Accumulated XOR per root for the current execute call.
+    pub(crate) pending: Vec<(u64, u64)>,
+}
+
+impl BoltCollector {
+    /// Emits on the default stream, anchored to the input tuple.
+    pub fn emit(&mut self, values: Vec<Value>) {
+        self.emit_on(DEFAULT_STREAM, values);
+    }
+
+    /// Emits on a named stream, anchored to the input tuple.
+    pub fn emit_on(&mut self, stream: &str, values: Vec<Value>) {
+        let anchors = Arc::clone(&self.current_anchors);
+        let mut new_edges: Vec<(u64, u64)> = Vec::new();
+        self.core.dispatch(stream, values, |rng| {
+            let pairs: Vec<(u64, u64)> = anchors
+                .iter()
+                .map(|&(root, _)| {
+                    let edge: u64 = rng.gen();
+                    new_edges.push((root, edge));
+                    (root, edge)
+                })
+                .collect();
+            Arc::from(pairs)
+        });
+        for (root, edge) in new_edges {
+            self.xor(root, edge);
+        }
+    }
+
+    /// Emits without anchoring (the tuple is not tracked; use for derived
+    /// data whose loss is acceptable).
+    pub fn emit_unanchored(&mut self, stream: &str, values: Vec<Value>) {
+        self.core
+            .dispatch(stream, values, |_| Arc::from(Vec::new()));
+    }
+
+    fn xor(&mut self, root: u64, edge: u64) {
+        if let Some(slot) = self.pending.iter_mut().find(|(r, _)| *r == root) {
+            slot.1 ^= edge;
+        } else {
+            self.pending.push((root, edge));
+        }
+    }
+
+    /// Called by the runtime after `execute` returns `Ok`: folds the input
+    /// edges and flushes the per-root XOR deltas to the acker.
+    pub(crate) fn complete_ok(&mut self) {
+        let anchors = Arc::clone(&self.current_anchors);
+        for &(root, edge) in anchors.iter() {
+            self.xor(root, edge);
+        }
+        for (root, xor) in self.pending.drain(..) {
+            let _ = self.core.acker.send(AckerMsg::Xor { root, xor });
+        }
+    }
+
+    /// Called by the runtime after `execute` returns `Err`: fails every root
+    /// this input belongs to.
+    pub(crate) fn complete_err(&mut self) {
+        self.pending.clear();
+        for &(root, _) in self.current_anchors.iter() {
+            let _ = self.core.acker.send(AckerMsg::Fail { root });
+        }
+    }
+}

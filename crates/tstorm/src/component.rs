@@ -1,0 +1,136 @@
+//! Spout and bolt traits — the user-facing programming model.
+
+use crate::collector::{BoltCollector, SpoutCollector};
+use crate::tuple::{Schema, Tuple};
+
+/// Declaration of one output stream of a component.
+#[derive(Debug, Clone)]
+pub struct StreamDef {
+    /// Stream id (`"default"` for the main stream).
+    pub id: String,
+    /// Field names of tuples emitted on this stream.
+    pub schema: Schema,
+}
+
+impl StreamDef {
+    /// Declares a stream `id` with the given field names.
+    pub fn new<I, S>(id: &str, fields: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        StreamDef {
+            id: id.to_string(),
+            schema: Schema::new(fields),
+        }
+    }
+}
+
+/// Per-task information handed to `open`/`prepare`.
+#[derive(Debug, Clone)]
+pub struct TaskContext {
+    /// Component name in the topology.
+    pub component: String,
+    /// Index of this task within the component, `0..n_tasks`.
+    pub task_index: usize,
+    /// Total parallelism of the component.
+    pub n_tasks: usize,
+}
+
+/// A source of tuples. One instance is created per task via the registered
+/// factory, so implementations may keep mutable per-task state freely.
+pub trait Spout: Send {
+    /// Called once before the first `next_tuple`.
+    fn open(&mut self, _ctx: &TaskContext) {}
+
+    /// Emits zero or more tuples. Returns `false` when there was nothing to
+    /// emit, in which case the runtime backs off briefly before polling
+    /// again.
+    fn next_tuple(&mut self, collector: &mut SpoutCollector) -> bool;
+
+    /// A tuple tree rooted at the message emitted with `msg_id` completed.
+    fn ack(&mut self, _msg_id: u64) {}
+
+    /// A tuple tree rooted at `msg_id` failed (explicitly or by timeout).
+    fn fail(&mut self, _msg_id: u64) {}
+
+    /// Called on shutdown.
+    fn close(&mut self) {}
+
+    /// Output stream declarations; consumers can only subscribe to declared
+    /// streams.
+    fn declare_outputs(&self) -> Vec<StreamDef>;
+}
+
+/// A processing node. `execute` is invoked for every incoming tuple; tuples
+/// emitted from within `execute` are automatically anchored to the input
+/// (at-least-once semantics), and the input is acked when `execute` returns
+/// `Ok` and failed when it returns `Err`.
+pub trait Bolt: Send {
+    /// Called once before the first `execute`.
+    fn prepare(&mut self, _ctx: &TaskContext) {}
+
+    /// Processes one input tuple.
+    fn execute(&mut self, tuple: &Tuple, collector: &mut BoltCollector) -> Result<(), String>;
+
+    /// Called at the configured tick interval (see
+    /// [`crate::topology::BoltDeclarer::tick_interval`]); used by windowed
+    /// state and combiners to flush on time rather than on data.
+    fn tick(&mut self, _collector: &mut BoltCollector) {}
+
+    /// Called on shutdown.
+    fn cleanup(&mut self) {}
+
+    /// Output stream declarations (empty for terminal bolts).
+    fn declare_outputs(&self) -> Vec<StreamDef> {
+        Vec::new()
+    }
+}
+
+impl Spout for Box<dyn Spout> {
+    fn open(&mut self, ctx: &TaskContext) {
+        (**self).open(ctx)
+    }
+    fn next_tuple(&mut self, collector: &mut SpoutCollector) -> bool {
+        (**self).next_tuple(collector)
+    }
+    fn ack(&mut self, msg_id: u64) {
+        (**self).ack(msg_id)
+    }
+    fn fail(&mut self, msg_id: u64) {
+        (**self).fail(msg_id)
+    }
+    fn close(&mut self) {
+        (**self).close()
+    }
+    fn declare_outputs(&self) -> Vec<StreamDef> {
+        (**self).declare_outputs()
+    }
+}
+
+impl Bolt for Box<dyn Bolt> {
+    fn prepare(&mut self, ctx: &TaskContext) {
+        (**self).prepare(ctx)
+    }
+    fn execute(&mut self, tuple: &Tuple, collector: &mut BoltCollector) -> Result<(), String> {
+        (**self).execute(tuple, collector)
+    }
+    fn tick(&mut self, collector: &mut BoltCollector) {
+        (**self).tick(collector)
+    }
+    fn cleanup(&mut self) {
+        (**self).cleanup()
+    }
+    fn declare_outputs(&self) -> Vec<StreamDef> {
+        (**self).declare_outputs()
+    }
+}
+
+impl<F> Bolt for F
+where
+    F: FnMut(&Tuple, &mut BoltCollector) -> Result<(), String> + Send,
+{
+    fn execute(&mut self, tuple: &Tuple, collector: &mut BoltCollector) -> Result<(), String> {
+        self(tuple, collector)
+    }
+}

@@ -1,0 +1,382 @@
+//! Declarative topology construction from XML configuration files — the
+//! paper's Fig. 7 mechanism ("to generate topology for a specific
+//! application, we just need to rewrite the XML file").
+//!
+//! Classes referenced by the XML are resolved against a
+//! [`ComponentRegistry`] populated by the application. Expected document
+//! shape (attributes `parallelism` and elements `<source>`,
+//! `<tick_interval_ms>` are optional):
+//!
+//! ```xml
+//! <topology name="cf-test">
+//!   <spout name="spout" class="Spout" parallelism="2"/>
+//!   <bolts>
+//!     <bolt name="pretreatment" class="Pretreatment" parallelism="4">
+//!       <grouping type="field">
+//!         <source>spout</source>
+//!         <stream_id>default</stream_id>
+//!         <fields>user</fields>
+//!       </grouping>
+//!     </bolt>
+//!   </bolts>
+//! </topology>
+//! ```
+//!
+//! When `<source>` is omitted the previously declared component is used,
+//! matching the linear pipelines of the paper's examples.
+
+use crate::component::{Bolt, Spout};
+use crate::grouping::Grouping;
+use crate::topology::{Topology, TopologyBuilder, TopologyError};
+use crate::tuple::DEFAULT_STREAM;
+use crate::xml::{self, XmlError, XmlNode};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Errors from building a topology out of XML.
+#[derive(Debug)]
+pub enum ConfigError {
+    /// The document failed to parse.
+    Xml(XmlError),
+    /// A required attribute or element is missing.
+    Missing {
+        /// The element lacking it.
+        element: String,
+        /// What was expected.
+        what: String,
+    },
+    /// A `class` attribute does not match any registered component.
+    UnknownClass(String),
+    /// A grouping `type` attribute is not recognised.
+    BadGroupingType(String),
+    /// A numeric attribute failed to parse.
+    BadNumber {
+        /// The element carrying the value.
+        element: String,
+        /// The unparseable text.
+        value: String,
+    },
+    /// The assembled topology failed validation.
+    Topology(TopologyError),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Xml(e) => write!(f, "{e}"),
+            ConfigError::Missing { element, what } => {
+                write!(f, "element `{element}` is missing {what}")
+            }
+            ConfigError::UnknownClass(c) => write!(f, "unregistered component class `{c}`"),
+            ConfigError::BadGroupingType(t) => write!(f, "unknown grouping type `{t}`"),
+            ConfigError::BadNumber { element, value } => {
+                write!(f, "element `{element}` has non-numeric value `{value}`")
+            }
+            ConfigError::Topology(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<XmlError> for ConfigError {
+    fn from(e: XmlError) -> Self {
+        ConfigError::Xml(e)
+    }
+}
+impl From<TopologyError> for ConfigError {
+    fn from(e: TopologyError) -> Self {
+        ConfigError::Topology(e)
+    }
+}
+
+type ErasedSpoutFactory = Arc<dyn Fn() -> Box<dyn Spout> + Send + Sync>;
+type ErasedBoltFactory = Arc<dyn Fn() -> Box<dyn Bolt> + Send + Sync>;
+
+/// Maps `class` names from XML to component factories.
+#[derive(Default, Clone)]
+pub struct ComponentRegistry {
+    spouts: HashMap<String, ErasedSpoutFactory>,
+    bolts: HashMap<String, ErasedBoltFactory>,
+}
+
+impl ComponentRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a spout class.
+    pub fn register_spout<S, F>(&mut self, class: &str, factory: F)
+    where
+        S: Spout + 'static,
+        F: Fn() -> S + Send + Sync + 'static,
+    {
+        self.spouts
+            .insert(class.to_string(), Arc::new(move || Box::new(factory())));
+    }
+
+    /// Registers a bolt class.
+    pub fn register_bolt<B, F>(&mut self, class: &str, factory: F)
+    where
+        B: Bolt + 'static,
+        F: Fn() -> B + Send + Sync + 'static,
+    {
+        self.bolts
+            .insert(class.to_string(), Arc::new(move || Box::new(factory())));
+    }
+}
+
+fn parallelism_of(node: &XmlNode) -> Result<usize, ConfigError> {
+    match node.attr("parallelism") {
+        None => Ok(1),
+        Some(v) => v.parse().map_err(|_| ConfigError::BadNumber {
+            element: node.name.clone(),
+            value: v.to_string(),
+        }),
+    }
+}
+
+fn required_attr<'a>(node: &'a XmlNode, name: &str) -> Result<&'a str, ConfigError> {
+    node.attr(name).ok_or_else(|| ConfigError::Missing {
+        element: node.name.clone(),
+        what: format!("attribute `{name}`"),
+    })
+}
+
+fn split_fields(text: &str) -> Vec<String> {
+    text.split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+/// Builds a [`Topology`] from an XML document and a registry.
+pub fn topology_from_xml(
+    input: &str,
+    registry: &ComponentRegistry,
+) -> Result<Topology, ConfigError> {
+    let doc = xml::parse(input)?;
+    let mut builder = TopologyBuilder::new();
+    let mut previous: Option<String> = None;
+
+    // Spouts: direct <spout> children of <topology>.
+    for spout_node in doc.children_named("spout") {
+        let name = required_attr(spout_node, "name")?;
+        let class = required_attr(spout_node, "class")?;
+        let factory = registry
+            .spouts
+            .get(class)
+            .ok_or_else(|| ConfigError::UnknownClass(class.to_string()))?
+            .clone();
+        let parallelism = parallelism_of(spout_node)?;
+        builder.set_spout(name, move || factory(), parallelism);
+        previous = Some(name.to_string());
+    }
+
+    // Bolts: either inside <bolts> or direct children.
+    let bolt_nodes: Vec<&XmlNode> = match doc.child("bolts") {
+        Some(bolts) => bolts.children_named("bolt").collect(),
+        None => doc.children_named("bolt").collect(),
+    };
+    for bolt_node in bolt_nodes {
+        let name = required_attr(bolt_node, "name")?.to_string();
+        let class = required_attr(bolt_node, "class")?;
+        let factory = registry
+            .bolts
+            .get(class)
+            .ok_or_else(|| ConfigError::UnknownClass(class.to_string()))?
+            .clone();
+        let parallelism = parallelism_of(bolt_node)?;
+        let mut declarer = builder.set_bolt(&name, move || factory(), parallelism);
+        let groupings: Vec<&XmlNode> = bolt_node.children_named("grouping").collect();
+        if groupings.is_empty() {
+            // Implicit: shuffle from the previous component.
+            let src = previous.clone().ok_or_else(|| ConfigError::Missing {
+                element: name.clone(),
+                what: "a <grouping> or a preceding component".to_string(),
+            })?;
+            declarer.shuffle_grouping(&src);
+        }
+        for g in groupings {
+            let src = g
+                .child_text("source")
+                .map(str::to_string)
+                .or_else(|| previous.clone())
+                .ok_or_else(|| ConfigError::Missing {
+                    element: name.clone(),
+                    what: "<source> (and no preceding component)".to_string(),
+                })?;
+            let stream = g
+                .child_text("stream_id")
+                .unwrap_or(DEFAULT_STREAM)
+                .to_string();
+            let gtype = g.attr("type").unwrap_or("shuffle");
+            let grouping = match gtype {
+                "shuffle" => Grouping::Shuffle,
+                "field" | "fields" => {
+                    let fields = g.child_text("fields").ok_or_else(|| ConfigError::Missing {
+                        element: name.clone(),
+                        what: "<fields> for field grouping".to_string(),
+                    })?;
+                    Grouping::Fields(split_fields(fields))
+                }
+                "all" => Grouping::All,
+                "global" => Grouping::Global,
+                other => return Err(ConfigError::BadGroupingType(other.to_string())),
+            };
+            declarer.grouping_on(&src, &stream, grouping);
+        }
+        if let Some(ms) = bolt_node.child_text("tick_interval_ms") {
+            let ms: u64 = ms.parse().map_err(|_| ConfigError::BadNumber {
+                element: "tick_interval_ms".to_string(),
+                value: ms.to_string(),
+            })?;
+            declarer.tick_interval(Duration::from_millis(ms));
+        }
+        previous = Some(name);
+    }
+
+    Ok(builder.build()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::{BoltCollector, SpoutCollector};
+    use crate::component::StreamDef;
+    use crate::tuple::{Tuple, Value};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    struct OneShotSpout {
+        left: u64,
+    }
+    impl Spout for OneShotSpout {
+        fn next_tuple(&mut self, c: &mut SpoutCollector) -> bool {
+            if self.left == 0 {
+                return false;
+            }
+            self.left -= 1;
+            c.emit(vec![Value::U64(self.left)], Some(self.left));
+            true
+        }
+        fn declare_outputs(&self) -> Vec<StreamDef> {
+            vec![StreamDef::new(DEFAULT_STREAM, ["user"])]
+        }
+    }
+
+    struct CountBolt(Arc<AtomicU64>);
+    impl Bolt for CountBolt {
+        fn execute(&mut self, _t: &Tuple, _c: &mut BoltCollector) -> Result<(), String> {
+            self.0.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        }
+    }
+
+    fn registry(counter: Arc<AtomicU64>) -> ComponentRegistry {
+        let mut reg = ComponentRegistry::new();
+        reg.register_spout("OneShot", || OneShotSpout { left: 10 });
+        reg.register_bolt("Count", move || CountBolt(Arc::clone(&counter)));
+        reg
+    }
+
+    #[test]
+    fn builds_and_runs_from_xml() {
+        let counter = Arc::new(AtomicU64::new(0));
+        let reg = registry(Arc::clone(&counter));
+        let xml = r#"
+            <topology name="t">
+              <spout name="spout" class="OneShot" parallelism="1"/>
+              <bolts>
+                <bolt name="count" class="Count" parallelism="2">
+                  <grouping type="field">
+                    <fields>user</fields>
+                  </grouping>
+                </bolt>
+              </bolts>
+            </topology>"#;
+        let topo = topology_from_xml(xml, &reg).unwrap();
+        let handle = topo.launch();
+        assert!(handle.wait_idle(std::time::Duration::from_secs(5)));
+        handle.shutdown(std::time::Duration::from_secs(1));
+        assert_eq!(counter.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn implicit_source_chains_components() {
+        let counter = Arc::new(AtomicU64::new(0));
+        let reg = registry(Arc::clone(&counter));
+        let xml = r#"
+            <topology name="t">
+              <spout name="s" class="OneShot"/>
+              <bolt name="c" class="Count"/>
+            </topology>"#;
+        assert!(topology_from_xml(xml, &reg).is_ok());
+    }
+
+    #[test]
+    fn unknown_class_rejected() {
+        let reg = ComponentRegistry::new();
+        let xml = r#"<topology><spout name="s" class="Ghost"/></topology>"#;
+        assert!(matches!(
+            topology_from_xml(xml, &reg),
+            Err(ConfigError::UnknownClass(_))
+        ));
+    }
+
+    #[test]
+    fn missing_name_rejected() {
+        let counter = Arc::new(AtomicU64::new(0));
+        let reg = registry(counter);
+        let xml = r#"<topology><spout class="OneShot"/></topology>"#;
+        assert!(matches!(
+            topology_from_xml(xml, &reg),
+            Err(ConfigError::Missing { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_grouping_type_rejected() {
+        let counter = Arc::new(AtomicU64::new(0));
+        let reg = registry(counter);
+        let xml = r#"
+            <topology>
+              <spout name="s" class="OneShot"/>
+              <bolt name="c" class="Count">
+                <grouping type="mystery"/>
+              </bolt>
+            </topology>"#;
+        assert!(matches!(
+            topology_from_xml(xml, &reg),
+            Err(ConfigError::BadGroupingType(_))
+        ));
+    }
+
+    #[test]
+    fn bad_parallelism_rejected() {
+        let counter = Arc::new(AtomicU64::new(0));
+        let reg = registry(counter);
+        let xml = r#"<topology><spout name="s" class="OneShot" parallelism="lots"/></topology>"#;
+        assert!(matches!(
+            topology_from_xml(xml, &reg),
+            Err(ConfigError::BadNumber { .. })
+        ));
+    }
+
+    #[test]
+    fn tick_interval_parsed() {
+        let counter = Arc::new(AtomicU64::new(0));
+        let reg = registry(counter);
+        let xml = r#"
+            <topology>
+              <spout name="s" class="OneShot"/>
+              <bolt name="c" class="Count">
+                <tick_interval_ms>250</tick_interval_ms>
+              </bolt>
+            </topology>"#;
+        assert!(topology_from_xml(xml, &reg).is_ok());
+    }
+}

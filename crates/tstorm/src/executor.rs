@@ -1,0 +1,453 @@
+//! The runtime: turns a validated [`Topology`] into running threads.
+//!
+//! Each task (one unit of a component's parallelism) is a thread with a
+//! bounded input queue. Producers block when a consumer queue is full, which
+//! gives end-to-end backpressure. One extra thread runs the XOR acker.
+
+use crate::ack::{run_acker, AckerMsg, SpoutMsg};
+use crate::collector::{BoltCollector, BoltMsg, ConsumerEdge, EmitterCore, OutputMap, SpoutCollector, StreamOutputs};
+use crate::component::TaskContext;
+use crate::grouping::RoutingRule;
+use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+use crate::topology::Topology;
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+impl Topology {
+    /// Starts every task thread and the acker; returns a handle for
+    /// monitoring and shutdown.
+    pub fn launch(self) -> TopologyHandle {
+        let mut metrics = MetricsRegistry::default();
+        let inflight = Arc::new(AtomicI64::new(0));
+        let acker_pending = Arc::new(AtomicI64::new(0));
+        let emitted_roots = Arc::new(AtomicU64::new(0));
+        let total_spout_tasks: usize = self.spouts.iter().map(|s| s.parallelism).sum();
+        // One flag per spout task: true once its most recent poll found
+        // nothing to emit (or it was deactivated). `wait_idle` requires all
+        // flags set, so it cannot return before a slow-starting spout has
+        // even been polled.
+        let spout_idle: Arc<Vec<std::sync::atomic::AtomicBool>> = Arc::new(
+            (0..total_spout_tasks)
+                .map(|_| std::sync::atomic::AtomicBool::new(false))
+                .collect(),
+        );
+
+        // Input queues for every bolt task.
+        let mut bolt_txs: HashMap<&str, Vec<Sender<BoltMsg>>> = HashMap::new();
+        let mut bolt_rxs: HashMap<&str, Vec<Receiver<BoltMsg>>> = HashMap::new();
+        for b in &self.bolts {
+            let (txs, rxs): (Vec<_>, Vec<_>) =
+                (0..b.parallelism).map(|_| bounded(self.config.queue_capacity)).unzip();
+            bolt_txs.insert(&b.name, txs);
+            bolt_rxs.insert(&b.name, rxs);
+        }
+
+        // Spout control channels + acker slot table.
+        let (acker_tx, acker_rx) = unbounded::<AckerMsg>();
+        let mut spout_ctl_txs: Vec<Sender<SpoutMsg>> = Vec::new();
+        let mut spout_ctl_rxs: Vec<Receiver<SpoutMsg>> = Vec::new();
+        for s in &self.spouts {
+            for _ in 0..s.parallelism {
+                let (tx, rx) = unbounded();
+                spout_ctl_txs.push(tx);
+                spout_ctl_rxs.push(rx);
+            }
+        }
+
+        // Output maps: component -> stream -> consumers.
+        let mut output_maps: HashMap<&str, Arc<OutputMap>> = HashMap::new();
+        let all_outputs: Vec<(&str, &[crate::component::StreamDef])> = self
+            .spouts
+            .iter()
+            .map(|s| (s.name.as_str(), s.outputs.as_slice()))
+            .chain(self.bolts.iter().map(|b| (b.name.as_str(), b.outputs.as_slice())))
+            .collect();
+        for &(name, outputs) in &all_outputs {
+            let mut map = OutputMap::new();
+            for def in outputs {
+                let mut consumers = Vec::new();
+                for b in &self.bolts {
+                    for sub in &b.subscriptions {
+                        if sub.src == name && sub.stream == def.id {
+                            let rule = RoutingRule::new(sub.grouping.clone(), |f| {
+                                def.schema.index_of(f)
+                            })
+                            .expect("grouping validated at build time");
+                            consumers.push(ConsumerEdge {
+                                rule: Arc::new(rule),
+                                senders: bolt_txs[b.name.as_str()].clone(),
+                            });
+                        }
+                    }
+                }
+                map.insert(
+                    def.id.clone(),
+                    StreamOutputs {
+                        stream: Arc::from(def.id.as_str()),
+                        schema: def.schema.clone(),
+                        consumers,
+                    },
+                );
+            }
+            output_maps.insert(name, Arc::new(map));
+        }
+
+        // Acker thread.
+        let acker_handle = {
+            let spouts = spout_ctl_txs.clone();
+            let timeout = self.config.message_timeout;
+            let gauge = Arc::clone(&acker_pending);
+            std::thread::Builder::new()
+                .name("tstorm-acker".into())
+                .spawn(move || run_acker(acker_rx, spouts, timeout, gauge))
+                .expect("spawn acker")
+        };
+
+        let mut threads: Vec<JoinHandle<()>> = Vec::new();
+
+        // Bolt tasks.
+        for b in &self.bolts {
+            let comp_metrics = metrics.register(&b.name);
+            let mut rxs = bolt_rxs.remove(b.name.as_str()).expect("rx registered");
+            for task_index in (0..b.parallelism).rev() {
+                let rx = rxs.pop().expect("one rx per task");
+                let factory = Arc::clone(&b.factory);
+                let mut bolt = factory();
+                let ctx = TaskContext {
+                    component: b.name.clone(),
+                    task_index,
+                    n_tasks: b.parallelism,
+                };
+                let mut collector = BoltCollector {
+                    core: EmitterCore::new(
+                        Arc::from(b.name.as_str()),
+                        task_index,
+                        Arc::clone(&output_maps[b.name.as_str()]),
+                        acker_tx.clone(),
+                        Arc::clone(&inflight),
+                        Arc::clone(&comp_metrics),
+                    ),
+                    current_anchors: Arc::from(Vec::new()),
+                    pending: Vec::new(),
+                };
+                let tick = b.tick;
+                let metrics = Arc::clone(&comp_metrics);
+                let inflight = Arc::clone(&inflight);
+                let name = b.name.clone();
+                threads.push(
+                    std::thread::Builder::new()
+                        .name(format!("tstorm-{name}-{task_index}"))
+                        .spawn(move || {
+                            bolt.prepare(&ctx);
+                            let mut next_tick = tick.map(|d| Instant::now() + d);
+                            loop {
+                                let msg = match next_tick {
+                                    Some(deadline) => {
+                                        match rx.recv_timeout(
+                                            deadline.saturating_duration_since(Instant::now()),
+                                        ) {
+                                            Ok(m) => m,
+                                            Err(RecvTimeoutError::Timeout) => {
+                                                collector.current_anchors = Arc::from(Vec::new());
+                                                bolt.tick(&mut collector);
+                                                next_tick = Some(
+                                                    Instant::now()
+                                                        + tick.expect("tick interval set"),
+                                                );
+                                                continue;
+                                            }
+                                            Err(RecvTimeoutError::Disconnected) => break,
+                                        }
+                                    }
+                                    None => match rx.recv() {
+                                        Ok(m) => m,
+                                        Err(_) => break,
+                                    },
+                                };
+                                match msg {
+                                    BoltMsg::Tuple(t) => {
+                                        collector.current_anchors = Arc::clone(&t.anchors);
+                                        let start = Instant::now();
+                                        // Storm's supervisor restarts crashed
+                                        // workers; here a panicking execute
+                                        // fails the tuple tree (the spout
+                                        // will replay it) and the bolt is
+                                        // rebuilt from its factory — safe
+                                        // because bolts keep durable state in
+                                        // TDStore, not in themselves.
+                                        let result = std::panic::catch_unwind(
+                                            std::panic::AssertUnwindSafe(|| {
+                                                bolt.execute(&t, &mut collector)
+                                            }),
+                                        );
+                                        let nanos = start.elapsed().as_nanos() as u64;
+                                        match result {
+                                            Ok(Ok(())) => {
+                                                collector.complete_ok();
+                                                metrics.record_exec(nanos, true);
+                                            }
+                                            Ok(Err(_reason)) => {
+                                                collector.complete_err();
+                                                metrics.record_exec(nanos, false);
+                                            }
+                                            Err(_panic) => {
+                                                collector.complete_err();
+                                                metrics.record_exec(nanos, false);
+                                                bolt = factory();
+                                                bolt.prepare(&ctx);
+                                            }
+                                        }
+                                        inflight.fetch_sub(1, Ordering::Relaxed);
+                                    }
+                                    BoltMsg::Tick => {
+                                        collector.current_anchors = Arc::from(Vec::new());
+                                        bolt.tick(&mut collector);
+                                    }
+                                    BoltMsg::Shutdown => {
+                                        bolt.cleanup();
+                                        break;
+                                    }
+                                }
+                            }
+                        })
+                        .expect("spawn bolt task"),
+                );
+            }
+        }
+
+        // Spout tasks.
+        let mut slot = 0usize;
+        let mut spout_threads: Vec<JoinHandle<()>> = Vec::new();
+        for s in &self.spouts {
+            let comp_metrics = metrics.register(&s.name);
+            for task_index in 0..s.parallelism {
+                let rx = spout_ctl_rxs[slot].clone();
+                let mut spout = (s.factory)();
+                let ctx = TaskContext {
+                    component: s.name.clone(),
+                    task_index,
+                    n_tasks: s.parallelism,
+                };
+                let mut collector = SpoutCollector {
+                    core: EmitterCore::new(
+                        Arc::from(s.name.as_str()),
+                        task_index,
+                        Arc::clone(&output_maps[s.name.as_str()]),
+                        acker_tx.clone(),
+                        Arc::clone(&inflight),
+                        Arc::clone(&comp_metrics),
+                    ),
+                    slot,
+                    emitted_roots: Arc::clone(&emitted_roots),
+                };
+                let metrics = Arc::clone(&comp_metrics);
+                let name = s.name.clone();
+                let idle_flags = Arc::clone(&spout_idle);
+                let my_slot = slot;
+                spout_threads.push(
+                    std::thread::Builder::new()
+                        .name(format!("tstorm-{name}-{task_index}"))
+                        .spawn(move || {
+                            spout.open(&ctx);
+                            let mut active = true;
+                            loop {
+                                // Drain control messages without blocking.
+                                loop {
+                                    match rx.try_recv() {
+                                        Ok(SpoutMsg::Ack(id)) => {
+                                            metrics.acked.fetch_add(1, Ordering::Relaxed);
+                                            spout.ack(id);
+                                        }
+                                        Ok(SpoutMsg::Fail(id)) => {
+                                            metrics.failed.fetch_add(1, Ordering::Relaxed);
+                                            spout.fail(id);
+                                        }
+                                        Ok(SpoutMsg::Deactivate) => active = false,
+                                        Ok(SpoutMsg::Shutdown) => {
+                                            spout.close();
+                                            return;
+                                        }
+                                        Err(_) => break,
+                                    }
+                                }
+                                let emitted = if active {
+                                    let start = Instant::now();
+                                    let emitted = spout.next_tuple(&mut collector);
+                                    if emitted {
+                                        metrics.record_exec(
+                                            start.elapsed().as_nanos() as u64,
+                                            true,
+                                        );
+                                    }
+                                    emitted
+                                } else {
+                                    false
+                                };
+                                idle_flags[my_slot].store(!emitted, Ordering::Release);
+                                if !emitted {
+                                    // Idle or deactivated: block briefly on
+                                    // control traffic instead of spinning.
+                                    match rx.recv_timeout(Duration::from_millis(1)) {
+                                        Ok(SpoutMsg::Ack(id)) => {
+                                            metrics.acked.fetch_add(1, Ordering::Relaxed);
+                                            spout.ack(id);
+                                        }
+                                        Ok(SpoutMsg::Fail(id)) => {
+                                            metrics.failed.fetch_add(1, Ordering::Relaxed);
+                                            spout.fail(id);
+                                        }
+                                        Ok(SpoutMsg::Deactivate) => active = false,
+                                        Ok(SpoutMsg::Shutdown) => {
+                                            spout.close();
+                                            return;
+                                        }
+                                        Err(_) => {}
+                                    }
+                                }
+                            }
+                        })
+                        .expect("spawn spout task"),
+                );
+                slot += 1;
+            }
+        }
+
+        TopologyHandle {
+            metrics,
+            inflight,
+            acker_pending,
+            emitted_roots,
+            spout_idle,
+            spout_ctl_txs,
+            bolt_txs: bolt_txs
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+            acker_tx,
+            threads,
+            spout_threads,
+            acker_handle: Some(acker_handle),
+        }
+    }
+}
+
+/// Handle to a running topology.
+pub struct TopologyHandle {
+    metrics: MetricsRegistry,
+    inflight: Arc<AtomicI64>,
+    acker_pending: Arc<AtomicI64>,
+    emitted_roots: Arc<AtomicU64>,
+    spout_idle: Arc<Vec<std::sync::atomic::AtomicBool>>,
+    spout_ctl_txs: Vec<Sender<SpoutMsg>>,
+    bolt_txs: HashMap<String, Vec<Sender<BoltMsg>>>,
+    acker_tx: Sender<AckerMsg>,
+    threads: Vec<JoinHandle<()>>,
+    spout_threads: Vec<JoinHandle<()>>,
+    acker_handle: Option<JoinHandle<()>>,
+}
+
+impl TopologyHandle {
+    /// Metrics snapshots of all components.
+    pub fn metrics(&self) -> Vec<MetricsSnapshot> {
+        self.metrics.snapshot()
+    }
+
+    /// Metrics snapshot of one component.
+    pub fn metrics_for(&self, component: &str) -> Option<MetricsSnapshot> {
+        self.metrics.component(component)
+    }
+
+    /// Number of tuples currently queued or executing.
+    pub fn inflight(&self) -> i64 {
+        self.inflight.load(Ordering::Relaxed)
+    }
+
+    /// Number of incomplete tracked tuple trees.
+    pub fn pending_trees(&self) -> i64 {
+        self.acker_pending.load(Ordering::Relaxed)
+    }
+
+    /// Stops spouts from emitting new tuples; in-flight tuples continue to
+    /// be processed.
+    pub fn deactivate(&self) {
+        for tx in &self.spout_ctl_txs {
+            let _ = tx.send(SpoutMsg::Deactivate);
+        }
+    }
+
+    /// Blocks until no tuples are in flight and no tuple trees are pending,
+    /// with the spouts quiescent across two consecutive checks. Returns
+    /// `false` on timeout.
+    pub fn wait_idle(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut last_roots = u64::MAX;
+        let mut was_quiet = false;
+        loop {
+            let spouts_idle = self
+                .spout_idle
+                .iter()
+                .all(|f| f.load(Ordering::Acquire));
+            let quiet = spouts_idle
+                && self.inflight.load(Ordering::Relaxed) == 0
+                && self.acker_pending.load(Ordering::Relaxed) == 0;
+            let roots = self.emitted_roots.load(Ordering::Relaxed);
+            // Two consecutive quiet observations with a stable root count
+            // bridge the gap between a spout's emit and the acker seeing
+            // its Init message.
+            if quiet && was_quiet && roots == last_roots {
+                return true;
+            }
+            was_quiet = quiet;
+            last_roots = roots;
+            if Instant::now() > deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Deactivates spouts then waits for the pipeline to drain.
+    pub fn drain(&self, timeout: Duration) -> bool {
+        self.deactivate();
+        self.wait_idle(timeout)
+    }
+
+    /// Manually injects a tick to every task of `component` (mostly for
+    /// tests; production ticks come from `tick_interval`).
+    pub fn tick(&self, component: &str) {
+        if let Some(txs) = self.bolt_txs.get(component) {
+            for tx in txs {
+                let _ = tx.send(BoltMsg::Tick);
+            }
+        }
+    }
+
+    /// Graceful shutdown: drain (bounded by `timeout`), then stop all tasks
+    /// and join every thread. Returns final metrics.
+    pub fn shutdown(mut self, timeout: Duration) -> Vec<MetricsSnapshot> {
+        self.drain(timeout);
+        for tx in &self.spout_ctl_txs {
+            let _ = tx.send(SpoutMsg::Shutdown);
+        }
+        for t in self.spout_threads.drain(..) {
+            let _ = t.join();
+        }
+        for txs in self.bolt_txs.values() {
+            for tx in txs {
+                let _ = tx.send(BoltMsg::Shutdown);
+            }
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        let _ = self.acker_tx.send(AckerMsg::Shutdown);
+        if let Some(h) = self.acker_handle.take() {
+            let _ = h.join();
+        }
+        self.metrics.snapshot()
+    }
+}

@@ -1,0 +1,195 @@
+//! Stream groupings: how tuples on an edge are partitioned over the
+//! consumer's tasks.
+
+use crate::tuple::Value;
+use std::hash::Hasher;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Partitioning strategy for one subscription edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Grouping {
+    /// Round-robin over the consumer's tasks (even load, no key affinity).
+    Shuffle,
+    /// Hash of the named fields decides the task: all tuples with equal key
+    /// values reach the same task. This is what makes keyed state safe to
+    /// scale (§4.1.3 of the paper: "by the key grouping, only a single
+    /// worker node should operate over a specific item pair").
+    Fields(Vec<String>),
+    /// Every task receives a copy.
+    All,
+    /// All tuples go to task 0.
+    Global,
+}
+
+impl Grouping {
+    /// Convenience constructor for a fields grouping.
+    pub fn fields<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Grouping::Fields(names.into_iter().map(Into::into).collect())
+    }
+}
+
+/// Deterministic 64-bit FNV-1a, used for fields grouping so task placement
+/// is stable across runs (unlike `DefaultHasher`, which is seeded).
+#[derive(Default)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// Hasher seeded with the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+/// Resolved grouping with cached field indices and round-robin state.
+pub(crate) struct RoutingRule {
+    grouping: Grouping,
+    /// Pre-resolved positions of the grouping fields within the stream
+    /// schema, so routing is index lookups, not string compares.
+    field_indices: Vec<usize>,
+    rr: AtomicUsize,
+}
+
+impl RoutingRule {
+    /// `schema_index_of` resolves a field name to its position in the
+    /// subscribed stream's schema.
+    pub(crate) fn new(
+        grouping: Grouping,
+        schema_index_of: impl Fn(&str) -> Option<usize>,
+    ) -> Result<Self, String> {
+        let field_indices = match &grouping {
+            Grouping::Fields(names) => names
+                .iter()
+                .map(|n| {
+                    schema_index_of(n)
+                        .ok_or_else(|| format!("grouping field `{n}` not in stream schema"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => Vec::new(),
+        };
+        Ok(RoutingRule {
+            grouping,
+            field_indices,
+            rr: AtomicUsize::new(0),
+        })
+    }
+
+    /// Chooses target task indices out of `n_tasks` for a tuple with the
+    /// given `values`. Returns either a single task or, for `All`, a
+    /// broadcast marker.
+    pub(crate) fn route(&self, values: &[Value], n_tasks: usize) -> Route {
+        debug_assert!(n_tasks > 0);
+        match &self.grouping {
+            Grouping::Shuffle => {
+                Route::One(self.rr.fetch_add(1, Ordering::Relaxed) % n_tasks)
+            }
+            Grouping::Fields(_) => {
+                let mut h = Fnv1a::new();
+                for &idx in &self.field_indices {
+                    values[idx].hash_into(&mut h);
+                }
+                Route::One((h.finish() % n_tasks as u64) as usize)
+            }
+            Grouping::All => Route::All,
+            Grouping::Global => Route::One(0),
+        }
+    }
+}
+
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum Route {
+    One(usize),
+    All,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::Schema;
+
+    fn make_tuple(user: u64, item: u64) -> Vec<Value> {
+        vec![Value::U64(user), Value::U64(item)]
+    }
+
+    fn rule(g: Grouping) -> RoutingRule {
+        let schema = Schema::new(["user", "item"]);
+        RoutingRule::new(g, |n| schema.index_of(n)).unwrap()
+    }
+
+    #[test]
+    fn shuffle_round_robins() {
+        let r = rule(Grouping::Shuffle);
+        let t = make_tuple(1, 2);
+        let picks: Vec<_> = (0..6)
+            .map(|_| match r.route(&t, 3) {
+                Route::One(i) => i,
+                Route::All => panic!(),
+            })
+            .collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn fields_grouping_is_sticky_per_key() {
+        let r = rule(Grouping::fields(["user"]));
+        let a1 = r.route(&make_tuple(7, 1), 4);
+        let a2 = r.route(&make_tuple(7, 999), 4);
+        assert_eq!(a1, a2, "same user must route to same task");
+    }
+
+    #[test]
+    fn fields_grouping_spreads_keys() {
+        let r = rule(Grouping::fields(["user"]));
+        let mut seen = std::collections::HashSet::new();
+        for u in 0..64 {
+            if let Route::One(i) = r.route(&make_tuple(u, 0), 8) {
+                seen.insert(i);
+            }
+        }
+        assert!(seen.len() >= 6, "64 keys over 8 tasks should hit most tasks");
+    }
+
+    #[test]
+    fn global_always_task_zero() {
+        let r = rule(Grouping::Global);
+        for u in 0..10 {
+            assert_eq!(r.route(&make_tuple(u, 0), 5), Route::One(0));
+        }
+    }
+
+    #[test]
+    fn all_broadcasts() {
+        let r = rule(Grouping::All);
+        assert_eq!(r.route(&make_tuple(1, 1), 5), Route::All);
+    }
+
+    #[test]
+    fn unknown_grouping_field_is_an_error() {
+        let schema = Schema::new(["user"]);
+        let err = RoutingRule::new(Grouping::fields(["nope"]), |n| schema.index_of(n));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn multi_field_key_combines_fields() {
+        let r = rule(Grouping::fields(["user", "item"]));
+        let same1 = r.route(&make_tuple(3, 4), 1024);
+        let same2 = r.route(&make_tuple(3, 4), 1024);
+        assert_eq!(same1, same2);
+    }
+}

@@ -1,0 +1,129 @@
+//! Lightweight per-component runtime metrics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared counters for one component (all of its tasks update the same
+/// instance; contention is acceptable because these are plain relaxed
+/// atomics).
+#[derive(Debug, Default)]
+pub struct ComponentMetrics {
+    /// Tuples emitted on any stream.
+    pub emitted: AtomicU64,
+    /// Tuples executed (bolts) or emitted root messages (spouts).
+    pub executed: AtomicU64,
+    /// Completed tuple trees (spouts) / successful executes (bolts).
+    pub acked: AtomicU64,
+    /// Failed tuple trees / failed executes.
+    pub failed: AtomicU64,
+    /// Total nanoseconds spent inside `execute`.
+    pub exec_nanos: AtomicU64,
+}
+
+impl ComponentMetrics {
+    pub(crate) fn record_exec(&self, nanos: u64, ok: bool) {
+        self.executed.fetch_add(1, Ordering::Relaxed);
+        self.exec_nanos.fetch_add(nanos, Ordering::Relaxed);
+        if ok {
+            self.acked.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.failed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Point-in-time copy of the counters.
+    pub fn snapshot(&self, component: &str) -> MetricsSnapshot {
+        MetricsSnapshot {
+            component: component.to_string(),
+            emitted: self.emitted.load(Ordering::Relaxed),
+            executed: self.executed.load(Ordering::Relaxed),
+            acked: self.acked.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            exec_nanos: self.exec_nanos.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Immutable snapshot of one component's metrics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Component name.
+    pub component: String,
+    /// Tuples emitted on any stream.
+    pub emitted: u64,
+    /// Tuples executed (bolts) / root messages emitted (spouts).
+    pub executed: u64,
+    /// Successful executes / completed trees.
+    pub acked: u64,
+    /// Failed executes / failed trees.
+    pub failed: u64,
+    /// Total nanoseconds spent in `execute`.
+    pub exec_nanos: u64,
+}
+
+impl MetricsSnapshot {
+    /// Mean `execute` latency in microseconds, or 0 when nothing executed.
+    pub fn mean_exec_micros(&self) -> f64 {
+        if self.executed == 0 {
+            0.0
+        } else {
+            self.exec_nanos as f64 / self.executed as f64 / 1_000.0
+        }
+    }
+}
+
+/// Registry of the metrics of every component in a topology.
+#[derive(Debug, Default, Clone)]
+pub struct MetricsRegistry {
+    entries: Vec<(String, Arc<ComponentMetrics>)>,
+}
+
+impl MetricsRegistry {
+    pub(crate) fn register(&mut self, component: &str) -> Arc<ComponentMetrics> {
+        let m = Arc::new(ComponentMetrics::default());
+        self.entries.push((component.to_string(), Arc::clone(&m)));
+        m
+    }
+
+    /// Snapshots all components.
+    pub fn snapshot(&self) -> Vec<MetricsSnapshot> {
+        self.entries
+            .iter()
+            .map(|(name, m)| m.snapshot(name))
+            .collect()
+    }
+
+    /// Snapshot of one component, if it exists.
+    pub fn component(&self, name: &str) -> Option<MetricsSnapshot> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(n, m)| m.snapshot(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot() {
+        let mut reg = MetricsRegistry::default();
+        let m = reg.register("bolt");
+        m.record_exec(1_000, true);
+        m.record_exec(3_000, false);
+        let snap = reg.component("bolt").unwrap();
+        assert_eq!(snap.executed, 2);
+        assert_eq!(snap.acked, 1);
+        assert_eq!(snap.failed, 1);
+        assert!((snap.mean_exec_micros() - 2.0).abs() < 1e-9);
+        assert!(reg.component("missing").is_none());
+    }
+
+    #[test]
+    fn empty_snapshot_zero_latency() {
+        let mut reg = MetricsRegistry::default();
+        reg.register("a");
+        assert_eq!(reg.snapshot()[0].mean_exec_micros(), 0.0);
+    }
+}

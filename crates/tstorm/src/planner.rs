@@ -1,0 +1,248 @@
+//! Automatic parallelism planning — the paper's first future-work item:
+//! "the parallelism of the spouts and bolts in Storm topology is set
+//! manually at present. It is desirable for TencentRec to set the
+//! parallelism automatically according to the data size of specific
+//! applications."
+//!
+//! The planner works from measured [`MetricsSnapshot`]s of a profiling
+//! run: for each component it derives the *tuple amplification* (executed
+//! tuples per source action) and the mean service time, then sizes the
+//! task count so the component sustains a target source rate with
+//! headroom:
+//!
+//! ```text
+//! tasks(c) = ceil(target_rate · amplification(c) · service_time(c) · headroom)
+//! ```
+
+use crate::metrics::MetricsSnapshot;
+
+/// Planner knobs.
+#[derive(Debug, Clone)]
+pub struct PlannerConfig {
+    /// Capacity multiplier above the bare requirement (absorbs bursts;
+    /// the paper's peak-to-average ratio motivates ≥ 1.5).
+    pub headroom: f64,
+    /// Lower bound per component.
+    pub min_tasks: usize,
+    /// Upper bound per component (machine core budget).
+    pub max_tasks: usize,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            headroom: 1.5,
+            min_tasks: 1,
+            max_tasks: 64,
+        }
+    }
+}
+
+/// A component's sizing decision and the numbers behind it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentPlan {
+    /// Component name.
+    pub component: String,
+    /// Executed tuples per source action observed in the profile.
+    pub amplification: f64,
+    /// Mean service time per tuple, seconds.
+    pub service_time_s: f64,
+    /// Recommended task count.
+    pub tasks: usize,
+}
+
+/// A full parallelism plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelismPlan {
+    /// Source rate the plan is sized for (actions per second).
+    pub target_rate: f64,
+    /// Per-component decisions.
+    pub components: Vec<ComponentPlan>,
+}
+
+impl ParallelismPlan {
+    /// Recommended task count for one component (`None` if the component
+    /// was not in the profile).
+    pub fn tasks_for(&self, component: &str) -> Option<usize> {
+        self.components
+            .iter()
+            .find(|c| c.component == component)
+            .map(|c| c.tasks)
+    }
+
+    /// Total tasks across the topology.
+    pub fn total_tasks(&self) -> usize {
+        self.components.iter().map(|c| c.tasks).sum()
+    }
+}
+
+/// Errors from planning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// The named source component is missing from the metrics.
+    UnknownSource(String),
+    /// The profile has no executed source tuples to normalise by.
+    EmptyProfile,
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::UnknownSource(s) => write!(f, "source component `{s}` not in metrics"),
+            PlanError::EmptyProfile => write!(f, "profile contains no source tuples"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Plans parallelism from a profiling run's metrics.
+///
+/// `source` names the spout whose `executed` count defines "one action";
+/// `target_rate` is the production rate (actions/second) to size for.
+pub fn plan_from_metrics(
+    metrics: &[MetricsSnapshot],
+    source: &str,
+    target_rate: f64,
+    config: &PlannerConfig,
+) -> Result<ParallelismPlan, PlanError> {
+    let source_snapshot = metrics
+        .iter()
+        .find(|m| m.component == source)
+        .ok_or_else(|| PlanError::UnknownSource(source.to_string()))?;
+    let source_actions = source_snapshot.executed as f64;
+    if source_actions <= 0.0 {
+        return Err(PlanError::EmptyProfile);
+    }
+    let components = metrics
+        .iter()
+        .map(|m| {
+            let amplification = m.executed as f64 / source_actions;
+            let service_time_s = m.mean_exec_micros() / 1e6;
+            let required = target_rate * amplification * service_time_s * config.headroom;
+            let tasks = (required.ceil() as usize)
+                .max(config.min_tasks)
+                .min(config.max_tasks);
+            ComponentPlan {
+                component: m.component.clone(),
+                amplification,
+                service_time_s,
+                tasks,
+            }
+        })
+        .collect();
+    Ok(ParallelismPlan {
+        target_rate,
+        components,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(component: &str, executed: u64, exec_nanos: u64) -> MetricsSnapshot {
+        MetricsSnapshot {
+            component: component.to_string(),
+            emitted: executed,
+            executed,
+            acked: executed,
+            failed: 0,
+            exec_nanos,
+        }
+    }
+
+    #[test]
+    fn sizes_scale_with_cost_and_amplification() {
+        // 10k source actions; history executes 10k at 2µs; pairs execute
+        // 50k (5x amplification) at 10µs.
+        let metrics = vec![
+            snapshot("spout", 10_000, 10_000 * 1_000),
+            snapshot("history", 10_000, 10_000 * 2_000),
+            snapshot("pairs", 50_000, 50_000 * 10_000),
+        ];
+        let plan = plan_from_metrics(
+            &metrics,
+            "spout",
+            100_000.0,
+            &PlannerConfig {
+                headroom: 1.0,
+                min_tasks: 1,
+                max_tasks: 1_000,
+            },
+        )
+        .unwrap();
+        // history: 100k/s × 1 × 2µs = 0.2 cores → 1 task.
+        assert_eq!(plan.tasks_for("history"), Some(1));
+        // pairs: 100k/s × 5 × 10µs = 5 cores → 5 tasks.
+        assert_eq!(plan.tasks_for("pairs"), Some(5));
+        assert!(plan.total_tasks() >= 7);
+    }
+
+    #[test]
+    fn headroom_multiplies() {
+        let metrics = vec![snapshot("spout", 1_000, 1_000 * 10_000)]; // 10µs
+        let base = plan_from_metrics(
+            &metrics,
+            "spout",
+            200_000.0,
+            &PlannerConfig {
+                headroom: 1.0,
+                min_tasks: 1,
+                max_tasks: 100,
+            },
+        )
+        .unwrap();
+        let padded = plan_from_metrics(
+            &metrics,
+            "spout",
+            200_000.0,
+            &PlannerConfig {
+                headroom: 2.0,
+                min_tasks: 1,
+                max_tasks: 100,
+            },
+        )
+        .unwrap();
+        assert_eq!(base.tasks_for("spout"), Some(2));
+        assert_eq!(padded.tasks_for("spout"), Some(4));
+    }
+
+    #[test]
+    fn bounds_respected() {
+        let metrics = vec![
+            snapshot("spout", 1_000, 1_000),          // ~free
+            snapshot("heavy", 1_000_000, u64::MAX / 2), // absurdly slow
+        ];
+        let plan = plan_from_metrics(
+            &metrics,
+            "spout",
+            1e6,
+            &PlannerConfig {
+                headroom: 1.5,
+                min_tasks: 2,
+                max_tasks: 16,
+            },
+        )
+        .unwrap();
+        assert_eq!(plan.tasks_for("spout"), Some(2), "min bound");
+        assert_eq!(plan.tasks_for("heavy"), Some(16), "max bound");
+    }
+
+    #[test]
+    fn unknown_source_rejected() {
+        assert_eq!(
+            plan_from_metrics(&[], "ghost", 1.0, &PlannerConfig::default()),
+            Err(PlanError::UnknownSource("ghost".to_string()))
+        );
+    }
+
+    #[test]
+    fn empty_profile_rejected() {
+        let metrics = vec![snapshot("spout", 0, 0)];
+        assert_eq!(
+            plan_from_metrics(&metrics, "spout", 1.0, &PlannerConfig::default()),
+            Err(PlanError::EmptyProfile)
+        );
+    }
+}

@@ -1,0 +1,400 @@
+//! Data tuples flowing through a topology.
+//!
+//! A [`Tuple`] is a named list of [`Value`]s. The field names live in a
+//! shared [`Schema`] so that cloning a tuple (which happens on every fan-out
+//! edge) never copies the field-name strings.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A dynamically typed value carried inside a [`Tuple`].
+///
+/// Strings are reference counted so that cloning a tuple along a broadcast
+/// edge is cheap.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absent value.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed 64-bit integer.
+    I64(i64),
+    /// Unsigned 64-bit integer (ids).
+    U64(u64),
+    /// 64-bit float (weights, scores).
+    F64(f64),
+    /// Shared immutable string.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Returns the value as `u64` if it is an integer of either sign that
+    /// fits.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(v) => Some(*v),
+            Value::I64(v) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `i64` if it is an integer that fits.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(v) => Some(*v),
+            Value::U64(v) if *v <= i64::MAX as u64 => Some(*v as i64),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `f64` (integers are widened).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(v) => Some(*v),
+            Value::I64(v) => Some(*v as f64),
+            Value::U64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as a string slice if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as a bool if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Feeds the value into `h` for grouping purposes. `F64` is hashed by
+    /// bit pattern; `I64`/`U64` hash identically when they represent the
+    /// same non-negative number so that mixed-width ids group together.
+    pub fn hash_into(&self, h: &mut impl std::hash::Hasher) {
+        use std::hash::Hash;
+        match self {
+            Value::Null => 0u8.hash(h),
+            Value::Bool(b) => {
+                1u8.hash(h);
+                b.hash(h);
+            }
+            Value::I64(v) => {
+                if *v >= 0 {
+                    2u8.hash(h);
+                    (*v as u64).hash(h);
+                } else {
+                    3u8.hash(h);
+                    v.hash(h);
+                }
+            }
+            Value::U64(v) => {
+                2u8.hash(h);
+                v.hash(h);
+            }
+            Value::F64(v) => {
+                4u8.hash(h);
+                v.to_bits().hash(h);
+            }
+            Value::Str(s) => {
+                5u8.hash(h);
+                s.as_bytes().hash(h);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::U64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(Arc::from(v))
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v))
+    }
+}
+impl From<Arc<str>> for Value {
+    fn from(v: Arc<str>) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// An ordered list of field names shared between all tuples of one output
+/// stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    fields: Arc<[String]>,
+}
+
+impl Schema {
+    /// Builds a schema from field names.
+    pub fn new<I, S>(fields: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Schema {
+            fields: fields.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Position of `name`, if present.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f == name)
+    }
+
+    /// Field names in declaration order.
+    pub fn fields(&self) -> &[String] {
+        &self.fields
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when the schema has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+}
+
+/// Identifies an output stream of a component. Components may emit on
+/// multiple named streams; `"default"` is used when none is specified.
+pub const DEFAULT_STREAM: &str = "default";
+
+/// Anchor bookkeeping for the XOR ack tracker: `(root id, edge id)` pairs
+/// this tuple is tied to.
+pub type Anchors = Arc<[(u64, u64)]>;
+
+/// A unit of data flowing along a stream.
+#[derive(Debug, Clone)]
+pub struct Tuple {
+    values: Arc<[Value]>,
+    schema: Schema,
+    stream: Arc<str>,
+    src_component: Arc<str>,
+    src_task: usize,
+    pub(crate) anchors: Anchors,
+}
+
+impl Tuple {
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn new(
+        values: Vec<Value>,
+        schema: Schema,
+        stream: Arc<str>,
+        src_component: Arc<str>,
+        src_task: usize,
+        anchors: Anchors,
+    ) -> Self {
+        debug_assert_eq!(
+            values.len(),
+            schema.len(),
+            "tuple arity must match stream schema"
+        );
+        Tuple {
+            values: values.into(),
+            schema,
+            stream,
+            src_component,
+            src_task,
+            anchors,
+        }
+    }
+
+    /// Constructor sharing an already-built value slice (the emit fast
+    /// path: fan-out deliveries share one `Arc<[Value]>`).
+    pub(crate) fn from_parts(
+        values: Arc<[Value]>,
+        schema: Schema,
+        stream: Arc<str>,
+        src_component: Arc<str>,
+        src_task: usize,
+        anchors: Anchors,
+    ) -> Self {
+        debug_assert_eq!(values.len(), schema.len());
+        Tuple {
+            values,
+            schema,
+            stream,
+            src_component,
+            src_task,
+            anchors,
+        }
+    }
+
+    /// Value at position `idx`. Panics when out of range.
+    pub fn get(&self, idx: usize) -> &Value {
+        &self.values[idx]
+    }
+
+    /// Value of the field called `name`, if the schema declares it.
+    pub fn get_by_name(&self, name: &str) -> Option<&Value> {
+        self.schema.index_of(name).map(|i| &self.values[i])
+    }
+
+    /// Convenience: required `u64` field.
+    pub fn u64(&self, name: &str) -> u64 {
+        self.get_by_name(name)
+            .and_then(Value::as_u64)
+            .unwrap_or_else(|| panic!("tuple field `{name}` missing or not a u64: {self:?}"))
+    }
+
+    /// Convenience: required `f64` field.
+    pub fn f64(&self, name: &str) -> f64 {
+        self.get_by_name(name)
+            .and_then(Value::as_f64)
+            .unwrap_or_else(|| panic!("tuple field `{name}` missing or not an f64: {self:?}"))
+    }
+
+    /// Convenience: required string field.
+    pub fn str(&self, name: &str) -> &str {
+        self.get_by_name(name)
+            .and_then(Value::as_str)
+            .unwrap_or_else(|| panic!("tuple field `{name}` missing or not a string: {self:?}"))
+    }
+
+    /// All values in order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// The stream this tuple was emitted on.
+    pub fn stream(&self) -> &str {
+        &self.stream
+    }
+
+    /// The component that emitted this tuple.
+    pub fn src_component(&self) -> &str {
+        &self.src_component
+    }
+
+    /// The task index (within the source component) that emitted this tuple.
+    pub fn src_task(&self) -> usize {
+        self.src_task
+    }
+
+    /// The tuple's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::Hasher;
+
+    fn hash_value(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash_into(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(Value::from(3u64).as_u64(), Some(3));
+        assert_eq!(Value::from(-3i64).as_u64(), None);
+        assert_eq!(Value::from(3i64).as_u64(), Some(3));
+        assert_eq!(Value::from(2.5f64).as_f64(), Some(2.5));
+        assert_eq!(Value::from(7u64).as_f64(), Some(7.0));
+        assert_eq!(Value::from("hi").as_str(), Some("hi"));
+        assert_eq!(Value::from(true).as_bool(), Some(true));
+        assert_eq!(Value::Null.as_u64(), None);
+    }
+
+    #[test]
+    fn mixed_width_ids_hash_identically() {
+        assert_eq!(hash_value(&Value::I64(42)), hash_value(&Value::U64(42)));
+        assert_ne!(hash_value(&Value::I64(-42)), hash_value(&Value::U64(42)));
+    }
+
+    #[test]
+    fn schema_lookup() {
+        let s = Schema::new(["user", "item", "action"]);
+        assert_eq!(s.index_of("item"), Some(1));
+        assert_eq!(s.index_of("missing"), None);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn tuple_field_access() {
+        let schema = Schema::new(["user", "weight", "kind"]);
+        let t = Tuple::new(
+            vec![Value::U64(9), Value::F64(1.5), Value::from("click")],
+            schema,
+            Arc::from(DEFAULT_STREAM),
+            Arc::from("spout"),
+            0,
+            Arc::from(Vec::new()),
+        );
+        assert_eq!(t.u64("user"), 9);
+        assert_eq!(t.f64("weight"), 1.5);
+        assert_eq!(t.str("kind"), "click");
+        assert_eq!(t.stream(), DEFAULT_STREAM);
+        assert_eq!(t.src_component(), "spout");
+        assert_eq!(t.get(0), &Value::U64(9));
+        assert!(t.get_by_name("nope").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "missing or not a u64")]
+    fn tuple_typed_access_panics_on_wrong_type() {
+        let t = Tuple::new(
+            vec![Value::from("x")],
+            Schema::new(["user"]),
+            Arc::from(DEFAULT_STREAM),
+            Arc::from("spout"),
+            0,
+            Arc::from(Vec::new()),
+        );
+        t.u64("user");
+    }
+}

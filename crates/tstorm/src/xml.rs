@@ -1,0 +1,386 @@
+//! A minimal XML parser, sufficient for the topology configuration files of
+//! the paper's Fig. 7 (elements, attributes, text, comments, self-closing
+//! tags). Not a general-purpose XML implementation: no namespaces, DTDs or
+//! CDATA.
+
+use std::fmt;
+
+/// Parsed XML element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlNode {
+    /// Tag name.
+    pub name: String,
+    /// Attributes in document order.
+    pub attrs: Vec<(String, String)>,
+    /// Child elements in document order.
+    pub children: Vec<XmlNode>,
+    /// Concatenated text content directly inside this element (trimmed).
+    pub text: String,
+}
+
+impl XmlNode {
+    /// First attribute with the given name.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First child element with the given tag name.
+    pub fn child(&self, name: &str) -> Option<&XmlNode> {
+        self.children.iter().find(|c| c.name == name)
+    }
+
+    /// All child elements with the given tag name.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a XmlNode> {
+        self.children.iter().filter(move |c| c.name == name)
+    }
+
+    /// Text of the first child with the given tag name.
+    pub fn child_text(&self, name: &str) -> Option<&str> {
+        self.child(name).map(|c| c.text.as_str())
+    }
+}
+
+/// Parse error with byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// Byte offset of the error in the input.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "xml parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+/// Parses a document and returns its single root element.
+pub fn parse(input: &str) -> Result<XmlNode, XmlError> {
+    let mut p = Parser {
+        input: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_misc()?;
+    let root = p.parse_element()?;
+    p.skip_misc()?;
+    if p.pos < p.input.len() {
+        return Err(p.err("trailing content after root element"));
+    }
+    Ok(root)
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> XmlError {
+        XmlError {
+            offset: self.pos,
+            message: msg.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Skips whitespace, comments, XML declarations and processing
+    /// instructions between top-level constructs.
+    fn skip_misc(&mut self) -> Result<(), XmlError> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                self.skip_comment()?;
+            } else if self.starts_with("<?") {
+                match self.input[self.pos..]
+                    .windows(2)
+                    .position(|w| w == b"?>")
+                {
+                    Some(i) => self.pos += i + 2,
+                    None => return Err(self.err("unterminated processing instruction")),
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn skip_comment(&mut self) -> Result<(), XmlError> {
+        debug_assert!(self.starts_with("<!--"));
+        match self.input[self.pos + 4..]
+            .windows(3)
+            .position(|w| w == b"-->")
+        {
+            Some(i) => {
+                self.pos += 4 + i + 3;
+                Ok(())
+            }
+            None => Err(self.err("unterminated comment")),
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+    }
+
+    fn parse_element(&mut self) -> Result<XmlNode, XmlError> {
+        if self.peek() != Some(b'<') {
+            return Err(self.err("expected `<`"));
+        }
+        self.pos += 1;
+        let name = self.parse_name()?;
+        let mut attrs = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.peek() != Some(b'>') {
+                        return Err(self.err("expected `>` after `/`"));
+                    }
+                    self.pos += 1;
+                    return Ok(XmlNode {
+                        name,
+                        attrs,
+                        children: Vec::new(),
+                        text: String::new(),
+                    });
+                }
+                Some(_) => {
+                    let key = self.parse_name()?;
+                    self.skip_ws();
+                    if self.peek() != Some(b'=') {
+                        return Err(self.err("expected `=` in attribute"));
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    let quote = match self.peek() {
+                        Some(q @ (b'"' | b'\'')) => q,
+                        _ => return Err(self.err("expected quoted attribute value")),
+                    };
+                    self.pos += 1;
+                    let start = self.pos;
+                    while let Some(c) = self.peek() {
+                        if c == quote {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    if self.peek() != Some(quote) {
+                        return Err(self.err("unterminated attribute value"));
+                    }
+                    let raw = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+                    self.pos += 1;
+                    attrs.push((key, unescape(&raw)));
+                }
+                None => return Err(self.err("unexpected end of input in tag")),
+            }
+        }
+        // Content.
+        let mut children = Vec::new();
+        let mut text = String::new();
+        loop {
+            if self.starts_with("<!--") {
+                self.skip_comment()?;
+            } else if self.starts_with("</") {
+                self.pos += 2;
+                let close = self.parse_name()?;
+                if close != name {
+                    return Err(self.err(&format!(
+                        "mismatched close tag: expected `</{name}>`, found `</{close}>`"
+                    )));
+                }
+                self.skip_ws();
+                if self.peek() != Some(b'>') {
+                    return Err(self.err("expected `>` in close tag"));
+                }
+                self.pos += 1;
+                return Ok(XmlNode {
+                    name,
+                    attrs,
+                    children,
+                    text: text.trim().to_string(),
+                });
+            } else if self.peek() == Some(b'<') {
+                children.push(self.parse_element()?);
+            } else if self.peek().is_some() {
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    if c == b'<' {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                text.push_str(&unescape(&String::from_utf8_lossy(
+                    &self.input[start..self.pos],
+                )));
+            } else {
+                return Err(self.err(&format!("unexpected end of input inside `<{name}>`")));
+            }
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    if !s.contains(['&', '<', '>', '"', '\'']) {
+        return s.to_string();
+    }
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+        .replace('\'', "&apos;")
+}
+
+impl fmt::Display for XmlNode {
+    /// Serialises the element (text content is emitted before child
+    /// elements; mixed-content interleaving is not preserved).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}", self.name)?;
+        for (k, v) in &self.attrs {
+            write!(f, " {k}=\"{}\"", escape(v))?;
+        }
+        if self.children.is_empty() && self.text.is_empty() {
+            return write!(f, "/>");
+        }
+        write!(f, ">")?;
+        write!(f, "{}", escape(&self.text))?;
+        for child in &self.children {
+            write!(f, "{child}")?;
+        }
+        write!(f, "</{}>", self.name)
+    }
+}
+
+fn unescape(s: &str) -> String {
+    if !s.contains('&') {
+        return s.to_string();
+    }
+    s.replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&apos;", "'")
+        .replace("&amp;", "&")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_document() {
+        let doc = parse(r#"<topology name="cf-test"><spout name="s"/></topology>"#).unwrap();
+        assert_eq!(doc.name, "topology");
+        assert_eq!(doc.attr("name"), Some("cf-test"));
+        assert_eq!(doc.children.len(), 1);
+        assert_eq!(doc.children[0].name, "spout");
+        assert_eq!(doc.children[0].attr("name"), Some("s"));
+    }
+
+    #[test]
+    fn parses_text_content() {
+        let doc = parse("<fields>  user, item, action  </fields>").unwrap();
+        assert_eq!(doc.text, "user, item, action");
+    }
+
+    #[test]
+    fn parses_nested_with_mixed_children() {
+        let doc = parse(
+            r#"<bolt name="pre">
+                 <grouping type="field">
+                   <fields>user</fields>
+                   <stream_id>user_action</stream_id>
+                 </grouping>
+               </bolt>"#,
+        )
+        .unwrap();
+        let g = doc.child("grouping").unwrap();
+        assert_eq!(g.attr("type"), Some("field"));
+        assert_eq!(g.child_text("fields"), Some("user"));
+        assert_eq!(g.child_text("stream_id"), Some("user_action"));
+    }
+
+    #[test]
+    fn skips_comments_and_declaration() {
+        let doc = parse(
+            "<?xml version=\"1.0\"?>\n<!-- topology -->\n<a><!-- inner --><b/></a>",
+        )
+        .unwrap();
+        assert_eq!(doc.name, "a");
+        assert_eq!(doc.children.len(), 1);
+    }
+
+    #[test]
+    fn unescapes_entities() {
+        let doc = parse(r#"<a v="&lt;x&gt; &amp; &quot;y&quot;">&apos;t&apos;</a>"#).unwrap();
+        assert_eq!(doc.attr("v"), Some(r#"<x> & "y""#));
+        assert_eq!(doc.text, "'t'");
+    }
+
+    #[test]
+    fn rejects_mismatched_close() {
+        assert!(parse("<a><b></a></b>").is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_content() {
+        assert!(parse("<a/><b/>").is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated() {
+        assert!(parse("<a>").is_err());
+        assert!(parse("<a foo=>").is_err());
+        assert!(parse("<a foo=\"x>").is_err());
+        assert!(parse("<!-- never closed").is_err());
+    }
+
+    #[test]
+    fn single_quotes_ok() {
+        let doc = parse("<a v='1'/>").unwrap();
+        assert_eq!(doc.attr("v"), Some("1"));
+    }
+
+    #[test]
+    fn children_named_iterates_all() {
+        let doc = parse("<a><b i='1'/><c/><b i='2'/></a>").unwrap();
+        let ids: Vec<_> = doc
+            .children_named("b")
+            .map(|n| n.attr("i").unwrap())
+            .collect();
+        assert_eq!(ids, vec!["1", "2"]);
+    }
+}

@@ -1,0 +1,87 @@
+//! Integration of the three operational pieces: profile a running
+//! topology, derive a parallelism plan (§7 future work), and check the
+//! plan schedules onto a simulated cluster (Fig. 1).
+
+use std::time::Duration;
+use tstorm::cluster::Nimbus;
+use tstorm::planner::{plan_from_metrics, PlannerConfig};
+use tstorm::prelude::*;
+
+struct CountSpout(u64);
+
+impl Spout for CountSpout {
+    fn next_tuple(&mut self, collector: &mut SpoutCollector) -> bool {
+        if self.0 == 0 {
+            return false;
+        }
+        self.0 -= 1;
+        collector.emit(vec![Value::U64(self.0)], Some(self.0));
+        true
+    }
+    fn declare_outputs(&self) -> Vec<StreamDef> {
+        vec![StreamDef::new(DEFAULT_STREAM, ["key"])]
+    }
+}
+
+struct PassBolt;
+
+impl Bolt for PassBolt {
+    fn execute(&mut self, t: &Tuple, c: &mut BoltCollector) -> Result<(), String> {
+        c.emit(t.values().to_vec());
+        Ok(())
+    }
+    fn declare_outputs(&self) -> Vec<StreamDef> {
+        vec![StreamDef::new(DEFAULT_STREAM, ["key"])]
+    }
+}
+
+#[test]
+fn profile_plan_schedule() {
+    // 1. Profile a small run.
+    let mut builder = TopologyBuilder::new();
+    builder.set_spout("spout", || CountSpout(5_000), 1);
+    builder
+        .set_bolt("stage1", || PassBolt, 2)
+        .shuffle_grouping("spout");
+    builder
+        .set_bolt("sink", || |_t: &Tuple, _c: &mut BoltCollector| Ok(()), 2)
+        .fields_grouping("stage1", ["key"]);
+    let handle = builder.build().unwrap().launch();
+    assert!(handle.wait_idle(Duration::from_secs(30)));
+    let metrics = handle.shutdown(Duration::from_secs(5));
+
+    // 2. Plan for a production rate.
+    let plan = plan_from_metrics(
+        &metrics,
+        "spout",
+        250_000.0,
+        &PlannerConfig {
+            headroom: 1.5,
+            min_tasks: 1,
+            max_tasks: 32,
+        },
+    )
+    .expect("plan");
+    assert!(plan.total_tasks() >= 3, "at least one task per component");
+
+    // 3. Schedule the plan on a simulated cluster with enough slots.
+    let mut nimbus = Nimbus::new();
+    let slots_needed = plan.total_tasks();
+    let per_supervisor = slots_needed.div_ceil(3).max(1);
+    for id in 0..3 {
+        nimbus.add_supervisor(id, per_supervisor);
+    }
+    nimbus
+        .submit_topology(
+            plan.components
+                .iter()
+                .map(|c| (c.component.clone(), c.tasks)),
+        )
+        .expect("cluster has capacity");
+    nimbus.check_invariants().expect("valid schedule");
+
+    // 4. A supervisor failure keeps the plan running when capacity allows.
+    nimbus.add_supervisor(99, per_supervisor);
+    nimbus.fail_supervisor(0).expect("failover");
+    nimbus.check_invariants().expect("valid after failover");
+}

@@ -1,0 +1,128 @@
+//! Fault-tolerance tests: panicking bolts are rebuilt from their factory,
+//! failed tuple trees are reported to the spout, and a replaying spout
+//! achieves at-least-once processing — the Storm behaviour TencentRec's
+//! state-free bolts rely on.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+use tstorm::prelude::*;
+
+/// Spout that re-enqueues failed message ids (at-least-once source).
+struct ReplaySpout {
+    queue: Arc<Mutex<VecDeque<u64>>>,
+    acked: Arc<AtomicU64>,
+}
+
+impl Spout for ReplaySpout {
+    fn next_tuple(&mut self, collector: &mut SpoutCollector) -> bool {
+        let next = self.queue.lock().unwrap().pop_front();
+        match next {
+            Some(v) => {
+                collector.emit(vec![Value::U64(v)], Some(v));
+                true
+            }
+            None => false,
+        }
+    }
+    fn ack(&mut self, _id: u64) {
+        self.acked.fetch_add(1, Ordering::Relaxed);
+    }
+    fn fail(&mut self, id: u64) {
+        self.queue.lock().unwrap().push_back(id); // replay
+    }
+    fn declare_outputs(&self) -> Vec<StreamDef> {
+        vec![StreamDef::new(DEFAULT_STREAM, ["key"])]
+    }
+}
+
+/// Bolt that panics the first time it sees each key, then succeeds.
+struct FlakyBolt {
+    seen: Arc<Mutex<std::collections::HashSet<u64>>>,
+    processed: Arc<AtomicU64>,
+}
+
+impl Bolt for FlakyBolt {
+    fn execute(&mut self, tuple: &Tuple, _c: &mut BoltCollector) -> Result<(), String> {
+        let key = tuple.u64("key");
+        let first_time = self.seen.lock().unwrap().insert(key);
+        if first_time {
+            panic!("simulated worker crash on key {key}");
+        }
+        self.processed.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+#[test]
+fn panicking_bolt_is_rebuilt_and_tuples_replay() {
+    const N: u64 = 20;
+    let queue = Arc::new(Mutex::new((0..N).collect::<VecDeque<u64>>()));
+    let acked = Arc::new(AtomicU64::new(0));
+    let seen = Arc::new(Mutex::new(std::collections::HashSet::new()));
+    let processed = Arc::new(AtomicU64::new(0));
+    let generation = Arc::new(AtomicU64::new(0));
+
+    // Quiet the default panic hook: the simulated crashes are expected.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let mut builder = TopologyBuilder::new();
+    {
+        let queue = Arc::clone(&queue);
+        let acked = Arc::clone(&acked);
+        builder.set_spout(
+            "spout",
+            move || ReplaySpout {
+                queue: Arc::clone(&queue),
+                acked: Arc::clone(&acked),
+            },
+            1,
+        );
+    }
+    {
+        let seen = Arc::clone(&seen);
+        let processed = Arc::clone(&processed);
+        let generation = Arc::clone(&generation);
+        builder
+            .set_bolt(
+                "flaky",
+                move || {
+                    // Generation counter: bumped every time the factory
+                    // runs (initial tasks, the probe, and every rebuild).
+                    generation.fetch_add(1, Ordering::Relaxed);
+                    FlakyBolt {
+                        seen: Arc::clone(&seen),
+                        processed: Arc::clone(&processed),
+                    }
+                },
+                2,
+            )
+            .fields_grouping("spout", ["key"]);
+    }
+    let handle = builder.build().unwrap().launch();
+
+    // Every key panics once and is replayed once; eventually all N acks
+    // arrive.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while acked.load(Ordering::Relaxed) < N && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    handle.shutdown(Duration::from_secs(5));
+    std::panic::set_hook(prev_hook);
+
+    assert_eq!(acked.load(Ordering::Relaxed), N, "all trees complete");
+    assert_eq!(
+        processed.load(Ordering::Relaxed),
+        N,
+        "every tuple processed on its retry"
+    );
+    // Factory ran once per initial task (+1 probe at registration) plus
+    // once per crash.
+    let generations = generation.load(Ordering::Relaxed);
+    assert!(
+        generations >= 2 + N,
+        "bolt should have been rebuilt after each crash: {generations}"
+    );
+}

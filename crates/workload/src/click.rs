@@ -1,0 +1,180 @@
+//! The ground-truth click model.
+//!
+//! Given a recommended item shown to a user at a list position, the
+//! probability of a click combines:
+//!
+//! * **long-term affinity** — the user's stable interest in the item's
+//!   genre;
+//! * **session affinity** — a large boost when the item matches the
+//!   genre of the user's *current* session, decaying as the session ages
+//!   ("users' real-time demands usually fade away as time goes on");
+//! * item **quality** and (optionally) **freshness**;
+//! * **position bias** — lower slots get fewer looks.
+//!
+//! The session term is what separates the arms: a recommender that reacts
+//! within seconds catches the session genre; an hourly/daily model mostly
+//! serves the long-term term.
+
+use crate::world::{SimItem, SimUser, World};
+use tencentrec::types::Timestamp;
+
+/// Click-probability parameters.
+#[derive(Debug, Clone)]
+pub struct ClickModel {
+    /// Base click rate scale.
+    pub base: f64,
+    /// Weight of long-term genre affinity.
+    pub long_weight: f64,
+    /// Weight of the session-genre match.
+    pub session_weight: f64,
+    /// Session boost half-life in stream ms.
+    pub session_half_life_ms: u64,
+    /// Per-position multiplicative decay (slot i gets `decay^i`).
+    pub position_decay: f64,
+    /// Freshness half-life; `None` disables the freshness term.
+    pub freshness_half_life_ms: Option<u64>,
+}
+
+impl Default for ClickModel {
+    fn default() -> Self {
+        ClickModel {
+            base: 0.05,
+            long_weight: 0.3,
+            session_weight: 1.0,
+            session_half_life_ms: 30 * 60 * 1000,
+            position_decay: 0.92,
+            freshness_half_life_ms: None,
+        }
+    }
+}
+
+impl ClickModel {
+    /// Probability that `user` clicks `item` at `now` shown in `position`.
+    pub fn p_click(
+        &self,
+        world: &World,
+        user: &SimUser,
+        item: &SimItem,
+        now: Timestamp,
+        position: usize,
+    ) -> f64 {
+        // Long-term affinity relative to a uniform interest (1.0 = avg).
+        let genres = world.config.genres as f64;
+        let long = user.long_term[item.genre] * genres;
+        // Session match, decayed by session age.
+        let session = match user.session_genre {
+            Some((genre, since)) if genre == item.genre => {
+                let age = now.saturating_sub(since) as f64;
+                0.5f64.powf(age / self.session_half_life_ms as f64)
+            }
+            _ => 0.0,
+        };
+        let freshness = match self.freshness_half_life_ms {
+            None => 1.0,
+            Some(hl) => {
+                let age = now.saturating_sub(item.born) as f64;
+                0.5f64.powf(age / hl as f64).max(0.1)
+            }
+        };
+        let pos = self.position_decay.powi(position as i32);
+        (self.base
+            * item.quality
+            * freshness
+            * pos
+            * (self.long_weight * long + self.session_weight * session))
+            .clamp(0.0, 0.95)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+
+    fn setup() -> (World, ClickModel) {
+        (World::new(WorldConfig::default()), ClickModel::default())
+    }
+
+    #[test]
+    fn session_match_beats_no_session() {
+        // Same user, same item: with the session genre active the click
+        // probability must be substantially higher than without.
+        let (mut world, model) = setup();
+        world.gen_session(0, 1_000);
+        let (genre, _) = world.users[0].session_genre.unwrap();
+        let item = world
+            .items
+            .iter()
+            .find(|i| i.genre == genre)
+            .unwrap()
+            .clone();
+        let user_in_session = world.users[0].clone();
+        let mut user_idle = user_in_session.clone();
+        user_idle.session_genre = None;
+        let p_match = model.p_click(&world, &user_in_session, &item, 2_000, 0);
+        let p_idle = model.p_click(&world, &user_idle, &item, 2_000, 0);
+        assert!(
+            p_match > 1.3 * p_idle,
+            "session boost missing: {p_match} vs {p_idle}"
+        );
+    }
+
+    #[test]
+    fn session_boost_fades() {
+        let (mut world, model) = setup();
+        world.gen_session(0, 0);
+        let (genre, _) = world.users[0].session_genre.unwrap();
+        let item = world.items.iter().find(|i| i.genre == genre).unwrap().clone();
+        let user = world.users[0].clone();
+        let fresh = model.p_click(&world, &user, &item, 1_000, 0);
+        let stale = model.p_click(&world, &user, &item, 6 * 60 * 60 * 1000, 0);
+        assert!(fresh > stale, "boost must decay: {fresh} vs {stale}");
+    }
+
+    #[test]
+    fn position_bias_monotone() {
+        let (mut world, model) = setup();
+        world.gen_session(0, 0);
+        let user = world.users[0].clone();
+        let item = world.items[0].clone();
+        let p0 = model.p_click(&world, &user, &item, 100, 0);
+        let p5 = model.p_click(&world, &user, &item, 100, 5);
+        assert!(p0 >= p5);
+    }
+
+    #[test]
+    fn probabilities_valid() {
+        let (mut world, model) = setup();
+        for u in 0..10 {
+            world.gen_session(u, 0);
+        }
+        for u in 0..10 {
+            let user = world.users[u].clone();
+            for item in world.items.iter().take(50) {
+                let p = model.p_click(&world, &user, item, 500, 1);
+                assert!((0.0..=0.95).contains(&p), "p = {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn freshness_prefers_new_items() {
+        let (mut world, _) = setup();
+        let model = ClickModel {
+            freshness_half_life_ms: Some(3_600_000),
+            ..Default::default()
+        };
+        world.gen_session(0, 0);
+        let (genre, _) = world.users[0].session_genre.unwrap();
+        let mut old = world.items.iter().find(|i| i.genre == genre).unwrap().clone();
+        let mut new = old.clone();
+        old.born = 0;
+        new.born = 86_000_000;
+        let user = world.users[0].clone();
+        let now = 86_400_000;
+        assert!(
+            model.p_click(&world, &user, &new, now, 0)
+                > model.p_click(&world, &user, &old, now, 0)
+        );
+    }
+}

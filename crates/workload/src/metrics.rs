@@ -1,0 +1,125 @@
+//! Evaluation metrics: per-day CTR / read counts and improvement summaries.
+
+/// Metrics of one simulated day for one arm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DayMetrics {
+    /// Day index (0-based).
+    pub day: usize,
+    /// Recommendation impressions.
+    pub impressions: u64,
+    /// Clicks on recommendations.
+    pub clicks: u64,
+    /// Total reads (organic + recommendation-driven).
+    pub reads: u64,
+    /// Users active this day.
+    pub active_users: u64,
+}
+
+impl DayMetrics {
+    /// Click-through rate of recommendations.
+    pub fn ctr(&self) -> f64 {
+        if self.impressions == 0 {
+            0.0
+        } else {
+            self.clicks as f64 / self.impressions as f64
+        }
+    }
+
+    /// Average reads per active user.
+    pub fn reads_per_user(&self) -> f64 {
+        if self.active_users == 0 {
+            0.0
+        } else {
+            self.reads as f64 / self.active_users as f64
+        }
+    }
+}
+
+/// Relative improvement summary over a series of days (the avg/min/max of
+/// Table 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImprovementStats {
+    /// Mean daily improvement in percent.
+    pub avg: f64,
+    /// Worst daily improvement in percent.
+    pub min: f64,
+    /// Best daily improvement in percent.
+    pub max: f64,
+}
+
+/// Per-day percentage improvements of `ours` over `baseline` under
+/// `metric`, plus the summary stats.
+pub fn improvement_stats(
+    ours: &[DayMetrics],
+    baseline: &[DayMetrics],
+    metric: impl Fn(&DayMetrics) -> f64,
+) -> (Vec<f64>, ImprovementStats) {
+    assert_eq!(ours.len(), baseline.len(), "arms must cover the same days");
+    let daily: Vec<f64> = ours
+        .iter()
+        .zip(baseline)
+        .map(|(a, b)| {
+            let base = metric(b);
+            if base == 0.0 {
+                0.0
+            } else {
+                (metric(a) - base) / base * 100.0
+            }
+        })
+        .collect();
+    let avg = daily.iter().sum::<f64>() / daily.len().max(1) as f64;
+    let min = daily.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = daily.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    (
+        daily,
+        ImprovementStats {
+            avg,
+            min: if min.is_finite() { min } else { 0.0 },
+            max: if max.is_finite() { max } else { 0.0 },
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn day(day: usize, impressions: u64, clicks: u64) -> DayMetrics {
+        DayMetrics {
+            day,
+            impressions,
+            clicks,
+            reads: clicks,
+            active_users: 10,
+        }
+    }
+
+    #[test]
+    fn ctr_and_reads() {
+        let m = day(0, 200, 30);
+        assert!((m.ctr() - 0.15).abs() < 1e-12);
+        assert_eq!(m.reads_per_user(), 3.0);
+        let empty = day(1, 0, 0);
+        assert_eq!(empty.ctr(), 0.0);
+    }
+
+    #[test]
+    fn improvements_computed_per_day() {
+        let ours = vec![day(0, 100, 12), day(1, 100, 11)];
+        let base = vec![day(0, 100, 10), day(1, 100, 10)];
+        let (daily, stats) = improvement_stats(&ours, &base, DayMetrics::ctr);
+        assert!((daily[0] - 20.0).abs() < 1e-9);
+        assert!((daily[1] - 10.0).abs() < 1e-9);
+        assert!((stats.avg - 15.0).abs() < 1e-9);
+        assert!((stats.min - 10.0).abs() < 1e-9);
+        assert!((stats.max - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_baseline_counts_as_no_improvement() {
+        let ours = vec![day(0, 100, 5)];
+        let base = vec![day(0, 0, 0)];
+        let (daily, _) = improvement_stats(&ours, &base, DayMetrics::ctr);
+        assert_eq!(daily[0], 0.0);
+    }
+}

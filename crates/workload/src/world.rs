@@ -1,0 +1,458 @@
+//! The synthetic world: users, items, and organic behaviour.
+//!
+//! Users carry demographics and a long-term genre-interest distribution
+//! correlated with their demographic group (so the DB algorithm has
+//! signal). Sessions adopt a *session genre* — sometimes a burst interest
+//! far from the long-term profile — which is exactly the fast-moving
+//! component real-time recommendation exploits. Items have a genre,
+//! content tags, category, price, a birth time and a lifetime (short for
+//! news), and Zipf-ish popularity.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use tencentrec::action::{ActionType, UserAction};
+use tencentrec::catalog::{ItemCatalog, ItemMeta};
+use tencentrec::db::DemographicProfile;
+use tencentrec::types::{ItemId, Timestamp, UserId};
+
+/// World-shape parameters.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// RNG seed (identical seeds ⇒ identical organic behaviour).
+    pub seed: u64,
+    /// Number of users.
+    pub users: usize,
+    /// Number of genres (content clusters).
+    pub genres: usize,
+    /// Items alive at t = 0.
+    pub initial_items: usize,
+    /// Fresh items born per simulated day.
+    pub new_items_per_day: usize,
+    /// Items die this long after birth (`u64::MAX` = immortal).
+    pub item_lifetime_ms: u64,
+    /// Length of a simulated day in stream ms.
+    pub day_ms: u64,
+    /// Organic sessions per user per day.
+    pub sessions_per_user_per_day: usize,
+    /// Organic actions per session.
+    pub actions_per_session: usize,
+    /// Probability a session adopts a burst genre (uniform random) rather
+    /// than sampling the user's long-term interests.
+    pub burst_session_prob: f64,
+    /// Probability a session *continues* the user's previous demand
+    /// instead of starting a new one. Real-time demands ("I'd like to
+    /// watch a movie") persist for a while — that persistent fraction is
+    /// what a periodically rebuilt model can still catch; the fresh
+    /// fraction is what only a real-time system captures.
+    pub demand_persistence: f64,
+    /// Price range for commerce items.
+    pub price_range: (f64, f64),
+    /// Fraction of users with unknown demographics.
+    pub unknown_demographics: f64,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            seed: 42,
+            users: 400,
+            genres: 12,
+            initial_items: 600,
+            new_items_per_day: 60,
+            item_lifetime_ms: u64::MAX,
+            day_ms: 86_400_000,
+            sessions_per_user_per_day: 2,
+            actions_per_session: 5,
+            burst_session_prob: 0.35,
+            demand_persistence: 0.6,
+            price_range: (5.0, 500.0),
+            unknown_demographics: 0.1,
+        }
+    }
+}
+
+/// A simulated user.
+#[derive(Debug, Clone)]
+pub struct SimUser {
+    /// User id.
+    pub id: UserId,
+    /// Demographics (may be unknown).
+    pub profile: DemographicProfile,
+    /// Long-term genre interests (sums to 1).
+    pub long_term: Vec<f64>,
+    /// Current session genre and when it started.
+    pub session_genre: Option<(usize, Timestamp)>,
+}
+
+/// A simulated item.
+#[derive(Debug, Clone)]
+pub struct SimItem {
+    /// Item id.
+    pub id: ItemId,
+    /// Dominant genre.
+    pub genre: usize,
+    /// Price.
+    pub price: f64,
+    /// Intrinsic quality multiplier in [0.5, 1.5].
+    pub quality: f64,
+    /// Birth time.
+    pub born: Timestamp,
+    /// Popularity weight (Zipf-ish) for organic sampling.
+    pub popularity: f64,
+}
+
+/// The world state.
+pub struct World {
+    /// Configuration.
+    pub config: WorldConfig,
+    /// All users.
+    pub users: Vec<SimUser>,
+    /// All items ever born (dead ones retained for id stability).
+    pub items: Vec<SimItem>,
+    catalog: ItemCatalog,
+    rng: SmallRng,
+    next_item: ItemId,
+    days_advanced: usize,
+}
+
+impl World {
+    /// Builds the initial world.
+    pub fn new(config: WorldConfig) -> Self {
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let users = (0..config.users)
+            .map(|i| Self::gen_user(i as UserId, &config, &mut rng))
+            .collect();
+        let mut world = World {
+            users,
+            items: Vec::new(),
+            catalog: ItemCatalog::new(),
+            rng,
+            next_item: 1,
+            days_advanced: 0,
+            config,
+        };
+        for _ in 0..world.config.initial_items {
+            world.spawn_item(0);
+        }
+        world
+    }
+
+    fn gen_user(id: UserId, config: &WorldConfig, rng: &mut SmallRng) -> SimUser {
+        let unknown = rng.gen_bool(config.unknown_demographics);
+        let profile = if unknown {
+            DemographicProfile::unknown()
+        } else {
+            DemographicProfile {
+                gender: rng.gen_range(0..2),
+                age: rng.gen_range(15..70),
+                region: rng.gen_range(0..8),
+            }
+        };
+        // Demographic groups share 3 "anchor" genres; personal taste mixes
+        // the group anchors with individual noise.
+        let g = config.genres;
+        let group_seed = (profile.gender as u64) << 8 | (profile.age / 10) as u64;
+        let mut weights = vec![0.05f64; g];
+        for j in 0..3 {
+            let anchor = ((group_seed.wrapping_mul(2654435761).wrapping_add(j * 97)) as usize) % g;
+            weights[anchor] += 0.6;
+        }
+        let personal = rng.gen_range(0..g);
+        weights[personal] += 0.8;
+        let total: f64 = weights.iter().sum();
+        for w in &mut weights {
+            *w /= total;
+        }
+        SimUser {
+            id,
+            profile,
+            long_term: weights,
+            session_genre: None,
+        }
+    }
+
+    fn spawn_item(&mut self, now: Timestamp) -> ItemId {
+        let id = self.next_item;
+        self.next_item += 1;
+        let genre = self.rng.gen_range(0..self.config.genres);
+        let (lo, hi) = self.config.price_range;
+        let rank = self.items.len() as f64 + 1.0;
+        let item = SimItem {
+            id,
+            genre,
+            price: self.rng.gen_range(lo..hi),
+            quality: self.rng.gen_range(0.5..1.5),
+            born: now,
+            // Zipf-flavoured: newer ids get a random popularity against a
+            // 1/rank^0.6 backdrop so a head of hot items exists.
+            popularity: self.rng.gen_range(0.2..1.0) / rank.powf(0.3),
+        };
+        // Content tags: strong genre tag + two subtags correlated with it.
+        let tags = vec![
+            (genre as u32, 1.0),
+            (
+                (self.config.genres + genre * 5 + self.rng.gen_range(0..5)) as u32,
+                0.5,
+            ),
+            (
+                (self.config.genres + genre * 5 + self.rng.gen_range(0..5)) as u32,
+                0.3,
+            ),
+        ];
+        self.catalog.upsert(
+            id,
+            ItemMeta {
+                category: genre as u32,
+                price: item.price,
+                tags,
+            },
+        );
+        self.items.push(item);
+        id
+    }
+
+    /// Spawns the day's fresh items. Call once per simulated day, with the
+    /// day index; returns the new item ids (so a CB arm can register them).
+    pub fn advance_day(&mut self, day: usize) -> Vec<ItemId> {
+        assert_eq!(day, self.days_advanced, "days must advance sequentially");
+        self.days_advanced += 1;
+        let now = day as u64 * self.config.day_ms;
+        (0..self.config.new_items_per_day)
+            .map(|_| self.spawn_item(now))
+            .collect()
+    }
+
+    /// Whether an item is alive at `now`.
+    pub fn is_alive(&self, item: &SimItem, now: Timestamp) -> bool {
+        now >= item.born && now.saturating_sub(item.born) < self.config.item_lifetime_ms
+    }
+
+    /// Items alive at `now`.
+    pub fn live_items(&self, now: Timestamp) -> Vec<&SimItem> {
+        self.items.iter().filter(|i| self.is_alive(i, now)).collect()
+    }
+
+    /// Items whose lifetime expired in `(from, to]`.
+    pub fn retired_between(&self, from: Timestamp, to: Timestamp) -> Vec<ItemId> {
+        if self.config.item_lifetime_ms == u64::MAX {
+            return Vec::new();
+        }
+        self.items
+            .iter()
+            .filter(|i| {
+                let death = i.born.saturating_add(self.config.item_lifetime_ms);
+                death > from && death <= to
+            })
+            .map(|i| i.id)
+            .collect()
+    }
+
+    /// The shared item catalog.
+    pub fn catalog(&self) -> &ItemCatalog {
+        &self.catalog
+    }
+
+    /// Looks up an item by id (ids are 1-based and dense).
+    pub fn item(&self, id: ItemId) -> Option<&SimItem> {
+        self.items.get((id - 1) as usize)
+    }
+
+    /// Samples an alive item of `genre` by popularity × quality; falls
+    /// back to any alive item when the genre has none.
+    fn sample_item(&mut self, genre: usize, now: Timestamp) -> Option<ItemId> {
+        let candidates: Vec<(ItemId, f64)> = self
+            .items
+            .iter()
+            .filter(|i| self.is_alive(i, now) && i.genre == genre)
+            .map(|i| (i.id, i.popularity * i.quality))
+            .collect();
+        let pool = if candidates.is_empty() {
+            self.items
+                .iter()
+                .filter(|i| self.is_alive(i, now))
+                .map(|i| (i.id, i.popularity * i.quality))
+                .collect()
+        } else {
+            candidates
+        };
+        if pool.is_empty() {
+            return None;
+        }
+        let total: f64 = pool.iter().map(|&(_, w)| w).sum();
+        let mut draw = self.rng.gen_range(0.0..total);
+        for (id, w) in pool {
+            draw -= w;
+            if draw <= 0.0 {
+                return Some(id);
+            }
+        }
+        None
+    }
+
+    /// Generates one organic session for a user at `now`: picks a session
+    /// genre (burst or long-term), records it on the user, and produces a
+    /// run of actions (browse, click, read, occasionally purchase) on
+    /// items of that genre.
+    pub fn gen_session(&mut self, user_idx: usize, now: Timestamp) -> Vec<UserAction> {
+        let continued = self.users[user_idx]
+            .session_genre
+            .filter(|_| self.rng.gen_bool(self.config.demand_persistence))
+            .map(|(g, _)| g);
+        let genre = if let Some(g) = continued {
+            g
+        } else if self.rng.gen_bool(self.config.burst_session_prob) {
+            self.rng.gen_range(0..self.config.genres)
+        } else {
+            // Sample the long-term distribution.
+            let draw: f64 = self.rng.gen();
+            let mut acc = 0.0;
+            let mut chosen = 0;
+            for (g, &w) in self.users[user_idx].long_term.iter().enumerate() {
+                acc += w;
+                if draw <= acc {
+                    chosen = g;
+                    break;
+                }
+            }
+            chosen
+        };
+        self.users[user_idx].session_genre = Some((genre, now));
+        let user_id = self.users[user_idx].id;
+        let mut actions = Vec::with_capacity(self.config.actions_per_session);
+        for step in 0..self.config.actions_per_session {
+            let Some(item) = self.sample_item(genre, now) else {
+                break;
+            };
+            let ts = now + step as u64 * 1_000;
+            let action = match self.rng.gen_range(0..10) {
+                0..=3 => ActionType::Browse,
+                4..=6 => ActionType::Click,
+                7..=8 => ActionType::Read,
+                _ => ActionType::Purchase,
+            };
+            actions.push(UserAction::new(user_id, item, action, ts));
+        }
+        actions
+    }
+
+    /// Direct RNG access for harness-level draws (kept on the world so
+    /// both arms of a comparison use the same deterministic stream when
+    /// given identical seeds).
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> World {
+        World::new(WorldConfig {
+            users: 50,
+            initial_items: 100,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = world();
+        let mut b = world();
+        let sa = a.gen_session(3, 1_000);
+        let sb = b.gen_session(3, 1_000);
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = World::new(WorldConfig {
+            seed: 1,
+            ..Default::default()
+        });
+        let mut b = World::new(WorldConfig {
+            seed: 2,
+            ..Default::default()
+        });
+        let sa: Vec<_> = (0..5).flat_map(|i| a.gen_session(i, 0)).collect();
+        let sb: Vec<_> = (0..5).flat_map(|i| b.gen_session(i, 0)).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn sessions_stay_in_genre() {
+        let mut w = world();
+        let actions = w.gen_session(0, 0);
+        assert!(!actions.is_empty());
+        let (genre, _) = w.users[0].session_genre.unwrap();
+        for a in &actions {
+            assert_eq!(w.item(a.item).unwrap().genre, genre);
+        }
+    }
+
+    #[test]
+    fn items_die_after_lifetime() {
+        let mut w = World::new(WorldConfig {
+            item_lifetime_ms: 1_000,
+            initial_items: 10,
+            new_items_per_day: 5,
+            ..Default::default()
+        });
+        assert_eq!(w.live_items(0).len(), 10);
+        assert_eq!(w.live_items(2_000).len(), 0);
+        let fresh = w.advance_day(0);
+        assert_eq!(fresh.len(), 5);
+    }
+
+    #[test]
+    fn catalog_tracks_items() {
+        let w = world();
+        assert_eq!(w.catalog().len(), 100);
+        let item = w.item(1).unwrap();
+        let meta = w.catalog().get(1).unwrap();
+        assert_eq!(meta.category, item.genre as u32);
+        assert_eq!(meta.price, item.price);
+        assert_eq!(meta.tags[0].0, item.genre as u32);
+    }
+
+    #[test]
+    fn long_term_interests_normalised() {
+        let w = world();
+        for u in &w.users {
+            let sum: f64 = u.long_term.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+            assert!(u.long_term.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn demographic_groups_share_anchors() {
+        let w = World::new(WorldConfig {
+            users: 2_000,
+            unknown_demographics: 0.0,
+            ..Default::default()
+        });
+        // Two users in the same (gender, decade) group share anchor
+        // genres: their average long-term vectors should correlate more
+        // within the group than across groups.
+        let group = |u: &SimUser| (u.profile.gender, u.profile.age / 10);
+        let users: Vec<&SimUser> = w.users.iter().collect();
+        let a = users.iter().find(|u| group(u) == (0, 2)).unwrap();
+        let same: Vec<&&SimUser> = users
+            .iter()
+            .filter(|u| group(u) == (0, 2) && u.id != a.id)
+            .collect();
+        let diff: Vec<&&SimUser> = users.iter().filter(|u| group(u) == (1, 5)).collect();
+        let dot = |x: &SimUser, y: &SimUser| -> f64 {
+            x.long_term.iter().zip(&y.long_term).map(|(a, b)| a * b).sum()
+        };
+        let avg_same: f64 =
+            same.iter().map(|u| dot(a, u)).sum::<f64>() / same.len() as f64;
+        let avg_diff: f64 =
+            diff.iter().map(|u| dot(a, u)).sum::<f64>() / diff.len() as f64;
+        assert!(
+            avg_same > avg_diff,
+            "within-group affinity {avg_same} should beat cross-group {avg_diff}"
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Advertising: the situational CTR algorithm, including the paper's
+//! motivating query — "during last ten seconds, what is the CTR of an
+//! advertisement among the male users in Beijing, whose age is from twenty
+//! to thirty".
+//!
+//! ```sh
+//! cargo run --example ad_ctr
+//! ```
+
+use tencentrec::cf::WindowConfig;
+use tencentrec::ctr::{CtrConfig, Situation, SituationalCtr};
+use tencentrec::db::DemographicProfile;
+
+const BEIJING: u16 = 10;
+const SHANGHAI: u16 = 21;
+
+fn situation(gender: u8, age: u8, region: u16) -> Situation {
+    Situation {
+        profile: DemographicProfile {
+            gender,
+            age,
+            region,
+        },
+        position: 0,
+    }
+}
+
+fn main() {
+    // Counts windowed at 10 × 1-second sessions: the "last ten seconds".
+    let mut model = SituationalCtr::new(CtrConfig {
+        window: Some(WindowConfig {
+            session_ms: 1_000,
+            sessions: 10,
+        }),
+        ..Default::default()
+    });
+
+    let young_bj_men = situation(1, 25, BEIJING);
+    let young_sh_women = situation(0, 25, SHANGHAI);
+
+    // Ad 1 resonates with young Beijing men; ad 2 with Shanghai women.
+    let mut now = 0u64;
+    for i in 0..400u64 {
+        now = i * 20; // 20 ms between requests
+        model.impression(1, &young_bj_men, now);
+        if i % 4 == 0 {
+            model.click(1, &young_bj_men, now); // 25% CTR
+        }
+        model.impression(1, &young_sh_women, now);
+        if i % 50 == 0 {
+            model.click(1, &young_sh_women, now); // 2% CTR
+        }
+        model.impression(2, &young_sh_women, now);
+        if i % 5 == 0 {
+            model.click(2, &young_sh_women, now); // 20% CTR
+        }
+    }
+
+    // The motivating query, answered from the windowed counts.
+    println!("last-10s CTR of ad 1, male 20-30 Beijing:   {:?}", model.situational_ctr(1, &young_bj_men));
+    println!("last-10s CTR of ad 1, female 20-30 Shanghai: {:?}", model.situational_ctr(1, &young_sh_women));
+
+    // Smoothed predictions drive ad selection per situation.
+    println!("\npredicted CTRs:");
+    for (label, s) in [("BJ men 25", &young_bj_men), ("SH women 25", &young_sh_women)] {
+        let ranked = model.rank(&[1, 2], s, 2);
+        println!(
+            "  {label}: ad {} first ({:.1}% vs {:.1}%)",
+            ranked[0].0,
+            ranked[0].1 * 100.0,
+            ranked[1].1 * 100.0
+        );
+    }
+
+    // A situation never observed backs off to coarser statistics instead
+    // of answering zero.
+    let unseen = situation(1, 27, SHANGHAI);
+    println!(
+        "\ncold situation (male 27 Shanghai) backs off: ad 1 predicted {:.1}%",
+        model.predict(1, &unseen) * 100.0
+    );
+
+    // Eleven seconds of silence: the window empties, the model forgets.
+    now += 11_000;
+    model.impression(1, &young_bj_men, now);
+    println!(
+        "\nafter 11 quiet seconds the windowed CTR resets: {:?}",
+        model.situational_ctr(1, &young_bj_men)
+    );
+}

@@ -1,0 +1,94 @@
+//! E-commerce: item-based CF with application filter rules — the YiXun
+//! recommendation positions of §6.4 ("the goods with similar prices, the
+//! goods with similar purchases").
+//!
+//! ```sh
+//! cargo run --example ecommerce
+//! ```
+
+use tencentrec::action::{ActionType, ActionWeights, UserAction};
+use tencentrec::catalog::{ItemCatalog, ItemMeta};
+use tencentrec::cf::{CfConfig, ItemCF};
+use tencentrec::db::{DemographicRec, GroupScheme};
+use tencentrec::engine::{Primary, RecommendEngine, StreamRecommender};
+use tencentrec::filtering::{FilterChain, PriceRangeFilter};
+
+fn product(catalog: &ItemCatalog, id: u64, category: u32, price: f64) {
+    catalog.upsert(
+        id,
+        ItemMeta {
+            category,
+            price,
+            tags: vec![],
+        },
+    );
+}
+
+fn main() {
+    let catalog = ItemCatalog::new();
+    // Electronics: a flagship phone, a budget phone, cases and chargers.
+    product(&catalog, 1, 0, 999.0); // flagship phone
+    product(&catalog, 2, 0, 199.0); // budget phone
+    product(&catalog, 3, 1, 25.0); // case
+    product(&catalog, 4, 1, 19.0); // charger
+    product(&catalog, 5, 1, 890.0); // high-end tablet
+    product(&catalog, 6, 1, 21.0); // cable
+
+    let mut engine = RecommendEngine::new(
+        Primary::Cf(ItemCF::new(CfConfig::default())),
+        DemographicRec::new(GroupScheme::default(), ActionWeights::default(), None),
+        0.0,
+    );
+
+    // Co-purchase traffic: phone buyers grab cases, chargers and cables.
+    let mut ts = 0u64;
+    for user in 0..100u64 {
+        ts += 1_000;
+        engine.process(&UserAction::new(user, 1, ActionType::Purchase, ts));
+        engine.process(&UserAction::new(user, 3, ActionType::Purchase, ts + 10));
+        if user % 2 == 0 {
+            engine.process(&UserAction::new(user, 4, ActionType::AddToCart, ts + 20));
+        }
+        if user % 3 == 0 {
+            engine.process(&UserAction::new(user, 6, ActionType::Click, ts + 30));
+        }
+        if user % 5 == 0 {
+            engine.process(&UserAction::new(user, 5, ActionType::Browse, ts + 40));
+        }
+    }
+
+    // A shopper browses the flagship phone.
+    let shopper = 7_777;
+    engine.process(&UserAction::new(shopper, 1, ActionType::Browse, ts + 100));
+
+    // Similar-purchase position: raw CF candidates.
+    println!("similar-purchase position (co-purchase CF):");
+    for (item, score) in engine.recommend(shopper, 4) {
+        println!(
+            "  item {item} @ ¥{:<7.2} score {score:.3}",
+            catalog.price(item).unwrap_or(0.0)
+        );
+    }
+
+    // Similar-price position: same candidates, filtered to ±30% of the
+    // browsed item's price (the application's FilterBolt).
+    let anchor_price = catalog.price(1).expect("catalog has item 1");
+    let chain = FilterChain::new().push(PriceRangeFilter::around(
+        catalog.clone(),
+        anchor_price,
+        0.3,
+    ));
+    let mut candidates = engine.recommend(shopper, 16);
+    chain.apply(&mut candidates);
+    candidates.truncate(4);
+    println!("\nsimilar-price position (±30% of ¥{anchor_price}):");
+    if candidates.is_empty() {
+        println!("  (no similarly priced candidates)");
+    }
+    for (item, score) in candidates {
+        println!(
+            "  item {item} @ ¥{:<7.2} score {score:.3}",
+            catalog.price(item).unwrap_or(0.0)
+        );
+    }
+}

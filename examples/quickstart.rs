@@ -1,0 +1,76 @@
+//! Quickstart: the practical item-based CF in five minutes.
+//!
+//! Feeds a stream of implicit-feedback actions into [`ItemCF`], inspects
+//! the incrementally maintained similar-items table, and asks for
+//! recommendations — no cluster, no storage, just the algorithm.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use tencentrec::action::{ActionType, UserAction};
+use tencentrec::cf::{CfConfig, ItemCF, WindowConfig};
+
+fn main() {
+    // A CF engine with a 6-session sliding window of 10 minutes each,
+    // top-20 similar lists, and Hoeffding pruning at δ = 1e-3.
+    let mut cf = ItemCF::new(CfConfig {
+        window: Some(WindowConfig {
+            session_ms: 10 * 60 * 1000,
+            sessions: 6,
+        }),
+        ..Default::default()
+    });
+
+    // Simulated catalogue: keyboards (1), mice (2), monitors (3), novels
+    // (40), cookbooks (41).
+    println!("streaming user actions...");
+    let mut ts = 0u64;
+    for user in 0..200u64 {
+        ts += 1_000;
+        match user % 4 {
+            // Desk-setup shoppers: keyboard + mouse, some add a monitor.
+            0 | 1 => {
+                cf.process(&UserAction::new(user, 1, ActionType::Click, ts));
+                cf.process(&UserAction::new(user, 2, ActionType::Purchase, ts + 10));
+                if user % 8 == 0 {
+                    cf.process(&UserAction::new(user, 3, ActionType::Browse, ts + 20));
+                }
+            }
+            // Readers: novel + cookbook.
+            2 => {
+                cf.process(&UserAction::new(user, 40, ActionType::Click, ts));
+                cf.process(&UserAction::new(user, 41, ActionType::Click, ts + 10));
+            }
+            // Mixed browsers.
+            _ => {
+                cf.process(&UserAction::new(user, 1, ActionType::Browse, ts));
+                cf.process(&UserAction::new(user, 40, ActionType::Browse, ts + 10));
+            }
+        }
+    }
+
+    println!("\nsimilar-items table (incrementally maintained):");
+    for item in [1u64, 40] {
+        let similar: Vec<String> = cf
+            .similar_items(item)
+            .iter()
+            .take(3)
+            .map(|(i, s)| format!("item {i} ({s:.3})"))
+            .collect();
+        println!("  item {item}: {}", similar.join(", "));
+    }
+
+    // A new user clicks a keyboard; recommendations update instantly.
+    let newcomer = 9_999;
+    cf.process(&UserAction::new(newcomer, 1, ActionType::Click, ts + 100));
+    println!("\nnewcomer clicked the keyboard; recommendations:");
+    for rec in cf.recommend(newcomer, 3) {
+        println!(
+            "  item {:>3}  predicted rating {:.2}  confidence {:.2}",
+            rec.item, rec.score, rec.confidence
+        );
+    }
+
+    println!("\nwork counters: {:?}", cf.stats());
+}

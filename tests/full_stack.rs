@@ -1,0 +1,154 @@
+//! End-to-end integration: TDAccess → tstorm topology → TDStore → query,
+//! including failure injection, mirroring the deployment of Fig. 9.
+
+use crossbeam::channel::unbounded;
+use std::time::{Duration, Instant};
+use tdaccess::{AccessCluster, ClusterConfig};
+use tdstore::{StoreConfig, TdStore};
+use tencentrec::action::{ActionType, UserAction};
+use tencentrec::topology::{
+    build_cf_topology, CfParallelism, CfPipelineConfig, TopologyRecommender,
+};
+
+fn encode(action: &UserAction) -> Vec<u8> {
+    let mut p = Vec::with_capacity(25);
+    p.extend_from_slice(&action.user.to_le_bytes());
+    p.extend_from_slice(&action.item.to_le_bytes());
+    p.push(action.action.code());
+    p.extend_from_slice(&action.timestamp.to_le_bytes());
+    p
+}
+
+fn decode(p: &[u8]) -> UserAction {
+    UserAction::new(
+        u64::from_le_bytes(p[0..8].try_into().unwrap()),
+        u64::from_le_bytes(p[8..16].try_into().unwrap()),
+        ActionType::from_code(p[16]).expect("valid code"),
+        u64::from_le_bytes(p[17..25].try_into().unwrap()),
+    )
+}
+
+#[test]
+fn actions_flow_from_access_to_recommendations() {
+    let access = AccessCluster::new(ClusterConfig {
+        brokers: 2,
+        ..Default::default()
+    });
+    access.create_topic("actions", 3).unwrap();
+    let producer = access.producer("actions").unwrap();
+    for user in 0..100u64 {
+        for (item, offset) in [(1u64, 0u64), (2, 1)] {
+            let a = UserAction::new(user, item, ActionType::Click, user * 10 + offset);
+            producer.send(Some(&user.to_le_bytes()), &encode(&a)).unwrap();
+        }
+    }
+
+    let store = TdStore::new(StoreConfig::default());
+    let (tx, rx) = unbounded();
+    let config = CfPipelineConfig::default();
+    let topo =
+        build_cf_topology(rx, store.clone(), config.clone(), CfParallelism::default()).unwrap();
+    let handle = topo.launch();
+
+    let mut consumer = access.consumer("actions", "pipeline").unwrap();
+    let mut delivered = 0;
+    loop {
+        let batch = consumer.poll(64).unwrap();
+        if batch.is_empty() {
+            break;
+        }
+        for msg in batch {
+            tx.send(decode(&msg.payload)).unwrap();
+            delivered += 1;
+        }
+    }
+    assert_eq!(delivered, 200, "every published action must be consumed");
+    drop(tx);
+    assert!(handle.wait_idle(Duration::from_secs(30)));
+    handle.shutdown(Duration::from_secs(5));
+
+    let query = TopologyRecommender::new(store, config);
+    let sim = query.similarity(1, 2, 10_000);
+    assert!(sim > 0.9, "perfectly co-clicked items: sim = {sim}");
+}
+
+#[test]
+fn store_failover_mid_stream_preserves_results() {
+    let store = TdStore::new(StoreConfig {
+        servers: 4,
+        instances: 16,
+        replicated: true,
+        sync_every: 16, // aggressive replication
+        ..Default::default()
+    });
+    let (tx, rx) = unbounded();
+    let config = CfPipelineConfig::default();
+    let topo =
+        build_cf_topology(rx, store.clone(), config.clone(), CfParallelism::default()).unwrap();
+    let handle = topo.launch();
+
+    // First half of the stream.
+    for user in 0..50u64 {
+        tx.send(UserAction::new(user, 1, ActionType::Click, user * 10))
+            .unwrap();
+        tx.send(UserAction::new(user, 2, ActionType::Click, user * 10 + 1))
+            .unwrap();
+    }
+    assert!(handle.wait_idle(Duration::from_secs(30)));
+    store.sync();
+    store.kill_server(1).expect("failover succeeds");
+
+    // Second half continues against the failed-over store.
+    for user in 50..100u64 {
+        tx.send(UserAction::new(user, 1, ActionType::Click, user * 10))
+            .unwrap();
+        tx.send(UserAction::new(user, 2, ActionType::Click, user * 10 + 1))
+            .unwrap();
+    }
+    drop(tx);
+    assert!(handle.wait_idle(Duration::from_secs(30)));
+    handle.shutdown(Duration::from_secs(5));
+
+    let query = TopologyRecommender::new(store, config);
+    let sim = query.similarity(1, 2, 10_000);
+    assert!(
+        sim > 0.9,
+        "counts must survive the data-server failure: sim = {sim}"
+    );
+}
+
+#[test]
+fn freshness_under_one_second() {
+    // The paper's headline latency claim: "whenever an event occurs, it
+    // costs less than one second for TencentRec to respond to this change
+    // and update the recommendation results."
+    let store = TdStore::new(StoreConfig::default());
+    let (tx, rx) = unbounded();
+    let config = CfPipelineConfig::default();
+    let topo =
+        build_cf_topology(rx, store.clone(), config.clone(), CfParallelism::default()).unwrap();
+    let handle = topo.launch();
+    let query = TopologyRecommender::new(store, config);
+
+    for u in 0..30u64 {
+        tx.send(UserAction::new(u, 7, ActionType::Click, u)).unwrap();
+        tx.send(UserAction::new(u, 8, ActionType::Click, u + 1))
+            .unwrap();
+    }
+    assert!(handle.wait_idle(Duration::from_secs(30)));
+
+    let t0 = Instant::now();
+    tx.send(UserAction::new(500, 7, ActionType::Click, 10_000))
+        .unwrap();
+    let mut fresh = false;
+    while t0.elapsed() < Duration::from_secs(1) {
+        if query.recommend(500, 1).first().map(|r| r.0) == Some(8) {
+            fresh = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_micros(100));
+    }
+    drop(tx);
+    handle.shutdown(Duration::from_secs(5));
+    assert!(fresh, "recommendation must reflect the action within 1 s");
+}
