@@ -14,7 +14,7 @@ fn workload(n: usize) -> Vec<UserAction> {
             let user = rng.gen_range(0..5_000u64);
             let cluster = user % 50;
             let item = if rng.gen_bool(0.8) {
-                cluster * 40 + rng.gen_range(0..12)
+                cluster * 40 + rng.gen_range(0..12u64)
             } else {
                 rng.gen_range(0..2_000)
             };

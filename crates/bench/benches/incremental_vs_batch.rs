@@ -43,20 +43,16 @@ fn bench(c: &mut Criterion) {
         for a in &actions {
             warm.process(a);
         }
-        group.bench_with_input(
-            BenchmarkId::new("incremental", size),
-            &size,
-            |b, _| {
-                b.iter_batched(
-                    || warm.clone(), // clone outside the timing loop
-                    |mut cf| {
-                        cf.process(&probe);
-                        std::hint::black_box(cf.stats())
-                    },
-                    criterion::BatchSize::LargeInput,
-                )
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("incremental", size), &size, |b, _| {
+            b.iter_batched(
+                || warm.clone(), // clone outside the timing loop
+                |mut cf| {
+                    cf.process(&probe);
+                    std::hint::black_box(cf.stats())
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
 
         // Batch: rebuild from the full history including the new action
         // (what a periodic system pays, amortised over its period).

@@ -15,10 +15,9 @@ fn engines() -> Vec<(&'static str, EngineKind)> {
         ("rdb", EngineKind::Rdb),
         (
             "fdb",
-            EngineKind::Fdb(std::env::temp_dir().join(format!(
-                "tdstore-bench-{}",
-                std::process::id()
-            ))),
+            EngineKind::Fdb(
+                std::env::temp_dir().join(format!("tdstore-bench-{}", std::process::id())),
+            ),
         ),
     ]
 }

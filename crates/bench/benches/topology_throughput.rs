@@ -1,6 +1,8 @@
 //! End-to-end throughput of the Fig. 6 CF topology (spout → pretreatment →
 //! history → counts/pairs → TDStore), the single-machine counterpart of
-//! §6.1's cluster numbers.
+//! §6.1's cluster numbers. Besides wall-clock throughput, one profiling
+//! pass reports each bolt's per-execute latency distribution (p50/p99) —
+//! tails, not means, are what size a topology for a latency target.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use crossbeam::channel::unbounded;
@@ -57,6 +59,35 @@ fn bench(c: &mut Criterion) {
         })
     });
     group.finish();
+
+    // One profiled pass: per-bolt execute-latency percentiles from the
+    // topology's own metrics (printed once, outside the timed samples).
+    let store = TdStore::new(StoreConfig::default());
+    let (tx, rx) = unbounded();
+    let topo = build_cf_topology(
+        rx,
+        store,
+        CfPipelineConfig::default(),
+        CfParallelism::default(),
+    )
+    .expect("valid topology");
+    let handle = topo.launch();
+    for a in &actions {
+        tx.send(*a).unwrap();
+    }
+    drop(tx);
+    assert!(handle.wait_idle(Duration::from_secs(120)));
+    let metrics = handle.shutdown(Duration::from_secs(5));
+    println!("per-bolt execute latency over {ACTIONS} actions:");
+    for m in &metrics {
+        if m.executed > 0 {
+            println!(
+                "  {:<14} {}",
+                m.component,
+                m.exec_latency.format_percentiles()
+            );
+        }
+    }
 }
 
 criterion_group!(benches, bench);

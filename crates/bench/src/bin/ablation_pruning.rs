@@ -23,11 +23,11 @@ fn workload(actions: usize, seed: u64) -> Vec<UserAction> {
         let cluster = user % 20;
         let roll: f64 = rng.gen();
         let item = if roll < 0.72 {
-            cluster * 50 + rng.gen_range(0..16) // dense head of the cluster
+            cluster * 50 + rng.gen_range(0..16u64) // dense head of the cluster
         } else if roll < 0.92 {
             // "hot item" portals everyone touches: frequent but weak pairs
             // with everything — the mass real-time pruning removes.
-            2_000 + rng.gen_range(0..16)
+            2_000 + rng.gen_range(0..16u64)
         } else {
             rng.gen_range(0..1_000) // tail noise
         };
@@ -59,8 +59,18 @@ fn list_overlap(a: &ItemCF, b: &ItemCF, items: u64, k: usize) -> f64 {
     let mut inter = 0usize;
     let mut total = 0usize;
     for item in 0..items {
-        let la: Vec<u64> = a.similar_items(item).iter().take(k).map(|&(i, _)| i).collect();
-        let lb: Vec<u64> = b.similar_items(item).iter().take(k).map(|&(i, _)| i).collect();
+        let la: Vec<u64> = a
+            .similar_items(item)
+            .iter()
+            .take(k)
+            .map(|&(i, _)| i)
+            .collect();
+        let lb: Vec<u64> = b
+            .similar_items(item)
+            .iter()
+            .take(k)
+            .map(|&(i, _)| i)
+            .collect();
         total += lb.len().min(k);
         inter += la.iter().filter(|i| lb.contains(i)).count();
     }

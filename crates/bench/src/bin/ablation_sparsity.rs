@@ -39,8 +39,7 @@ fn run(label: &str, mut rec: impl tencentrec::engine::StreamRecommender) {
     let impressions: u64 = days.iter().map(|d| d.impressions).sum();
     let clicks: u64 = days.iter().map(|d| d.clicks).sum();
     // Fill rate: fraction of the possible list slots actually served.
-    let possible = (app.world.users * app.world.sessions_per_user_per_day * app.sim.days)
-        as u64
+    let possible = (app.world.users * app.world.sessions_per_user_per_day * app.sim.days) as u64
         * app.sim.list_size as u64;
     println!(
         "{label:<26} {:>7.2}% {:>9.2}% {:>11.1}% {clicks:>8} {impressions:>13}",

@@ -6,10 +6,10 @@
 //! window lengths: too short forgets the co-occurrence signal, too long
 //! (or unbounded) drowns current trends in stale counts.
 
+use tencentrec::action::ActionWeights;
 use tencentrec::cf::{CfConfig, ItemCF, WindowConfig};
 use tencentrec::db::{DemographicRec, GroupScheme};
 use tencentrec::engine::{Primary, RecommendEngine};
-use tencentrec::action::ActionWeights;
 use workload::apps::video_app;
 use workload::{run_simulation, DayMetrics, World};
 
@@ -62,7 +62,10 @@ fn main() {
         ("unbounded", None),
     ];
     println!("== Ablation: sliding-window size (video scenario, 7 days) ==");
-    println!("{:<11} {:>8} {:>13} {:>8}", "window", "CTR", "impressions", "clicks");
+    println!(
+        "{:<11} {:>8} {:>13} {:>8}",
+        "window", "CTR", "impressions", "clicks"
+    );
     for (label, window) in windows {
         let app = video_app(31, 7);
         let mut world = World::new(app.world.clone());

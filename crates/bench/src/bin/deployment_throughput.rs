@@ -56,11 +56,13 @@ fn main() {
     );
     for m in &metrics {
         println!(
-            "  {:<14} executed {:>8}  emitted {:>8}  mean exec {:>8.1} µs",
+            "  {:<14} executed {:>8}  emitted {:>8}  exec p50 {:>8.1} µs  p99 {:>8.1} µs  max {:>8.1} µs",
             m.component,
             m.executed,
             m.emitted,
-            m.mean_exec_micros()
+            m.exec_latency.p50().as_secs_f64() * 1e6,
+            m.exec_latency.p99().as_secs_f64() * 1e6,
+            m.exec_latency.max().as_secs_f64() * 1e6,
         );
     }
     let total_execs: u64 = metrics.iter().map(|m| m.executed).sum();
@@ -101,7 +103,8 @@ fn main() {
 
     // Seed: 50 users co-click items 1 and 2.
     for u in 0..50u64 {
-        tx.send(UserAction::new(u, 1, ActionType::Click, u)).unwrap();
+        tx.send(UserAction::new(u, 1, ActionType::Click, u))
+            .unwrap();
         tx.send(UserAction::new(u, 2, ActionType::Click, u + 1))
             .unwrap();
     }

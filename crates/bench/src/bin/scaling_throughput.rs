@@ -64,8 +64,16 @@ fn run(actions: &[UserAction], scale: usize) -> f64 {
 fn main() {
     let actions = workload();
     println!("== Scaling: CF pipeline throughput vs bolt parallelism ==");
-    println!("cores available: {}", std::thread::available_parallelism().map(|n| n.get()).unwrap_or(0));
-    println!("{:>6} {:>6} {:>16} {:>9}", "scale", "tasks", "actions/s", "speedup");
+    println!(
+        "cores available: {}",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(0)
+    );
+    println!(
+        "{:>6} {:>6} {:>16} {:>9}",
+        "scale", "tasks", "actions/s", "speedup"
+    );
     let mut base = None;
     for scale in [1usize, 2, 4] {
         let rate = run(&actions, scale);
@@ -76,7 +84,11 @@ fn main() {
         }
         println!("{scale:>6} {tasks:>6} {rate:>16.0} {speedup:>8.2}x");
     }
-    if std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) <= 2 {
+    if std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        <= 2
+    {
         println!(
             "
 note: with <=2 cores the added tasks only time-share one CPU, so no \

@@ -1,0 +1,149 @@
+//! Serving latency under load: drives the tserve TCP server with an
+//! open-loop (paced-arrival) workload at several offered rates and
+//! reports served req/s, latency percentiles, and shed rate per level.
+//!
+//! The paper's serving claim is latency bounded under a 0.5M req/s peak
+//! (§6.1); the single-machine counterpart is the *shape* of the curve:
+//! below saturation the server keeps p99 near service time with no
+//! shedding, and past saturation admission control sheds the excess
+//! while the latency of admitted requests stays bounded — instead of
+//! every response going late.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tencentrec::action::{ActionType, UserAction};
+use tencentrec::engine::default_cf_engine;
+use tserve::{Client, ClientConfig, ClientError, Server, ServerConfig};
+use workload::driver::{closed_loop, open_loop, CallOutcome};
+
+const USERS: u64 = 20_000;
+const ITEMS: u64 = 2_000;
+const SEED_ACTIONS: usize = 100_000;
+const DEADLINE_MS: u32 = 50;
+const LEVEL_SECS: u64 = 2;
+
+fn main() {
+    let shards = std::thread::available_parallelism()
+        .map(|p| p.get().clamp(2, 8))
+        .unwrap_or(4);
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            shards,
+            queue_capacity: 128,
+            default_deadline: Duration::from_millis(DEADLINE_MS as u64),
+            max_page: 100,
+        },
+        Arc::new(|_| default_cf_engine()),
+    )
+    .expect("bind server");
+    let addr = server.local_addr().to_string();
+    println!("tserve on {addr}: {shards} shards, queue capacity 128");
+
+    // Warm the engines over the wire so queries have CF candidates.
+    let loader = Client::connect(&addr, ClientConfig::default()).expect("connect loader");
+    let mut rng = SmallRng::seed_from_u64(7);
+    let t0 = Instant::now();
+    let mut pending: Vec<(UserAction, tserve::Pending)> = Vec::with_capacity(64);
+    let drain = |pending: &mut Vec<(UserAction, tserve::Pending)>| {
+        for (action, p) in pending.drain(..) {
+            let mut response = p.wait().expect("action response");
+            // An overloaded ingest queue sheds; retry until admitted so
+            // the sweep runs against fully seeded engines.
+            while response == tserve::Response::Overloaded {
+                std::thread::sleep(Duration::from_micros(200));
+                response = loader
+                    .submit(&tserve::Request::ReportAction { action })
+                    .expect("resubmit action")
+                    .wait()
+                    .expect("action response");
+            }
+            assert_eq!(response, tserve::Response::Ack);
+        }
+    };
+    for i in 0..SEED_ACTIONS {
+        let user = rng.gen_range(0..USERS);
+        let item = zipfish(&mut rng);
+        let action = UserAction::new(user, item, ActionType::Click, i as u64);
+        pending.push((
+            action,
+            loader
+                .submit(&tserve::Request::ReportAction { action })
+                .expect("submit action"),
+        ));
+        // Pipeline in batches sized below the shard queues so seeding
+        // mostly avoids shedding in the first place.
+        if pending.len() == 64 {
+            drain(&mut pending);
+        }
+    }
+    drain(&mut pending);
+    println!(
+        "seeded {SEED_ACTIONS} actions over the wire in {:.2}s\n",
+        t0.elapsed().as_secs_f64()
+    );
+
+    // Probe single-machine capacity with a short closed loop, then offer
+    // fixed rates below, near, and past it. The sweep needs enough
+    // blocked-on-response workers to exceed the shard queues combined
+    // (shards × queue_capacity), otherwise overload can never reach
+    // admission control and just queues in the driver.
+    let workers = 2 * shards;
+    let sweep_workers = shards * 128 + 128;
+    let client = Client::connect(
+        &addr,
+        ClientConfig {
+            connections: 2 * shards,
+            request_timeout: Duration::from_secs(10),
+        },
+    )
+    .expect("connect driver");
+    let call = |n: u64| match client.recommend(n % USERS, 10, DEADLINE_MS) {
+        Ok(_) => CallOutcome::Ok,
+        Err(ClientError::Overloaded) => CallOutcome::Shed,
+        Err(_) => CallOutcome::Error,
+    };
+    let probe = closed_loop(workers, Duration::from_secs(1), call);
+    let capacity = probe.throughput().max(100.0);
+    println!("closed-loop probe ({workers} workers): {}", probe.summary());
+
+    println!("\noffered-load sweep ({LEVEL_SECS}s per level, deadline {DEADLINE_MS}ms):");
+    println!(
+        "{:>12}  {:>12}  {:>9}  {:>9}  {:>9}  {:>9}  {:>7}",
+        "offered/s", "served/s", "p50", "p90", "p99", "max", "shed%"
+    );
+    for factor in [0.5, 0.9, 1.5, 2.5] {
+        let rate = capacity * factor;
+        let report = open_loop(rate, sweep_workers, Duration::from_secs(LEVEL_SECS), call);
+        println!(
+            "{:>12.0}  {:>12.0}  {:>9.2?}  {:>9.2?}  {:>9.2?}  {:>9.2?}  {:>6.1}%",
+            rate,
+            report.throughput(),
+            report.latency.p50(),
+            report.latency.p90(),
+            report.latency.p99(),
+            report.latency.max(),
+            report.shed_rate() * 100.0,
+        );
+    }
+
+    let stats = client.stats().expect("stats");
+    println!(
+        "\nserver totals: served {}  shed {}  expired {}  actions {}",
+        stats.served, stats.shed, stats.expired, stats.actions
+    );
+    println!(
+        "server-side latency (admission -> reply): {}",
+        stats.latency.format_percentiles()
+    );
+    server.shutdown();
+}
+
+/// Zipf-flavoured item popularity: quadratic probing concentrates mass
+/// on a small head without a heavy sampling dependency.
+fn zipfish(rng: &mut SmallRng) -> u64 {
+    let r: f64 = rng.gen_range(0.0..1.0);
+    ((r * r * r) * ITEMS as f64) as u64
+}

@@ -28,7 +28,10 @@ fn row(name: &str, algo: &str, stats: &ImprovementStats) {
 fn main() {
     const DAYS: usize = 30;
     println!("== Table 1: Overall Performance Improvement (%) over one month ==");
-    println!("{:<8} {:<6} {:>8} {:>8} {:>8}", "app", "algo", "avg", "min", "max");
+    println!(
+        "{:<8} {:<6} {:>8} {:>8} {:>8}",
+        "app", "algo", "avg", "min", "max"
+    );
 
     // News — content-based vs hourly-rebuilt CB.
     let news = news_app(2024, DAYS);

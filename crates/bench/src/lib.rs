@@ -23,11 +23,7 @@ impl ArmResults {
 
     /// Daily reads-per-user improvements (%) and summary.
     pub fn reads_improvement(&self) -> (Vec<f64>, ImprovementStats) {
-        improvement_stats(
-            &self.tencentrec,
-            &self.original,
-            DayMetrics::reads_per_user,
-        )
+        improvement_stats(&self.tencentrec, &self.original, DayMetrics::reads_per_user)
     }
 }
 

@@ -141,8 +141,7 @@ impl AssociationRules {
                 confidence: support / sx,
             })
             .filter(|r| {
-                r.support >= self.config.min_support
-                    && r.confidence >= self.config.min_confidence
+                r.support >= self.config.min_support && r.confidence >= self.config.min_confidence
             })
             .collect();
         rules.sort_by(|a, b| {

@@ -200,8 +200,8 @@ mod tests {
         );
         baseline.process(&click(1, 5, 0));
         baseline.process(&click(1, 5, 500)); // triggers rebuild
-        // The rebuilt engine still knows user 1's group: hot items for a
-        // same-group cold user come from user 1's activity.
+                                             // The rebuilt engine still knows user 1's group: hot items for a
+                                             // same-group cold user come from user 1's activity.
         baseline.set_profile(
             2,
             DemographicProfile {

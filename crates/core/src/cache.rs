@@ -71,10 +71,7 @@ impl CachedStore {
             let old = entry.last_used;
             let value = entry.value.clone();
             let new_tick = self.touch(key, Some(old));
-            self.entries
-                .get_mut(key)
-                .expect("entry present")
-                .last_used = new_tick;
+            self.entries.get_mut(key).expect("entry present").last_used = new_tick;
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Some(value));
         }

@@ -79,11 +79,7 @@ impl ContentBased {
         if norm == 0.0 {
             return;
         }
-        let vector: Vec<(TagId, f64)> = meta
-            .tags
-            .iter()
-            .map(|&(tag, w)| (tag, w / norm))
-            .collect();
+        let vector: Vec<(TagId, f64)> = meta.tags.iter().map(|&(tag, w)| (tag, w / norm)).collect();
         if self.item_vectors.insert(item, vector.clone()).is_none() {
             for (tag, _) in vector {
                 self.tag_index.entry(tag).or_default().push(item);
@@ -182,6 +178,15 @@ impl ContentBased {
         scored
     }
 
+    /// Items `user` has engaged with (empty for unknown users). The
+    /// blended engine excludes these from its demographic complement.
+    pub fn seen_items(&self, user: UserId) -> impl Iterator<Item = ItemId> + '_ {
+        self.profiles
+            .get(&user)
+            .into_iter()
+            .flat_map(|p| p.seen.iter().copied())
+    }
+
     /// Number of registered (live) items.
     pub fn item_count(&self) -> usize {
         self.item_vectors.len()
@@ -241,7 +246,10 @@ mod tests {
         cb.catalog.upsert(99, meta(vec![(1, 1.0)]));
         cb.register_item(99);
         let recs = cb.recommend(1, 5);
-        assert!(recs.iter().any(|&(i, _)| i == 99), "new item missing: {recs:?}");
+        assert!(
+            recs.iter().any(|&(i, _)| i == 99),
+            "new item missing: {recs:?}"
+        );
     }
 
     #[test]
@@ -258,7 +266,7 @@ mod tests {
         let mut cb = setup();
         let half_life = cb.config.half_life_ms;
         cb.process(&read(1, 10, 0)); // politics
-        // Much later (many half-lives), the user reads sports.
+                                     // Much later (many half-lives), the user reads sports.
         cb.process(&read(1, 20, half_life * 20));
         // Another politics item and another sports item compete.
         cb.catalog.upsert(30, meta(vec![(1, 1.0)]));

@@ -120,7 +120,13 @@ impl ExplicitItemCF {
     }
 
     /// Top-`n` recommendations: unseen items ranked by predicted rating.
-    pub fn recommend(&self, user: UserId, n: usize, k: usize, practical: bool) -> Vec<(ItemId, f64)> {
+    pub fn recommend(
+        &self,
+        user: UserId,
+        n: usize,
+        k: usize,
+        practical: bool,
+    ) -> Vec<(ItemId, f64)> {
         let seen = self.ratings.get(&user);
         let mut scored: Vec<(ItemId, f64)> = self
             .raters

@@ -62,9 +62,7 @@ impl<K: Eq + Hash + Copy> WindowedCounts<K> {
         self.advance_to(session);
         // The window trails the highest session seen, so late events
         // within the window still count and events older than it drop.
-        let oldest_kept = self
-            .max_session
-            .saturating_sub(window.sessions as u64 - 1);
+        let oldest_kept = self.max_session.saturating_sub(window.sessions as u64 - 1);
         if session < oldest_kept {
             return;
         }
@@ -85,9 +83,7 @@ impl<K: Eq + Hash + Copy> WindowedCounts<K> {
     pub fn advance_to(&mut self, current_session: u64) {
         let Some(window) = self.window else { return };
         self.max_session = self.max_session.max(current_session);
-        let oldest_kept = self
-            .max_session
-            .saturating_sub(window.sessions as u64 - 1);
+        let oldest_kept = self.max_session.saturating_sub(window.sessions as u64 - 1);
         while let Some(&(session, _)) = self.per_session.front() {
             if session >= oldest_kept {
                 break;
@@ -200,9 +196,7 @@ mod tests {
             for k in 0..7u64 {
                 let expected: f64 = events
                     .iter()
-                    .filter(|&&(ek, _, ets)| {
-                        ek == k && ets <= ts && W.session_of(ets) >= oldest
-                    })
+                    .filter(|&&(ek, _, ets)| ek == k && ets <= ts && W.session_of(ets) >= oldest)
                     .map(|&(_, d, _)| d)
                     .sum();
                 assert!(

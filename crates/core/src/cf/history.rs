@@ -219,7 +219,7 @@ mod tests {
         let w = ActionWeights::default();
         s.apply(&act(1, 10, ActionType::Purchase, 0), &w, 1000); // r10=5
         s.apply(&act(1, 11, ActionType::Browse, 10), &w, 1000); // r11=1, co=1
-        // Upgrade item 11 to click: co-rating goes 1 -> 2.
+                                                                // Upgrade item 11 to click: co-rating goes 1 -> 2.
         let up = s.apply(&act(1, 11, ActionType::Click, 20), &w, 1000);
         assert_eq!(up.delta_rating, 1.0);
         assert_eq!(up.pair_deltas, vec![(ItemPair::new(10, 11), 1.0)]);

@@ -104,8 +104,7 @@ mod tests {
     #[test]
     fn epsilon_scales_with_range() {
         assert!(
-            (hoeffding_epsilon(5, 0.01, 2.0) - 2.0 * hoeffding_epsilon(5, 0.01, 1.0)).abs()
-                < 1e-12
+            (hoeffding_epsilon(5, 0.01, 2.0) - 2.0 * hoeffding_epsilon(5, 0.01, 1.0)).abs() < 1e-12
         );
     }
 

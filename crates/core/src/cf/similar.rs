@@ -18,9 +18,7 @@ impl SimilarList {
             self.entries.remove(pos);
         }
         if score > 0.0 {
-            let pos = self
-                .entries
-                .partition_point(|&(_, s)| s >= score);
+            let pos = self.entries.partition_point(|&(_, s)| s >= score);
             self.entries.insert(pos, (other, score));
             self.entries.truncate(k);
         }
@@ -69,17 +67,12 @@ impl SimilarTable {
 
     /// Similar items of `item`, best first (empty when unknown).
     pub fn similar(&self, item: ItemId) -> &[(ItemId, f64)] {
-        self.lists
-            .get(&item)
-            .map(|l| l.entries())
-            .unwrap_or(&[])
+        self.lists.get(&item).map(|l| l.entries()).unwrap_or(&[])
     }
 
     /// Pruning threshold `t` of `item`'s list.
     pub fn threshold(&self, item: ItemId) -> f64 {
-        self.lists
-            .get(&item)
-            .map_or(0.0, |l| l.threshold(self.k))
+        self.lists.get(&item).map_or(0.0, |l| l.threshold(self.k))
     }
 
     /// Number of items with a list.

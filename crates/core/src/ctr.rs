@@ -122,18 +122,20 @@ impl SituationalCtr {
         let mut estimate = self.config.prior_ctr;
         for cell in chain {
             let (clicks, imps) = self.raw(cell);
-            estimate = (clicks + self.config.smoothing * estimate)
-                / (imps + self.config.smoothing);
+            estimate = (clicks + self.config.smoothing * estimate) / (imps + self.config.smoothing);
         }
         // Positional effect as a multiplicative correction, shrunk by the
         // same smoothing.
         let (pc, pi) = self.raw(Cell::ItemPosition(item, s.position));
         let (ic, ii) = self.raw(Cell::Item(item));
-        let item_ctr = (ic + self.config.smoothing * self.config.prior_ctr)
-            / (ii + self.config.smoothing);
-        let pos_ctr =
-            (pc + self.config.smoothing * item_ctr) / (pi + self.config.smoothing);
-        let correction = if item_ctr > 0.0 { pos_ctr / item_ctr } else { 1.0 };
+        let item_ctr =
+            (ic + self.config.smoothing * self.config.prior_ctr) / (ii + self.config.smoothing);
+        let pos_ctr = (pc + self.config.smoothing * item_ctr) / (pi + self.config.smoothing);
+        let correction = if item_ctr > 0.0 {
+            pos_ctr / item_ctr
+        } else {
+            1.0
+        };
         (estimate * correction).clamp(0.0, 1.0)
     }
 
@@ -172,7 +174,13 @@ mod tests {
         }
     }
 
-    fn show_and_click(model: &mut SituationalCtr, item: ItemId, s: &Situation, shows: u64, clicks: u64) {
+    fn show_and_click(
+        model: &mut SituationalCtr,
+        item: ItemId,
+        s: &Situation,
+        shows: u64,
+        clicks: u64,
+    ) {
         for t in 0..shows {
             model.impression(item, s, t);
         }
@@ -216,7 +224,10 @@ mod tests {
         // Plenty of male/25 data in Beijing, none in Shanghai.
         show_and_click(&mut model, 1, &beijing, 1000, 100);
         let p = model.predict(1, &shanghai);
-        assert!(p > 0.05, "Shanghai should inherit ~10% from gender/age level, got {p}");
+        assert!(
+            p > 0.05,
+            "Shanghai should inherit ~10% from gender/age level, got {p}"
+        );
     }
 
     #[test]

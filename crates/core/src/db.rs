@@ -90,7 +90,11 @@ impl GroupScheme {
         if !profile.is_known() {
             return GLOBAL_GROUP;
         }
-        let g = if self.by_gender { profile.gender as u64 } else { 0 };
+        let g = if self.by_gender {
+            profile.gender as u64
+        } else {
+            0
+        };
         let a = if self.by_age_band {
             profile.age_band() as u64
         } else {

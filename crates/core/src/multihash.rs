@@ -52,12 +52,18 @@ impl<G: Eq + Hash + Clone> GroupWorker<G> {
     /// Applies one delta.
     pub fn apply(&mut self, delta: &GroupDelta<G>) {
         self.writes += 1;
-        *self.counts.entry((delta.group.clone(), delta.item)).or_insert(0.0) += delta.delta;
+        *self
+            .counts
+            .entry((delta.group.clone(), delta.item))
+            .or_insert(0.0) += delta.delta;
     }
 
     /// Count for `(group, item)`.
     pub fn count(&self, group: &G, item: u64) -> f64 {
-        self.counts.get(&(group.clone(), item)).copied().unwrap_or(0.0)
+        self.counts
+            .get(&(group.clone(), item))
+            .copied()
+            .unwrap_or(0.0)
     }
 
     /// Number of writes this worker performed.
@@ -117,8 +123,9 @@ pub fn run_two_stage<G: Eq + Hash + Clone>(
         });
     }
     // Stage 2: re-hash the deltas by group.
-    let mut workers: Vec<GroupWorker<G>> =
-        (0..router.stage2_tasks).map(|_| GroupWorker::default()).collect();
+    let mut workers: Vec<GroupWorker<G>> = (0..router.stage2_tasks)
+        .map(|_| GroupWorker::default())
+        .collect();
     for bucket in stage1 {
         for delta in bucket {
             let task = router.route_group(&delta.group);

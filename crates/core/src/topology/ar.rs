@@ -291,7 +291,11 @@ pub fn rules_from(
     n: usize,
 ) -> Vec<StoredRule> {
     let windows = config.window_sessions();
-    let session = if windows == 0 { 0 } else { config.session_of(now) };
+    let session = if windows == 0 {
+        0
+    } else {
+        config.session_of(now)
+    };
     let Ok(sx) = windowed_sum(store, &ar_keys::item_txn(antecedent), session, windows) else {
         return Vec::new();
     };
@@ -320,8 +324,7 @@ pub fn rules_from(
         .into_iter()
         .filter_map(|other| {
             let pair = ItemPair::new(antecedent, other);
-            let support =
-                windowed_sum(store, &ar_keys::pair_txn(pair), session, windows).ok()?;
+            let support = windowed_sum(store, &ar_keys::pair_txn(pair), session, windows).ok()?;
             let confidence = support / sx;
             (support >= config.min_support && confidence >= config.min_confidence).then_some(
                 StoredRule {
@@ -391,8 +394,7 @@ mod tests {
         }
         let session = 0;
         for item in [1u64, 2, 3] {
-            let stored =
-                windowed_sum(&store, &ar_keys::item_txn(item), session, 0).unwrap();
+            let stored = windowed_sum(&store, &ar_keys::item_txn(item), session, 0).unwrap();
             assert_eq!(
                 stored,
                 reference.item_support(item),
@@ -400,13 +402,8 @@ mod tests {
             );
         }
         for (a, b) in [(1u64, 2u64), (1, 3), (2, 3)] {
-            let stored = windowed_sum(
-                &store,
-                &ar_keys::pair_txn(ItemPair::new(a, b)),
-                session,
-                0,
-            )
-            .unwrap();
+            let stored =
+                windowed_sum(&store, &ar_keys::pair_txn(ItemPair::new(a, b)), session, 0).unwrap();
             assert_eq!(stored, reference.pair_support(a, b), "pair ({a},{b})");
         }
     }

@@ -12,8 +12,7 @@ use crate::action::{ActionType, ActionWeights, UserAction};
 use crate::cf::counts::WindowConfig;
 use crate::cf::pruning::PruneState;
 use crate::topology::state::{
-    decode_history, encode_history, session_key, sim_list_threshold, update_sim_list,
-    windowed_sum,
+    decode_history, encode_history, session_key, sim_list_threshold, update_sim_list, windowed_sum,
 };
 use crate::types::{keys, ItemPair};
 use crossbeam::channel::Receiver;
@@ -225,11 +224,7 @@ impl Bolt for UserHistoryBolt {
         if delta_rating != 0.0 {
             collector.emit_on(
                 ITEM_DELTA,
-                vec![
-                    Value::U64(item),
-                    Value::F64(delta_rating),
-                    Value::U64(ts),
-                ],
+                vec![Value::U64(item), Value::F64(delta_rating), Value::U64(ts)],
             );
         }
         for (pair, delta) in pair_deltas.drain(..) {
@@ -385,10 +380,31 @@ impl Bolt for CfPairBolt {
         // Recompute the similarity from the decomposed counts.
         let current_session = if windows == 0 { 0 } else { session };
         let pc = windowed_sum(&self.store, &pc_key, current_session, windows).map_err(map_err)?;
-        let ic_a = windowed_sum(&self.store, &keys::item_count(pair.a), current_session, windows)
-            .map_err(map_err)?;
-        let ic_b = windowed_sum(&self.store, &keys::item_count(pair.b), current_session, windows)
-            .map_err(map_err)?;
+        let ic_a = windowed_sum(
+            &self.store,
+            &keys::item_count(pair.a),
+            current_session,
+            windows,
+        )
+        .map_err(map_err)?;
+        let ic_b = windowed_sum(
+            &self.store,
+            &keys::item_count(pair.b),
+            current_session,
+            windows,
+        )
+        .map_err(map_err)?;
+        // The item-count stream runs in a parallel bolt with no ordering
+        // against this one, so a read here may lag the increments for the
+        // very actions that formed this pair. Once caught up,
+        // pairCount(a,b) ≤ itemCount(a), itemCount(b) always holds;
+        // reading less than `pc` proves lag. Clamp so a lagging read
+        // degrades to a conservative overestimate of similarity instead
+        // of sim = 0 — which would drop the pair from both similar-items
+        // lists and, on the final update of a pair, leave it dropped
+        // forever.
+        let ic_a = ic_a.max(pc);
+        let ic_b = ic_b.max(pc);
         let sim = if ic_a > 0.0 && ic_b > 0.0 {
             (pc / (ic_a.sqrt() * ic_b.sqrt())).max(0.0)
         } else {

@@ -122,13 +122,14 @@ impl TagIndex {
 
     /// Registers an item from the catalog (idempotent).
     pub fn register(&self, catalog: &ItemCatalog, item: ItemId) {
-        let Some(meta) = catalog.get(item) else { return };
+        let Some(meta) = catalog.get(item) else {
+            return;
+        };
         let norm: f64 = meta.tags.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt();
         if norm == 0.0 {
             return;
         }
-        let vector: Vec<(TagId, f64)> =
-            meta.tags.iter().map(|&(t, w)| (t, w / norm)).collect();
+        let vector: Vec<(TagId, f64)> = meta.tags.iter().map(|&(t, w)| (t, w / norm)).collect();
         let mut inner = self.inner.write();
         if inner.vectors.insert(item, vector.clone()).is_none() {
             for (tag, _) in vector {

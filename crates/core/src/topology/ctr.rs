@@ -210,7 +210,10 @@ impl Bolt for CtrStoreBolt {
     }
 
     fn declare_outputs(&self) -> Vec<StreamDef> {
-        vec![StreamDef::new(DEFAULT_STREAM, ["item", "gender", "age_band", "ts"])]
+        vec![StreamDef::new(
+            DEFAULT_STREAM,
+            ["item", "gender", "age_band", "ts"],
+        )]
     }
 }
 
@@ -357,18 +360,18 @@ pub fn ctr_registry(
     {
         let store = store.clone();
         let config = config.clone();
-        registry.register_bolt("CtrBolt", move || CtrBolt::new(store.clone(), config.clone()));
+        registry.register_bolt("CtrBolt", move || {
+            CtrBolt::new(store.clone(), config.clone())
+        });
     }
-    registry.register_bolt("ResultStorage", move || ResultStorageBolt::new(store.clone()));
+    registry.register_bolt("ResultStorage", move || {
+        ResultStorageBolt::new(store.clone())
+    });
     registry
 }
 
 /// Query side: the stored smoothed CTR of a cell.
-pub fn stored_ctr(
-    store: &TdStore,
-    item: ItemId,
-    profile: &DemographicProfile,
-) -> Option<f64> {
+pub fn stored_ctr(store: &TdStore, item: ItemId, profile: &DemographicProfile) -> Option<f64> {
     store
         .get_f64(&ctr_keys::ctr(item, profile.gender, profile.age_band()))
         .ok()
@@ -468,9 +471,6 @@ mod tests {
         let doc = tstorm::xml::parse(FIG7_XML).expect("valid XML");
         assert_eq!(doc.name, "topology");
         assert_eq!(doc.children_named("spout").count(), 1);
-        assert_eq!(
-            doc.child("bolts").expect("bolts element").children.len(),
-            4
-        );
+        assert_eq!(doc.child("bolts").expect("bolts element").children.len(), 4);
     }
 }

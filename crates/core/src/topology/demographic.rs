@@ -128,7 +128,10 @@ impl Bolt for UserGroupBolt {
     }
 
     fn declare_outputs(&self) -> Vec<StreamDef> {
-        vec![StreamDef::new(DEFAULT_STREAM, ["group", "item", "weight", "ts"])]
+        vec![StreamDef::new(
+            DEFAULT_STREAM,
+            ["group", "item", "weight", "ts"],
+        )]
     }
 }
 
@@ -220,12 +223,16 @@ pub fn hot_items(
         }
     }
     let windows = config.window_sessions();
-    let session = if windows == 0 { 0 } else { config.session_of(now) };
+    let session = if windows == 0 {
+        0
+    } else {
+        config.session_of(now)
+    };
     let mut scored: Vec<(ItemId, f64)> = items
         .into_keys()
         .map(|item| {
-            let count = windowed_sum(store, &group_keys::hot(group, item), session, windows)
-                .unwrap_or(0.0);
+            let count =
+                windowed_sum(store, &group_keys::hot(group, item), session, windows).unwrap_or(0.0);
             (item, count)
         })
         .filter(|&(_, c)| c > 0.0)
@@ -264,20 +271,14 @@ mod tests {
         }
         let (tx, rx) = unbounded();
         for u in 0..10u64 {
-            tx.send(UserAction::new(u, 1, ActionType::Click, u)).unwrap();
+            tx.send(UserAction::new(u, 1, ActionType::Click, u))
+                .unwrap();
             tx.send(UserAction::new(10 + u, 2, ActionType::Click, u))
                 .unwrap();
         }
         drop(tx);
-        let topo = build_demographic_topology(
-            rx,
-            profiles,
-            store.clone(),
-            config.clone(),
-            4,
-            4,
-        )
-        .expect("valid topology");
+        let topo = build_demographic_topology(rx, profiles, store.clone(), config.clone(), 4, 4)
+            .expect("valid topology");
         let handle = topo.launch();
         assert!(handle.wait_idle(Duration::from_secs(20)));
         handle.shutdown(Duration::from_secs(5));
@@ -303,8 +304,7 @@ mod tests {
             .unwrap();
         drop(tx);
         let topo =
-            build_demographic_topology(rx, profiles, store.clone(), config.clone(), 2, 2)
-                .unwrap();
+            build_demographic_topology(rx, profiles, store.clone(), config.clone(), 2, 2).unwrap();
         let handle = topo.launch();
         assert!(handle.wait_idle(Duration::from_secs(20)));
         handle.shutdown(Duration::from_secs(5));
@@ -325,11 +325,11 @@ mod tests {
             ..Default::default()
         };
         let (tx, rx) = unbounded();
-        tx.send(UserAction::new(1, 9, ActionType::Click, 0)).unwrap();
+        tx.send(UserAction::new(1, 9, ActionType::Click, 0))
+            .unwrap();
         drop(tx);
         let topo =
-            build_demographic_topology(rx, profiles, store.clone(), config.clone(), 1, 1)
-                .unwrap();
+            build_demographic_topology(rx, profiles, store.clone(), config.clone(), 1, 1).unwrap();
         let handle = topo.launch();
         assert!(handle.wait_idle(Duration::from_secs(20)));
         handle.shutdown(Duration::from_secs(5));

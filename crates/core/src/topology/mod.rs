@@ -74,10 +74,18 @@ pub fn build_cf_topology(
     let mut builder = TopologyBuilder::new();
     {
         let source = source.clone();
-        builder.set_spout("spout", move || ActionSpout::new(source.clone()), parallelism.spouts);
+        builder.set_spout(
+            "spout",
+            move || ActionSpout::new(source.clone()),
+            parallelism.spouts,
+        );
     }
     builder
-        .set_bolt("pretreatment", PretreatmentBolt::new, parallelism.pretreatment)
+        .set_bolt(
+            "pretreatment",
+            PretreatmentBolt::new,
+            parallelism.pretreatment,
+        )
         .shuffle_grouping("spout");
     {
         let store = store.clone();
@@ -94,12 +102,11 @@ pub fn build_cf_topology(
         let store = store.clone();
         let combiner_on = config.combiner_keys > 0;
         let config = config.clone();
-        let mut declarer = builder
-            .set_bolt(
-                "item_count",
-                move || ItemCountBolt::new(store.clone(), config.clone()),
-                parallelism.item_count,
-            );
+        let mut declarer = builder.set_bolt(
+            "item_count",
+            move || ItemCountBolt::new(store.clone(), config.clone()),
+            parallelism.item_count,
+        );
         declarer.grouping_on("user_history", ITEM_DELTA, Grouping::fields(["item"]));
         if combiner_on {
             declarer.tick_interval(std::time::Duration::from_millis(100));
@@ -143,10 +150,8 @@ impl TopologyRecommender {
         } else {
             self.config.session_of(now)
         };
-        let ic_p = windowed_sum(&self.store, &keys::item_count(p), session, windows)
-            .unwrap_or(0.0);
-        let ic_q = windowed_sum(&self.store, &keys::item_count(q), session, windows)
-            .unwrap_or(0.0);
+        let ic_p = windowed_sum(&self.store, &keys::item_count(p), session, windows).unwrap_or(0.0);
+        let ic_q = windowed_sum(&self.store, &keys::item_count(q), session, windows).unwrap_or(0.0);
         if ic_p <= 0.0 || ic_q <= 0.0 {
             return 0.0;
         }
@@ -220,7 +225,10 @@ mod tests {
         let topo = build_cf_topology(rx, store.clone(), config, CfParallelism::default())
             .expect("valid topology");
         let handle = topo.launch();
-        assert!(handle.wait_idle(Duration::from_secs(20)), "pipeline stalled");
+        assert!(
+            handle.wait_idle(Duration::from_secs(20)),
+            "pipeline stalled"
+        );
         handle.shutdown(Duration::from_secs(2));
         store
     }

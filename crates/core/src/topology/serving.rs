@@ -54,7 +54,12 @@ impl RecommenderFrontEnd {
             .get(&keys::user_history(user))
             .ok()
             .flatten()
-            .map(|raw| decode_history(&raw).into_iter().map(|(i, _, _)| i).collect())
+            .map(|raw| {
+                decode_history(&raw)
+                    .into_iter()
+                    .map(|(i, _, _)| i)
+                    .collect()
+            })
             .unwrap_or_default()
     }
 

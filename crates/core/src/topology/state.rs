@@ -119,9 +119,7 @@ pub fn windowed_sum(
     window: usize,
 ) -> Result<f64, StoreError> {
     if window == 0 {
-        return Ok(store
-            .get_f64(&session_key(base, u64::MAX))?
-            .unwrap_or(0.0));
+        return Ok(store.get_f64(&session_key(base, u64::MAX))?.unwrap_or(0.0));
     }
     let mut total = 0.0;
     let oldest = current_session.saturating_sub(window as u64 - 1);

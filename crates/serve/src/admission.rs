@@ -1,0 +1,172 @@
+//! Admission control: bounded queues plus deadline-based load shedding.
+//!
+//! The failure mode this module exists to prevent is queueing collapse:
+//! an overloaded server that accepts every request builds an unbounded
+//! backlog, so *every* response is late and throughput is spent on
+//! answers nobody is still waiting for. Instead, each shard's queue is
+//! bounded, and a request is refused up front (`Overloaded`) when either
+//!
+//! * the shard's queue is full (hard backpressure), or
+//! * the predicted queue wait — queue depth × the shard's observed
+//!   service time (an EWMA) — already exceeds the request's deadline, so
+//!   admitting it could only produce a late answer.
+//!
+//! Shedding early keeps the latency of *admitted* requests bounded near
+//! `queue_capacity × service_time`, which is the knob operators tune.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a request was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The shard's bounded queue is at capacity.
+    QueueFull,
+    /// Predicted queue wait exceeds the request's deadline.
+    DeadlineHopeless,
+}
+
+/// Admission decision for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionVerdict {
+    /// Enqueue the request.
+    Admit,
+    /// Refuse the request now.
+    Shed {
+        /// Why.
+        reason: ShedReason,
+    },
+}
+
+/// Per-shard admission state: the queue bound plus a service-time EWMA
+/// maintained by the shard worker. Cloning shares state (it is an
+/// `Arc` internally) so the router and the worker see the same EWMA.
+#[derive(Clone)]
+pub struct AdmissionController {
+    inner: Arc<Inner>,
+}
+
+struct Inner {
+    queue_capacity: usize,
+    /// EWMA of per-job service time in nanoseconds.
+    ewma_service_nanos: AtomicU64,
+}
+
+/// Starting service-time estimate before any job has been observed
+/// (100µs — a deliberate overestimate so a cold shard sheds hopeless
+/// deadlines rather than over-admitting).
+const INITIAL_SERVICE_NANOS: u64 = 100_000;
+
+impl AdmissionController {
+    /// Controller for a shard with the given queue bound.
+    pub fn new(queue_capacity: usize) -> Self {
+        AdmissionController {
+            inner: Arc::new(Inner {
+                queue_capacity,
+                ewma_service_nanos: AtomicU64::new(INITIAL_SERVICE_NANOS),
+            }),
+        }
+    }
+
+    /// Current service-time estimate.
+    pub fn estimated_service(&self) -> Duration {
+        Duration::from_nanos(self.inner.ewma_service_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Folds one observed service time into the EWMA (weight 1/8, the
+    /// classic TCP RTT smoothing constant).
+    pub fn observe_service(&self, service: Duration) {
+        let sample = service.as_nanos().min(u64::MAX as u128) as u64;
+        let prev = self.inner.ewma_service_nanos.load(Ordering::Relaxed);
+        let next = prev - prev / 8 + sample / 8;
+        self.inner
+            .ewma_service_nanos
+            .store(next.max(1), Ordering::Relaxed);
+    }
+
+    /// Decides whether a request arriving `now` with `deadline` should
+    /// be admitted given the shard's current `queue_len`.
+    pub fn assess(&self, queue_len: usize, now: Instant, deadline: Instant) -> AdmissionVerdict {
+        if queue_len >= self.inner.queue_capacity {
+            return AdmissionVerdict::Shed {
+                reason: ShedReason::QueueFull,
+            };
+        }
+        let budget = deadline.saturating_duration_since(now);
+        let service = self.inner.ewma_service_nanos.load(Ordering::Relaxed);
+        // Wait for everything ahead of it, plus its own service.
+        let predicted = Duration::from_nanos(service.saturating_mul(queue_len as u64 + 1));
+        if predicted > budget {
+            AdmissionVerdict::Shed {
+                reason: ShedReason::DeadlineHopeless,
+            }
+        } else {
+            AdmissionVerdict::Admit
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_queue_sheds() {
+        let a = AdmissionController::new(4);
+        let now = Instant::now();
+        let deadline = now + Duration::from_secs(10);
+        assert_eq!(
+            a.assess(4, now, deadline),
+            AdmissionVerdict::Shed {
+                reason: ShedReason::QueueFull
+            }
+        );
+        assert_eq!(a.assess(0, now, deadline), AdmissionVerdict::Admit);
+    }
+
+    #[test]
+    fn hopeless_deadline_sheds() {
+        let a = AdmissionController::new(1000);
+        // Teach the controller that jobs take ~1ms.
+        for _ in 0..100 {
+            a.observe_service(Duration::from_millis(1));
+        }
+        let now = Instant::now();
+        // 100 queued jobs × 1ms ≈ 100ms wait; a 10ms deadline is hopeless.
+        assert!(matches!(
+            a.assess(100, now, now + Duration::from_millis(10)),
+            AdmissionVerdict::Shed {
+                reason: ShedReason::DeadlineHopeless
+            }
+        ));
+        // A 1s deadline is fine.
+        assert_eq!(
+            a.assess(100, now, now + Duration::from_secs(1)),
+            AdmissionVerdict::Admit
+        );
+    }
+
+    #[test]
+    fn ewma_tracks_observations() {
+        let a = AdmissionController::new(8);
+        for _ in 0..200 {
+            a.observe_service(Duration::from_micros(500));
+        }
+        let est = a.estimated_service();
+        assert!(
+            (Duration::from_micros(400)..=Duration::from_micros(600)).contains(&est),
+            "estimate {est:?}"
+        );
+    }
+
+    #[test]
+    fn past_deadline_always_sheds() {
+        let a = AdmissionController::new(8);
+        let now = Instant::now();
+        assert!(matches!(
+            a.assess(0, now, now - Duration::from_millis(1)),
+            AdmissionVerdict::Shed { .. }
+        ));
+    }
+}

@@ -1,0 +1,306 @@
+//! Client library: pooled connections with request pipelining.
+//!
+//! Each pooled connection owns one TCP stream plus a reader thread that
+//! routes responses back to callers by correlation id, so many requests
+//! can be in flight on one connection at once (pipelining). The pool
+//! hands requests to connections round-robin; a connection that dies is
+//! lazily re-dialed on next use.
+
+use crate::protocol::{
+    decode_response, encode_request, ProtocolError, Request, Response, StatsReport,
+};
+use bytes::BytesMut;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use tencentrec::action::UserAction;
+use tencentrec::types::{ItemId, UserId};
+
+/// Client tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Number of pooled TCP connections.
+    pub connections: usize,
+    /// How long `call` waits for a response before giving up.
+    pub request_timeout: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connections: 2,
+            request_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Dial or socket I/O failed.
+    Io(std::io::Error),
+    /// The server's bytes did not parse.
+    Protocol(ProtocolError),
+    /// No response within `request_timeout`.
+    Timeout,
+    /// The connection closed with the request still in flight.
+    ConnectionClosed,
+    /// The server refused the request at admission control.
+    Overloaded,
+    /// The server reported an error.
+    Server(String),
+    /// The server answered with a frame that does not match the request.
+    UnexpectedResponse(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ClientError::Timeout => write!(f, "request timed out"),
+            ClientError::ConnectionClosed => write!(f, "connection closed"),
+            ClientError::Overloaded => write!(f, "server overloaded"),
+            ClientError::Server(msg) => write!(f, "server error: {msg}"),
+            ClientError::UnexpectedResponse(what) => {
+                write!(f, "unexpected response: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// An in-flight request; resolves to the response.
+pub struct Pending {
+    rx: mpsc::Receiver<Response>,
+    timeout: Duration,
+}
+
+impl Pending {
+    /// Blocks until the response arrives (or timeout / disconnect).
+    pub fn wait(self) -> Result<Response, ClientError> {
+        match self.rx.recv_timeout(self.timeout) {
+            Ok(response) => Ok(response),
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(ClientError::Timeout),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(ClientError::ConnectionClosed),
+        }
+    }
+}
+
+type PendingMap = Arc<Mutex<HashMap<u64, mpsc::Sender<Response>>>>;
+
+struct Connection {
+    stream: TcpStream,
+    pending: PendingMap,
+    alive: Arc<AtomicBool>,
+    reader: Option<JoinHandle<()>>,
+}
+
+impl Connection {
+    fn dial(addr: &str) -> Result<Connection, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let read_stream = stream.try_clone()?;
+        let pending: PendingMap = Arc::new(Mutex::new(HashMap::new()));
+        let alive = Arc::new(AtomicBool::new(true));
+        let reader = {
+            let pending = Arc::clone(&pending);
+            let alive = Arc::clone(&alive);
+            std::thread::Builder::new()
+                .name("tserve-client-reader".into())
+                .spawn(move || reader_loop(read_stream, pending, alive))
+                .expect("spawn client reader")
+        };
+        Ok(Connection {
+            stream,
+            pending,
+            alive,
+            reader: Some(reader),
+        })
+    }
+
+    fn submit(
+        &mut self,
+        id: u64,
+        request: &Request,
+        timeout: Duration,
+    ) -> Result<Pending, ClientError> {
+        let (tx, rx) = mpsc::channel();
+        self.pending.lock().insert(id, tx);
+        let mut buf = BytesMut::new();
+        encode_request(id, request, &mut buf);
+        if let Err(e) = self.stream.write_all(&buf) {
+            self.pending.lock().remove(&id);
+            self.alive.store(false, Ordering::SeqCst);
+            return Err(ClientError::Io(e));
+        }
+        Ok(Pending { rx, timeout })
+    }
+
+    fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::SeqCst)
+    }
+}
+
+impl Drop for Connection {
+    fn drop(&mut self) {
+        self.alive.store(false, Ordering::SeqCst);
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+        if let Some(reader) = self.reader.take() {
+            let _ = reader.join();
+        }
+    }
+}
+
+fn reader_loop(mut stream: TcpStream, pending: PendingMap, alive: Arc<AtomicBool>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut inbox = BytesMut::new();
+    let mut chunk = [0u8; 16 * 1024];
+    'conn: loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(read) => {
+                inbox.extend_from_slice(&chunk[..read]);
+                loop {
+                    match decode_response(&mut inbox) {
+                        Ok(Some(frame)) => {
+                            if let Some(tx) = pending.lock().remove(&frame.id) {
+                                // Caller may have timed out and gone away.
+                                let _ = tx.send(frame.msg);
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(_) => break 'conn,
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if !alive.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    alive.store(false, Ordering::SeqCst);
+    // Dropping the pending map's senders wakes blocked `wait`ers with
+    // ConnectionClosed.
+    pending.lock().clear();
+}
+
+/// A pooled, pipelining client for one tserve server.
+pub struct Client {
+    addr: String,
+    config: ClientConfig,
+    connections: Vec<Mutex<Option<Connection>>>,
+    next_id: AtomicU64,
+    next_conn: AtomicU64,
+}
+
+impl Client {
+    /// Connects `config.connections` sockets to `addr`.
+    pub fn connect(addr: &str, config: ClientConfig) -> Result<Client, ClientError> {
+        assert!(config.connections > 0, "at least one connection");
+        let mut connections = Vec::with_capacity(config.connections);
+        for _ in 0..config.connections {
+            connections.push(Mutex::new(Some(Connection::dial(addr)?)));
+        }
+        Ok(Client {
+            addr: addr.to_string(),
+            config,
+            connections,
+            next_id: AtomicU64::new(1),
+            next_conn: AtomicU64::new(0),
+        })
+    }
+
+    /// Connects with default configuration.
+    pub fn connect_default(addr: &str) -> Result<Client, ClientError> {
+        Client::connect(addr, ClientConfig::default())
+    }
+
+    /// Sends `request` without waiting; resolve with [`Pending::wait`].
+    /// Multiple submissions pipeline on the same connection.
+    pub fn submit(&self, request: &Request) -> Result<Pending, ClientError> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let slot_index = (self.next_conn.fetch_add(1, Ordering::Relaxed)
+            % self.connections.len() as u64) as usize;
+        let mut slot = self.connections[slot_index].lock();
+        // Lazily re-dial a connection that died.
+        let needs_dial = match slot.as_ref() {
+            Some(conn) => !conn.is_alive(),
+            None => true,
+        };
+        if needs_dial {
+            *slot = Some(Connection::dial(&self.addr)?);
+        }
+        slot.as_mut()
+            .expect("connection present")
+            .submit(id, request, self.config.request_timeout)
+    }
+
+    /// Blocking request/response.
+    pub fn call(&self, request: &Request) -> Result<Response, ClientError> {
+        let response = self.submit(request)?.wait()?;
+        match response {
+            Response::Overloaded => Err(ClientError::Overloaded),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            other => Ok(other),
+        }
+    }
+
+    /// Top-`n` recommendations for `user`. `deadline_ms == 0` uses the
+    /// server default.
+    pub fn recommend(
+        &self,
+        user: UserId,
+        n: u32,
+        deadline_ms: u32,
+    ) -> Result<Vec<(ItemId, f64)>, ClientError> {
+        match self.call(&Request::Recommend {
+            user,
+            n,
+            deadline_ms,
+        })? {
+            Response::Recommendations { items } => Ok(items),
+            _ => Err(ClientError::UnexpectedResponse("want Recommendations")),
+        }
+    }
+
+    /// Reports one action; `Ok` means the server admitted it.
+    pub fn report_action(&self, action: UserAction) -> Result<(), ClientError> {
+        match self.call(&Request::ReportAction { action })? {
+            Response::Ack => Ok(()),
+            _ => Err(ClientError::UnexpectedResponse("want Ack")),
+        }
+    }
+
+    /// Liveness probe; returns (shards, queued).
+    pub fn health(&self) -> Result<(u32, u32), ClientError> {
+        match self.call(&Request::Health)? {
+            Response::Health { shards, queued } => Ok((shards, queued)),
+            _ => Err(ClientError::UnexpectedResponse("want Health")),
+        }
+    }
+
+    /// Server-side statistics.
+    pub fn stats(&self) -> Result<StatsReport, ClientError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(report) => Ok(report),
+            _ => Err(ClientError::UnexpectedResponse("want Stats")),
+        }
+    }
+}

@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+//! TServe: the serving frontend of the TencentRec reproduction.
+//!
+//! The paper's deployment (§6.1) answers 0.5M requests/s with sub-second
+//! model freshness. This crate is that serving path in miniature: a
+//! multi-threaded TCP server over a hand-rolled length-prefixed binary
+//! protocol, a worker pool that shards [`tencentrec::engine::RecommendEngine`]
+//! state by `user % shards` (the same field-grouping contract the tstorm
+//! topology uses, so every action and query for one user lands on the
+//! shard that owns that user's state), admission control with bounded
+//! per-shard queues and deadline-based load shedding, and a pooled,
+//! pipelining client.
+
+pub mod admission;
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod shard;
+
+pub use client::{Client, ClientConfig, ClientError, Pending};
+pub use protocol::{Frame, ProtocolError, Request, Response};
+pub use server::{Server, ServerConfig, ServerHandle};
+pub use shard::{EngineFactory, ShardPool};

@@ -1,0 +1,321 @@
+//! Sharded engine workers.
+//!
+//! Engine state is partitioned by `user % shards` — the same contract as
+//! tstorm's fields grouping on the user id, so every action and every
+//! query for one user lands on the one shard that owns that user's
+//! history. Each shard is a single worker thread that exclusively owns a
+//! [`RecommendEngine`]: no locks on the hot path, and per-user
+//! read-your-writes ordering falls out of the per-shard FIFO queue.
+
+use crate::admission::{AdmissionController, AdmissionVerdict};
+use crate::protocol::Response;
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use tencentrec::action::UserAction;
+use tencentrec::engine::{RecommendEngine, StreamRecommender};
+use tencentrec::types::UserId;
+use tstorm::metrics::{LatencyHistogram, LatencySnapshot};
+
+/// Builds one engine per shard. Receives the shard index so factories
+/// can vary capacity or seed data per shard; must be `Send + Sync`
+/// because every worker thread constructs its engine on-thread.
+pub type EngineFactory = Arc<dyn Fn(usize) -> RecommendEngine + Send + Sync>;
+
+/// Where a query's answer goes: the connection writer channel plus the
+/// request's correlation id.
+#[derive(Clone)]
+pub struct ReplySlot {
+    /// Correlation id echoed to the client.
+    pub id: u64,
+    /// The connection's outbound queue.
+    pub tx: Sender<(u64, Response)>,
+}
+
+impl ReplySlot {
+    fn send(&self, response: Response) {
+        // A dead connection just drops the reply; the shard must not
+        // stall because one client went away.
+        let _ = self.tx.send((self.id, response));
+    }
+}
+
+/// One unit of shard work.
+pub enum ShardJob {
+    /// Answer a recommendation query.
+    Query {
+        /// User to recommend for.
+        user: UserId,
+        /// Page size.
+        n: usize,
+        /// Absolute drop-dead time; missing it sheds the request.
+        deadline: Instant,
+        /// When admission accepted the job (latency measurement origin).
+        enqueued: Instant,
+        /// Where the answer goes.
+        reply: ReplySlot,
+    },
+    /// Ingest one action.
+    Action {
+        /// The action.
+        action: UserAction,
+    },
+}
+
+/// Shared counters across all shards of one server.
+#[derive(Default)]
+pub struct ServeCounters {
+    /// Queries answered with a page.
+    pub served: AtomicU64,
+    /// Requests refused at admission.
+    pub shed: AtomicU64,
+    /// Queries dropped at dequeue because their deadline had passed.
+    pub expired: AtomicU64,
+    /// Actions ingested.
+    pub actions: AtomicU64,
+    /// Admission→reply latency of served queries.
+    pub latency: LatencyHistogram,
+}
+
+struct Shard {
+    tx: Sender<ShardJob>,
+    admission: AdmissionController,
+    worker: Option<JoinHandle<()>>,
+}
+
+/// The worker pool: routes jobs to shards through admission control.
+pub struct ShardPool {
+    shards: Vec<Shard>,
+    counters: Arc<ServeCounters>,
+}
+
+impl ShardPool {
+    /// Spawns `shards` worker threads, each owning one engine from
+    /// `factory`. `queue_capacity` bounds each shard's inbox — the knob
+    /// admission control trades latency against under load.
+    pub fn new(shards: usize, queue_capacity: usize, factory: EngineFactory) -> Self {
+        assert!(shards > 0, "at least one shard");
+        assert!(queue_capacity > 0, "queue capacity must be positive");
+        let counters = Arc::new(ServeCounters::default());
+        let shards = (0..shards)
+            .map(|index| {
+                let (tx, rx) = bounded::<ShardJob>(queue_capacity);
+                let admission = AdmissionController::new(queue_capacity);
+                let worker = spawn_worker(
+                    index,
+                    rx,
+                    Arc::clone(&factory),
+                    Arc::clone(&counters),
+                    admission.clone(),
+                );
+                Shard {
+                    tx,
+                    admission,
+                    worker: Some(worker),
+                }
+            })
+            .collect();
+        ShardPool { shards, counters }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shared counters (served/shed/latency).
+    pub fn counters(&self) -> &Arc<ServeCounters> {
+        &self.counters
+    }
+
+    /// Jobs currently queued across all shards.
+    pub fn queued(&self) -> usize {
+        self.shards.iter().map(|s| s.tx.len()).sum()
+    }
+
+    /// Merged latency distribution of served queries.
+    pub fn latency_snapshot(&self) -> LatencySnapshot {
+        self.counters.latency.snapshot()
+    }
+
+    fn shard_for(&self, user: UserId) -> &Shard {
+        &self.shards[(user % self.shards.len() as u64) as usize]
+    }
+
+    /// Routes a query through admission. On shedding, the `Overloaded`
+    /// reply is sent here and `false` is returned.
+    pub fn submit_query(
+        &self,
+        user: UserId,
+        n: usize,
+        deadline: Instant,
+        reply: ReplySlot,
+    ) -> bool {
+        let shard = self.shard_for(user);
+        let now = Instant::now();
+        if let AdmissionVerdict::Shed { .. } = shard.admission.assess(shard.tx.len(), now, deadline)
+        {
+            self.counters.shed.fetch_add(1, Ordering::Relaxed);
+            reply.send(Response::Overloaded);
+            return false;
+        }
+        let job = ShardJob::Query {
+            user,
+            n,
+            deadline,
+            enqueued: now,
+            reply: reply.clone(),
+        };
+        match shard.tx.try_send(job) {
+            Ok(()) => true,
+            Err(_) => {
+                // Queue filled between assessment and enqueue (or the
+                // shard is gone) — shed instead of blocking the reader.
+                self.counters.shed.fetch_add(1, Ordering::Relaxed);
+                reply.send(Response::Overloaded);
+                false
+            }
+        }
+    }
+
+    /// Routes an action to its owner shard; returns `false` (shed) when
+    /// the shard's queue is full — under overload the server degrades
+    /// ingestion too rather than queue unboundedly.
+    pub fn submit_action(&self, action: UserAction) -> bool {
+        let shard = self.shard_for(action.user);
+        match shard.tx.try_send(ShardJob::Action { action }) {
+            Ok(()) => true,
+            Err(_) => {
+                self.counters.shed.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+}
+
+impl Drop for ShardPool {
+    fn drop(&mut self) {
+        // Close every inbox first so workers drain and exit, then join.
+        for shard in &mut self.shards {
+            let (closed_tx, _) = bounded(1);
+            shard.tx = closed_tx;
+        }
+        for shard in &mut self.shards {
+            if let Some(worker) = shard.worker.take() {
+                let _ = worker.join();
+            }
+        }
+    }
+}
+
+fn spawn_worker(
+    index: usize,
+    rx: Receiver<ShardJob>,
+    factory: EngineFactory,
+    counters: Arc<ServeCounters>,
+    admission: AdmissionController,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("tserve-shard-{index}"))
+        .spawn(move || {
+            let mut engine = factory(index);
+            loop {
+                match rx.recv_timeout(Duration::from_millis(50)) {
+                    Ok(ShardJob::Query {
+                        user,
+                        n,
+                        deadline,
+                        enqueued,
+                        reply,
+                    }) => {
+                        let start = Instant::now();
+                        if start > deadline {
+                            // Too late to be useful: answering now would
+                            // only add work behind other late requests.
+                            counters.expired.fetch_add(1, Ordering::Relaxed);
+                            reply.send(Response::Overloaded);
+                            continue;
+                        }
+                        let items = engine.recommend(user, n);
+                        let done = Instant::now();
+                        admission.observe_service(done - start);
+                        counters.latency.record(done - enqueued);
+                        counters.served.fetch_add(1, Ordering::Relaxed);
+                        reply.send(Response::Recommendations { items });
+                    }
+                    Ok(ShardJob::Action { action }) => {
+                        let start = Instant::now();
+                        engine.process(&action);
+                        admission.observe_service(start.elapsed());
+                        counters.actions.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        })
+        .expect("spawn shard worker")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+    use tencentrec::action::ActionType;
+    use tencentrec::engine::default_cf_engine;
+
+    fn pool(shards: usize, cap: usize) -> ShardPool {
+        ShardPool::new(shards, cap, Arc::new(|_| default_cf_engine()))
+    }
+
+    #[test]
+    fn actions_then_query_same_user_are_ordered() {
+        let p = pool(4, 64);
+        for u in 1..=10u64 {
+            assert!(p.submit_action(UserAction::new(u, 1, ActionType::Click, u)));
+            assert!(p.submit_action(UserAction::new(u, 2, ActionType::Click, u + 1)));
+        }
+        let (tx, rx) = unbounded();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        assert!(p.submit_query(5, 3, deadline, ReplySlot { id: 77, tx },));
+        let (id, resp) = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(id, 77);
+        // The query ran after this user's actions (same FIFO queue), so
+        // the engine knows user 5 and excludes their seen items.
+        let Response::Recommendations { items } = resp else {
+            panic!("expected recommendations, got {resp:?}");
+        };
+        assert!(items.iter().all(|&(i, _)| i != 1 && i != 2), "{items:?}");
+        assert_eq!(p.counters().served.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn users_partition_across_shards() {
+        let p = pool(3, 8);
+        assert_eq!(p.shards(), 3);
+        // Saturate shard 0's queue only; other shards stay open.
+        // (No worker is consuming user 0's shard fast enough to matter:
+        // block it with a long queue of actions.)
+        for _ in 0..200 {
+            p.submit_action(UserAction::new(0, 1, ActionType::Click, 0));
+        }
+        // Shard 1 (user 1) still admits.
+        assert!(p.submit_action(UserAction::new(1, 1, ActionType::Click, 0)));
+    }
+
+    #[test]
+    fn expired_deadline_is_shed_at_dequeue() {
+        let p = pool(1, 128);
+        let (tx, rx) = unbounded();
+        // Already-expired deadline: admission's predictive check sheds
+        // it up front (estimated wait > 0 budget).
+        let past = Instant::now() - Duration::from_millis(1);
+        let admitted = p.submit_query(1, 5, past, ReplySlot { id: 1, tx });
+        assert!(!admitted);
+        let (_, resp) = rx.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(resp, Response::Overloaded);
+        assert_eq!(p.counters().shed.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,213 @@
+//! Property tests for the tserve wire protocol.
+//!
+//! The claims under test: encode→decode is the identity for every
+//! well-formed message (bit-exact for scores), pipelined frames decode
+//! in order, and the decoder treats arbitrary truncation or corruption
+//! as "wait" or a [`ProtocolError`] — never a panic.
+
+use bytes::{BufMut, BytesMut};
+use proptest::prelude::*;
+use proptest::strategy::Union;
+use tencentrec::action::{ActionType, UserAction};
+use tserve::protocol::{
+    decode_request, decode_response, encode_request, encode_response, StatsReport,
+};
+use tserve::{Request, Response};
+use tstorm::metrics::LatencyHistogram;
+
+fn arb_action() -> impl Strategy<Value = UserAction> {
+    (0u64..1 << 48, 0u64..1 << 48, 0u8..8, 0u64..1 << 60).prop_map(|(user, item, code, ts)| {
+        let kind = ActionType::from_code(code).expect("codes 0..8 are valid");
+        UserAction::new(user, item, kind, ts)
+    })
+}
+
+fn arb_request() -> Union<Request> {
+    prop_oneof![
+        (0u64..1 << 48, 0u32..10_000, 0u32..100_000).prop_map(|(user, n, deadline_ms)| {
+            Request::Recommend {
+                user,
+                n,
+                deadline_ms,
+            }
+        }),
+        arb_action().prop_map(|action| Request::ReportAction { action }),
+        Just(Request::Health),
+        Just(Request::Stats),
+    ]
+}
+
+fn arb_stats() -> impl Strategy<Value = StatsReport> {
+    (
+        0u64..1 << 40,
+        0u64..1 << 40,
+        0u64..1 << 40,
+        0u64..1 << 40,
+        prop::collection::vec(1u64..10_000_000_000, 0..60),
+    )
+        .prop_map(|(served, shed, expired, actions, samples)| {
+            let h = LatencyHistogram::new();
+            for nanos in samples {
+                h.record_nanos(nanos);
+            }
+            StatsReport {
+                served,
+                shed,
+                expired,
+                actions,
+                latency: h.snapshot(),
+            }
+        })
+}
+
+/// Responses whose scores are finite, so `PartialEq` equality is the
+/// right round-trip check (bit-exactness of arbitrary f64 patterns is
+/// covered separately by `score_bits_survive_roundtrip`).
+fn arb_response() -> Union<Response> {
+    prop_oneof![
+        prop::collection::vec((0u64..1 << 48, -1.0e12f64..1.0e12), 0..40)
+            .prop_map(|items| Response::Recommendations { items }),
+        Just(Response::Ack),
+        Just(Response::Overloaded),
+        (0u32..1024, 0u32..1 << 20)
+            .prop_map(|(shards, queued)| Response::Health { shards, queued }),
+        arb_stats().prop_map(Response::Stats),
+        prop::collection::vec(32u8..127, 0..80).prop_map(|bytes| Response::Error {
+            message: String::from_utf8(bytes).expect("printable ascii"),
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn request_encode_decode_identity(id in 0u64..u64::MAX, req in arb_request()) {
+        let mut buf = BytesMut::new();
+        encode_request(id, &req, &mut buf);
+        let frame = decode_request(&mut buf)
+            .expect("well-formed frame decodes")
+            .expect("complete frame is not a partial");
+        prop_assert_eq!(frame.id, id);
+        prop_assert_eq!(frame.msg, req);
+        prop_assert!(buf.is_empty(), "decode must consume the whole frame");
+    }
+
+    #[test]
+    fn response_encode_decode_identity(id in 0u64..u64::MAX, resp in arb_response()) {
+        let mut buf = BytesMut::new();
+        encode_response(id, &resp, &mut buf);
+        let frame = decode_response(&mut buf)
+            .expect("well-formed frame decodes")
+            .expect("complete frame is not a partial");
+        prop_assert_eq!(frame.id, id);
+        prop_assert_eq!(frame.msg, resp);
+        prop_assert!(buf.is_empty(), "decode must consume the whole frame");
+    }
+
+    /// Scores travel as raw bits: every `u64` pattern — NaNs, infinities,
+    /// negative zero, subnormals — survives encode→decode→encode exactly.
+    #[test]
+    fn score_bits_survive_roundtrip(bits in prop::collection::vec(0u64..u64::MAX, 1..20)) {
+        let resp = Response::Recommendations {
+            items: bits.iter().map(|&b| (b, f64::from_bits(b))).collect(),
+        };
+        let mut buf = BytesMut::new();
+        encode_response(1, &resp, &mut buf);
+        let first_wire = buf[..].to_vec();
+        let frame = decode_response(&mut buf).expect("decodes").expect("complete");
+        let Response::Recommendations { items } = frame.msg else {
+            panic!("wrong variant");
+        };
+        for (&b, &(item, score)) in bits.iter().zip(items.iter()) {
+            prop_assert_eq!(item, b);
+            prop_assert_eq!(score.to_bits(), b, "score bits must be exact");
+        }
+        let mut again = BytesMut::new();
+        encode_response(1, &Response::Recommendations { items }, &mut again);
+        prop_assert_eq!(&again[..], &first_wire[..]);
+    }
+
+    /// Pipelining: many frames written back-to-back into one buffer
+    /// decode in order with their ids intact.
+    #[test]
+    fn pipelined_frames_decode_in_order(reqs in prop::collection::vec(arb_request(), 1..16)) {
+        let mut buf = BytesMut::new();
+        for (i, req) in reqs.iter().enumerate() {
+            encode_request(i as u64, req, &mut buf);
+        }
+        for (i, req) in reqs.iter().enumerate() {
+            let frame = decode_request(&mut buf).expect("decodes").expect("complete");
+            prop_assert_eq!(frame.id, i as u64);
+            prop_assert_eq!(&frame.msg, req);
+        }
+        prop_assert_eq!(decode_request(&mut buf).expect("empty buffer is fine"), None);
+    }
+
+    /// Every strict prefix of a valid frame is "wait for more bytes" —
+    /// never an error, never a panic — and the untouched prefix decodes
+    /// once the rest arrives.
+    #[test]
+    fn truncation_waits_without_panicking(resp in arb_response()) {
+        let mut full = BytesMut::new();
+        encode_response(9, &resp, &mut full);
+        let wire = full[..].to_vec();
+        for cut in 0..wire.len() {
+            let mut partial = BytesMut::new();
+            partial.put_slice(&wire[..cut]);
+            let decoded = decode_response(&mut partial).expect("prefix is not corrupt");
+            prop_assert_eq!(decoded, None, "prefix of length {} must wait", cut);
+            // Delivering the remainder completes the frame.
+            partial.put_slice(&wire[cut..]);
+            let frame = decode_response(&mut partial).expect("decodes").expect("complete");
+            prop_assert_eq!(frame.msg, resp.clone());
+        }
+    }
+
+    /// Arbitrary byte-flips anywhere in a frame stream: the decoder may
+    /// return frames (flips can cancel out or land in don't-care bits)
+    /// or an error, but it never panics and always makes progress.
+    #[test]
+    fn corruption_never_panics(
+        reqs in prop::collection::vec(arb_request(), 1..8),
+        flips in prop::collection::vec((0usize..4096, 1u8..=255), 1..10),
+    ) {
+        let mut clean = BytesMut::new();
+        for (i, req) in reqs.iter().enumerate() {
+            encode_request(i as u64, req, &mut clean);
+        }
+        let mut wire = clean[..].to_vec();
+        let len = wire.len();
+        for &(pos, mask) in &flips {
+            wire[pos % len] ^= mask;
+        }
+        let mut buf = BytesMut::new();
+        buf.put_slice(&wire);
+        // Drain: each Ok(Some) consumes a frame, Ok(None)/Err ends the
+        // stream (a real connection hangs up on the first error).
+        let mut decoded = 0usize;
+        while let Ok(Some(_)) = decode_request(&mut buf) {
+            decoded += 1;
+            prop_assert!(decoded <= reqs.len() + flips.len() + 1, "runaway decode loop");
+        }
+    }
+
+    /// Raw garbage fed straight to the decoder: same guarantee.
+    #[test]
+    fn garbage_never_panics(bytes in prop::collection::vec(0u8..=255, 0..600)) {
+        let mut buf = BytesMut::new();
+        buf.put_slice(&bytes);
+        for _ in 0..bytes.len() + 1 {
+            match decode_request(&mut buf) {
+                Ok(Some(_)) => continue,
+                Ok(None) | Err(_) => break,
+            }
+        }
+        let mut buf = BytesMut::new();
+        buf.put_slice(&bytes);
+        for _ in 0..bytes.len() + 1 {
+            match decode_response(&mut buf) {
+                Ok(Some(_)) => continue,
+                Ok(None) | Err(_) => break,
+            }
+        }
+    }
+}

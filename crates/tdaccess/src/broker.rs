@@ -115,9 +115,7 @@ mod tests {
         b.create_partition("t", 0, SegmentConfig::default());
         b.create_partition("t", 1, SegmentConfig::default());
         assert_eq!(b.partition_count(), 2);
-        let off = b
-            .append("t", 0, None, Bytes::from_static(b"x"), 0)
-            .unwrap();
+        let off = b.append("t", 0, None, Bytes::from_static(b"x"), 0).unwrap();
         assert_eq!(off, 0);
         assert_eq!(b.read("t", 0, 0, 10).unwrap().len(), 1);
         assert_eq!(b.partition_end_offset("t", 0).unwrap(), 1);

@@ -20,12 +20,7 @@ pub struct Consumer {
 }
 
 impl Consumer {
-    pub(crate) fn new(
-        cluster: AccessCluster,
-        meta: TopicMeta,
-        group: String,
-        member: u64,
-    ) -> Self {
+    pub(crate) fn new(cluster: AccessCluster, meta: TopicMeta, group: String, member: u64) -> Self {
         Consumer {
             cluster,
             meta,
@@ -45,9 +40,9 @@ impl Consumer {
     /// fairly round-robining between them. Returns an empty vec when all
     /// assigned partitions are exhausted.
     pub fn poll(&mut self, max: usize) -> Result<Vec<Message>, AccessError> {
-        let assigned =
-            self.cluster
-                .group_assignment(&self.meta.name, &self.group, self.member)?;
+        let assigned = self
+            .cluster
+            .group_assignment(&self.meta.name, &self.group, self.member)?;
         if assigned.is_empty() || max == 0 {
             return Ok(Vec::new());
         }
@@ -84,12 +79,14 @@ impl Consumer {
     /// Messages retained but not yet consumed across this member's
     /// assigned partitions (consumer lag).
     pub fn lag(&self) -> Result<u64, AccessError> {
-        let assigned =
-            self.cluster
-                .group_assignment(&self.meta.name, &self.group, self.member)?;
+        let assigned = self
+            .cluster
+            .group_assignment(&self.meta.name, &self.group, self.member)?;
         let mut total = 0;
         for pid in assigned {
-            let broker = self.cluster.broker(self.cluster.route(&self.meta.name, pid)?)?;
+            let broker = self
+                .cluster
+                .broker(self.cluster.route(&self.meta.name, pid)?)?;
             let end = broker.partition_end_offset(&self.meta.name, pid)?;
             total += end.saturating_sub(self.position(pid));
         }

@@ -178,10 +178,7 @@ impl MasterServer {
     /// next `group_assignment` call.
     pub fn leave_group(&mut self, topic: &str, group: &str, member: u64) {
         let mut st = self.state.inner.write();
-        if let Some(g) = st
-            .groups
-            .get_mut(&(topic.to_string(), group.to_string()))
-        {
+        if let Some(g) = st.groups.get_mut(&(topic.to_string(), group.to_string())) {
             g.members.retain(|&m| m != member);
         }
     }
@@ -271,7 +268,10 @@ mod tests {
         let standby = MasterServer::new_standby(state);
         active.create_topic("t", 2).unwrap();
         assert_eq!(standby.topic_meta("t").unwrap().partitions, 2);
-        assert_eq!(standby.route("t", 1).unwrap(), active.route("t", 1).unwrap());
+        assert_eq!(
+            standby.route("t", 1).unwrap(),
+            active.route("t", 1).unwrap()
+        );
     }
 
     #[test]

@@ -45,7 +45,11 @@ impl Producer {
     /// Sends a record; returns `(partition, offset)`. Keyed records always
     /// land in the same partition (preserving per-key order); unkeyed
     /// records round-robin.
-    pub fn send(&self, key: Option<&[u8]>, payload: &[u8]) -> Result<(PartitionId, u64), AccessError> {
+    pub fn send(
+        &self,
+        key: Option<&[u8]>,
+        payload: &[u8],
+    ) -> Result<(PartitionId, u64), AccessError> {
         let ts = self.clock_ms.fetch_add(1, Ordering::Relaxed);
         self.send_at(key, payload, ts)
     }

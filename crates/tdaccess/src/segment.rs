@@ -116,12 +116,7 @@ impl Segment {
 
     /// Copies messages with offsets in `[from, from+max)` into `out`,
     /// in offset order.
-    fn read_into(
-        &self,
-        from: u64,
-        max: usize,
-        out: &mut Vec<Message>,
-    ) -> Result<(), AccessError> {
+    fn read_into(&self, from: u64, max: usize, out: &mut Vec<Message>) -> Result<(), AccessError> {
         if max == 0 {
             return Ok(());
         }
@@ -187,9 +182,11 @@ impl Partition {
             payload,
         });
         if active.full(&self.config) {
-            let spill_path = self.config.spill_dir.as_ref().map(|d| {
-                d.join(format!("{}-{:020}.seg", self.name, active.base_offset()))
-            });
+            let spill_path = self
+                .config
+                .spill_dir
+                .as_ref()
+                .map(|d| d.join(format!("{}-{:020}.seg", self.name, active.base_offset())));
             active.seal(spill_path)?;
             self.segments.push(Segment::new(self.next_offset));
         }
@@ -249,9 +246,7 @@ mod tests {
     fn append_assigns_sequential_offsets() {
         let mut p = Partition::new("t-0", small_config());
         for i in 0..10 {
-            let off = p
-                .append(None, Bytes::from(format!("m{i}")), i)
-                .unwrap();
+            let off = p.append(None, Bytes::from(format!("m{i}")), i).unwrap();
             assert_eq!(off, i);
         }
         assert_eq!(p.end_offset(), 10);
@@ -297,8 +292,12 @@ mod tests {
         };
         let mut p = Partition::new("spill-0", config);
         for i in 0..10u64 {
-            p.append(Some(Bytes::from(vec![i as u8])), Bytes::from(format!("payload-{i}")), i)
-                .unwrap();
+            p.append(
+                Some(Bytes::from(vec![i as u8])),
+                Bytes::from(format!("payload-{i}")),
+                i,
+            )
+            .unwrap();
         }
         assert!(p.spilled_count() >= 2, "two sealed segments should spill");
         let msgs = p.read(0, 100).unwrap();

@@ -79,8 +79,7 @@ impl FdbEngine {
     }
 
     fn append(inner: &mut FdbInner, key: &[u8], value: Option<&[u8]>) -> std::io::Result<()> {
-        let mut rec =
-            Vec::with_capacity(8 + key.len() + value.map_or(0, <[u8]>::len));
+        let mut rec = Vec::with_capacity(8 + key.len() + value.map_or(0, <[u8]>::len));
         rec.extend_from_slice(&(key.len() as u32).to_le_bytes());
         rec.extend_from_slice(key);
         match value {
@@ -157,9 +156,7 @@ impl StorageEngine for FdbEngine {
             .map(|(k, &loc)| (k.clone(), loc))
             .collect();
         hits.into_iter()
-            .filter_map(|(k, (off, len))| {
-                Self::read_at(&mut inner, off, len).ok().map(|v| (k, v))
-            })
+            .filter_map(|(k, (off, len))| Self::read_at(&mut inner, off, len).ok().map(|v| (k, v)))
             .collect()
     }
 
@@ -215,7 +212,10 @@ mod tests {
         std::env::temp_dir().join(format!(
             "fdb-test-{}-{}-{tag}.fdb",
             std::process::id(),
-            std::thread::current().name().unwrap_or("t").replace("::", "-")
+            std::thread::current()
+                .name()
+                .unwrap_or("t")
+                .replace("::", "-")
         ))
     }
 

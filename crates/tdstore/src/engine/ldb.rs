@@ -95,10 +95,7 @@ impl LdbEngine {
                 merged.insert(k.clone(), v.clone());
             }
         }
-        let compacted: Vec<Entry> = merged
-            .into_iter()
-            .filter(|(_, v)| v.is_some())
-            .collect();
+        let compacted: Vec<Entry> = merged.into_iter().filter(|(_, v)| v.is_some()).collect();
         inner.runs.clear();
         if !compacted.is_empty() {
             inner.runs.push(Arc::new(compacted));

@@ -129,10 +129,7 @@ pub(crate) mod conformance {
         items.sort();
         assert_eq!(
             items,
-            vec![
-                (b"item:1".to_vec(), vec![1]),
-                (b"item:2".to_vec(), vec![2])
-            ]
+            vec![(b"item:1".to_vec(), vec![1]), (b"item:2".to_vec(), vec![2])]
         );
         assert_eq!(engine.scan_prefix(b"zzz").len(), 0);
         assert_eq!(engine.scan_prefix(b"").len(), 3);

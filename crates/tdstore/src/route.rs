@@ -164,10 +164,7 @@ impl ConfigServers {
         // new slave is assigned.
         for instance in table.backed_by(failed) {
             let route = table.get(instance)?.clone();
-            let new_slave = alive
-                .iter()
-                .copied()
-                .find(|&s| s != route.host);
+            let new_slave = alive.iter().copied().find(|&s| s != route.host);
             table.set(
                 instance,
                 InstanceRoute {

@@ -34,15 +34,25 @@ pub(crate) enum AckerMsg {
         msg_id: u64,
     },
     /// XOR delta from a bolt completing an execute.
-    Xor { root: u64, xor: u64 },
+    Xor {
+        root: u64,
+        xor: u64,
+    },
     /// Explicit failure of a tree.
-    Fail { root: u64 },
+    Fail {
+        root: u64,
+    },
     Shutdown,
 }
 
 struct Entry {
     pending: u64,
     init: bool,
+    /// A `Fail` arrived before `Init` (a bolt can fail a tuple before the
+    /// spout's Init message reaches the acker, since Init is sent after
+    /// the deliveries). The failure is held until Init names the spout to
+    /// notify — dropping it would strand the tree until the timeout sweep.
+    failed: bool,
     slot: usize,
     msg_id: u64,
     created: Instant,
@@ -57,7 +67,9 @@ pub(crate) fn run_acker(
     pending_gauge: Arc<AtomicI64>,
 ) {
     let mut entries: HashMap<u64, Entry> = HashMap::new();
-    let sweep_every = timeout.min(Duration::from_millis(500)).max(Duration::from_millis(10));
+    let sweep_every = timeout
+        .min(Duration::from_millis(500))
+        .max(Duration::from_millis(10));
     let mut next_sweep = Instant::now() + sweep_every;
     loop {
         let wait = next_sweep.saturating_duration_since(Instant::now());
@@ -73,6 +85,7 @@ pub(crate) fn run_acker(
                     Entry {
                         pending: 0,
                         init: false,
+                        failed: false,
                         slot,
                         msg_id,
                         created: Instant::now(),
@@ -82,7 +95,11 @@ pub(crate) fn run_acker(
                 e.slot = slot;
                 e.msg_id = msg_id;
                 e.pending ^= xor;
-                if e.init && e.pending == 0 {
+                if e.failed {
+                    let e = entries.remove(&root).expect("entry just inserted");
+                    pending_gauge.fetch_sub(1, Ordering::Relaxed);
+                    let _ = spouts[e.slot].send(SpoutMsg::Fail(e.msg_id));
+                } else if e.pending == 0 {
                     let e = entries.remove(&root).expect("entry just inserted");
                     pending_gauge.fetch_sub(1, Ordering::Relaxed);
                     let _ = spouts[e.slot].send(SpoutMsg::Ack(e.msg_id));
@@ -94,26 +111,43 @@ pub(crate) fn run_acker(
                     Entry {
                         pending: 0,
                         init: false,
+                        failed: false,
                         slot: 0,
                         msg_id: 0,
                         created: Instant::now(),
                     }
                 });
                 e.pending ^= xor;
-                if e.init && e.pending == 0 {
+                if e.init && !e.failed && e.pending == 0 {
                     let e = entries.remove(&root).expect("entry just updated");
                     pending_gauge.fetch_sub(1, Ordering::Relaxed);
                     let _ = spouts[e.slot].send(SpoutMsg::Ack(e.msg_id));
                 }
             }
-            Ok(AckerMsg::Fail { root }) => {
-                if let Some(e) = entries.remove(&root) {
-                    pending_gauge.fetch_sub(1, Ordering::Relaxed);
-                    if e.init {
+            Ok(AckerMsg::Fail { root }) => match entries.entry(root) {
+                std::collections::hash_map::Entry::Occupied(o) => {
+                    if o.get().init {
+                        let e = o.remove();
+                        pending_gauge.fetch_sub(1, Ordering::Relaxed);
                         let _ = spouts[e.slot].send(SpoutMsg::Fail(e.msg_id));
+                    } else {
+                        // Init not seen yet: hold the failure until it
+                        // arrives and identifies the owning spout.
+                        o.into_mut().failed = true;
                     }
                 }
-            }
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    pending_gauge.fetch_add(1, Ordering::Relaxed);
+                    v.insert(Entry {
+                        pending: 0,
+                        init: false,
+                        failed: true,
+                        slot: 0,
+                        msg_id: 0,
+                        created: Instant::now(),
+                    });
+                }
+            },
             Ok(AckerMsg::Shutdown) => break,
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => break,
@@ -247,6 +281,30 @@ mod tests {
         }
         tx.send(AckerMsg::Shutdown).unwrap();
         h.join().unwrap();
+    }
+
+    #[test]
+    fn fail_before_init_notifies_spout() {
+        // Init is sent after the tuple deliveries, so a fast bolt can fail
+        // a tree before the acker ever saw its Init. The failure must be
+        // held and delivered when Init arrives — not dropped (which would
+        // strand the tree until the timeout sweep).
+        let (tx, srx, gauge, h) = setup(Duration::from_secs(60));
+        tx.send(AckerMsg::Fail { root: 12 }).unwrap();
+        tx.send(AckerMsg::Init {
+            root: 12,
+            xor: 0x5,
+            slot: 0,
+            msg_id: 33,
+        })
+        .unwrap();
+        match srx.recv_timeout(Duration::from_secs(2)).unwrap() {
+            SpoutMsg::Fail(33) => {}
+            other => panic!("expected Fail(33), got {other:?}"),
+        }
+        tx.send(AckerMsg::Shutdown).unwrap();
+        h.join().unwrap();
+        assert_eq!(gauge.load(Ordering::Relaxed), 0);
     }
 
     #[test]

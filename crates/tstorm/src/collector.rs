@@ -76,10 +76,12 @@ impl EmitterCore {
         values: Vec<Value>,
         mut make_anchors: impl FnMut(&mut SmallRng) -> Anchors,
     ) -> usize {
-        let out = self
-            .outputs
-            .get(stream)
-            .unwrap_or_else(|| panic!("component `{}` emitted on undeclared stream `{stream}`", self.component));
+        let out = self.outputs.get(stream).unwrap_or_else(|| {
+            panic!(
+                "component `{}` emitted on undeclared stream `{stream}`",
+                self.component
+            )
+        });
         assert_eq!(
             values.len(),
             out.schema.len(),

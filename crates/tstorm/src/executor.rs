@@ -5,7 +5,9 @@
 //! gives end-to-end backpressure. One extra thread runs the XOR acker.
 
 use crate::ack::{run_acker, AckerMsg, SpoutMsg};
-use crate::collector::{BoltCollector, BoltMsg, ConsumerEdge, EmitterCore, OutputMap, SpoutCollector, StreamOutputs};
+use crate::collector::{
+    BoltCollector, BoltMsg, ConsumerEdge, EmitterCore, OutputMap, SpoutCollector, StreamOutputs,
+};
 use crate::component::TaskContext;
 use crate::grouping::RoutingRule;
 use crate::metrics::{MetricsRegistry, MetricsSnapshot};
@@ -40,8 +42,9 @@ impl Topology {
         let mut bolt_txs: HashMap<&str, Vec<Sender<BoltMsg>>> = HashMap::new();
         let mut bolt_rxs: HashMap<&str, Vec<Receiver<BoltMsg>>> = HashMap::new();
         for b in &self.bolts {
-            let (txs, rxs): (Vec<_>, Vec<_>) =
-                (0..b.parallelism).map(|_| bounded(self.config.queue_capacity)).unzip();
+            let (txs, rxs): (Vec<_>, Vec<_>) = (0..b.parallelism)
+                .map(|_| bounded(self.config.queue_capacity))
+                .unzip();
             bolt_txs.insert(&b.name, txs);
             bolt_rxs.insert(&b.name, rxs);
         }
@@ -64,7 +67,11 @@ impl Topology {
             .spouts
             .iter()
             .map(|s| (s.name.as_str(), s.outputs.as_slice()))
-            .chain(self.bolts.iter().map(|b| (b.name.as_str(), b.outputs.as_slice())))
+            .chain(
+                self.bolts
+                    .iter()
+                    .map(|b| (b.name.as_str(), b.outputs.as_slice())),
+            )
             .collect();
         for &(name, outputs) in &all_outputs {
             let mut map = OutputMap::new();
@@ -73,10 +80,9 @@ impl Topology {
                 for b in &self.bolts {
                     for sub in &b.subscriptions {
                         if sub.src == name && sub.stream == def.id {
-                            let rule = RoutingRule::new(sub.grouping.clone(), |f| {
-                                def.schema.index_of(f)
-                            })
-                            .expect("grouping validated at build time");
+                            let rule =
+                                RoutingRule::new(sub.grouping.clone(), |f| def.schema.index_of(f))
+                                    .expect("grouping validated at build time");
                             consumers.push(ConsumerEdge {
                                 rule: Arc::new(rule),
                                 senders: bolt_txs[b.name.as_str()].clone(),
@@ -179,11 +185,10 @@ impl Topology {
                                         // rebuilt from its factory — safe
                                         // because bolts keep durable state in
                                         // TDStore, not in themselves.
-                                        let result = std::panic::catch_unwind(
-                                            std::panic::AssertUnwindSafe(|| {
-                                                bolt.execute(&t, &mut collector)
-                                            }),
-                                        );
+                                        let result =
+                                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                                                || bolt.execute(&t, &mut collector),
+                                            ));
                                         let nanos = start.elapsed().as_nanos() as u64;
                                         match result {
                                             Ok(Ok(())) => {
@@ -278,10 +283,8 @@ impl Topology {
                                     let start = Instant::now();
                                     let emitted = spout.next_tuple(&mut collector);
                                     if emitted {
-                                        metrics.record_exec(
-                                            start.elapsed().as_nanos() as u64,
-                                            true,
-                                        );
+                                        metrics
+                                            .record_exec(start.elapsed().as_nanos() as u64, true);
                                     }
                                     emitted
                                 } else {
@@ -387,10 +390,7 @@ impl TopologyHandle {
         let mut last_roots = u64::MAX;
         let mut was_quiet = false;
         loop {
-            let spouts_idle = self
-                .spout_idle
-                .iter()
-                .all(|f| f.load(Ordering::Acquire));
+            let spouts_idle = self.spout_idle.iter().all(|f| f.load(Ordering::Acquire));
             let quiet = spouts_idle
                 && self.inflight.load(Ordering::Relaxed) == 0
                 && self.acker_pending.load(Ordering::Relaxed) == 0;

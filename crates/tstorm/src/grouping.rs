@@ -95,9 +95,7 @@ impl RoutingRule {
     pub(crate) fn route(&self, values: &[Value], n_tasks: usize) -> Route {
         debug_assert!(n_tasks > 0);
         match &self.grouping {
-            Grouping::Shuffle => {
-                Route::One(self.rr.fetch_add(1, Ordering::Relaxed) % n_tasks)
-            }
+            Grouping::Shuffle => Route::One(self.rr.fetch_add(1, Ordering::Relaxed) % n_tasks),
             Grouping::Fields(_) => {
                 let mut h = Fnv1a::new();
                 for &idx in &self.field_indices {
@@ -161,7 +159,10 @@ mod tests {
                 seen.insert(i);
             }
         }
-        assert!(seen.len() >= 6, "64 keys over 8 tasks should hit most tasks");
+        assert!(
+            seen.len() >= 6,
+            "64 keys over 8 tasks should hit most tasks"
+        );
     }
 
     #[test]

@@ -149,6 +149,7 @@ mod tests {
             acked: executed,
             failed: 0,
             exec_nanos,
+            exec_latency: Default::default(),
         }
     }
 
@@ -211,7 +212,7 @@ mod tests {
     #[test]
     fn bounds_respected() {
         let metrics = vec![
-            snapshot("spout", 1_000, 1_000),          // ~free
+            snapshot("spout", 1_000, 1_000),            // ~free
             snapshot("heavy", 1_000_000, u64::MAX / 2), // absurdly slow
         ];
         let plan = plan_from_metrics(

@@ -190,10 +190,7 @@ impl TopologyBuilder {
             outputs,
         });
         let idx = self.bolts.len() - 1;
-        BoltDeclarer {
-            builder: self,
-            idx,
-        }
+        BoltDeclarer { builder: self, idx }
     }
 
     /// Validates and freezes the topology.
@@ -263,8 +260,7 @@ impl TopologyBuilder {
             Grey,
             Black,
         }
-        let mut colour: HashMap<&str, Colour> =
-            names.iter().map(|&n| (n, Colour::White)).collect();
+        let mut colour: HashMap<&str, Colour> = names.iter().map(|&n| (n, Colour::White)).collect();
         fn dfs<'a>(
             node: &'a str,
             adj: &HashMap<&'a str, Vec<&'a str>>,
@@ -303,11 +299,13 @@ pub struct BoltDeclarer<'a> {
 
 impl BoltDeclarer<'_> {
     fn push(&mut self, src: &str, stream: &str, grouping: Grouping) -> &mut Self {
-        self.builder.bolts[self.idx].subscriptions.push(Subscription {
-            src: src.to_string(),
-            stream: stream.to_string(),
-            grouping,
-        });
+        self.builder.bolts[self.idx]
+            .subscriptions
+            .push(Subscription {
+                src: src.to_string(),
+                stream: stream.to_string(),
+                grouping,
+            });
         self
     }
 
@@ -422,11 +420,8 @@ mod tests {
     fn unknown_stream_rejected() {
         let mut b = TopologyBuilder::new();
         b.set_spout("spout", || NullSpout, 1);
-        b.set_bolt("bolt", || NullBolt, 1).grouping_on(
-            "spout",
-            "sidestream",
-            Grouping::Shuffle,
-        );
+        b.set_bolt("bolt", || NullBolt, 1)
+            .grouping_on("spout", "sidestream", Grouping::Shuffle);
         assert!(matches!(
             b.build().err(),
             Some(TopologyError::UnknownStream { .. })

@@ -54,7 +54,11 @@ pub struct XmlError {
 
 impl fmt::Display for XmlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "xml parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "xml parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -110,10 +114,7 @@ impl<'a> Parser<'a> {
             if self.starts_with("<!--") {
                 self.skip_comment()?;
             } else if self.starts_with("<?") {
-                match self.input[self.pos..]
-                    .windows(2)
-                    .position(|w| w == b"?>")
-                {
+                match self.input[self.pos..].windows(2).position(|w| w == b"?>") {
                     Some(i) => self.pos += i + 2,
                     None => return Err(self.err("unterminated processing instruction")),
                 }
@@ -335,10 +336,8 @@ mod tests {
 
     #[test]
     fn skips_comments_and_declaration() {
-        let doc = parse(
-            "<?xml version=\"1.0\"?>\n<!-- topology -->\n<a><!-- inner --><b/></a>",
-        )
-        .unwrap();
+        let doc =
+            parse("<?xml version=\"1.0\"?>\n<!-- topology -->\n<a><!-- inner --><b/></a>").unwrap();
         assert_eq!(doc.name, "a");
         assert_eq!(doc.children.len(), 1);
     }

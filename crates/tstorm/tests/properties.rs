@@ -127,7 +127,13 @@ fn run_grouped(keys: Vec<u64>, grouping: Grouping, tasks: usize) -> Vec<(u64, us
     let mut builder = TopologyBuilder::new();
     {
         let keys = keys.clone();
-        builder.set_spout("spout", move || VecSpout { values: keys.clone() }, 1);
+        builder.set_spout(
+            "spout",
+            move || VecSpout {
+                values: keys.clone(),
+            },
+            1,
+        );
     }
     {
         let seen = seen.clone();

@@ -14,7 +14,7 @@ use tencentrec::baseline::PeriodicRebuild;
 use tencentrec::catalog::ItemCatalog;
 use tencentrec::cb::{CbConfig, ContentBased};
 use tencentrec::cf::{CfConfig, ItemCF, WindowConfig};
-use tencentrec::ctr::{CtrConfig, SituationalCtr, Situation};
+use tencentrec::ctr::{CtrConfig, Situation, SituationalCtr};
 use tencentrec::db::{DemographicProfile, DemographicRec, GroupScheme};
 use tencentrec::engine::{Primary, RecommendEngine};
 
@@ -204,10 +204,7 @@ pub fn tencentrec_news_arm(catalog: ItemCatalog) -> RecommendEngine {
 
 /// The Original news arm: "the CB recommendation model is updated once an
 /// hour" — semi-real-time.
-pub fn original_news_arm(
-    catalog: ItemCatalog,
-    period_ms: u64,
-) -> PeriodicRebuild<RecommendEngine> {
+pub fn original_news_arm(catalog: ItemCatalog, period_ms: u64) -> PeriodicRebuild<RecommendEngine> {
     PeriodicRebuild::new(period_ms, move || {
         RecommendEngine::new(
             Primary::Cb(ContentBased::new(CbConfig::default(), catalog.clone())),
@@ -268,7 +265,11 @@ impl AdWorld {
     fn new(config: &AdSimConfig, rng: &mut SmallRng) -> Self {
         let base = (0..config.ads).map(|_| rng.gen_range(0.01..0.08)).collect();
         let affinity = (0..config.ads)
-            .map(|_| (0..config.groups).map(|_| rng.gen_range(0.3..3.0)).collect())
+            .map(|_| {
+                (0..config.groups)
+                    .map(|_| rng.gen_range(0.3..3.0))
+                    .collect()
+            })
             .collect();
         let drift = vec![1.0; config.ads];
         // One representative profile per group.
@@ -289,7 +290,7 @@ impl AdWorld {
 
     fn walk_drift(&mut self, rng: &mut SmallRng) {
         for d in &mut self.drift {
-            *d = (*d * rng.gen_range(0.75..1.35)).clamp(0.4, 2.5);
+            *d = (*d * rng.gen_range(0.75f64..1.35)).clamp(0.4, 2.5);
         }
     }
 
@@ -380,7 +381,11 @@ pub fn run_ad_simulation(config: &AdSimConfig) -> (Vec<DayMetrics>, Vec<DayMetri
             }
 
             // --- Original arm (same request, same exploration coin) ---
-            let ad = if explore { random_ad } else { frozen_best[group] };
+            let ad = if explore {
+                random_ad
+            } else {
+                frozen_best[group]
+            };
             let p = world.true_ctr(ad, group);
             let clicked = rng.gen_bool(p);
             orig_model.impression(ad as u64, &situation, ts);
@@ -411,10 +416,8 @@ mod tests {
         };
         let (ours, orig) = run_ad_simulation(&config);
         assert_eq!(ours.len(), 10);
-        let our_ctr: f64 =
-            ours.iter().map(DayMetrics::ctr).sum::<f64>() / ours.len() as f64;
-        let orig_ctr: f64 =
-            orig.iter().map(DayMetrics::ctr).sum::<f64>() / orig.len() as f64;
+        let our_ctr: f64 = ours.iter().map(DayMetrics::ctr).sum::<f64>() / ours.len() as f64;
+        let orig_ctr: f64 = orig.iter().map(DayMetrics::ctr).sum::<f64>() / orig.len() as f64;
         assert!(
             our_ctr > orig_ctr,
             "situational targeting should beat stale global ranking: {our_ctr} vs {orig_ctr}"

@@ -124,7 +124,12 @@ mod tests {
         let (mut world, model) = setup();
         world.gen_session(0, 0);
         let (genre, _) = world.users[0].session_genre.unwrap();
-        let item = world.items.iter().find(|i| i.genre == genre).unwrap().clone();
+        let item = world
+            .items
+            .iter()
+            .find(|i| i.genre == genre)
+            .unwrap()
+            .clone();
         let user = world.users[0].clone();
         let fresh = model.p_click(&world, &user, &item, 1_000, 0);
         let stale = model.p_click(&world, &user, &item, 6 * 60 * 60 * 1000, 0);
@@ -166,15 +171,19 @@ mod tests {
         };
         world.gen_session(0, 0);
         let (genre, _) = world.users[0].session_genre.unwrap();
-        let mut old = world.items.iter().find(|i| i.genre == genre).unwrap().clone();
+        let mut old = world
+            .items
+            .iter()
+            .find(|i| i.genre == genre)
+            .unwrap()
+            .clone();
         let mut new = old.clone();
         old.born = 0;
         new.born = 86_000_000;
         let user = world.users[0].clone();
         let now = 86_400_000;
         assert!(
-            model.p_click(&world, &user, &new, now, 0)
-                > model.p_click(&world, &user, &old, now, 0)
+            model.p_click(&world, &user, &new, now, 0) > model.p_click(&world, &user, &old, now, 0)
         );
     }
 }

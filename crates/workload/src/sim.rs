@@ -105,7 +105,8 @@ pub fn run_simulation(
             let slot_start = day_start + slot as u64 * (day_ms / sessions as u64);
             for user_idx in 0..users {
                 // Spread session starts across the slot.
-                let t = slot_start + (user_idx as u64 * librarian_prime()) % (day_ms / sessions as u64 / 2);
+                let t = slot_start
+                    + (user_idx as u64 * librarian_prime()) % (day_ms / sessions as u64 / 2);
                 let actions = world.gen_session(user_idx, t);
                 if actions.is_empty() {
                     continue;
@@ -142,13 +143,7 @@ pub fn run_simulation(
                 for (position, &(item_id, _)) in recs.iter().enumerate() {
                     let item = world.item(item_id).expect("filtered above");
                     metrics.impressions += 1;
-                    let p = clicks.p_click(
-                        world,
-                        &world.users[user_idx],
-                        item,
-                        query_t,
-                        position,
-                    );
+                    let p = clicks.p_click(world, &world.users[user_idx], item, query_t, position);
                     if click_rng.gen_bool(p) {
                         metrics.clicks += 1;
                         metrics.reads += 1;

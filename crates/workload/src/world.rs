@@ -191,11 +191,11 @@ impl World {
         let tags = vec![
             (genre as u32, 1.0),
             (
-                (self.config.genres + genre * 5 + self.rng.gen_range(0..5)) as u32,
+                (self.config.genres + genre * 5 + self.rng.gen_range(0..5usize)) as u32,
                 0.5,
             ),
             (
-                (self.config.genres + genre * 5 + self.rng.gen_range(0..5)) as u32,
+                (self.config.genres + genre * 5 + self.rng.gen_range(0..5usize)) as u32,
                 0.3,
             ),
         ];
@@ -229,7 +229,10 @@ impl World {
 
     /// Items alive at `now`.
     pub fn live_items(&self, now: Timestamp) -> Vec<&SimItem> {
-        self.items.iter().filter(|i| self.is_alive(i, now)).collect()
+        self.items
+            .iter()
+            .filter(|i| self.is_alive(i, now))
+            .collect()
     }
 
     /// Items whose lifetime expired in `(from, to]`.
@@ -444,12 +447,14 @@ mod tests {
             .collect();
         let diff: Vec<&&SimUser> = users.iter().filter(|u| group(u) == (1, 5)).collect();
         let dot = |x: &SimUser, y: &SimUser| -> f64 {
-            x.long_term.iter().zip(&y.long_term).map(|(a, b)| a * b).sum()
+            x.long_term
+                .iter()
+                .zip(&y.long_term)
+                .map(|(a, b)| a * b)
+                .sum()
         };
-        let avg_same: f64 =
-            same.iter().map(|u| dot(a, u)).sum::<f64>() / same.len() as f64;
-        let avg_diff: f64 =
-            diff.iter().map(|u| dot(a, u)).sum::<f64>() / diff.len() as f64;
+        let avg_same: f64 = same.iter().map(|u| dot(a, u)).sum::<f64>() / same.len() as f64;
+        let avg_diff: f64 = diff.iter().map(|u| dot(a, u)).sum::<f64>() / diff.len() as f64;
         assert!(
             avg_same > avg_diff,
             "within-group affinity {avg_same} should beat cross-group {avg_diff}"

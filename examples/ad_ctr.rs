@@ -57,12 +57,21 @@ fn main() {
     }
 
     // The motivating query, answered from the windowed counts.
-    println!("last-10s CTR of ad 1, male 20-30 Beijing:   {:?}", model.situational_ctr(1, &young_bj_men));
-    println!("last-10s CTR of ad 1, female 20-30 Shanghai: {:?}", model.situational_ctr(1, &young_sh_women));
+    println!(
+        "last-10s CTR of ad 1, male 20-30 Beijing:   {:?}",
+        model.situational_ctr(1, &young_bj_men)
+    );
+    println!(
+        "last-10s CTR of ad 1, female 20-30 Shanghai: {:?}",
+        model.situational_ctr(1, &young_sh_women)
+    );
 
     // Smoothed predictions drive ad selection per situation.
     println!("\npredicted CTRs:");
-    for (label, s) in [("BJ men 25", &young_bj_men), ("SH women 25", &young_sh_women)] {
+    for (label, s) in [
+        ("BJ men 25", &young_bj_men),
+        ("SH women 25", &young_sh_women),
+    ] {
         let ranked = model.rank(&[1, 2], s, 2);
         println!(
             "  {label}: ad {} first ({:.1}% vs {:.1}%)",

@@ -73,11 +73,8 @@ fn main() {
     // Similar-price position: same candidates, filtered to ±30% of the
     // browsed item's price (the application's FilterBolt).
     let anchor_price = catalog.price(1).expect("catalog has item 1");
-    let chain = FilterChain::new().push(PriceRangeFilter::around(
-        catalog.clone(),
-        anchor_price,
-        0.3,
-    ));
+    let chain =
+        FilterChain::new().push(PriceRangeFilter::around(catalog.clone(), anchor_price, 0.3));
     let mut candidates = engine.recommend(shopper, 16);
     chain.apply(&mut candidates);
     candidates.truncate(4);

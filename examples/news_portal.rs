@@ -71,7 +71,11 @@ fn main() {
     engine.on_new_item(999);
     println!("\n09:05 — BREAKING article 999 published (politics):");
     for (item, score) in engine.recommend(7, 3) {
-        let marker = if item == 999 { "  <-- zero-history item" } else { "" };
+        let marker = if item == 999 {
+            "  <-- zero-history item"
+        } else {
+            ""
+        };
         println!("  article {item} (score {score:.3}){marker}");
     }
 

@@ -23,7 +23,9 @@ fn main() {
         brokers: 3,
         ..Default::default()
     });
-    access.create_topic("user_actions", 4).expect("create topic");
+    access
+        .create_topic("user_actions", 4)
+        .expect("create topic");
     let producer = access.producer("user_actions").expect("producer");
 
     // Applications publish raw action records (user,item,action,ts).
@@ -98,12 +100,18 @@ fn main() {
     }
     drop(tx);
     println!("delivered {delivered} actions through TDAccess -> topology");
-    assert!(handle.wait_idle(Duration::from_secs(60)), "pipeline stalled");
+    assert!(
+        handle.wait_idle(Duration::from_secs(60)),
+        "pipeline stalled"
+    );
 
     // --- The recommender engine reads TDStore ---------------------------
     let query = TopologyRecommender::new(store.clone(), config);
     println!("\nsimilar to show 10: {:?}", query.similar_items(10));
-    println!("recommendations for viewer 43: {:?}", query.recommend(43, 2));
+    println!(
+        "recommendations for viewer 43: {:?}",
+        query.recommend(43, 2)
+    );
 
     // --- Failure injection ----------------------------------------------
     store.sync(); // let replication catch up

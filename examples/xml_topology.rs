@@ -14,9 +14,7 @@ use crossbeam::channel::unbounded;
 use std::time::Duration;
 use tdstore::{StoreConfig, TdStore};
 use tencentrec::db::DemographicProfile;
-use tencentrec::topology::ctr::{
-    ctr_registry, stored_ctr, AdEvent, CtrPipelineConfig, FIG7_XML,
-};
+use tencentrec::topology::ctr::{ctr_registry, stored_ctr, AdEvent, CtrPipelineConfig, FIG7_XML};
 use tstorm::config::topology_from_xml;
 
 fn main() {

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Local CI: everything that must be green before a change lands.
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --workspace --release"
+cargo build --workspace --release
+
+echo "==> cargo test --workspace"
+cargo test --workspace --quiet
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets --quiet -- -D warnings
+
+echo "==> cargo fmt --all --check"
+cargo fmt --all --check
+
+echo "CI green."

@@ -39,7 +39,9 @@ fn actions_flow_from_access_to_recommendations() {
     for user in 0..100u64 {
         for (item, offset) in [(1u64, 0u64), (2, 1)] {
             let a = UserAction::new(user, item, ActionType::Click, user * 10 + offset);
-            producer.send(Some(&user.to_le_bytes()), &encode(&a)).unwrap();
+            producer
+                .send(Some(&user.to_le_bytes()), &encode(&a))
+                .unwrap();
         }
     }
 
@@ -131,7 +133,8 @@ fn freshness_under_one_second() {
     let query = TopologyRecommender::new(store, config);
 
     for u in 0..30u64 {
-        tx.send(UserAction::new(u, 7, ActionType::Click, u)).unwrap();
+        tx.send(UserAction::new(u, 7, ActionType::Click, u))
+            .unwrap();
         tx.send(UserAction::new(u, 8, ActionType::Click, u + 1))
             .unwrap();
     }

@@ -1,0 +1,496 @@
+//! Offline stub for the `bytes` crate: cheap-to-clone immutable byte
+//! slices ([`Bytes`], an `Arc<[u8]>` plus a window), a growable builder
+//! ([`BytesMut`]), and the [`Buf`]/[`BufMut`] cursor traits with the
+//! little-/big-endian integer codecs this workspace uses.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+/// A cheaply cloneable, contiguous, immutable slice of memory.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// The empty slice.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Wraps a static slice without copying.
+    pub fn from_static(slice: &'static [u8]) -> Self {
+        // The stub unifies static and owned storage; one copy at
+        // construction keeps the representation simple.
+        Bytes::copy_from_slice(slice)
+    }
+
+    /// Copies `slice` into a new `Bytes`.
+    pub fn copy_from_slice(slice: &[u8]) -> Self {
+        Bytes {
+            data: Arc::from(slice),
+            start: 0,
+            end: slice.len(),
+        }
+    }
+
+    /// Bytes in the view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// A sub-view sharing the same backing storage.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice out of bounds");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+
+    /// Splits off and returns the first `at` bytes, advancing `self`.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let head = self.slice(..at);
+        self.start += at;
+        head
+    }
+
+    /// Copies the view into a `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let len = v.len();
+        Bytes {
+            data: Arc::from(v.into_boxed_slice()),
+            start: 0,
+            end: len,
+        }
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Self {
+        Bytes::copy_from_slice(s)
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Self {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+/// A growable byte buffer, freezable into [`Bytes`].
+#[derive(Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+    /// Read cursor (consumed prefix) for the `Buf` impl.
+    read: usize,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with `cap` bytes pre-allocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+            read: 0,
+        }
+    }
+
+    /// Unconsumed bytes in the buffer.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.read
+    }
+
+    /// True when every written byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Ensures room for `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+
+    /// Converts the unconsumed bytes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        let mut v = self.data;
+        if self.read > 0 {
+            v.drain(..self.read);
+        }
+        Bytes::from(v)
+    }
+
+    /// Appends a slice (alias of [`BufMut::put_slice`]).
+    pub fn extend_from_slice(&mut self, slice: &[u8]) {
+        self.data.extend_from_slice(slice);
+    }
+
+    /// Clears the buffer.
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.read = 0;
+    }
+
+    /// Splits off and returns the first `at` unconsumed bytes.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let head = self.data[self.read..self.read + at].to_vec();
+        self.read += at;
+        BytesMut {
+            data: head,
+            read: 0,
+        }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.read..]
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&Bytes::copy_from_slice(self.as_slice()), f)
+    }
+}
+
+macro_rules! buf_get_impl {
+    ($($name:ident -> $t:ty, $conv:path);* $(;)?) => {$(
+        /// Reads one integer, advancing the cursor. Panics when short.
+        fn $name(&mut self) -> $t {
+            const N: usize = std::mem::size_of::<$t>();
+            let mut raw = [0u8; N];
+            raw.copy_from_slice(&self.chunk()[..N]);
+            self.advance(N);
+            $conv(raw)
+        }
+    )*};
+}
+
+/// Read cursor over a contiguous byte source.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+
+    /// The unconsumed bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Consumes `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// True when nothing remains.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+
+    buf_get_impl! {
+        get_u16 -> u16, u16::from_be_bytes;
+        get_u16_le -> u16, u16::from_le_bytes;
+        get_u32 -> u32, u32::from_be_bytes;
+        get_u32_le -> u32, u32::from_le_bytes;
+        get_u64 -> u64, u64::from_be_bytes;
+        get_u64_le -> u64, u64::from_le_bytes;
+        get_i32 -> i32, i32::from_be_bytes;
+        get_i32_le -> i32, i32::from_le_bytes;
+        get_i64 -> i64, i64::from_be_bytes;
+        get_i64_le -> i64, i64::from_le_bytes;
+        get_f64 -> f64, f64::from_be_bytes;
+        get_f64_le -> f64, f64::from_le_bytes;
+    }
+
+    /// Copies `len` bytes out into an owned [`Bytes`], advancing.
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        let out = Bytes::copy_from_slice(&self.chunk()[..len]);
+        self.advance(len);
+        out
+    }
+
+    /// Copies exactly `dst.len()` bytes into `dst`, advancing.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end");
+        self.start += cnt;
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end");
+        self.read += cnt;
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+}
+
+macro_rules! buf_put_impl {
+    ($($name:ident($t:ty), $conv:ident);* $(;)?) => {$(
+        /// Appends one integer.
+        fn $name(&mut self, v: $t) {
+            self.put_slice(&v.$conv());
+        }
+    )*};
+}
+
+/// Append-only byte sink.
+pub trait BufMut {
+    /// Appends a slice.
+    fn put_slice(&mut self, slice: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    buf_put_impl! {
+        put_u16(u16), to_be_bytes;
+        put_u16_le(u16), to_le_bytes;
+        put_u32(u32), to_be_bytes;
+        put_u32_le(u32), to_le_bytes;
+        put_u64(u64), to_be_bytes;
+        put_u64_le(u64), to_le_bytes;
+        put_i32(i32), to_be_bytes;
+        put_i32_le(i32), to_le_bytes;
+        put_i64(i64), to_be_bytes;
+        put_i64_le(i64), to_le_bytes;
+        put_f64(f64), to_be_bytes;
+        put_f64_le(f64), to_le_bytes;
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, slice: &[u8]) {
+        self.data.extend_from_slice(slice);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, slice: &[u8]) {
+        self.extend_from_slice(slice);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_ints() {
+        let mut b = BytesMut::new();
+        b.put_u64_le(7);
+        b.put_i32_le(-1);
+        b.put_u32(0xdead_beef);
+        b.put_u8(9);
+        let mut bytes = b.freeze();
+        assert_eq!(bytes.remaining(), 8 + 4 + 4 + 1);
+        assert_eq!(bytes.get_u64_le(), 7);
+        assert_eq!(bytes.get_i32_le(), -1);
+        assert_eq!(bytes.get_u32(), 0xdead_beef);
+        assert_eq!(bytes.get_u8(), 9);
+        assert!(!bytes.has_remaining());
+    }
+
+    #[test]
+    fn slices_share_storage() {
+        let b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let s = b.slice(1..4);
+        assert_eq!(&s[..], &[2, 3, 4]);
+        assert_eq!(b.len(), 5);
+        let e = b.slice(..0);
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn split_to_advances() {
+        let mut b = Bytes::from(vec![1, 2, 3, 4]);
+        let head = b.split_to(2);
+        assert_eq!(&head[..], &[1, 2]);
+        assert_eq!(&b[..], &[3, 4]);
+    }
+
+    #[test]
+    fn bytesmut_read_cursor() {
+        let mut b = BytesMut::new();
+        b.put_u32_le(1);
+        b.put_u32_le(2);
+        assert_eq!(b.get_u32_le(), 1);
+        assert_eq!(b.len(), 4);
+        let frozen = b.freeze();
+        assert_eq!(frozen.len(), 4);
+    }
+
+    #[test]
+    fn copy_to_bytes_and_slice() {
+        let mut b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let head = b.copy_to_bytes(2);
+        assert_eq!(&head[..], &[1, 2]);
+        let mut rest = [0u8; 3];
+        b.copy_to_slice(&mut rest);
+        assert_eq!(rest, [3, 4, 5]);
+    }
+
+    #[test]
+    fn slice_buf_impl() {
+        let mut s: &[u8] = &[1, 0, 0, 0];
+        assert_eq!(s.get_u32_le(), 1);
+        assert!(s.is_empty());
+    }
+}

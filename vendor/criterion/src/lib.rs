@@ -1,0 +1,283 @@
+//! Offline stub for the `criterion` crate.
+//!
+//! Provides the macro + builder API the workspace's benches use
+//! (`criterion_group!`, `criterion_main!`, benchmark groups,
+//! `Bencher::iter` / `iter_batched`, `Throughput`, `BenchmarkId`,
+//! `BatchSize`). Instead of criterion's statistical machinery it runs
+//! each benchmark for a fixed number of samples and prints mean/min/max
+//! wall time plus derived throughput.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Benchmark identifier: a function name, optionally with a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter (group name provides the prefix).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            name: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { name: s }
+    }
+}
+
+/// Units processed per iteration, for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortises setup; ignored by the stub.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh setup every iteration.
+    PerIteration,
+}
+
+/// Times one benchmark routine.
+pub struct Bencher {
+    samples: usize,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            durations: Vec::with_capacity(samples),
+        }
+    }
+
+    /// Times `routine` once per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            let out = routine();
+            self.durations.push(start.elapsed());
+            std::hint::black_box(out);
+        }
+    }
+
+    /// Times `routine` on inputs built by `setup` (setup excluded from
+    /// the measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            self.durations.push(start.elapsed());
+            std::hint::black_box(out);
+        }
+    }
+}
+
+fn report(label: &str, durations: &[Duration], throughput: Option<Throughput>) {
+    if durations.is_empty() {
+        println!("{label:<40} (no samples)");
+        return;
+    }
+    let total: Duration = durations.iter().sum();
+    let mean = total / durations.len() as u32;
+    let min = durations.iter().min().copied().unwrap_or_default();
+    let max = durations.iter().max().copied().unwrap_or_default();
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if mean.as_nanos() > 0 => {
+            format!("  {:>12.0} elem/s", n as f64 / mean.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) if mean.as_nanos() > 0 => {
+            format!("  {:>12.0} B/s", n as f64 / mean.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{label:<40} mean {mean:>12.3?}  min {min:>12.3?}  max {max:>12.3?}{rate}  ({} samples)",
+        durations.len()
+    );
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Criterion requires >= 10; the stub accepts anything >= 1 and
+        // trims large defaults to keep offline runs quick.
+        self.samples = n.clamp(1, 20);
+        self
+    }
+
+    /// Declares per-iteration throughput for derived rates.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.samples);
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, id.name),
+            &b.durations,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.samples);
+        f(&mut b, input);
+        report(
+            &format!("{}/{}", self.name, id.name),
+            &b.durations,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Ends the group (no-op beyond parity with the real API).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Criterion {
+    /// CLI-argument parsing parity; the stub ignores arguments.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let samples = if self.samples == 0 { 10 } else { self.samples };
+        BenchmarkGroup {
+            name: name.into(),
+            samples,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let samples = if self.samples == 0 { 10 } else { self.samples };
+        let mut b = Bencher::new(samples);
+        f(&mut b);
+        report(&id.name, &b.durations, None);
+        self
+    }
+}
+
+/// Prevents the optimiser from discarding `value` (re-export parity;
+/// delegates to `std::hint`).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Declares a benchmark group function invoking each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3).throughput(Throughput::Elements(100));
+        let mut runs = 0;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("param", 7), &7, |b, &v| {
+            b.iter_batched(|| v, |x| x * 2, BatchSize::PerIteration)
+        });
+        group.finish();
+        assert_eq!(runs, 3);
+    }
+}

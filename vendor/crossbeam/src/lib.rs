@@ -1,0 +1,3 @@
+//! Offline stub for the `crossbeam` crate: the `channel` module only.
+
+pub mod channel;

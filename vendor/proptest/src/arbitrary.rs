@@ -1,0 +1,70 @@
+//! `any::<T>()` — full-domain strategies for primitive types.
+
+use crate::strategy::Strategy;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::marker::PhantomData;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut SmallRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: PhantomData<T>,
+}
+
+/// Full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_via_standard {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut SmallRng) -> Self {
+                rng.gen()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_via_standard!(
+    u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool, char, f32, f64
+);
+
+impl Arbitrary for String {
+    /// Printable ASCII, 0..32 chars (the real crate generates arbitrary
+    /// Unicode; the workspace only round-trips ASCII-safe content).
+    fn arbitrary(rng: &mut SmallRng) -> Self {
+        let len = rng.gen_range(0usize..32);
+        (0..len).map(|_| rng.gen::<char>()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::rng_for;
+
+    #[test]
+    fn full_domain_bools_and_ints() {
+        let mut rng = rng_for("full_domain");
+        let bools: Vec<bool> = (0..100).map(|_| bool::arbitrary(&mut rng)).collect();
+        assert!(bools.iter().any(|&b| b) && bools.iter().any(|&b| !b));
+        let small: Vec<u8> = (0..200).map(|_| u8::arbitrary(&mut rng)).collect();
+        assert!(small.iter().any(|&v| v > 200) && small.iter().any(|&v| v < 50));
+    }
+}

@@ -1,0 +1,221 @@
+//! Regex-lite string strategies: `"[a-z][a-z0-9]{0,8}"` as a
+//! `Strategy<Value = String>`, as the real crate provides for `&str`.
+//!
+//! Supported syntax: literal characters, `\`-escapes, character classes
+//! `[...]` with ranges (a trailing or leading `-` is literal), and the
+//! quantifiers `{n}`, `{m,n}`, `?`, `*`, `+` (unbounded repetition is
+//! capped at 8). Anything fancier panics at strategy construction.
+
+use crate::strategy::Strategy;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    /// Flattened set of candidate characters.
+    Class(Vec<char>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char> {
+    let mut members: Vec<char> = Vec::new();
+    let mut pending: Option<char> = None;
+    loop {
+        let c = chars.next().expect("unterminated character class");
+        match c {
+            ']' => {
+                if let Some(p) = pending {
+                    members.push(p);
+                }
+                return members;
+            }
+            '-' => {
+                // Range when flanked; literal when first or last.
+                match (pending, chars.peek()) {
+                    (Some(lo), Some(&hi)) if hi != ']' => {
+                        chars.next();
+                        assert!(lo <= hi, "descending class range {lo}-{hi}");
+                        members.extend(lo..=hi);
+                        pending = None;
+                    }
+                    _ => {
+                        if let Some(p) = pending {
+                            members.push(p);
+                        }
+                        pending = Some('-');
+                    }
+                }
+            }
+            '\\' => {
+                if let Some(p) = pending {
+                    members.push(p);
+                }
+                pending = Some(chars.next().expect("dangling escape in class"));
+            }
+            other => {
+                if let Some(p) = pending {
+                    members.push(p);
+                }
+                pending = Some(other);
+            }
+        }
+    }
+}
+
+fn parse_quantifier(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (usize, usize) {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            match spec.split_once(',') {
+                Some((m, n)) => {
+                    let m: usize = m.trim().parse().expect("bad {m,n} quantifier");
+                    let n: usize = n.trim().parse().expect("bad {m,n} quantifier");
+                    assert!(m <= n, "descending quantifier {{{m},{n}}}");
+                    (m, n)
+                }
+                None => {
+                    let n: usize = spec.trim().parse().expect("bad {n} quantifier");
+                    (n, n)
+                }
+            }
+        }
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        Some('*') => {
+            chars.next();
+            (0, 8)
+        }
+        Some('+') => {
+            chars.next();
+            (1, 8)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => {
+                let members = parse_class(&mut chars);
+                assert!(!members.is_empty(), "empty character class in {pattern:?}");
+                Atom::Class(members)
+            }
+            '\\' => Atom::Literal(chars.next().expect("dangling escape")),
+            '(' | ')' | '|' | '.' | '^' | '$' => {
+                panic!("regex feature {c:?} not supported by the proptest stub: {pattern:?}")
+            }
+            other => Atom::Literal(other),
+        };
+        let (min, max) = parse_quantifier(&mut chars);
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+/// Compiled form of a pattern; `&'static str` delegates to this.
+pub struct RegexStrategy {
+    pieces: Vec<Piece>,
+}
+
+impl RegexStrategy {
+    /// Compiles `pattern`; panics on unsupported syntax.
+    pub fn new(pattern: &str) -> Self {
+        RegexStrategy {
+            pieces: parse(pattern),
+        }
+    }
+}
+
+impl Strategy for RegexStrategy {
+    type Value = String;
+
+    fn generate(&self, rng: &mut SmallRng) -> String {
+        let mut out = String::new();
+        for piece in &self.pieces {
+            let count = rng.gen_range(piece.min..=piece.max);
+            for _ in 0..count {
+                match &piece.atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Class(members) => {
+                        out.push(members[rng.gen_range(0..members.len())]);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut SmallRng) -> String {
+        // Compiling per call keeps the impl allocation-free at rest;
+        // patterns in this workspace are tiny.
+        RegexStrategy::new(self).generate(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::rng_for;
+
+    #[test]
+    fn identifier_pattern() {
+        let mut rng = rng_for("identifier_pattern");
+        let s = "[a-zA-Z][a-zA-Z0-9_-]{0,8}";
+        for _ in 0..200 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!((1..=9).contains(&v.len()), "{v:?}");
+            assert!(v.chars().next().unwrap().is_ascii_alphabetic());
+            assert!(v
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-'));
+        }
+    }
+
+    #[test]
+    fn class_with_specials() {
+        let mut rng = rng_for("class_with_specials");
+        let s = "[a-zA-Z0-9<>&\"' .,:_-]{0,16}";
+        for _ in 0..200 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!(v.len() <= 16);
+            assert!(v
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || "<>&\"' .,:_-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn quantifiers() {
+        let mut rng = rng_for("quantifiers");
+        assert_eq!(Strategy::generate(&"abc", &mut rng), "abc");
+        let v = Strategy::generate(&"x{3}", &mut rng);
+        assert_eq!(v, "xxx");
+        for _ in 0..50 {
+            let v = Strategy::generate(&"a?b+", &mut rng);
+            assert!(v.ends_with('b') && v.len() <= 9, "{v:?}");
+        }
+    }
+}

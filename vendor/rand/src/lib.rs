@@ -1,0 +1,273 @@
+//! Offline stub for the `rand` crate: the subset this workspace uses.
+//!
+//! Provides [`rngs::SmallRng`] (a xoshiro256++ generator, matching the
+//! real crate's choice of a small fast non-cryptographic PRNG), the
+//! [`Rng`] extension trait with `gen`, `gen_range` and `gen_bool`, and
+//! [`SeedableRng`] with `seed_from_u64` / `from_entropy`.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level generator interface.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction, as in the real crate.
+pub trait SeedableRng: Sized {
+    /// Deterministic construction from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+
+    /// Construction from ambient entropy (system time + a per-process
+    /// counter in this stub; not cryptographic).
+    fn from_entropy() -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::time::{SystemTime, UNIX_EPOCH};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9e37_79b9_7f4a_7c15);
+        let n = COUNTER.fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed);
+        Self::seed_from_u64(nanos ^ n.rotate_left(17) ^ (std::process::id() as u64) << 32)
+    }
+}
+
+/// Types producible by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Samples one value from the full domain (unit interval for floats).
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+/// Ranges samplable by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Samples one value uniformly from the range. Panics when empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// High-level convenience methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniformly random value of `T` (full domain; `[0,1)` for floats).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A uniformly random value in `range`.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for u128 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Standard for i128 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        u128::sample(rng) as i128
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for char {
+    /// Uniform over the printable ASCII range (sufficient for tests).
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (0x20u8 + (rng.next_u64() % 95) as u8) as char
+    }
+}
+
+macro_rules! impl_range_int {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty gen_range");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u128;
+                // Modulo sampling: bias is < span/2^64, irrelevant for the
+                // simulation/test workloads this stub serves.
+                let offset = if span == 0 { 0 } else { u128::sample(rng) % span };
+                ((self.start as $wide as u128).wrapping_add(offset)) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "empty gen_range");
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u128 + 1;
+                let offset = u128::sample(rng) % span;
+                ((lo as $wide as u128).wrapping_add(offset)) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64
+);
+
+macro_rules! impl_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty gen_range");
+                self.start + (self.end - self.start) * <$t as Standard>::sample(rng)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "empty gen_range");
+                lo + (hi - lo) * <$t as Standard>::sample(rng)
+            }
+        }
+    )*};
+}
+
+impl_range_float!(f32, f64);
+
+/// Small fast generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — the algorithm behind the real crate's `SmallRng`
+    /// on 64-bit targets.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = (self.s[0].wrapping_add(self.s[3]))
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as the reference implementation
+            // recommends for seeding xoshiro.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3u64..17);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let i = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_probability() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_700..3_300).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let f = rng.gen::<f64>();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}
