@@ -1,0 +1,46 @@
+//! README quickstart, client half: talks to a running `example server`
+//! from another process with the pooled, pipelining client.
+//!
+//! ```sh
+//! cargo run -p tserve --release --example client [addr]
+//! ```
+
+use tencentrec::action::{ActionType, UserAction};
+use tserve::{Client, ClientConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let addr = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "127.0.0.1:7400".to_string());
+    let client = Client::connect(&addr, ClientConfig::default())?;
+
+    let (shards, queued) = client.health()?;
+    println!("health: {shards} shards, {queued} queued");
+
+    // Item-CF recommends from co-occurrence, so give user 1 a neighbour:
+    // both click 42 and 43, the neighbour also clicks 44 — user 1 should
+    // be recommended 44 (their own clicks are excluded as already seen).
+    // Engine state is sharded by `user % shards`, so the neighbour must
+    // live on user 1's shard for their actions to share a model.
+    let neighbour = 1 + shards as u64;
+    for item in [42, 43] {
+        client.report_action(UserAction::new(1, item, ActionType::Click, 0))?;
+    }
+    for item in [42, 43, 44] {
+        client.report_action(UserAction::new(neighbour, item, ActionType::Click, 0))?;
+    }
+    let page = client.recommend(/*user*/ 1, /*n*/ 10, /*deadline_ms*/ 50)?;
+    println!("user 1 page: {page:?}");
+
+    let stats = client.stats()?;
+    println!(
+        "server stats: served {} shed {} expired {} actions {} p50 {:?} p99 {:?}",
+        stats.served,
+        stats.shed,
+        stats.expired,
+        stats.actions,
+        stats.latency.p50(),
+        stats.latency.p99()
+    );
+    Ok(())
+}

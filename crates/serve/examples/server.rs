@@ -1,0 +1,32 @@
+//! README quickstart, server half: binds a tserve recommendation server
+//! and runs until Enter is pressed (exercising graceful shutdown).
+//!
+//! ```sh
+//! cargo run -p tserve --release --example server [addr]
+//! ```
+
+use std::sync::Arc;
+use tencentrec::engine::default_cf_engine;
+use tserve::{Server, ServerConfig};
+
+fn main() -> std::io::Result<()> {
+    let addr = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "127.0.0.1:7400".to_string());
+    let server = Server::bind(
+        &addr,
+        ServerConfig::default(),
+        Arc::new(|_shard| default_cf_engine()),
+    )?;
+    println!("serving on {} — press Enter to stop", server.local_addr());
+    let mut line = String::new();
+    std::io::stdin().read_line(&mut line)?;
+    let stats = server.stats();
+    println!(
+        "shutting down: served {} shed {} expired {} actions {}",
+        stats.served, stats.shed, stats.expired, stats.actions
+    );
+    server.shutdown();
+    println!("stopped");
+    Ok(())
+}

@@ -49,8 +49,15 @@ pub struct AdmissionController {
 
 struct Inner {
     queue_capacity: usize,
-    /// EWMA of per-job service time in nanoseconds.
-    ewma_service_nanos: AtomicU64,
+    /// EWMA of per-query service time in nanoseconds. Kept separate
+    /// from the action EWMA: ingests are typically far cheaper than
+    /// `recommend()` calls, and folding them together would drag the
+    /// estimate down under a mixed workload, over-admitting queries
+    /// that then expire in the queue instead of being shed up front.
+    query_service_nanos: AtomicU64,
+    /// EWMA of per-action ingest time in nanoseconds (observability
+    /// only; not used for the deadline check).
+    action_service_nanos: AtomicU64,
 }
 
 /// Starting service-time estimate before any job has been observed
@@ -58,31 +65,46 @@ struct Inner {
 /// deadlines rather than over-admitting).
 const INITIAL_SERVICE_NANOS: u64 = 100_000;
 
+/// Folds one sample into an EWMA cell (weight 1/8, the classic TCP RTT
+/// smoothing constant).
+fn fold_ewma(cell: &AtomicU64, sample: Duration) {
+    let sample = sample.as_nanos().min(u64::MAX as u128) as u64;
+    let prev = cell.load(Ordering::Relaxed);
+    let next = prev - prev / 8 + sample / 8;
+    cell.store(next.max(1), Ordering::Relaxed);
+}
+
 impl AdmissionController {
     /// Controller for a shard with the given queue bound.
     pub fn new(queue_capacity: usize) -> Self {
         AdmissionController {
             inner: Arc::new(Inner {
                 queue_capacity,
-                ewma_service_nanos: AtomicU64::new(INITIAL_SERVICE_NANOS),
+                query_service_nanos: AtomicU64::new(INITIAL_SERVICE_NANOS),
+                action_service_nanos: AtomicU64::new(INITIAL_SERVICE_NANOS),
             }),
         }
     }
 
-    /// Current service-time estimate.
+    /// Current per-query service-time estimate.
     pub fn estimated_service(&self) -> Duration {
-        Duration::from_nanos(self.inner.ewma_service_nanos.load(Ordering::Relaxed))
+        Duration::from_nanos(self.inner.query_service_nanos.load(Ordering::Relaxed))
     }
 
-    /// Folds one observed service time into the EWMA (weight 1/8, the
-    /// classic TCP RTT smoothing constant).
-    pub fn observe_service(&self, service: Duration) {
-        let sample = service.as_nanos().min(u64::MAX as u128) as u64;
-        let prev = self.inner.ewma_service_nanos.load(Ordering::Relaxed);
-        let next = prev - prev / 8 + sample / 8;
-        self.inner
-            .ewma_service_nanos
-            .store(next.max(1), Ordering::Relaxed);
+    /// Current per-action ingest-time estimate.
+    pub fn estimated_action_service(&self) -> Duration {
+        Duration::from_nanos(self.inner.action_service_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Folds one observed query service time into the estimate the
+    /// deadline check predicts with.
+    pub fn observe_query_service(&self, service: Duration) {
+        fold_ewma(&self.inner.query_service_nanos, service);
+    }
+
+    /// Folds one observed action ingest time into its own EWMA.
+    pub fn observe_action_service(&self, service: Duration) {
+        fold_ewma(&self.inner.action_service_nanos, service);
     }
 
     /// Decides whether a request arriving `now` with `deadline` should
@@ -94,8 +116,12 @@ impl AdmissionController {
             };
         }
         let budget = deadline.saturating_duration_since(now);
-        let service = self.inner.ewma_service_nanos.load(Ordering::Relaxed);
-        // Wait for everything ahead of it, plus its own service.
+        let service = self.inner.query_service_nanos.load(Ordering::Relaxed);
+        // Wait for everything ahead of it, plus its own service. Every
+        // queued job is costed at the query rate even though some may be
+        // cheap actions — a deliberate overestimate (same direction as
+        // the cold-start default): the failure mode to avoid is
+        // admitting a query that then expires in the queue.
         let predicted = Duration::from_nanos(service.saturating_mul(queue_len as u64 + 1));
         if predicted > budget {
             AdmissionVerdict::Shed {
@@ -128,9 +154,9 @@ mod tests {
     #[test]
     fn hopeless_deadline_sheds() {
         let a = AdmissionController::new(1000);
-        // Teach the controller that jobs take ~1ms.
+        // Teach the controller that queries take ~1ms.
         for _ in 0..100 {
-            a.observe_service(Duration::from_millis(1));
+            a.observe_query_service(Duration::from_millis(1));
         }
         let now = Instant::now();
         // 100 queued jobs × 1ms ≈ 100ms wait; a 10ms deadline is hopeless.
@@ -151,13 +177,35 @@ mod tests {
     fn ewma_tracks_observations() {
         let a = AdmissionController::new(8);
         for _ in 0..200 {
-            a.observe_service(Duration::from_micros(500));
+            a.observe_query_service(Duration::from_micros(500));
         }
         let est = a.estimated_service();
         assert!(
             (Duration::from_micros(400)..=Duration::from_micros(600)).contains(&est),
             "estimate {est:?}"
         );
+    }
+
+    #[test]
+    fn cheap_actions_do_not_dilute_query_estimate() {
+        let a = AdmissionController::new(1000);
+        for _ in 0..100 {
+            a.observe_query_service(Duration::from_millis(1));
+        }
+        // A flood of ~1µs ingests must not drag the query estimate down.
+        for _ in 0..1000 {
+            a.observe_action_service(Duration::from_micros(1));
+        }
+        let now = Instant::now();
+        // 100 queued × ~1ms/query ≈ 100ms wait: a 10ms deadline is still
+        // hopeless even after the action flood.
+        assert!(matches!(
+            a.assess(100, now, now + Duration::from_millis(10)),
+            AdmissionVerdict::Shed {
+                reason: ShedReason::DeadlineHopeless
+            }
+        ));
+        assert!(a.estimated_action_service() < Duration::from_micros(50));
     }
 
     #[test]

@@ -222,6 +222,8 @@ impl Client {
             addr: addr.to_string(),
             config,
             connections,
+            // Ids start at 1: 0 is the protocol's reserved
+            // connection-level error id and must never match a request.
             next_id: AtomicU64::new(1),
             next_conn: AtomicU64::new(0),
         })

@@ -8,6 +8,11 @@
 //! little-endian; scores travel as raw `f64` bits, so encode→decode is
 //! bit-exact.
 //!
+//! Id 0 ([`CONNECTION_ERROR_ID`]) is reserved: when the server cannot
+//! decode a frame it has no trustworthy id to echo, so it sends its
+//! final `Error` under id 0 and hangs up. Clients must allocate request
+//! ids starting at 1 (the shipped [`crate::client::Client`] does).
+//!
 //! The decoder is fed from a raw TCP byte stream, so it must treat the
 //! buffer as hostile: a truncated buffer is "wait for more bytes"
 //! (`Ok(None)`), a length prefix beyond [`MAX_FRAME_LEN`] or a body that
@@ -26,6 +31,12 @@ pub const MAX_FRAME_LEN: usize = 1 << 20;
 
 /// Frame header: id (8) + tag (1).
 const HEADER_LEN: usize = 9;
+
+/// Reserved correlation id for connection-level errors (a frame the
+/// server could not decode has no id worth echoing). Never use it for a
+/// request: a response carrying it refers to the connection, not to any
+/// in-flight request.
+pub const CONNECTION_ERROR_ID: u64 = 0;
 
 /// Client → server messages.
 #[derive(Debug, Clone, PartialEq)]

@@ -7,7 +7,9 @@
 //! boundedness lives in the *shard* queues, where admission control can
 //! refuse work; by the time a reply exists the expensive part is done.
 
-use crate::protocol::{decode_request, encode_response, Request, Response, StatsReport};
+use crate::protocol::{
+    decode_request, encode_response, Request, Response, StatsReport, CONNECTION_ERROR_ID,
+};
 use crate::shard::{EngineFactory, ReplySlot, ShardPool};
 use bytes::BytesMut;
 use crossbeam::channel::unbounded;
@@ -225,9 +227,10 @@ fn serve_connection(
                         Ok(None) => break,
                         Err(e) => {
                             // Protocol damage is unrecoverable on a byte
-                            // stream: report and hang up.
+                            // stream: report under the reserved
+                            // connection-level id and hang up.
                             let _ = reply_tx.send((
-                                0,
+                                CONNECTION_ERROR_ID,
                                 Response::Error {
                                     message: e.to_string(),
                                 },

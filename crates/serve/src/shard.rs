@@ -240,7 +240,7 @@ fn spawn_worker(
                         }
                         let items = engine.recommend(user, n);
                         let done = Instant::now();
-                        admission.observe_service(done - start);
+                        admission.observe_query_service(done - start);
                         counters.latency.record(done - enqueued);
                         counters.served.fetch_add(1, Ordering::Relaxed);
                         reply.send(Response::Recommendations { items });
@@ -248,7 +248,7 @@ fn spawn_worker(
                     Ok(ShardJob::Action { action }) => {
                         let start = Instant::now();
                         engine.process(&action);
-                        admission.observe_service(start.elapsed());
+                        admission.observe_action_service(start.elapsed());
                         counters.actions.fetch_add(1, Ordering::Relaxed);
                     }
                     Err(RecvTimeoutError::Timeout) => {}

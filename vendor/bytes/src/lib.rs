@@ -241,6 +241,7 @@ impl BytesMut {
         assert!(at <= self.len(), "split_to out of bounds");
         let head = self.data[self.read..self.read + at].to_vec();
         self.read += at;
+        self.compact();
         BytesMut {
             data: head,
             read: 0,
@@ -249,6 +250,19 @@ impl BytesMut {
 
     fn as_slice(&self) -> &[u8] {
         &self.data[self.read..]
+    }
+
+    /// Reclaims the consumed prefix once it is at least as large as the
+    /// unconsumed tail. The threshold makes compaction amortized O(1)
+    /// per consumed byte while keeping `data` bounded by twice the
+    /// unconsumed length — without it, a long-lived network inbox that
+    /// is appended to and drained frame-by-frame would retain every
+    /// byte ever received.
+    fn compact(&mut self) {
+        if self.read > 0 && self.read >= self.data.len() - self.read {
+            self.data.drain(..self.read);
+            self.read = 0;
+        }
     }
 }
 
@@ -364,6 +378,7 @@ impl Buf for BytesMut {
     fn advance(&mut self, cnt: usize) {
         assert!(cnt <= self.len(), "advance past end");
         self.read += cnt;
+        self.compact();
     }
 }
 
@@ -485,6 +500,33 @@ mod tests {
         let mut rest = [0u8; 3];
         b.copy_to_slice(&mut rest);
         assert_eq!(rest, [3, 4, 5]);
+    }
+
+    #[test]
+    fn bytesmut_reclaims_consumed_bytes() {
+        // A long-lived connection inbox: bytes arrive, frames are split
+        // off, repeat. The backing storage must stay proportional to the
+        // unconsumed tail, not to the total bytes ever received.
+        let mut b = BytesMut::new();
+        for _ in 0..10_000 {
+            b.extend_from_slice(&[0u8; 64]);
+            let frame = b.split_to(64);
+            assert_eq!(frame.len(), 64);
+        }
+        assert!(b.is_empty());
+        assert!(
+            b.data.len() <= 128,
+            "consumed prefix retained: {} bytes",
+            b.data.len()
+        );
+
+        // Same property when consuming through the Buf cursor.
+        let mut b = BytesMut::new();
+        for _ in 0..10_000 {
+            b.put_u64_le(7);
+            assert_eq!(b.get_u64_le(), 7);
+        }
+        assert!(b.data.len() <= 16, "advance retained: {}", b.data.len());
     }
 
     #[test]

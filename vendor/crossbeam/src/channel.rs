@@ -185,8 +185,14 @@ impl<T> Drop for Sender<T> {
     fn drop(&mut self) {
         if self.inner.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
             // Last sender: wake blocked receivers so they observe the
-            // disconnect.
+            // disconnect. The notify must be serialized with a
+            // receiver's check-then-wait by taking the queue lock first
+            // — otherwise a receiver that has already seen senders > 0
+            // but not yet parked in `not_empty.wait()` misses this
+            // notify and blocks forever.
+            let queue = self.inner.queue.lock().unwrap();
             self.inner.not_empty.notify_all();
+            drop(queue);
         }
     }
 }
@@ -203,7 +209,11 @@ impl<T> Clone for Receiver<T> {
 impl<T> Drop for Receiver<T> {
     fn drop(&mut self) {
         if self.inner.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Lock-then-notify for the same lost-wakeup race as
+            // `Sender::drop`, here against a blocked `send()`.
+            let queue = self.inner.queue.lock().unwrap();
             self.inner.not_full.notify_all();
+            drop(queue);
         }
     }
 }
@@ -418,6 +428,32 @@ mod tests {
         let (tx, rx) = unbounded::<i32>();
         drop(rx);
         assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn disconnect_wakes_blocked_receiver() {
+        // Race a receiver entering recv() against the last sender
+        // dropping. Without lock-then-notify in Sender::drop, the
+        // receiver can check `senders`, lose the CPU before parking,
+        // miss the notify, and hang forever; iterate to give the race a
+        // real chance to fire.
+        for _ in 0..500 {
+            let (tx, rx) = unbounded::<i32>();
+            let r = thread::spawn(move || rx.recv());
+            let s = thread::spawn(move || drop(tx));
+            assert_eq!(r.join().unwrap(), Err(RecvError));
+            s.join().unwrap();
+        }
+        // Mirror image: a sender blocked on a full bounded channel must
+        // observe the last receiver dropping.
+        for _ in 0..500 {
+            let (tx, rx) = bounded::<i32>(1);
+            tx.send(0).unwrap();
+            let s = thread::spawn(move || tx.send(1));
+            let r = thread::spawn(move || drop(rx));
+            assert_eq!(s.join().unwrap(), Err(SendError(1)));
+            r.join().unwrap();
+        }
     }
 
     #[test]
