@@ -26,6 +26,7 @@ fn bench_produce(c: &mut Criterion) {
                 let cluster = AccessCluster::new(ClusterConfig {
                     brokers: 3,
                     segment: segment.clone(),
+                    ..Default::default()
                 });
                 cluster.create_topic("t", 6).unwrap();
                 let producer = cluster.producer("t").unwrap();

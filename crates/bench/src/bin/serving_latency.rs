@@ -35,6 +35,7 @@ fn main() {
             queue_capacity: 128,
             default_deadline: Duration::from_millis(DEADLINE_MS as u64),
             max_page: 100,
+            ..Default::default()
         },
         Arc::new(|_| default_cf_engine()),
     )
@@ -97,6 +98,7 @@ fn main() {
         ClientConfig {
             connections: 2 * shards,
             request_timeout: Duration::from_secs(10),
+            ..Default::default()
         },
     )
     .expect("connect driver");

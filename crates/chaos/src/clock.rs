@@ -1,0 +1,107 @@
+//! A clock handle the runtime reads instead of `Instant::now()`, so tests
+//! can drive timeout-based recovery (the acker sweep, replay timers) in
+//! logical time instead of sleeping wall-time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+#[derive(Clone)]
+enum Kind {
+    /// Wall time, measured from a base instant.
+    System(Instant),
+    /// Logical milliseconds advanced explicitly by tests.
+    Mock(Arc<AtomicU64>),
+}
+
+/// A cheap-to-clone monotonic clock in milliseconds.
+#[derive(Clone)]
+pub struct Clock(Kind);
+
+impl Default for Clock {
+    fn default() -> Self {
+        Clock::system()
+    }
+}
+
+impl std::fmt::Debug for Clock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            Kind::System(_) => write!(f, "Clock::system"),
+            Kind::Mock(ms) => write!(f, "Clock::mock({}ms)", ms.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl Clock {
+    /// The real clock (default).
+    pub fn system() -> Self {
+        Clock(Kind::System(Instant::now()))
+    }
+
+    /// A mock clock starting at 0 ms; advance it with [`Clock::advance`].
+    pub fn mock() -> Self {
+        Clock(Kind::Mock(Arc::new(AtomicU64::new(0))))
+    }
+
+    /// Milliseconds since the clock's origin.
+    pub fn now_ms(&self) -> u64 {
+        match &self.0 {
+            Kind::System(base) => base.elapsed().as_millis() as u64,
+            Kind::Mock(ms) => ms.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Advances a mock clock by `ms` logical milliseconds.
+    ///
+    /// # Panics
+    /// Panics on a system clock — advancing real time is a test bug.
+    pub fn advance(&self, ms: u64) {
+        match &self.0 {
+            Kind::System(_) => panic!("Clock::advance called on the system clock"),
+            Kind::Mock(cur) => {
+                cur.fetch_add(ms, Ordering::SeqCst);
+            }
+        }
+    }
+
+    /// Whether this is a mock clock (runtimes poll faster under mock time
+    /// so logical timeouts are noticed promptly).
+    pub fn is_mock(&self) -> bool {
+        matches!(self.0, Kind::Mock(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mock_clock_advances_only_explicitly() {
+        let c = Clock::mock();
+        assert!(c.is_mock());
+        assert_eq!(c.now_ms(), 0);
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        assert_eq!(c.now_ms(), 0, "wall time must not leak in");
+        c.advance(1_000);
+        assert_eq!(c.now_ms(), 1_000);
+        let clone = c.clone();
+        clone.advance(500);
+        assert_eq!(c.now_ms(), 1_500, "clones share the same time");
+    }
+
+    #[test]
+    fn system_clock_moves_forward() {
+        let c = Clock::system();
+        assert!(!c.is_mock());
+        let t0 = c.now_ms();
+        std::thread::sleep(std::time::Duration::from_millis(3));
+        assert!(c.now_ms() >= t0);
+    }
+
+    #[test]
+    #[should_panic(expected = "system clock")]
+    fn advancing_system_clock_panics() {
+        Clock::system().advance(1);
+    }
+}

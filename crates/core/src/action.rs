@@ -113,6 +113,9 @@ pub struct UserAction {
 }
 
 impl UserAction {
+    /// Serialized size of [`to_bytes`](Self::to_bytes).
+    pub const WIRE_LEN: usize = 25;
+
     /// Convenience constructor.
     pub fn new(user: UserId, item: ItemId, action: ActionType, timestamp: Timestamp) -> Self {
         UserAction {
@@ -121,6 +124,32 @@ impl UserAction {
             action,
             timestamp,
         }
+    }
+
+    /// Fixed 25-byte little-endian encoding
+    /// (`user:u64 | item:u64 | ts:u64 | action:u8`) — the payload format
+    /// for actions flowing through TDAccess topics.
+    pub fn to_bytes(&self) -> [u8; Self::WIRE_LEN] {
+        let mut out = [0u8; Self::WIRE_LEN];
+        out[0..8].copy_from_slice(&self.user.to_le_bytes());
+        out[8..16].copy_from_slice(&self.item.to_le_bytes());
+        out[16..24].copy_from_slice(&self.timestamp.to_le_bytes());
+        out[24] = self.action.code();
+        out
+    }
+
+    /// Decodes [`to_bytes`](Self::to_bytes). `None` on a short buffer or
+    /// an unknown action code (a malformed record, not a panic).
+    pub fn from_bytes(raw: &[u8]) -> Option<UserAction> {
+        if raw.len() < Self::WIRE_LEN {
+            return None;
+        }
+        Some(UserAction {
+            user: u64::from_le_bytes(raw[0..8].try_into().ok()?),
+            item: u64::from_le_bytes(raw[8..16].try_into().ok()?),
+            timestamp: u64::from_le_bytes(raw[16..24].try_into().ok()?),
+            action: ActionType::from_code(raw[24])?,
+        })
     }
 }
 
@@ -134,6 +163,16 @@ pub fn co_rating(r_p: f64, r_q: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn wire_codec_round_trips() {
+        let a = UserAction::new(7, 42, ActionType::Purchase, 1_234_567);
+        assert_eq!(UserAction::from_bytes(&a.to_bytes()), Some(a));
+        assert_eq!(UserAction::from_bytes(&[0u8; 10]), None, "short buffer");
+        let mut bad = a.to_bytes();
+        bad[24] = 0xEE;
+        assert_eq!(UserAction::from_bytes(&bad), None, "unknown action code");
+    }
 
     #[test]
     fn default_weights_are_ordered_by_engagement() {

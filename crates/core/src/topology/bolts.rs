@@ -12,7 +12,8 @@ use crate::action::{ActionType, ActionWeights, UserAction};
 use crate::cf::counts::WindowConfig;
 use crate::cf::pruning::PruneState;
 use crate::topology::state::{
-    decode_history, encode_history, session_key, sim_list_threshold, update_sim_list, windowed_sum,
+    apply_counter_delta, decode_history, decode_history_v2, encode_history, encode_history_v2,
+    session_key, sim_list_threshold, update_sim_list, windowed_sum, ReplayLogEntry,
 };
 use crate::types::{keys, ItemPair};
 use crossbeam::channel::Receiver;
@@ -48,6 +49,15 @@ pub struct CfPipelineConfig {
     /// this many distinct keys before writing through (ticks also flush);
     /// 0 disables combining.
     pub combiner_keys: usize,
+    /// Replay-dedup ring depth: how many applied source ids each counter
+    /// and history remembers so redelivered tuples (at-least-once
+    /// upstream) have exactly-once effects. 0 disables dedup (the
+    /// default — plain value formats, no overhead). Size it past the
+    /// spout's replay horizon (its `max_pending` plus a poll batch of
+    /// in-flight buffering). Dedup bypasses the cache and combiner: a
+    /// combiner merges deltas from many sources into one write, which
+    /// cannot be checked per-source.
+    pub dedup_window: usize,
 }
 
 impl Default for CfPipelineConfig {
@@ -62,6 +72,7 @@ impl Default for CfPipelineConfig {
             max_history: 1024,
             cache_capacity: 0,
             combiner_keys: 0,
+            dedup_window: 0,
         }
     }
 }
@@ -104,6 +115,9 @@ impl Spout for ActionSpout {
                         Value::U64(action.item),
                         Value::U64(action.action.code() as u64),
                         Value::U64(action.timestamp),
+                        // Source id for replay dedup; a channel spout has
+                        // no durable source, so the emit counter stands in.
+                        Value::U64(self.emitted),
                     ],
                     Some(self.emitted),
                 );
@@ -116,7 +130,7 @@ impl Spout for ActionSpout {
     fn declare_outputs(&self) -> Vec<StreamDef> {
         vec![StreamDef::new(
             DEFAULT_STREAM,
-            ["user", "item", "action", "ts"],
+            ["user", "item", "action", "ts", "src"],
         )]
     }
 }
@@ -154,7 +168,7 @@ impl Bolt for PretreatmentBolt {
     fn declare_outputs(&self) -> Vec<StreamDef> {
         vec![StreamDef::new(
             DEFAULT_STREAM,
-            ["user", "item", "action", "ts"],
+            ["user", "item", "action", "ts", "src"],
         )]
     }
 }
@@ -179,6 +193,7 @@ impl Bolt for UserHistoryBolt {
         let item = tuple.u64("item");
         let code = tuple.u64("action") as u8;
         let ts = tuple.u64("ts");
+        let src = tuple.u64("src");
         let action = ActionType::from_code(code).ok_or("bad action code")?;
         let weight = self.config.weights.weight(action);
 
@@ -186,11 +201,29 @@ impl Bolt for UserHistoryBolt {
         let mut pair_deltas: Vec<(ItemPair, f64)> = Vec::new();
         let linked = self.config.linked_time_ms;
         let max_history = self.config.max_history;
+        let dedup = self.config.dedup_window;
         self.store
             .update(&keys::user_history(user), |raw| {
                 delta_rating = 0.0;
                 pair_deltas.clear();
-                let mut entries = raw.map(decode_history).unwrap_or_default();
+                let (mut entries, mut log) = match (raw, dedup) {
+                    (None, _) => (Vec::new(), Vec::new()),
+                    (Some(raw), 0) => (decode_history(raw), Vec::new()),
+                    (Some(raw), _) => decode_history_v2(raw),
+                };
+                if let Some(seen) = log.iter().find(|e| e.src == src) {
+                    // Redelivered tuple: the history mutation already
+                    // happened; re-emit the original deltas so a
+                    // downstream loss further along the tree is repaired
+                    // without double-counting here.
+                    delta_rating = seen.delta_rating;
+                    pair_deltas.extend(
+                        seen.pair_deltas
+                            .iter()
+                            .map(|&(a, b, d)| (ItemPair::new(a, b), d)),
+                    );
+                    return Some(encode_history_v2(&entries, &log));
+                }
                 let old = entries
                     .iter()
                     .find(|&&(i, _, _)| i == item)
@@ -217,14 +250,31 @@ impl Bolt for UserHistoryBolt {
                         .expect("non-empty");
                     entries.swap_remove(idx);
                 }
-                Some(encode_history(&entries))
+                if dedup == 0 {
+                    return Some(encode_history(&entries));
+                }
+                log.push(ReplayLogEntry {
+                    src,
+                    delta_rating,
+                    pair_deltas: pair_deltas.iter().map(|&(p, d)| (p.a, p.b, d)).collect(),
+                });
+                if log.len() > dedup {
+                    let excess = log.len() - dedup;
+                    log.drain(..excess);
+                }
+                Some(encode_history_v2(&entries, &log))
             })
             .map_err(|e| e.to_string())?;
 
         if delta_rating != 0.0 {
             collector.emit_on(
                 ITEM_DELTA,
-                vec![Value::U64(item), Value::F64(delta_rating), Value::U64(ts)],
+                vec![
+                    Value::U64(item),
+                    Value::F64(delta_rating),
+                    Value::U64(ts),
+                    Value::U64(src),
+                ],
             );
         }
         for (pair, delta) in pair_deltas.drain(..) {
@@ -235,6 +285,7 @@ impl Bolt for UserHistoryBolt {
                     Value::U64(pair.b),
                     Value::F64(delta),
                     Value::U64(ts),
+                    Value::U64(src),
                 ],
             );
         }
@@ -243,8 +294,8 @@ impl Bolt for UserHistoryBolt {
 
     fn declare_outputs(&self) -> Vec<StreamDef> {
         vec![
-            StreamDef::new(ITEM_DELTA, ["item", "delta", "ts"]),
-            StreamDef::new(PAIR_DELTA, ["a", "b", "delta", "ts"]),
+            StreamDef::new(ITEM_DELTA, ["item", "delta", "ts", "src"]),
+            StreamDef::new(PAIR_DELTA, ["a", "b", "delta", "ts", "src"]),
         ]
     }
 }
@@ -264,9 +315,13 @@ pub struct ItemCountBolt {
 impl ItemCountBolt {
     /// New bolt over the shared store.
     pub fn new(store: TdStore, config: CfPipelineConfig) -> Self {
-        let cache = (config.cache_capacity > 0)
+        // Replay dedup needs every delta checked against the per-key
+        // source ring in the store; batching layers that merge or defer
+        // writes would blind that check, so they are disabled.
+        let dedup = config.dedup_window > 0;
+        let cache = (config.cache_capacity > 0 && !dedup)
             .then(|| crate::cache::CachedStore::new(store.clone(), config.cache_capacity));
-        let combiner = (config.combiner_keys > 0).then(|| {
+        let combiner = (config.combiner_keys > 0 && !dedup).then(|| {
             crate::combiner::Combiner::new(crate::combiner::CombineOp::Add, config.combiner_keys)
         });
         ItemCountBolt {
@@ -306,6 +361,17 @@ impl Bolt for ItemCountBolt {
         let ts = tuple.u64("ts");
         let session = self.config.session_of(ts);
         let key = session_key(&keys::item_count(item), session);
+        if self.config.dedup_window > 0 {
+            apply_counter_delta(
+                &self.store,
+                &key,
+                delta,
+                tuple.u64("src"),
+                self.config.dedup_window,
+            )
+            .map_err(|e| e.to_string())?;
+            return Ok(());
+        }
         match &mut self.combiner {
             Some(combiner) => {
                 if let Some(batch) = combiner.add(key, delta) {
@@ -371,11 +437,22 @@ impl Bolt for CfPairBolt {
         let windows = self.config.window_sessions();
         let map_err = |e: tdstore::StoreError| e.to_string();
 
-        // Update pairCount.
+        // Update pairCount (idempotent under replay when dedup is on).
         let pc_key = keys::pair_count(pair);
-        self.store
-            .incr_f64(&session_key(&pc_key, session), delta)
+        if self.config.dedup_window > 0 {
+            apply_counter_delta(
+                &self.store,
+                &session_key(&pc_key, session),
+                delta,
+                tuple.u64("src"),
+                self.config.dedup_window,
+            )
             .map_err(map_err)?;
+        } else {
+            self.store
+                .incr_f64(&session_key(&pc_key, session), delta)
+                .map_err(map_err)?;
+        }
 
         // Recompute the similarity from the decomposed counts.
         let current_session = if windows == 0 { 0 } else { session };

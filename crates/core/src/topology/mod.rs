@@ -22,6 +22,7 @@ pub mod bolts;
 pub mod cb;
 pub mod ctr;
 pub mod demographic;
+pub mod replay;
 pub mod serving;
 pub mod state;
 
@@ -29,8 +30,9 @@ pub use bolts::{
     ActionSpout, CfPairBolt, CfPipelineConfig, ItemCountBolt, PretreatmentBolt, UserHistoryBolt,
     ITEM_DELTA, PAIR_DELTA,
 };
+pub use replay::{ReplayProgress, ReplayableSpout};
 
-use crate::topology::state::{decode_history, decode_sim_list, windowed_sum};
+use crate::topology::state::{decode_sim_list, read_history, windowed_sum};
 use crate::types::{keys, FxHashMap, FxHashSet, ItemId, UserId};
 use crossbeam::channel::Receiver;
 use tdstore::TdStore;
@@ -71,15 +73,33 @@ pub fn build_cf_topology(
     config: CfPipelineConfig,
     parallelism: CfParallelism,
 ) -> Result<Topology, TopologyError> {
-    let mut builder = TopologyBuilder::new();
-    {
-        let source = source.clone();
-        builder.set_spout(
-            "spout",
-            move || ActionSpout::new(source.clone()),
-            parallelism.spouts,
-        );
-    }
+    build_cf_topology_with_spout(
+        move || ActionSpout::new(source.clone()),
+        store,
+        config,
+        parallelism,
+        tstorm::topology::TopologyConfig::default(),
+    )
+}
+
+/// Builds the CF topology over any action spout (e.g. a
+/// [`ReplayableSpout`] reading a TDAccess topic) and an explicit runtime
+/// config — the hook for chaos tests that need a fault plan, a mock
+/// clock, or a short message timeout. The spout must declare the
+/// five-field default stream `[user, item, action, ts, src]`.
+pub fn build_cf_topology_with_spout<S, F>(
+    spout: F,
+    store: TdStore,
+    config: CfPipelineConfig,
+    parallelism: CfParallelism,
+    topology_config: tstorm::topology::TopologyConfig,
+) -> Result<Topology, TopologyError>
+where
+    S: Spout + 'static,
+    F: Fn() -> S + Send + Sync + 'static,
+{
+    let mut builder = TopologyBuilder::new().with_config(topology_config);
+    builder.set_spout("spout", spout, parallelism.spouts);
     builder
         .set_bolt(
             "pretreatment",
@@ -181,7 +201,7 @@ impl TopologyRecommender {
         let Some(raw) = self.store.get(&keys::user_history(user)).ok().flatten() else {
             return Vec::new();
         };
-        let mut history = decode_history(&raw);
+        let mut history = read_history(&raw, self.config.dedup_window);
         let rated: FxHashSet<ItemId> = history.iter().map(|&(i, _, _)| i).collect();
         // Most recent first.
         history.sort_by_key(|&(_, _, ts)| std::cmp::Reverse(ts));

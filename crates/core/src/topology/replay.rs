@@ -1,0 +1,441 @@
+//! Replayable spout: anchors every emitted tuple to its TDAccess
+//! `(partition, offset)` and re-emits from the log on failure.
+//!
+//! This is the recovery half of the fault model (§4.1.3's "the data are
+//! kept in TDBank until the whole tuple tree is acked"): offsets commit
+//! only when the acker reports the tuple tree complete, a failed or
+//! timed-out tree seeks the consumer back and re-reads the record, and
+//! the per-(source, key) dedup in [`super::state`] turns the resulting
+//! at-least-once delivery into exactly-once count effects.
+
+use crate::action::UserAction;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use tdaccess::{AccessCluster, Consumer, Message, PartitionId};
+use tstorm::prelude::*;
+
+/// Packs a `(partition, offset)` source anchor into the one `u64` that
+/// serves as both the tstorm message id and the dedup source id:
+/// 16 bits of partition, 48 bits of offset. Topics beyond 65k partitions
+/// or 281 trillion records per partition are out of this system's scope.
+pub fn encode_src(pid: PartitionId, offset: u64) -> u64 {
+    debug_assert!(pid < 1 << 16, "partition overflows the 16-bit src field");
+    debug_assert!(offset < 1 << 48, "offset overflows the 48-bit src field");
+    ((pid as u64) << 48) | offset
+}
+
+/// Inverse of [`encode_src`].
+pub fn decode_src(src: u64) -> (PartitionId, u64) {
+    ((src >> 48) as PartitionId, src & ((1 << 48) - 1))
+}
+
+/// Shared progress counters for a replayable spout (one `Arc` can be
+/// shared across spout tasks; all counters are additive). Tests wait on
+/// `committed() == produced` instead of queue idleness, because injected
+/// poll stalls make an un-drained topology look momentarily idle.
+#[derive(Debug, Default)]
+pub struct ReplayProgress {
+    emitted: AtomicU64,
+    acked: AtomicU64,
+    failed: AtomicU64,
+    committed: AtomicU64,
+}
+
+impl ReplayProgress {
+    /// Tuples emitted, counting re-emissions.
+    pub fn emitted(&self) -> u64 {
+        self.emitted.load(Ordering::SeqCst)
+    }
+
+    /// Tuple trees completed.
+    pub fn acked(&self) -> u64 {
+        self.acked.load(Ordering::SeqCst)
+    }
+
+    /// Tuple trees failed (explicitly or by timeout).
+    pub fn failed(&self) -> u64 {
+        self.failed.load(Ordering::SeqCst)
+    }
+
+    /// Source records whose offsets are durably committed: every record
+    /// below the committed offset of its partition has a fully-acked
+    /// tuple tree.
+    pub fn committed(&self) -> u64 {
+        self.committed.load(Ordering::SeqCst)
+    }
+}
+
+/// Per-partition offset bookkeeping for at-least-once delivery. Pure
+/// state machine — no I/O — so interleavings can be property-tested
+/// directly.
+///
+/// Invariants:
+/// - `committed` only advances over a contiguous prefix of acked offsets;
+/// - an offset is never eligible for emission while an emission of it is
+///   in flight or after it acked (no concurrent duplicates, no
+///   double-delivery to the dedup layer);
+/// - failing an offset makes exactly that offset (and nothing acked)
+///   eligible again.
+#[derive(Debug, Default)]
+pub struct ReplayTracker {
+    parts: HashMap<PartitionId, PartState>,
+}
+
+#[derive(Debug, Default)]
+struct PartState {
+    /// All offsets below this have acked tuple trees.
+    committed: u64,
+    /// Emitted-but-uncommitted offsets; `true` = acked, awaiting the
+    /// contiguous prefix to catch up.
+    pending: BTreeMap<u64, bool>,
+}
+
+impl ReplayTracker {
+    /// Whether a polled record at `(pid, offset)` should be emitted.
+    /// `false` means the offset already acked (a re-poll crossed it on
+    /// the way to a failed offset) or is still in flight.
+    pub fn should_emit(&self, pid: PartitionId, offset: u64) -> bool {
+        match self.parts.get(&pid) {
+            None => true,
+            Some(p) => offset >= p.committed && !p.pending.contains_key(&offset),
+        }
+    }
+
+    /// Records an emission of `(pid, offset)`.
+    pub fn emitted(&mut self, pid: PartitionId, offset: u64) {
+        self.parts
+            .entry(pid)
+            .or_default()
+            .pending
+            .insert(offset, false);
+    }
+
+    /// Marks `(pid, offset)` acked and advances the committed watermark
+    /// over the contiguous acked prefix. Returns how far the watermark
+    /// moved.
+    pub fn ack(&mut self, pid: PartitionId, offset: u64) -> u64 {
+        let Some(p) = self.parts.get_mut(&pid) else {
+            return 0;
+        };
+        if let Some(acked) = p.pending.get_mut(&offset) {
+            *acked = true;
+        }
+        let before = p.committed;
+        while p.pending.get(&p.committed) == Some(&true) {
+            p.pending.remove(&p.committed);
+            p.committed += 1;
+        }
+        p.committed - before
+    }
+
+    /// Marks `(pid, offset)` failed, making it eligible for re-emission.
+    /// Other in-flight offsets keep their entries: their tuple trees are
+    /// still alive, and re-emitting them would put two trees with one
+    /// message id in the acker. Returns the offset to seek the consumer
+    /// to.
+    pub fn fail(&mut self, pid: PartitionId, offset: u64) -> u64 {
+        if let Some(p) = self.parts.get_mut(&pid) {
+            // An acked entry never fails (ack and fail are exclusive per
+            // emission); guard anyway so a protocol bug upstream cannot
+            // roll back an acked offset.
+            if p.pending.get(&offset) == Some(&false) {
+                p.pending.remove(&offset);
+            }
+        }
+        offset
+    }
+
+    /// Emissions in flight (emitted, neither acked nor failed).
+    pub fn outstanding(&self) -> usize {
+        self.parts
+            .values()
+            .map(|p| p.pending.values().filter(|acked| !**acked).count())
+            .sum()
+    }
+
+    /// The committed watermark of one partition.
+    pub fn committed(&self, pid: PartitionId) -> u64 {
+        self.parts.get(&pid).map_or(0, |p| p.committed)
+    }
+}
+
+/// A spout reading user actions from a TDAccess topic with at-least-once
+/// replay: offsets commit on acker-complete, fail/timeout seeks back and
+/// re-emits. The emitted `src` field (= the message id) anchors each
+/// tuple to its source record for downstream dedup.
+pub struct ReplayableSpout {
+    cluster: AccessCluster,
+    topic: String,
+    group: String,
+    consumer: Option<Consumer>,
+    tracker: ReplayTracker,
+    buffer: VecDeque<(PartitionId, Message)>,
+    max_pending: usize,
+    poll_batch: usize,
+    progress: Arc<ReplayProgress>,
+}
+
+impl ReplayableSpout {
+    /// Spout consuming `topic` as a member of consumer group `group`.
+    /// Several spout tasks in one group split the topic's partitions and
+    /// can share one `progress`.
+    pub fn new(
+        cluster: AccessCluster,
+        topic: &str,
+        group: &str,
+        progress: Arc<ReplayProgress>,
+    ) -> Self {
+        ReplayableSpout {
+            cluster,
+            topic: topic.to_string(),
+            group: group.to_string(),
+            consumer: None,
+            tracker: ReplayTracker::default(),
+            buffer: VecDeque::new(),
+            max_pending: 64,
+            poll_batch: 32,
+            progress,
+        }
+    }
+
+    /// Caps in-flight (emitted, not yet acked) tuples. This also bounds
+    /// the replay horizon: downstream dedup rings must remember at least
+    /// `max_pending + poll_batch` sources to catch every redelivery.
+    pub fn with_max_pending(mut self, max_pending: usize) -> Self {
+        self.max_pending = max_pending.max(1);
+        self
+    }
+
+    /// The progress counters this spout reports into.
+    pub fn progress(&self) -> Arc<ReplayProgress> {
+        Arc::clone(&self.progress)
+    }
+
+    /// The offset tracker (exposed for property tests).
+    pub fn tracker(&self) -> &ReplayTracker {
+        &self.tracker
+    }
+
+    /// Joins the consumer group. Called by [`Spout::open`]; tests driving
+    /// the spout manually call it directly.
+    pub fn connect(&mut self) {
+        if self.consumer.is_none() {
+            self.consumer = Some(
+                self.cluster
+                    .consumer(&self.topic, &self.group)
+                    .expect("replayable spout: join consumer group"),
+            );
+        }
+    }
+
+    /// Pulls the next emittable action, recording it as in flight.
+    /// Returns `(src, action)` or `None` when at the pending cap or the
+    /// topic is (momentarily) exhausted.
+    pub fn poll_next(&mut self) -> Option<(u64, UserAction)> {
+        if self.tracker.outstanding() >= self.max_pending {
+            return None;
+        }
+        if self.buffer.is_empty() {
+            let consumer = self.consumer.as_mut()?;
+            match consumer.poll_records(self.poll_batch) {
+                Ok(batch) => self.buffer.extend(batch),
+                Err(_) => return None,
+            }
+        }
+        while let Some((pid, msg)) = self.buffer.pop_front() {
+            if !self.tracker.should_emit(pid, msg.offset) {
+                continue;
+            }
+            let Some(action) = UserAction::from_bytes(&msg.payload) else {
+                // Malformed record: nothing to emit, but the offset must
+                // still commit or it would wedge the watermark forever.
+                self.tracker.emitted(pid, msg.offset);
+                let advanced = self.tracker.ack(pid, msg.offset);
+                self.progress
+                    .committed
+                    .fetch_add(advanced, Ordering::SeqCst);
+                continue;
+            };
+            self.tracker.emitted(pid, msg.offset);
+            self.progress.emitted.fetch_add(1, Ordering::SeqCst);
+            return Some((encode_src(pid, msg.offset), action));
+        }
+        None
+    }
+
+    /// Ack handler body (public so tests can drive it without a runtime).
+    pub fn on_ack(&mut self, src: u64) {
+        let (pid, offset) = decode_src(src);
+        let advanced = self.tracker.ack(pid, offset);
+        self.progress.acked.fetch_add(1, Ordering::SeqCst);
+        self.progress
+            .committed
+            .fetch_add(advanced, Ordering::SeqCst);
+    }
+
+    /// Fail handler body: seek the consumer back to the failed offset and
+    /// drop buffered records the re-poll will cover again.
+    pub fn on_fail(&mut self, src: u64) {
+        let (pid, offset) = decode_src(src);
+        let failed = self.tracker.fail(pid, offset);
+        let mut seek_to = failed;
+        if let Some(consumer) = self.consumer.as_mut() {
+            // Only ever seek *backward*: two trees of one partition can
+            // fail out of offset order, and seeking forward to the later
+            // one would skip past the earlier failed offset before the
+            // re-poll reaches it.
+            seek_to = failed.min(consumer.position(pid));
+            consumer.seek(pid, seek_to);
+        }
+        self.buffer
+            .retain(|&(p, ref m)| p != pid || m.offset < seek_to);
+        self.progress.failed.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+impl Spout for ReplayableSpout {
+    fn open(&mut self, _ctx: &TaskContext) {
+        self.connect();
+    }
+
+    fn next_tuple(&mut self, collector: &mut SpoutCollector) -> bool {
+        match self.poll_next() {
+            Some((src, action)) => {
+                collector.emit(
+                    vec![
+                        Value::U64(action.user),
+                        Value::U64(action.item),
+                        Value::U64(action.action.code() as u64),
+                        Value::U64(action.timestamp),
+                        Value::U64(src),
+                    ],
+                    Some(src),
+                );
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn ack(&mut self, msg_id: u64) {
+        self.on_ack(msg_id);
+    }
+
+    fn fail(&mut self, msg_id: u64) {
+        self.on_fail(msg_id);
+    }
+
+    fn close(&mut self) {
+        // Dropping the consumer leaves the group, handing partitions to
+        // surviving members.
+        self.consumer = None;
+    }
+
+    fn declare_outputs(&self) -> Vec<StreamDef> {
+        vec![StreamDef::new(
+            DEFAULT_STREAM,
+            ["user", "item", "action", "ts", "src"],
+        )]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::ActionType;
+    use tdaccess::ClusterConfig;
+
+    fn cluster_with(topic: &str, partitions: usize, n: u64) -> AccessCluster {
+        let cluster = AccessCluster::new(ClusterConfig::default());
+        cluster.create_topic(topic, partitions).unwrap();
+        let producer = cluster.producer(topic).unwrap();
+        for i in 0..n {
+            let a = UserAction::new(i, i % 7, ActionType::Click, i);
+            producer
+                .send(Some(&i.to_le_bytes()[..]), &a.to_bytes())
+                .unwrap();
+        }
+        cluster
+    }
+
+    #[test]
+    fn src_round_trips() {
+        for (pid, off) in [(0u32, 0u64), (3, 17), ((1 << 16) - 1, (1 << 48) - 1)] {
+            assert_eq!(decode_src(encode_src(pid, off)), (pid, off));
+        }
+    }
+
+    #[test]
+    fn delivers_everything_and_commits_on_ack() {
+        let cluster = cluster_with("t", 2, 20);
+        let mut spout = ReplayableSpout::new(cluster, "t", "g", Arc::default()).with_max_pending(8);
+        spout.connect();
+        let mut seen = Vec::new();
+        while let Some((src, _)) = spout.poll_next() {
+            seen.push(src);
+            spout.on_ack(src);
+        }
+        assert_eq!(seen.len(), 20);
+        assert_eq!(spout.progress().committed(), 20);
+        assert_eq!(spout.tracker().outstanding(), 0);
+    }
+
+    #[test]
+    fn failed_offset_is_redelivered_acked_are_not() {
+        let cluster = cluster_with("t", 1, 5);
+        let mut spout = ReplayableSpout::new(cluster, "t", "g", Arc::default());
+        spout.connect();
+        let mut ids = Vec::new();
+        while let Some((src, _)) = spout.poll_next() {
+            ids.push(src);
+        }
+        assert_eq!(ids.len(), 5);
+        // Ack all but offset 2, fail offset 2.
+        for &src in &ids {
+            if decode_src(src).1 != 2 {
+                spout.on_ack(src);
+            }
+        }
+        spout.on_fail(encode_src(0, 2));
+        // Exactly the failed offset comes back.
+        let redelivered: Vec<u64> = std::iter::from_fn(|| spout.poll_next())
+            .map(|(src, _)| decode_src(src).1)
+            .collect();
+        assert_eq!(redelivered, vec![2]);
+        spout.on_ack(encode_src(0, 2));
+        assert_eq!(spout.tracker().committed(0), 5);
+        assert_eq!(spout.progress().committed(), 5);
+    }
+
+    #[test]
+    fn max_pending_caps_in_flight() {
+        let cluster = cluster_with("t", 1, 50);
+        let mut spout = ReplayableSpout::new(cluster, "t", "g", Arc::default()).with_max_pending(4);
+        spout.connect();
+        let mut inflight = Vec::new();
+        while let Some((src, _)) = spout.poll_next() {
+            inflight.push(src);
+        }
+        assert_eq!(inflight.len(), 4, "pending cap");
+        spout.on_ack(inflight.remove(0));
+        assert!(spout.poll_next().is_some(), "slot freed");
+    }
+
+    #[test]
+    fn malformed_records_commit_without_emission() {
+        let cluster = AccessCluster::new(ClusterConfig::default());
+        cluster.create_topic("t", 1).unwrap();
+        let producer = cluster.producer("t").unwrap();
+        producer.send(None, b"garbage").unwrap();
+        let good = UserAction::new(1, 2, ActionType::Click, 3);
+        producer.send(None, &good.to_bytes()).unwrap();
+        let mut spout = ReplayableSpout::new(cluster, "t", "g", Arc::default());
+        spout.connect();
+        let (src, action) = spout.poll_next().expect("good record");
+        assert_eq!(decode_src(src).1, 1, "offset 0 was the garbage record");
+        assert_eq!(action, good);
+        spout.on_ack(src);
+        assert_eq!(spout.tracker().committed(0), 2);
+    }
+}

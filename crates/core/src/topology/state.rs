@@ -35,6 +35,112 @@ pub fn decode_history(raw: &[u8]) -> Vec<HistoryRecord> {
         .collect()
 }
 
+/// One entry in a user history's embedded replay log: the source id of a
+/// processed action and the deltas that action contributed, kept so a
+/// replayed delivery (at-least-once upstream) re-emits the *original*
+/// deltas instead of recomputing against mutated state.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ReplayLogEntry {
+    /// Source id of the processed tuple (`(partition, offset)` packed by
+    /// the replayable spout — stable across redeliveries).
+    pub src: u64,
+    /// Item-count delta the action produced.
+    pub delta_rating: f64,
+    /// Pair-count deltas the action produced: `(a, b, delta)`.
+    pub pair_deltas: Vec<(ItemId, ItemId, f64)>,
+}
+
+/// Encodes a user history together with its replay log (the dedup-enabled
+/// format):
+/// `n:u32 | n × 24B records | m:u32 | m × log entries`,
+/// log entry = `src:u64 | delta:f64 | k:u32 | k × (a:u64, b:u64, d:f64)`.
+///
+/// History and log share one store value on purpose: the store's `update`
+/// mutates them atomically, so "this action was applied" and its effects
+/// can never disagree after a crash or an injected write failure.
+pub fn encode_history_v2(entries: &[HistoryRecord], log: &[ReplayLogEntry]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + entries.len() * 24 + log.len() * 24);
+    out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    out.extend_from_slice(&encode_history(entries));
+    out.extend_from_slice(&(log.len() as u32).to_le_bytes());
+    for e in log {
+        out.extend_from_slice(&e.src.to_le_bytes());
+        out.extend_from_slice(&e.delta_rating.to_le_bytes());
+        out.extend_from_slice(&(e.pair_deltas.len() as u32).to_le_bytes());
+        for &(a, b, d) in &e.pair_deltas {
+            out.extend_from_slice(&a.to_le_bytes());
+            out.extend_from_slice(&b.to_le_bytes());
+            out.extend_from_slice(&d.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Decodes [`encode_history_v2`]; tolerant of truncation (a torn value
+/// yields the longest valid prefix rather than a panic).
+pub fn decode_history_v2(raw: &[u8]) -> (Vec<HistoryRecord>, Vec<ReplayLogEntry>) {
+    let mut pos = 0usize;
+    let read_u32 = |raw: &[u8], pos: &mut usize| -> Option<u32> {
+        let v = u32::from_le_bytes(raw.get(*pos..*pos + 4)?.try_into().ok()?);
+        *pos += 4;
+        Some(v)
+    };
+    let read_u64 = |raw: &[u8], pos: &mut usize| -> Option<u64> {
+        let v = u64::from_le_bytes(raw.get(*pos..*pos + 8)?.try_into().ok()?);
+        *pos += 8;
+        Some(v)
+    };
+    let Some(n) = read_u32(raw, &mut pos) else {
+        return (Vec::new(), Vec::new());
+    };
+    let hist_end = pos + (n as usize) * 24;
+    let entries = match raw.get(pos..hist_end) {
+        Some(slice) => decode_history(slice),
+        None => return (decode_history(&raw[pos..]), Vec::new()),
+    };
+    pos = hist_end;
+    let mut log = Vec::new();
+    if let Some(m) = read_u32(raw, &mut pos) {
+        'log: for _ in 0..m {
+            let (Some(src), Some(delta_bits), Some(k)) = (
+                read_u64(raw, &mut pos),
+                read_u64(raw, &mut pos),
+                read_u32(raw, &mut pos),
+            ) else {
+                break;
+            };
+            let mut pair_deltas = Vec::with_capacity(k as usize);
+            for _ in 0..k {
+                let (Some(a), Some(b), Some(d_bits)) = (
+                    read_u64(raw, &mut pos),
+                    read_u64(raw, &mut pos),
+                    read_u64(raw, &mut pos),
+                ) else {
+                    break 'log;
+                };
+                pair_deltas.push((a, b, f64::from_bits(d_bits)));
+            }
+            log.push(ReplayLogEntry {
+                src,
+                delta_rating: f64::from_bits(delta_bits),
+                pair_deltas,
+            });
+        }
+    }
+    (entries, log)
+}
+
+/// Decodes a stored user history in whichever format the pipeline is
+/// configured to write: the plain v1 records (`dedup_window == 0`) or the
+/// v2 format with the embedded replay log.
+pub fn read_history(raw: &[u8], dedup_window: usize) -> Vec<HistoryRecord> {
+    if dedup_window == 0 {
+        decode_history(raw)
+    } else {
+        decode_history_v2(raw).0
+    }
+}
+
 /// One similar-items entry: `(item, similarity)`.
 pub type SimRecord = (ItemId, f64);
 
@@ -110,6 +216,76 @@ pub fn windowed_incr(
     store.incr_f64(&session_key(base, session), delta)
 }
 
+/// The count held in a stored counter value: the first 8 bytes, whether
+/// the value is a plain `incr_f64` float or a dedup-tracked counter whose
+/// source ring follows the count.
+pub fn counter_prefix(raw: &[u8]) -> f64 {
+    match raw.get(0..8) {
+        Some(bytes) => f64::from_le_bytes(bytes.try_into().expect("8 bytes")),
+        None => 0.0,
+    }
+}
+
+fn stored_count(store: &TdStore, key: &[u8]) -> Result<f64, StoreError> {
+    Ok(store.get(key)?.map_or(0.0, |raw| counter_prefix(&raw)))
+}
+
+/// Adds `delta` to the counter at `key` unless an update from the same
+/// `src` was already applied — the idempotence that turns the spout's
+/// at-least-once redelivery into exactly-once count effects.
+///
+/// Value layout: `count:f64 | n:u32 | n × src:u64`, a ring of the last
+/// `window` applied source ids. The ring lives in the *same* store value
+/// as the count, so one atomic `update` both checks and marks: a crash or
+/// injected write failure can never apply a delta without recording its
+/// src (or vice versa). Returns whether the delta was applied (`false` =
+/// duplicate delivery, skipped).
+pub fn apply_counter_delta(
+    store: &TdStore,
+    key: &[u8],
+    delta: f64,
+    src: u64,
+    window: usize,
+) -> Result<bool, StoreError> {
+    let mut applied = false;
+    store.update(key, |raw| {
+        applied = false;
+        let (mut count, mut srcs) = match raw {
+            None => (0.0, Vec::new()),
+            Some(raw) => {
+                let count = counter_prefix(raw);
+                let n = raw
+                    .get(8..12)
+                    .map_or(0, |b| u32::from_le_bytes(b.try_into().expect("4 bytes")));
+                let srcs: Vec<u64> = (0..n as usize)
+                    .map_while(|i| {
+                        raw.get(12 + i * 8..20 + i * 8)
+                            .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+                    })
+                    .collect();
+                (count, srcs)
+            }
+        };
+        if !srcs.contains(&src) {
+            count += delta;
+            srcs.push(src);
+            if srcs.len() > window {
+                let excess = srcs.len() - window;
+                srcs.drain(..excess);
+            }
+            applied = true;
+        }
+        let mut out = Vec::with_capacity(12 + srcs.len() * 8);
+        out.extend_from_slice(&count.to_le_bytes());
+        out.extend_from_slice(&(srcs.len() as u32).to_le_bytes());
+        for s in &srcs {
+            out.extend_from_slice(&s.to_le_bytes());
+        }
+        Some(out)
+    })?;
+    Ok(applied)
+}
+
 /// Sums the last `window` session buckets of `base` ending at
 /// `current_session` (pass `window = 0` for the un-windowed bucket).
 pub fn windowed_sum(
@@ -119,12 +295,12 @@ pub fn windowed_sum(
     window: usize,
 ) -> Result<f64, StoreError> {
     if window == 0 {
-        return Ok(store.get_f64(&session_key(base, u64::MAX))?.unwrap_or(0.0));
+        return stored_count(store, &session_key(base, u64::MAX));
     }
     let mut total = 0.0;
     let oldest = current_session.saturating_sub(window as u64 - 1);
     for session in oldest..=current_session {
-        total += store.get_f64(&session_key(base, session))?.unwrap_or(0.0);
+        total += stored_count(store, &session_key(base, session))?;
     }
     Ok(total)
 }
@@ -241,6 +417,67 @@ mod tests {
         let store = TdStore::new(StoreConfig::default());
         windowed_incr(&store, b"ic:7", 3, 1.0).unwrap();
         assert_eq!(gc_expired_sessions(&store, b"ic:", 100, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn history_v2_round_trips_with_log() {
+        let entries = vec![(1u64, 2.0f64, 100u64), (9, 5.0, 200)];
+        let log = vec![
+            ReplayLogEntry {
+                src: 77,
+                delta_rating: 2.0,
+                pair_deltas: vec![(1, 9, 2.0), (1, 4, 1.0)],
+            },
+            ReplayLogEntry {
+                src: 78,
+                delta_rating: 0.0,
+                pair_deltas: Vec::new(),
+            },
+        ];
+        let raw = encode_history_v2(&entries, &log);
+        assert_eq!(decode_history_v2(&raw), (entries.clone(), log));
+        assert_eq!(read_history(&raw, 8), entries);
+        // v1 path still decodes plain records.
+        let v1 = encode_history(&entries);
+        assert_eq!(read_history(&v1, 0), entries);
+        // Truncation degrades, never panics.
+        assert_eq!(decode_history_v2(&raw[..raw.len() - 3]).0, entries);
+        assert!(decode_history_v2(&[]).0.is_empty());
+    }
+
+    #[test]
+    fn counter_delta_dedups_by_src() {
+        let store = TdStore::new(StoreConfig::default());
+        assert!(apply_counter_delta(&store, b"c", 2.0, 10, 4).unwrap());
+        assert!(apply_counter_delta(&store, b"c", 3.0, 11, 4).unwrap());
+        // Same src again: skipped, count unchanged.
+        assert!(!apply_counter_delta(&store, b"c", 2.0, 10, 4).unwrap());
+        let raw = store.get(b"c").unwrap().unwrap();
+        assert_eq!(counter_prefix(&raw), 5.0);
+    }
+
+    #[test]
+    fn counter_ring_evicts_beyond_window() {
+        let store = TdStore::new(StoreConfig::default());
+        for src in 0..5u64 {
+            assert!(apply_counter_delta(&store, b"c", 1.0, src, 3).unwrap());
+        }
+        // src 0 was evicted from a 3-deep ring: it re-applies (the window
+        // bounds how far back dedup reaches — callers size it past the
+        // spout's replay horizon).
+        assert!(apply_counter_delta(&store, b"c", 1.0, 0, 3).unwrap());
+        // src 4 is still in the ring.
+        assert!(!apply_counter_delta(&store, b"c", 1.0, 4, 3).unwrap());
+        assert_eq!(counter_prefix(&store.get(b"c").unwrap().unwrap()), 6.0);
+    }
+
+    #[test]
+    fn windowed_sum_reads_dedup_counters() {
+        let store = TdStore::new(StoreConfig::default());
+        let key = session_key(b"ic:7", u64::MAX);
+        apply_counter_delta(&store, &key, 2.5, 1, 8).unwrap();
+        apply_counter_delta(&store, &key, 1.5, 2, 8).unwrap();
+        assert_eq!(windowed_sum(&store, b"ic:7", 0, 0).unwrap(), 4.0);
     }
 
     #[test]

@@ -29,6 +29,13 @@ pub struct ClientConfig {
     pub connections: usize,
     /// How long `call` waits for a response before giving up.
     pub request_timeout: Duration,
+    /// Extra attempts `call` makes after a retriable failure of an
+    /// idempotent request (0 disables retries). Non-idempotent requests
+    /// (`ReportAction`) are never retried.
+    pub retries: u32,
+    /// Base backoff before the first retry; doubles per attempt, with
+    /// jitter, capped at ~1s.
+    pub retry_backoff: Duration,
 }
 
 impl Default for ClientConfig {
@@ -36,6 +43,8 @@ impl Default for ClientConfig {
         ClientConfig {
             connections: 2,
             request_timeout: Duration::from_secs(5),
+            retries: 2,
+            retry_backoff: Duration::from_millis(10),
         }
     }
 }
@@ -71,6 +80,23 @@ impl std::fmt::Display for ClientError {
             ClientError::UnexpectedResponse(what) => {
                 write!(f, "unexpected response: {what}")
             }
+        }
+    }
+}
+
+impl ClientError {
+    /// Whether the failure is transient, so retrying the same request (if
+    /// idempotent) may succeed. Server-reported errors and protocol
+    /// violations are deterministic and not worth repeating.
+    pub fn is_retriable(&self) -> bool {
+        match self {
+            ClientError::Io(_)
+            | ClientError::Timeout
+            | ClientError::ConnectionClosed
+            | ClientError::Overloaded => true,
+            ClientError::Protocol(_)
+            | ClientError::Server(_)
+            | ClientError::UnexpectedResponse(_) => false,
         }
     }
 }
@@ -208,6 +234,9 @@ pub struct Client {
     connections: Vec<Mutex<Option<Connection>>>,
     next_id: AtomicU64,
     next_conn: AtomicU64,
+    /// Sequence hashed into backoff jitter so concurrent retriers spread
+    /// out instead of thundering in lockstep.
+    jitter_seq: AtomicU64,
 }
 
 impl Client {
@@ -226,6 +255,7 @@ impl Client {
             // connection-level error id and must never match a request.
             next_id: AtomicU64::new(1),
             next_conn: AtomicU64::new(0),
+            jitter_seq: AtomicU64::new(0),
         })
     }
 
@@ -254,14 +284,61 @@ impl Client {
             .submit(id, request, self.config.request_timeout)
     }
 
-    /// Blocking request/response.
+    /// Blocking request/response. Idempotent requests are retried up to
+    /// `config.retries` times on retriable failures (dropped connections
+    /// re-dial lazily on the next attempt), with exponential backoff and
+    /// jitter. `ReportAction` is sent exactly once: an ambiguous failure
+    /// must surface to the caller, not turn into a duplicate action.
     pub fn call(&self, request: &Request) -> Result<Response, ClientError> {
+        let attempts = if request.is_idempotent() {
+            1 + self.config.retries
+        } else {
+            1
+        };
+        let mut last_err = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                self.backoff(attempt);
+            }
+            match self.call_once(request) {
+                Ok(response) => return Ok(response),
+                Err(e) if e.is_retriable() && attempt + 1 < attempts => last_err = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err.expect("loop ran at least once"))
+    }
+
+    fn call_once(&self, request: &Request) -> Result<Response, ClientError> {
         let response = self.submit(request)?.wait()?;
         match response {
             Response::Overloaded => Err(ClientError::Overloaded),
             Response::Error { message } => Err(ClientError::Server(message)),
             other => Ok(other),
         }
+    }
+
+    /// Exponential backoff with deterministic-entropy jitter: the delay
+    /// for retry `attempt` is `base * 2^(attempt-1)` plus up to 50% more,
+    /// capped at one second.
+    fn backoff(&self, attempt: u32) {
+        let base = self.config.retry_backoff.as_micros() as u64;
+        if base == 0 {
+            return;
+        }
+        let exp = base.saturating_mul(1 << (attempt - 1).min(10));
+        // SplitMix64 finalizer over a shared counter: cheap jitter with no
+        // RNG dependency, different for every retry across threads.
+        let mut h = self
+            .jitter_seq
+            .fetch_add(1, Ordering::Relaxed)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 31;
+        let jitter = h % (exp / 2).max(1);
+        let micros = exp.saturating_add(jitter).min(1_000_000);
+        std::thread::sleep(Duration::from_micros(micros));
     }
 
     /// Top-`n` recommendations for `user`. `deadline_ms == 0` uses the
@@ -304,5 +381,38 @@ impl Client {
             Response::Stats(report) => Ok(report),
             _ => Err(ClientError::UnexpectedResponse("want Stats")),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tencentrec::action::{ActionType, UserAction};
+
+    #[test]
+    fn error_retriability_classification() {
+        let io = ClientError::Io(std::io::Error::new(ErrorKind::BrokenPipe, "x"));
+        assert!(io.is_retriable());
+        assert!(ClientError::Timeout.is_retriable());
+        assert!(ClientError::ConnectionClosed.is_retriable());
+        assert!(ClientError::Overloaded.is_retriable());
+        assert!(!ClientError::Server("boom".into()).is_retriable());
+        assert!(!ClientError::UnexpectedResponse("want Ack").is_retriable());
+    }
+
+    #[test]
+    fn idempotency_classification() {
+        assert!(Request::Health.is_idempotent());
+        assert!(Request::Stats.is_idempotent());
+        assert!(Request::Recommend {
+            user: 1,
+            n: 10,
+            deadline_ms: 0
+        }
+        .is_idempotent());
+        assert!(!Request::ReportAction {
+            action: UserAction::new(1, 2, ActionType::Click, 0)
+        }
+        .is_idempotent());
     }
 }

@@ -63,6 +63,18 @@ pub enum Request {
     Stats,
 }
 
+impl Request {
+    /// Whether retrying this request cannot change server state.
+    /// `ReportAction` is not idempotent: a retry after an ambiguous
+    /// failure could feed the same action into the model twice.
+    pub fn is_idempotent(&self) -> bool {
+        match self {
+            Request::Recommend { .. } | Request::Health | Request::Stats => true,
+            Request::ReportAction { .. } => false,
+        }
+    }
+}
+
 /// Server → client messages.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {

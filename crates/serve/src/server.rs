@@ -33,6 +33,10 @@ pub struct ServerConfig {
     /// Hard cap on requested page size (oversized `n` is clamped, not
     /// refused — a misbehaving client should not allocate at will).
     pub max_page: usize,
+    /// Fault-injection plan for chaos testing ([`tchaos::FaultPlan::none`]
+    /// by default — zero cost when disabled). Site: `ConnReset` hangs up
+    /// a connection right before dispatching a decoded request.
+    pub fault_plan: tchaos::FaultPlan,
 }
 
 impl Default for ServerConfig {
@@ -42,6 +46,7 @@ impl Default for ServerConfig {
             queue_capacity: 256,
             default_deadline: Duration::from_millis(500),
             max_page: 200,
+            fault_plan: tchaos::FaultPlan::none(),
         }
     }
 }
@@ -223,7 +228,16 @@ fn serve_connection(
                 inbox.extend_from_slice(&chunk[..read]);
                 loop {
                     match decode_request(&mut inbox) {
-                        Ok(Some(frame)) => dispatch(frame.id, frame.msg, &reply_tx, &pool, &config),
+                        Ok(Some(frame)) => {
+                            // Injected connection reset: hang up before
+                            // dispatch, so the request was received but
+                            // never answered — the ambiguous failure a
+                            // client's retry logic has to cope with.
+                            if config.fault_plan.should_fault(tchaos::FaultSite::ConnReset) {
+                                break 'conn;
+                            }
+                            dispatch(frame.id, frame.msg, &reply_tx, &pool, &config)
+                        }
                         Ok(None) => break,
                         Err(e) => {
                             // Protocol damage is unrecoverable on a byte

@@ -40,6 +40,26 @@ impl Consumer {
     /// fairly round-robining between them. Returns an empty vec when all
     /// assigned partitions are exhausted.
     pub fn poll(&mut self, max: usize) -> Result<Vec<Message>, AccessError> {
+        Ok(self
+            .poll_records(max)?
+            .into_iter()
+            .map(|(_, m)| m)
+            .collect())
+    }
+
+    /// Like [`poll`](Self::poll), but tags every message with the
+    /// partition it came from — a replayable spout needs `(partition,
+    /// offset)` to anchor each emitted tuple back to its source record.
+    pub fn poll_records(&mut self, max: usize) -> Result<Vec<(PartitionId, Message)>, AccessError> {
+        // Injected stall: the poll finds nothing, as if the broker were
+        // slow. Offsets are untouched, so the data arrives on a later poll.
+        if self
+            .cluster
+            .fault_plan()
+            .should_fault(tchaos::FaultSite::PollStall)
+        {
+            return Ok(Vec::new());
+        }
         let assigned = self
             .cluster
             .group_assignment(&self.meta.name, &self.group, self.member)?;
@@ -56,11 +76,22 @@ impl Consumer {
             let from = *self.offsets.entry(pid).or_insert(0);
             let broker_id = self.cluster.route(&self.meta.name, pid)?;
             let broker = self.cluster.broker(broker_id)?;
-            let batch = broker.read(&self.meta.name, pid, from, max - out.len())?;
+            let mut batch = broker.read(&self.meta.name, pid, from, max - out.len())?;
+            // Injected torn batch: drop the tail *before* the offset update,
+            // so the offset only covers what was delivered and the tail is
+            // re-read by the next poll — a short read, never a gap.
+            if batch.len() > 1
+                && self
+                    .cluster
+                    .fault_plan()
+                    .should_fault(tchaos::FaultSite::TornBatch)
+            {
+                batch.truncate(batch.len() / 2);
+            }
             if let Some(last) = batch.last() {
                 self.offsets.insert(pid, last.offset + 1);
             }
-            out.extend(batch);
+            out.extend(batch.into_iter().map(|m| (pid, m)));
         }
         self.cursor = (self.cursor + 1) % n;
         Ok(out)

@@ -54,6 +54,10 @@ pub struct ClusterConfig {
     pub brokers: usize,
     /// Segment sizing/spill behaviour for every partition.
     pub segment: SegmentConfig,
+    /// Fault-injection plan for chaos testing ([`tchaos::FaultPlan::none`]
+    /// by default — zero cost when disabled). Sites: `PollStall` makes a
+    /// consumer poll return empty, `TornBatch` truncates a polled batch.
+    pub fault_plan: tchaos::FaultPlan,
 }
 
 impl Default for ClusterConfig {
@@ -61,6 +65,7 @@ impl Default for ClusterConfig {
         ClusterConfig {
             brokers: 2,
             segment: SegmentConfig::default(),
+            fault_plan: tchaos::FaultPlan::none(),
         }
     }
 }
@@ -77,6 +82,7 @@ struct ClusterInner {
     /// Index 0 = active, 1 = standby; swapped on failover.
     masters: RwLock<[MasterServer; 2]>,
     segment: SegmentConfig,
+    fault_plan: tchaos::FaultPlan,
 }
 
 impl AccessCluster {
@@ -97,6 +103,7 @@ impl AccessCluster {
                 brokers,
                 masters: RwLock::new(masters),
                 segment: config.segment,
+                fault_plan: config.fault_plan,
             }),
         }
     }
@@ -152,6 +159,10 @@ impl AccessCluster {
     pub(crate) fn leave_group(&self, topic: &str, group: &str, member: u64) {
         let mut masters = self.inner.masters.write();
         masters[0].leave_group(topic, group, member);
+    }
+
+    pub(crate) fn fault_plan(&self) -> &tchaos::FaultPlan {
+        &self.inner.fault_plan
     }
 
     pub(crate) fn broker(&self, id: BrokerId) -> Result<&Broker, AccessError> {

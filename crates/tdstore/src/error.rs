@@ -15,6 +15,9 @@ pub enum StoreError {
     Io(String),
     /// An instance has no live replica left.
     InstanceLost(u32),
+    /// A fault injected by a chaos [`tchaos::FaultPlan`]; the write it
+    /// replaced was never applied, so retrying is always safe.
+    Injected,
 }
 
 impl fmt::Display for StoreError {
@@ -27,6 +30,7 @@ impl fmt::Display for StoreError {
             StoreError::InstanceLost(i) => {
                 write!(f, "data instance {i} has no live replica")
             }
+            StoreError::Injected => write!(f, "injected fault (chaos testing)"),
         }
     }
 }

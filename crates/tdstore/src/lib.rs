@@ -40,6 +40,10 @@ use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
+/// A write applied to one storage engine, returning the value that must
+/// reach the replica (`None` = deletion).
+type Mutation<'a> = dyn FnMut(&Arc<dyn StorageEngine>) -> Option<Vec<u8>> + 'a;
+
 /// Store construction parameters.
 #[derive(Debug, Clone)]
 pub struct StoreConfig {
@@ -54,6 +58,15 @@ pub struct StoreConfig {
     /// Auto-drain the replication queue after this many writes
     /// (0 = only on explicit [`TdStore::sync`]).
     pub sync_every: usize,
+    /// Apply every write to host *and* slave synchronously instead of
+    /// queueing lazy replication. Slower, but failover is lossless: the
+    /// surviving replica always holds every acknowledged write.
+    pub write_through: bool,
+    /// Fault-injection plan for chaos testing ([`tchaos::FaultPlan::none`]
+    /// by default — zero cost when disabled). Sites: `WriteFail` makes a
+    /// write return [`StoreError::Injected`] before touching any replica,
+    /// `Failover` kills a live data server right after a write completes.
+    pub fault_plan: tchaos::FaultPlan,
 }
 
 impl Default for StoreConfig {
@@ -64,12 +77,19 @@ impl Default for StoreConfig {
             replicated: true,
             engine: EngineKind::Mdb,
             sync_every: 256,
+            write_through: false,
+            fault_plan: tchaos::FaultPlan::none(),
         }
     }
 }
 
 struct SyncOp {
     instance: InstanceId,
+    /// Route-table generation the write was recorded under; the op is
+    /// dropped at drain time if the instance has since failed over (the
+    /// re-seed already copied the host's state, so applying the stale op
+    /// to the new slave could resurrect a lost write).
+    generation: u64,
     key: Vec<u8>,
     /// `None` = delete.
     value: Option<Vec<u8>>,
@@ -82,6 +102,13 @@ struct StoreInner {
     pending: Mutex<Vec<SyncOp>>,
     writes_since_sync: AtomicUsize,
     sync_every: usize,
+    write_through: bool,
+    /// One lock per instance, used only in write-through mode: a write
+    /// holds its instance's lock across route lookup + host apply + slave
+    /// apply, and failover takes every lock before rerouting, so no write
+    /// can land on a replica that is being replaced mid-flight.
+    write_locks: Vec<Mutex<()>>,
+    fault_plan: tchaos::FaultPlan,
 }
 
 /// An instance id paired with its host engine (internal routing result).
@@ -119,6 +146,9 @@ impl TdStore {
                 pending: Mutex::new(Vec::new()),
                 writes_since_sync: AtomicUsize::new(0),
                 sync_every: config.sync_every,
+                write_through: config.write_through,
+                write_locks: (0..config.instances).map(|_| Mutex::new(())).collect(),
+                fault_plan: config.fault_plan,
             }),
         }
     }
@@ -130,9 +160,16 @@ impl TdStore {
         Ok((instance, engine))
     }
 
-    fn record_write(&self, instance: InstanceId, key: &[u8], value: Option<Vec<u8>>) {
+    fn record_write(
+        &self,
+        instance: InstanceId,
+        generation: u64,
+        key: &[u8],
+        value: Option<Vec<u8>>,
+    ) {
         self.inner.pending.lock().push(SyncOp {
             instance,
+            generation,
             key: key.to_vec(),
             value,
         });
@@ -144,6 +181,90 @@ impl TdStore {
         }
     }
 
+    /// The shared write path. `mutate` applies the change to the host
+    /// engine and returns the resulting value (`None` = deleted), which is
+    /// then either replicated synchronously (write-through) or queued.
+    fn write_op(&self, key: &[u8], mutate: &mut Mutation<'_>) -> Result<(), StoreError> {
+        // Injected write failure: checked before any replica is touched,
+        // so a failed write has had *no* effect and a retry/replay is safe.
+        if self
+            .inner
+            .fault_plan
+            .should_fault(tchaos::FaultSite::WriteFail)
+        {
+            return Err(StoreError::Injected);
+        }
+        let instance = self.inner.config_servers.instance_for(key);
+        if self.inner.write_through {
+            // Failover holds every instance lock while rerouting; seeing
+            // a dead host here just means a failover is in progress — spin
+            // until the promoted route is visible.
+            let mut tries = 0u32;
+            loop {
+                {
+                    let _guard = self.inner.write_locks[instance as usize].lock();
+                    let route = self.inner.config_servers.route(instance)?;
+                    match self.inner.servers[route.host as usize].replica(instance) {
+                        Ok(engine) => {
+                            let new = mutate(&engine);
+                            if let Some(slave) = route.slave {
+                                if let Ok(slave_engine) =
+                                    self.inner.servers[slave as usize].replica(instance)
+                                {
+                                    match new {
+                                        Some(v) => slave_engine.put(key, v),
+                                        None => {
+                                            slave_engine.delete(key);
+                                        }
+                                    }
+                                }
+                            }
+                            break;
+                        }
+                        Err(StoreError::ServerDown(_)) => {}
+                        Err(e) => return Err(e),
+                    }
+                }
+                tries += 1;
+                if tries > 100_000 {
+                    return Err(StoreError::Io("write-through retry exhausted".into()));
+                }
+                std::thread::yield_now();
+            }
+        } else {
+            let route = self.inner.config_servers.route(instance)?;
+            let engine = self.inner.servers[route.host as usize].replica(instance)?;
+            let new = mutate(&engine);
+            self.record_write(instance, route.generation, key, new);
+        }
+        self.maybe_inject_failover();
+        Ok(())
+    }
+
+    /// Injected failover: kills the highest-numbered live data server
+    /// (deterministic given the fault schedule), provided enough servers
+    /// remain for every instance to keep a replicated home.
+    fn maybe_inject_failover(&self) {
+        if !self
+            .inner
+            .fault_plan
+            .should_fault(tchaos::FaultSite::Failover)
+        {
+            return;
+        }
+        let alive: Vec<ServerId> = self
+            .inner
+            .servers
+            .iter()
+            .filter(|s| s.is_alive())
+            .map(|s| s.id())
+            .collect();
+        if alive.len() >= 3 {
+            let victim = *alive.iter().max().expect("non-empty");
+            let _ = self.kill_server(victim);
+        }
+    }
+
     /// Reads a value.
     pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, StoreError> {
         let (_, engine) = self.host_engine(key)?;
@@ -152,17 +273,19 @@ impl TdStore {
 
     /// Writes a value.
     pub fn put(&self, key: &[u8], value: Vec<u8>) -> Result<(), StoreError> {
-        let (instance, engine) = self.host_engine(key)?;
-        engine.put(key, value.clone());
-        self.record_write(instance, key, Some(value));
-        Ok(())
+        self.write_op(key, &mut |engine| {
+            engine.put(key, value.clone());
+            Some(value.clone())
+        })
     }
 
     /// Deletes a key; returns whether it existed.
     pub fn delete(&self, key: &[u8]) -> Result<bool, StoreError> {
-        let (instance, engine) = self.host_engine(key)?;
-        let existed = engine.delete(key);
-        self.record_write(instance, key, None);
+        let mut existed = false;
+        self.write_op(key, &mut |engine| {
+            existed = engine.delete(key);
+            None
+        })?;
         Ok(existed)
     }
 
@@ -172,9 +295,11 @@ impl TdStore {
         key: &[u8],
         mut f: impl FnMut(Option<&[u8]>) -> Option<Vec<u8>>,
     ) -> Result<Option<Vec<u8>>, StoreError> {
-        let (instance, engine) = self.host_engine(key)?;
-        let new = engine.update(key, &mut f);
-        self.record_write(instance, key, new.clone());
+        let mut new = None;
+        self.write_op(key, &mut |engine| {
+            new = engine.update(key, &mut f);
+            new.clone()
+        })?;
         Ok(new)
     }
 
@@ -254,6 +379,14 @@ impl TdStore {
             let Ok(route) = self.inner.config_servers.route(op.instance) else {
                 continue;
             };
+            // Recorded under an older placement: the instance failed over
+            // since, and the re-seed already copied the host's state to
+            // the new slave. Applying the stale absolute value here could
+            // resurrect a write that was legitimately lost with the old
+            // host — drop it.
+            if route.generation != op.generation {
+                continue;
+            }
             let Some(slave) = route.slave else { continue };
             let Ok(engine) = self.inner.servers[slave as usize].replica(op.instance) else {
                 continue;
@@ -277,6 +410,15 @@ impl TdStore {
     /// hosts. Writes that were never synced are lost — exactly the
     /// real-world lazy-replication window.
     pub fn kill_server(&self, id: ServerId) -> Result<(), StoreError> {
+        // Write-through: exclude every in-flight write while the routes
+        // change and new slaves are seeded, so no write straddles the
+        // failover half-applied. Locks are taken in index order; writers
+        // hold at most one, so this cannot deadlock.
+        let _guards: Vec<_> = if self.inner.write_through {
+            self.inner.write_locks.iter().map(|l| l.lock()).collect()
+        } else {
+            Vec::new()
+        };
         self.inner.servers[id as usize].kill();
         let alive: Vec<ServerId> = self
             .inner
@@ -408,6 +550,7 @@ mod tests {
             replicated: true,
             engine: EngineKind::Mdb,
             sync_every: 1,
+            ..Default::default()
         });
         for i in 0..50u32 {
             s.put(format!("k{i}").as_bytes(), vec![i as u8]).unwrap();
@@ -455,6 +598,130 @@ mod tests {
             .unwrap();
         let got = s.batch_get(&[b"a", b"missing", b"b"]).unwrap();
         assert_eq!(got, vec![Some(vec![1]), None, Some(vec![2])]);
+    }
+
+    #[test]
+    fn stale_replication_op_dropped_after_failover() {
+        // Regression: a queued replication op recorded before a failover
+        // must not be applied after it. The unsynced write v2 is lost with
+        // its host — draining the queue afterwards used to push v2 onto
+        // the freshly seeded slave, resurrecting it on the *next* failover.
+        let s = TdStore::new(StoreConfig {
+            servers: 4,
+            instances: 8,
+            sync_every: 0, // manual drain
+            ..Default::default()
+        });
+        s.put(b"k", vec![1]).unwrap();
+        s.sync(); // host and slave both hold v1
+        s.put(b"k", vec![2]).unwrap(); // host only; op queued
+        let instance = s.inner.config_servers.instance_for(b"k");
+        let host = s.inner.config_servers.route(instance).unwrap().host;
+        s.kill_server(host).unwrap(); // v2 lost; slave promoted with v1
+        s.sync(); // stale op must be dropped, not applied to the new slave
+        let new_host = s.inner.config_servers.route(instance).unwrap().host;
+        s.kill_server(new_host).unwrap(); // promote the re-seeded slave
+        assert_eq!(
+            s.get(b"k").unwrap(),
+            Some(vec![1]),
+            "lost write resurrected by a stale replication op"
+        );
+    }
+
+    #[test]
+    fn write_through_failover_is_lossless() {
+        let s = TdStore::new(StoreConfig {
+            sync_every: 0,
+            write_through: true,
+            ..Default::default()
+        });
+        for i in 0..100u32 {
+            s.put(format!("k{i}").as_bytes(), vec![i as u8]).unwrap();
+        }
+        // Never synced — write-through replicated every write eagerly.
+        assert_eq!(s.pending_sync_ops(), 0);
+        s.kill_server(0).unwrap();
+        s.kill_server(1).unwrap();
+        for i in 0..100u32 {
+            assert_eq!(
+                s.get(format!("k{i}").as_bytes()).unwrap(),
+                Some(vec![i as u8]),
+                "key k{i} lost despite write-through"
+            );
+        }
+    }
+
+    #[test]
+    fn write_through_survives_failover_mid_drain() {
+        // Writers keep hammering while a server dies under them; every
+        // acknowledged write must be readable afterwards.
+        let s = TdStore::new(StoreConfig {
+            write_through: true,
+            ..Default::default()
+        });
+        let writers: Vec<_> = (0..4)
+            .map(|w| {
+                let s = s.clone();
+                std::thread::spawn(move || {
+                    for i in 0..200u32 {
+                        s.put(format!("w{w}:{i}").as_bytes(), vec![w as u8, i as u8])
+                            .unwrap();
+                    }
+                })
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        s.kill_server(2).unwrap();
+        for t in writers {
+            t.join().unwrap();
+        }
+        for w in 0..4u32 {
+            for i in 0..200u32 {
+                assert_eq!(
+                    s.get(format!("w{w}:{i}").as_bytes()).unwrap(),
+                    Some(vec![w as u8, i as u8]),
+                    "acknowledged write w{w}:{i} lost across mid-drain failover"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn injected_write_fail_has_no_effect() {
+        let plan = tchaos::FaultPlan::builder(7)
+            .site(tchaos::FaultSite::WriteFail, 1.0, 1)
+            .build();
+        let s = TdStore::new(StoreConfig {
+            fault_plan: plan,
+            ..Default::default()
+        });
+        assert!(matches!(s.put(b"k", vec![1]), Err(StoreError::Injected)));
+        assert!(s.get(b"k").unwrap().is_none(), "failed write must not land");
+        s.put(b"k", vec![2]).unwrap(); // budget of 1 exhausted
+        assert_eq!(s.get(b"k").unwrap(), Some(vec![2]));
+    }
+
+    #[test]
+    fn injected_failover_kills_one_server() {
+        let plan = tchaos::FaultPlan::builder(7)
+            .site(tchaos::FaultSite::Failover, 1.0, 1)
+            .build();
+        let s = TdStore::new(StoreConfig {
+            write_through: true,
+            fault_plan: plan,
+            ..Default::default()
+        });
+        for i in 0..50u32 {
+            s.put(format!("k{i}").as_bytes(), vec![i as u8]).unwrap();
+        }
+        let alive = s.inner.servers.iter().filter(|sv| sv.is_alive()).count();
+        assert_eq!(alive, 3, "exactly one injected failover");
+        for i in 0..50u32 {
+            assert_eq!(
+                s.get(format!("k{i}").as_bytes()).unwrap(),
+                Some(vec![i as u8])
+            );
+        }
     }
 
     #[test]

@@ -22,6 +22,11 @@ pub struct InstanceRoute {
     pub host: ServerId,
     /// Backup replica (absent when replication is disabled).
     pub slave: Option<ServerId>,
+    /// Bumped on every placement change (failover, slave reassignment).
+    /// Queued replication ops carry the generation they were recorded
+    /// under; applying one against a newer route would write stale data
+    /// to a freshly re-seeded replica.
+    pub generation: u64,
 }
 
 /// The full instance → servers mapping.
@@ -40,6 +45,7 @@ impl RouteTable {
             .map(|i| InstanceRoute {
                 host: i % servers,
                 slave: (replicated && servers > 1).then(|| (i + 1) % servers),
+                generation: 0,
             })
             .collect();
         RouteTable { routes }
@@ -156,6 +162,7 @@ impl ConfigServers {
                 InstanceRoute {
                     host: new_host,
                     slave: new_slave,
+                    generation: route.generation + 1,
                 },
             );
             changed.push((instance, new_host, new_slave));
@@ -170,6 +177,7 @@ impl ConfigServers {
                 InstanceRoute {
                     host: route.host,
                     slave: new_slave,
+                    generation: route.generation + 1,
                 },
             );
             if let Some(ns) = new_slave {
@@ -226,6 +234,22 @@ mod tests {
             assert_ne!(r.host, 0);
             assert_ne!(r.slave, Some(0));
             assert_ne!(Some(r.host), r.slave);
+        }
+    }
+
+    #[test]
+    fn fail_server_bumps_generation_of_changed_routes() {
+        let cfg = ConfigServers::new(RouteTable::new(8, 4, true));
+        let before = cfg.route_table();
+        cfg.fail_server(0, &[1, 2, 3]).unwrap();
+        let after = cfg.route_table();
+        for i in 0..8 {
+            let (old, new) = (before.get(i).unwrap(), after.get(i).unwrap());
+            if old.host == 0 || old.slave == Some(0) {
+                assert_eq!(new.generation, old.generation + 1, "instance {i}");
+            } else {
+                assert_eq!(new.generation, old.generation, "instance {i} untouched");
+            }
         }
     }
 

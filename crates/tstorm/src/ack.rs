@@ -12,6 +12,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use tchaos::Clock;
 
 /// Control messages delivered to spout tasks.
 #[derive(Debug)]
@@ -55,21 +56,32 @@ struct Entry {
     failed: bool,
     slot: usize,
     msg_id: u64,
-    created: Instant,
+    /// Creation time in clock milliseconds (logical under a mock clock).
+    created: u64,
 }
 
 /// Runs the acker loop until shutdown. `pending_gauge` mirrors the number of
-/// live entries so the topology can detect quiescence.
+/// live entries so the topology can detect quiescence. Entry ages are
+/// measured on `clock`, so a mock clock can expire trees in logical time.
 pub(crate) fn run_acker(
     rx: Receiver<AckerMsg>,
     spouts: Vec<Sender<SpoutMsg>>,
     timeout: Duration,
     pending_gauge: Arc<AtomicI64>,
+    clock: Clock,
 ) {
     let mut entries: HashMap<u64, Entry> = HashMap::new();
-    let sweep_every = timeout
-        .min(Duration::from_millis(500))
-        .max(Duration::from_millis(10));
+    let timeout_ms = timeout.as_millis() as u64;
+    // The sweep wakes on real time even under a mock clock (something has
+    // to poll); with mock time it polls fast so an `advance()` past the
+    // timeout is noticed promptly without sleeping the timeout for real.
+    let sweep_every = if clock.is_mock() {
+        Duration::from_millis(5)
+    } else {
+        timeout
+            .min(Duration::from_millis(500))
+            .max(Duration::from_millis(10))
+    };
     let mut next_sweep = Instant::now() + sweep_every;
     loop {
         let wait = next_sweep.saturating_duration_since(Instant::now());
@@ -88,7 +100,7 @@ pub(crate) fn run_acker(
                         failed: false,
                         slot,
                         msg_id,
-                        created: Instant::now(),
+                        created: clock.now_ms(),
                     }
                 });
                 e.init = true;
@@ -114,7 +126,7 @@ pub(crate) fn run_acker(
                         failed: false,
                         slot: 0,
                         msg_id: 0,
-                        created: Instant::now(),
+                        created: clock.now_ms(),
                     }
                 });
                 e.pending ^= xor;
@@ -144,7 +156,7 @@ pub(crate) fn run_acker(
                         failed: true,
                         slot: 0,
                         msg_id: 0,
-                        created: Instant::now(),
+                        created: clock.now_ms(),
                     });
                 }
             },
@@ -154,9 +166,10 @@ pub(crate) fn run_acker(
         }
         if Instant::now() >= next_sweep {
             let now = Instant::now();
+            let now_ms = clock.now_ms();
             let expired: Vec<u64> = entries
                 .iter()
-                .filter(|(_, e)| now.duration_since(e.created) > timeout)
+                .filter(|(_, e)| now_ms.saturating_sub(e.created) > timeout_ms)
                 .map(|(&r, _)| r)
                 .collect();
             for root in expired {
@@ -178,8 +191,9 @@ mod tests {
     use super::*;
     use crossbeam::channel::unbounded;
 
-    fn setup(
+    fn setup_with_clock(
         timeout: Duration,
+        clock: Clock,
     ) -> (
         Sender<AckerMsg>,
         Receiver<SpoutMsg>,
@@ -190,8 +204,19 @@ mod tests {
         let (stx, srx) = unbounded();
         let gauge = Arc::new(AtomicI64::new(0));
         let g = Arc::clone(&gauge);
-        let h = std::thread::spawn(move || run_acker(rx, vec![stx], timeout, g));
+        let h = std::thread::spawn(move || run_acker(rx, vec![stx], timeout, g, clock));
         (tx, srx, gauge, h)
+    }
+
+    fn setup(
+        timeout: Duration,
+    ) -> (
+        Sender<AckerMsg>,
+        Receiver<SpoutMsg>,
+        Arc<AtomicI64>,
+        std::thread::JoinHandle<()>,
+    ) {
+        setup_with_clock(timeout, Clock::system())
     }
 
     #[test]
@@ -309,7 +334,10 @@ mod tests {
 
     #[test]
     fn timeout_fails_stale_tree() {
-        let (tx, srx, _g, h) = setup(Duration::from_millis(50));
+        // A mock clock drives the expiry: the logical timeout is an hour,
+        // but the test advances past it instantly instead of sleeping.
+        let clock = Clock::mock();
+        let (tx, srx, _g, h) = setup_with_clock(Duration::from_secs(3_600), clock.clone());
         tx.send(AckerMsg::Init {
             root: 8,
             xor: 0x2,
@@ -317,6 +345,11 @@ mod tests {
             msg_id: 11,
         })
         .unwrap();
+        assert!(
+            srx.recv_timeout(Duration::from_millis(30)).is_err(),
+            "tree must not expire before the clock advances"
+        );
+        clock.advance(3_600_001);
         match srx.recv_timeout(Duration::from_secs(2)).unwrap() {
             SpoutMsg::Fail(11) => {}
             other => panic!("expected timeout Fail(11), got {other:?}"),

@@ -45,6 +45,7 @@ pub(crate) struct EmitterCore {
     pub(crate) inflight: Arc<AtomicI64>,
     pub(crate) metrics: Arc<ComponentMetrics>,
     pub(crate) rng: SmallRng,
+    pub(crate) fault_plan: tchaos::FaultPlan,
 }
 
 impl EmitterCore {
@@ -55,6 +56,7 @@ impl EmitterCore {
         acker: Sender<AckerMsg>,
         inflight: Arc<AtomicI64>,
         metrics: Arc<ComponentMetrics>,
+        fault_plan: tchaos::FaultPlan,
     ) -> Self {
         EmitterCore {
             component,
@@ -64,6 +66,7 @@ impl EmitterCore {
             inflight,
             metrics,
             rng: SmallRng::from_entropy(),
+            fault_plan,
         }
     }
 
@@ -121,6 +124,15 @@ impl EmitterCore {
         make_anchors: &mut impl FnMut(&mut SmallRng) -> Anchors,
     ) -> usize {
         let anchors = make_anchors(&mut self.rng);
+        // Fault injection sits after `make_anchors` so the edge id is already
+        // folded into the tree: a dropped delivery can never be acked, the
+        // tree times out, and the spout replays — exactly a lost message.
+        if self.fault_plan.should_fault(tchaos::FaultSite::TupleDrop) {
+            return 0;
+        }
+        if self.fault_plan.should_fault(tchaos::FaultSite::TupleDelay) {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
         let tuple = Tuple::from_parts(
             Arc::clone(values),
             out.schema.clone(),

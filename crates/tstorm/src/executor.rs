@@ -107,9 +107,10 @@ impl Topology {
             let spouts = spout_ctl_txs.clone();
             let timeout = self.config.message_timeout;
             let gauge = Arc::clone(&acker_pending);
+            let clock = self.config.clock.clone();
             std::thread::Builder::new()
                 .name("tstorm-acker".into())
-                .spawn(move || run_acker(acker_rx, spouts, timeout, gauge))
+                .spawn(move || run_acker(acker_rx, spouts, timeout, gauge, clock))
                 .expect("spawn acker")
         };
 
@@ -136,11 +137,13 @@ impl Topology {
                         acker_tx.clone(),
                         Arc::clone(&inflight),
                         Arc::clone(&comp_metrics),
+                        self.config.fault_plan.clone(),
                     ),
                     current_anchors: Arc::from(Vec::new()),
                     pending: Vec::new(),
                 };
                 let tick = b.tick;
+                let fault_plan = self.config.fault_plan.clone();
                 let metrics = Arc::clone(&comp_metrics);
                 let inflight = Arc::clone(&inflight);
                 let name = b.name.clone();
@@ -185,10 +188,21 @@ impl Topology {
                                         // rebuilt from its factory — safe
                                         // because bolts keep durable state in
                                         // TDStore, not in themselves.
-                                        let result =
-                                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-                                                || bolt.execute(&t, &mut collector),
-                                            ));
+                                        let result = std::panic::catch_unwind(
+                                            std::panic::AssertUnwindSafe(|| {
+                                                // Injected before execute so
+                                                // a faulted tuple has had no
+                                                // effect on durable state:
+                                                // the replay re-runs it from
+                                                // scratch, never half-way.
+                                                if fault_plan
+                                                    .should_fault(tchaos::FaultSite::ExecutorPanic)
+                                                {
+                                                    panic!("tchaos: injected executor panic");
+                                                }
+                                                bolt.execute(&t, &mut collector)
+                                            }),
+                                        );
                                         let nanos = start.elapsed().as_nanos() as u64;
                                         match result {
                                             Ok(Ok(())) => {
@@ -245,6 +259,7 @@ impl Topology {
                         acker_tx.clone(),
                         Arc::clone(&inflight),
                         Arc::clone(&comp_metrics),
+                        self.config.fault_plan.clone(),
                     ),
                     slot,
                     emitted_roots: Arc::clone(&emitted_roots),

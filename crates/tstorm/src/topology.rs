@@ -95,6 +95,12 @@ pub struct TopologyConfig {
     pub queue_capacity: usize,
     /// Tuple trees older than this are failed back to their spout.
     pub message_timeout: Duration,
+    /// Fault-injection schedule (executor panics, tuple drops/delays).
+    /// [`tchaos::FaultPlan::none`] — the default — injects nothing.
+    pub fault_plan: tchaos::FaultPlan,
+    /// Clock driving the acker's timeout sweep; a mock clock lets tests
+    /// expire tuple trees in logical time.
+    pub clock: tchaos::Clock,
 }
 
 impl Default for TopologyConfig {
@@ -102,6 +108,8 @@ impl Default for TopologyConfig {
         TopologyConfig {
             queue_capacity: 1024,
             message_timeout: Duration::from_secs(30),
+            fault_plan: tchaos::FaultPlan::none(),
+            clock: tchaos::Clock::system(),
         }
     }
 }

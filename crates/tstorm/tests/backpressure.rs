@@ -58,6 +58,7 @@ fn tiny_queue_slow_consumer_loses_nothing() {
     let mut builder = TopologyBuilder::new().with_config(TopologyConfig {
         queue_capacity: 4, // aggressive: producers must block constantly
         message_timeout: Duration::from_secs(60),
+        ..Default::default()
     });
     builder.set_spout("burst", || BurstSpout { left: N }, 1);
     {
@@ -89,6 +90,7 @@ fn deep_pipeline_with_fanout_drains_under_backpressure() {
     let mut builder = TopologyBuilder::new().with_config(TopologyConfig {
         queue_capacity: 8,
         message_timeout: Duration::from_secs(60),
+        ..Default::default()
     });
     builder.set_spout("burst", || BurstSpout { left: N }, 1);
     builder

@@ -36,6 +36,7 @@ proptest! {
             } else {
                 SegmentConfig::default()
             },
+            ..Default::default()
         });
         cluster.create_topic("t", partitions as usize).unwrap();
         let producer = cluster.producer("t").unwrap();

@@ -18,6 +18,7 @@ fn server(shards: usize, queue_capacity: usize) -> Server {
             queue_capacity,
             default_deadline: Duration::from_millis(250),
             max_page: 100,
+            ..Default::default()
         },
         Arc::new(|_| default_cf_engine()),
     )
@@ -30,6 +31,7 @@ fn client(server: &Server, connections: usize) -> Client {
         ClientConfig {
             connections,
             request_timeout: Duration::from_secs(10),
+            ..Default::default()
         },
     )
     .expect("connect client")
@@ -282,5 +284,74 @@ fn expired_deadline_is_refused() {
         Ok(_) | Err(ClientError::Overloaded) => {}
         Err(e) => panic!("unexpected error: {e}"),
     }
+    server.shutdown();
+}
+
+#[test]
+fn client_retries_through_injected_connection_resets() {
+    // The server hangs up on the first two decoded requests; the client's
+    // retry loop must re-dial and succeed on the third attempt.
+    let plan = tchaos::FaultPlan::builder(11)
+        .site(tchaos::FaultSite::ConnReset, 1.0, 2)
+        .build();
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            fault_plan: plan,
+            ..Default::default()
+        },
+        Arc::new(|_| default_cf_engine()),
+    )
+    .expect("bind server");
+    let client = Client::connect(
+        &server.local_addr().to_string(),
+        ClientConfig {
+            connections: 1,
+            request_timeout: Duration::from_secs(2),
+            retries: 3,
+            retry_backoff: Duration::from_millis(1),
+        },
+    )
+    .expect("connect client");
+    let (shards, _queued) = client.health().expect("health must survive resets");
+    assert!(shards > 0);
+    server.shutdown();
+}
+
+#[test]
+fn report_action_is_never_retried() {
+    // ReportAction is not idempotent: after an ambiguous failure (request
+    // received, connection reset before the reply) the client must surface
+    // the error rather than retry into a possible duplicate.
+    let plan = tchaos::FaultPlan::builder(13)
+        .site(tchaos::FaultSite::ConnReset, 1.0, 1)
+        .build();
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            fault_plan: plan,
+            ..Default::default()
+        },
+        Arc::new(|_| default_cf_engine()),
+    )
+    .expect("bind server");
+    let client = Client::connect(
+        &server.local_addr().to_string(),
+        ClientConfig {
+            connections: 1,
+            request_timeout: Duration::from_secs(2),
+            retries: 3,
+            retry_backoff: Duration::from_millis(1),
+        },
+    )
+    .expect("connect client");
+    let err = client
+        .report_action(UserAction::new(1, 2, ActionType::Click, 0))
+        .expect_err("reset must surface, not silently retry");
+    assert!(err.is_retriable(), "failure itself is transient: {err}");
+    // The connection budget is spent; a fresh attempt goes through.
+    client
+        .report_action(UserAction::new(1, 2, ActionType::Click, 1))
+        .expect("second report succeeds after re-dial");
     server.shutdown();
 }

@@ -39,6 +39,7 @@ proptest! {
                 replicated: true,
                 engine: engine.clone(),
                 sync_every: 0,
+                ..Default::default()
             });
             let mut model: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
             let mut float_model: HashMap<Vec<u8>, f64> = HashMap::new();
