@@ -1,0 +1,412 @@
+//! Batch-transport benchmark: throughput of shuffle- and fields-grouped
+//! micro topologies and the full CF pipeline at batch size 1 (the
+//! pre-batching per-tuple transport) versus the default batch size 64,
+//! with per-bolt execute-latency percentiles and allocations per tuple.
+//!
+//! Writes `BENCH_topology.json` at the repo root. Modes:
+//!
+//! - default: full-size run, rewrites the `full` section (and refreshes
+//!   `smoke` too — the smoke pass is cheap).
+//! - `--smoke`: small sizes only, rewrites just the `smoke` section,
+//!   preserving an existing `full` section.
+//! - `--check`: after a smoke run, compares the smoke CF throughput at
+//!   batch 64 against the committed baseline and exits non-zero on a
+//!   regression beyond 20%. `BENCH_REBASELINE=1` rewrites the baseline
+//!   instead of failing.
+
+use crossbeam::channel::unbounded;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tdstore::{StoreConfig, TdStore};
+use tencentrec::action::{ActionType, UserAction};
+use tencentrec::topology::{build_cf_topology_with_spout, CfParallelism, CfPipelineConfig};
+use tstorm::prelude::*;
+
+/// Counts allocations (and growth reallocations) so the report can state
+/// allocations per transported tuple — the cheap proxy for per-tuple
+/// transport overhead that doesn't need a profiler.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Batch size 1 is the pre-batching baseline and must behave like the
+/// per-tuple transport it replaces: a zero flush interval makes the spout
+/// flush after every emit, so each tuple pays its own downstream send and
+/// its own acker Init instead of riding an interval-batched flush.
+fn baseline_flush(batch_size: usize) -> Duration {
+    if batch_size == 1 {
+        Duration::ZERO
+    } else {
+        Duration::from_millis(1)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Micro topology: spout -> counting bolt across one grouped edge.
+// ---------------------------------------------------------------------
+
+struct NumberSpout {
+    next: u64,
+    total: u64,
+}
+
+impl Spout for NumberSpout {
+    fn next_tuple(&mut self, collector: &mut SpoutCollector) -> bool {
+        if self.next >= self.total {
+            return false;
+        }
+        let i = self.next;
+        self.next += 1;
+        collector.emit(vec![Value::U64(i % 64), Value::U64(i)], Some(i));
+        true
+    }
+    fn declare_outputs(&self) -> Vec<StreamDef> {
+        vec![StreamDef::new(DEFAULT_STREAM, ["key", "seq"])]
+    }
+}
+
+struct CountBolt {
+    seen: Arc<AtomicU64>,
+}
+
+impl Bolt for CountBolt {
+    fn execute(&mut self, _tuple: &Tuple, _c: &mut BoltCollector) -> Result<(), String> {
+        self.seen.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+struct MicroResult {
+    tuples_per_sec: f64,
+    allocs_per_tuple: f64,
+    bolt_p50_us: f64,
+    bolt_p99_us: f64,
+}
+
+fn run_micro(grouping: Grouping, batch_size: usize, tuples: u64) -> MicroResult {
+    let seen = Arc::new(AtomicU64::new(0));
+    let mut builder = TopologyBuilder::new().with_config(TopologyConfig {
+        batch_size,
+        flush_interval: baseline_flush(batch_size),
+        ..Default::default()
+    });
+    builder.set_spout(
+        "numbers",
+        move || NumberSpout {
+            next: 0,
+            total: tuples,
+        },
+        1,
+    );
+    {
+        let seen = Arc::clone(&seen);
+        builder
+            .set_bolt(
+                "count",
+                move || CountBolt {
+                    seen: Arc::clone(&seen),
+                },
+                2,
+            )
+            .grouping_on("numbers", DEFAULT_STREAM, grouping);
+    }
+    let topo = builder.build().expect("valid micro topology");
+    let allocs_before = ALLOCS.load(Ordering::Relaxed);
+    let t0 = Instant::now();
+    let handle = topo.launch();
+    assert!(
+        handle.wait_idle(Duration::from_secs(300)),
+        "micro topology stalled"
+    );
+    let elapsed = t0.elapsed();
+    let metrics = handle.shutdown(Duration::from_secs(5));
+    let allocs = ALLOCS.load(Ordering::Relaxed) - allocs_before;
+    assert_eq!(seen.load(Ordering::Relaxed), tuples, "lost tuples");
+    let count = metrics
+        .iter()
+        .find(|m| m.component == "count")
+        .expect("count bolt metrics");
+    MicroResult {
+        tuples_per_sec: tuples as f64 / elapsed.as_secs_f64(),
+        allocs_per_tuple: allocs as f64 / tuples as f64,
+        bolt_p50_us: count.exec_latency.p50().as_nanos() as f64 / 1_000.0,
+        bolt_p99_us: count.exec_latency.p99().as_nanos() as f64 / 1_000.0,
+    }
+}
+
+// ---------------------------------------------------------------------
+// CF pipeline throughput + per-bolt latency percentiles.
+// ---------------------------------------------------------------------
+
+fn cf_workload(actions: usize) -> Vec<UserAction> {
+    let mut rng = SmallRng::seed_from_u64(4);
+    (0..actions)
+        .map(|i| {
+            UserAction::new(
+                rng.gen_range(0..2_000u64),
+                rng.gen_range(0..500u64),
+                if rng.gen_bool(0.3) {
+                    ActionType::Share
+                } else {
+                    ActionType::Click
+                },
+                i as u64 * 10,
+            )
+        })
+        .collect()
+}
+
+struct CfResult {
+    tuples_per_sec: f64,
+    bolt_latency: Vec<(String, f64, f64)>, // (bolt, p50_us, p99_us)
+}
+
+fn run_cf(actions: &[UserAction], batch_size: usize) -> CfResult {
+    let store = TdStore::new(StoreConfig::default());
+    let (tx, rx) = unbounded();
+    let topo = build_cf_topology_with_spout(
+        move || tencentrec::topology::ActionSpout::new(rx.clone()),
+        store,
+        CfPipelineConfig::default(),
+        CfParallelism::default(),
+        TopologyConfig {
+            batch_size,
+            flush_interval: baseline_flush(batch_size),
+            ..Default::default()
+        },
+    )
+    .expect("valid topology");
+    let t0 = Instant::now();
+    let handle = topo.launch();
+    for a in actions {
+        tx.send(*a).unwrap();
+    }
+    drop(tx);
+    assert!(
+        handle.wait_idle(Duration::from_secs(600)),
+        "cf pipeline stalled"
+    );
+    let elapsed = t0.elapsed();
+    let metrics = handle.shutdown(Duration::from_secs(5));
+    let bolt_latency = metrics
+        .iter()
+        .filter(|m| m.executed > 0 && m.component != "spout")
+        .map(|m| {
+            (
+                m.component.clone(),
+                m.exec_latency.p50().as_nanos() as f64 / 1_000.0,
+                m.exec_latency.p99().as_nanos() as f64 / 1_000.0,
+            )
+        })
+        .collect();
+    CfResult {
+        tuples_per_sec: actions.len() as f64 / elapsed.as_secs_f64(),
+        bolt_latency,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hand-rolled JSON (no serde in the tree).
+// ---------------------------------------------------------------------
+
+fn micro_json(label: &str, b1: &MicroResult, b64: &MicroResult) -> String {
+    format!(
+        concat!(
+            "    \"{}\": {{\n",
+            "      \"batch1_tps\": {:.0},\n",
+            "      \"batch64_tps\": {:.0},\n",
+            "      \"speedup\": {:.2},\n",
+            "      \"allocs_per_tuple_batch1\": {:.1},\n",
+            "      \"allocs_per_tuple_batch64\": {:.1},\n",
+            "      \"bolt_p50_us_batch64\": {:.1},\n",
+            "      \"bolt_p99_us_batch64\": {:.1}\n",
+            "    }}"
+        ),
+        label,
+        b1.tuples_per_sec,
+        b64.tuples_per_sec,
+        b64.tuples_per_sec / b1.tuples_per_sec,
+        b1.allocs_per_tuple,
+        b64.allocs_per_tuple,
+        b64.bolt_p50_us,
+        b64.bolt_p99_us,
+    )
+}
+
+fn cf_json(actions: usize, b1: &CfResult, b64: &CfResult) -> String {
+    let bolts: Vec<String> = b64
+        .bolt_latency
+        .iter()
+        .map(|(name, p50, p99)| {
+            format!("        \"{name}\": {{\"p50_us\": {p50:.1}, \"p99_us\": {p99:.1}}}")
+        })
+        .collect();
+    format!(
+        concat!(
+            "    \"cf_pipeline\": {{\n",
+            "      \"actions\": {},\n",
+            "      \"batch1_tps\": {:.0},\n",
+            "      \"batch64_tps\": {:.0},\n",
+            "      \"speedup\": {:.2},\n",
+            "      \"bolt_latency_batch64\": {{\n{}\n      }}\n",
+            "    }}"
+        ),
+        actions,
+        b1.tuples_per_sec,
+        b64.tuples_per_sec,
+        b64.tuples_per_sec / b1.tuples_per_sec,
+        bolts.join(",\n"),
+    )
+}
+
+/// Extracts a `"name": { ... }` top-level section verbatim (brace
+/// matching; the writer emits no braces inside strings).
+fn extract_section(json: &str, name: &str) -> Option<String> {
+    let start = json.find(&format!("\"{name}\": {{"))?;
+    let open = start + name.len() + 4;
+    let mut depth = 0usize;
+    for (i, c) in json[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(json[start..open + i + 1].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Reads `"key": <number>` from within the named ordered subsections.
+fn extract_number(json: &str, path: &[&str], key: &str) -> Option<f64> {
+    let mut slice = json;
+    for part in path {
+        let at = slice.find(&format!("\"{part}\""))?;
+        slice = &slice[at..];
+    }
+    let at = slice.find(&format!("\"{key}\":"))?;
+    let rest = slice[at + key.len() + 3..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let check = args.iter().any(|a| a == "--check");
+    let bench_path = "BENCH_topology.json";
+
+    let (micro_n, cf_n) = if smoke {
+        (20_000, 2_000)
+    } else {
+        (200_000, 20_000)
+    };
+
+    let run_section = |micro_n: u64, cf_n: usize| -> String {
+        eprintln!("  shuffle micro ({micro_n} tuples)...");
+        let sh1 = run_micro(Grouping::Shuffle, 1, micro_n);
+        let sh64 = run_micro(Grouping::Shuffle, 64, micro_n);
+        eprintln!(
+            "    batch1 {:.0}/s  batch64 {:.0}/s  ({:.2}x)",
+            sh1.tuples_per_sec,
+            sh64.tuples_per_sec,
+            sh64.tuples_per_sec / sh1.tuples_per_sec
+        );
+        eprintln!("  fields micro ({micro_n} tuples)...");
+        let f1 = run_micro(Grouping::fields(["key"]), 1, micro_n);
+        let f64_ = run_micro(Grouping::fields(["key"]), 64, micro_n);
+        eprintln!(
+            "    batch1 {:.0}/s  batch64 {:.0}/s  ({:.2}x)",
+            f1.tuples_per_sec,
+            f64_.tuples_per_sec,
+            f64_.tuples_per_sec / f1.tuples_per_sec
+        );
+        eprintln!("  cf pipeline ({cf_n} actions)...");
+        let actions = cf_workload(cf_n);
+        let cf1 = run_cf(&actions, 1);
+        let cf64 = run_cf(&actions, 64);
+        eprintln!(
+            "    batch1 {:.0}/s  batch64 {:.0}/s  ({:.2}x)",
+            cf1.tuples_per_sec,
+            cf64.tuples_per_sec,
+            cf64.tuples_per_sec / cf1.tuples_per_sec
+        );
+        for (name, p50, p99) in &cf64.bolt_latency {
+            eprintln!("    {name}: p50 {p50:.1}us p99 {p99:.1}us");
+        }
+        format!(
+            "    \"flush_interval_ms\": 1,\n{},\n{},\n{}",
+            micro_json("shuffle_micro", &sh1, &sh64),
+            micro_json("fields_micro", &f1, &f64_),
+            cf_json(cf_n, &cf1, &cf64),
+        )
+    };
+
+    let old = std::fs::read_to_string(bench_path).unwrap_or_default();
+
+    eprintln!("== smoke sizes ==");
+    let smoke_body = run_section(20_000.min(micro_n), 2_000.min(cf_n));
+    let smoke_section = format!("\"smoke\": {{\n{smoke_body}\n  }}");
+
+    let full_section = if smoke {
+        extract_section(&old, "full").unwrap_or_else(|| "\"full\": {}".to_string())
+    } else {
+        eprintln!("== full sizes ==");
+        let full_body = run_section(micro_n, cf_n);
+        format!("\"full\": {{\n{full_body}\n  }}")
+    };
+
+    if check {
+        let rebaseline = std::env::var("BENCH_REBASELINE").is_ok_and(|v| v == "1");
+        let new_tps = extract_number(&smoke_section, &["cf_pipeline"], "batch64_tps")
+            .expect("own output parses");
+        match extract_number(&old, &["smoke", "cf_pipeline"], "batch64_tps") {
+            Some(base_tps) if !rebaseline => {
+                let floor = base_tps * 0.8;
+                eprintln!(
+                    "gate: smoke cf batch64 {new_tps:.0}/s vs baseline {base_tps:.0}/s \
+                     (floor {floor:.0}/s)"
+                );
+                if new_tps < floor {
+                    eprintln!(
+                        "FAIL: topology throughput regressed more than 20% \
+                         (set BENCH_REBASELINE=1 to accept a new baseline)"
+                    );
+                    std::process::exit(1);
+                }
+            }
+            Some(_) => eprintln!("gate: BENCH_REBASELINE=1, accepting new baseline"),
+            None => eprintln!("gate: no committed baseline, writing one"),
+        }
+    }
+
+    let json = format!("{{\n  {smoke_section},\n  {full_section}\n}}\n");
+    std::fs::write(bench_path, &json).expect("write BENCH_topology.json");
+    eprintln!("wrote {bench_path}");
+}

@@ -56,11 +56,16 @@ pub enum FaultSite {
     Failover,
     /// `tserve` server drops the connection before answering.
     ConnReset,
+    /// `tstorm` batch transport drops a whole in-flight batch at the flush
+    /// boundary: every tuple buffered for one downstream task vanishes at
+    /// once, all their trees time out, and the spout replays them — the
+    /// batched analogue of [`FaultSite::TupleDrop`].
+    BatchDrop,
 }
 
 impl FaultSite {
     /// Every site, in stable order.
-    pub const ALL: [FaultSite; 8] = [
+    pub const ALL: [FaultSite; 9] = [
         FaultSite::ExecutorPanic,
         FaultSite::TupleDrop,
         FaultSite::TupleDelay,
@@ -69,6 +74,7 @@ impl FaultSite {
         FaultSite::WriteFail,
         FaultSite::Failover,
         FaultSite::ConnReset,
+        FaultSite::BatchDrop,
     ];
 
     fn index(self) -> usize {
@@ -81,6 +87,7 @@ impl FaultSite {
             FaultSite::WriteFail => 5,
             FaultSite::Failover => 6,
             FaultSite::ConnReset => 7,
+            FaultSite::BatchDrop => 8,
         }
     }
 }
@@ -93,7 +100,7 @@ struct SiteSpec {
     max_faults: u64,
 }
 
-const N_SITES: usize = 8;
+const N_SITES: usize = 9;
 
 struct Inner {
     seed: u64,

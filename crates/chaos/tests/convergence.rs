@@ -60,6 +60,10 @@ fn chaos_plan(seed: u64) -> FaultPlan {
 /// under `plan`, waiting until every source offset is committed, and
 /// returns the final store.
 fn run_pipeline(plan: FaultPlan, label: &str) -> TdStore {
+    run_pipeline_with(plan, label, TopologyConfig::default())
+}
+
+fn run_pipeline_with(plan: FaultPlan, label: &str, transport: TopologyConfig) -> TdStore {
     let actions = workload();
     let n = actions.len() as u64;
 
@@ -103,7 +107,7 @@ fn run_pipeline(plan: FaultPlan, label: &str) -> TdStore {
             message_timeout: Duration::from_millis(3_000),
             fault_plan: plan.clone(),
             clock: clock.clone(),
-            ..Default::default()
+            ..transport
         },
     )
     .expect("valid topology");
@@ -249,6 +253,86 @@ fn chaos_runs_converge_to_fault_free_state() {
         }
     }
     println!("faults fired across seeds: {fired_total:?}");
+}
+
+/// Transport settings for the batching matrix: real multi-tuple batches
+/// (so `BatchDrop` kills several trees at once), a queue small enough
+/// that `send_batch` must chunk under backpressure, and a short flush
+/// interval so partially-filled buffers still move during replay lulls.
+fn batched_transport() -> TopologyConfig {
+    TopologyConfig {
+        batch_size: 8,
+        queue_capacity: 16,
+        flush_interval: Duration::from_millis(2),
+        ..Default::default()
+    }
+}
+
+fn batching_chaos_plan(seed: u64) -> FaultPlan {
+    FaultPlan::builder(seed)
+        .site(FaultSite::ExecutorPanic, 0.02, 10)
+        .site(FaultSite::TupleDrop, 0.02, 10)
+        .site(FaultSite::TupleDelay, 0.05, 20)
+        .site(FaultSite::PollStall, 0.05, 10)
+        .site(FaultSite::TornBatch, 0.2, 10)
+        .site(FaultSite::WriteFail, 0.01, 10)
+        .site(FaultSite::Failover, 0.005, 1)
+        // A dropped batch fails every tree buffered for one downstream
+        // task at once — the worst case for the folded acker traffic.
+        .site(FaultSite::BatchDrop, 0.05, 6)
+        .build()
+}
+
+/// The batching analogue of the main matrix: same seeds, but tuples move
+/// in multi-tuple batches and whole in-flight batches are dropped at the
+/// flush boundary. Exactly-once must still hold — every seed converges
+/// to the fault-free batched run's bytes.
+#[test]
+fn chaos_runs_converge_with_batching_enabled() {
+    let baseline = run_pipeline_with(FaultPlan::none(), "fault-free batched", batched_transport());
+    let base_ic = counts(&baseline, b"ic:");
+    let base_pc = counts(&baseline, b"pc:");
+    assert!(!base_ic.is_empty() && !base_pc.is_empty(), "baseline ran");
+    let base_query = TopologyRecommender::new(baseline, cf_config());
+
+    let (seeds, full_matrix) = seed_matrix();
+    let mut batch_drops = 0u64;
+    for seed in seeds {
+        let plan = batching_chaos_plan(seed);
+        let store = run_pipeline_with(
+            plan.clone(),
+            &format!("batched seed {seed}"),
+            batched_transport(),
+        );
+        batch_drops += plan.fired(FaultSite::BatchDrop);
+
+        assert_eq!(
+            counts(&store, b"ic:"),
+            base_ic,
+            "batched seed {seed}: itemCounts diverged from the fault-free run"
+        );
+        assert_eq!(
+            counts(&store, b"pc:"),
+            base_pc,
+            "batched seed {seed}: pairCounts diverged from the fault-free run"
+        );
+
+        let query = TopologyRecommender::new(store, cf_config());
+        for &(p, q) in &[(1u64, 2u64), (1, 3), (2, 5)] {
+            assert_eq!(
+                query.similarity(p, q, 1_000).to_bits(),
+                base_query.similarity(p, q, 1_000).to_bits(),
+                "batched seed {seed}: sim({p},{q}) diverged"
+            );
+        }
+    }
+    if full_matrix {
+        assert!(
+            batch_drops > 0,
+            "no whole-batch drop fired across the batching seed matrix"
+        );
+    }
+    println!("batch drops fired across seeds: {batch_drops}");
 }
 
 #[test]

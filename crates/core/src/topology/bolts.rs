@@ -12,13 +12,21 @@ use crate::action::{ActionType, ActionWeights, UserAction};
 use crate::cf::counts::WindowConfig;
 use crate::cf::pruning::PruneState;
 use crate::topology::state::{
-    apply_counter_delta, decode_history, decode_history_v2, encode_history, encode_history_v2,
-    session_key, sim_list_threshold, update_sim_list, windowed_sum, ReplayLogEntry,
+    apply_counter_delta, apply_counter_deltas, decode_history, decode_history_v2, encode_history,
+    encode_history_v2, session_key, sim_list_threshold, update_sim_list, windowed_sum,
+    ReplayLogEntry,
 };
 use crate::types::{keys, ItemPair};
 use crossbeam::channel::Receiver;
 use tdstore::TdStore;
 use tstorm::prelude::*;
+
+/// Same-key `(src, delta)` runs of one itemCount batch, in arrival order.
+type CountGroups = Vec<(Vec<u8>, Vec<(u64, f64)>)>;
+
+/// Per pair: `(session, (src, delta) runs)` of one pairCount batch, in
+/// arrival order.
+type PairGroups = Vec<(ItemPair, Vec<(u64, Vec<(u64, f64)>)>)>;
 
 /// Stream carrying item-count deltas.
 pub const ITEM_DELTA: &str = "item_delta";
@@ -389,6 +397,60 @@ impl Bolt for ItemCountBolt {
         }
     }
 
+    fn supports_batch(&self) -> bool {
+        true
+    }
+
+    /// Merges same-key deltas before touching state: a batch that hits one
+    /// hot item's session bucket N times costs one store update, not N.
+    /// Dedup mode groups `(src, delta)` pairs per key and applies them in
+    /// arrival order through one atomic ring-checked update; plain mode
+    /// sums per key (addition commutes) and pushes one merged delta
+    /// through the usual combiner/cache path.
+    fn execute_batch(
+        &mut self,
+        tuples: &[Tuple],
+        _collector: &mut BoltCollector,
+    ) -> Result<(), String> {
+        // Batches are small (≤ batch_size); linear find keeps arrival
+        // order without hashing.
+        let mut groups: CountGroups = Vec::new();
+        for tuple in tuples {
+            let item = tuple.u64("item");
+            let delta = tuple.f64("delta");
+            let session = self.config.session_of(tuple.u64("ts"));
+            let key = session_key(&keys::item_count(item), session);
+            let entry = (tuple.u64("src"), delta);
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, deltas)) => deltas.push(entry),
+                None => groups.push((key, vec![entry])),
+            }
+        }
+        for (key, deltas) in groups {
+            if self.config.dedup_window > 0 {
+                apply_counter_deltas(&self.store, &key, &deltas, self.config.dedup_window)
+                    .map_err(|e| e.to_string())?;
+                continue;
+            }
+            let total: f64 = deltas.iter().map(|&(_, d)| d).sum();
+            match &mut self.combiner {
+                Some(combiner) => {
+                    if let Some(batch) = combiner.add(key, total) {
+                        for (key, delta) in batch {
+                            match &mut self.cache {
+                                Some(cache) => cache.incr_f64(&key, delta).map(|_| ()),
+                                None => self.store.incr_f64(&key, delta).map(|_| ()),
+                            }
+                            .map_err(|e| e.to_string())?;
+                        }
+                    }
+                }
+                None => self.write(&key, total)?,
+            }
+        }
+        Ok(())
+    }
+
     fn tick(&mut self, _collector: &mut BoltCollector) {
         // "We will fetch the tuples from the combiner and do the costly
         // calculation like TDStore writes at the predefined intervals."
@@ -423,38 +485,35 @@ impl CfPairBolt {
     }
 }
 
-impl Bolt for CfPairBolt {
-    fn execute(&mut self, tuple: &Tuple, _collector: &mut BoltCollector) -> Result<(), String> {
-        let a = tuple.u64("a");
-        let b = tuple.u64("b");
-        let delta = tuple.f64("delta");
-        let ts = tuple.u64("ts");
-        let pair = ItemPair::new(a, b);
-        if self.pruning.as_ref().is_some_and(|p| p.is_pruned(pair)) {
-            return Ok(());
+impl CfPairBolt {
+    /// Folds a run of `(src, delta)` updates into one session bucket of a
+    /// pair's `pairCount` (one atomic ring-checked update under dedup, one
+    /// `incr` otherwise).
+    fn apply_pair_deltas(
+        &self,
+        pair: ItemPair,
+        session: u64,
+        deltas: &[(u64, f64)],
+    ) -> Result<(), String> {
+        let key = session_key(&keys::pair_count(pair), session);
+        if self.config.dedup_window > 0 {
+            apply_counter_deltas(&self.store, &key, deltas, self.config.dedup_window)
+                .map_err(|e| e.to_string())?;
+        } else {
+            let total: f64 = deltas.iter().map(|&(_, d)| d).sum();
+            self.store
+                .incr_f64(&key, total)
+                .map_err(|e| e.to_string())?;
         }
-        let session = self.config.session_of(ts);
+        Ok(())
+    }
+
+    /// Recomputes the pair's similarity from the decomposed counts and
+    /// refreshes both similar-items lists (and the pruning observation).
+    fn refresh_similarity(&mut self, pair: ItemPair, session: u64) -> Result<(), String> {
         let windows = self.config.window_sessions();
         let map_err = |e: tdstore::StoreError| e.to_string();
-
-        // Update pairCount (idempotent under replay when dedup is on).
         let pc_key = keys::pair_count(pair);
-        if self.config.dedup_window > 0 {
-            apply_counter_delta(
-                &self.store,
-                &session_key(&pc_key, session),
-                delta,
-                tuple.u64("src"),
-                self.config.dedup_window,
-            )
-            .map_err(map_err)?;
-        } else {
-            self.store
-                .incr_f64(&session_key(&pc_key, session), delta)
-                .map_err(map_err)?;
-        }
-
-        // Recompute the similarity from the decomposed counts.
         let current_session = if windows == 0 { 0 } else { session };
         let pc = windowed_sum(&self.store, &pc_key, current_session, windows).map_err(map_err)?;
         let ic_a = windowed_sum(
@@ -518,6 +577,66 @@ impl Bolt for CfPairBolt {
                 k,
             );
             pruning.observe(pair, sim, ta.min(tb));
+        }
+        Ok(())
+    }
+}
+
+impl Bolt for CfPairBolt {
+    fn execute(&mut self, tuple: &Tuple, _collector: &mut BoltCollector) -> Result<(), String> {
+        let pair = ItemPair::new(tuple.u64("a"), tuple.u64("b"));
+        if self.pruning.as_ref().is_some_and(|p| p.is_pruned(pair)) {
+            return Ok(());
+        }
+        let session = self.config.session_of(tuple.u64("ts"));
+        self.apply_pair_deltas(pair, session, &[(tuple.u64("src"), tuple.f64("delta"))])?;
+        self.refresh_similarity(pair, session)
+    }
+
+    fn supports_batch(&self) -> bool {
+        true
+    }
+
+    /// Groups the run by pair: every pair's deltas land in its session
+    /// buckets first, then the similarity is recomputed and the lists
+    /// rewritten *once* per pair instead of once per tuple — the dominant
+    /// cost of this bolt (two list updates plus up to two threshold reads
+    /// per recompute) is paid per distinct pair in the batch.
+    fn execute_batch(
+        &mut self,
+        tuples: &[Tuple],
+        _collector: &mut BoltCollector,
+    ) -> Result<(), String> {
+        // Per pair, per session bucket (in arrival order): src/delta runs.
+        let mut groups: PairGroups = Vec::new();
+        for tuple in tuples {
+            let pair = ItemPair::new(tuple.u64("a"), tuple.u64("b"));
+            if self.pruning.as_ref().is_some_and(|p| p.is_pruned(pair)) {
+                continue;
+            }
+            let session = self.config.session_of(tuple.u64("ts"));
+            let entry = (tuple.u64("src"), tuple.f64("delta"));
+            let sessions = match groups.iter_mut().find(|(p, _)| *p == pair) {
+                Some((_, sessions)) => sessions,
+                None => {
+                    groups.push((pair, Vec::new()));
+                    &mut groups.last_mut().expect("just pushed").1
+                }
+            };
+            match sessions.iter_mut().find(|(s, _)| *s == session) {
+                Some((_, deltas)) => deltas.push(entry),
+                None => sessions.push((session, vec![entry])),
+            }
+        }
+        for (pair, sessions) in groups {
+            let last_session = sessions.last().map(|&(s, _)| s).expect("non-empty group");
+            for (session, deltas) in &sessions {
+                self.apply_pair_deltas(pair, *session, deltas)?;
+            }
+            // One recompute at the batch's final session for this pair:
+            // the counts already include every delta above, so the result
+            // matches what per-tuple execution would leave behind.
+            self.refresh_similarity(pair, last_session)?;
         }
         Ok(())
     }

@@ -247,41 +247,67 @@ pub fn apply_counter_delta(
     src: u64,
     window: usize,
 ) -> Result<bool, StoreError> {
-    let mut applied = false;
+    Ok(apply_counter_deltas(store, key, &[(src, delta)], window)? == 1)
+}
+
+fn decode_counter(raw: Option<&[u8]>) -> (f64, Vec<u64>) {
+    match raw {
+        None => (0.0, Vec::new()),
+        Some(raw) => {
+            let count = counter_prefix(raw);
+            let n = raw
+                .get(8..12)
+                .map_or(0, |b| u32::from_le_bytes(b.try_into().expect("4 bytes")));
+            let srcs: Vec<u64> = (0..n as usize)
+                .map_while(|i| {
+                    raw.get(12 + i * 8..20 + i * 8)
+                        .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+                })
+                .collect();
+            (count, srcs)
+        }
+    }
+}
+
+fn encode_counter(count: f64, srcs: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12 + srcs.len() * 8);
+    out.extend_from_slice(&count.to_le_bytes());
+    out.extend_from_slice(&(srcs.len() as u32).to_le_bytes());
+    for s in srcs {
+        out.extend_from_slice(&s.to_le_bytes());
+    }
+    out
+}
+
+/// Applies a batch of `(src, delta)` updates to the counter at `key` in
+/// one atomic store update — one decode, one encode, one write for the
+/// whole batch instead of one each per delta. The deltas are applied
+/// strictly in order with the ring trimmed after every insert, so the
+/// resulting value is byte-identical to calling [`apply_counter_delta`]
+/// once per element. Returns how many deltas were applied (the rest were
+/// duplicate sources, skipped).
+pub fn apply_counter_deltas(
+    store: &TdStore,
+    key: &[u8],
+    deltas: &[(u64, f64)],
+    window: usize,
+) -> Result<usize, StoreError> {
+    let mut applied = 0usize;
     store.update(key, |raw| {
-        applied = false;
-        let (mut count, mut srcs) = match raw {
-            None => (0.0, Vec::new()),
-            Some(raw) => {
-                let count = counter_prefix(raw);
-                let n = raw
-                    .get(8..12)
-                    .map_or(0, |b| u32::from_le_bytes(b.try_into().expect("4 bytes")));
-                let srcs: Vec<u64> = (0..n as usize)
-                    .map_while(|i| {
-                        raw.get(12 + i * 8..20 + i * 8)
-                            .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
-                    })
-                    .collect();
-                (count, srcs)
+        applied = 0;
+        let (mut count, mut srcs) = decode_counter(raw);
+        for &(src, delta) in deltas {
+            if !srcs.contains(&src) {
+                count += delta;
+                srcs.push(src);
+                if srcs.len() > window {
+                    let excess = srcs.len() - window;
+                    srcs.drain(..excess);
+                }
+                applied += 1;
             }
-        };
-        if !srcs.contains(&src) {
-            count += delta;
-            srcs.push(src);
-            if srcs.len() > window {
-                let excess = srcs.len() - window;
-                srcs.drain(..excess);
-            }
-            applied = true;
         }
-        let mut out = Vec::with_capacity(12 + srcs.len() * 8);
-        out.extend_from_slice(&count.to_le_bytes());
-        out.extend_from_slice(&(srcs.len() as u32).to_le_bytes());
-        for s in &srcs {
-            out.extend_from_slice(&s.to_le_bytes());
-        }
-        Some(out)
+        Some(encode_counter(count, &srcs))
     })?;
     Ok(applied)
 }
@@ -469,6 +495,22 @@ mod tests {
         // src 4 is still in the ring.
         assert!(!apply_counter_delta(&store, b"c", 1.0, 4, 3).unwrap());
         assert_eq!(counter_prefix(&store.get(b"c").unwrap().unwrap()), 6.0);
+    }
+
+    #[test]
+    fn batched_deltas_match_sequential_application() {
+        let a = TdStore::new(StoreConfig::default());
+        let b = TdStore::new(StoreConfig::default());
+        // Includes an in-batch duplicate (src 2) and enough entries to
+        // roll the ring mid-batch.
+        let deltas: Vec<(u64, f64)> = vec![(1, 1.0), (2, 2.0), (2, 9.0), (3, 0.5), (4, 1.5)];
+        let applied = apply_counter_deltas(&a, b"c", &deltas, 3).unwrap();
+        assert_eq!(applied, 4);
+        for &(src, delta) in &deltas {
+            apply_counter_delta(&b, b"c", delta, src, 3).unwrap();
+        }
+        assert_eq!(a.get(b"c").unwrap(), b.get(b"c").unwrap());
+        assert_eq!(counter_prefix(&a.get(b"c").unwrap().unwrap()), 5.0);
     }
 
     #[test]

@@ -18,10 +18,22 @@ use tchaos::Clock;
 #[derive(Debug)]
 pub(crate) enum SpoutMsg {
     Ack(u64),
+    /// Acks for every tree completed by one acker message: one channel
+    /// message (one wake) instead of one per tree.
+    AckBatch(Vec<u64>),
     Fail(u64),
     /// Stop emitting new tuples but keep servicing acks.
     Deactivate,
     Shutdown,
+}
+
+/// One root registration: what `AckerMsg::Init` carries, batchable.
+#[derive(Debug)]
+pub(crate) struct InitEntry {
+    pub(crate) root: u64,
+    pub(crate) xor: u64,
+    pub(crate) slot: usize,
+    pub(crate) msg_id: u64,
 }
 
 #[derive(Debug)]
@@ -34,17 +46,49 @@ pub(crate) enum AckerMsg {
         slot: usize,
         msg_id: u64,
     },
+    /// Roots registered since the spout's last flush, shipped together with
+    /// the flushed deliveries: one acker message per flush instead of one
+    /// per emitted tuple.
+    InitBatch(Vec<InitEntry>),
     /// XOR delta from a bolt completing an execute.
     Xor {
         root: u64,
         xor: u64,
     },
+    /// Pre-folded XOR deltas for a whole execute run: one delta per root,
+    /// one channel message for the lot. Equivalent to sending each pair as
+    /// an [`AckerMsg::Xor`] — XOR folding is order-independent — but the
+    /// acker queue sees one message per batch instead of one per tuple.
+    XorBatch(Vec<(u64, u64)>),
     /// Explicit failure of a tree.
     Fail {
         root: u64,
     },
     Shutdown,
 }
+
+/// Pass-through hasher for the root-keyed entry map. Roots are uniform
+/// random u64s drawn from the emitters' RNGs, so they need no further
+/// mixing — SipHash here costs two hashes per tuple for nothing.
+#[derive(Default)]
+struct RootHasher(u64);
+
+impl std::hash::Hasher for RootHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        // Only reached if the key type ever changes away from u64.
+        for &b in bytes {
+            self.0 = self.0.rotate_left(8) ^ u64::from(b);
+        }
+    }
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n;
+    }
+}
+
+type RootMap = HashMap<u64, Entry, std::hash::BuildHasherDefault<RootHasher>>;
 
 struct Entry {
     pending: u64,
@@ -60,6 +104,102 @@ struct Entry {
     created: u64,
 }
 
+/// Folds one XOR delta into `root`'s entry; a completed tree is pushed
+/// onto `completed` instead of notified immediately, so all trees finished
+/// by one incoming message ack the spout in one batched send (shared by
+/// the single and batched delta messages).
+fn apply_xor(
+    entries: &mut RootMap,
+    pending_gauge: &AtomicI64,
+    clock: &Clock,
+    completed: &mut Vec<(usize, u64)>,
+    root: u64,
+    xor: u64,
+) {
+    let e = entries.entry(root).or_insert_with(|| {
+        pending_gauge.fetch_add(1, Ordering::Relaxed);
+        Entry {
+            pending: 0,
+            init: false,
+            failed: false,
+            slot: 0,
+            msg_id: 0,
+            created: clock.now_ms(),
+        }
+    });
+    e.pending ^= xor;
+    if e.init && !e.failed && e.pending == 0 {
+        let e = entries.remove(&root).expect("entry just updated");
+        pending_gauge.fetch_sub(1, Ordering::Relaxed);
+        completed.push((e.slot, e.msg_id));
+    }
+}
+
+/// Registers one root (shared by the single and batched Init messages).
+fn apply_init(
+    entries: &mut RootMap,
+    spouts: &[Sender<SpoutMsg>],
+    pending_gauge: &AtomicI64,
+    clock: &Clock,
+    completed: &mut Vec<(usize, u64)>,
+    init: InitEntry,
+) {
+    let InitEntry {
+        root,
+        xor,
+        slot,
+        msg_id,
+    } = init;
+    let e = entries.entry(root).or_insert_with(|| {
+        pending_gauge.fetch_add(1, Ordering::Relaxed);
+        Entry {
+            pending: 0,
+            init: false,
+            failed: false,
+            slot,
+            msg_id,
+            created: clock.now_ms(),
+        }
+    });
+    e.init = true;
+    e.slot = slot;
+    e.msg_id = msg_id;
+    e.pending ^= xor;
+    if e.failed {
+        let e = entries.remove(&root).expect("entry just inserted");
+        pending_gauge.fetch_sub(1, Ordering::Relaxed);
+        let _ = spouts[e.slot].send(SpoutMsg::Fail(e.msg_id));
+    } else if e.pending == 0 {
+        let e = entries.remove(&root).expect("entry just inserted");
+        pending_gauge.fetch_sub(1, Ordering::Relaxed);
+        completed.push((e.slot, e.msg_id));
+    }
+}
+
+/// Ships the acks accumulated while processing one acker message: one
+/// `Ack` for a lone completion, one `AckBatch` per spout slot otherwise.
+fn flush_acks(completed: &mut Vec<(usize, u64)>, spouts: &[Sender<SpoutMsg>]) {
+    if completed.len() == 1 {
+        let (slot, msg_id) = completed.pop().expect("len checked");
+        let _ = spouts[slot].send(SpoutMsg::Ack(msg_id));
+        return;
+    }
+    while !completed.is_empty() {
+        let slot = completed[0].0;
+        let mut ids = Vec::with_capacity(completed.len());
+        // `retain` keeps arrival order for the remaining slots.
+        completed.retain(|&(s, id)| {
+            if s == slot {
+                ids.push(id);
+                false
+            } else {
+                true
+            }
+        });
+        let _ = spouts[slot].send(SpoutMsg::AckBatch(ids));
+    }
+}
+
 /// Runs the acker loop until shutdown. `pending_gauge` mirrors the number of
 /// live entries so the topology can detect quiescence. Entry ages are
 /// measured on `clock`, so a mock clock can expire trees in logical time.
@@ -70,7 +210,7 @@ pub(crate) fn run_acker(
     pending_gauge: Arc<AtomicI64>,
     clock: Clock,
 ) {
-    let mut entries: HashMap<u64, Entry> = HashMap::new();
+    let mut entries = RootMap::default();
     let timeout_ms = timeout.as_millis() as u64;
     // The sweep wakes on real time even under a mock clock (something has
     // to poll); with mock time it polls fast so an `advance()` past the
@@ -83,6 +223,9 @@ pub(crate) fn run_acker(
             .max(Duration::from_millis(10))
     };
     let mut next_sweep = Instant::now() + sweep_every;
+    // (slot, msg_id) of trees completed by the message being processed;
+    // drained into batched spout notifications after each message.
+    let mut completed: Vec<(usize, u64)> = Vec::new();
     loop {
         let wait = next_sweep.saturating_duration_since(Instant::now());
         match rx.recv_timeout(wait) {
@@ -92,48 +235,52 @@ pub(crate) fn run_acker(
                 slot,
                 msg_id,
             }) => {
-                let e = entries.entry(root).or_insert_with(|| {
-                    pending_gauge.fetch_add(1, Ordering::Relaxed);
-                    Entry {
-                        pending: 0,
-                        init: false,
-                        failed: false,
+                apply_init(
+                    &mut entries,
+                    &spouts,
+                    &pending_gauge,
+                    &clock,
+                    &mut completed,
+                    InitEntry {
+                        root,
+                        xor,
                         slot,
                         msg_id,
-                        created: clock.now_ms(),
-                    }
-                });
-                e.init = true;
-                e.slot = slot;
-                e.msg_id = msg_id;
-                e.pending ^= xor;
-                if e.failed {
-                    let e = entries.remove(&root).expect("entry just inserted");
-                    pending_gauge.fetch_sub(1, Ordering::Relaxed);
-                    let _ = spouts[e.slot].send(SpoutMsg::Fail(e.msg_id));
-                } else if e.pending == 0 {
-                    let e = entries.remove(&root).expect("entry just inserted");
-                    pending_gauge.fetch_sub(1, Ordering::Relaxed);
-                    let _ = spouts[e.slot].send(SpoutMsg::Ack(e.msg_id));
+                    },
+                );
+            }
+            Ok(AckerMsg::InitBatch(inits)) => {
+                for init in inits {
+                    apply_init(
+                        &mut entries,
+                        &spouts,
+                        &pending_gauge,
+                        &clock,
+                        &mut completed,
+                        init,
+                    );
                 }
             }
             Ok(AckerMsg::Xor { root, xor }) => {
-                let e = entries.entry(root).or_insert_with(|| {
-                    pending_gauge.fetch_add(1, Ordering::Relaxed);
-                    Entry {
-                        pending: 0,
-                        init: false,
-                        failed: false,
-                        slot: 0,
-                        msg_id: 0,
-                        created: clock.now_ms(),
-                    }
-                });
-                e.pending ^= xor;
-                if e.init && !e.failed && e.pending == 0 {
-                    let e = entries.remove(&root).expect("entry just updated");
-                    pending_gauge.fetch_sub(1, Ordering::Relaxed);
-                    let _ = spouts[e.slot].send(SpoutMsg::Ack(e.msg_id));
+                apply_xor(
+                    &mut entries,
+                    &pending_gauge,
+                    &clock,
+                    &mut completed,
+                    root,
+                    xor,
+                );
+            }
+            Ok(AckerMsg::XorBatch(pairs)) => {
+                for (root, xor) in pairs {
+                    apply_xor(
+                        &mut entries,
+                        &pending_gauge,
+                        &clock,
+                        &mut completed,
+                        root,
+                        xor,
+                    );
                 }
             }
             Ok(AckerMsg::Fail { root }) => match entries.entry(root) {
@@ -163,6 +310,9 @@ pub(crate) fn run_acker(
             Ok(AckerMsg::Shutdown) => break,
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => break,
+        }
+        if !completed.is_empty() {
+            flush_acks(&mut completed, &spouts);
         }
         if Instant::now() >= next_sweep {
             let now = Instant::now();
@@ -287,6 +437,66 @@ mod tests {
         }
         tx.send(AckerMsg::Shutdown).unwrap();
         h.join().unwrap();
+    }
+
+    #[test]
+    fn xor_batch_completes_trees() {
+        // One XorBatch message carries the pre-folded deltas of a whole
+        // execute run spanning two roots; both trees must complete.
+        let (tx, srx, gauge, h) = setup(Duration::from_secs(5));
+        for (root, msg_id) in [(21u64, 1u64), (22, 2)] {
+            tx.send(AckerMsg::Init {
+                root,
+                xor: 0xEE,
+                slot: 0,
+                msg_id,
+            })
+            .unwrap();
+        }
+        tx.send(AckerMsg::XorBatch(vec![(21, 0xEE), (22, 0xEE)]))
+            .unwrap();
+        // Both trees complete while processing one message, so the spout
+        // hears about them in one batched notification.
+        let mut acked = match srx.recv_timeout(Duration::from_secs(2)).unwrap() {
+            SpoutMsg::AckBatch(ids) => ids,
+            other => panic!("expected AckBatch, got {other:?}"),
+        };
+        acked.sort_unstable();
+        assert_eq!(acked, vec![1, 2]);
+        tx.send(AckerMsg::Shutdown).unwrap();
+        h.join().unwrap();
+        assert_eq!(gauge.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn init_batch_registers_all_roots() {
+        // One InitBatch registers three roots (as a spout flush would);
+        // XorBatch then completes them all in one AckBatch.
+        let (tx, srx, gauge, h) = setup(Duration::from_secs(5));
+        tx.send(AckerMsg::InitBatch(
+            (0..3u64)
+                .map(|i| InitEntry {
+                    root: 30 + i,
+                    xor: 0x40 + i,
+                    slot: 0,
+                    msg_id: 100 + i,
+                })
+                .collect(),
+        ))
+        .unwrap();
+        tx.send(AckerMsg::XorBatch(
+            (0..3u64).map(|i| (30 + i, 0x40 + i)).collect(),
+        ))
+        .unwrap();
+        let mut acked = match srx.recv_timeout(Duration::from_secs(2)).unwrap() {
+            SpoutMsg::AckBatch(ids) => ids,
+            other => panic!("expected AckBatch, got {other:?}"),
+        };
+        acked.sort_unstable();
+        assert_eq!(acked, vec![100, 101, 102]);
+        tx.send(AckerMsg::Shutdown).unwrap();
+        h.join().unwrap();
+        assert_eq!(gauge.load(Ordering::Relaxed), 0);
     }
 
     #[test]

@@ -1,0 +1,303 @@
+//! Batch-aware bounded MPSC channel for bolt input queues.
+//!
+//! The transport cost model this exists for: with a plain bounded channel
+//! every tuple pays one lock acquisition and one condvar wake per hop.
+//! Here a producer hands the queue a whole batch under a single lock and a
+//! single wake, and the consumer drains up to `max` messages per lock.
+//! Capacity is accounted in *messages* (i.e. tuples), not batches, so
+//! backpressure behaves exactly as it did pre-batching: a producer blocks
+//! once `capacity` tuples are queued, however they were grouped in flight.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// Locks ignoring poisoning: a panicking bolt thread is already handled at
+/// the executor layer (the bolt is rebuilt, the tree failed), so a poisoned
+/// queue mutex carries no extra information.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(|e| e.into_inner())
+}
+
+struct State<T> {
+    buf: VecDeque<T>,
+    senders: usize,
+    receiver_alive: bool,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    capacity: usize,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+/// Creates a bounded batch channel with `capacity` message slots.
+pub(crate) fn batch_channel<T>(capacity: usize) -> (BatchSender<T>, BatchReceiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            buf: VecDeque::with_capacity(capacity.min(4096)),
+            senders: 1,
+            receiver_alive: true,
+        }),
+        capacity: capacity.max(1),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (
+        BatchSender {
+            shared: Arc::clone(&shared),
+        },
+        BatchReceiver { shared },
+    )
+}
+
+/// The receiver dropped; carries the rejected message.
+#[derive(Debug)]
+pub(crate) struct SendError<T>(pub(crate) T);
+
+/// The receiver dropped mid-batch; `undelivered` messages were never
+/// enqueued (earlier chunks of the same batch may already have been).
+#[derive(Debug)]
+pub(crate) struct SendBatchError {
+    pub(crate) undelivered: usize,
+}
+
+/// Outcome of [`BatchReceiver::recv_batch`].
+pub(crate) enum RecvBatch {
+    /// `out` gained this many messages.
+    Msgs(usize),
+    /// Deadline passed with the queue still empty.
+    TimedOut,
+    /// Queue empty and every sender dropped.
+    Disconnected,
+}
+
+pub(crate) struct BatchSender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Clone for BatchSender<T> {
+    fn clone(&self) -> Self {
+        lock(&self.shared.state).senders += 1;
+        BatchSender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for BatchSender<T> {
+    fn drop(&mut self) {
+        let mut st = lock(&self.shared.state);
+        st.senders -= 1;
+        if st.senders == 0 {
+            drop(st);
+            // Lock released before notify: a receiver waking here must be
+            // able to re-take the lock immediately.
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> BatchSender<T> {
+    /// Blocks until a slot is free, then enqueues one message.
+    pub(crate) fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut st = lock(&self.shared.state);
+        while st.buf.len() >= self.shared.capacity {
+            if !st.receiver_alive {
+                return Err(SendError(msg));
+            }
+            st = wait(&self.shared.not_full, st);
+        }
+        if !st.receiver_alive {
+            return Err(SendError(msg));
+        }
+        st.buf.push_back(msg);
+        drop(st);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues a whole batch: one lock acquisition and one wake per chunk
+    /// of free capacity, not per message. A batch larger than the channel
+    /// capacity is delivered in chunks as the consumer drains, so it can
+    /// never deadlock against a small queue.
+    pub(crate) fn send_batch(&self, msgs: Vec<T>) -> Result<(), SendBatchError> {
+        let mut it = msgs.into_iter();
+        let mut remaining = it.len();
+        while remaining > 0 {
+            let mut st = lock(&self.shared.state);
+            while st.buf.len() >= self.shared.capacity {
+                if !st.receiver_alive {
+                    return Err(SendBatchError {
+                        undelivered: remaining,
+                    });
+                }
+                st = wait(&self.shared.not_full, st);
+            }
+            if !st.receiver_alive {
+                return Err(SendBatchError {
+                    undelivered: remaining,
+                });
+            }
+            let room = self.shared.capacity - st.buf.len();
+            for msg in it.by_ref().take(room) {
+                st.buf.push_back(msg);
+                remaining -= 1;
+            }
+            drop(st);
+            self.shared.not_empty.notify_one();
+        }
+        Ok(())
+    }
+}
+
+pub(crate) struct BatchReceiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Drop for BatchReceiver<T> {
+    fn drop(&mut self) {
+        let mut st = lock(&self.shared.state);
+        st.receiver_alive = false;
+        drop(st);
+        self.shared.not_full.notify_all();
+    }
+}
+
+impl<T> BatchReceiver<T> {
+    /// Blocks until at least one message is available (or `deadline`
+    /// passes, or all senders drop), then drains up to `max` messages into
+    /// `out` under a single lock.
+    pub(crate) fn recv_batch(
+        &self,
+        out: &mut Vec<T>,
+        max: usize,
+        deadline: Option<Instant>,
+    ) -> RecvBatch {
+        let mut st = lock(&self.shared.state);
+        while st.buf.is_empty() {
+            if st.senders == 0 {
+                return RecvBatch::Disconnected;
+            }
+            match deadline {
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return RecvBatch::TimedOut;
+                    }
+                    let (g, _res) = self
+                        .shared
+                        .not_empty
+                        .wait_timeout(st, d - now)
+                        .unwrap_or_else(|e| e.into_inner());
+                    st = g;
+                    // Loop re-checks emptiness and the deadline; a spurious
+                    // or timed-out wake with data present still delivers.
+                }
+                None => st = wait(&self.shared.not_empty, st),
+            }
+        }
+        let n = st.buf.len().min(max.max(1));
+        out.extend(st.buf.drain(..n));
+        drop(st);
+        // Producers may be parked on distinct batches; wake them all and
+        // let them race for the freed slots.
+        self.shared.not_full.notify_all();
+        RecvBatch::Msgs(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn batch_roundtrip() {
+        let (tx, rx) = batch_channel::<u32>(8);
+        tx.send_batch((0..5).collect()).unwrap();
+        let mut out = Vec::new();
+        match rx.recv_batch(&mut out, 16, None) {
+            RecvBatch::Msgs(5) => {}
+            _ => panic!("expected 5 messages"),
+        }
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn oversized_batch_chunks_through_small_queue() {
+        let (tx, rx) = batch_channel::<u32>(4);
+        let producer = std::thread::spawn(move || tx.send_batch((0..100).collect()).unwrap());
+        let mut got = Vec::new();
+        while got.len() < 100 {
+            match rx.recv_batch(&mut got, 8, None) {
+                RecvBatch::Msgs(_) => {}
+                _ => panic!("producer still alive"),
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn capacity_counted_in_messages() {
+        let (tx, rx) = batch_channel::<u32>(4);
+        tx.send_batch(vec![1, 2, 3, 4]).unwrap();
+        // A fifth message must block: capacity is per message, not per batch.
+        let tx2 = tx.clone();
+        let blocked = std::thread::spawn(move || tx2.send(5).is_ok());
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!blocked.is_finished(), "5th tuple must wait for a slot");
+        let mut out = Vec::new();
+        match rx.recv_batch(&mut out, 1, None) {
+            RecvBatch::Msgs(1) => {}
+            _ => panic!(),
+        }
+        assert!(blocked.join().unwrap());
+        drop(tx);
+        while let RecvBatch::Msgs(_) = rx.recv_batch(&mut out, 16, None) {}
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn deadline_times_out_then_delivers() {
+        let (tx, rx) = batch_channel::<u32>(4);
+        let mut out = Vec::new();
+        let deadline = Instant::now() + Duration::from_millis(20);
+        match rx.recv_batch(&mut out, 4, Some(deadline)) {
+            RecvBatch::TimedOut => {}
+            _ => panic!("expected timeout"),
+        }
+        tx.send(9).unwrap();
+        match rx.recv_batch(&mut out, 4, Some(Instant::now() + Duration::from_secs(5))) {
+            RecvBatch::Msgs(1) => {}
+            _ => panic!("expected delivery"),
+        }
+        assert_eq!(out, vec![9]);
+    }
+
+    #[test]
+    fn disconnect_wakes_receiver_and_senders() {
+        let (tx, rx) = batch_channel::<u32>(2);
+        let h = std::thread::spawn(move || {
+            let mut out = Vec::new();
+            matches!(rx.recv_batch(&mut out, 4, None), RecvBatch::Disconnected)
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        drop(tx);
+        assert!(h.join().unwrap());
+
+        let (tx, rx) = batch_channel::<u32>(1);
+        tx.send(1).unwrap();
+        let blocked = std::thread::spawn(move || tx.send_batch(vec![2, 3]));
+        std::thread::sleep(Duration::from_millis(10));
+        drop(rx);
+        let err = blocked.join().unwrap().unwrap_err();
+        assert_eq!(err.undelivered, 2);
+    }
+}

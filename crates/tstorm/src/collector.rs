@@ -1,7 +1,17 @@
 //! Output collectors: the emit path shared by spouts and bolts, including
-//! routing, anchoring and in-flight accounting.
+//! routing, anchoring, in-flight accounting and batch coalescing.
+//!
+//! Emits do not go straight to the downstream queue. Each emitter keeps one
+//! scatter buffer per (stream, consumer edge, task); `dispatch` routes every
+//! tuple individually (keyed placement never depends on batching) but only
+//! appends it to the target's buffer. Buffers flush — one `send_batch`, one
+//! lock, one wake — when they reach `batch_size`, and are force-flushed at
+//! the end of every bolt execute run, on ticks, and whenever a spout goes
+//! idle or its flush interval elapses. In-flight accounting happens at
+//! buffer-append time, so `wait_idle` counts buffered tuples as in flight.
 
-use crate::ack::AckerMsg;
+use crate::ack::{AckerMsg, InitEntry};
+use crate::channel::BatchSender;
 use crate::grouping::{Route, RoutingRule};
 use crate::metrics::ComponentMetrics;
 use crate::tuple::{Anchors, Schema, Tuple, Value, DEFAULT_STREAM};
@@ -23,7 +33,7 @@ pub(crate) enum BoltMsg {
 /// One subscription edge from a producer stream to a consumer component.
 pub(crate) struct ConsumerEdge {
     pub(crate) rule: Arc<RoutingRule>,
-    pub(crate) senders: Vec<Sender<BoltMsg>>,
+    pub(crate) senders: Vec<BatchSender<BoltMsg>>,
 }
 
 /// Per-producer-stream output spec: interned stream name, schema, consumers.
@@ -36,6 +46,13 @@ pub(crate) struct StreamOutputs {
 /// All output streams of one component, keyed by stream id.
 pub(crate) type OutputMap = HashMap<String, StreamOutputs>;
 
+/// Scatter-buffer state for one consumer edge: the shuffle stickiness for
+/// the current batch epoch and one pending-tuple buffer per consumer task.
+struct EdgeBuffers {
+    sticky: Option<usize>,
+    bufs: Vec<Vec<Tuple>>,
+}
+
 /// State shared by both collector kinds.
 pub(crate) struct EmitterCore {
     pub(crate) component: Arc<str>,
@@ -46,9 +63,13 @@ pub(crate) struct EmitterCore {
     pub(crate) metrics: Arc<ComponentMetrics>,
     pub(crate) rng: SmallRng,
     pub(crate) fault_plan: tchaos::FaultPlan,
+    batch_size: usize,
+    /// Mirrors `outputs`: stream id -> per-edge scatter buffers.
+    scatter: HashMap<String, Vec<EdgeBuffers>>,
 }
 
 impl EmitterCore {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         component: Arc<str>,
         task_index: usize,
@@ -57,7 +78,22 @@ impl EmitterCore {
         inflight: Arc<AtomicI64>,
         metrics: Arc<ComponentMetrics>,
         fault_plan: tchaos::FaultPlan,
+        batch_size: usize,
     ) -> Self {
+        let scatter = outputs
+            .iter()
+            .map(|(stream, out)| {
+                let edges = out
+                    .consumers
+                    .iter()
+                    .map(|edge| EdgeBuffers {
+                        sticky: None,
+                        bufs: (0..edge.senders.len()).map(|_| Vec::new()).collect(),
+                    })
+                    .collect();
+                (stream.clone(), edges)
+            })
+            .collect();
         EmitterCore {
             component,
             task_index,
@@ -67,19 +103,25 @@ impl EmitterCore {
             metrics,
             rng: SmallRng::from_entropy(),
             fault_plan,
+            batch_size: batch_size.max(1),
+            scatter,
         }
     }
 
-    /// Routes `values` on `stream` to every subscribed consumer task.
-    /// `make_anchors` produces the per-delivery anchor list and lets the
-    /// caller observe the generated edge ids.
+    /// Routes `values` on `stream` into the scatter buffer of every
+    /// subscribed consumer task, flushing any buffer that reaches the batch
+    /// size. `make_anchors` produces the per-delivery anchor list and lets
+    /// the caller observe the generated edge ids.
     fn dispatch(
         &mut self,
         stream: &str,
         values: Vec<Value>,
         mut make_anchors: impl FnMut(&mut SmallRng) -> Anchors,
-    ) -> usize {
-        let out = self.outputs.get(stream).unwrap_or_else(|| {
+    ) {
+        // Split borrows: `outputs` is behind an Arc we must not hold while
+        // mutating the scatter buffers, so clone the cheap Arc first.
+        let outputs = Arc::clone(&self.outputs);
+        let out = outputs.get(stream).unwrap_or_else(|| {
             panic!(
                 "component `{}` emitted on undeclared stream `{stream}`",
                 self.component
@@ -94,62 +136,154 @@ impl EmitterCore {
             out.schema.len()
         );
         let values: Arc<[Value]> = values.into();
-        let mut deliveries = 0usize;
-        // Split borrows: `outputs` is behind an Arc we must not hold mutably
-        // while calling `send_one`, so clone the cheap Arc first.
-        let outputs = Arc::clone(&self.outputs);
-        let out = outputs.get(stream).expect("checked above");
-        for edge in &out.consumers {
-            match edge.rule.route(&values, edge.senders.len()) {
-                Route::One(i) => {
-                    deliveries += self.send_one(edge, i, &values, out, &mut make_anchors);
-                }
+        let scatter = self
+            .scatter
+            .get_mut(stream)
+            .expect("scatter mirrors outputs");
+        for (edge, ebuf) in out.consumers.iter().zip(scatter.iter_mut()) {
+            let n_tasks = edge.senders.len();
+            if n_tasks == 0 {
+                continue;
+            }
+            match edge.rule.route_buffered(&values, n_tasks, &mut ebuf.sticky) {
+                Route::One(task) => buffer_one(
+                    &mut self.rng,
+                    &self.fault_plan,
+                    &self.inflight,
+                    &self.component,
+                    self.task_index,
+                    out,
+                    &values,
+                    &mut make_anchors,
+                    self.batch_size,
+                    edge,
+                    ebuf,
+                    task,
+                ),
                 Route::All => {
-                    for i in 0..edge.senders.len() {
-                        deliveries += self.send_one(edge, i, &values, out, &mut make_anchors);
+                    for task in 0..n_tasks {
+                        buffer_one(
+                            &mut self.rng,
+                            &self.fault_plan,
+                            &self.inflight,
+                            &self.component,
+                            self.task_index,
+                            out,
+                            &values,
+                            &mut make_anchors,
+                            self.batch_size,
+                            edge,
+                            ebuf,
+                            task,
+                        );
                     }
                 }
             }
         }
         self.metrics.emitted.fetch_add(1, Ordering::Relaxed);
-        deliveries
     }
 
-    fn send_one(
-        &mut self,
-        edge: &ConsumerEdge,
-        task: usize,
-        values: &Arc<[Value]>,
-        out: &StreamOutputs,
-        make_anchors: &mut impl FnMut(&mut SmallRng) -> Anchors,
-    ) -> usize {
-        let anchors = make_anchors(&mut self.rng);
-        // Fault injection sits after `make_anchors` so the edge id is already
-        // folded into the tree: a dropped delivery can never be acked, the
-        // tree times out, and the spout replays — exactly a lost message.
-        if self.fault_plan.should_fault(tchaos::FaultSite::TupleDrop) {
-            return 0;
+    /// Flushes every non-empty scatter buffer and resets shuffle
+    /// stickiness, advancing the round-robin by whole batches.
+    pub(crate) fn flush(&mut self) {
+        let outputs = Arc::clone(&self.outputs);
+        for (stream, ebufs) in self.scatter.iter_mut() {
+            let out = outputs.get(stream).expect("scatter mirrors outputs");
+            for (edge, ebuf) in out.consumers.iter().zip(ebufs.iter_mut()) {
+                for (task, buf) in ebuf.bufs.iter_mut().enumerate() {
+                    flush_buffer(&self.fault_plan, &self.inflight, &edge.senders[task], buf);
+                }
+                ebuf.sticky = None;
+            }
         }
-        if self.fault_plan.should_fault(tchaos::FaultSite::TupleDelay) {
-            std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+}
+
+/// Anchors, builds and appends one delivery to its scatter buffer,
+/// flushing the buffer if it reached the batch size. (A free function so
+/// `dispatch` can borrow `rng` and the scatter buffers simultaneously.)
+#[allow(clippy::too_many_arguments)]
+fn buffer_one(
+    rng: &mut SmallRng,
+    fault_plan: &tchaos::FaultPlan,
+    inflight: &AtomicI64,
+    component: &Arc<str>,
+    task_index: usize,
+    out: &StreamOutputs,
+    values: &Arc<[Value]>,
+    make_anchors: &mut impl FnMut(&mut SmallRng) -> Anchors,
+    batch_size: usize,
+    edge: &ConsumerEdge,
+    ebuf: &mut EdgeBuffers,
+    task: usize,
+) {
+    let anchors = make_anchors(rng);
+    // Fault injection sits after `make_anchors` so the edge id is already
+    // folded into the tree: a dropped delivery can never be acked, the
+    // tree times out, and the spout replays — exactly a lost message.
+    if fault_plan.should_fault(tchaos::FaultSite::TupleDrop) {
+        return;
+    }
+    if fault_plan.should_fault(tchaos::FaultSite::TupleDelay) {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    let tuple = Tuple::from_parts(
+        Arc::clone(values),
+        out.schema.clone(),
+        Arc::clone(&out.stream),
+        Arc::clone(component),
+        task_index,
+        anchors,
+    );
+    inflight.fetch_add(1, Ordering::Relaxed);
+    let buf = &mut ebuf.bufs[task];
+    buf.push(tuple);
+    if buf.len() >= batch_size {
+        flush_buffer(fault_plan, inflight, &edge.senders[task], buf);
+        ebuf.sticky = None;
+    }
+}
+
+/// Ships one scatter buffer downstream as a single batched send.
+fn flush_buffer(
+    fault_plan: &tchaos::FaultPlan,
+    inflight: &AtomicI64,
+    sender: &BatchSender<BoltMsg>,
+    buf: &mut Vec<Tuple>,
+) {
+    if buf.is_empty() {
+        return;
+    }
+    // The whole in-flight batch vanishes at the transport boundary: every
+    // tree in it can no longer complete, times out, and replays from the
+    // spout — the batched analogue of TupleDrop.
+    if fault_plan.should_fault(tchaos::FaultSite::BatchDrop) {
+        inflight.fetch_sub(buf.len() as i64, Ordering::Relaxed);
+        buf.clear();
+        return;
+    }
+    if buf.len() == 1 {
+        // Unbatched fast path: no per-flush Vec allocation.
+        let msg = BoltMsg::Tuple(buf.pop().expect("len checked"));
+        if sender.send(msg).is_err() {
+            // Consumer already shut down; drop silently (only happens
+            // during teardown).
+            inflight.fetch_sub(1, Ordering::Relaxed);
         }
-        let tuple = Tuple::from_parts(
-            Arc::clone(values),
-            out.schema.clone(),
-            Arc::clone(&out.stream),
-            Arc::clone(&self.component),
-            self.task_index,
-            anchors,
-        );
-        self.inflight.fetch_add(1, Ordering::Relaxed);
-        if edge.senders[task].send(BoltMsg::Tuple(tuple)).is_err() {
-            // Consumer already shut down; drop silently (only happens during
-            // teardown).
-            self.inflight.fetch_sub(1, Ordering::Relaxed);
-            0
-        } else {
-            1
-        }
+        return;
+    }
+    let msgs: Vec<BoltMsg> = buf.drain(..).map(BoltMsg::Tuple).collect();
+    if let Err(e) = sender.send_batch(msgs) {
+        inflight.fetch_sub(e.undelivered as i64, Ordering::Relaxed);
+    }
+}
+
+/// Folds `edge` into the per-root XOR accumulator `pending`.
+fn fold_xor(pending: &mut Vec<(u64, u64)>, root: u64, edge: u64) {
+    if let Some(slot) = pending.iter_mut().find(|(r, _)| *r == root) {
+        slot.1 ^= edge;
+    } else {
+        pending.push((root, edge));
     }
 }
 
@@ -159,6 +293,9 @@ pub struct SpoutCollector {
     /// Global slot of this spout task within the acker's notification table.
     pub(crate) slot: usize,
     pub(crate) emitted_roots: Arc<AtomicU64>,
+    /// Root registrations accumulated since the last flush; shipped to the
+    /// acker as one `InitBatch` alongside the flushed deliveries.
+    pub(crate) pending_inits: Vec<InitEntry>,
 }
 
 impl SpoutCollector {
@@ -182,11 +319,17 @@ impl SpoutCollector {
                 self.core.dispatch(stream, values, |rng| {
                     let edge: u64 = rng.gen();
                     xor ^= edge;
-                    Arc::from(vec![(root, edge)])
+                    Arc::from([(root, edge)].as_slice())
                 });
-                // Sent after the deliveries; the acker tolerates Xor-before-
-                // Init, and a zero-delivery emit acks immediately.
-                let _ = self.core.acker.send(AckerMsg::Init {
+                // The Init is buffered and rides the next flush rather
+                // than paying one acker send per emit. Deliveries can
+                // therefore be executed (even XOR-acked) before their Init
+                // arrives; that is safe for the same reason Xor-before-Init
+                // is: the entry only completes once Init has named the
+                // owning spout, and a batch lost before delivery leaves
+                // its XOR non-zero until the timeout sweep fails it back
+                // to the spout.
+                self.pending_inits.push(InitEntry {
                     root,
                     xor,
                     slot: self.slot,
@@ -195,15 +338,50 @@ impl SpoutCollector {
             }
         }
     }
+
+    /// Flushes buffered emits downstream and the root registrations
+    /// accumulated since the last flush to the acker (runtime-driven: on
+    /// idle and on the configured flush interval).
+    pub(crate) fn flush(&mut self) {
+        self.core.flush();
+        match self.pending_inits.len() {
+            0 => {}
+            1 => {
+                // Singleton flush (idle trickle) skips the Vec message.
+                let InitEntry {
+                    root,
+                    xor,
+                    slot,
+                    msg_id,
+                } = self.pending_inits.pop().expect("len checked");
+                let _ = self.core.acker.send(AckerMsg::Init {
+                    root,
+                    xor,
+                    slot,
+                    msg_id,
+                });
+            }
+            _ => {
+                let batch = std::mem::take(&mut self.pending_inits);
+                let _ = self.core.acker.send(AckerMsg::InitBatch(batch));
+            }
+        }
+    }
 }
 
 /// Collector handed to [`crate::component::Bolt::execute`] and `tick`.
 pub struct BoltCollector {
     pub(crate) core: EmitterCore,
-    /// Anchors of the tuple currently being executed (empty inside `tick`).
+    /// Anchors of the tuple currently being executed (empty inside `tick`;
+    /// the union of the run's anchors inside `execute_batch`).
     pub(crate) current_anchors: Anchors,
-    /// Accumulated XOR per root for the current execute call.
-    pub(crate) pending: Vec<(u64, u64)>,
+    /// XOR accumulated by emits of the tuple currently executing. Folded
+    /// into `run_pending` when the tuple completes, discarded when it
+    /// fails (its deliveries become orphans, exactly as unbatched).
+    pub(crate) tuple_pending: Vec<(u64, u64)>,
+    /// XOR deltas accumulated across the whole execute run; folded per
+    /// root and shipped to the acker as one `XorBatch` when the run ends.
+    pub(crate) run_pending: Vec<(u64, u64)>,
 }
 
 impl BoltCollector {
@@ -228,7 +406,7 @@ impl BoltCollector {
             Arc::from(pairs)
         });
         for (root, edge) in new_edges {
-            self.xor(root, edge);
+            fold_xor(&mut self.tuple_pending, root, edge);
         }
     }
 
@@ -239,32 +417,77 @@ impl BoltCollector {
             .dispatch(stream, values, |_| Arc::from(Vec::new()));
     }
 
-    fn xor(&mut self, root: u64, edge: u64) {
-        if let Some(slot) = self.pending.iter_mut().find(|(r, _)| *r == root) {
-            slot.1 ^= edge;
-        } else {
-            self.pending.push((root, edge));
-        }
+    /// Re-anchors subsequent emits to `tuple`. Only needed inside a custom
+    /// [`crate::component::Bolt::execute_batch`] that emits per input
+    /// tuple; the runtime anchors `execute` calls automatically.
+    pub fn anchor_to(&mut self, tuple: &Tuple) {
+        self.current_anchors = Arc::clone(&tuple.anchors);
     }
 
-    /// Called by the runtime after `execute` returns `Ok`: folds the input
-    /// edges and flushes the per-root XOR deltas to the acker.
+    /// Called by the runtime when the current tuple completes: appends its
+    /// input edges and its emitted edges to the run accumulator. Deltas are
+    /// not folded per root here — a linear scan per tuple is quadratic in
+    /// the run length — but sorted and coalesced once in `flush_run`.
     pub(crate) fn complete_ok(&mut self) {
-        let anchors = Arc::clone(&self.current_anchors);
-        for &(root, edge) in anchors.iter() {
-            self.xor(root, edge);
-        }
-        for (root, xor) in self.pending.drain(..) {
-            let _ = self.core.acker.send(AckerMsg::Xor { root, xor });
-        }
+        let BoltCollector {
+            current_anchors,
+            tuple_pending,
+            run_pending,
+            ..
+        } = self;
+        run_pending.extend(current_anchors.iter().copied());
+        run_pending.append(tuple_pending);
     }
 
-    /// Called by the runtime after `execute` returns `Err`: fails every root
-    /// this input belongs to.
+    /// Called by the runtime when the current tuple fails: fails every
+    /// root this input belongs to. Its emitted edges are discarded (any
+    /// already-buffered children deliver as orphans, as unbatched).
     pub(crate) fn complete_err(&mut self) {
-        self.pending.clear();
+        self.tuple_pending.clear();
         for &(root, _) in self.current_anchors.iter() {
             let _ = self.core.acker.send(AckerMsg::Fail { root });
+        }
+    }
+
+    /// Called by the runtime when a whole `execute_batch` run fails:
+    /// fails each distinct root across the run. Roots are deduplicated —
+    /// double-failing one root would re-create a vacant acker entry that
+    /// lingers (gauged as pending) until the timeout sweep.
+    pub(crate) fn fail_run(&mut self, tuples: &[Tuple]) {
+        self.tuple_pending.clear();
+        let mut roots: Vec<u64> = tuples
+            .iter()
+            .flat_map(|t| t.anchors.iter().map(|&(root, _)| root))
+            .collect();
+        roots.sort_unstable();
+        roots.dedup();
+        for root in roots {
+            let _ = self.core.acker.send(AckerMsg::Fail { root });
+        }
+    }
+
+    /// Ends an execute run: flushes buffered emits downstream, folds the
+    /// run's XOR deltas per root (one sort + merge of adjacent entries —
+    /// XOR is order-independent, so reordering is free) and ships them to
+    /// the acker as a single message.
+    pub(crate) fn flush_run(&mut self) {
+        self.core.flush();
+        if self.run_pending.len() == 1 {
+            // Singleton runs (batch size 1, idle trickle) skip the Vec.
+            let (root, xor) = self.run_pending.pop().expect("len checked");
+            let _ = self.core.acker.send(AckerMsg::Xor { root, xor });
+        } else if !self.run_pending.is_empty() {
+            self.run_pending.sort_unstable_by_key(|&(root, _)| root);
+            self.run_pending.dedup_by(|a, b| {
+                if a.0 == b.0 {
+                    b.1 ^= a.1;
+                    true
+                } else {
+                    false
+                }
+            });
+            let batch = std::mem::take(&mut self.run_pending);
+            let _ = self.core.acker.send(AckerMsg::XorBatch(batch));
         }
     }
 }

@@ -73,6 +73,37 @@ pub trait Bolt: Send {
     /// Processes one input tuple.
     fn execute(&mut self, tuple: &Tuple, collector: &mut BoltCollector) -> Result<(), String>;
 
+    /// Whether the runtime should hand this bolt whole runs of tuples via
+    /// [`Bolt::execute_batch`]. The default (`false`) keeps per-tuple
+    /// `execute` calls with per-tuple ack/fail. Opt in when the bolt can
+    /// merge same-key work across a batch (e.g. summing counter deltas
+    /// before touching the store); completion then becomes all-or-nothing
+    /// per run, which is safe under at-least-once replay and exact under
+    /// the per-(source, key) dedup layer.
+    fn supports_batch(&self) -> bool {
+        false
+    }
+
+    /// Processes a run of input tuples in one call (only invoked when
+    /// [`Bolt::supports_batch`] returns `true`). `Ok` acks every tuple in
+    /// the run; `Err` (or a panic) fails the whole run and each tuple
+    /// replays. Implementations that emit should call
+    /// [`BoltCollector::anchor_to`] with the relevant input before each
+    /// emit so the tuple tree stays connected; the runtime pre-anchors the
+    /// collector to the union of the run's anchors as a conservative
+    /// default.
+    fn execute_batch(
+        &mut self,
+        tuples: &[Tuple],
+        collector: &mut BoltCollector,
+    ) -> Result<(), String> {
+        for t in tuples {
+            collector.anchor_to(t);
+            self.execute(t, collector)?;
+        }
+        Ok(())
+    }
+
     /// Called at the configured tick interval (see
     /// [`crate::topology::BoltDeclarer::tick_interval`]); used by windowed
     /// state and combiners to flush on time rather than on data.
@@ -114,6 +145,16 @@ impl Bolt for Box<dyn Bolt> {
     }
     fn execute(&mut self, tuple: &Tuple, collector: &mut BoltCollector) -> Result<(), String> {
         (**self).execute(tuple, collector)
+    }
+    fn supports_batch(&self) -> bool {
+        (**self).supports_batch()
+    }
+    fn execute_batch(
+        &mut self,
+        tuples: &[Tuple],
+        collector: &mut BoltCollector,
+    ) -> Result<(), String> {
+        (**self).execute_batch(tuples, collector)
     }
     fn tick(&mut self, collector: &mut BoltCollector) {
         (**self).tick(collector)

@@ -153,13 +153,42 @@ fn split_fields(text: &str) -> Vec<String> {
         .collect()
 }
 
+/// Runtime knobs configurable as optional attributes on `<topology>`:
+/// `queue_capacity`, `batch_size` and `flush_interval_ms` (the batch
+/// transport knobs), plus `message_timeout_ms`.
+fn config_from_attrs(doc: &XmlNode) -> Result<crate::topology::TopologyConfig, ConfigError> {
+    let mut config = crate::topology::TopologyConfig::default();
+    let parse_u64 = |name: &str| -> Result<Option<u64>, ConfigError> {
+        match doc.attr(name) {
+            None => Ok(None),
+            Some(v) => v.parse().map(Some).map_err(|_| ConfigError::BadNumber {
+                element: format!("topology attribute `{name}`"),
+                value: v.to_string(),
+            }),
+        }
+    };
+    if let Some(v) = parse_u64("queue_capacity")? {
+        config.queue_capacity = (v as usize).max(1);
+    }
+    if let Some(v) = parse_u64("batch_size")? {
+        config.batch_size = (v as usize).max(1);
+    }
+    if let Some(v) = parse_u64("flush_interval_ms")? {
+        config.flush_interval = Duration::from_millis(v);
+    }
+    if let Some(v) = parse_u64("message_timeout_ms")? {
+        config.message_timeout = Duration::from_millis(v);
+    }
+    Ok(config)
+}
+
 /// Builds a [`Topology`] from an XML document and a registry.
 pub fn topology_from_xml(
     input: &str,
     registry: &ComponentRegistry,
 ) -> Result<Topology, ConfigError> {
     let doc = xml::parse(input)?;
-    let mut builder = TopologyBuilder::new();
+    let mut builder = TopologyBuilder::new().with_config(config_from_attrs(&doc)?);
     let mut previous: Option<String> = None;
 
     // Spouts: direct <spout> children of <topology>.

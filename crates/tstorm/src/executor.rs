@@ -3,21 +3,35 @@
 //! Each task (one unit of a component's parallelism) is a thread with a
 //! bounded input queue. Producers block when a consumer queue is full, which
 //! gives end-to-end backpressure. One extra thread runs the XOR acker.
+//!
+//! Transport is batched end to end: bolt queues are batch channels drained
+//! up to `batch_size` messages per lock, consecutive tuples execute as one
+//! *run* (a single `execute_batch` call for bolts that opt in, a per-tuple
+//! `execute` loop otherwise), emits coalesce in the collector's scatter
+//! buffers, and each run ships one pre-folded `XorBatch` to the acker.
 
 use crate::ack::{run_acker, AckerMsg, SpoutMsg};
+use crate::channel::{batch_channel, BatchReceiver, BatchSender, RecvBatch};
 use crate::collector::{
     BoltCollector, BoltMsg, ConsumerEdge, EmitterCore, OutputMap, SpoutCollector, StreamOutputs,
 };
-use crate::component::TaskContext;
+use crate::component::{Bolt, Spout, TaskContext};
 use crate::grouping::RoutingRule;
-use crate::metrics::{MetricsRegistry, MetricsSnapshot};
-use crate::topology::Topology;
-use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use crate::metrics::{ComponentMetrics, MetricsRegistry, MetricsSnapshot};
+use crate::topology::{BoltFactory, Topology};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Floor of the spout idle backoff: the first wait after going idle.
+const IDLE_BACKOFF_MIN: Duration = Duration::from_millis(1);
+/// Ceiling of the spout idle backoff. Control messages (acks, fails,
+/// shutdown) wake the spout immediately regardless; this only bounds how
+/// stale a *data* arrival can find the poll loop.
+const IDLE_BACKOFF_MAX: Duration = Duration::from_millis(20);
 
 impl Topology {
     /// Starts every task thread and the acker; returns a handle for
@@ -27,6 +41,8 @@ impl Topology {
         let inflight = Arc::new(AtomicI64::new(0));
         let acker_pending = Arc::new(AtomicI64::new(0));
         let emitted_roots = Arc::new(AtomicU64::new(0));
+        let batch_size = self.config.batch_size.max(1);
+        let flush_interval = self.config.flush_interval;
         let total_spout_tasks: usize = self.spouts.iter().map(|s| s.parallelism).sum();
         // One flag per spout task: true once its most recent poll found
         // nothing to emit (or it was deactivated). `wait_idle` requires all
@@ -39,11 +55,11 @@ impl Topology {
         );
 
         // Input queues for every bolt task.
-        let mut bolt_txs: HashMap<&str, Vec<Sender<BoltMsg>>> = HashMap::new();
-        let mut bolt_rxs: HashMap<&str, Vec<Receiver<BoltMsg>>> = HashMap::new();
+        let mut bolt_txs: HashMap<&str, Vec<BatchSender<BoltMsg>>> = HashMap::new();
+        let mut bolt_rxs: HashMap<&str, Vec<BatchReceiver<BoltMsg>>> = HashMap::new();
         for b in &self.bolts {
             let (txs, rxs): (Vec<_>, Vec<_>) = (0..b.parallelism)
-                .map(|_| bounded(self.config.queue_capacity))
+                .map(|_| batch_channel(self.config.queue_capacity))
                 .unzip();
             bolt_txs.insert(&b.name, txs);
             bolt_rxs.insert(&b.name, rxs);
@@ -138,9 +154,11 @@ impl Topology {
                         Arc::clone(&inflight),
                         Arc::clone(&comp_metrics),
                         self.config.fault_plan.clone(),
+                        batch_size,
                     ),
                     current_anchors: Arc::from(Vec::new()),
-                    pending: Vec::new(),
+                    tuple_pending: Vec::new(),
+                    run_pending: Vec::new(),
                 };
                 let tick = b.tick;
                 let fault_plan = self.config.fault_plan.clone();
@@ -153,82 +171,71 @@ impl Topology {
                         .spawn(move || {
                             bolt.prepare(&ctx);
                             let mut next_tick = tick.map(|d| Instant::now() + d);
-                            loop {
-                                let msg = match next_tick {
-                                    Some(deadline) => {
-                                        match rx.recv_timeout(
-                                            deadline.saturating_duration_since(Instant::now()),
-                                        ) {
-                                            Ok(m) => m,
-                                            Err(RecvTimeoutError::Timeout) => {
-                                                collector.current_anchors = Arc::from(Vec::new());
-                                                bolt.tick(&mut collector);
-                                                next_tick = Some(
-                                                    Instant::now()
-                                                        + tick.expect("tick interval set"),
-                                                );
-                                                continue;
-                                            }
-                                            Err(RecvTimeoutError::Disconnected) => break,
+                            let mut inbox: Vec<BoltMsg> = Vec::with_capacity(batch_size);
+                            let mut run: Vec<Tuple> = Vec::with_capacity(batch_size);
+                            'main: loop {
+                                match rx.recv_batch(&mut inbox, batch_size, next_tick) {
+                                    RecvBatch::Msgs(n) => debug_assert_eq!(n, inbox.len()),
+                                    RecvBatch::TimedOut => {
+                                        do_tick(&mut bolt, &mut collector);
+                                        next_tick =
+                                            Some(Instant::now() + tick.expect("tick interval set"));
+                                        continue;
+                                    }
+                                    RecvBatch::Disconnected => break,
+                                }
+                                for msg in inbox.drain(..) {
+                                    match msg {
+                                        BoltMsg::Tuple(t) => run.push(t),
+                                        BoltMsg::Tick => {
+                                            // Flush the pending run first so
+                                            // the tick observes every tuple
+                                            // queued before it.
+                                            execute_run(
+                                                &mut run,
+                                                &mut bolt,
+                                                &mut collector,
+                                                &metrics,
+                                                &inflight,
+                                                &fault_plan,
+                                                &factory,
+                                                &ctx,
+                                            );
+                                            do_tick(&mut bolt, &mut collector);
+                                        }
+                                        BoltMsg::Shutdown => {
+                                            execute_run(
+                                                &mut run,
+                                                &mut bolt,
+                                                &mut collector,
+                                                &metrics,
+                                                &inflight,
+                                                &fault_plan,
+                                                &factory,
+                                                &ctx,
+                                            );
+                                            bolt.cleanup();
+                                            break 'main;
                                         }
                                     }
-                                    None => match rx.recv() {
-                                        Ok(m) => m,
-                                        Err(_) => break,
-                                    },
-                                };
-                                match msg {
-                                    BoltMsg::Tuple(t) => {
-                                        collector.current_anchors = Arc::clone(&t.anchors);
-                                        let start = Instant::now();
-                                        // Storm's supervisor restarts crashed
-                                        // workers; here a panicking execute
-                                        // fails the tuple tree (the spout
-                                        // will replay it) and the bolt is
-                                        // rebuilt from its factory — safe
-                                        // because bolts keep durable state in
-                                        // TDStore, not in themselves.
-                                        let result = std::panic::catch_unwind(
-                                            std::panic::AssertUnwindSafe(|| {
-                                                // Injected before execute so
-                                                // a faulted tuple has had no
-                                                // effect on durable state:
-                                                // the replay re-runs it from
-                                                // scratch, never half-way.
-                                                if fault_plan
-                                                    .should_fault(tchaos::FaultSite::ExecutorPanic)
-                                                {
-                                                    panic!("tchaos: injected executor panic");
-                                                }
-                                                bolt.execute(&t, &mut collector)
-                                            }),
-                                        );
-                                        let nanos = start.elapsed().as_nanos() as u64;
-                                        match result {
-                                            Ok(Ok(())) => {
-                                                collector.complete_ok();
-                                                metrics.record_exec(nanos, true);
-                                            }
-                                            Ok(Err(_reason)) => {
-                                                collector.complete_err();
-                                                metrics.record_exec(nanos, false);
-                                            }
-                                            Err(_panic) => {
-                                                collector.complete_err();
-                                                metrics.record_exec(nanos, false);
-                                                bolt = factory();
-                                                bolt.prepare(&ctx);
-                                            }
-                                        }
-                                        inflight.fetch_sub(1, Ordering::Relaxed);
-                                    }
-                                    BoltMsg::Tick => {
-                                        collector.current_anchors = Arc::from(Vec::new());
-                                        bolt.tick(&mut collector);
-                                    }
-                                    BoltMsg::Shutdown => {
-                                        bolt.cleanup();
-                                        break;
+                                }
+                                execute_run(
+                                    &mut run,
+                                    &mut bolt,
+                                    &mut collector,
+                                    &metrics,
+                                    &inflight,
+                                    &fault_plan,
+                                    &factory,
+                                    &ctx,
+                                );
+                                if let Some(deadline) = next_tick {
+                                    // A long run can overshoot the tick
+                                    // deadline; catch up before blocking.
+                                    if Instant::now() >= deadline {
+                                        do_tick(&mut bolt, &mut collector);
+                                        next_tick =
+                                            Some(Instant::now() + tick.expect("tick interval set"));
                                     }
                                 }
                             }
@@ -260,9 +267,11 @@ impl Topology {
                         Arc::clone(&inflight),
                         Arc::clone(&comp_metrics),
                         self.config.fault_plan.clone(),
+                        batch_size,
                     ),
                     slot,
                     emitted_roots: Arc::clone(&emitted_roots),
+                    pending_inits: Vec::new(),
                 };
                 let metrics = Arc::clone(&comp_metrics);
                 let name = s.name.clone();
@@ -274,24 +283,15 @@ impl Topology {
                         .spawn(move || {
                             spout.open(&ctx);
                             let mut active = true;
+                            let mut idle_wait = IDLE_BACKOFF_MIN;
+                            let mut last_flush = Instant::now();
                             loop {
                                 // Drain control messages without blocking.
-                                loop {
-                                    match rx.try_recv() {
-                                        Ok(SpoutMsg::Ack(id)) => {
-                                            metrics.acked.fetch_add(1, Ordering::Relaxed);
-                                            spout.ack(id);
-                                        }
-                                        Ok(SpoutMsg::Fail(id)) => {
-                                            metrics.failed.fetch_add(1, Ordering::Relaxed);
-                                            spout.fail(id);
-                                        }
-                                        Ok(SpoutMsg::Deactivate) => active = false,
-                                        Ok(SpoutMsg::Shutdown) => {
-                                            spout.close();
-                                            return;
-                                        }
-                                        Err(_) => break,
+                                while let Ok(msg) = rx.try_recv() {
+                                    if let Ctl::Shutdown =
+                                        handle_ctl(msg, &mut spout, &metrics, &mut active)
+                                    {
+                                        return;
                                     }
                                 }
                                 let emitted = if active {
@@ -305,25 +305,36 @@ impl Topology {
                                 } else {
                                     false
                                 };
+                                // Emit buffers flush on the interval while
+                                // producing, and always before going idle —
+                                // batching may not strand tuples locally.
+                                if !emitted || last_flush.elapsed() >= flush_interval {
+                                    collector.flush();
+                                    last_flush = Instant::now();
+                                }
                                 idle_flags[my_slot].store(!emitted, Ordering::Release);
-                                if !emitted {
-                                    // Idle or deactivated: block briefly on
-                                    // control traffic instead of spinning.
-                                    match rx.recv_timeout(Duration::from_millis(1)) {
-                                        Ok(SpoutMsg::Ack(id)) => {
-                                            metrics.acked.fetch_add(1, Ordering::Relaxed);
-                                            spout.ack(id);
+                                if emitted {
+                                    idle_wait = IDLE_BACKOFF_MIN;
+                                } else {
+                                    // Idle or deactivated: block on control
+                                    // traffic with exponential backoff. Acks,
+                                    // fails and shutdown land on this channel,
+                                    // so they interrupt the wait immediately;
+                                    // only a silent source pays the full
+                                    // backoff before its next poll.
+                                    match rx.recv_timeout(idle_wait) {
+                                        Ok(msg) => {
+                                            idle_wait = IDLE_BACKOFF_MIN;
+                                            if let Ctl::Shutdown =
+                                                handle_ctl(msg, &mut spout, &metrics, &mut active)
+                                            {
+                                                return;
+                                            }
                                         }
-                                        Ok(SpoutMsg::Fail(id)) => {
-                                            metrics.failed.fetch_add(1, Ordering::Relaxed);
-                                            spout.fail(id);
+                                        Err(RecvTimeoutError::Timeout) => {
+                                            idle_wait = (idle_wait * 2).min(IDLE_BACKOFF_MAX);
                                         }
-                                        Ok(SpoutMsg::Deactivate) => active = false,
-                                        Ok(SpoutMsg::Shutdown) => {
-                                            spout.close();
-                                            return;
-                                        }
-                                        Err(_) => {}
+                                        Err(RecvTimeoutError::Disconnected) => {}
                                     }
                                 }
                             }
@@ -353,6 +364,141 @@ impl Topology {
     }
 }
 
+use crate::tuple::Tuple;
+
+enum Ctl {
+    Continue,
+    Shutdown,
+}
+
+fn handle_ctl(
+    msg: SpoutMsg,
+    spout: &mut Box<dyn Spout>,
+    metrics: &ComponentMetrics,
+    active: &mut bool,
+) -> Ctl {
+    match msg {
+        SpoutMsg::Ack(id) => {
+            metrics.acked.fetch_add(1, Ordering::Relaxed);
+            spout.ack(id);
+        }
+        SpoutMsg::AckBatch(ids) => {
+            metrics.acked.fetch_add(ids.len() as u64, Ordering::Relaxed);
+            for id in ids {
+                spout.ack(id);
+            }
+        }
+        SpoutMsg::Fail(id) => {
+            metrics.failed.fetch_add(1, Ordering::Relaxed);
+            spout.fail(id);
+        }
+        SpoutMsg::Deactivate => *active = false,
+        SpoutMsg::Shutdown => {
+            spout.close();
+            return Ctl::Shutdown;
+        }
+    }
+    Ctl::Continue
+}
+
+fn do_tick(bolt: &mut Box<dyn Bolt>, collector: &mut BoltCollector) {
+    collector.current_anchors = Arc::from(Vec::new());
+    bolt.tick(collector);
+    collector.flush_run();
+}
+
+/// Executes one run of consecutive tuples and completes it: per-tuple
+/// `execute` with per-tuple ack/fail by default, or a single
+/// `execute_batch` with all-or-nothing completion for bolts that opt in.
+/// Either way the run ends with one emit flush and one `XorBatch`.
+///
+/// Storm's supervisor restarts crashed workers; here a panicking execute
+/// fails the affected tuple tree(s) (the spout will replay them) and the
+/// bolt is rebuilt from its factory — safe because bolts keep durable
+/// state in TDStore, not in themselves.
+#[allow(clippy::too_many_arguments)]
+fn execute_run(
+    run: &mut Vec<Tuple>,
+    bolt: &mut Box<dyn Bolt>,
+    collector: &mut BoltCollector,
+    metrics: &ComponentMetrics,
+    inflight: &AtomicI64,
+    fault_plan: &tchaos::FaultPlan,
+    factory: &BoltFactory,
+    ctx: &TaskContext,
+) {
+    if run.is_empty() {
+        return;
+    }
+    let n = run.len();
+    if bolt.supports_batch() {
+        // Conservative pre-anchor: emits from a batch override that does
+        // not call `anchor_to` attach to every root in the run.
+        let union: Vec<(u64, u64)> = run.iter().flat_map(|t| t.anchors.iter().copied()).collect();
+        collector.current_anchors = Arc::from(union);
+        let start = Instant::now();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // Injected before execute so a faulted run has had no effect
+            // on durable state: the replay re-runs it from scratch.
+            if fault_plan.should_fault(tchaos::FaultSite::ExecutorPanic) {
+                panic!("tchaos: injected executor panic");
+            }
+            bolt.execute_batch(run, collector)
+        }));
+        let nanos = start.elapsed().as_nanos() as u64;
+        match result {
+            Ok(Ok(())) => {
+                for t in run.iter() {
+                    collector.current_anchors = Arc::clone(&t.anchors);
+                    collector.complete_ok();
+                }
+                metrics.record_exec_batch(nanos, n as u64, true);
+            }
+            Ok(Err(_reason)) => {
+                collector.fail_run(run);
+                metrics.record_exec_batch(nanos, n as u64, false);
+            }
+            Err(_panic) => {
+                collector.fail_run(run);
+                metrics.record_exec_batch(nanos, n as u64, false);
+                *bolt = factory();
+                bolt.prepare(ctx);
+            }
+        }
+    } else {
+        for t in run.iter() {
+            collector.current_anchors = Arc::clone(&t.anchors);
+            let start = Instant::now();
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if fault_plan.should_fault(tchaos::FaultSite::ExecutorPanic) {
+                    panic!("tchaos: injected executor panic");
+                }
+                bolt.execute(t, collector)
+            }));
+            let nanos = start.elapsed().as_nanos() as u64;
+            match result {
+                Ok(Ok(())) => {
+                    collector.complete_ok();
+                    metrics.record_exec(nanos, true);
+                }
+                Ok(Err(_reason)) => {
+                    collector.complete_err();
+                    metrics.record_exec(nanos, false);
+                }
+                Err(_panic) => {
+                    collector.complete_err();
+                    metrics.record_exec(nanos, false);
+                    *bolt = factory();
+                    bolt.prepare(ctx);
+                }
+            }
+        }
+    }
+    collector.flush_run();
+    inflight.fetch_sub(n as i64, Ordering::Relaxed);
+    run.clear();
+}
+
 /// Handle to a running topology.
 pub struct TopologyHandle {
     metrics: MetricsRegistry,
@@ -361,7 +507,7 @@ pub struct TopologyHandle {
     emitted_roots: Arc<AtomicU64>,
     spout_idle: Arc<Vec<std::sync::atomic::AtomicBool>>,
     spout_ctl_txs: Vec<Sender<SpoutMsg>>,
-    bolt_txs: HashMap<String, Vec<Sender<BoltMsg>>>,
+    bolt_txs: HashMap<String, Vec<BatchSender<BoltMsg>>>,
     acker_tx: Sender<AckerMsg>,
     threads: Vec<JoinHandle<()>>,
     spout_threads: Vec<JoinHandle<()>>,
@@ -379,7 +525,7 @@ impl TopologyHandle {
         self.metrics.component(component)
     }
 
-    /// Number of tuples currently queued or executing.
+    /// Number of tuples currently queued, buffered or executing.
     pub fn inflight(&self) -> i64 {
         self.inflight.load(Ordering::Relaxed)
     }

@@ -107,6 +107,27 @@ impl RoutingRule {
             Grouping::Global => Route::One(0),
         }
     }
+
+    /// Batch-aware routing: identical to [`RoutingRule::route`] except that
+    /// shuffle holds one round-robin pick (`sticky`) for a whole batch
+    /// epoch, so consecutive tuples fill one downstream buffer instead of
+    /// spraying singleton batches over every task. The emitter resets
+    /// `sticky` whenever it flushes, advancing the round-robin by whole
+    /// batches. Keyed, broadcast and global groupings are unaffected —
+    /// per-key placement never depends on batching.
+    pub(crate) fn route_buffered(
+        &self,
+        values: &[Value],
+        n_tasks: usize,
+        sticky: &mut Option<usize>,
+    ) -> Route {
+        match &self.grouping {
+            Grouping::Shuffle => Route::One(
+                *sticky.get_or_insert_with(|| self.rr.fetch_add(1, Ordering::Relaxed) % n_tasks),
+            ),
+            _ => self.route(values, n_tasks),
+        }
+    }
 }
 
 #[derive(Debug, PartialEq, Eq)]
@@ -140,6 +161,34 @@ mod tests {
             })
             .collect();
         assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn buffered_shuffle_round_robins_whole_batches() {
+        let r = rule(Grouping::Shuffle);
+        let t = make_tuple(1, 2);
+        let mut sticky = None;
+        let mut picks = Vec::new();
+        for epoch in 0..3 {
+            for _ in 0..4 {
+                match r.route_buffered(&t, 3, &mut sticky) {
+                    Route::One(i) => picks.push(i),
+                    Route::All => panic!(),
+                }
+            }
+            sticky = None; // what the emitter does on flush
+            let _ = epoch;
+        }
+        assert_eq!(picks, vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn buffered_fields_grouping_ignores_sticky() {
+        let r = rule(Grouping::fields(["user"]));
+        let mut sticky = Some(3); // a stale shuffle pick must never leak
+        let direct = r.route(&make_tuple(7, 1), 4);
+        let buffered = r.route_buffered(&make_tuple(7, 1), 4, &mut sticky);
+        assert_eq!(direct, buffered);
     }
 
     #[test]

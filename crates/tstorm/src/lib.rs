@@ -62,6 +62,7 @@
 //! ```
 
 pub mod ack;
+pub(crate) mod channel;
 pub mod cluster;
 pub mod collector;
 pub mod component;

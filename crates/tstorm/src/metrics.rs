@@ -36,6 +36,23 @@ impl ComponentMetrics {
         }
     }
 
+    /// Records one `execute_batch` invocation covering `count` tuples.
+    /// The histogram is fed the per-tuple share of the batch, so its
+    /// percentiles stay comparable with the unbatched path.
+    pub(crate) fn record_exec_batch(&self, total_nanos: u64, count: u64, ok: bool) {
+        if count == 0 {
+            return;
+        }
+        self.executed.fetch_add(count, Ordering::Relaxed);
+        self.exec_nanos.fetch_add(total_nanos, Ordering::Relaxed);
+        self.exec_latency.record_nanos_n(total_nanos / count, count);
+        if ok {
+            self.acked.fetch_add(count, Ordering::Relaxed);
+        } else {
+            self.failed.fetch_add(count, Ordering::Relaxed);
+        }
+    }
+
     /// Point-in-time copy of the counters.
     pub fn snapshot(&self, component: &str) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -200,6 +217,19 @@ impl LatencyHistogram {
         self.counts[bucket_index(nanos)].fetch_add(1, Ordering::Relaxed);
         self.total.fetch_add(1, Ordering::Relaxed);
         self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// Records `n` identical observations with one increment per counter
+    /// (the bulk path for batched executes).
+    pub fn record_nanos_n(&self, nanos: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[bucket_index(nanos)].fetch_add(n, Ordering::Relaxed);
+        self.total.fetch_add(n, Ordering::Relaxed);
+        self.sum_nanos
+            .fetch_add(nanos.saturating_mul(n), Ordering::Relaxed);
         self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
     }
 

@@ -101,6 +101,17 @@ pub struct TopologyConfig {
     /// Clock driving the acker's timeout sweep; a mock clock lets tests
     /// expire tuple trees in logical time.
     pub clock: tchaos::Clock,
+    /// Batch transport knob: the maximum tuples per emit buffer before it
+    /// flushes to the downstream queue, and the maximum run handed to one
+    /// bolt invocation. `1` disables batching (every emit is delivered
+    /// immediately, every tuple executes alone) — the pre-batching
+    /// behaviour.
+    pub batch_size: usize,
+    /// Upper bound on how long a spout-side emit buffer may age before it
+    /// is flushed even when below `batch_size`. Bolt-side buffers flush at
+    /// the end of every execute run and on ticks, so this interval is the
+    /// extra latency batching can add to a trickle of tuples.
+    pub flush_interval: Duration,
 }
 
 impl Default for TopologyConfig {
@@ -110,6 +121,8 @@ impl Default for TopologyConfig {
             message_timeout: Duration::from_secs(30),
             fault_plan: tchaos::FaultPlan::none(),
             clock: tchaos::Clock::system(),
+            batch_size: 64,
+            flush_interval: Duration::from_millis(1),
         }
     }
 }

@@ -1,0 +1,43 @@
+//! Temporary probe: measures process CPU while a topology sits idle.
+//! Run with: cargo test -p tstorm --release --test idle_cpu_probe -- --nocapture --ignored
+
+use std::time::Duration;
+use tstorm::prelude::*;
+
+struct IdleSpout;
+impl Spout for IdleSpout {
+    fn next_tuple(&mut self, _c: &mut SpoutCollector) -> bool {
+        false
+    }
+    fn declare_outputs(&self) -> Vec<StreamDef> {
+        vec![StreamDef::new(DEFAULT_STREAM, ["v"])]
+    }
+}
+
+fn cpu_jiffies() -> u64 {
+    let stat = std::fs::read_to_string("/proc/self/stat").unwrap();
+    // utime is field 14, stime field 15 (1-indexed); fields after comm (in parens).
+    let after = stat.rsplit(')').next().unwrap();
+    let f: Vec<&str> = after.split_whitespace().collect();
+    f[11].parse::<u64>().unwrap() + f[12].parse::<u64>().unwrap()
+}
+
+#[test]
+#[ignore]
+fn idle_cpu() {
+    let mut b = TopologyBuilder::new();
+    b.set_spout("s", || IdleSpout, 4);
+    b.set_bolt("b", || |_t: &Tuple, _c: &mut BoltCollector| Ok(()), 4)
+        .shuffle_grouping("s");
+    let handle = b.build().unwrap().launch();
+    std::thread::sleep(Duration::from_millis(300)); // settle
+    let t0 = std::time::Instant::now();
+    let j0 = cpu_jiffies();
+    std::thread::sleep(Duration::from_secs(4));
+    let j1 = cpu_jiffies();
+    let wall = t0.elapsed().as_secs_f64();
+    let hz = 100.0; // USER_HZ
+    let cpu_pct = (j1 - j0) as f64 / hz / wall * 100.0;
+    println!("IDLE_CPU_PCT {cpu_pct:.2}");
+    handle.shutdown(Duration::from_secs(2));
+}

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Performance sweep: the three load-bearing benches plus the batch-transport
+# report that feeds BENCH_topology.json (and the CI regression gate).
+#
+# Usage:
+#   scripts/bench.sh            # full-size topology report + criterion runs
+#   scripts/bench.sh --smoke    # small sizes only (what CI runs)
+#
+# BENCH_topology.json is committed as the regression baseline; re-commit it
+# after an intentional perf change (see the gate stage in scripts/ci.sh).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SMOKE=""
+if [[ "${1:-}" == "--smoke" ]]; then
+    SMOKE="--smoke"
+fi
+
+echo "==> topology batch-transport report (writes BENCH_topology.json)"
+cargo run --release -p bench --bin topology_bench -- $SMOKE
+
+echo "==> criterion: topology_throughput"
+cargo bench -p bench --bench topology_throughput
+
+echo "==> criterion: cf_micro"
+cargo bench -p bench --bench cf_micro
+
+echo "==> serving latency percentiles"
+cargo run --release -p bench --bin serving_latency
+
+echo "bench sweep done; report in BENCH_topology.json"

@@ -22,6 +22,18 @@ for seed in "${CHAOS_SEEDS[@]}"; do
     fi
 done
 
+# Throughput gate: a smoke-size batch-transport run must stay within 20%
+# of the committed BENCH_topology.json baseline. After an intentional perf
+# change, re-baseline with: BENCH_REBASELINE=1 scripts/ci.sh (or re-run
+# scripts/bench.sh and commit the refreshed report).
+echo "==> topology throughput gate (smoke)"
+cargo run --release -p bench --bin topology_bench -- --smoke --check
+if [[ "${BENCH_REBASELINE:-0}" != "1" ]]; then
+    # The check pass rewrites the smoke section with this run's (noisy)
+    # numbers; restore the committed baseline unless re-baselining.
+    git checkout -- BENCH_topology.json 2>/dev/null || true
+fi
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets --quiet -- -D warnings
 
