@@ -180,6 +180,11 @@ fn cf_workload(actions: usize) -> Vec<UserAction> {
 struct CfResult {
     tuples_per_sec: f64,
     bolt_latency: Vec<(String, f64, f64)>, // (bolt, p50_us, p99_us)
+    /// Per-bolt p99 of messages drained per receive, read back from the
+    /// observability registry (`tstorm_batch_size`) rather than the
+    /// shutdown metrics — proves the exposition path carries the same
+    /// story the bench tells.
+    batch_p99: Vec<(String, f64)>,
 }
 
 fn run_cf(actions: &[UserAction], batch_size: usize) -> CfResult {
@@ -208,8 +213,9 @@ fn run_cf(actions: &[UserAction], batch_size: usize) -> CfResult {
         "cf pipeline stalled"
     );
     let elapsed = t0.elapsed();
+    let registry = handle.registry();
     let metrics = handle.shutdown(Duration::from_secs(5));
-    let bolt_latency = metrics
+    let bolt_latency: Vec<(String, f64, f64)> = metrics
         .iter()
         .filter(|m| m.executed > 0 && m.component != "spout")
         .map(|m| {
@@ -220,9 +226,20 @@ fn run_cf(actions: &[UserAction], batch_size: usize) -> CfResult {
             )
         })
         .collect();
+    // `tstorm_batch_size` is a dimensionless-values histogram, so the
+    // "nanos" quantile is the raw batch size.
+    let batch_p99 = bolt_latency
+        .iter()
+        .filter_map(|(name, _, _)| {
+            registry
+                .histogram_snapshot("tstorm_batch_size", &[("component", name)])
+                .map(|s| (name.clone(), s.quantile_nanos(0.99) as f64))
+        })
+        .collect();
     CfResult {
         tuples_per_sec: actions.len() as f64 / elapsed.as_secs_f64(),
         bolt_latency,
+        batch_p99,
     }
 }
 
@@ -262,6 +279,11 @@ fn cf_json(actions: usize, b1: &CfResult, b64: &CfResult) -> String {
             format!("        \"{name}\": {{\"p50_us\": {p50:.1}, \"p99_us\": {p99:.1}}}")
         })
         .collect();
+    let batches: Vec<String> = b64
+        .batch_p99
+        .iter()
+        .map(|(name, p99)| format!("        \"{name}\": {p99:.0}"))
+        .collect();
     format!(
         concat!(
             "    \"cf_pipeline\": {{\n",
@@ -269,7 +291,8 @@ fn cf_json(actions: usize, b1: &CfResult, b64: &CfResult) -> String {
             "      \"batch1_tps\": {:.0},\n",
             "      \"batch64_tps\": {:.0},\n",
             "      \"speedup\": {:.2},\n",
-            "      \"bolt_latency_batch64\": {{\n{}\n      }}\n",
+            "      \"bolt_latency_batch64\": {{\n{}\n      }},\n",
+            "      \"obs_batch_size_p99_batch64\": {{\n{}\n      }}\n",
             "    }}"
         ),
         actions,
@@ -277,6 +300,7 @@ fn cf_json(actions: usize, b1: &CfResult, b64: &CfResult) -> String {
         b64.tuples_per_sec,
         b64.tuples_per_sec / b1.tuples_per_sec,
         bolts.join(",\n"),
+        batches.join(",\n"),
     )
 }
 
@@ -359,6 +383,9 @@ fn main() {
         );
         for (name, p50, p99) in &cf64.bolt_latency {
             eprintln!("    {name}: p50 {p50:.1}us p99 {p99:.1}us");
+        }
+        for (name, p99) in &cf64.batch_p99 {
+            eprintln!("    {name}: batch p99 {p99:.0} (obs registry)");
         }
         format!(
             "    \"flush_interval_ms\": 1,\n{},\n{},\n{}",

@@ -9,12 +9,16 @@
 
 use crate::types::FxHashMap;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use tdstore::{StoreError, TdStore};
 
 /// A bounded, LRU-evicting, write-through cache in front of a [`TdStore`]
 /// handle. One instance per worker task; safe because key-grouped routing
 /// makes each key single-writer. Eviction is O(log n) via a recency index.
+///
+/// Absent keys are cached too (`value: None`): a temporal burst of lookups
+/// for a not-yet-written key (a brand-new item's counters) would otherwise
+/// miss straight through to TDStore on every access. Negative entries obey
+/// the same LRU bound and are invalidated by the next `put` of that key.
 pub struct CachedStore {
     store: TdStore,
     capacity: usize,
@@ -23,26 +27,39 @@ pub struct CachedStore {
     recency: BTreeMap<u64, Vec<u8>>,
     /// Monotonic use-counter for LRU.
     tick: u64,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    hits: obs::Counter,
+    misses: obs::Counter,
 }
 
 struct CacheEntry {
-    value: Vec<u8>,
+    /// `None` caches a confirmed absence (negative entry).
+    value: Option<Vec<u8>>,
     last_used: u64,
 }
 
 impl CachedStore {
     /// Cache of at most `capacity` keys in front of `store`.
     pub fn new(store: TdStore, capacity: usize) -> Self {
+        Self::with_counters(store, capacity, obs::Counter::new(), obs::Counter::new())
+    }
+
+    /// Like [`new`](Self::new), but counting hits and misses into the
+    /// given shared handles — so every task of a key-partitioned bolt can
+    /// accumulate into one registry-owned pair of counters.
+    pub fn with_counters(
+        store: TdStore,
+        capacity: usize,
+        hits: obs::Counter,
+        misses: obs::Counter,
+    ) -> Self {
         CachedStore {
             store,
             capacity: capacity.max(1),
             entries: FxHashMap::default(),
             recency: BTreeMap::new(),
             tick: 0,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            hits,
+            misses,
         }
     }
 
@@ -65,29 +82,29 @@ impl CachedStore {
         }
     }
 
-    /// Reads through the cache.
+    /// Reads through the cache. Both present and absent results are cached
+    /// (a negative entry answers repeat lookups of a missing key without
+    /// touching the store).
     pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, StoreError> {
         if let Some(entry) = self.entries.get(key) {
             let old = entry.last_used;
             let value = entry.value.clone();
             let new_tick = self.touch(key, Some(old));
             self.entries.get_mut(key).expect("entry present").last_used = new_tick;
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Some(value));
+            self.hits.inc();
+            return Ok(value);
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
         let value = self.store.get(key)?;
-        if let Some(v) = &value {
-            self.evict_if_full();
-            let tick = self.touch(key, None);
-            self.entries.insert(
-                key.to_vec(),
-                CacheEntry {
-                    value: v.clone(),
-                    last_used: tick,
-                },
-            );
-        }
+        self.evict_if_full();
+        let tick = self.touch(key, None);
+        self.entries.insert(
+            key.to_vec(),
+            CacheEntry {
+                value: value.clone(),
+                last_used: tick,
+            },
+        );
         Ok(value)
     }
 
@@ -102,7 +119,7 @@ impl CachedStore {
         self.entries.insert(
             key.to_vec(),
             CacheEntry {
-                value,
+                value: Some(value),
                 last_used: tick,
             },
         );
@@ -124,12 +141,23 @@ impl CachedStore {
 
     /// Cache hits so far.
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.get()
     }
 
     /// Cache misses (store reads) so far.
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.misses.get()
+    }
+
+    /// Shared handle to the hit counter (for exposition registries; clones
+    /// observe the same underlying count).
+    pub fn hit_counter(&self) -> obs::Counter {
+        self.hits.clone()
+    }
+
+    /// Shared handle to the miss counter.
+    pub fn miss_counter(&self) -> obs::Counter {
+        self.misses.clone()
     }
 
     /// Hit ratio in [0, 1].
@@ -216,11 +244,44 @@ mod tests {
     }
 
     #[test]
-    fn missing_key_not_cached() {
+    fn missing_key_negatively_cached() {
         let mut c = cached(10);
         assert!(c.get(b"ghost").unwrap().is_none());
         assert!(c.get(b"ghost").unwrap().is_none());
-        assert_eq!(c.misses(), 2, "negative results are not cached");
+        assert_eq!(c.misses(), 1, "absence is cached after the first read");
+        assert_eq!(c.hits(), 1);
+    }
+
+    #[test]
+    fn put_invalidates_negative_entry() {
+        let mut c = cached(10);
+        assert!(c.get(b"k").unwrap().is_none()); // negative entry
+        c.put(b"k", vec![9]).unwrap();
+        assert_eq!(c.get(b"k").unwrap(), Some(vec![9]));
+        assert_eq!(c.misses(), 1, "the put replaced the negative entry");
+    }
+
+    #[test]
+    fn negative_entries_respect_capacity() {
+        let mut c = cached(2);
+        for i in 0..100u8 {
+            assert!(c.get(&[i]).unwrap().is_none());
+        }
+        assert_eq!(c.len(), 2, "negative entries obey the LRU bound");
+    }
+
+    #[test]
+    fn miss_storm_on_absent_key_hits_cache() {
+        // A burst of lookups for a key nobody has written yet (e.g. a
+        // brand-new item's counters) used to read through to the store on
+        // every access; only the first may miss now.
+        let mut c = cached(64);
+        for _ in 0..1000 {
+            assert!(c.get(b"new-item").unwrap().is_none());
+        }
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.hits(), 999);
+        assert!(c.hit_ratio() > 0.99);
     }
 
     #[test]

@@ -97,8 +97,23 @@ impl PriceRangeFilter {
 
     /// The range around `price` within relative tolerance `rel` (e.g. 0.3
     /// = ±30%), as used for "goods with similar prices".
+    ///
+    /// A negative `price` flips the naive `(1-rel)·p, (1+rel)·p` bounds, so
+    /// they are ordered here rather than asserted. Non-finite inputs (NaN
+    /// price from a corrupt catalog entry, NaN tolerance) produce a filter
+    /// that accepts nothing — the serving path must degrade to an empty
+    /// list, not panic.
     pub fn around(catalog: ItemCatalog, price: f64, rel: f64) -> Self {
-        Self::new(catalog, price * (1.0 - rel), price * (1.0 + rel))
+        let a = price * (1.0 - rel);
+        let b = price * (1.0 + rel);
+        if !(a.is_finite() && b.is_finite()) {
+            return PriceRangeFilter {
+                catalog,
+                lo: f64::INFINITY,
+                hi: f64::NEG_INFINITY,
+            };
+        }
+        Self::new(catalog, a.min(b), a.max(b))
     }
 }
 
@@ -212,6 +227,39 @@ mod tests {
         assert!(around.accept(1)); // 10 in [7,13]
         assert!(around.accept(3)); // 12 in [7,13]
         assert!(!around.accept(2));
+    }
+
+    #[test]
+    fn around_negative_price_orders_bounds() {
+        // A negative price used to produce lo > hi and trip the
+        // `lo <= hi` assertion inside the serving path.
+        let c = catalog();
+        c.upsert(
+            4,
+            ItemMeta {
+                category: 0,
+                price: -10.0,
+                tags: vec![],
+            },
+        );
+        let f = PriceRangeFilter::around(c, -10.0, 0.3); // [-13, -7]
+        assert!(f.accept(4));
+        assert!(!f.accept(1), "positive-priced item outside the range");
+    }
+
+    #[test]
+    fn around_non_finite_inputs_reject_everything() {
+        for (price, rel) in [
+            (f64::NAN, 0.3),
+            (10.0, f64::NAN),
+            (f64::INFINITY, 0.3),
+            (10.0, f64::INFINITY),
+        ] {
+            let f = PriceRangeFilter::around(catalog(), price, rel);
+            for item in [1u64, 2, 3] {
+                assert!(!f.accept(item), "price={price} rel={rel} item={item}");
+            }
+        }
     }
 
     #[test]

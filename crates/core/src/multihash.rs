@@ -37,6 +37,7 @@ pub struct GroupDelta<G> {
 pub struct GroupWorker<G: Eq + Hash + Clone> {
     counts: FxHashMap<(G, u64), f64>,
     writes: u64,
+    conflicts: u64,
 }
 
 impl<G: Eq + Hash + Clone> Default for GroupWorker<G> {
@@ -44,6 +45,7 @@ impl<G: Eq + Hash + Clone> Default for GroupWorker<G> {
         GroupWorker {
             counts: FxHashMap::default(),
             writes: 0,
+            conflicts: 0,
         }
     }
 }
@@ -58,6 +60,25 @@ impl<G: Eq + Hash + Clone> GroupWorker<G> {
             .or_insert(0.0) += delta.delta;
     }
 
+    /// Applies one delta while checking the single-writer invariant: a
+    /// delta whose group does not hash to `my_task` is a write this worker
+    /// shares with the group's true owner — exactly the conflict the
+    /// second hash stage exists to prevent. The delta is still applied
+    /// (dropping data would hide the bug) but counted in [`conflicts`].
+    ///
+    /// [`conflicts`]: GroupWorker::conflicts
+    pub fn apply_routed(
+        &mut self,
+        router: &MultiHashRouter,
+        my_task: usize,
+        delta: &GroupDelta<G>,
+    ) {
+        if router.route_group(&delta.group) != my_task {
+            self.conflicts += 1;
+        }
+        self.apply(delta);
+    }
+
     /// Count for `(group, item)`.
     pub fn count(&self, group: &G, item: u64) -> f64 {
         self.counts
@@ -69,6 +90,12 @@ impl<G: Eq + Hash + Clone> GroupWorker<G> {
     /// Number of writes this worker performed.
     pub fn writes(&self) -> u64 {
         self.writes
+    }
+
+    /// Writes that violated the single-writer property (group hashed to a
+    /// different task). Zero whenever routing is correct.
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts
     }
 }
 
@@ -129,7 +156,7 @@ pub fn run_two_stage<G: Eq + Hash + Clone>(
     for bucket in stage1 {
         for delta in bucket {
             let task = router.route_group(&delta.group);
-            workers[task].apply(&delta);
+            workers[task].apply_routed(router, task, &delta);
         }
     }
     workers
@@ -176,6 +203,36 @@ mod tests {
             .map(|g| workers[r.route_group(&g)].count(&g, 7))
             .sum();
         assert_eq!(total, 600.0);
+    }
+
+    #[test]
+    fn correct_routing_counts_no_conflicts() {
+        let r = MultiHashRouter::new(8, 4);
+        let tuples: Vec<(u64, u32, u64, f64)> = (0..500u64)
+            .map(|u| (u, (u % 10) as u32, u % 50, 1.0))
+            .collect();
+        for w in run_two_stage(&r, &tuples) {
+            assert_eq!(w.conflicts(), 0);
+        }
+    }
+
+    #[test]
+    fn misrouted_delta_counts_as_conflict() {
+        let r = MultiHashRouter::new(2, 4);
+        let group = 3u32;
+        let owner = r.route_group(&group);
+        let wrong = (owner + 1) % 4;
+        let mut w = GroupWorker::default();
+        let d = GroupDelta {
+            group,
+            item: 7,
+            delta: 1.0,
+        };
+        w.apply_routed(&r, wrong, &d);
+        assert_eq!(w.conflicts(), 1);
+        assert_eq!(w.count(&group, 7), 1.0, "the delta is still applied");
+        w.apply_routed(&r, owner, &d);
+        assert_eq!(w.conflicts(), 1, "correctly routed write adds none");
     }
 
     #[test]

@@ -66,6 +66,16 @@ pub struct CfPipelineConfig {
     /// combiner merges deltas from many sources into one write, which
     /// cannot be checked per-source.
     pub dedup_window: usize,
+    /// Cap on live Hoeffding-pruning observation counts per pair-bolt
+    /// task (see [`PruneState::with_cap`]).
+    pub pruning_max_tracked: usize,
+    /// Metric registry the pipeline's bolts register into (cache hit
+    /// ratio, combiner reduction, pruning state). [`build_cf_topology`]
+    /// shares this registry with the tstorm runtime, so one exposition
+    /// covers framework and application metrics.
+    ///
+    /// [`build_cf_topology`]: crate::topology::build_cf_topology
+    pub registry: obs::Registry,
 }
 
 impl Default for CfPipelineConfig {
@@ -81,6 +91,8 @@ impl Default for CfPipelineConfig {
             cache_capacity: 0,
             combiner_keys: 0,
             dedup_window: 0,
+            pruning_max_tracked: crate::cf::pruning::DEFAULT_MAX_TRACKED,
+            registry: obs::Registry::new(),
         }
     }
 }
@@ -327,10 +339,73 @@ impl ItemCountBolt {
         // source ring in the store; batching layers that merge or defer
         // writes would blind that check, so they are disabled.
         let dedup = config.dedup_window > 0;
-        let cache = (config.cache_capacity > 0 && !dedup)
-            .then(|| crate::cache::CachedStore::new(store.clone(), config.cache_capacity));
+        // Counters come from the shared registry keyed by component, so
+        // every task of this bolt accumulates into the same series and the
+        // ratio gauges see the whole component, not one task.
+        let labels: &[(&str, &str)] = &[("component", "item_count")];
+        let cache = (config.cache_capacity > 0 && !dedup).then(|| {
+            let hits = config.registry.counter(
+                "tencentrec_cache_hits_total",
+                labels,
+                "CachedStore lookups answered from cache.",
+            );
+            let misses = config.registry.counter(
+                "tencentrec_cache_misses_total",
+                labels,
+                "CachedStore lookups that read through to TDStore.",
+            );
+            let (h, m) = (hits.clone(), misses.clone());
+            config.registry.register_gauge_fn(
+                "tencentrec_cache_hit_ratio",
+                labels,
+                "Cache hits over total lookups, in [0, 1].",
+                move || {
+                    let (h, m) = (h.get() as f64, m.get() as f64);
+                    if h + m == 0.0 {
+                        0.0
+                    } else {
+                        h / (h + m)
+                    }
+                },
+            );
+            crate::cache::CachedStore::with_counters(
+                store.clone(),
+                config.cache_capacity,
+                hits,
+                misses,
+            )
+        });
         let combiner = (config.combiner_keys > 0 && !dedup).then(|| {
-            crate::combiner::Combiner::new(crate::combiner::CombineOp::Add, config.combiner_keys)
+            let inputs = config.registry.counter(
+                "tencentrec_combiner_inputs_total",
+                labels,
+                "Tuples buffered by the combiner.",
+            );
+            let outputs = config.registry.counter(
+                "tencentrec_combiner_flushed_total",
+                labels,
+                "Merged entries the combiner wrote downstream.",
+            );
+            let (i, o) = (inputs.clone(), outputs.clone());
+            config.registry.register_gauge_fn(
+                "tencentrec_combiner_reduction_ratio",
+                labels,
+                "Inputs per flushed entry (the hot-item write reduction).",
+                move || {
+                    let (i, o) = (i.get() as f64, o.get() as f64);
+                    if o == 0.0 {
+                        1.0
+                    } else {
+                        i / o
+                    }
+                },
+            );
+            crate::combiner::Combiner::with_counters(
+                crate::combiner::CombineOp::Add,
+                config.combiner_keys,
+                inputs,
+                outputs,
+            )
         });
         ItemCountBolt {
             store,
@@ -471,16 +546,78 @@ pub struct CfPairBolt {
     /// Local pruning state is safe: pairs are key-grouped, so one task
     /// owns any given pair for the topology's lifetime.
     pruning: Option<PruneState>,
+    prune_obs: Option<PruneObs>,
+}
+
+/// Mirrors one task's [`PruneState`] into shared registry metrics. The
+/// gauge and counters are shared by all tasks, so each sync publishes only
+/// the *change* since the last one — the registry then holds the
+/// topology-wide totals.
+struct PruneObs {
+    tracked: obs::Gauge,
+    pruned: obs::Counter,
+    evicted: obs::Counter,
+    last_tracked: usize,
+    last_pruned: u64,
+    last_evicted: u64,
+}
+
+impl PruneObs {
+    fn new(registry: &obs::Registry) -> Self {
+        let labels: &[(&str, &str)] = &[("component", "cf_pair")];
+        PruneObs {
+            tracked: registry.gauge(
+                "tencentrec_pruning_tracked_pairs",
+                labels,
+                "Pairs with live Hoeffding observation counts, all tasks.",
+            ),
+            pruned: registry.counter(
+                "tencentrec_pruning_pruned_pairs_total",
+                labels,
+                "Pairs pruned by the Hoeffding bound.",
+            ),
+            evicted: registry.counter(
+                "tencentrec_pruning_evicted_pairs_total",
+                labels,
+                "Observation counts dropped by the tracking cap.",
+            ),
+            last_tracked: 0,
+            last_pruned: 0,
+            last_evicted: 0,
+        }
+    }
+
+    fn sync(&mut self, state: &PruneState) {
+        let tracked = state.tracked_pairs();
+        self.tracked.add(tracked as f64 - self.last_tracked as f64);
+        self.last_tracked = tracked;
+        let pruned = state.pruned_pairs();
+        self.pruned.add(pruned - self.last_pruned);
+        self.last_pruned = pruned;
+        let evicted = state.evicted_pairs();
+        self.evicted.add(evicted - self.last_evicted);
+        self.last_evicted = evicted;
+    }
 }
 
 impl CfPairBolt {
     /// New bolt over the shared store.
     pub fn new(store: TdStore, config: CfPipelineConfig) -> Self {
-        let pruning = config.pruning_delta.map(PruneState::new);
+        let pruning = config
+            .pruning_delta
+            .map(|d| PruneState::with_cap(d, config.pruning_max_tracked));
+        let prune_obs = pruning.is_some().then(|| PruneObs::new(&config.registry));
         CfPairBolt {
             store,
             config,
             pruning,
+            prune_obs,
+        }
+    }
+
+    fn sync_prune_obs(&mut self) {
+        if let (Some(obs), Some(state)) = (&mut self.prune_obs, &self.pruning) {
+            obs.sync(state);
         }
     }
 }
@@ -590,7 +727,9 @@ impl Bolt for CfPairBolt {
         }
         let session = self.config.session_of(tuple.u64("ts"));
         self.apply_pair_deltas(pair, session, &[(tuple.u64("src"), tuple.f64("delta"))])?;
-        self.refresh_similarity(pair, session)
+        self.refresh_similarity(pair, session)?;
+        self.sync_prune_obs();
+        Ok(())
     }
 
     fn supports_batch(&self) -> bool {
@@ -638,6 +777,7 @@ impl Bolt for CfPairBolt {
             // matches what per-tuple execution would leave behind.
             self.refresh_similarity(pair, last_session)?;
         }
+        self.sync_prune_obs();
         Ok(())
     }
 }

@@ -92,12 +92,16 @@ pub fn build_cf_topology_with_spout<S, F>(
     store: TdStore,
     config: CfPipelineConfig,
     parallelism: CfParallelism,
-    topology_config: tstorm::topology::TopologyConfig,
+    mut topology_config: tstorm::topology::TopologyConfig,
 ) -> Result<Topology, TopologyError>
 where
     S: Spout + 'static,
     F: Fn() -> S + Send + Sync + 'static,
 {
+    // One registry for the whole pipeline: the runtime's queue/latency
+    // metrics and the bolts' cache/combiner/pruning metrics land in the
+    // same exposition, scrapeable from the topology handle.
+    topology_config.registry = config.registry.clone();
     let mut builder = TopologyBuilder::new().with_config(topology_config);
     builder.set_spout("spout", spout, parallelism.spouts);
     builder
@@ -333,6 +337,66 @@ mod tests {
                 optimised.get_f64(&key).unwrap(),
                 "itemCount({item}) differs"
             );
+        }
+    }
+
+    #[test]
+    fn registry_exposes_pipeline_metrics() {
+        // One registry must cover both layers: the tstorm runtime metrics
+        // and the bolts' cache/combiner/pruning metrics, with non-zero
+        // values after a run.
+        let mut actions = Vec::new();
+        for u in 1..=25u64 {
+            actions.push(click(u, 1, u * 10));
+            actions.push(click(u, 2, u * 10 + 1));
+            actions.push(click(u, 1, u * 10 + 2));
+        }
+        let config = CfPipelineConfig {
+            cache_capacity: 256,
+            combiner_keys: 64,
+            pruning_delta: Some(1e-3),
+            ..Default::default()
+        };
+        let registry = config.registry.clone();
+        run_pipeline(actions, config);
+
+        let item_count: &[(&str, &str)] = &[("component", "item_count")];
+        let hits = registry
+            .counter_value("tencentrec_cache_hits_total", item_count)
+            .expect("cache hit counter registered");
+        let misses = registry
+            .counter_value("tencentrec_cache_misses_total", item_count)
+            .expect("cache miss counter registered");
+        assert!(hits + misses > 0, "cache saw no traffic");
+        let inputs = registry
+            .counter_value("tencentrec_combiner_inputs_total", item_count)
+            .expect("combiner input counter registered");
+        assert!(inputs > 0, "combiner saw no traffic");
+        let ratio = registry
+            .gauge_value("tencentrec_combiner_reduction_ratio", item_count)
+            .expect("reduction ratio registered");
+        assert!(ratio >= 1.0, "reduction ratio {ratio} below 1");
+        assert!(
+            registry
+                .gauge_value(
+                    "tencentrec_pruning_tracked_pairs",
+                    &[("component", "cf_pair")]
+                )
+                .is_some(),
+            "pruning gauge registered"
+        );
+        let pipeline = registry
+            .histogram_snapshot("tstorm_pipeline_latency_seconds", &[])
+            .expect("pipeline latency registered");
+        assert!(pipeline.count() > 0, "no whole-pipeline samples");
+        let text = registry.render();
+        for family in [
+            "tstorm_exec_latency_seconds",
+            "tstorm_queue_depth",
+            "tstorm_backpressure_stalls_total",
+            "tencentrec_cache_hit_ratio",
+        ] {
+            assert!(text.contains(family), "missing {family} in:\n{text}");
         }
     }
 

@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+//! # obs — workspace-wide observability
+//!
+//! TencentRec's engineering mechanisms (fine-grained caching, combiners,
+//! multi-hash aggregation, batched transport) only pay off when hit
+//! ratios, queue depths and tail latencies are visible per stage. This
+//! crate is the shared metrics layer every other crate instruments
+//! against:
+//!
+//! * [`Counter`] / [`Gauge`] — cloneable, wait-free handles over shared
+//!   atomics;
+//! * [`LatencyHistogram`] / [`LatencySnapshot`] — the log-bucketed
+//!   histogram (extracted from `tstorm::metrics`), mergeable across
+//!   threads, shards and the serve wire protocol;
+//! * [`Registry`] — a labelled metric store with idempotent registration
+//!   and Prometheus-style text exposition;
+//! * [`MetricsReporter`] — renders one or more registries on demand or
+//!   periodically on a background thread.
+//!
+//! ```
+//! use obs::{MetricsReporter, Registry};
+//!
+//! let reg = Registry::new();
+//! let hits = reg.counter("cache_hits_total", &[("component", "item_count")], "cache hits");
+//! hits.add(41);
+//! hits.inc();
+//! let lat = reg.histogram_nanos("exec_latency_seconds", &[], "execute latency");
+//! lat.record_nanos(1_500);
+//! let mut reporter = MetricsReporter::new();
+//! reporter.add(&reg);
+//! let text = reporter.render();
+//! assert!(text.contains("cache_hits_total{component=\"item_count\"} 42"));
+//! assert!(text.contains("exec_latency_seconds_count 1"));
+//! ```
+
+mod histogram;
+mod registry;
+mod report;
+
+pub use histogram::{LatencyHistogram, LatencySnapshot};
+pub use registry::{render_registries, Counter, Gauge, Registry};
+pub use report::{MetricsReporter, ReporterHandle};

@@ -1,0 +1,602 @@
+//! Labelled metric registry with Prometheus-style text exposition.
+//!
+//! A [`Registry`] is a cheap cloneable handle (all clones share one store)
+//! that hands out [`Counter`], [`Gauge`] and histogram handles keyed by
+//! `(family, labels)`. Registration is idempotent: asking twice for the
+//! same family and label set returns the *same* underlying metric, so a
+//! bolt factory invoked once per task can register from every task and all
+//! tasks share one counter. Existing atomics can also be attached, so
+//! subsystems that already keep their own counters (the tstorm component
+//! metrics, the serve shard counters) expose them without double counting.
+
+use crate::histogram::{LatencyHistogram, LatencySnapshot};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter. Cloning shares the underlying
+/// atomic; increments are relaxed and wait-free.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    inner: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A fresh zero counter, not attached to any registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.inner.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.inner.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge holding one `f64` (stored as bits in an atomic). Cloning shares
+/// the underlying value.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// A fresh zero gauge, not attached to any registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds a (possibly negative) delta.
+    pub fn add(&self, d: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + d).to_bits();
+            match self
+                .bits
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Callback evaluated at render time (for mirroring state that already
+/// lives elsewhere, e.g. an in-flight count or a derived ratio).
+type GaugeFn = Arc<dyn Fn() -> f64 + Send + Sync>;
+
+enum MetricValue {
+    Counter(Counter),
+    Gauge(Gauge),
+    GaugeFn(GaugeFn),
+    /// Histogram of durations in nanoseconds; rendered in seconds.
+    Nanos(Arc<LatencyHistogram>),
+    /// Histogram of dimensionless values (batch sizes); rendered raw.
+    Values(Arc<LatencyHistogram>),
+}
+
+impl MetricValue {
+    fn kind(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) | MetricValue::GaugeFn(_) => "gauge",
+            MetricValue::Nanos(_) | MetricValue::Values(_) => "summary",
+        }
+    }
+}
+
+struct Entry {
+    family: String,
+    labels: Vec<(String, String)>,
+    help: String,
+    value: MetricValue,
+}
+
+/// Shared, labelled metric store. See the module docs.
+#[derive(Clone, Default)]
+pub struct Registry {
+    entries: Arc<Mutex<Vec<Entry>>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.entries.lock().map(|e| e.len()).unwrap_or(0);
+        f.debug_struct("Registry").field("metrics", &n).finish()
+    }
+}
+
+fn owned_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    labels
+        .iter()
+        .map(|&(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn get_or_insert<T: Clone>(
+        &self,
+        family: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+        extract: impl Fn(&MetricValue) -> Option<T>,
+        make: impl FnOnce() -> (T, MetricValue),
+    ) -> T {
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        let owned = owned_labels(labels);
+        if let Some(e) = entries
+            .iter()
+            .find(|e| e.family == family && e.labels == owned)
+        {
+            return extract(&e.value).unwrap_or_else(|| {
+                panic!(
+                    "metric `{family}` registered twice with conflicting types ({})",
+                    e.value.kind()
+                )
+            });
+        }
+        let (handle, value) = make();
+        entries.push(Entry {
+            family: family.to_string(),
+            labels: owned,
+            help: help.to_string(),
+            value,
+        });
+        handle
+    }
+
+    /// Counter under `(family, labels)`; created on first call, shared on
+    /// every subsequent call with the same key.
+    pub fn counter(&self, family: &str, labels: &[(&str, &str)], help: &str) -> Counter {
+        self.get_or_insert(
+            family,
+            labels,
+            help,
+            |v| match v {
+                MetricValue::Counter(c) => Some(c.clone()),
+                _ => None,
+            },
+            || {
+                let c = Counter::new();
+                (c.clone(), MetricValue::Counter(c))
+            },
+        )
+    }
+
+    /// Gauge under `(family, labels)`; created on first call, shared after.
+    pub fn gauge(&self, family: &str, labels: &[(&str, &str)], help: &str) -> Gauge {
+        self.get_or_insert(
+            family,
+            labels,
+            help,
+            |v| match v {
+                MetricValue::Gauge(g) => Some(g.clone()),
+                _ => None,
+            },
+            || {
+                let g = Gauge::new();
+                (g.clone(), MetricValue::Gauge(g))
+            },
+        )
+    }
+
+    /// Duration histogram under `(family, labels)`, rendered in seconds;
+    /// created on first call, shared after.
+    pub fn histogram_nanos(
+        &self,
+        family: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+    ) -> Arc<LatencyHistogram> {
+        self.get_or_insert(
+            family,
+            labels,
+            help,
+            |v| match v {
+                MetricValue::Nanos(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+            || {
+                let h = Arc::new(LatencyHistogram::new());
+                (Arc::clone(&h), MetricValue::Nanos(h))
+            },
+        )
+    }
+
+    /// Dimensionless-value histogram (e.g. batch sizes), rendered raw;
+    /// created on first call, shared after.
+    pub fn histogram_values(
+        &self,
+        family: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+    ) -> Arc<LatencyHistogram> {
+        self.get_or_insert(
+            family,
+            labels,
+            help,
+            |v| match v {
+                MetricValue::Values(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+            || {
+                let h = Arc::new(LatencyHistogram::new());
+                (Arc::clone(&h), MetricValue::Values(h))
+            },
+        )
+    }
+
+    /// Attaches an existing counter handle under `(family, labels)`.
+    /// No-op if the key is already registered.
+    pub fn register_counter(
+        &self,
+        family: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+        counter: &Counter,
+    ) {
+        let c = counter.clone();
+        self.get_or_insert(
+            family,
+            labels,
+            help,
+            |_| Some(()),
+            move || ((), MetricValue::Counter(c)),
+        );
+    }
+
+    /// Attaches an existing gauge handle under `(family, labels)`.
+    /// No-op if the key is already registered.
+    pub fn register_gauge(&self, family: &str, labels: &[(&str, &str)], help: &str, gauge: &Gauge) {
+        let g = gauge.clone();
+        self.get_or_insert(
+            family,
+            labels,
+            help,
+            |_| Some(()),
+            move || ((), MetricValue::Gauge(g)),
+        );
+    }
+
+    /// Registers a gauge whose value is computed by `f` at render time.
+    /// No-op if the key is already registered.
+    pub fn register_gauge_fn(
+        &self,
+        family: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+        f: impl Fn() -> f64 + Send + Sync + 'static,
+    ) {
+        self.get_or_insert(
+            family,
+            labels,
+            help,
+            |_| Some(()),
+            move || ((), MetricValue::GaugeFn(Arc::new(f))),
+        );
+    }
+
+    /// Attaches an existing duration histogram under `(family, labels)`.
+    /// No-op if the key is already registered.
+    pub fn register_histogram_nanos(
+        &self,
+        family: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+        histogram: &Arc<LatencyHistogram>,
+    ) {
+        let h = Arc::clone(histogram);
+        self.get_or_insert(
+            family,
+            labels,
+            help,
+            |_| Some(()),
+            move || ((), MetricValue::Nanos(h)),
+        );
+    }
+
+    /// Attaches an existing dimensionless-value histogram under
+    /// `(family, labels)`. No-op if the key is already registered.
+    pub fn register_histogram_values(
+        &self,
+        family: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+        histogram: &Arc<LatencyHistogram>,
+    ) {
+        let h = Arc::clone(histogram);
+        self.get_or_insert(
+            family,
+            labels,
+            help,
+            |_| Some(()),
+            move || ((), MetricValue::Values(h)),
+        );
+    }
+
+    /// Current value of a registered counter, for tests and harnesses.
+    pub fn counter_value(&self, family: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        let owned = owned_labels(labels);
+        entries
+            .iter()
+            .find(|e| e.family == family && e.labels == owned)
+            .and_then(|e| match &e.value {
+                MetricValue::Counter(c) => Some(c.get()),
+                _ => None,
+            })
+    }
+
+    /// Current value of a registered gauge (stored or computed).
+    pub fn gauge_value(&self, family: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        let owned = owned_labels(labels);
+        entries
+            .iter()
+            .find(|e| e.family == family && e.labels == owned)
+            .and_then(|e| match &e.value {
+                MetricValue::Gauge(g) => Some(g.get()),
+                MetricValue::GaugeFn(f) => Some(f()),
+                _ => None,
+            })
+    }
+
+    /// Snapshot of a registered histogram (duration or value).
+    pub fn histogram_snapshot(
+        &self,
+        family: &str,
+        labels: &[(&str, &str)],
+    ) -> Option<LatencySnapshot> {
+        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        let owned = owned_labels(labels);
+        entries
+            .iter()
+            .find(|e| e.family == family && e.labels == owned)
+            .and_then(|e| match &e.value {
+                MetricValue::Nanos(h) | MetricValue::Values(h) => Some(h.snapshot()),
+                _ => None,
+            })
+    }
+
+    /// Renders every metric in Prometheus text exposition format.
+    pub fn render(&self) -> String {
+        render_registries(std::slice::from_ref(self))
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn label_str(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Renders the metrics of several registries into one exposition, grouping
+/// samples by family (`# HELP`/`# TYPE` emitted once per family).
+pub fn render_registries(registries: &[Registry]) -> String {
+    // (family, help, kind) in first-seen order, then all samples per family.
+    let mut families: Vec<(String, String, &'static str)> = Vec::new();
+    let mut samples: Vec<Vec<String>> = Vec::new();
+    for reg in registries {
+        let entries = reg.entries.lock().unwrap_or_else(|e| e.into_inner());
+        for e in entries.iter() {
+            let idx = match families.iter().position(|(f, _, _)| *f == e.family) {
+                Some(i) => i,
+                None => {
+                    families.push((e.family.clone(), e.help.clone(), e.value.kind()));
+                    samples.push(Vec::new());
+                    families.len() - 1
+                }
+            };
+            let fam = &e.family;
+            let out = &mut samples[idx];
+            match &e.value {
+                MetricValue::Counter(c) => {
+                    out.push(format!("{fam}{} {}", label_str(&e.labels, None), c.get()));
+                }
+                MetricValue::Gauge(g) => {
+                    out.push(format!("{fam}{} {}", label_str(&e.labels, None), g.get()));
+                }
+                MetricValue::GaugeFn(f) => {
+                    out.push(format!("{fam}{} {}", label_str(&e.labels, None), f()));
+                }
+                MetricValue::Nanos(h) => {
+                    let snap = h.snapshot();
+                    for (q, name) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+                        out.push(format!(
+                            "{fam}{} {}",
+                            label_str(&e.labels, Some(("quantile", name))),
+                            snap.quantile_nanos(q) as f64 * 1e-9
+                        ));
+                    }
+                    out.push(format!(
+                        "{fam}_sum{} {}",
+                        label_str(&e.labels, None),
+                        snap.sum_nanos() as f64 * 1e-9
+                    ));
+                    out.push(format!(
+                        "{fam}_count{} {}",
+                        label_str(&e.labels, None),
+                        snap.count()
+                    ));
+                }
+                MetricValue::Values(h) => {
+                    let snap = h.snapshot();
+                    for (q, name) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+                        out.push(format!(
+                            "{fam}{} {}",
+                            label_str(&e.labels, Some(("quantile", name))),
+                            snap.quantile_nanos(q)
+                        ));
+                    }
+                    out.push(format!(
+                        "{fam}_sum{} {}",
+                        label_str(&e.labels, None),
+                        snap.sum_nanos()
+                    ));
+                    out.push(format!(
+                        "{fam}_count{} {}",
+                        label_str(&e.labels, None),
+                        snap.count()
+                    ));
+                }
+            }
+        }
+    }
+    let mut text = String::new();
+    for (i, (family, help, kind)) in families.iter().enumerate() {
+        if !help.is_empty() {
+            let _ = writeln!(text, "# HELP {family} {help}");
+        }
+        let _ = writeln!(text, "# TYPE {family} {kind}");
+        for line in &samples[i] {
+            text.push_str(line);
+            text.push('\n');
+        }
+    }
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent() {
+        let reg = Registry::new();
+        let a = reg.counter("hits_total", &[("component", "cache")], "cache hits");
+        let b = reg.counter("hits_total", &[("component", "cache")], "cache hits");
+        a.add(3);
+        b.inc();
+        assert_eq!(a.get(), 4, "both handles share one counter");
+        assert_eq!(
+            reg.counter_value("hits_total", &[("component", "cache")]),
+            Some(4)
+        );
+        // A different label set is a different counter.
+        let c = reg.counter("hits_total", &[("component", "other")], "cache hits");
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn gauge_set_add_get() {
+        let reg = Registry::new();
+        let g = reg.gauge("depth", &[], "queue depth");
+        g.set(5.0);
+        g.add(-2.0);
+        assert_eq!(g.get(), 3.0);
+        assert_eq!(reg.gauge_value("depth", &[]), Some(3.0));
+    }
+
+    #[test]
+    fn gauge_fn_computes_at_read_time() {
+        let reg = Registry::new();
+        let hits = Counter::new();
+        let misses = Counter::new();
+        let (h, m) = (hits.clone(), misses.clone());
+        reg.register_gauge_fn("hit_ratio", &[], "hits / lookups", move || {
+            let (h, m) = (h.get() as f64, m.get() as f64);
+            if h + m == 0.0 {
+                0.0
+            } else {
+                h / (h + m)
+            }
+        });
+        assert_eq!(reg.gauge_value("hit_ratio", &[]), Some(0.0));
+        hits.add(3);
+        misses.inc();
+        assert_eq!(reg.gauge_value("hit_ratio", &[]), Some(0.75));
+    }
+
+    #[test]
+    fn render_groups_families_and_formats_labels() {
+        let reg = Registry::new();
+        reg.counter("reqs_total", &[("shard", "0")], "requests")
+            .add(7);
+        reg.gauge("depth", &[], "queue depth").set(2.0);
+        reg.counter("reqs_total", &[("shard", "1")], "requests")
+            .inc();
+        let h = reg.histogram_nanos("latency_seconds", &[("stage", "exec")], "exec latency");
+        h.record_nanos(1_000_000_000);
+        let text = reg.render();
+        assert_eq!(
+            text.matches("# TYPE reqs_total counter").count(),
+            1,
+            "one TYPE line per family:\n{text}"
+        );
+        assert!(text.contains("reqs_total{shard=\"0\"} 7"), "{text}");
+        assert!(text.contains("reqs_total{shard=\"1\"} 1"), "{text}");
+        assert!(text.contains("depth 2"), "{text}");
+        assert!(text.contains("# TYPE latency_seconds summary"), "{text}");
+        assert!(
+            text.contains("latency_seconds{stage=\"exec\",quantile=\"0.99\"}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("latency_seconds_count{stage=\"exec\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn value_histogram_renders_raw_units() {
+        let reg = Registry::new();
+        let h = reg.histogram_values("batch_size", &[], "tuples per batch");
+        for _ in 0..10 {
+            h.record_nanos(64);
+        }
+        let text = reg.render();
+        assert!(text.contains("batch_size{quantile=\"0.5\"} 64"), "{text}");
+        assert!(text.contains("batch_size_sum 640"), "{text}");
+    }
+
+    #[test]
+    fn attach_existing_handles() {
+        let reg = Registry::new();
+        let c = Counter::new();
+        c.add(9);
+        reg.register_counter("preexisting_total", &[], "attached", &c);
+        assert_eq!(reg.counter_value("preexisting_total", &[]), Some(9));
+        let h = Arc::new(LatencyHistogram::new());
+        h.record_nanos(5);
+        reg.register_histogram_values("sizes", &[], "attached", &h);
+        assert_eq!(reg.histogram_snapshot("sizes", &[]).unwrap().count(), 1);
+    }
+}

@@ -1,0 +1,104 @@
+//! Wire-safety properties for [`LatencySnapshot`]: the sparse `(bucket,
+//! count)` representation must round-trip exactly, and merging snapshots
+//! recorded on separate histograms — including snapshots that crossed the
+//! wire — must equal recording everything into one histogram directly.
+
+use obs::{LatencyHistogram, LatencySnapshot};
+use proptest::prelude::*;
+
+fn arb_values() -> impl Strategy<Value = Vec<u64>> {
+    // Mix magnitudes so many distinct buckets are occupied: sub-linear
+    // range, microseconds, milliseconds, multi-second outliers.
+    prop::collection::vec(
+        prop_oneof![
+            0u64..64,
+            1_000u64..100_000,
+            1_000_000u64..50_000_000,
+            1_000_000_000u64..20_000_000_000,
+        ],
+        0..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sparse_wire_roundtrip_is_exact(values in arb_values()) {
+        let h = LatencyHistogram::new();
+        for &v in &values {
+            h.record_nanos(v);
+        }
+        let snap = h.snapshot();
+        let rebuilt = LatencySnapshot::from_parts(
+            &snap.sparse_counts(),
+            snap.count(),
+            snap.sum_nanos(),
+            snap.max_nanos(),
+        );
+        prop_assert_eq!(&rebuilt, &snap);
+        prop_assert_eq!(rebuilt.count(), values.len() as u64);
+        prop_assert_eq!(rebuilt.sum_nanos(), values.iter().sum::<u64>());
+        prop_assert_eq!(rebuilt.max_nanos(), values.iter().copied().max().unwrap_or(0));
+    }
+
+    #[test]
+    fn merge_of_wire_snapshots_equals_direct_combined_recording(
+        a_values in arb_values(),
+        b_values in arb_values(),
+    ) {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        let combined = LatencyHistogram::new();
+        for &v in &a_values {
+            a.record_nanos(v);
+            combined.record_nanos(v);
+        }
+        for &v in &b_values {
+            b.record_nanos(v);
+            combined.record_nanos(v);
+        }
+        // Both halves cross the wire before merging (shard -> server path).
+        let wire = |s: &LatencySnapshot| {
+            LatencySnapshot::from_parts(
+                &s.sparse_counts(),
+                s.count(),
+                s.sum_nanos(),
+                s.max_nanos(),
+            )
+        };
+        let mut merged = wire(&a.snapshot());
+        merged.merge(&wire(&b.snapshot()));
+        prop_assert_eq!(&merged, &combined.snapshot());
+        // Order independence: b then a gives the same distribution.
+        let mut reversed = wire(&b.snapshot());
+        reversed.merge(&wire(&a.snapshot()));
+        prop_assert_eq!(&reversed, &merged);
+        // Merging into an empty default accumulator is lossless too.
+        let mut acc = LatencySnapshot::default();
+        acc.merge(&merged);
+        prop_assert_eq!(&acc, &merged);
+    }
+
+    #[test]
+    fn malformed_wire_tallies_are_clamped_consistent(
+        values in arb_values(),
+        bogus_total in any::<u64>(),
+    ) {
+        let h = LatencyHistogram::new();
+        for &v in &values {
+            h.record_nanos(v);
+        }
+        let snap = h.snapshot();
+        // A sender whose scalar tallies disagree with its buckets must
+        // still decode to a snapshot whose scalars match its buckets.
+        let decoded =
+            LatencySnapshot::from_parts(&snap.sparse_counts(), bogus_total, 0, 0);
+        prop_assert_eq!(decoded.count(), values.len() as u64);
+        if !values.is_empty() {
+            prop_assert!(decoded.sum_nanos() > 0 || values.iter().all(|&v| v == 0));
+            prop_assert!(decoded.max_nanos() <= snap.max_nanos());
+            prop_assert!(decoded.quantile(1.0).as_nanos() as u64 <= decoded.max_nanos().max(1));
+        }
+    }
+}

@@ -142,10 +142,10 @@ impl ServerHandle {
 fn stats_report(pool: &ShardPool) -> StatsReport {
     let counters = pool.counters();
     StatsReport {
-        served: counters.served.load(Ordering::Relaxed),
-        shed: counters.shed.load(Ordering::Relaxed),
-        expired: counters.expired.load(Ordering::Relaxed),
-        actions: counters.actions.load(Ordering::Relaxed),
+        served: counters.served.get(),
+        shed: counters.shed.get(),
+        expired: counters.expired.get(),
+        actions: counters.actions.get(),
         latency: pool.latency_snapshot(),
     }
 }

@@ -10,7 +10,6 @@
 use crate::admission::{AdmissionController, AdmissionVerdict};
 use crate::protocol::Response;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -64,24 +63,30 @@ pub enum ShardJob {
     },
 }
 
-/// Shared counters across all shards of one server.
+/// Shared counters across all shards of one server. The counters are
+/// [`obs::Counter`] handles, so they can be attached to a metric registry
+/// without double accounting (see [`ShardPool::register_metrics`]).
 #[derive(Default)]
 pub struct ServeCounters {
     /// Queries answered with a page.
-    pub served: AtomicU64,
+    pub served: obs::Counter,
     /// Requests refused at admission.
-    pub shed: AtomicU64,
+    pub shed: obs::Counter,
     /// Queries dropped at dequeue because their deadline had passed.
-    pub expired: AtomicU64,
+    pub expired: obs::Counter,
     /// Actions ingested.
-    pub actions: AtomicU64,
-    /// Admission→reply latency of served queries.
+    pub actions: obs::Counter,
+    /// Admission→reply latency of served queries, all shards merged.
     pub latency: LatencyHistogram,
 }
 
 struct Shard {
     tx: Sender<ShardJob>,
     admission: AdmissionController,
+    /// Admission→reply latency of this shard only.
+    latency: Arc<LatencyHistogram>,
+    /// Jobs enqueued but not yet dequeued (mirrors `tx.len()`).
+    depth: obs::Gauge,
     worker: Option<JoinHandle<()>>,
 }
 
@@ -103,21 +108,76 @@ impl ShardPool {
             .map(|index| {
                 let (tx, rx) = bounded::<ShardJob>(queue_capacity);
                 let admission = AdmissionController::new(queue_capacity);
+                let latency = Arc::new(LatencyHistogram::new());
+                let depth = obs::Gauge::new();
                 let worker = spawn_worker(
                     index,
                     rx,
                     Arc::clone(&factory),
                     Arc::clone(&counters),
+                    Arc::clone(&latency),
+                    depth.clone(),
                     admission.clone(),
                 );
                 Shard {
                     tx,
                     admission,
+                    latency,
+                    depth,
                     worker: Some(worker),
                 }
             })
             .collect();
         ShardPool { shards, counters }
+    }
+
+    /// Attaches the pool's counters, per-shard latency histograms and
+    /// per-shard queue-depth gauges to `registry` under the `tserve_*`
+    /// families.
+    pub fn register_metrics(&self, registry: &obs::Registry) {
+        registry.register_counter(
+            "tserve_queries_served_total",
+            &[],
+            "Queries answered with a recommendation page.",
+            &self.counters.served,
+        );
+        registry.register_counter(
+            "tserve_requests_shed_total",
+            &[],
+            "Requests refused at admission or on a full shard queue.",
+            &self.counters.shed,
+        );
+        registry.register_counter(
+            "tserve_queries_expired_total",
+            &[],
+            "Queries dropped at dequeue because their deadline passed.",
+            &self.counters.expired,
+        );
+        registry.register_counter(
+            "tserve_actions_ingested_total",
+            &[],
+            "Actions applied to shard engines.",
+            &self.counters.actions,
+        );
+        for (index, shard) in self.shards.iter().enumerate() {
+            let shard_label = index.to_string();
+            let labels: &[(&str, &str)] = &[("shard", &shard_label)];
+            registry.register_histogram_nanos(
+                "tserve_query_latency_seconds",
+                labels,
+                "Admission-to-reply latency of served queries.",
+                &shard.latency,
+            );
+            // An explicit gauge rather than a gauge_fn over the channel: a
+            // registry-held Sender clone would keep the inbox open past
+            // Drop and stall worker shutdown.
+            registry.register_gauge(
+                "tserve_queue_depth",
+                labels,
+                "Jobs queued in the shard inbox.",
+                &shard.depth,
+            );
+        }
     }
 
     /// Number of shards.
@@ -157,7 +217,7 @@ impl ShardPool {
         let now = Instant::now();
         if let AdmissionVerdict::Shed { .. } = shard.admission.assess(shard.tx.len(), now, deadline)
         {
-            self.counters.shed.fetch_add(1, Ordering::Relaxed);
+            self.counters.shed.inc();
             reply.send(Response::Overloaded);
             return false;
         }
@@ -169,11 +229,14 @@ impl ShardPool {
             reply: reply.clone(),
         };
         match shard.tx.try_send(job) {
-            Ok(()) => true,
+            Ok(()) => {
+                shard.depth.add(1.0);
+                true
+            }
             Err(_) => {
                 // Queue filled between assessment and enqueue (or the
                 // shard is gone) — shed instead of blocking the reader.
-                self.counters.shed.fetch_add(1, Ordering::Relaxed);
+                self.counters.shed.inc();
                 reply.send(Response::Overloaded);
                 false
             }
@@ -186,9 +249,12 @@ impl ShardPool {
     pub fn submit_action(&self, action: UserAction) -> bool {
         let shard = self.shard_for(action.user);
         match shard.tx.try_send(ShardJob::Action { action }) {
-            Ok(()) => true,
+            Ok(()) => {
+                shard.depth.add(1.0);
+                true
+            }
             Err(_) => {
-                self.counters.shed.fetch_add(1, Ordering::Relaxed);
+                self.counters.shed.inc();
                 false
             }
         }
@@ -215,6 +281,8 @@ fn spawn_worker(
     rx: Receiver<ShardJob>,
     factory: EngineFactory,
     counters: Arc<ServeCounters>,
+    latency: Arc<LatencyHistogram>,
+    depth: obs::Gauge,
     admission: AdmissionController,
 ) -> JoinHandle<()> {
     std::thread::Builder::new()
@@ -222,19 +290,25 @@ fn spawn_worker(
         .spawn(move || {
             let mut engine = factory(index);
             loop {
-                match rx.recv_timeout(Duration::from_millis(50)) {
-                    Ok(ShardJob::Query {
+                let job = match rx.recv_timeout(Duration::from_millis(50)) {
+                    Ok(job) => job,
+                    Err(RecvTimeoutError::Timeout) => continue,
+                    Err(RecvTimeoutError::Disconnected) => break,
+                };
+                depth.add(-1.0);
+                match job {
+                    ShardJob::Query {
                         user,
                         n,
                         deadline,
                         enqueued,
                         reply,
-                    }) => {
+                    } => {
                         let start = Instant::now();
                         if start > deadline {
                             // Too late to be useful: answering now would
                             // only add work behind other late requests.
-                            counters.expired.fetch_add(1, Ordering::Relaxed);
+                            counters.expired.inc();
                             reply.send(Response::Overloaded);
                             continue;
                         }
@@ -242,17 +316,16 @@ fn spawn_worker(
                         let done = Instant::now();
                         admission.observe_query_service(done - start);
                         counters.latency.record(done - enqueued);
-                        counters.served.fetch_add(1, Ordering::Relaxed);
+                        latency.record(done - enqueued);
+                        counters.served.inc();
                         reply.send(Response::Recommendations { items });
                     }
-                    Ok(ShardJob::Action { action }) => {
+                    ShardJob::Action { action } => {
                         let start = Instant::now();
                         engine.process(&action);
                         admission.observe_action_service(start.elapsed());
-                        counters.actions.fetch_add(1, Ordering::Relaxed);
+                        counters.actions.inc();
                     }
-                    Err(RecvTimeoutError::Timeout) => {}
-                    Err(RecvTimeoutError::Disconnected) => break,
                 }
             }
         })
@@ -288,7 +361,7 @@ mod tests {
             panic!("expected recommendations, got {resp:?}");
         };
         assert!(items.iter().all(|&(i, _)| i != 1 && i != 2), "{items:?}");
-        assert_eq!(p.counters().served.load(Ordering::Relaxed), 1);
+        assert_eq!(p.counters().served.get(), 1);
     }
 
     #[test]
@@ -316,6 +389,65 @@ mod tests {
         assert!(!admitted);
         let (_, resp) = rx.recv_timeout(Duration::from_secs(1)).unwrap();
         assert_eq!(resp, Response::Overloaded);
-        assert_eq!(p.counters().shed.load(Ordering::Relaxed), 1);
+        assert_eq!(p.counters().shed.get(), 1);
+    }
+
+    #[test]
+    fn registry_exposes_shard_metrics() {
+        let p = pool(2, 64);
+        let registry = obs::Registry::new();
+        p.register_metrics(&registry);
+        for u in 1..=10u64 {
+            assert!(p.submit_action(UserAction::new(u, 1, ActionType::Click, u)));
+        }
+        let (tx, rx) = unbounded();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        assert!(p.submit_query(3, 2, deadline, ReplySlot { id: 1, tx }));
+        rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(
+            registry.counter_value("tserve_queries_served_total", &[]),
+            Some(1)
+        );
+        // The query reply only proves its own shard drained; wait for the
+        // other shard's actions too.
+        let t0 = Instant::now();
+        while p.counters().actions.get() < 10 && t0.elapsed() < Duration::from_secs(5) {
+            std::thread::yield_now();
+        }
+        assert_eq!(
+            registry.counter_value("tserve_actions_ingested_total", &[]),
+            Some(10)
+        );
+        // User 3 hashes to shard 3 % 2 = 1; its latency histogram holds
+        // the one served query.
+        let shard1 = registry
+            .histogram_snapshot("tserve_query_latency_seconds", &[("shard", "1")])
+            .expect("per-shard histogram registered");
+        assert_eq!(shard1.count(), 1);
+        assert!(registry
+            .gauge_value("tserve_queue_depth", &[("shard", "0")])
+            .is_some());
+        let text = registry.render();
+        assert!(text.contains("tserve_query_latency_seconds"), "{text}");
+    }
+
+    #[test]
+    fn queue_depth_gauge_returns_to_zero_after_drain() {
+        let p = pool(1, 256);
+        let registry = obs::Registry::new();
+        p.register_metrics(&registry);
+        for u in 0..50u64 {
+            assert!(p.submit_action(UserAction::new(u, 1, ActionType::Click, u)));
+        }
+        // Wait for the worker to drain its inbox.
+        let t0 = Instant::now();
+        while p.counters().actions.get() < 50 && t0.elapsed() < Duration::from_secs(5) {
+            std::thread::yield_now();
+        }
+        assert_eq!(p.counters().actions.get(), 50);
+        assert_eq!(
+            registry.gauge_value("tserve_queue_depth", &[("shard", "0")]),
+            Some(0.0)
+        );
     }
 }

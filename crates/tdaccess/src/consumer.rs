@@ -17,10 +17,34 @@ pub struct Consumer {
     offsets: HashMap<PartitionId, u64>,
     /// Round-robin cursor over assigned partitions for fairness.
     cursor: usize,
+    /// Per-partition `tdaccess_consumed_total` counters, indexed by pid.
+    consumed: Vec<obs::Counter>,
+    /// Per-partition `tdaccess_consumer_lag` gauges, indexed by pid.
+    lag_gauges: Vec<obs::Gauge>,
 }
 
 impl Consumer {
     pub(crate) fn new(cluster: AccessCluster, meta: TopicMeta, group: String, member: u64) -> Self {
+        let mut consumed = Vec::with_capacity(meta.partitions as usize);
+        let mut lag_gauges = Vec::with_capacity(meta.partitions as usize);
+        for pid in 0..meta.partitions {
+            let partition = pid.to_string();
+            let labels: &[(&str, &str)] = &[
+                ("topic", &meta.name),
+                ("group", &group),
+                ("partition", &partition),
+            ];
+            consumed.push(cluster.registry().counter(
+                "tdaccess_consumed_total",
+                labels,
+                "Messages delivered per topic partition and consumer group",
+            ));
+            lag_gauges.push(cluster.registry().gauge(
+                "tdaccess_consumer_lag",
+                labels,
+                "Retained-but-unconsumed messages per partition and group",
+            ));
+        }
         Consumer {
             cluster,
             meta,
@@ -28,6 +52,8 @@ impl Consumer {
             member,
             offsets: HashMap::new(),
             cursor: 0,
+            consumed,
+            lag_gauges,
         }
     }
 
@@ -90,6 +116,13 @@ impl Consumer {
             }
             if let Some(last) = batch.last() {
                 self.offsets.insert(pid, last.offset + 1);
+            }
+            if let Some(c) = self.consumed.get(pid as usize) {
+                c.add(batch.len() as u64);
+            }
+            if let Some(g) = self.lag_gauges.get(pid as usize) {
+                let end = broker.partition_end_offset(&self.meta.name, pid)?;
+                g.set(end.saturating_sub(self.position(pid)) as f64);
             }
             out.extend(batch.into_iter().map(|m| (pid, m)));
         }

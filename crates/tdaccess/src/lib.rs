@@ -58,6 +58,9 @@ pub struct ClusterConfig {
     /// by default — zero cost when disabled). Sites: `PollStall` makes a
     /// consumer poll return empty, `TornBatch` truncates a polled batch.
     pub fault_plan: tchaos::FaultPlan,
+    /// Metric registry for produce/consume counters and consumer lag.
+    /// Share one registry across components to get a single exposition.
+    pub metrics: obs::Registry,
 }
 
 impl Default for ClusterConfig {
@@ -66,6 +69,7 @@ impl Default for ClusterConfig {
             brokers: 2,
             segment: SegmentConfig::default(),
             fault_plan: tchaos::FaultPlan::none(),
+            metrics: obs::Registry::new(),
         }
     }
 }
@@ -83,6 +87,7 @@ struct ClusterInner {
     masters: RwLock<[MasterServer; 2]>,
     segment: SegmentConfig,
     fault_plan: tchaos::FaultPlan,
+    metrics: obs::Registry,
 }
 
 impl AccessCluster {
@@ -104,6 +109,7 @@ impl AccessCluster {
                 masters: RwLock::new(masters),
                 segment: config.segment,
                 fault_plan: config.fault_plan,
+                metrics: config.metrics,
             }),
         }
     }
@@ -163,6 +169,11 @@ impl AccessCluster {
 
     pub(crate) fn fault_plan(&self) -> &tchaos::FaultPlan {
         &self.inner.fault_plan
+    }
+
+    /// The cluster's metric registry (`tdaccess_*` families).
+    pub fn registry(&self) -> &obs::Registry {
+        &self.inner.metrics
     }
 
     pub(crate) fn broker(&self, id: BrokerId) -> Result<&Broker, AccessError> {
@@ -300,6 +311,57 @@ mod tests {
             cluster.create_topic("t", 1),
             Err(AccessError::TopicExists(_))
         ));
+    }
+
+    #[test]
+    fn registry_tracks_produce_consume_and_lag() {
+        let cluster = AccessCluster::new(ClusterConfig::default());
+        cluster.create_topic("t", 2).unwrap();
+        let producer = cluster.producer("t").unwrap();
+        for i in 0..10u32 {
+            producer.send(None, &i.to_le_bytes()).unwrap();
+        }
+        let registry = cluster.registry();
+        let produced: u64 = (0..2)
+            .map(|pid| {
+                let p = pid.to_string();
+                registry
+                    .counter_value(
+                        "tdaccess_produced_total",
+                        &[("topic", "t"), ("partition", &p)],
+                    )
+                    .unwrap_or(0)
+            })
+            .sum();
+        assert_eq!(produced, 10);
+
+        let mut consumer = cluster.consumer("t", "g").unwrap();
+        consumer.poll(4).unwrap();
+        fn labels_for(pid: &str) -> [(&str, &str); 3] {
+            [("topic", "t"), ("group", "g"), ("partition", pid)]
+        }
+        let consumed: u64 = ["0", "1"]
+            .iter()
+            .map(|p| {
+                registry
+                    .counter_value("tdaccess_consumed_total", &labels_for(p))
+                    .unwrap_or(0)
+            })
+            .sum();
+        assert_eq!(consumed, 4);
+        while !consumer.poll(100).unwrap().is_empty() {}
+        let lag: f64 = ["0", "1"]
+            .iter()
+            .map(|p| {
+                registry
+                    .gauge_value("tdaccess_consumer_lag", &labels_for(p))
+                    .unwrap_or(f64::NAN)
+            })
+            .sum();
+        assert_eq!(lag, 0.0, "fully drained consumer reports zero lag");
+        let text = registry.render();
+        assert!(text.contains("tdaccess_produced_total"));
+        assert!(text.contains("tdaccess_consumer_lag"));
     }
 
     #[test]

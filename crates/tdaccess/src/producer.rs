@@ -12,15 +12,28 @@ pub struct Producer {
     meta: TopicMeta,
     rr: AtomicU64,
     clock_ms: AtomicU64,
+    /// Per-partition `tdaccess_produced_total` counters, indexed by pid.
+    produced: Vec<obs::Counter>,
 }
 
 impl Producer {
     pub(crate) fn new(cluster: AccessCluster, meta: TopicMeta) -> Self {
+        let produced = (0..meta.partitions)
+            .map(|pid| {
+                let partition = pid.to_string();
+                cluster.registry().counter(
+                    "tdaccess_produced_total",
+                    &[("topic", &meta.name), ("partition", &partition)],
+                    "Messages appended per topic partition",
+                )
+            })
+            .collect();
         Producer {
             cluster,
             meta,
             rr: AtomicU64::new(0),
             clock_ms: AtomicU64::new(0),
+            produced,
         }
     }
 
@@ -71,6 +84,9 @@ impl Producer {
             Bytes::copy_from_slice(payload),
             timestamp_ms,
         )?;
+        if let Some(c) = self.produced.get(pid as usize) {
+            c.inc();
+        }
         Ok((pid, offset))
     }
 

@@ -95,6 +95,29 @@ struct SyncOp {
     value: Option<Vec<u8>>,
 }
 
+/// Free-standing metric handles; attached to an exposition registry via
+/// [`TdStore::register_metrics`]. Kept as plain handles (not registry
+/// lookups) so the hot paths never touch the registry lock.
+struct StoreMetrics {
+    gets: obs::Counter,
+    writes: obs::Counter,
+    deletes: obs::Counter,
+    failovers: obs::Counter,
+    replication_queue: obs::Gauge,
+}
+
+impl StoreMetrics {
+    fn new() -> Self {
+        StoreMetrics {
+            gets: obs::Counter::new(),
+            writes: obs::Counter::new(),
+            deletes: obs::Counter::new(),
+            failovers: obs::Counter::new(),
+            replication_queue: obs::Gauge::new(),
+        }
+    }
+}
+
 struct StoreInner {
     config_servers: ConfigServers,
     servers: Vec<Arc<DataServer>>,
@@ -109,6 +132,7 @@ struct StoreInner {
     /// can land on a replica that is being replaced mid-flight.
     write_locks: Vec<Mutex<()>>,
     fault_plan: tchaos::FaultPlan,
+    metrics: StoreMetrics,
 }
 
 /// An instance id paired with its host engine (internal routing result).
@@ -149,6 +173,7 @@ impl TdStore {
                 write_through: config.write_through,
                 write_locks: (0..config.instances).map(|_| Mutex::new(())).collect(),
                 fault_plan: config.fault_plan,
+                metrics: StoreMetrics::new(),
             }),
         }
     }
@@ -167,12 +192,19 @@ impl TdStore {
         key: &[u8],
         value: Option<Vec<u8>>,
     ) {
-        self.inner.pending.lock().push(SyncOp {
-            instance,
-            generation,
-            key: key.to_vec(),
-            value,
-        });
+        {
+            let mut pending = self.inner.pending.lock();
+            pending.push(SyncOp {
+                instance,
+                generation,
+                key: key.to_vec(),
+                value,
+            });
+            self.inner
+                .metrics
+                .replication_queue
+                .set(pending.len() as f64);
+        }
         if self.inner.sync_every > 0
             && self.inner.writes_since_sync.fetch_add(1, Ordering::Relaxed) + 1
                 >= self.inner.sync_every
@@ -268,6 +300,7 @@ impl TdStore {
     /// Reads a value.
     pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, StoreError> {
         let (_, engine) = self.host_engine(key)?;
+        self.inner.metrics.gets.inc();
         Ok(engine.get(key))
     }
 
@@ -276,7 +309,9 @@ impl TdStore {
         self.write_op(key, &mut |engine| {
             engine.put(key, value.clone());
             Some(value.clone())
-        })
+        })?;
+        self.inner.metrics.writes.inc();
+        Ok(())
     }
 
     /// Deletes a key; returns whether it existed.
@@ -286,6 +321,7 @@ impl TdStore {
             existed = engine.delete(key);
             None
         })?;
+        self.inner.metrics.deletes.inc();
         Ok(existed)
     }
 
@@ -300,6 +336,7 @@ impl TdStore {
             new = engine.update(key, &mut f);
             new.clone()
         })?;
+        self.inner.metrics.writes.inc();
         Ok(new)
     }
 
@@ -374,6 +411,7 @@ impl TdStore {
     /// its data when idle").
     pub fn sync(&self) {
         let ops: Vec<SyncOp> = std::mem::take(&mut *self.inner.pending.lock());
+        self.inner.metrics.replication_queue.set(0.0);
         self.inner.writes_since_sync.store(0, Ordering::Relaxed);
         for op in ops {
             let Ok(route) = self.inner.config_servers.route(op.instance) else {
@@ -443,7 +481,46 @@ impl TdStore {
                 }
             }
         }
+        self.inner.metrics.failovers.inc();
         Ok(())
+    }
+
+    /// Attaches this store's metric handles to `registry` so they appear
+    /// in its exposition: `tdstore_ops_total{op=...}`,
+    /// `tdstore_replication_queue_depth`, `tdstore_failovers_total`.
+    /// Idempotent; call once per registry.
+    pub fn register_metrics(&self, registry: &obs::Registry) {
+        let m = &self.inner.metrics;
+        registry.register_counter(
+            "tdstore_ops_total",
+            &[("op", "get")],
+            "Store operations by kind",
+            &m.gets,
+        );
+        registry.register_counter(
+            "tdstore_ops_total",
+            &[("op", "write")],
+            "Store operations by kind",
+            &m.writes,
+        );
+        registry.register_counter(
+            "tdstore_ops_total",
+            &[("op", "delete")],
+            "Store operations by kind",
+            &m.deletes,
+        );
+        registry.register_gauge(
+            "tdstore_replication_queue_depth",
+            &[],
+            "Host writes not yet applied to slave replicas",
+            &m.replication_queue,
+        );
+        registry.register_counter(
+            "tdstore_failovers_total",
+            &[],
+            "Data-server failovers (instances rerouted to slaves)",
+            &m.failovers,
+        );
     }
 
     /// Flushes every live replica engine.
@@ -722,6 +799,51 @@ mod tests {
                 Some(vec![i as u8])
             );
         }
+    }
+
+    #[test]
+    fn registry_tracks_ops_queue_and_failovers() {
+        let s = TdStore::new(StoreConfig {
+            sync_every: 0, // manual drain so the queue depth is observable
+            ..Default::default()
+        });
+        let registry = obs::Registry::new();
+        s.register_metrics(&registry);
+        for i in 0..5u32 {
+            s.put(format!("k{i}").as_bytes(), vec![i as u8]).unwrap();
+        }
+        s.get(b"k0").unwrap();
+        s.delete(b"k4").unwrap();
+        assert_eq!(
+            registry.counter_value("tdstore_ops_total", &[("op", "write")]),
+            Some(5)
+        );
+        assert_eq!(
+            registry.counter_value("tdstore_ops_total", &[("op", "get")]),
+            Some(1)
+        );
+        assert_eq!(
+            registry.counter_value("tdstore_ops_total", &[("op", "delete")]),
+            Some(1)
+        );
+        assert_eq!(
+            registry.gauge_value("tdstore_replication_queue_depth", &[]),
+            Some(6.0),
+            "5 puts + 1 delete queued for lazy replication"
+        );
+        s.sync();
+        assert_eq!(
+            registry.gauge_value("tdstore_replication_queue_depth", &[]),
+            Some(0.0)
+        );
+        s.kill_server(0).unwrap();
+        assert_eq!(
+            registry.counter_value("tdstore_failovers_total", &[]),
+            Some(1)
+        );
+        let text = registry.render();
+        assert!(text.contains("tdstore_ops_total{op=\"write\"}"));
+        assert!(text.contains("tdstore_replication_queue_depth"));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! order. A sweep fails entries older than the message timeout.
 
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use obs::LatencyHistogram;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
@@ -34,17 +35,22 @@ pub(crate) struct InitEntry {
     pub(crate) xor: u64,
     pub(crate) slot: usize,
     pub(crate) msg_id: u64,
+    /// Spout emit time in clock milliseconds; the acker measures whole-
+    /// pipeline (spout emit -> tree complete) latency from this stamp.
+    pub(crate) emit_ms: u64,
 }
 
 #[derive(Debug)]
 pub(crate) enum AckerMsg {
     /// Root created by spout `slot` with user message id `msg_id`;
-    /// `xor` folds the edge ids of the initial deliveries.
+    /// `xor` folds the edge ids of the initial deliveries and `emit_ms`
+    /// stamps the spout emit time for pipeline-latency tracking.
     Init {
         root: u64,
         xor: u64,
         slot: usize,
         msg_id: u64,
+        emit_ms: u64,
     },
     /// Roots registered since the spout's last flush, shipped together with
     /// the flushed deliveries: one acker message per flush instead of one
@@ -102,6 +108,9 @@ struct Entry {
     msg_id: u64,
     /// Creation time in clock milliseconds (logical under a mock clock).
     created: u64,
+    /// Spout emit time in clock milliseconds (set by Init; completion can
+    /// only happen after Init, so a placeholder before that is harmless).
+    emit_ms: u64,
 }
 
 /// Folds one XOR delta into `root`'s entry; a completed tree is pushed
@@ -112,27 +121,38 @@ fn apply_xor(
     entries: &mut RootMap,
     pending_gauge: &AtomicI64,
     clock: &Clock,
+    pipeline: &LatencyHistogram,
     completed: &mut Vec<(usize, u64)>,
     root: u64,
     xor: u64,
 ) {
     let e = entries.entry(root).or_insert_with(|| {
         pending_gauge.fetch_add(1, Ordering::Relaxed);
+        let now = clock.now_ms();
         Entry {
             pending: 0,
             init: false,
             failed: false,
             slot: 0,
             msg_id: 0,
-            created: clock.now_ms(),
+            created: now,
+            emit_ms: now,
         }
     });
     e.pending ^= xor;
     if e.init && !e.failed && e.pending == 0 {
         let e = entries.remove(&root).expect("entry just updated");
         pending_gauge.fetch_sub(1, Ordering::Relaxed);
+        record_pipeline(pipeline, clock, e.emit_ms);
         completed.push((e.slot, e.msg_id));
     }
+}
+
+/// Records one spout-emit -> tree-complete latency. The clock ticks in
+/// milliseconds, so the histogram's nanosecond buckets see ms precision.
+fn record_pipeline(pipeline: &LatencyHistogram, clock: &Clock, emit_ms: u64) {
+    let ms = clock.now_ms().saturating_sub(emit_ms);
+    pipeline.record_nanos(ms.saturating_mul(1_000_000));
 }
 
 /// Registers one root (shared by the single and batched Init messages).
@@ -141,6 +161,7 @@ fn apply_init(
     spouts: &[Sender<SpoutMsg>],
     pending_gauge: &AtomicI64,
     clock: &Clock,
+    pipeline: &LatencyHistogram,
     completed: &mut Vec<(usize, u64)>,
     init: InitEntry,
 ) {
@@ -149,6 +170,7 @@ fn apply_init(
         xor,
         slot,
         msg_id,
+        emit_ms,
     } = init;
     let e = entries.entry(root).or_insert_with(|| {
         pending_gauge.fetch_add(1, Ordering::Relaxed);
@@ -159,11 +181,13 @@ fn apply_init(
             slot,
             msg_id,
             created: clock.now_ms(),
+            emit_ms,
         }
     });
     e.init = true;
     e.slot = slot;
     e.msg_id = msg_id;
+    e.emit_ms = emit_ms;
     e.pending ^= xor;
     if e.failed {
         let e = entries.remove(&root).expect("entry just inserted");
@@ -172,6 +196,7 @@ fn apply_init(
     } else if e.pending == 0 {
         let e = entries.remove(&root).expect("entry just inserted");
         pending_gauge.fetch_sub(1, Ordering::Relaxed);
+        record_pipeline(pipeline, clock, e.emit_ms);
         completed.push((e.slot, e.msg_id));
     }
 }
@@ -203,12 +228,14 @@ fn flush_acks(completed: &mut Vec<(usize, u64)>, spouts: &[Sender<SpoutMsg>]) {
 /// Runs the acker loop until shutdown. `pending_gauge` mirrors the number of
 /// live entries so the topology can detect quiescence. Entry ages are
 /// measured on `clock`, so a mock clock can expire trees in logical time.
+/// `pipeline` collects spout-emit -> tree-complete latencies.
 pub(crate) fn run_acker(
     rx: Receiver<AckerMsg>,
     spouts: Vec<Sender<SpoutMsg>>,
     timeout: Duration,
     pending_gauge: Arc<AtomicI64>,
     clock: Clock,
+    pipeline: Arc<LatencyHistogram>,
 ) {
     let mut entries = RootMap::default();
     let timeout_ms = timeout.as_millis() as u64;
@@ -234,18 +261,21 @@ pub(crate) fn run_acker(
                 xor,
                 slot,
                 msg_id,
+                emit_ms,
             }) => {
                 apply_init(
                     &mut entries,
                     &spouts,
                     &pending_gauge,
                     &clock,
+                    &pipeline,
                     &mut completed,
                     InitEntry {
                         root,
                         xor,
                         slot,
                         msg_id,
+                        emit_ms,
                     },
                 );
             }
@@ -256,6 +286,7 @@ pub(crate) fn run_acker(
                         &spouts,
                         &pending_gauge,
                         &clock,
+                        &pipeline,
                         &mut completed,
                         init,
                     );
@@ -266,6 +297,7 @@ pub(crate) fn run_acker(
                     &mut entries,
                     &pending_gauge,
                     &clock,
+                    &pipeline,
                     &mut completed,
                     root,
                     xor,
@@ -277,6 +309,7 @@ pub(crate) fn run_acker(
                         &mut entries,
                         &pending_gauge,
                         &clock,
+                        &pipeline,
                         &mut completed,
                         root,
                         xor,
@@ -297,13 +330,15 @@ pub(crate) fn run_acker(
                 }
                 std::collections::hash_map::Entry::Vacant(v) => {
                     pending_gauge.fetch_add(1, Ordering::Relaxed);
+                    let now = clock.now_ms();
                     v.insert(Entry {
                         pending: 0,
                         init: false,
                         failed: true,
                         slot: 0,
                         msg_id: 0,
-                        created: clock.now_ms(),
+                        created: now,
+                        emit_ms: now,
                     });
                 }
             },
@@ -354,7 +389,8 @@ mod tests {
         let (stx, srx) = unbounded();
         let gauge = Arc::new(AtomicI64::new(0));
         let g = Arc::clone(&gauge);
-        let h = std::thread::spawn(move || run_acker(rx, vec![stx], timeout, g, clock));
+        let pipeline = Arc::new(LatencyHistogram::new());
+        let h = std::thread::spawn(move || run_acker(rx, vec![stx], timeout, g, clock, pipeline));
         (tx, srx, gauge, h)
     }
 
@@ -378,6 +414,7 @@ mod tests {
             xor: 0xAB,
             slot: 0,
             msg_id: 42,
+            emit_ms: 0,
         })
         .unwrap();
         // bolt acks the edge (no children)
@@ -400,6 +437,7 @@ mod tests {
             xor: 0x10,
             slot: 0,
             msg_id: 9,
+            emit_ms: 0,
         })
         .unwrap();
         match srx.recv_timeout(Duration::from_secs(2)).unwrap() {
@@ -419,6 +457,7 @@ mod tests {
             xor: 0xA ^ 0xB,
             slot: 0,
             msg_id: 1,
+            emit_ms: 0,
         })
         .unwrap();
         // first bolt acks edge 0xA and creates child edge 0xC
@@ -450,6 +489,7 @@ mod tests {
                 xor: 0xEE,
                 slot: 0,
                 msg_id,
+                emit_ms: 0,
             })
             .unwrap();
         }
@@ -480,6 +520,7 @@ mod tests {
                     xor: 0x40 + i,
                     slot: 0,
                     msg_id: 100 + i,
+                    emit_ms: 0,
                 })
                 .collect(),
         ))
@@ -507,6 +548,7 @@ mod tests {
             xor: 0x1,
             slot: 0,
             msg_id: 77,
+            emit_ms: 0,
         })
         .unwrap();
         tx.send(AckerMsg::Fail { root: 5 }).unwrap();
@@ -531,6 +573,7 @@ mod tests {
             xor: 0x5,
             slot: 0,
             msg_id: 33,
+            emit_ms: 0,
         })
         .unwrap();
         match srx.recv_timeout(Duration::from_secs(2)).unwrap() {
@@ -553,6 +596,7 @@ mod tests {
             xor: 0x2,
             slot: 0,
             msg_id: 11,
+            emit_ms: 0,
         })
         .unwrap();
         assert!(
@@ -576,6 +620,7 @@ mod tests {
             xor: 0,
             slot: 0,
             msg_id: 5,
+            emit_ms: 0,
         })
         .unwrap();
         match srx.recv_timeout(Duration::from_secs(2)).unwrap() {

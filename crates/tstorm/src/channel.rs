@@ -29,15 +29,44 @@ struct State<T> {
     receiver_alive: bool,
 }
 
+/// Observability handles for one queue: current depth (set under the queue
+/// mutex at every push/drain, so it is exact) and the number of
+/// backpressure stall episodes (a producer arriving to a full queue counts
+/// once per blocking send, not once per condvar wake).
+#[derive(Clone)]
+pub(crate) struct ChannelStats {
+    pub(crate) depth: obs::Gauge,
+    pub(crate) stalls: obs::Counter,
+}
+
 struct Shared<T> {
     state: Mutex<State<T>>,
     capacity: usize,
     not_empty: Condvar,
     not_full: Condvar,
+    stats: Option<ChannelStats>,
+}
+
+impl<T> Shared<T> {
+    #[inline]
+    fn note_depth(&self, depth: usize) {
+        if let Some(s) = &self.stats {
+            s.depth.set(depth as f64);
+        }
+    }
 }
 
 /// Creates a bounded batch channel with `capacity` message slots.
+#[cfg(test)]
 pub(crate) fn batch_channel<T>(capacity: usize) -> (BatchSender<T>, BatchReceiver<T>) {
+    batch_channel_with_stats(capacity, None)
+}
+
+/// [`batch_channel`] with optional depth/stall instrumentation.
+pub(crate) fn batch_channel_with_stats<T>(
+    capacity: usize,
+    stats: Option<ChannelStats>,
+) -> (BatchSender<T>, BatchReceiver<T>) {
     let shared = Arc::new(Shared {
         state: Mutex::new(State {
             buf: VecDeque::with_capacity(capacity.min(4096)),
@@ -47,6 +76,7 @@ pub(crate) fn batch_channel<T>(capacity: usize) -> (BatchSender<T>, BatchReceive
         capacity: capacity.max(1),
         not_empty: Condvar::new(),
         not_full: Condvar::new(),
+        stats,
     });
     (
         BatchSender {
@@ -107,9 +137,16 @@ impl<T> BatchSender<T> {
     /// Blocks until a slot is free, then enqueues one message.
     pub(crate) fn send(&self, msg: T) -> Result<(), SendError<T>> {
         let mut st = lock(&self.shared.state);
+        let mut stalled = false;
         while st.buf.len() >= self.shared.capacity {
             if !st.receiver_alive {
                 return Err(SendError(msg));
+            }
+            if !stalled {
+                stalled = true;
+                if let Some(s) = &self.shared.stats {
+                    s.stalls.inc();
+                }
             }
             st = wait(&self.shared.not_full, st);
         }
@@ -117,6 +154,7 @@ impl<T> BatchSender<T> {
             return Err(SendError(msg));
         }
         st.buf.push_back(msg);
+        self.shared.note_depth(st.buf.len());
         drop(st);
         self.shared.not_empty.notify_one();
         Ok(())
@@ -129,6 +167,7 @@ impl<T> BatchSender<T> {
     pub(crate) fn send_batch(&self, msgs: Vec<T>) -> Result<(), SendBatchError> {
         let mut it = msgs.into_iter();
         let mut remaining = it.len();
+        let mut stalled = false;
         while remaining > 0 {
             let mut st = lock(&self.shared.state);
             while st.buf.len() >= self.shared.capacity {
@@ -136,6 +175,12 @@ impl<T> BatchSender<T> {
                     return Err(SendBatchError {
                         undelivered: remaining,
                     });
+                }
+                if !stalled {
+                    stalled = true;
+                    if let Some(s) = &self.shared.stats {
+                        s.stalls.inc();
+                    }
                 }
                 st = wait(&self.shared.not_full, st);
             }
@@ -149,6 +194,7 @@ impl<T> BatchSender<T> {
                 st.buf.push_back(msg);
                 remaining -= 1;
             }
+            self.shared.note_depth(st.buf.len());
             drop(st);
             self.shared.not_empty.notify_one();
         }
@@ -204,6 +250,7 @@ impl<T> BatchReceiver<T> {
         }
         let n = st.buf.len().min(max.max(1));
         out.extend(st.buf.drain(..n));
+        self.shared.note_depth(st.buf.len());
         drop(st);
         // Producers may be parked on distinct batches; wake them all and
         // let them race for the freed slots.
@@ -279,6 +326,40 @@ mod tests {
             _ => panic!("expected delivery"),
         }
         assert_eq!(out, vec![9]);
+    }
+
+    #[test]
+    fn stats_track_depth_and_stalls() {
+        let stats = ChannelStats {
+            depth: obs::Gauge::new(),
+            stalls: obs::Counter::new(),
+        };
+        let (tx, rx) = batch_channel_with_stats::<u32>(2, Some(stats.clone()));
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(stats.depth.get(), 2.0);
+        assert_eq!(stats.stalls.get(), 0);
+        let tx2 = tx.clone();
+        let blocked = std::thread::spawn(move || tx2.send(3).is_ok());
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while stats.stalls.get() == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(stats.stalls.get(), 1, "one stall episode per blocked send");
+        let mut out = Vec::new();
+        match rx.recv_batch(&mut out, 16, None) {
+            RecvBatch::Msgs(2) => {}
+            _ => panic!("expected both queued messages"),
+        }
+        assert!(blocked.join().unwrap());
+        while out.len() < 3 {
+            match rx.recv_batch(&mut out, 16, None) {
+                RecvBatch::Msgs(_) => {}
+                _ => panic!("sender still alive"),
+            }
+        }
+        assert_eq!(stats.depth.get(), 0.0, "drained queue reports depth 0");
+        assert_eq!(stats.stalls.get(), 1, "unblocked send does not re-stall");
     }
 
     #[test]

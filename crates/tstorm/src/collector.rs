@@ -180,7 +180,7 @@ impl EmitterCore {
                 }
             }
         }
-        self.metrics.emitted.fetch_add(1, Ordering::Relaxed);
+        self.metrics.emitted.inc();
     }
 
     /// Flushes every non-empty scatter buffer and resets shuffle
@@ -296,6 +296,9 @@ pub struct SpoutCollector {
     /// Root registrations accumulated since the last flush; shipped to the
     /// acker as one `InitBatch` alongside the flushed deliveries.
     pub(crate) pending_inits: Vec<InitEntry>,
+    /// Stamps `emit_ms` on every tracked root so the acker can measure
+    /// whole-pipeline latency (same clock as the timeout sweep).
+    pub(crate) clock: tchaos::Clock,
 }
 
 impl SpoutCollector {
@@ -334,6 +337,7 @@ impl SpoutCollector {
                     xor,
                     slot: self.slot,
                     msg_id: id,
+                    emit_ms: self.clock.now_ms(),
                 });
             }
         }
@@ -353,12 +357,14 @@ impl SpoutCollector {
                     xor,
                     slot,
                     msg_id,
+                    emit_ms,
                 } = self.pending_inits.pop().expect("len checked");
                 let _ = self.core.acker.send(AckerMsg::Init {
                     root,
                     xor,
                     slot,
                     msg_id,
+                    emit_ms,
                 });
             }
             _ => {

@@ -11,13 +11,17 @@
 //! buffers, and each run ships one pre-folded `XorBatch` to the acker.
 
 use crate::ack::{run_acker, AckerMsg, SpoutMsg};
-use crate::channel::{batch_channel, BatchReceiver, BatchSender, RecvBatch};
+use crate::channel::{
+    batch_channel_with_stats, BatchReceiver, BatchSender, ChannelStats, RecvBatch,
+};
 use crate::collector::{
     BoltCollector, BoltMsg, ConsumerEdge, EmitterCore, OutputMap, SpoutCollector, StreamOutputs,
 };
 use crate::component::{Bolt, Spout, TaskContext};
 use crate::grouping::RoutingRule;
-use crate::metrics::{ComponentMetrics, MetricsRegistry, MetricsSnapshot};
+use crate::metrics::{
+    ComponentMetrics, LatencyHistogram, LatencySnapshot, MetricsRegistry, MetricsSnapshot,
+};
 use crate::topology::{BoltFactory, Topology};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::collections::HashMap;
@@ -38,9 +42,34 @@ impl Topology {
     /// monitoring and shutdown.
     pub fn launch(self) -> TopologyHandle {
         let mut metrics = MetricsRegistry::default();
+        let obs = self.config.registry.clone();
         let inflight = Arc::new(AtomicI64::new(0));
         let acker_pending = Arc::new(AtomicI64::new(0));
         let emitted_roots = Arc::new(AtomicU64::new(0));
+        // Topology-wide gauges mirror the runtime's existing atomics at
+        // render time; the histogram collects spout-emit -> tree-complete
+        // latency recorded by the acker.
+        {
+            let inflight = Arc::clone(&inflight);
+            obs.register_gauge_fn(
+                "tstorm_inflight_tuples",
+                &[],
+                "Tuples currently queued, buffered or executing.",
+                move || inflight.load(Ordering::Relaxed) as f64,
+            );
+            let pending = Arc::clone(&acker_pending);
+            obs.register_gauge_fn(
+                "tstorm_acker_pending_trees",
+                &[],
+                "Incomplete tracked tuple trees in the acker.",
+                move || pending.load(Ordering::Relaxed) as f64,
+            );
+        }
+        let pipeline = obs.histogram_nanos(
+            "tstorm_pipeline_latency_seconds",
+            &[],
+            "Whole-pipeline latency from spout emit to tuple-tree completion.",
+        );
         let batch_size = self.config.batch_size.max(1);
         let flush_interval = self.config.flush_interval;
         let total_spout_tasks: usize = self.spouts.iter().map(|s| s.parallelism).sum();
@@ -59,7 +88,23 @@ impl Topology {
         let mut bolt_rxs: HashMap<&str, Vec<BatchReceiver<BoltMsg>>> = HashMap::new();
         for b in &self.bolts {
             let (txs, rxs): (Vec<_>, Vec<_>) = (0..b.parallelism)
-                .map(|_| batch_channel(self.config.queue_capacity))
+                .map(|i| {
+                    let task = i.to_string();
+                    let labels: &[(&str, &str)] = &[("component", &b.name), ("task", &task)];
+                    let stats = ChannelStats {
+                        depth: obs.gauge(
+                            "tstorm_queue_depth",
+                            labels,
+                            "Tuples currently queued in this task's input queue.",
+                        ),
+                        stalls: obs.counter(
+                            "tstorm_backpressure_stalls_total",
+                            labels,
+                            "Blocking sends that found this queue full (backpressure).",
+                        ),
+                    };
+                    batch_channel_with_stats(self.config.queue_capacity, Some(stats))
+                })
                 .unzip();
             bolt_txs.insert(&b.name, txs);
             bolt_rxs.insert(&b.name, rxs);
@@ -124,9 +169,10 @@ impl Topology {
             let timeout = self.config.message_timeout;
             let gauge = Arc::clone(&acker_pending);
             let clock = self.config.clock.clone();
+            let pipeline = Arc::clone(&pipeline);
             std::thread::Builder::new()
                 .name("tstorm-acker".into())
-                .spawn(move || run_acker(acker_rx, spouts, timeout, gauge, clock))
+                .spawn(move || run_acker(acker_rx, spouts, timeout, gauge, clock, pipeline))
                 .expect("spawn acker")
         };
 
@@ -134,7 +180,12 @@ impl Topology {
 
         // Bolt tasks.
         for b in &self.bolts {
-            let comp_metrics = metrics.register(&b.name);
+            let comp_metrics = metrics.register(&b.name, &obs);
+            let batch_hist = obs.histogram_values(
+                "tstorm_batch_size",
+                &[("component", &b.name)],
+                "Messages drained per receive into this bolt's execute loop.",
+            );
             let mut rxs = bolt_rxs.remove(b.name.as_str()).expect("rx registered");
             for task_index in (0..b.parallelism).rev() {
                 let rx = rxs.pop().expect("one rx per task");
@@ -163,6 +214,7 @@ impl Topology {
                 let tick = b.tick;
                 let fault_plan = self.config.fault_plan.clone();
                 let metrics = Arc::clone(&comp_metrics);
+                let batch_hist = Arc::clone(&batch_hist);
                 let inflight = Arc::clone(&inflight);
                 let name = b.name.clone();
                 threads.push(
@@ -175,7 +227,10 @@ impl Topology {
                             let mut run: Vec<Tuple> = Vec::with_capacity(batch_size);
                             'main: loop {
                                 match rx.recv_batch(&mut inbox, batch_size, next_tick) {
-                                    RecvBatch::Msgs(n) => debug_assert_eq!(n, inbox.len()),
+                                    RecvBatch::Msgs(n) => {
+                                        debug_assert_eq!(n, inbox.len());
+                                        batch_hist.record_nanos(n as u64);
+                                    }
                                     RecvBatch::TimedOut => {
                                         do_tick(&mut bolt, &mut collector);
                                         next_tick =
@@ -249,7 +304,7 @@ impl Topology {
         let mut slot = 0usize;
         let mut spout_threads: Vec<JoinHandle<()>> = Vec::new();
         for s in &self.spouts {
-            let comp_metrics = metrics.register(&s.name);
+            let comp_metrics = metrics.register(&s.name, &obs);
             for task_index in 0..s.parallelism {
                 let rx = spout_ctl_rxs[slot].clone();
                 let mut spout = (s.factory)();
@@ -272,6 +327,7 @@ impl Topology {
                     slot,
                     emitted_roots: Arc::clone(&emitted_roots),
                     pending_inits: Vec::new(),
+                    clock: self.config.clock.clone(),
                 };
                 let metrics = Arc::clone(&comp_metrics);
                 let name = s.name.clone();
@@ -347,6 +403,8 @@ impl Topology {
 
         TopologyHandle {
             metrics,
+            registry: obs,
+            pipeline,
             inflight,
             acker_pending,
             emitted_roots,
@@ -379,17 +437,17 @@ fn handle_ctl(
 ) -> Ctl {
     match msg {
         SpoutMsg::Ack(id) => {
-            metrics.acked.fetch_add(1, Ordering::Relaxed);
+            metrics.acked.inc();
             spout.ack(id);
         }
         SpoutMsg::AckBatch(ids) => {
-            metrics.acked.fetch_add(ids.len() as u64, Ordering::Relaxed);
+            metrics.acked.add(ids.len() as u64);
             for id in ids {
                 spout.ack(id);
             }
         }
         SpoutMsg::Fail(id) => {
-            metrics.failed.fetch_add(1, Ordering::Relaxed);
+            metrics.failed.inc();
             spout.fail(id);
         }
         SpoutMsg::Deactivate => *active = false,
@@ -502,6 +560,8 @@ fn execute_run(
 /// Handle to a running topology.
 pub struct TopologyHandle {
     metrics: MetricsRegistry,
+    registry: obs::Registry,
+    pipeline: Arc<LatencyHistogram>,
     inflight: Arc<AtomicI64>,
     acker_pending: Arc<AtomicI64>,
     emitted_roots: Arc<AtomicU64>,
@@ -523,6 +583,21 @@ impl TopologyHandle {
     /// Metrics snapshot of one component.
     pub fn metrics_for(&self, component: &str) -> Option<MetricsSnapshot> {
         self.metrics.component(component)
+    }
+
+    /// The exposition registry every runtime metric of this topology is
+    /// attached to (a clone shares the underlying entries). Render it with
+    /// [`obs::Registry::render`] or combine several registries with
+    /// [`obs::render_registries`].
+    pub fn registry(&self) -> obs::Registry {
+        self.registry.clone()
+    }
+
+    /// Snapshot of whole-pipeline latency (spout emit to tuple-tree
+    /// completion, millisecond precision), recorded by the acker for every
+    /// tracked tuple.
+    pub fn pipeline_latency(&self) -> LatencySnapshot {
+        self.pipeline.snapshot()
     }
 
     /// Number of tuples currently queued, buffered or executing.

@@ -1,9 +1,15 @@
-//! Lightweight per-component runtime metrics, plus a log-bucketed
-//! latency histogram for tail-latency reporting.
+//! Lightweight per-component runtime metrics.
+//!
+//! The latency histogram lives in the `obs` crate (re-exported here so
+//! downstream crates keep importing it from `tstorm::metrics`); this
+//! module keeps the per-component counter bundle and the topology's
+//! registry of them, attaching every handle to the topology's
+//! [`obs::Registry`] so the same counters show up in the text exposition.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+pub use obs::{LatencyHistogram, LatencySnapshot};
+
+use obs::Counter;
 use std::sync::Arc;
-use std::time::Duration;
 
 /// Shared counters for one component (all of its tasks update the same
 /// instance; contention is acceptable because these are plain relaxed
@@ -11,45 +17,51 @@ use std::time::Duration;
 #[derive(Debug, Default)]
 pub struct ComponentMetrics {
     /// Tuples emitted on any stream.
-    pub emitted: AtomicU64,
+    pub emitted: Counter,
     /// Tuples executed (bolts) or emitted root messages (spouts).
-    pub executed: AtomicU64,
+    pub executed: Counter,
     /// Completed tuple trees (spouts) / successful executes (bolts).
-    pub acked: AtomicU64,
+    pub acked: Counter,
     /// Failed tuple trees / failed executes.
-    pub failed: AtomicU64,
+    pub failed: Counter,
     /// Total nanoseconds spent inside `execute`.
-    pub exec_nanos: AtomicU64,
+    pub exec_nanos: Counter,
     /// Distribution of per-`execute` latency (mean alone hides tails).
-    pub exec_latency: LatencyHistogram,
+    pub exec_latency: Arc<LatencyHistogram>,
 }
 
 impl ComponentMetrics {
     pub(crate) fn record_exec(&self, nanos: u64, ok: bool) {
-        self.executed.fetch_add(1, Ordering::Relaxed);
-        self.exec_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.executed.inc();
+        self.exec_nanos.add(nanos);
         self.exec_latency.record_nanos(nanos);
         if ok {
-            self.acked.fetch_add(1, Ordering::Relaxed);
+            self.acked.inc();
         } else {
-            self.failed.fetch_add(1, Ordering::Relaxed);
+            self.failed.inc();
         }
     }
 
     /// Records one `execute_batch` invocation covering `count` tuples.
     /// The histogram is fed the per-tuple share of the batch, so its
-    /// percentiles stay comparable with the unbatched path.
+    /// percentiles stay comparable with the unbatched path. The integer
+    /// division's remainder is distributed over `total_nanos % count`
+    /// tuples (one extra nanosecond each), so the histogram's sum equals
+    /// `exec_nanos` exactly instead of drifting low on every batch.
     pub(crate) fn record_exec_batch(&self, total_nanos: u64, count: u64, ok: bool) {
         if count == 0 {
             return;
         }
-        self.executed.fetch_add(count, Ordering::Relaxed);
-        self.exec_nanos.fetch_add(total_nanos, Ordering::Relaxed);
-        self.exec_latency.record_nanos_n(total_nanos / count, count);
+        self.executed.add(count);
+        self.exec_nanos.add(total_nanos);
+        let share = total_nanos / count;
+        let rem = total_nanos % count;
+        self.exec_latency.record_nanos_n(share, count - rem);
+        self.exec_latency.record_nanos_n(share + 1, rem);
         if ok {
-            self.acked.fetch_add(count, Ordering::Relaxed);
+            self.acked.add(count);
         } else {
-            self.failed.fetch_add(count, Ordering::Relaxed);
+            self.failed.add(count);
         }
     }
 
@@ -57,11 +69,11 @@ impl ComponentMetrics {
     pub fn snapshot(&self, component: &str) -> MetricsSnapshot {
         MetricsSnapshot {
             component: component.to_string(),
-            emitted: self.emitted.load(Ordering::Relaxed),
-            executed: self.executed.load(Ordering::Relaxed),
-            acked: self.acked.load(Ordering::Relaxed),
-            failed: self.failed.load(Ordering::Relaxed),
-            exec_nanos: self.exec_nanos.load(Ordering::Relaxed),
+            emitted: self.emitted.get(),
+            executed: self.executed.get(),
+            acked: self.acked.get(),
+            failed: self.failed.get(),
+            exec_nanos: self.exec_nanos.get(),
             exec_latency: self.exec_latency.snapshot(),
         }
     }
@@ -104,8 +116,45 @@ pub struct MetricsRegistry {
 }
 
 impl MetricsRegistry {
-    pub(crate) fn register(&mut self, component: &str) -> Arc<ComponentMetrics> {
+    /// Creates the component's counter bundle and attaches each handle to
+    /// the topology's exposition registry under a `component` label.
+    pub(crate) fn register(
+        &mut self,
+        component: &str,
+        obs: &obs::Registry,
+    ) -> Arc<ComponentMetrics> {
         let m = Arc::new(ComponentMetrics::default());
+        let labels: &[(&str, &str)] = &[("component", component)];
+        obs.register_counter(
+            "tstorm_emitted_total",
+            labels,
+            "Tuples emitted on any stream.",
+            &m.emitted,
+        );
+        obs.register_counter(
+            "tstorm_executed_total",
+            labels,
+            "Tuples executed (bolts) or root messages emitted (spouts).",
+            &m.executed,
+        );
+        obs.register_counter(
+            "tstorm_acked_total",
+            labels,
+            "Successful executes / completed tuple trees.",
+            &m.acked,
+        );
+        obs.register_counter(
+            "tstorm_failed_total",
+            labels,
+            "Failed executes / failed tuple trees.",
+            &m.failed,
+        );
+        obs.register_histogram_nanos(
+            "tstorm_exec_latency_seconds",
+            labels,
+            "Per-execute latency distribution.",
+            &m.exec_latency,
+        );
         self.entries.push((component.to_string(), Arc::clone(&m)));
         m
     }
@@ -127,245 +176,6 @@ impl MetricsRegistry {
     }
 }
 
-// ---------------------------------------------------------------------
-// Latency histogram
-// ---------------------------------------------------------------------
-
-/// Sub-bucket resolution bits: 32 linear sub-buckets per power of two,
-/// bounding relative quantile error at ~3%.
-const SUB_BITS: u32 = 5;
-const SUB_BUCKETS: usize = 1 << SUB_BITS;
-/// Enough buckets to cover the full `u64` nanosecond range.
-const BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUB_BUCKETS;
-
-#[inline]
-fn bucket_index(nanos: u64) -> usize {
-    if nanos < SUB_BUCKETS as u64 {
-        nanos as usize
-    } else {
-        let msb = 63 - nanos.leading_zeros();
-        let shift = msb - SUB_BITS;
-        let sub = ((nanos >> shift) & (SUB_BUCKETS as u64 - 1)) as usize;
-        ((msb - SUB_BITS + 1) as usize) * SUB_BUCKETS + sub
-    }
-}
-
-/// Lower bound in nanoseconds of the bucket at `index`.
-#[inline]
-fn bucket_floor(index: usize) -> u64 {
-    let exp = (index / SUB_BUCKETS) as u32;
-    let sub = (index % SUB_BUCKETS) as u64;
-    if exp == 0 {
-        sub
-    } else {
-        (SUB_BUCKETS as u64 + sub) << (exp - 1)
-    }
-}
-
-/// A log-bucketed latency histogram: powers of two split into 32 linear
-/// sub-buckets (HdrHistogram-style), so any recorded duration lands in a
-/// bucket within ~3% of its true value while the whole structure is a
-/// flat array of counters.
-///
-/// Recording is wait-free (one relaxed atomic increment), so one
-/// histogram can be shared by every worker thread of a server; snapshots
-/// are consistent enough for monitoring and [`LatencySnapshot::merge`]
-/// combines per-thread or per-shard histograms into one distribution —
-/// percentiles of merged histograms are exact over the merged buckets,
-/// unlike averaging per-thread percentiles.
-pub struct LatencyHistogram {
-    counts: Box<[AtomicU64]>,
-    total: AtomicU64,
-    sum_nanos: AtomicU64,
-    max_nanos: AtomicU64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        let counts: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
-        LatencyHistogram {
-            counts: counts.into_boxed_slice(),
-            total: AtomicU64::new(0),
-            sum_nanos: AtomicU64::new(0),
-            max_nanos: AtomicU64::new(0),
-        }
-    }
-}
-
-impl std::fmt::Debug for LatencyHistogram {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("LatencyHistogram")
-            .field("total", &self.total.load(Ordering::Relaxed))
-            .field("max_nanos", &self.max_nanos.load(Ordering::Relaxed))
-            .finish_non_exhaustive()
-    }
-}
-
-impl LatencyHistogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Records one latency observation.
-    pub fn record(&self, latency: Duration) {
-        self.record_nanos(latency.as_nanos().min(u64::MAX as u128) as u64);
-    }
-
-    /// Records one observation in nanoseconds.
-    pub fn record_nanos(&self, nanos: u64) {
-        self.counts[bucket_index(nanos)].fetch_add(1, Ordering::Relaxed);
-        self.total.fetch_add(1, Ordering::Relaxed);
-        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
-        self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
-    }
-
-    /// Records `n` identical observations with one increment per counter
-    /// (the bulk path for batched executes).
-    pub fn record_nanos_n(&self, nanos: u64, n: u64) {
-        if n == 0 {
-            return;
-        }
-        self.counts[bucket_index(nanos)].fetch_add(n, Ordering::Relaxed);
-        self.total.fetch_add(n, Ordering::Relaxed);
-        self.sum_nanos
-            .fetch_add(nanos.saturating_mul(n), Ordering::Relaxed);
-        self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
-    }
-
-    /// Point-in-time copy of the distribution.
-    pub fn snapshot(&self) -> LatencySnapshot {
-        LatencySnapshot {
-            counts: self
-                .counts
-                .iter()
-                .map(|c| c.load(Ordering::Relaxed))
-                .collect(),
-            total: self.total.load(Ordering::Relaxed),
-            sum_nanos: self.sum_nanos.load(Ordering::Relaxed),
-            max_nanos: self.max_nanos.load(Ordering::Relaxed),
-        }
-    }
-}
-
-/// Immutable copy of a [`LatencyHistogram`], mergeable across threads,
-/// shards or processes (the serve crate ships these over the wire).
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
-pub struct LatencySnapshot {
-    counts: Vec<u64>,
-    total: u64,
-    sum_nanos: u64,
-    max_nanos: u64,
-}
-
-impl LatencySnapshot {
-    /// Rebuilds a snapshot from sparse `(bucket, count)` pairs plus the
-    /// scalar tallies (the wire representation).
-    pub fn from_parts(sparse: &[(u32, u64)], total: u64, sum_nanos: u64, max_nanos: u64) -> Self {
-        let mut counts = vec![0u64; BUCKETS];
-        for &(index, count) in sparse {
-            if let Some(slot) = counts.get_mut(index as usize) {
-                *slot = count;
-            }
-        }
-        LatencySnapshot {
-            counts,
-            total,
-            sum_nanos,
-            max_nanos,
-        }
-    }
-
-    /// Non-zero `(bucket, count)` pairs (the wire representation).
-    pub fn sparse_counts(&self) -> Vec<(u32, u64)> {
-        self.counts
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| c > 0)
-            .map(|(i, &c)| (i as u32, c))
-            .collect()
-    }
-
-    /// Observations recorded.
-    pub fn count(&self) -> u64 {
-        self.total
-    }
-
-    /// Sum of all recorded latencies in nanoseconds (exact, for wire
-    /// transport via [`LatencySnapshot::from_parts`]).
-    pub fn sum_nanos(&self) -> u64 {
-        self.sum_nanos
-    }
-
-    /// Largest recorded latency in nanoseconds.
-    pub fn max_nanos(&self) -> u64 {
-        self.max_nanos
-    }
-
-    /// Mean latency, or zero when empty.
-    pub fn mean(&self) -> Duration {
-        Duration::from_nanos(self.sum_nanos.checked_div(self.total).unwrap_or(0))
-    }
-
-    /// Largest recorded latency (exact, not bucketed).
-    pub fn max(&self) -> Duration {
-        Duration::from_nanos(self.max_nanos)
-    }
-
-    /// The latency at quantile `q` in `[0, 1]` (bucket lower bound, so
-    /// within ~3% below the true value); zero when empty.
-    pub fn quantile(&self, q: f64) -> Duration {
-        if self.total == 0 {
-            return Duration::ZERO;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return Duration::from_nanos(bucket_floor(i));
-            }
-        }
-        self.max()
-    }
-
-    /// Median latency.
-    pub fn p50(&self) -> Duration {
-        self.quantile(0.50)
-    }
-
-    /// 90th percentile latency.
-    pub fn p90(&self) -> Duration {
-        self.quantile(0.90)
-    }
-
-    /// 99th percentile latency.
-    pub fn p99(&self) -> Duration {
-        self.quantile(0.99)
-    }
-
-    /// Adds `other`'s observations into this snapshot.
-    pub fn merge(&mut self, other: &LatencySnapshot) {
-        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
-            *mine += theirs;
-        }
-        self.total += other.total;
-        self.sum_nanos += other.sum_nanos;
-        self.max_nanos = self.max_nanos.max(other.max_nanos);
-    }
-
-    /// `p50/p90/p99/max` on one line, for experiment output.
-    pub fn format_percentiles(&self) -> String {
-        format!(
-            "p50 {:?}  p90 {:?}  p99 {:?}  max {:?}",
-            self.p50(),
-            self.p90(),
-            self.p99(),
-            self.max()
-        )
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -373,7 +183,8 @@ mod tests {
     #[test]
     fn record_and_snapshot() {
         let mut reg = MetricsRegistry::default();
-        let m = reg.register("bolt");
+        let obs = obs::Registry::new();
+        let m = reg.register("bolt", &obs);
         m.record_exec(1_000, true);
         m.record_exec(3_000, false);
         let snap = reg.component("bolt").unwrap();
@@ -382,97 +193,45 @@ mod tests {
         assert_eq!(snap.failed, 1);
         assert!((snap.mean_exec_micros() - 2.0).abs() < 1e-9);
         assert!(reg.component("missing").is_none());
+        // The same counters are visible through the exposition registry.
+        assert_eq!(
+            obs.counter_value("tstorm_executed_total", &[("component", "bolt")]),
+            Some(2)
+        );
+        assert_eq!(
+            obs.histogram_snapshot("tstorm_exec_latency_seconds", &[("component", "bolt")])
+                .unwrap()
+                .count(),
+            2
+        );
     }
 
     #[test]
     fn empty_snapshot_zero_latency() {
         let mut reg = MetricsRegistry::default();
-        reg.register("a");
+        reg.register("a", &obs::Registry::new());
         assert_eq!(reg.snapshot()[0].mean_exec_micros(), 0.0);
     }
 
     #[test]
-    fn bucket_index_monotone_and_tight() {
-        let mut last = (0u64, 0usize); // (probe, index)
-        for shift in 0..60 {
-            let v = 1u64 << shift;
-            for probe in [v, v + 1, v * 3 / 2] {
-                let idx = bucket_index(probe);
-                if probe >= last.0 {
-                    assert!(idx >= last.1, "monotone at {probe}");
-                    last = (probe, idx);
-                }
-                let floor = bucket_floor(idx);
-                assert!(floor <= probe, "floor {floor} > value {probe}");
-                // Relative error bound: bucket width / floor <= 1/16.
-                if probe >= SUB_BUCKETS as u64 {
-                    assert!(
-                        (probe - floor) as f64 / probe as f64 <= 1.0 / 16.0,
-                        "bucket too wide at {probe}: floor {floor}"
-                    );
-                }
-            }
-        }
-    }
-
-    #[test]
-    fn quantiles_of_uniform_ramp() {
-        let h = LatencyHistogram::new();
-        for micros in 1..=1000u64 {
-            h.record(Duration::from_micros(micros));
-        }
-        let snap = h.snapshot();
-        assert_eq!(snap.count(), 1000);
-        let p50 = snap.p50().as_micros() as f64;
-        let p99 = snap.p99().as_micros() as f64;
-        assert!((450.0..=510.0).contains(&p50), "p50 = {p50}");
-        assert!((930.0..=1000.0).contains(&p99), "p99 = {p99}");
-        assert_eq!(snap.max(), Duration::from_millis(1));
-        let mean = snap.mean().as_micros();
-        assert!((480..=520).contains(&mean), "mean = {mean}");
-    }
-
-    #[test]
-    fn merge_equals_combined_recording() {
-        let a = LatencyHistogram::new();
-        let b = LatencyHistogram::new();
-        let combined = LatencyHistogram::new();
-        for i in 0..500u64 {
-            let v = (i * 7919) % 100_000 + 1;
-            if i % 2 == 0 {
-                a.record_nanos(v);
-            } else {
-                b.record_nanos(v);
-            }
-            combined.record_nanos(v);
-        }
-        let mut merged = a.snapshot();
-        merged.merge(&b.snapshot());
-        assert_eq!(merged, combined.snapshot());
-    }
-
-    #[test]
-    fn sparse_roundtrip() {
-        let h = LatencyHistogram::new();
-        for v in [1u64, 40, 1_000, 1_000_000, 12_345_678_901] {
-            h.record_nanos(v);
-        }
-        let snap = h.snapshot();
-        let rebuilt = LatencySnapshot::from_parts(
-            &snap.sparse_counts(),
-            snap.count(),
-            snap.sum_nanos,
-            snap.max_nanos,
+    fn batch_histogram_sum_matches_exec_nanos() {
+        // 10 tuples sharing 1007ns: the naive per-tuple share (100ns) would
+        // record 1000ns total, silently dropping 7ns per batch. The
+        // remainder must be distributed so both sums agree exactly.
+        let m = ComponentMetrics::default();
+        m.record_exec_batch(1_007, 10, true);
+        m.record_exec_batch(999, 4, false);
+        m.record_exec_batch(5, 7, true); // more tuples than nanos
+        let snap = m.snapshot("b");
+        assert_eq!(snap.exec_nanos, 1_007 + 999 + 5);
+        assert_eq!(
+            snap.exec_latency.sum_nanos(),
+            snap.exec_nanos,
+            "histogram sum must equal exec_nanos for non-divisible batches"
         );
-        assert_eq!(rebuilt, snap);
-        assert!(snap.sparse_counts().len() <= 5);
-    }
-
-    #[test]
-    fn empty_histogram_zero_quantiles() {
-        let snap = LatencyHistogram::new().snapshot();
-        assert_eq!(snap.quantile(0.99), Duration::ZERO);
-        assert_eq!(snap.mean(), Duration::ZERO);
-        assert_eq!(snap.count(), 0);
+        assert_eq!(snap.exec_latency.count(), 10 + 4 + 7);
+        assert_eq!(snap.executed, 21);
+        assert_eq!(snap.acked, 17);
+        assert_eq!(snap.failed, 4);
     }
 }

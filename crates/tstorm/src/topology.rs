@@ -112,6 +112,11 @@ pub struct TopologyConfig {
     /// the end of every execute run and on ticks, so this interval is the
     /// extra latency batching can add to a trickle of tuples.
     pub flush_interval: Duration,
+    /// Exposition registry every runtime metric attaches to (component
+    /// counters, queue depths, backpressure stalls, batch sizes, pipeline
+    /// latency). Share one registry across topologies and other subsystems
+    /// to render a single combined text exposition.
+    pub registry: obs::Registry,
 }
 
 impl Default for TopologyConfig {
@@ -123,6 +128,7 @@ impl Default for TopologyConfig {
             clock: tchaos::Clock::system(),
             batch_size: 64,
             flush_interval: Duration::from_millis(1),
+            registry: obs::Registry::new(),
         }
     }
 }

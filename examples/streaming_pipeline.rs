@@ -18,9 +18,27 @@ use tencentrec::topology::{
 };
 
 fn main() {
+    // One registry spans the whole stack: TDAccess produce/consume and
+    // lag, the topology's framework + CF metrics, and TDStore ops — a
+    // single scrape shows the pipeline end to end.
+    let registry = obs::Registry::new();
+    let mut reporter = obs::MetricsReporter::new();
+    reporter.add(&registry);
+
+    // Periodic reporting while the pipeline runs (a deployment would
+    // serve the same exposition over HTTP on each scrape).
+    let progress = reporter.clone().spawn(Duration::from_millis(250), |text| {
+        let done = text
+            .lines()
+            .find_map(|l| l.strip_prefix("tstorm_pipeline_latency_seconds_count "))
+            .unwrap_or("0");
+        eprintln!("[obs] tuple trees completed: {done}");
+    });
+
     // --- TDAccess: the data access layer -------------------------------
     let access = AccessCluster::new(ClusterConfig {
         brokers: 3,
+        metrics: registry.clone(),
         ..Default::default()
     });
     access
@@ -69,8 +87,15 @@ fn main() {
         sync_every: 64,
         ..Default::default()
     });
+    store.register_metrics(&registry);
     let (tx, rx) = unbounded();
-    let config = CfPipelineConfig::default();
+    let config = CfPipelineConfig {
+        cache_capacity: 1024,
+        combiner_keys: 128,
+        pruning_delta: Some(1e-3),
+        registry: registry.clone(),
+        ..Default::default()
+    };
     let topology = build_cf_topology(rx, store.clone(), config.clone(), CfParallelism::default())
         .expect("valid topology");
     let handle = topology.launch();
@@ -130,4 +155,12 @@ fn main() {
             m.component, m.executed, m.emitted
         );
     }
+
+    // --- Prometheus-style exposition ------------------------------------
+    // Everything above — queue depths, execute/pipeline latency
+    // percentiles, cache hit ratio, combiner reduction, consumer lag,
+    // store ops, failovers — in one scrape body.
+    progress.stop();
+    println!("\n=== metrics exposition ===");
+    print!("{}", reporter.render());
 }

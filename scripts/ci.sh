@@ -22,12 +22,41 @@ for seed in "${CHAOS_SEEDS[@]}"; do
     fi
 done
 
+# Observability stage: the full-stack example must expose every metric
+# family the dashboards are built on, in one scrape body, with real
+# samples in the whole-pipeline latency histogram.
+echo "==> observability smoke (streaming_pipeline exposition)"
+expo="$(cargo run --release -p tencentrec --example streaming_pipeline 2>/dev/null)"
+for family in \
+    tstorm_exec_latency_seconds tstorm_queue_depth \
+    tstorm_backpressure_stalls_total tstorm_pipeline_latency_seconds \
+    tstorm_batch_size tencentrec_cache_hit_ratio \
+    tencentrec_combiner_reduction_ratio tencentrec_pruning_tracked_pairs \
+    tdaccess_produced_total tdaccess_consumed_total tdaccess_consumer_lag \
+    tdstore_ops_total tdstore_replication_queue_depth tdstore_failovers_total; do
+    if ! grep -q "^$family" <<<"$expo"; then
+        echo "OBSERVABILITY FAILURE: family $family missing from exposition" >&2
+        exit 1
+    fi
+done
+count="$(grep '^tstorm_pipeline_latency_seconds_count' <<<"$expo" | awk '{print $2}')"
+if [[ -z "$count" || "$count" == "0" ]]; then
+    echo "OBSERVABILITY FAILURE: pipeline latency histogram is empty" >&2
+    exit 1
+fi
+echo "    exposition OK (pipeline latency samples: $count)"
+
 # Throughput gate: a smoke-size batch-transport run must stay within 20%
 # of the committed BENCH_topology.json baseline. After an intentional perf
 # change, re-baseline with: BENCH_REBASELINE=1 scripts/ci.sh (or re-run
-# scripts/bench.sh and commit the refreshed report).
+# scripts/bench.sh and commit the refreshed report). One retry: the smoke
+# run is ~25 ms of work, so a noisy neighbor alone can push a single run
+# past the 20% floor; a real regression fails both runs.
 echo "==> topology throughput gate (smoke)"
-cargo run --release -p bench --bin topology_bench -- --smoke --check
+if ! cargo run --release -p bench --bin topology_bench -- --smoke --check; then
+    echo "    gate failed once; retrying to rule out machine noise"
+    cargo run --release -p bench --bin topology_bench -- --smoke --check
+fi
 if [[ "${BENCH_REBASELINE:-0}" != "1" ]]; then
     # The check pass rewrites the smoke section with this run's (noisy)
     # numbers; restore the committed baseline unless re-baselining.
