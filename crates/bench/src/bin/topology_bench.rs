@@ -13,6 +13,12 @@
 //!   batch 64 against the committed baseline and exits non-zero on a
 //!   regression beyond 20%. `BENCH_REBASELINE=1` rewrites the baseline
 //!   instead of failing.
+//!
+//! Every mode also runs the `cluster` section: the same shuffle micro
+//! topology split across two worker OS processes (spout worker → TCP →
+//! supervisor relay → TCP → bolt worker), measuring spout-emit →
+//! tree-acked throughput over the remote edge against an in-process run
+//! of the identical topology.
 
 use crossbeam::channel::unbounded;
 use rand::rngs::SmallRng;
@@ -153,6 +159,190 @@ fn run_micro(grouping: Grouping, batch_size: usize, tuples: u64) -> MicroResult 
         bolt_p50_us: count.exec_latency.p50().as_nanos() as f64 / 1_000.0,
         bolt_p99_us: count.exec_latency.p99().as_nanos() as f64 / 1_000.0,
     }
+}
+
+// ---------------------------------------------------------------------
+// Cluster: the micro topology split across two worker processes, the
+// remote edge going spout worker → supervisor relay → bolt worker over
+// batched TCP frames. Both sides of the comparison measure the full
+// spout-emit → tree-acked loop, so the delta is the wire (plus the
+// relayed acker round-trip), not a change in what is being timed.
+// ---------------------------------------------------------------------
+
+/// Worker processes inherit this env var from the supervisor, so every
+/// process builds the same-sized topology.
+const ENV_CLUSTER_TUPLES: &str = "BENCH_CLUSTER_TUPLES";
+
+fn cluster_tuples() -> u64 {
+    std::env::var(ENV_CLUSTER_TUPLES)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_000)
+}
+
+struct AckedSpout {
+    next: u64,
+    total: u64,
+    replay: std::collections::VecDeque<u64>,
+    acked: Arc<AtomicU64>,
+}
+
+impl Spout for AckedSpout {
+    fn next_tuple(&mut self, collector: &mut SpoutCollector) -> bool {
+        let value = self.replay.pop_front().or_else(|| {
+            (self.next < self.total).then(|| {
+                let v = self.next;
+                self.next += 1;
+                v
+            })
+        });
+        match value {
+            Some(v) => {
+                collector.emit(vec![Value::U64(v % 64), Value::U64(v)], Some(v));
+                true
+            }
+            None => false,
+        }
+    }
+    fn ack(&mut self, _msg_id: u64) {
+        self.acked.fetch_add(1, Ordering::Relaxed);
+    }
+    fn fail(&mut self, msg_id: u64) {
+        self.replay.push_back(msg_id);
+    }
+    fn declare_outputs(&self) -> Vec<StreamDef> {
+        vec![StreamDef::new(DEFAULT_STREAM, ["key", "seq"])]
+    }
+}
+
+/// The shared app builder: every process (supervisor probe, both
+/// workers, and the in-process baseline) constructs this same topology.
+fn cluster_app(_ctx: &tcluster::WorkerContext) -> tcluster::ClusterApp {
+    let total = cluster_tuples();
+    let acked = Arc::new(AtomicU64::new(0));
+    let mut builder = TopologyBuilder::new().with_config(TopologyConfig {
+        batch_size: 64,
+        flush_interval: Duration::from_millis(1),
+        ..Default::default()
+    });
+    builder.set_spout(
+        "numbers",
+        {
+            let acked = Arc::clone(&acked);
+            move || AckedSpout {
+                next: 0,
+                total,
+                replay: std::collections::VecDeque::new(),
+                acked: Arc::clone(&acked),
+            }
+        },
+        1,
+    );
+    builder
+        .set_bolt(
+            "count",
+            || CountBolt {
+                seen: Arc::new(AtomicU64::new(0)),
+            },
+            2,
+        )
+        .shuffle_grouping("numbers");
+    let mut app = tcluster::ClusterApp::new(builder.build().expect("valid cluster topology"));
+    app.progress = Some(Arc::new(move || acked.load(Ordering::Relaxed)));
+    app
+}
+
+struct ClusterResult {
+    tuples: u64,
+    in_process_tps: f64,
+    remote_edge_tps: f64,
+    relayed_batches: u64,
+}
+
+fn run_cluster(tuples: u64) -> ClusterResult {
+    // Children inherit the size, so all three processes agree on `total`.
+    std::env::set_var(ENV_CLUSTER_TUPLES, tuples.to_string());
+
+    // In-process baseline: identical app, same acked-count finish line.
+    let probe = cluster_app(&tcluster::WorkerContext {
+        worker_id: u32::MAX,
+        recovered: None,
+    });
+    let progress = probe.progress.clone().expect("progress probe");
+    let t0 = Instant::now();
+    let handle = probe.topology.launch();
+    while progress() < tuples {
+        assert!(
+            t0.elapsed() < Duration::from_secs(300),
+            "in-process cluster baseline stalled at {}/{tuples}",
+            progress()
+        );
+        std::thread::yield_now();
+    }
+    let in_process_tps = tuples as f64 / t0.elapsed().as_secs_f64();
+    handle.shutdown(Duration::from_secs(5));
+
+    // Two worker processes; the numbers→count edge crosses both hops.
+    let mut config = tcluster::SupervisorConfig::new(vec![
+        tcluster::WorkerSpec::new(["numbers"]),
+        tcluster::WorkerSpec::new(["count"]),
+    ]);
+    config.message_timeout = Duration::from_secs(60);
+    let cluster = tcluster::Cluster::launch(config, cluster_app).expect("launch bench cluster");
+    // Progress snapshots arrive on the workers' 50 ms status cadence.
+    // Start the clock at the first non-zero snapshot and count only the
+    // acks after it, so worker spawn/connect setup stays out of the rate
+    // and the 50 ms reporting granularity is the error bar, not the
+    // measurement.
+    let deadline = Instant::now() + Duration::from_secs(300);
+    let mut first = None;
+    loop {
+        let p = cluster.progress(0);
+        if p > 0 && first.is_none() {
+            first = Some((p, Instant::now()));
+        }
+        if p >= tuples {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "cluster bench stalled at {p}/{tuples}"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let (p0, t0) = first.expect("first progress snapshot");
+    assert!(
+        p0 < tuples,
+        "cluster run finished within one status interval; raise the tuple count"
+    );
+    let remote_edge_tps = (tuples - p0) as f64 / t0.elapsed().as_secs_f64();
+    let relayed_batches = cluster.relayed_batches();
+    cluster.shutdown(Duration::from_secs(10));
+    ClusterResult {
+        tuples,
+        in_process_tps,
+        remote_edge_tps,
+        relayed_batches,
+    }
+}
+
+fn cluster_json(r: &ClusterResult) -> String {
+    format!(
+        concat!(
+            "\"cluster\": {{\n",
+            "    \"tuples\": {},\n",
+            "    \"in_process_tps\": {:.0},\n",
+            "    \"remote_edge_tps\": {:.0},\n",
+            "    \"remote_vs_local\": {:.2},\n",
+            "    \"relayed_batches\": {}\n",
+            "  }}"
+        ),
+        r.tuples,
+        r.in_process_tps,
+        r.remote_edge_tps,
+        r.remote_edge_tps / r.in_process_tps,
+        r.relayed_batches,
+    )
 }
 
 // ---------------------------------------------------------------------
@@ -341,6 +531,11 @@ fn extract_number(json: &str, path: &[&str], key: &str) -> Option<f64> {
 }
 
 fn main() {
+    // The supervisor re-executes this binary as its workers; divert those
+    // re-executions into the worker runtime before any benching starts.
+    if tcluster::maybe_run_worker(cluster_app) {
+        unreachable!("maybe_run_worker exits the process in worker mode");
+    }
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let check = args.iter().any(|a| a == "--check");
@@ -433,7 +628,18 @@ fn main() {
         }
     }
 
-    let json = format!("{{\n  {smoke_section},\n  {full_section}\n}}\n");
+    eprintln!("== cluster (remote edge vs in-process) ==");
+    let cluster = run_cluster(if smoke { 300_000 } else { 1_000_000 });
+    eprintln!(
+        "  in-process {:.0}/s  remote edge {:.0}/s  ({:.2}x, {} relayed batches)",
+        cluster.in_process_tps,
+        cluster.remote_edge_tps,
+        cluster.remote_edge_tps / cluster.in_process_tps,
+        cluster.relayed_batches
+    );
+    let cluster_section = cluster_json(&cluster);
+
+    let json = format!("{{\n  {smoke_section},\n  {full_section},\n  {cluster_section}\n}}\n");
     std::fs::write(bench_path, &json).expect("write BENCH_topology.json");
     eprintln!("wrote {bench_path}");
 }

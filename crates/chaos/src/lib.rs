@@ -61,11 +61,20 @@ pub enum FaultSite {
     /// once, all their trees time out, and the spout replays them — the
     /// batched analogue of [`FaultSite::TupleDrop`].
     BatchDrop,
+    /// `tcluster` supervisor SIGKILLs a kill-eligible worker process
+    /// mid-run. The worker's executors, queues and connections vanish; the
+    /// supervisor respawns it, un-acked trees time out at the global acker
+    /// and replay, and dedup rings absorb the replayed tail.
+    WorkerKill,
+    /// `tcluster` supervisor silently drops one relayed tuple batch — a
+    /// transient partition of an inter-worker link. Every tree in the
+    /// batch times out and replays; no process dies.
+    LinkPartition,
 }
 
 impl FaultSite {
     /// Every site, in stable order.
-    pub const ALL: [FaultSite; 9] = [
+    pub const ALL: [FaultSite; 11] = [
         FaultSite::ExecutorPanic,
         FaultSite::TupleDrop,
         FaultSite::TupleDelay,
@@ -75,6 +84,8 @@ impl FaultSite {
         FaultSite::Failover,
         FaultSite::ConnReset,
         FaultSite::BatchDrop,
+        FaultSite::WorkerKill,
+        FaultSite::LinkPartition,
     ];
 
     fn index(self) -> usize {
@@ -88,6 +99,8 @@ impl FaultSite {
             FaultSite::Failover => 6,
             FaultSite::ConnReset => 7,
             FaultSite::BatchDrop => 8,
+            FaultSite::WorkerKill => 9,
+            FaultSite::LinkPartition => 10,
         }
     }
 }
@@ -100,7 +113,7 @@ struct SiteSpec {
     max_faults: u64,
 }
 
-const N_SITES: usize = 9;
+const N_SITES: usize = 11;
 
 struct Inner {
     seed: u64,

@@ -1,0 +1,706 @@
+//! Supervisor process: spawns worker processes, relays tuples between
+//! them, hosts the cluster's one global XOR acker, and restarts workers
+//! that die.
+//!
+//! Topology: hub-and-spoke. Workers connect only to the supervisor; a
+//! tuple crossing worker boundaries makes exactly one relay hop. The
+//! supervisor never decodes relayed tuple payloads — it peeks the
+//! destination component off the frame head and re-frames the body
+//! verbatim ([`crate::protocol::peek_tuple_batch_dest`]).
+//!
+//! Fail-over sequence when a worker dies (or is chaos-killed):
+//! 1. the monitor thread reaps the child and respawns it with the *same*
+//!    assignment (sticky placement — fields groupings keep their key→task
+//!    contract);
+//! 2. the respawned worker's [`crate::protocol::Msg::Assignment`] carries
+//!    the last offset-commit blob the dead incarnation shipped, so its
+//!    spouts resume from the committed frontier instead of offset 0;
+//! 3. every tuple tree with an edge lost in the dead worker is never
+//!    fully acked, times out at the global acker, and is replayed by the
+//!    owning spout — downstream dedup absorbs the re-delivered prefix.
+
+use crate::protocol::{self, Msg, NotifyKind, TAG_TUPLE_BATCH};
+use crate::{ClusterApp, WorkerContext, ENV_ROLE, ENV_SUPERVISOR, ENV_WORKER_ID};
+use bytes::BytesMut;
+use crossbeam::channel::{unbounded, Sender};
+use obs::{ClusterScrape, LatencyHistogram};
+use std::collections::{HashMap, HashSet};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::process::{Child, Command};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+use tchaos::{Clock, FaultPlan, FaultSite};
+use tstorm::ack::{run_acker, AckerMsg, SpoutMsg};
+use tstorm::cluster::Nimbus;
+use wire::{split_frame, with_frame};
+
+/// One worker process: which components it runs and whether chaos may
+/// kill it.
+#[derive(Debug, Clone)]
+pub struct WorkerSpec {
+    /// Components whose tasks run in this worker. Placement is
+    /// component-granular; each component must appear in exactly one
+    /// worker's list.
+    pub components: Vec<String>,
+    /// Whether [`tchaos::FaultSite::WorkerKill`] may target this worker.
+    /// Protect workers owning in-process state that a kill would erase
+    /// (stores live in worker memory, not a shared service).
+    pub kill_eligible: bool,
+}
+
+impl WorkerSpec {
+    /// A kill-eligible worker running `components`.
+    pub fn new<I, S>(components: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        WorkerSpec {
+            components: components.into_iter().map(Into::into).collect(),
+            kill_eligible: true,
+        }
+    }
+
+    /// A worker chaos must not kill.
+    pub fn protected<I, S>(components: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        WorkerSpec {
+            kill_eligible: false,
+            ..Self::new(components)
+        }
+    }
+}
+
+/// Cluster-wide launch parameters.
+#[derive(Clone)]
+pub struct SupervisorConfig {
+    /// The worker processes to spawn, indexed by worker id.
+    pub workers: Vec<WorkerSpec>,
+    /// Fault plan driving [`tchaos::FaultSite::WorkerKill`] (drawn per
+    /// status frame from kill-eligible workers) and
+    /// [`tchaos::FaultSite::LinkPartition`] (drawn per relayed tuple
+    /// batch).
+    pub fault_plan: FaultPlan,
+    /// Tree timeout at the global acker; trees pending longer than this
+    /// are failed back to their spout for replay.
+    pub message_timeout: Duration,
+    /// Extra argv passed to re-executions of the current binary. Test
+    /// harnesses pass `["--exact", "<test_fn>", "--nocapture"]` so the
+    /// respawned test binary reaches the same test body.
+    pub spawn_args: Vec<String>,
+}
+
+impl SupervisorConfig {
+    /// Defaults: no faults, 5 s tree timeout, no extra argv.
+    pub fn new(workers: Vec<WorkerSpec>) -> Self {
+        SupervisorConfig {
+            workers,
+            fault_plan: FaultPlan::none(),
+            message_timeout: Duration::from_secs(5),
+            spawn_args: Vec::new(),
+        }
+    }
+}
+
+/// Latest health report from one worker.
+#[derive(Debug, Default, Clone)]
+struct WorkerState {
+    progress: u64,
+    inflight: i64,
+    spouts_idle: bool,
+    last_status: Option<Instant>,
+    drain: Option<Vec<u8>>,
+}
+
+/// `(components, spout slot_map)` for one worker.
+type Assignment = (Vec<String>, Vec<usize>);
+
+struct Shared {
+    mailboxes: Vec<Mutex<Option<TcpStream>>>,
+    state: Mutex<Vec<WorkerState>>,
+    commits: Mutex<Vec<Option<Vec<u8>>>>,
+    scrape: Mutex<ClusterScrape>,
+    children: Mutex<Vec<Option<Child>>>,
+    registered: Mutex<Vec<bool>>,
+    shutting_down: AtomicBool,
+    started: AtomicBool,
+    relayed: AtomicU64,
+    dropped: AtomicU64,
+    restarts: AtomicU64,
+    assignments: Vec<Assignment>,
+    comp_to_worker: HashMap<String, usize>,
+    kill_eligible: Vec<bool>,
+    acker_tx: Sender<AckerMsg>,
+    pending: Arc<AtomicI64>,
+    plan: FaultPlan,
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidInput, msg.into())
+}
+
+/// Encodes and writes one frame to worker `w`'s current connection.
+/// Errors are dropped: a broken mailbox means the worker is dead or
+/// dying, and the replay machinery (not the transport) owns recovery.
+fn send_to(shared: &Shared, w: usize, msg: &Msg) {
+    let mut buf = BytesMut::new();
+    protocol::encode(&mut buf, 0, msg);
+    if let Some(stream) = lock(&shared.mailboxes[w]).as_mut() {
+        let _ = stream.write_all(&buf);
+    }
+}
+
+fn spawn_worker(addr: &SocketAddr, w: usize, spawn_args: &[String]) -> io::Result<Child> {
+    let exe = std::env::current_exe()?;
+    Command::new(exe)
+        .args(spawn_args)
+        .env(ENV_ROLE, "worker")
+        .env(ENV_SUPERVISOR, addr.to_string())
+        .env(ENV_WORKER_ID, w.to_string())
+        .spawn()
+}
+
+fn kill_child(shared: &Shared, w: usize) {
+    if let Some(child) = lock(&shared.children)[w].as_mut() {
+        let _ = child.kill();
+    }
+}
+
+/// Handles one decoded-or-relayed frame from registered worker `w`.
+fn handle_frame(shared: &Shared, w: usize, id: u64, tag: u8, body: &[u8]) {
+    if tag == TAG_TUPLE_BATCH {
+        let Ok(dest) = protocol::peek_tuple_batch_dest(body) else {
+            return;
+        };
+        let Some(&dest_worker) = shared.comp_to_worker.get(&dest) else {
+            return;
+        };
+        shared.relayed.fetch_add(1, Ordering::Relaxed);
+        if shared.plan.should_fault(FaultSite::LinkPartition) {
+            // Dropped on the (simulated) wire: every tree in the batch
+            // times out at the acker and replays from its spout.
+            shared.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let mut out = BytesMut::with_capacity(body.len() + 16);
+        with_frame(&mut out, id, TAG_TUPLE_BATCH, |b| b.extend_from_slice(body));
+        if let Some(stream) = lock(&shared.mailboxes[dest_worker]).as_mut() {
+            let _ = stream.write_all(&out);
+        }
+        return;
+    }
+    let Ok(msg) = protocol::decode(tag, body) else {
+        return;
+    };
+    match msg {
+        Msg::AckerBatch(msgs) => {
+            for m in msgs {
+                if !matches!(m, AckerMsg::Shutdown) {
+                    let _ = shared.acker_tx.send(m);
+                }
+            }
+        }
+        Msg::Status {
+            progress,
+            inflight,
+            spouts_idle,
+        } => {
+            {
+                let mut st = lock(&shared.state);
+                st[w].progress = progress;
+                st[w].inflight = inflight;
+                st[w].spouts_idle = spouts_idle;
+                st[w].last_status = Some(Instant::now());
+            }
+            if shared.kill_eligible[w]
+                && shared.started.load(Ordering::SeqCst)
+                && !shared.shutting_down.load(Ordering::SeqCst)
+                && shared.plan.should_fault(FaultSite::WorkerKill)
+            {
+                kill_child(shared, w);
+            }
+        }
+        Msg::DrainReport(bytes) => lock(&shared.state)[w].drain = Some(bytes),
+        Msg::MetricsReport(samples) => lock(&shared.scrape).ingest(&format!("w{w}"), samples),
+        Msg::OffsetCommit(bytes) => lock(&shared.commits)[w] = Some(bytes),
+        // Supervisor-bound traffic only.
+        _ => {}
+    }
+}
+
+/// Per-connection reader: waits for `Register`, installs the mailbox,
+/// ships the assignment (plus any recovered commit blob), then pumps
+/// frames until the socket closes.
+fn serve_conn(shared: Arc<Shared>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let Ok(mut read_half) = stream.try_clone() else {
+        return;
+    };
+    let n = shared.mailboxes.len();
+    let mut buf = BytesMut::with_capacity(64 * 1024);
+    let mut chunk = vec![0u8; 64 * 1024];
+    let mut worker: Option<usize> = None;
+    loop {
+        loop {
+            let (id, tag, body) = match split_frame(&mut buf) {
+                Ok(Some(frame)) => frame,
+                Ok(None) => break,
+                Err(_) => return,
+            };
+            match worker {
+                Some(w) => handle_frame(&shared, w, id, tag, &body),
+                None => {
+                    let Ok(Msg::Register { worker_id }) = protocol::decode(tag, &body) else {
+                        return;
+                    };
+                    let w = worker_id as usize;
+                    if w >= n {
+                        return;
+                    }
+                    worker = Some(w);
+                    *lock(&shared.mailboxes[w]) = stream.try_clone().ok();
+                    // A re-registering (respawned) worker starts from a
+                    // blank health record so wait_idle never trusts the
+                    // dead incarnation's last report.
+                    lock(&shared.state)[w] = WorkerState::default();
+                    let (components, slot_map) = shared.assignments[w].clone();
+                    let recovered = lock(&shared.commits)[w].clone();
+                    send_to(
+                        &shared,
+                        w,
+                        &Msg::Assignment {
+                            components,
+                            slot_map,
+                            recovered,
+                        },
+                    );
+                    let all = {
+                        let mut reg = lock(&shared.registered);
+                        reg[w] = true;
+                        reg.iter().all(|r| *r)
+                    };
+                    if shared.started.load(Ordering::SeqCst) {
+                        send_to(&shared, w, &Msg::Start);
+                    } else if all && !shared.started.swap(true, Ordering::SeqCst) {
+                        // First time everyone is connected: every mailbox
+                        // is installed, so no worker can emit toward a
+                        // peer the supervisor cannot reach yet.
+                        for i in 0..n {
+                            send_to(&shared, i, &Msg::Start);
+                        }
+                    }
+                }
+            }
+        }
+        match read_half.read(&mut chunk) {
+            Ok(0) | Err(_) => return,
+            Ok(nread) => buf.extend_from_slice(&chunk[..nread]),
+        }
+    }
+}
+
+/// Reaps dead workers and respawns them with their original assignment.
+fn monitor_loop(shared: Arc<Shared>, addr: SocketAddr, spawn_args: Vec<String>) {
+    while !shared.shutting_down.load(Ordering::SeqCst) {
+        for w in 0..shared.mailboxes.len() {
+            let mut children = lock(&shared.children);
+            let dead = match &mut children[w] {
+                Some(c) => matches!(c.try_wait(), Ok(Some(_))),
+                None => false,
+            };
+            if dead && !shared.shutting_down.load(Ordering::SeqCst) {
+                lock(&shared.state)[w] = WorkerState::default();
+                children[w] = spawn_worker(&addr, w, &spawn_args).ok();
+                if children[w].is_some() {
+                    shared.restarts.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+        }
+        thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// A running cluster: the supervisor-side handle over N worker
+/// processes. Dropping without [`Cluster::shutdown`] leaves children
+/// running; always shut down.
+pub struct Cluster {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    acker: JoinHandle<()>,
+    accept: JoinHandle<()>,
+    monitor: JoinHandle<()>,
+    n: usize,
+}
+
+impl Cluster {
+    /// Validates placement, binds the hub socket, starts the global
+    /// acker, and spawns one worker process per [`WorkerSpec`] by
+    /// re-executing the current binary.
+    ///
+    /// `build` is invoked once here with a probe context
+    /// ([`WorkerContext::is_probe`]) purely to learn the topology's
+    /// component names, parallelism, and spout order; the probe app is
+    /// dropped unlaunched. Worker processes call the same builder through
+    /// [`crate::maybe_run_worker`].
+    pub fn launch(
+        config: SupervisorConfig,
+        build: impl Fn(&WorkerContext) -> ClusterApp,
+    ) -> io::Result<Cluster> {
+        let n = config.workers.len();
+        if n == 0 {
+            return Err(invalid("cluster needs at least one worker"));
+        }
+        let probe = build(&WorkerContext {
+            worker_id: u32::MAX,
+            recovered: None,
+        });
+        let infos = probe.topology.components();
+        drop(probe);
+
+        let mut comp_to_worker = HashMap::new();
+        for (w, spec) in config.workers.iter().enumerate() {
+            for c in &spec.components {
+                if comp_to_worker.insert(c.clone(), w).is_some() {
+                    return Err(invalid(format!("component {c:?} assigned to two workers")));
+                }
+            }
+        }
+        let known: HashSet<&str> = infos.iter().map(|i| i.name.as_str()).collect();
+        for spec in &config.workers {
+            for c in &spec.components {
+                if !known.contains(c.as_str()) {
+                    return Err(invalid(format!("unknown component {c:?} in worker spec")));
+                }
+            }
+        }
+        for info in &infos {
+            if !comp_to_worker.contains_key(&info.name) {
+                return Err(invalid(format!("component {:?} not placed", info.name)));
+            }
+        }
+
+        // Nimbus validates that the declared worker slots can hold every
+        // task of the submitted topology (the paper's Fig. 1 scheduler).
+        // Placement itself stays sticky/component-granular above; Nimbus
+        // task-level reassignment is exercised in its own unit tests.
+        let mut nimbus = Nimbus::new();
+        for (w, spec) in config.workers.iter().enumerate() {
+            let slots: usize = spec
+                .components
+                .iter()
+                .filter_map(|c| infos.iter().find(|i| &i.name == c))
+                .map(|i| i.parallelism)
+                .sum();
+            nimbus.add_supervisor(w as u32, slots);
+        }
+        nimbus
+            .submit_topology(infos.iter().map(|i| (i.name.clone(), i.parallelism)))
+            .map_err(|e| invalid(format!("placement infeasible: {e:?}")))?;
+        nimbus.check_invariants().map_err(invalid)?;
+
+        // Global spout slots: spouts in topology definition order, one
+        // slot per task, owner = the worker running the component.
+        let mut slot_owner = Vec::new();
+        let mut per_worker_slots = vec![Vec::new(); n];
+        for info in infos.iter().filter(|i| i.is_spout) {
+            let w = comp_to_worker[&info.name];
+            for _ in 0..info.parallelism {
+                per_worker_slots[w].push(slot_owner.len());
+                slot_owner.push(w);
+            }
+        }
+        let assignments: Vec<Assignment> = config
+            .workers
+            .iter()
+            .zip(per_worker_slots)
+            .map(|(spec, slots)| (spec.components.clone(), slots))
+            .collect();
+
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let (acker_tx, acker_rx) = unbounded();
+        let pending = Arc::new(AtomicI64::new(0));
+        let shared = Arc::new(Shared {
+            mailboxes: (0..n).map(|_| Mutex::new(None)).collect(),
+            state: Mutex::new(vec![WorkerState::default(); n]),
+            commits: Mutex::new(vec![None; n]),
+            scrape: Mutex::new(ClusterScrape::new()),
+            children: Mutex::new((0..n).map(|_| None).collect()),
+            registered: Mutex::new(vec![false; n]),
+            shutting_down: AtomicBool::new(false),
+            started: AtomicBool::new(false),
+            relayed: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            restarts: AtomicU64::new(0),
+            assignments,
+            comp_to_worker,
+            kill_eligible: config.workers.iter().map(|s| s.kill_eligible).collect(),
+            acker_tx,
+            pending: Arc::clone(&pending),
+            plan: config.fault_plan.clone(),
+        });
+
+        // Per-slot notification forwarders: the global acker's spout
+        // channels terminate here and turn into SpoutNotify frames for
+        // whichever worker owns the slot. They exit when run_acker
+        // returns and drops the senders.
+        let mut spout_txs = Vec::with_capacity(slot_owner.len());
+        for (slot, &owner) in slot_owner.iter().enumerate() {
+            let (tx, rx) = unbounded::<SpoutMsg>();
+            spout_txs.push(tx);
+            let sh = Arc::clone(&shared);
+            thread::Builder::new()
+                .name(format!("tcluster-notify-{slot}"))
+                .spawn(move || {
+                    while let Ok(msg) = rx.recv() {
+                        let (kind, ids) = match msg {
+                            SpoutMsg::Ack(id) => (NotifyKind::Ack, vec![id]),
+                            SpoutMsg::AckBatch(ids) => (NotifyKind::Ack, ids),
+                            SpoutMsg::Fail(id) => (NotifyKind::Fail, vec![id]),
+                            // Lifecycle messages are meaningful only to
+                            // in-process spouts; worker lifecycle is the
+                            // Shutdown frame's job.
+                            SpoutMsg::Deactivate | SpoutMsg::Shutdown => continue,
+                        };
+                        send_to(
+                            &sh,
+                            owner,
+                            &Msg::SpoutNotify {
+                                global_slot: slot,
+                                kind,
+                                ids,
+                            },
+                        );
+                    }
+                })
+                .map_err(|e| invalid(format!("spawn notify forwarder: {e}")))?;
+        }
+        let timeout = config.message_timeout;
+        let acker_pending = Arc::clone(&pending);
+        let acker = thread::Builder::new()
+            .name("tcluster-acker".into())
+            .spawn(move || {
+                run_acker(
+                    acker_rx,
+                    spout_txs,
+                    timeout,
+                    acker_pending,
+                    Clock::system(),
+                    Arc::new(LatencyHistogram::new()),
+                );
+            })?;
+
+        let accept_shared = Arc::clone(&shared);
+        let accept = thread::Builder::new()
+            .name("tcluster-accept".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if accept_shared.shutting_down.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let sh = Arc::clone(&accept_shared);
+                    let _ = thread::Builder::new()
+                        .name("tcluster-conn".into())
+                        .spawn(move || serve_conn(sh, stream));
+                }
+            })?;
+
+        for w in 0..n {
+            match spawn_worker(&addr, w, &config.spawn_args) {
+                Ok(child) => lock(&shared.children)[w] = Some(child),
+                Err(e) => {
+                    shared.shutting_down.store(true, Ordering::SeqCst);
+                    for c in lock(&shared.children).iter_mut().flatten() {
+                        let _ = c.kill();
+                        let _ = c.wait();
+                    }
+                    let _ = shared.acker_tx.send(AckerMsg::Shutdown);
+                    let _ = TcpStream::connect(addr);
+                    let _ = acker.join();
+                    let _ = accept.join();
+                    return Err(e);
+                }
+            }
+        }
+
+        let monitor_shared = Arc::clone(&shared);
+        let spawn_args = config.spawn_args.clone();
+        let monitor = thread::Builder::new()
+            .name("tcluster-monitor".into())
+            .spawn(move || monitor_loop(monitor_shared, addr, spawn_args))?;
+
+        Ok(Cluster {
+            shared,
+            addr,
+            acker,
+            accept,
+            monitor,
+            n,
+        })
+    }
+
+    /// The hub's listen address (`127.0.0.1:<ephemeral>`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Latest progress value reported by worker `w`'s status frames.
+    pub fn progress(&self, w: usize) -> u64 {
+        lock(&self.shared.state)[w].progress
+    }
+
+    /// How many worker respawns the monitor has performed.
+    pub fn restarts(&self) -> u64 {
+        self.shared.restarts.load(Ordering::SeqCst)
+    }
+
+    /// Tuple-batch frames relayed between workers (including dropped).
+    pub fn relayed_batches(&self) -> u64 {
+        self.shared.relayed.load(Ordering::Relaxed)
+    }
+
+    /// Tuple-batch frames dropped by [`tchaos::FaultSite::LinkPartition`].
+    pub fn dropped_batches(&self) -> u64 {
+        self.shared.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Tuple trees currently pending at the global acker.
+    pub fn pending_trees(&self) -> i64 {
+        self.shared.pending.load(Ordering::SeqCst)
+    }
+
+    /// The fault plan this cluster is running under (for `fired` counts).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.shared.plan
+    }
+
+    /// Kills worker `w`'s process (SIGKILL — no drop handlers run). The
+    /// monitor respawns it with the same assignment; pair with
+    /// [`Cluster::wait_idle`] to observe recovery.
+    pub fn kill_worker(&self, w: usize) {
+        kill_child(&self.shared, w);
+    }
+
+    /// Waits until worker `w` reports progress ≥ `target`.
+    pub fn wait_progress(&self, w: usize, target: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            if self.progress(w) >= target {
+                return true;
+            }
+            thread::sleep(Duration::from_millis(10));
+        }
+        false
+    }
+
+    fn idle_now(&self) -> bool {
+        if self.shared.pending.load(Ordering::SeqCst) != 0 {
+            return false;
+        }
+        lock(&self.shared.state).iter().all(|s| {
+            s.spouts_idle
+                && s.inflight <= 0
+                && s.last_status
+                    .is_some_and(|t| t.elapsed() < Duration::from_millis(500))
+        })
+    }
+
+    /// Waits until the whole cluster is quiescent: zero trees pending at
+    /// the global acker and every worker's *fresh* status reports idle
+    /// spouts with no inflight tuples — stable across three consecutive
+    /// polls, so a single between-batches lull doesn't count.
+    pub fn wait_idle(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut stable = 0;
+        while Instant::now() < deadline {
+            if self.idle_now() {
+                stable += 1;
+                if stable >= 3 {
+                    return true;
+                }
+            } else {
+                stable = 0;
+            }
+            thread::sleep(Duration::from_millis(25));
+        }
+        false
+    }
+
+    /// Asks worker `w` to serialize its app state ([`ClusterApp::drain`])
+    /// and returns the bytes, or `None` on timeout.
+    pub fn drain(&self, w: usize, timeout: Duration) -> Option<Vec<u8>> {
+        lock(&self.shared.state)[w].drain = None;
+        send_to(&self.shared, w, &Msg::DrainRequest);
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            if let Some(bytes) = lock(&self.shared.state)[w].drain.clone() {
+                return Some(bytes);
+            }
+            thread::sleep(Duration::from_millis(10));
+        }
+        None
+    }
+
+    /// Renders the merged cluster scrape: every metric family with
+    /// per-worker labelled series plus cluster-wide aggregates.
+    pub fn render_metrics(&self) -> String {
+        lock(&self.shared.scrape).render()
+    }
+
+    /// Stops the cluster: asks every worker to exit, waits up to
+    /// `timeout` before killing stragglers, then tears down the acker,
+    /// accept, and monitor threads.
+    pub fn shutdown(self, timeout: Duration) {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        for w in 0..self.n {
+            send_to(&self.shared, w, &Msg::Shutdown);
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            let mut all_done = true;
+            {
+                let mut children = lock(&self.shared.children);
+                for child in children.iter_mut() {
+                    if let Some(c) = child {
+                        match c.try_wait() {
+                            Ok(Some(_)) => *child = None,
+                            _ => all_done = false,
+                        }
+                    }
+                }
+                if !all_done && Instant::now() >= deadline {
+                    for child in children.iter_mut() {
+                        if let Some(c) = child {
+                            let _ = c.kill();
+                            let _ = c.wait();
+                        }
+                        *child = None;
+                    }
+                    all_done = true;
+                }
+            }
+            if all_done {
+                break;
+            }
+            thread::sleep(Duration::from_millis(20));
+        }
+        let _ = self.shared.acker_tx.send(AckerMsg::Shutdown);
+        let _ = self.acker.join();
+        // The accept thread is parked in accept(); a throwaway connection
+        // wakes it so it can observe the flag and exit.
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.accept.join();
+        let _ = self.monitor.join();
+    }
+}

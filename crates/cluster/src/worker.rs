@@ -1,0 +1,281 @@
+//! Worker-process runtime: registers with the supervisor, launches the
+//! assigned topology slice, and pumps the four flows a slice needs —
+//! tuple ingress (inject), tuple egress (TCP frames), acker forwarding,
+//! and spout notifications — plus periodic status, metrics, and offset
+//! commits.
+
+use crate::protocol::{self, Msg, NotifyKind};
+use crate::{ClusterApp, WorkerContext, ENV_ROLE, ENV_SUPERVISOR, ENV_WORKER_ID};
+use bytes::BytesMut;
+use crossbeam::channel::unbounded;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+use tstorm::ack::{AckerMsg, SpoutMsg};
+use tstorm::remote::{EgressFn, SliceSpec, WireTuple};
+use tstorm::TopologyHandle;
+use wire::split_frame;
+
+/// How often the worker reports status (and consults the commit hook).
+const STATUS_EVERY: Duration = Duration::from_millis(50);
+/// How often the worker exports metric samples.
+const METRICS_EVERY: Duration = Duration::from_millis(200);
+/// Largest acker-forward batch per frame.
+const ACKER_BATCH: usize = 256;
+
+/// Runs this process as a cluster worker if the supervisor spawned it as
+/// one (`TCLUSTER_ROLE=worker`), never returning in that case — the
+/// worker exits the process when the supervisor says so or disappears.
+/// Returns `false` in a normal (non-worker) process.
+///
+/// Call this at the top of `main` (or of each multi-process test) in any
+/// binary that launches a [`crate::supervisor::Cluster`]; the supervisor
+/// re-executes the current binary, and this is the hook that turns the
+/// re-execution into a worker instead of a second supervisor.
+pub fn maybe_run_worker(build: impl Fn(&WorkerContext) -> ClusterApp) -> bool {
+    if std::env::var(ENV_ROLE).as_deref() != Ok("worker") {
+        return false;
+    }
+    let code = worker_main(build);
+    std::process::exit(code);
+}
+
+/// Encodes and writes one frame under the connection lock. Write errors
+/// are dropped: a dead supervisor ends the worker via the read path.
+fn send(conn: &Mutex<TcpStream>, msg: &Msg) {
+    let mut buf = BytesMut::new();
+    protocol::encode(&mut buf, 0, msg);
+    let mut stream = conn.lock().unwrap_or_else(|e| e.into_inner());
+    let _ = stream.write_all(&buf);
+}
+
+struct Slice {
+    handle: Arc<TopologyHandle>,
+    drain: Option<Arc<dyn Fn() -> Vec<u8> + Send + Sync>>,
+}
+
+/// Builds the app, launches the assigned slice, and starts the pump
+/// threads. Returns the running slice state the frame loop dispatches to.
+fn launch(
+    build: &impl Fn(&WorkerContext) -> ClusterApp,
+    worker_id: u32,
+    components: Vec<String>,
+    slot_map: Vec<usize>,
+    recovered: Option<Vec<u8>>,
+    conn: &Arc<Mutex<TcpStream>>,
+) -> Slice {
+    let ctx = WorkerContext {
+        worker_id,
+        recovered,
+    };
+    let ClusterApp {
+        topology,
+        progress,
+        drain,
+        commit,
+        registries,
+    } = build(&ctx);
+
+    let (acker_tx, acker_rx) = unbounded::<AckerMsg>();
+    let egress_conn = Arc::clone(conn);
+    let egress: EgressFn = Arc::new(move |dest: &str, task: usize, tuples: Vec<WireTuple>| {
+        send(
+            &egress_conn,
+            &Msg::TupleBatch {
+                dest_component: dest.to_string(),
+                dest_task: task,
+                tuples,
+            },
+        );
+    });
+    let spec = SliceSpec {
+        local: components.into_iter().collect(),
+        slot_map,
+        acker: acker_tx,
+        egress,
+    };
+    let handle = Arc::new(topology.launch_slice(spec));
+
+    // Acker forwarder: drain the slice's acker channel into batched
+    // frames. `AckerMsg::Shutdown` is the local end-of-stream marker (the
+    // executor sends it when the slice shuts down) — everything before it
+    // is forwarded, the marker itself never crosses the wire.
+    let fconn = Arc::clone(conn);
+    thread::Builder::new()
+        .name("tcluster-acker-fwd".into())
+        .spawn(move || loop {
+            let first = match acker_rx.recv() {
+                Ok(m) => m,
+                Err(_) => return,
+            };
+            let mut stop = false;
+            let mut msgs = Vec::new();
+            match first {
+                AckerMsg::Shutdown => stop = true,
+                m => msgs.push(m),
+            }
+            while !stop && msgs.len() < ACKER_BATCH {
+                match acker_rx.try_recv() {
+                    Ok(AckerMsg::Shutdown) => stop = true,
+                    Ok(m) => msgs.push(m),
+                    Err(_) => break,
+                }
+            }
+            if !msgs.is_empty() {
+                send(&fconn, &Msg::AckerBatch(msgs));
+            }
+            if stop {
+                return;
+            }
+        })
+        .expect("spawn acker forwarder");
+
+    // Status + offset commits. Commits only ship when the blob changes,
+    // so an idle worker is one status frame per tick, not two.
+    let sconn = Arc::clone(conn);
+    let shandle = Arc::clone(&handle);
+    thread::Builder::new()
+        .name("tcluster-status".into())
+        .spawn(move || {
+            let mut last_commit: Option<Vec<u8>> = None;
+            loop {
+                send(
+                    &sconn,
+                    &Msg::Status {
+                        progress: progress.as_ref().map_or(0, |f| f()),
+                        inflight: shandle.inflight(),
+                        spouts_idle: shandle.spouts_idle(),
+                    },
+                );
+                if let Some(f) = &commit {
+                    let blob = f();
+                    if last_commit.as_ref() != Some(&blob) {
+                        send(&sconn, &Msg::OffsetCommit(blob.clone()));
+                        last_commit = Some(blob);
+                    }
+                }
+                thread::sleep(STATUS_EVERY);
+            }
+        })
+        .expect("spawn status thread");
+
+    let mconn = Arc::clone(conn);
+    let mhandle = Arc::clone(&handle);
+    thread::Builder::new()
+        .name("tcluster-metrics".into())
+        .spawn(move || loop {
+            let mut samples = mhandle.registry().export();
+            for reg in &registries {
+                samples.extend(reg.export());
+            }
+            send(&mconn, &Msg::MetricsReport(samples));
+            thread::sleep(METRICS_EVERY);
+        })
+        .expect("spawn metrics thread");
+
+    Slice { handle, drain }
+}
+
+fn worker_main(build: impl Fn(&WorkerContext) -> ClusterApp) -> i32 {
+    let addr = std::env::var(ENV_SUPERVISOR).expect("TCLUSTER_SUPERVISOR not set");
+    let worker_id: u32 = std::env::var(ENV_WORKER_ID)
+        .expect("TCLUSTER_WORKER_ID not set")
+        .parse()
+        .expect("TCLUSTER_WORKER_ID not a u32");
+    let stream = TcpStream::connect(&addr).expect("connect to supervisor");
+    let _ = stream.set_nodelay(true);
+    let mut read_half = stream.try_clone().expect("clone supervisor stream");
+    let conn = Arc::new(Mutex::new(stream));
+    send(&conn, &Msg::Register { worker_id });
+
+    let mut buf = BytesMut::with_capacity(64 * 1024);
+    let mut chunk = vec![0u8; 64 * 1024];
+    type PendingAssignment = (Vec<String>, Vec<usize>, Option<Vec<u8>>);
+    let mut assignment: Option<PendingAssignment> = None;
+    let mut slice: Option<Slice> = None;
+    // Tuples relayed by the supervisor can race this worker's own Start
+    // frame (another worker may start a hair earlier); they are buffered
+    // and injected right after launch instead of dropped.
+    let mut pre_start: Vec<(String, usize, Vec<WireTuple>)> = Vec::new();
+
+    loop {
+        loop {
+            let (_, tag, body) = match split_frame(&mut buf) {
+                Ok(Some(frame)) => frame,
+                Ok(None) => break,
+                Err(_) => return 3,
+            };
+            let msg = match protocol::decode(tag, &body) {
+                Ok(m) => m,
+                Err(_) => return 3,
+            };
+            match msg {
+                Msg::Assignment {
+                    components,
+                    slot_map,
+                    recovered,
+                } if slice.is_none() => {
+                    assignment = Some((components, slot_map, recovered));
+                }
+                Msg::Start if slice.is_none() => {
+                    let (components, slot_map, recovered) =
+                        assignment.take().expect("Start before Assignment");
+                    let s = launch(&build, worker_id, components, slot_map, recovered, &conn);
+                    for (dest, task, tuples) in pre_start.drain(..) {
+                        s.handle.inject(&dest, task, tuples);
+                    }
+                    slice = Some(s);
+                }
+                Msg::TupleBatch {
+                    dest_component,
+                    dest_task,
+                    tuples,
+                } => match &slice {
+                    Some(s) => s.handle.inject(&dest_component, dest_task, tuples),
+                    None => pre_start.push((dest_component, dest_task, tuples)),
+                },
+                Msg::SpoutNotify {
+                    global_slot,
+                    kind,
+                    ids,
+                } => {
+                    if let Some(s) = &slice {
+                        match kind {
+                            NotifyKind::Ack => {
+                                let msg = if ids.len() == 1 {
+                                    SpoutMsg::Ack(ids[0])
+                                } else {
+                                    SpoutMsg::AckBatch(ids)
+                                };
+                                s.handle.spout_notify(global_slot, msg);
+                            }
+                            NotifyKind::Fail => {
+                                for id in ids {
+                                    s.handle.spout_notify(global_slot, SpoutMsg::Fail(id));
+                                }
+                            }
+                        }
+                    }
+                }
+                Msg::DrainRequest => {
+                    let bytes = slice
+                        .as_ref()
+                        .and_then(|s| s.drain.as_ref())
+                        .map_or_else(Vec::new, |f| f());
+                    send(&conn, &Msg::DrainReport(bytes));
+                }
+                Msg::Shutdown => return 0,
+                // Worker-bound traffic only; anything else is a peer-role
+                // frame echoed by mistake and is ignored.
+                _ => {}
+            }
+        }
+        match read_half.read(&mut chunk) {
+            // Supervisor gone: nothing useful left to do.
+            Ok(0) | Err(_) => return 0,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+        }
+    }
+}

@@ -30,7 +30,7 @@ pub use bolts::{
     ActionSpout, CfPairBolt, CfPipelineConfig, ItemCountBolt, PretreatmentBolt, UserHistoryBolt,
     ITEM_DELTA, PAIR_DELTA,
 };
-pub use replay::{ReplayProgress, ReplayableSpout};
+pub use replay::{OffsetTable, ReplayProgress, ReplayableSpout};
 
 use crate::topology::state::{decode_sim_list, read_history, windowed_sum};
 use crate::types::{keys, FxHashMap, FxHashSet, ItemId, UserId};

@@ -11,7 +11,7 @@
 use crate::action::UserAction;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use tdaccess::{AccessCluster, Consumer, Message, PartitionId};
 use tstorm::prelude::*;
 
@@ -158,6 +158,77 @@ impl ReplayTracker {
     pub fn committed(&self, pid: PartitionId) -> u64 {
         self.parts.get(&pid).map_or(0, |p| p.committed)
     }
+
+    /// Fast-forwards a partition's committed watermark without emitting
+    /// anything — cluster recovery: a respawned worker resumes from the
+    /// offsets its predecessor durably committed, so only the uncommitted
+    /// tail (bounded by the pending cap plus one poll batch) is replayed.
+    pub fn resume(&mut self, pid: PartitionId, committed: u64) {
+        let p = self.parts.entry(pid).or_default();
+        p.committed = p.committed.max(committed);
+    }
+}
+
+/// Shared per-partition committed watermarks, updated by the spout on
+/// every commit advance. A cluster worker serializes this table into its
+/// periodic offset-commit frame; on respawn the supervisor hands the last
+/// commit back and the new spout seeks to it instead of replaying the
+/// topic from zero (which would overflow the downstream dedup windows).
+#[derive(Debug, Default)]
+pub struct OffsetTable {
+    map: Mutex<HashMap<PartitionId, u64>>,
+}
+
+impl OffsetTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn record(&self, pid: PartitionId, committed: u64) {
+        let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        let slot = map.entry(pid).or_insert(0);
+        *slot = (*slot).max(committed);
+    }
+
+    /// Current watermarks, sorted by partition.
+    pub fn snapshot(&self) -> Vec<(PartitionId, u64)> {
+        let map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out: Vec<(PartitionId, u64)> = map.iter().map(|(&p, &o)| (p, o)).collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Serializes the watermarks (`count:u32le` then `(pid:u32le,
+    /// offset:u64le)` pairs) for the supervisor's commit store.
+    pub fn encode(&self) -> Vec<u8> {
+        let snap = self.snapshot();
+        let mut out = Vec::with_capacity(4 + snap.len() * 12);
+        out.extend_from_slice(&(snap.len() as u32).to_le_bytes());
+        for (pid, off) in snap {
+            out.extend_from_slice(&pid.to_le_bytes());
+            out.extend_from_slice(&off.to_le_bytes());
+        }
+        out
+    }
+
+    /// Inverse of [`encode`](Self::encode). Returns `None` on a malformed
+    /// blob (a torn commit must read as "no recovery data", not garbage
+    /// offsets).
+    pub fn decode(bytes: &[u8]) -> Option<Vec<(PartitionId, u64)>> {
+        let count = u32::from_le_bytes(bytes.get(0..4)?.try_into().ok()?) as usize;
+        if bytes.len() != 4 + count * 12 {
+            return None;
+        }
+        let mut out = Vec::with_capacity(count);
+        for i in 0..count {
+            let base = 4 + i * 12;
+            let pid = u32::from_le_bytes(bytes.get(base..base + 4)?.try_into().ok()?);
+            let off = u64::from_le_bytes(bytes.get(base + 4..base + 12)?.try_into().ok()?);
+            out.push((pid, off));
+        }
+        Some(out)
+    }
 }
 
 /// A spout reading user actions from a TDAccess topic with at-least-once
@@ -174,6 +245,13 @@ pub struct ReplayableSpout {
     max_pending: usize,
     poll_batch: usize,
     progress: Arc<ReplayProgress>,
+    /// `(worker_index, n_workers)`: consume a fixed partition slice
+    /// instead of joining the group (cluster workers).
+    pinned: Option<(usize, usize)>,
+    /// Seek here on connect (cluster recovery after a worker restart).
+    start_offsets: Vec<(PartitionId, u64)>,
+    /// Mirrors committed watermarks for the worker's offset commits.
+    offsets: Option<Arc<OffsetTable>>,
 }
 
 impl ReplayableSpout {
@@ -196,6 +274,9 @@ impl ReplayableSpout {
             max_pending: 64,
             poll_batch: 32,
             progress,
+            pinned: None,
+            start_offsets: Vec::new(),
+            offsets: None,
         }
     }
 
@@ -204,6 +285,31 @@ impl ReplayableSpout {
     /// `max_pending + poll_batch` sources to catch every redelivery.
     pub fn with_max_pending(mut self, max_pending: usize) -> Self {
         self.max_pending = max_pending.max(1);
+        self
+    }
+
+    /// Consumes the fixed partition slice `worker_index` of `n_workers`
+    /// (see [`AccessCluster::consumer_pinned`]) instead of joining the
+    /// consumer group dynamically. A cluster worker needs this: a
+    /// SIGKILLed process never leaves its group, so its ghost membership
+    /// would strand half the partitions on respawn, while the pinned
+    /// slice is a pure function of `(worker_index, n_workers)`.
+    pub fn with_pinned_partitions(mut self, worker_index: usize, n_workers: usize) -> Self {
+        self.pinned = Some((worker_index, n_workers));
+        self
+    }
+
+    /// Seeks each partition to its committed watermark on connect and
+    /// fast-forwards the tracker so nothing below it is re-emitted.
+    pub fn with_start_offsets(mut self, offsets: Vec<(PartitionId, u64)>) -> Self {
+        self.start_offsets = offsets;
+        self
+    }
+
+    /// Mirrors every commit advance into `table` (the worker's
+    /// offset-commit source).
+    pub fn with_offset_table(mut self, table: Arc<OffsetTable>) -> Self {
+        self.offsets = Some(table);
         self
     }
 
@@ -221,11 +327,21 @@ impl ReplayableSpout {
     /// the spout manually call it directly.
     pub fn connect(&mut self) {
         if self.consumer.is_none() {
-            self.consumer = Some(
-                self.cluster
-                    .consumer(&self.topic, &self.group)
-                    .expect("replayable spout: join consumer group"),
-            );
+            let mut consumer = match self.pinned {
+                Some((idx, n)) => self
+                    .cluster
+                    .consumer_pinned(&self.topic, &self.group, idx, n),
+                None => self.cluster.consumer(&self.topic, &self.group),
+            }
+            .expect("replayable spout: join consumer group");
+            for &(pid, off) in &self.start_offsets {
+                consumer.seek(pid, off);
+                self.tracker.resume(pid, off);
+                if let Some(t) = &self.offsets {
+                    t.record(pid, off);
+                }
+            }
+            self.consumer = Some(consumer);
         }
     }
 
@@ -255,6 +371,11 @@ impl ReplayableSpout {
                 self.progress
                     .committed
                     .fetch_add(advanced, Ordering::SeqCst);
+                if advanced > 0 {
+                    if let Some(t) = &self.offsets {
+                        t.record(pid, self.tracker.committed(pid));
+                    }
+                }
                 continue;
             };
             self.tracker.emitted(pid, msg.offset);
@@ -272,6 +393,11 @@ impl ReplayableSpout {
         self.progress
             .committed
             .fetch_add(advanced, Ordering::SeqCst);
+        if advanced > 0 {
+            if let Some(t) = &self.offsets {
+                t.record(pid, self.tracker.committed(pid));
+            }
+        }
     }
 
     /// Fail handler body: seek the consumer back to the failed offset and
@@ -437,5 +563,83 @@ mod tests {
         assert_eq!(action, good);
         spout.on_ack(src);
         assert_eq!(spout.tracker().committed(0), 2);
+    }
+
+    #[test]
+    fn offset_table_round_trips_and_rejects_malformed() {
+        let empty = OffsetTable::new();
+        assert_eq!(empty.encode(), 0u32.to_le_bytes());
+        let table = Arc::new(OffsetTable::new());
+        let mut spout = ReplayableSpout::new(cluster_with("t", 3, 30), "t", "g", Arc::default())
+            .with_offset_table(Arc::clone(&table));
+        spout.connect();
+        while let Some((src, _)) = spout.poll_next() {
+            spout.on_ack(src);
+        }
+        let snapshot = table.snapshot();
+        assert_eq!(snapshot.iter().map(|&(_, o)| o).sum::<u64>(), 30);
+        let blob = table.encode();
+        assert_eq!(OffsetTable::decode(&blob).unwrap(), snapshot);
+        // Truncated and trailing-garbage blobs are rejected, not misread.
+        assert!(OffsetTable::decode(&blob[..blob.len() - 1]).is_none());
+        let mut padded = blob.clone();
+        padded.push(0);
+        assert!(OffsetTable::decode(&padded).is_none());
+        assert!(OffsetTable::decode(&[1, 2]).is_none());
+    }
+
+    #[test]
+    fn resumed_spout_skips_committed_prefix() {
+        // First incarnation acks the first 8 records, then "crashes"
+        // with its committed offsets captured in the table.
+        let first = cluster_with("t", 2, 20);
+        let table = Arc::new(OffsetTable::new());
+        let mut spout = ReplayableSpout::new(first, "t", "g", Arc::default())
+            .with_max_pending(4)
+            .with_offset_table(Arc::clone(&table));
+        spout.connect();
+        for _ in 0..8 {
+            let (src, _) = spout.poll_next().expect("record");
+            spout.on_ack(src);
+        }
+        let committed = table.snapshot();
+        assert_eq!(committed.iter().map(|&(_, o)| o).sum::<u64>(), 8);
+        let blob = table.encode();
+        drop(spout);
+
+        // The respawn rebuilds the same topic (deterministic producer
+        // partitioning) and resumes from the recovered blob: exactly the
+        // 12 uncommitted records come out, none of the committed prefix.
+        let start = OffsetTable::decode(&blob).expect("valid blob");
+        let progress = Arc::new(ReplayProgress::default());
+        let mut resumed =
+            ReplayableSpout::new(cluster_with("t", 2, 20), "t", "g", Arc::clone(&progress))
+                .with_pinned_partitions(0, 1)
+                .with_start_offsets(start);
+        resumed.connect();
+        let mut seen = Vec::new();
+        while let Some((src, _)) = resumed.poll_next() {
+            seen.push(decode_src(src));
+            resumed.on_ack(src);
+        }
+        assert_eq!(seen.len(), 12, "only the uncommitted tail replays");
+        for &(pid, offset) in &seen {
+            let floor = committed
+                .iter()
+                .find(|&&(p, _)| p == pid)
+                .map_or(0, |&(_, o)| o);
+            assert!(
+                offset >= floor,
+                "partition {pid} replayed committed offset {offset} (floor {floor})"
+            );
+        }
+        // The progress counter sees only this incarnation's acks; the
+        // tracker's watermark covers the recovered prefix too.
+        assert_eq!(progress.committed(), 12);
+        assert_eq!(
+            (0..2).map(|p| resumed.tracker().committed(p)).sum::<u64>(),
+            20
+        );
+        assert_eq!(resumed.tracker().outstanding(), 0);
     }
 }

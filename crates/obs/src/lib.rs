@@ -38,5 +38,7 @@ mod registry;
 mod report;
 
 pub use histogram::{LatencyHistogram, LatencySnapshot};
-pub use registry::{render_registries, Counter, Gauge, Registry};
+pub use registry::{
+    render_registries, ClusterScrape, Counter, Gauge, Registry, Sample, SampleKind,
+};
 pub use report::{MetricsReporter, ReporterHandle};

@@ -494,6 +494,235 @@ pub fn render_registries(registries: &[Registry]) -> String {
     text
 }
 
+/// Point-in-time value of one exported sample. Counters and gauges carry
+/// their scalar; histograms carry a full [`LatencySnapshot`] so a remote
+/// aggregator can merge bucket counts instead of averaging quantiles.
+#[derive(Clone, Debug)]
+pub enum SampleKind {
+    /// Monotonic counter value.
+    Counter(u64),
+    /// Gauge value (stored gauges and render-time gauge functions both
+    /// export as this).
+    Gauge(f64),
+    /// Histogram snapshot.
+    Histogram {
+        /// Merged bucket counts plus scalar tallies.
+        snapshot: LatencySnapshot,
+        /// True when the recorded values are nanoseconds (rendered as
+        /// seconds); false for dimensionless values (rendered raw).
+        is_nanos: bool,
+    },
+}
+
+/// One metric captured from a [`Registry`] at a point in time — the unit a
+/// worker process ships to its supervisor for cluster-wide aggregation.
+#[derive(Clone, Debug)]
+pub struct Sample {
+    /// Metric family name (e.g. `tuples_emitted_total`).
+    pub family: String,
+    /// Label key/value pairs, in registration order.
+    pub labels: Vec<(String, String)>,
+    /// Help text emitted once per family.
+    pub help: String,
+    /// The captured value.
+    pub kind: SampleKind,
+}
+
+impl Registry {
+    /// Snapshots every metric into owned [`Sample`]s. Gauge functions are
+    /// evaluated now; histogram buckets are copied so the samples stay
+    /// coherent if the live metrics keep moving.
+    pub fn export(&self) -> Vec<Sample> {
+        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        entries
+            .iter()
+            .map(|e| Sample {
+                family: e.family.clone(),
+                labels: e.labels.clone(),
+                help: e.help.clone(),
+                kind: match &e.value {
+                    MetricValue::Counter(c) => SampleKind::Counter(c.get()),
+                    MetricValue::Gauge(g) => SampleKind::Gauge(g.get()),
+                    MetricValue::GaugeFn(f) => SampleKind::Gauge(f()),
+                    MetricValue::Nanos(h) => SampleKind::Histogram {
+                        snapshot: h.snapshot(),
+                        is_nanos: true,
+                    },
+                    MetricValue::Values(h) => SampleKind::Histogram {
+                        snapshot: h.snapshot(),
+                        is_nanos: false,
+                    },
+                },
+            })
+            .collect()
+    }
+}
+
+impl SampleKind {
+    fn kind_str(&self) -> &'static str {
+        match self {
+            SampleKind::Counter(_) => "counter",
+            SampleKind::Gauge(_) => "gauge",
+            SampleKind::Histogram { .. } => "summary",
+        }
+    }
+}
+
+/// Merges metric samples reported by many worker processes into one
+/// exposition. Each worker's latest report replaces its previous one;
+/// [`ClusterScrape::render`] emits every series twice — once labelled with
+/// its `worker`, and once aggregated across workers (counters and gauges
+/// sum, histograms merge bucket-wise via [`LatencySnapshot::merge`]).
+#[derive(Default)]
+pub struct ClusterScrape {
+    /// (worker id, its latest samples), insertion order.
+    workers: Vec<(String, Vec<Sample>)>,
+}
+
+impl std::fmt::Debug for ClusterScrape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterScrape")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl ClusterScrape {
+    /// An empty scrape with no worker reports.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replaces `worker`'s samples with a fresh report (first report
+    /// inserts). Workers re-report periodically; only the latest snapshot
+    /// per worker counts, so counters are not double-summed.
+    pub fn ingest(&mut self, worker: &str, samples: Vec<Sample>) {
+        match self.workers.iter_mut().find(|(w, _)| w == worker) {
+            Some((_, slot)) => *slot = samples,
+            None => self.workers.push((worker.to_string(), samples)),
+        }
+    }
+
+    /// Cluster-wide aggregate series: samples grouped by
+    /// `(family, labels)` across workers, counters and gauges summed,
+    /// histograms merged bucket-wise. Kind conflicts keep the first-seen
+    /// kind and drop the conflicting report.
+    pub fn aggregate(&self) -> Vec<Sample> {
+        let mut out: Vec<Sample> = Vec::new();
+        for (_, samples) in &self.workers {
+            for s in samples {
+                match out
+                    .iter_mut()
+                    .find(|a| a.family == s.family && a.labels == s.labels)
+                {
+                    None => out.push(s.clone()),
+                    Some(agg) => match (&mut agg.kind, &s.kind) {
+                        (SampleKind::Counter(a), SampleKind::Counter(b)) => {
+                            *a = a.saturating_add(*b);
+                        }
+                        (SampleKind::Gauge(a), SampleKind::Gauge(b)) => *a += b,
+                        (
+                            SampleKind::Histogram { snapshot: a, .. },
+                            SampleKind::Histogram { snapshot: b, .. },
+                        ) => a.merge(b),
+                        _ => {}
+                    },
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders every worker's series (labelled `worker="<id>"`) plus the
+    /// cluster aggregates, in Prometheus text exposition format with one
+    /// `# HELP`/`# TYPE` pair per family.
+    pub fn render(&self) -> String {
+        // (family, help, kind) in first-seen order, then samples per family.
+        let mut families: Vec<(String, String, &'static str)> = Vec::new();
+        let mut lines: Vec<Vec<String>> = Vec::new();
+        let push = |families: &mut Vec<(String, String, &'static str)>,
+                    lines: &mut Vec<Vec<String>>,
+                    s: &Sample,
+                    worker: Option<&str>| {
+            let idx = match families.iter().position(|(f, _, _)| *f == s.family) {
+                Some(i) => i,
+                None => {
+                    families.push((s.family.clone(), s.help.clone(), s.kind.kind_str()));
+                    lines.push(Vec::new());
+                    families.len() - 1
+                }
+            };
+            sample_lines(&mut lines[idx], s, worker);
+        };
+        for (worker, samples) in &self.workers {
+            for s in samples {
+                push(&mut families, &mut lines, s, Some(worker));
+            }
+        }
+        for s in &self.aggregate() {
+            push(&mut families, &mut lines, s, None);
+        }
+        let mut text = String::new();
+        for (i, (family, help, kind)) in families.iter().enumerate() {
+            if !help.is_empty() {
+                let _ = writeln!(text, "# HELP {family} {help}");
+            }
+            let _ = writeln!(text, "# TYPE {family} {kind}");
+            for line in &lines[i] {
+                text.push_str(line);
+                text.push('\n');
+            }
+        }
+        text
+    }
+}
+
+/// Appends the exposition lines for one sample, optionally tagged with a
+/// `worker` label.
+fn sample_lines(out: &mut Vec<String>, s: &Sample, worker: Option<&str>) {
+    let fam = &s.family;
+    let escaped = worker.map(escape_label);
+    let extra = escaped.as_deref().map(|w| ("worker", w));
+    match &s.kind {
+        SampleKind::Counter(v) => {
+            out.push(format!("{fam}{} {v}", label_str(&s.labels, extra)));
+        }
+        SampleKind::Gauge(v) => {
+            out.push(format!("{fam}{} {v}", label_str(&s.labels, extra)));
+        }
+        SampleKind::Histogram { snapshot, is_nanos } => {
+            let scale = |n: u64| {
+                if *is_nanos {
+                    format!("{}", n as f64 * 1e-9)
+                } else {
+                    format!("{n}")
+                }
+            };
+            for (q, name) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+                let mut labels = s.labels.clone();
+                if let Some((k, v)) = extra {
+                    labels.push((k.to_string(), v.to_string()));
+                }
+                out.push(format!(
+                    "{fam}{} {}",
+                    label_str(&labels, Some(("quantile", name))),
+                    scale(snapshot.quantile_nanos(q))
+                ));
+            }
+            out.push(format!(
+                "{fam}_sum{} {}",
+                label_str(&s.labels, extra),
+                scale(snapshot.sum_nanos())
+            ));
+            out.push(format!(
+                "{fam}_count{} {}",
+                label_str(&s.labels, extra),
+                snapshot.count()
+            ));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -585,6 +814,73 @@ mod tests {
         let text = reg.render();
         assert!(text.contains("batch_size{quantile=\"0.5\"} 64"), "{text}");
         assert!(text.contains("batch_size_sum 640"), "{text}");
+    }
+
+    #[test]
+    fn export_snapshots_all_kinds() {
+        let reg = Registry::new();
+        reg.counter("c_total", &[("shard", "0")], "c").add(5);
+        reg.gauge("g", &[], "g").set(1.5);
+        reg.register_gauge_fn("gf", &[], "gf", || 7.0);
+        reg.histogram_nanos("lat_seconds", &[], "lat")
+            .record_nanos(2_000_000_000);
+        let samples = reg.export();
+        assert_eq!(samples.len(), 4);
+        assert!(matches!(samples[0].kind, SampleKind::Counter(5)));
+        assert_eq!(samples[0].labels, vec![("shard".into(), "0".into())]);
+        assert!(matches!(samples[1].kind, SampleKind::Gauge(v) if v == 1.5));
+        assert!(matches!(samples[2].kind, SampleKind::Gauge(v) if v == 7.0));
+        match &samples[3].kind {
+            SampleKind::Histogram { snapshot, is_nanos } => {
+                assert!(*is_nanos);
+                assert_eq!(snapshot.count(), 1);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cluster_scrape_labels_workers_and_aggregates() {
+        let make = |count: u64, nanos: u64| {
+            let reg = Registry::new();
+            reg.counter("tuples_total", &[("component", "cf")], "tuples")
+                .add(count);
+            reg.histogram_nanos("lat_seconds", &[], "latency")
+                .record_nanos(nanos);
+            reg.export()
+        };
+        let mut scrape = ClusterScrape::new();
+        scrape.ingest("0", make(10, 1_000));
+        scrape.ingest("1", make(32, 3_000));
+        // Re-ingest replaces worker 0's report instead of double counting.
+        scrape.ingest("0", make(12, 1_000));
+
+        let agg = scrape.aggregate();
+        let tuples = agg.iter().find(|s| s.family == "tuples_total").unwrap();
+        assert!(matches!(tuples.kind, SampleKind::Counter(44)));
+        let lat = agg.iter().find(|s| s.family == "lat_seconds").unwrap();
+        match &lat.kind {
+            SampleKind::Histogram { snapshot, .. } => assert_eq!(snapshot.count(), 2),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+
+        let text = scrape.render();
+        assert!(
+            text.contains("tuples_total{component=\"cf\",worker=\"0\"} 12"),
+            "{text}"
+        );
+        assert!(
+            text.contains("tuples_total{component=\"cf\",worker=\"1\"} 32"),
+            "{text}"
+        );
+        assert!(text.contains("tuples_total{component=\"cf\"} 44"), "{text}");
+        assert!(text.contains("lat_seconds_count{worker=\"1\"} 1"), "{text}");
+        assert!(text.contains("lat_seconds_count 2"), "{text}");
+        assert_eq!(
+            text.matches("# TYPE tuples_total counter").count(),
+            1,
+            "one TYPE line per family:\n{text}"
+        );
     }
 
     #[test]

@@ -19,24 +19,16 @@
 //! contradicts its own counts is a [`ProtocolError`] — never a panic.
 
 use bytes::{BufMut, BytesMut};
-use std::fmt;
 use tencentrec::action::{ActionType, UserAction};
 use tencentrec::types::{ItemId, UserId};
 use tstorm::metrics::LatencySnapshot;
+use wire::{split_frame, with_frame, Reader};
 
-/// Upper bound on one frame's payload; length prefixes above this are
-/// corrupt by definition (stats frames, the largest we send, stay far
-/// below it).
-pub const MAX_FRAME_LEN: usize = 1 << 20;
-
-/// Frame header: id (8) + tag (1).
-const HEADER_LEN: usize = 9;
-
-/// Reserved correlation id for connection-level errors (a frame the
-/// server could not decode has no id worth echoing). Never use it for a
-/// request: a response carrying it refers to the connection, not to any
-/// in-flight request.
-pub const CONNECTION_ERROR_ID: u64 = 0;
+// The framing layer (length prefix, id+tag header, bounds-checked body
+// reader) lives in the shared `wire` crate; this module keeps only the
+// serving-protocol vocabulary. Re-exported so existing users of
+// `tserve::protocol::{Frame, ProtocolError, ...}` keep compiling.
+pub use wire::{Frame, ProtocolError, CONNECTION_ERROR_ID, MAX_FRAME_LEN};
 
 /// Client → server messages.
 #[derive(Debug, Clone, PartialEq)]
@@ -121,43 +113,6 @@ pub struct StatsReport {
     pub latency: LatencySnapshot,
 }
 
-/// Why a buffer failed to decode.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ProtocolError {
-    /// Length prefix exceeds [`MAX_FRAME_LEN`] — corrupt or hostile.
-    FrameTooLarge(usize),
-    /// Frame shorter than the fixed header.
-    FrameTooShort(usize),
-    /// Unrecognised frame tag.
-    UnknownTag(u8),
-    /// Body contradicts its own length or counts.
-    BadPayload(&'static str),
-}
-
-impl fmt::Display for ProtocolError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ProtocolError::FrameTooLarge(len) => {
-                write!(f, "frame length {len} exceeds {MAX_FRAME_LEN}")
-            }
-            ProtocolError::FrameTooShort(len) => write!(f, "frame length {len} below header"),
-            ProtocolError::UnknownTag(tag) => write!(f, "unknown frame tag {tag:#04x}"),
-            ProtocolError::BadPayload(why) => write!(f, "bad payload: {why}"),
-        }
-    }
-}
-
-impl std::error::Error for ProtocolError {}
-
-/// A decoded frame: correlation id plus message.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Frame<T> {
-    /// Client-chosen correlation id, echoed by the server.
-    pub id: u64,
-    /// The message.
-    pub msg: T,
-}
-
 const TAG_RECOMMEND: u8 = 0x01;
 const TAG_REPORT_ACTION: u8 = 0x02;
 const TAG_HEALTH: u8 = 0x03;
@@ -172,16 +127,6 @@ const TAG_ERROR: u8 = 0x86;
 // ---------------------------------------------------------------------
 // Encoding
 // ---------------------------------------------------------------------
-
-fn with_frame(buf: &mut BytesMut, id: u64, tag: u8, body: impl FnOnce(&mut Vec<u8>)) {
-    let mut payload = Vec::with_capacity(64);
-    payload.put_u64_le(id);
-    payload.put_u8(tag);
-    body(&mut payload);
-    debug_assert!(payload.len() <= MAX_FRAME_LEN, "oversized frame");
-    buf.put_u32_le(payload.len() as u32);
-    buf.put_slice(&payload);
-}
 
 /// Appends one request frame to `buf`.
 pub fn encode_request(id: u64, request: &Request, buf: &mut BytesMut) {
@@ -249,76 +194,6 @@ pub fn encode_response(id: u64, response: &Response, buf: &mut BytesMut) {
 // ---------------------------------------------------------------------
 // Decoding
 // ---------------------------------------------------------------------
-
-/// Bounds-checked reader over one frame body: every accessor verifies
-/// remaining length so corrupt frames surface as errors, not panics.
-struct Reader<'a> {
-    body: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Reader<'a> {
-    fn new(body: &'a [u8]) -> Self {
-        Reader { body, pos: 0 }
-    }
-
-    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtocolError> {
-        if self.body.len() - self.pos < n {
-            return Err(ProtocolError::BadPayload("body shorter than declared"));
-        }
-        let slice = &self.body[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(slice)
-    }
-
-    fn u8(&mut self) -> Result<u8, ProtocolError> {
-        Ok(self.take(1)?[0])
-    }
-
-    fn u32(&mut self) -> Result<u32, ProtocolError> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
-    }
-
-    fn u64(&mut self) -> Result<u64, ProtocolError> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
-    }
-
-    fn finish(self) -> Result<(), ProtocolError> {
-        if self.pos == self.body.len() {
-            Ok(())
-        } else {
-            Err(ProtocolError::BadPayload("trailing bytes after body"))
-        }
-    }
-}
-
-/// Splits one complete frame off `buf`, returning `(id, tag, body)`.
-/// `Ok(None)` means the buffer holds only a partial frame.
-fn split_frame(buf: &mut BytesMut) -> Result<Option<(u64, u8, BytesMut)>, ProtocolError> {
-    if buf.len() < 4 {
-        return Ok(None);
-    }
-    let len = u32::from_le_bytes(buf[..4].try_into().expect("4 bytes")) as usize;
-    if len > MAX_FRAME_LEN {
-        return Err(ProtocolError::FrameTooLarge(len));
-    }
-    if len < HEADER_LEN {
-        return Err(ProtocolError::FrameTooShort(len));
-    }
-    if buf.len() < 4 + len {
-        return Ok(None);
-    }
-    let _ = buf.split_to(4);
-    let mut payload = buf.split_to(len);
-    let header = payload.split_to(HEADER_LEN);
-    let id = u64::from_le_bytes(header[..8].try_into().expect("8 bytes"));
-    let tag = header[8];
-    Ok(Some((id, tag, payload)))
-}
 
 /// Decodes one request frame off the front of `buf`. `Ok(None)` = need
 /// more bytes; errors are fatal for the connection.

@@ -9,11 +9,21 @@ use std::collections::HashMap;
 /// One member of a consumer group. `poll` reads from the partitions the
 /// master assigned to this member, advancing per-partition offsets so each
 /// message is delivered once within the group.
+///
+/// A consumer built with [`AccessCluster::consumer_pinned`] skips the
+/// master's dynamic assignment and always reads its fixed partition slice
+/// — cluster workers need a partition→worker mapping that survives worker
+/// restarts, so a respawned worker resumes exactly the partitions its
+/// predecessor owned instead of triggering a group rebalance.
 pub struct Consumer {
     cluster: AccessCluster,
     meta: TopicMeta,
     group: String,
     member: u64,
+    /// When set, overrides the master's group assignment: `poll` reads
+    /// only these partitions and `Drop` skips `leave_group` (a pinned
+    /// consumer never joined).
+    pinned: Option<Vec<PartitionId>>,
     offsets: HashMap<PartitionId, u64>,
     /// Round-robin cursor over assigned partitions for fairness.
     cursor: usize,
@@ -24,7 +34,13 @@ pub struct Consumer {
 }
 
 impl Consumer {
-    pub(crate) fn new(cluster: AccessCluster, meta: TopicMeta, group: String, member: u64) -> Self {
+    pub(crate) fn new(
+        cluster: AccessCluster,
+        meta: TopicMeta,
+        group: String,
+        member: u64,
+        pinned: Option<Vec<PartitionId>>,
+    ) -> Self {
         let mut consumed = Vec::with_capacity(meta.partitions as usize);
         let mut lag_gauges = Vec::with_capacity(meta.partitions as usize);
         for pid in 0..meta.partitions {
@@ -50,6 +66,7 @@ impl Consumer {
             meta,
             group,
             member,
+            pinned,
             offsets: HashMap::new(),
             cursor: 0,
             consumed,
@@ -60,6 +77,17 @@ impl Consumer {
     /// This member's id within its group.
     pub fn member_id(&self) -> u64 {
         self.member
+    }
+
+    /// The partitions this consumer reads: the pinned slice when set,
+    /// otherwise whatever the master currently assigns this member.
+    pub fn assignment(&self) -> Result<Vec<PartitionId>, AccessError> {
+        match &self.pinned {
+            Some(p) => Ok(p.clone()),
+            None => self
+                .cluster
+                .group_assignment(&self.meta.name, &self.group, self.member),
+        }
     }
 
     /// Reads up to `max` messages across the member's assigned partitions,
@@ -86,9 +114,7 @@ impl Consumer {
         {
             return Ok(Vec::new());
         }
-        let assigned = self
-            .cluster
-            .group_assignment(&self.meta.name, &self.group, self.member)?;
+        let assigned = self.assignment()?;
         if assigned.is_empty() || max == 0 {
             return Ok(Vec::new());
         }
@@ -143,9 +169,7 @@ impl Consumer {
     /// Messages retained but not yet consumed across this member's
     /// assigned partitions (consumer lag).
     pub fn lag(&self) -> Result<u64, AccessError> {
-        let assigned = self
-            .cluster
-            .group_assignment(&self.meta.name, &self.group, self.member)?;
+        let assigned = self.assignment()?;
         let mut total = 0;
         for pid in assigned {
             let broker = self
@@ -160,8 +184,10 @@ impl Consumer {
 
 impl Drop for Consumer {
     fn drop(&mut self) {
-        self.cluster
-            .leave_group(&self.meta.name, &self.group, self.member);
+        if self.pinned.is_none() {
+            self.cluster
+                .leave_group(&self.meta.name, &self.group, self.member);
+        }
     }
 }
 
@@ -231,6 +257,47 @@ mod tests {
         assert_eq!(c.lag().unwrap(), 6);
         while !c.poll(100).unwrap().is_empty() {}
         assert_eq!(c.lag().unwrap(), 0);
+    }
+
+    #[test]
+    fn pinned_consumers_split_partitions_deterministically() {
+        let cluster = AccessCluster::new(ClusterConfig::default());
+        cluster.create_topic("t", 4).unwrap();
+        let p = cluster.producer("t").unwrap();
+        for i in 0..40u32 {
+            p.send(Some(&i.to_le_bytes()), &i.to_le_bytes()).unwrap();
+        }
+        let mut a = cluster.consumer_pinned("t", "g", 0, 2).unwrap();
+        let mut b = cluster.consumer_pinned("t", "g", 1, 2).unwrap();
+        assert_eq!(a.assignment().unwrap(), vec![0, 2]);
+        assert_eq!(b.assignment().unwrap(), vec![1, 3]);
+        let got_a = a.poll_records(100).unwrap();
+        let got_b = b.poll_records(100).unwrap();
+        assert_eq!(got_a.len() + got_b.len(), 40);
+        assert!(got_a.iter().all(|(pid, _)| *pid == 0 || *pid == 2));
+        assert!(got_b.iter().all(|(pid, _)| *pid == 1 || *pid == 3));
+    }
+
+    #[test]
+    fn pinned_consumer_ignores_group_rebalance() {
+        let cluster = AccessCluster::new(ClusterConfig::default());
+        cluster.create_topic("t", 2).unwrap();
+        let p = cluster.producer("t").unwrap();
+        for i in 0..10u32 {
+            p.send(None, &i.to_le_bytes()).unwrap();
+        }
+        let pinned = cluster.consumer_pinned("t", "g", 0, 2).unwrap();
+        {
+            // A dynamic member joining (and later leaving) the same group
+            // must not move the pinned consumer off its slice.
+            let mut dynamic = cluster.consumer("t", "g").unwrap();
+            dynamic.poll(100).unwrap();
+            assert_eq!(pinned.assignment().unwrap(), vec![0]);
+        }
+        assert_eq!(pinned.assignment().unwrap(), vec![0]);
+        // A restarted worker with the same (index, n) resumes the slice.
+        let replacement = cluster.consumer_pinned("t", "g", 0, 2).unwrap();
+        assert_eq!(replacement.assignment().unwrap(), vec![0]);
     }
 
     #[test]

@@ -143,7 +143,48 @@ impl AccessCluster {
             let mut masters = self.inner.masters.write();
             masters[0].join_group(topic, group)?
         };
-        Ok(Consumer::new(self.clone(), meta, group.to_string(), member))
+        Ok(Consumer::new(
+            self.clone(),
+            meta,
+            group.to_string(),
+            member,
+            None,
+        ))
+    }
+
+    /// A consumer pinned to a fixed slice of `topic`'s partitions: worker
+    /// `worker_index` of `n_workers` reads exactly the partitions `p` with
+    /// `p % n_workers == worker_index`. The slice is a pure function of the
+    /// arguments, so a restarted worker resumes its predecessor's
+    /// partitions without a group rebalance (no master assignment, no
+    /// group join/leave). Replay then only has to rewind this worker's own
+    /// offsets.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n_workers` is zero or `worker_index >= n_workers`.
+    pub fn consumer_pinned(
+        &self,
+        topic: &str,
+        group: &str,
+        worker_index: usize,
+        n_workers: usize,
+    ) -> Result<Consumer, AccessError> {
+        assert!(
+            n_workers > 0 && worker_index < n_workers,
+            "worker_index {worker_index} out of range for {n_workers} workers"
+        );
+        let meta = self.topic_meta(topic)?;
+        let pinned: Vec<PartitionId> = (0..meta.partitions)
+            .filter(|p| *p as usize % n_workers == worker_index)
+            .collect();
+        Ok(Consumer::new(
+            self.clone(),
+            meta,
+            group.to_string(),
+            worker_index as u64,
+            Some(pinned),
+        ))
     }
 
     /// Current metadata for `topic`.

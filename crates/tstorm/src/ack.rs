@@ -16,40 +16,58 @@ use std::time::{Duration, Instant};
 use tchaos::Clock;
 
 /// Control messages delivered to spout tasks.
+///
+/// Public because a cluster runtime hosts the acker in another process:
+/// notifications come back over the wire and are re-injected through
+/// [`crate::executor::TopologyHandle::spout_notify`].
 #[derive(Debug)]
-pub(crate) enum SpoutMsg {
+pub enum SpoutMsg {
+    /// The tree rooted at this message id completed.
     Ack(u64),
     /// Acks for every tree completed by one acker message: one channel
     /// message (one wake) instead of one per tree.
     AckBatch(Vec<u64>),
+    /// The tree rooted at this message id failed or timed out.
     Fail(u64),
     /// Stop emitting new tuples but keep servicing acks.
     Deactivate,
+    /// Close the spout and exit the task thread.
     Shutdown,
 }
 
 /// One root registration: what `AckerMsg::Init` carries, batchable.
 #[derive(Debug)]
-pub(crate) struct InitEntry {
-    pub(crate) root: u64,
-    pub(crate) xor: u64,
-    pub(crate) slot: usize,
-    pub(crate) msg_id: u64,
+pub struct InitEntry {
+    /// Random 64-bit root id of the tuple tree.
+    pub root: u64,
+    /// XOR of the edge ids of the initial deliveries.
+    pub xor: u64,
+    /// Acker slot of the owning spout task (global across the cluster).
+    pub slot: usize,
+    /// User-supplied message id, echoed in ack/fail notifications.
+    pub msg_id: u64,
     /// Spout emit time in clock milliseconds; the acker measures whole-
     /// pipeline (spout emit -> tree complete) latency from this stamp.
-    pub(crate) emit_ms: u64,
+    pub emit_ms: u64,
 }
 
+/// Messages consumed by the acker loop. Public so a cluster worker can
+/// forward its emitters' acker traffic to a supervisor-hosted acker.
 #[derive(Debug)]
-pub(crate) enum AckerMsg {
+pub enum AckerMsg {
     /// Root created by spout `slot` with user message id `msg_id`;
     /// `xor` folds the edge ids of the initial deliveries and `emit_ms`
     /// stamps the spout emit time for pipeline-latency tracking.
     Init {
+        /// Random 64-bit root id of the tuple tree.
         root: u64,
+        /// XOR of the edge ids of the initial deliveries.
         xor: u64,
+        /// Global acker slot of the owning spout task.
         slot: usize,
+        /// User-supplied message id.
         msg_id: u64,
+        /// Spout emit time in clock milliseconds.
         emit_ms: u64,
     },
     /// Roots registered since the spout's last flush, shipped together with
@@ -58,7 +76,9 @@ pub(crate) enum AckerMsg {
     InitBatch(Vec<InitEntry>),
     /// XOR delta from a bolt completing an execute.
     Xor {
+        /// Root id the delta applies to.
         root: u64,
+        /// XOR of the edge ids acked and created by the execute.
         xor: u64,
     },
     /// Pre-folded XOR deltas for a whole execute run: one delta per root,
@@ -68,8 +88,10 @@ pub(crate) enum AckerMsg {
     XorBatch(Vec<(u64, u64)>),
     /// Explicit failure of a tree.
     Fail {
+        /// Root id of the failed tree.
         root: u64,
     },
+    /// Stop the acker loop (or, on a forwarded channel, the forwarder).
     Shutdown,
 }
 
@@ -229,7 +251,12 @@ fn flush_acks(completed: &mut Vec<(usize, u64)>, spouts: &[Sender<SpoutMsg>]) {
 /// live entries so the topology can detect quiescence. Entry ages are
 /// measured on `clock`, so a mock clock can expire trees in logical time.
 /// `pipeline` collects spout-emit -> tree-complete latencies.
-pub(crate) fn run_acker(
+///
+/// Public so a cluster supervisor can host the one global acker for a
+/// topology whose spouts and bolts are spread over worker processes:
+/// `spouts` is then a vector of forwarding channels, one per global
+/// spout slot.
+pub fn run_acker(
     rx: Receiver<AckerMsg>,
     spouts: Vec<Sender<SpoutMsg>>,
     timeout: Duration,

@@ -22,7 +22,9 @@ use crate::grouping::RoutingRule;
 use crate::metrics::{
     ComponentMetrics, LatencyHistogram, LatencySnapshot, MetricsRegistry, MetricsSnapshot,
 };
+use crate::remote::{SliceSpec, WireTuple};
 use crate::topology::{BoltFactory, Topology};
+use crate::tuple::Schema;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
@@ -41,6 +43,25 @@ impl Topology {
     /// Starts every task thread and the acker; returns a handle for
     /// monitoring and shutdown.
     pub fn launch(self) -> TopologyHandle {
+        self.launch_inner(None)
+    }
+
+    /// Starts only the slice of the topology named in `spec.local`, for a
+    /// cluster worker process. Remote components get no task threads;
+    /// tuples routed to them leave through `spec.egress` (and arrive from
+    /// elsewhere via [`TopologyHandle::inject`]). No acker thread runs —
+    /// acker traffic drains into `spec.acker` for the supervisor-hosted
+    /// global acker, whose notifications re-enter through
+    /// [`TopologyHandle::spout_notify`].
+    pub fn launch_slice(self, spec: SliceSpec) -> TopologyHandle {
+        self.launch_inner(Some(spec))
+    }
+
+    fn launch_inner(self, spec: Option<SliceSpec>) -> TopologyHandle {
+        let is_local = |name: &str| match &spec {
+            None => true,
+            Some(s) => s.local.contains(name),
+        };
         let mut metrics = MetricsRegistry::default();
         let obs = self.config.registry.clone();
         let inflight = Arc::new(AtomicI64::new(0));
@@ -72,7 +93,25 @@ impl Topology {
         );
         let batch_size = self.config.batch_size.max(1);
         let flush_interval = self.config.flush_interval;
-        let total_spout_tasks: usize = self.spouts.iter().map(|s| s.parallelism).sum();
+        // In a slice only local spout tasks exist here; the slot map
+        // translates their local positions to global acker slots.
+        let total_spout_tasks: usize = self
+            .spouts
+            .iter()
+            .filter(|s| is_local(&s.name))
+            .map(|s| s.parallelism)
+            .sum();
+        let slot_map: Vec<usize> = match &spec {
+            None => (0..total_spout_tasks).collect(),
+            Some(s) => {
+                assert_eq!(
+                    s.slot_map.len(),
+                    total_spout_tasks,
+                    "slot map must cover every local spout task"
+                );
+                s.slot_map.clone()
+            }
+        };
         // One flag per spout task: true once its most recent poll found
         // nothing to emit (or it was deactivated). `wait_idle` requires all
         // flags set, so it cannot return before a slow-starting spout has
@@ -110,11 +149,22 @@ impl Topology {
             bolt_rxs.insert(&b.name, rxs);
         }
 
-        // Spout control channels + acker slot table.
-        let (acker_tx, acker_rx) = unbounded::<AckerMsg>();
+        // Spout control channels + acker slot table. A slice has no acker
+        // of its own: emitters send into the spec's channel, which the
+        // cluster layer forwards to the supervisor's global acker.
+        let (acker_tx, acker_rx) = match &spec {
+            None => {
+                let (tx, rx) = unbounded::<AckerMsg>();
+                (tx, Some(rx))
+            }
+            Some(s) => (s.acker.clone(), None),
+        };
         let mut spout_ctl_txs: Vec<Sender<SpoutMsg>> = Vec::new();
         let mut spout_ctl_rxs: Vec<Receiver<SpoutMsg>> = Vec::new();
         for s in &self.spouts {
+            if !is_local(&s.name) {
+                continue;
+            }
             for _ in 0..s.parallelism {
                 let (tx, rx) = unbounded();
                 spout_ctl_txs.push(tx);
@@ -163,8 +213,19 @@ impl Topology {
             output_maps.insert(name, Arc::new(map));
         }
 
-        // Acker thread.
-        let acker_handle = {
+        // Schema table for re-hydrating tuples that crossed a process
+        // boundary: (source component, stream) -> declared schema.
+        let schemas: HashMap<(String, String), Schema> = all_outputs
+            .iter()
+            .flat_map(|&(name, outputs)| {
+                outputs
+                    .iter()
+                    .map(move |def| ((name.to_string(), def.id.clone()), def.schema.clone()))
+            })
+            .collect();
+
+        // Acker thread (single-process mode only; a slice forwards).
+        let acker_handle = acker_rx.map(|acker_rx| {
             let spouts = spout_ctl_txs.clone();
             let timeout = self.config.message_timeout;
             let gauge = Arc::clone(&acker_pending);
@@ -174,12 +235,67 @@ impl Topology {
                 .name("tstorm-acker".into())
                 .spawn(move || run_acker(acker_rx, spouts, timeout, gauge, clock, pipeline))
                 .expect("spawn acker")
-        };
+        });
 
         let mut threads: Vec<JoinHandle<()>> = Vec::new();
 
+        // Remote bolts: their input queues exist (emitters route into them
+        // exactly as if they were local) but are drained by egress pumps
+        // that flatten each batch and hand it to the cluster transport.
+        for b in &self.bolts {
+            if is_local(&b.name) {
+                continue;
+            }
+            let egress = Arc::clone(&spec.as_ref().expect("remote bolt implies slice").egress);
+            let mut rxs = bolt_rxs.remove(b.name.as_str()).expect("rx registered");
+            for task_index in (0..b.parallelism).rev() {
+                let rx = rxs.pop().expect("one rx per task");
+                let egress = Arc::clone(&egress);
+                let inflight = Arc::clone(&inflight);
+                let name = b.name.clone();
+                threads.push(
+                    std::thread::Builder::new()
+                        .name(format!("tstorm-egress-{name}-{task_index}"))
+                        .spawn(move || {
+                            let mut inbox: Vec<BoltMsg> = Vec::with_capacity(batch_size);
+                            loop {
+                                match rx.recv_batch(&mut inbox, batch_size, None) {
+                                    RecvBatch::Msgs(_) => {}
+                                    RecvBatch::TimedOut => continue,
+                                    RecvBatch::Disconnected => break,
+                                }
+                                let mut shutdown = false;
+                                let mut tuples: Vec<WireTuple> = Vec::with_capacity(inbox.len());
+                                for msg in inbox.drain(..) {
+                                    match msg {
+                                        BoltMsg::Tuple(t) => tuples.push(WireTuple::from_tuple(&t)),
+                                        BoltMsg::Tick => {}
+                                        BoltMsg::Shutdown => shutdown = true,
+                                    }
+                                }
+                                if !tuples.is_empty() {
+                                    // The tuples leave this process: local
+                                    // in-flight accounting ends at the
+                                    // handoff, the destination re-adds them
+                                    // on inject.
+                                    inflight.fetch_sub(tuples.len() as i64, Ordering::Relaxed);
+                                    egress(&name, task_index, tuples);
+                                }
+                                if shutdown {
+                                    break;
+                                }
+                            }
+                        })
+                        .expect("spawn egress pump"),
+                );
+            }
+        }
+
         // Bolt tasks.
         for b in &self.bolts {
+            if !is_local(&b.name) {
+                continue;
+            }
             let comp_metrics = metrics.register(&b.name, &obs);
             let batch_hist = obs.histogram_values(
                 "tstorm_batch_size",
@@ -300,10 +416,15 @@ impl Topology {
             }
         }
 
-        // Spout tasks.
+        // Spout tasks. `slot` counts local spout tasks; the collector is
+        // handed the *global* acker slot so Init entries name the right
+        // notification row wherever the acker runs.
         let mut slot = 0usize;
         let mut spout_threads: Vec<JoinHandle<()>> = Vec::new();
         for s in &self.spouts {
+            if !is_local(&s.name) {
+                continue;
+            }
             let comp_metrics = metrics.register(&s.name, &obs);
             for task_index in 0..s.parallelism {
                 let rx = spout_ctl_rxs[slot].clone();
@@ -324,7 +445,7 @@ impl Topology {
                         self.config.fault_plan.clone(),
                         batch_size,
                     ),
-                    slot,
+                    slot: slot_map[slot],
                     emitted_roots: Arc::clone(&emitted_roots),
                     pending_inits: Vec::new(),
                     clock: self.config.clock.clone(),
@@ -415,9 +536,11 @@ impl Topology {
                 .map(|(k, v)| (k.to_string(), v))
                 .collect(),
             acker_tx,
+            slot_map,
+            schemas,
             threads,
             spout_threads,
-            acker_handle: Some(acker_handle),
+            acker_handle,
         }
     }
 }
@@ -569,6 +692,12 @@ pub struct TopologyHandle {
     spout_ctl_txs: Vec<Sender<SpoutMsg>>,
     bolt_txs: HashMap<String, Vec<BatchSender<BoltMsg>>>,
     acker_tx: Sender<AckerMsg>,
+    /// Local spout task position -> global acker slot (identity in
+    /// single-process mode).
+    slot_map: Vec<usize>,
+    /// (source component, stream) -> declared schema, for re-hydrating
+    /// injected wire tuples.
+    schemas: HashMap<(String, String), Schema>,
     threads: Vec<JoinHandle<()>>,
     spout_threads: Vec<JoinHandle<()>>,
     acker_handle: Option<JoinHandle<()>>,
@@ -608,6 +737,73 @@ impl TopologyHandle {
     /// Number of incomplete tracked tuple trees.
     pub fn pending_trees(&self) -> i64 {
         self.acker_pending.load(Ordering::Relaxed)
+    }
+
+    /// Total roots emitted by local spout tasks so far (tracked and
+    /// untracked).
+    pub fn emitted_roots(&self) -> u64 {
+        self.emitted_roots.load(Ordering::Relaxed)
+    }
+
+    /// True when every local spout task's most recent poll found nothing
+    /// to emit.
+    pub fn spouts_idle(&self) -> bool {
+        self.spout_idle.iter().all(|f| f.load(Ordering::Acquire))
+    }
+
+    /// Delivers tuples that crossed a process boundary into `component`'s
+    /// task queue, re-hydrating each against the schema declared for its
+    /// (source component, stream) pair. Blocks when the destination queue
+    /// is full, so transport-level backpressure reaches the sender.
+    ///
+    /// Panics on an unknown destination or stream: every process builds
+    /// the same topology, so a mismatch is a protocol bug, not an
+    /// operational condition.
+    pub fn inject(&self, component: &str, task: usize, tuples: Vec<WireTuple>) {
+        if tuples.is_empty() {
+            return;
+        }
+        let txs = self
+            .bolt_txs
+            .get(component)
+            .unwrap_or_else(|| panic!("inject: unknown component `{component}`"));
+        let tx = &txs[task];
+        self.inflight
+            .fetch_add(tuples.len() as i64, Ordering::Relaxed);
+        // Intern per (source, stream) so a batch from one remote edge
+        // shares one Schema clone and one Arc<str> pair.
+        type Interned = (Schema, Arc<str>, Arc<str>);
+        let mut interned: HashMap<(String, String), Interned> = HashMap::new();
+        let msgs: Vec<BoltMsg> = tuples
+            .into_iter()
+            .map(|wt| {
+                let key = (wt.src_component.clone(), wt.stream.clone());
+                let (schema, stream, src) = interned.entry(key).or_insert_with_key(|k| {
+                    let schema = self
+                        .schemas
+                        .get(k)
+                        .unwrap_or_else(|| panic!("inject: unknown stream `{}:{}`", k.0, k.1))
+                        .clone();
+                    (schema, Arc::from(k.1.as_str()), Arc::from(k.0.as_str()))
+                });
+                BoltMsg::Tuple(wt.into_tuple(schema.clone(), Arc::clone(stream), Arc::clone(src)))
+            })
+            .collect();
+        if let Err(e) = tx.send_batch(msgs) {
+            self.inflight
+                .fetch_sub(e.undelivered as i64, Ordering::Relaxed);
+        }
+    }
+
+    /// Routes a spout notification from a remote (supervisor-hosted)
+    /// acker to the local task owning `global_slot`. Notifications for
+    /// slots not hosted here are dropped — after a reassignment the
+    /// supervisor can briefly hold stale routes, and a lost ack/fail only
+    /// delays the tree until the timeout sweep replays it.
+    pub fn spout_notify(&self, global_slot: usize, msg: SpoutMsg) {
+        if let Some(local) = self.slot_map.iter().position(|&g| g == global_slot) {
+            let _ = self.spout_ctl_txs[local].send(msg);
+        }
     }
 
     /// Stops spouts from emitting new tuples; in-flight tuples continue to

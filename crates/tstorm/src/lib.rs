@@ -71,6 +71,7 @@ pub mod executor;
 pub mod grouping;
 pub mod metrics;
 pub mod planner;
+pub mod remote;
 pub mod topology;
 pub mod tuple;
 pub mod xml;

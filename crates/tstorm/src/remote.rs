@@ -1,0 +1,100 @@
+//! Process-boundary support: flattened tuples and topology slicing.
+//!
+//! A cluster worker runs only a *slice* of the topology: components named
+//! in [`SliceSpec::local`] get real task threads; every other component
+//! is assumed to run in some other process. Tuples routed to a remote
+//! component are flattened into [`WireTuple`]s and handed to the
+//! [`SliceSpec::egress`] callback (the cluster layer ships them over
+//! TCP); tuples arriving from other processes are re-hydrated by
+//! [`crate::executor::TopologyHandle::inject`].
+//!
+//! Acker traffic flows through the spec's [`SliceSpec::acker`] sender
+//! instead of a local acker thread — a cluster runs exactly one XOR
+//! acker (hosted by the supervisor), so tuple trees span processes while
+//! keeping the single-process completion semantics: an edge lost on the
+//! wire is an edge never acked, the tree times out at the global acker,
+//! and the owning spout replays it.
+
+use crate::ack::AckerMsg;
+use crate::tuple::{Schema, Tuple, Value};
+use crossbeam::channel::Sender;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Callback receiving flattened tuples bound for a remote component:
+/// `(dest_component, dest_task, tuples)`. Invoked from per-task egress
+/// pump threads, so implementations may block (backpressure propagates
+/// into the topology's bounded queues).
+pub type EgressFn = Arc<dyn Fn(&str, usize, Vec<WireTuple>) + Send + Sync>;
+
+/// A [`Tuple`] flattened for transport across a process boundary.
+///
+/// The schema is not carried: every process builds the same topology, so
+/// the destination re-attaches the schema declared for the
+/// `(src_component, stream)` pair. Anchors travel verbatim — the tuple
+/// stays tied to its original trees, which is what makes remote loss
+/// replayable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireTuple {
+    /// Stream the tuple was emitted on.
+    pub stream: String,
+    /// Component that emitted it.
+    pub src_component: String,
+    /// Task index within the source component.
+    pub src_task: usize,
+    /// Field values in schema order.
+    pub values: Vec<Value>,
+    /// `(root, edge)` anchor pairs from the XOR ack tracker.
+    pub anchors: Vec<(u64, u64)>,
+}
+
+impl WireTuple {
+    /// Flattens a runtime tuple for the wire.
+    pub fn from_tuple(t: &Tuple) -> Self {
+        WireTuple {
+            stream: t.stream().to_string(),
+            src_component: t.src_component().to_string(),
+            src_task: t.src_task(),
+            values: t.values().to_vec(),
+            anchors: t.anchors.to_vec(),
+        }
+    }
+
+    /// Re-hydrates against the receiving process's interned handles.
+    pub(crate) fn into_tuple(
+        self,
+        schema: Schema,
+        stream: Arc<str>,
+        src_component: Arc<str>,
+    ) -> Tuple {
+        Tuple::from_parts(
+            self.values.into(),
+            schema,
+            stream,
+            src_component,
+            self.src_task,
+            self.anchors.into(),
+        )
+    }
+}
+
+/// Which part of a topology this process runs, and how the rest of the
+/// cluster is reached. Passed to [`crate::topology::Topology::launch_slice`].
+pub struct SliceSpec {
+    /// Components that get real task threads in this process. Placement
+    /// is component-granular — all tasks of a component stay together —
+    /// so fields groupings keep their key→task contract without any
+    /// cross-process coordination.
+    pub local: HashSet<String>,
+    /// For the i-th local spout task (counting local spouts in topology
+    /// definition order), its *global* acker slot. `InitEntry::slot`
+    /// carries the global slot; notifications come back through
+    /// [`crate::executor::TopologyHandle::spout_notify`].
+    pub slot_map: Vec<usize>,
+    /// Destination for all acker traffic. No local acker thread runs; the
+    /// cluster layer drains this channel into the supervisor's global
+    /// acker (treating [`AckerMsg::Shutdown`] as end-of-stream).
+    pub acker: Sender<AckerMsg>,
+    /// Receives every tuple routed to a non-local component.
+    pub egress: EgressFn,
+}

@@ -379,6 +379,39 @@ pub struct Topology {
     pub(crate) bolts: Vec<BoltDef>,
 }
 
+/// One row of [`Topology::components`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentInfo {
+    /// Component name.
+    pub name: String,
+    /// Number of parallel tasks.
+    pub parallelism: usize,
+    /// Whether the component is a spout.
+    pub is_spout: bool,
+}
+
+impl Topology {
+    /// Components in definition order, spouts first. Spout tasks own
+    /// acker slots in exactly this order (slot 0 is the first task of the
+    /// first spout), so a placement layer can compute global slot
+    /// assignments from this listing alone.
+    pub fn components(&self) -> Vec<ComponentInfo> {
+        self.spouts
+            .iter()
+            .map(|s| ComponentInfo {
+                name: s.name.clone(),
+                parallelism: s.parallelism,
+                is_spout: true,
+            })
+            .chain(self.bolts.iter().map(|b| ComponentInfo {
+                name: b.name.clone(),
+                parallelism: b.parallelism,
+                is_spout: false,
+            }))
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -46,6 +46,28 @@ if [[ -z "$count" || "$count" == "0" ]]; then
 fi
 echo "    exposition OK (pipeline latency samples: $count)"
 
+# Multi-process stage: supervisor + 2 worker OS processes run the CF
+# pipeline with tuples crossing process boundaries over batched TCP;
+# worker 0 is killed mid-run and must be respawned, resume from its
+# committed offsets, and drain counts byte-identical to a fault-free
+# single-process run. The example asserts all of that internally and
+# prints the markers checked here.
+echo "==> multi-process cluster smoke (cluster_pipeline)"
+cluster_out="$(cargo run --release -p tcluster --example cluster_pipeline 2>/dev/null)"
+for marker in \
+    "cluster: supervisor at" \
+    "cluster: killing worker 0" \
+    "cluster: worker respawned" \
+    "cluster: drained counts byte-identical to fault-free baseline" \
+    "CLUSTER PIPELINE OK"; do
+    if ! grep -q "$marker" <<<"$cluster_out"; then
+        echo "CLUSTER FAILURE: marker \"$marker\" missing from output:" >&2
+        echo "$cluster_out" >&2
+        exit 1
+    fi
+done
+echo "    cluster smoke OK ($(grep -c '^cluster:' <<<"$cluster_out") markers)"
+
 # Throughput gate: a smoke-size batch-transport run must stay within 20%
 # of the committed BENCH_topology.json baseline. After an intentional perf
 # change, re-baseline with: BENCH_REBASELINE=1 scripts/ci.sh (or re-run
