@@ -1,0 +1,339 @@
+//! Time-to-recover benchmark: snapshot-restore + tail replay versus
+//! full-log replay on a day-scale, disk-spilled access log.
+//!
+//! A primary run processes the log with a checkpoint coordinator,
+//! publishes one snapshot near the end (the "last snapshot before the
+//! crash"), and is killed without drain. Recovery then races two arms
+//! over identical fresh stores:
+//!
+//! - **restore**: reopen the checkpoint log, load the newest snapshot
+//!   into the store, seek the spout to the sealed offset vector, replay
+//!   only the tail;
+//! - **full replay**: rebuild the whole state from offset zero.
+//!
+//! Writes the `recovery` section of `BENCH_topology.json` (preserving
+//! every other section). Modes:
+//!
+//! - default: day-scale sizes, rewrites `recovery`.
+//! - `--smoke`: small sizes (CI-friendly), rewrites `recovery`.
+//! - `--check`: exits non-zero unless restore beats full replay by the
+//!   committed floor (5x) — the durability acceptance gate.
+
+use ckpt::{CheckpointConfig, Coordinator};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tdaccess::{AccessCluster, ClusterConfig, SegmentConfig};
+use tdstore::{StoreConfig, TdStore};
+use tencentrec::action::{ActionType, UserAction};
+use tencentrec::topology::{
+    build_cf_topology_with_spout, CfParallelism, CfPipelineConfig, OffsetTable, ReplayProgress,
+    ReplayableSpout,
+};
+use tstorm::prelude::TopologyHandle;
+use tstorm::topology::TopologyConfig;
+
+/// Restore must beat full replay by at least this factor.
+const SPEEDUP_FLOOR: f64 = 5.0;
+/// Snapshot position in the log: the crash loses the last 5%.
+const SNAP_FRACTION: f64 = 0.95;
+
+fn workload(n: u64, users: u64, items: u64) -> Vec<UserAction> {
+    let mut actions = Vec::with_capacity(n as usize);
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    for ts in 1..=n {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let user = (state >> 33) % users + 1;
+        let item = (state >> 17) % items + 1;
+        actions.push(UserAction::new(user, item, ActionType::Click, ts));
+    }
+    actions
+}
+
+fn cf_config() -> CfPipelineConfig {
+    CfPipelineConfig {
+        dedup_window: 256,
+        ..Default::default()
+    }
+}
+
+/// Day-scale log shape: segments spill to disk, so replay-from-zero
+/// pays real file reads, exactly like a restart against yesterday's log.
+fn build_spilled_topic(actions: &[UserAction], spill_dir: &Path) -> AccessCluster {
+    let cluster = AccessCluster::new(ClusterConfig {
+        segment: SegmentConfig {
+            max_messages: 8_192,
+            max_bytes: usize::MAX,
+            spill_dir: Some(spill_dir.to_path_buf()),
+        },
+        ..Default::default()
+    });
+    cluster.create_topic("actions", 4).unwrap();
+    let producer = cluster.producer("actions").unwrap();
+    for a in actions {
+        producer
+            .send(Some(&a.user.to_le_bytes()[..]), &a.to_bytes())
+            .unwrap();
+    }
+    cluster
+}
+
+struct Life {
+    handle: TopologyHandle,
+    store: TdStore,
+    progress: Arc<ReplayProgress>,
+    offsets: Arc<OffsetTable>,
+}
+
+fn launch(cluster: &AccessCluster, group: &str, store: TdStore, start: Vec<(u32, u64)>) -> Life {
+    let progress = Arc::new(ReplayProgress::default());
+    let offsets = Arc::new(OffsetTable::new());
+    let topo = build_cf_topology_with_spout(
+        {
+            let cluster = cluster.clone();
+            let group = group.to_string();
+            let progress = Arc::clone(&progress);
+            let offsets = Arc::clone(&offsets);
+            move || {
+                ReplayableSpout::new(cluster.clone(), "actions", &group, Arc::clone(&progress))
+                    .with_offset_table(Arc::clone(&offsets))
+                    .with_start_offsets(start.clone())
+            }
+        },
+        store.clone(),
+        cf_config(),
+        CfParallelism::default(),
+        TopologyConfig::default(),
+    )
+    .expect("valid topology");
+    Life {
+        handle: topo.launch(),
+        store,
+        progress,
+        offsets,
+    }
+}
+
+fn wait_committed(life: &Life, target: u64, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(600);
+    while life.progress.committed() < target {
+        assert!(
+            Instant::now() < deadline,
+            "{what} stalled at {}/{target}",
+            life.progress.committed()
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+fn now_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap()
+        .as_millis() as u64
+}
+
+struct RecoveryResult {
+    actions: u64,
+    spilled_segments: usize,
+    snapshot_entries: u64,
+    snapshot_bytes: u64,
+    tail_records: u64,
+    restore_ms: f64,
+    tail_replay_ms: f64,
+    time_to_recover_ms: f64,
+    full_replay_ms: f64,
+    speedup: f64,
+}
+
+fn run_recovery(n: u64, users: u64, items: u64) -> RecoveryResult {
+    let tmp = std::env::temp_dir().join(format!("tsnap-recovery-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+    std::fs::create_dir_all(&tmp).unwrap();
+    let spill_dir = tmp.join("segments");
+    std::fs::create_dir_all(&spill_dir).unwrap();
+    let ckpt_path = tmp.join("ckpt.fdb");
+
+    let actions = workload(n, users, items);
+    let topic = build_spilled_topic(&actions, &spill_dir);
+    let spilled_segments = std::fs::read_dir(&spill_dir).unwrap().count();
+
+    // Primary life: process to the snapshot point, publish once, crash.
+    let coord = Coordinator::open(
+        &ckpt_path,
+        CheckpointConfig {
+            drain_timeout: Duration::from_secs(60),
+            retain: 2,
+        },
+    )
+    .expect("open checkpoint log");
+    let primary = launch(
+        &topic,
+        "cf",
+        TdStore::new(StoreConfig::default()),
+        Vec::new(),
+    );
+    let snap_at = (n as f64 * SNAP_FRACTION) as u64;
+    wait_committed(&primary, snap_at, "primary");
+    let meta = coord
+        .checkpoint(&primary.handle, &primary.store, &primary.offsets, now_ms())
+        .expect("publish snapshot");
+    primary.handle.kill(); // crash: no drain, no final checkpoint
+    drop(coord); // recovery reopens the log cold, like a fresh process
+
+    // Arm 1: snapshot restore + tail replay.
+    let recover_start = Instant::now();
+    let coord = Coordinator::open(&ckpt_path, CheckpointConfig::default()).expect("reopen");
+    let store = TdStore::new(StoreConfig::default());
+    let restored = coord
+        .restore_into(&store)
+        .expect("restore")
+        .expect("snapshot present");
+    let restore_ms = recover_start.elapsed().as_secs_f64() * 1e3;
+    let skipped: u64 = restored.start_offsets.iter().map(|&(_, off)| off).sum();
+    let tail = n - skipped;
+    let second = launch(&topic, "cf-restore", store, restored.start_offsets.clone());
+    wait_committed(&second, tail, "tail replay");
+    second.handle.shutdown(Duration::from_secs(10));
+    let time_to_recover_ms = recover_start.elapsed().as_secs_f64() * 1e3;
+
+    // Arm 2: full-log replay from offset zero.
+    let full_start = Instant::now();
+    let full = launch(
+        &topic,
+        "cf-full",
+        TdStore::new(StoreConfig::default()),
+        Vec::new(),
+    );
+    wait_committed(&full, n, "full replay");
+    full.handle.shutdown(Duration::from_secs(10));
+    let full_replay_ms = full_start.elapsed().as_secs_f64() * 1e3;
+
+    let _ = std::fs::remove_dir_all(&tmp);
+    RecoveryResult {
+        actions: n,
+        spilled_segments,
+        snapshot_entries: meta.entries,
+        snapshot_bytes: meta.bytes,
+        tail_records: tail,
+        restore_ms,
+        tail_replay_ms: time_to_recover_ms - restore_ms,
+        time_to_recover_ms,
+        full_replay_ms,
+        speedup: full_replay_ms / time_to_recover_ms,
+    }
+}
+
+fn recovery_json(r: &RecoveryResult) -> String {
+    format!(
+        concat!(
+            "\"recovery\": {{\n",
+            "    \"actions\": {},\n",
+            "    \"spilled_segments\": {},\n",
+            "    \"snapshot_entries\": {},\n",
+            "    \"snapshot_bytes\": {},\n",
+            "    \"tail_records\": {},\n",
+            "    \"restore_ms\": {:.1},\n",
+            "    \"tail_replay_ms\": {:.1},\n",
+            "    \"time_to_recover_ms\": {:.1},\n",
+            "    \"full_replay_ms\": {:.1},\n",
+            "    \"speedup\": {:.2}\n",
+            "  }}"
+        ),
+        r.actions,
+        r.spilled_segments,
+        r.snapshot_entries,
+        r.snapshot_bytes,
+        r.tail_records,
+        r.restore_ms,
+        r.tail_replay_ms,
+        r.time_to_recover_ms,
+        r.full_replay_ms,
+        r.speedup,
+    )
+}
+
+/// Finds `"name": { ... }` (brace-balanced) in the flat bench JSON.
+fn extract_section(json: &str, name: &str) -> Option<String> {
+    let start = json.find(&format!("\"{name}\": {{"))?;
+    let open = start + name.len() + 4;
+    let mut depth = 0usize;
+    for (i, c) in json[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(json[start..open + i + 1].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let check = args.iter().any(|a| a == "--check");
+    let bench_path = "BENCH_topology.json";
+
+    // Full size is bounded by the full-replay arm (the slow side being
+    // measured): ~600k actions over a cold spilled log keeps the sweep
+    // in low minutes while the speedup ratio is already size-stable.
+    let (n, users, items) = if smoke {
+        (150_000u64, 500, 100)
+    } else {
+        (600_000u64, 2_000, 300)
+    };
+    eprintln!(
+        "== recovery ({n} actions, snapshot at {:.0}%, disk-spilled log) ==",
+        SNAP_FRACTION * 100.0
+    );
+    let r = run_recovery(n, users, items);
+    eprintln!(
+        "  snapshot: {} entries / {} bytes; log: {} spilled segments",
+        r.snapshot_entries, r.snapshot_bytes, r.spilled_segments
+    );
+    eprintln!(
+        "  restore {:.1} ms + tail replay {:.1} ms ({} records) = {:.1} ms",
+        r.restore_ms, r.tail_replay_ms, r.tail_records, r.time_to_recover_ms
+    );
+    eprintln!(
+        "  full replay {:.1} ms  ->  speedup {:.2}x",
+        r.full_replay_ms, r.speedup
+    );
+
+    // Rewrite only the `recovery` section, preserving everything else.
+    let old = std::fs::read_to_string(bench_path).unwrap_or_default();
+    let section = recovery_json(&r);
+    let json = match extract_section(&old, "recovery") {
+        Some(existing) => old.replace(&existing, &section),
+        None => match old.rfind('}') {
+            Some(close) => format!(
+                "{},\n  {section}\n}}\n",
+                old[..close].trim_end().trim_end_matches(',')
+            ),
+            None => format!("{{\n  {section}\n}}\n"),
+        },
+    };
+    std::fs::write(bench_path, &json).expect("write BENCH_topology.json");
+    eprintln!("wrote {bench_path}");
+
+    if check && r.speedup < SPEEDUP_FLOOR {
+        eprintln!(
+            "FAIL: time-to-recover speedup {:.2}x is below the {SPEEDUP_FLOOR:.0}x floor",
+            r.speedup
+        );
+        std::process::exit(1);
+    }
+    if check {
+        eprintln!(
+            "gate: speedup {:.2}x >= {SPEEDUP_FLOOR:.0}x floor",
+            r.speedup
+        );
+    }
+}

@@ -639,7 +639,15 @@ fn main() {
     );
     let cluster_section = cluster_json(&cluster);
 
-    let json = format!("{{\n  {smoke_section},\n  {full_section},\n  {cluster_section}\n}}\n");
+    // The `recovery` section is owned by `recovery_bench`; carry it over.
+    let json = match extract_section(&old, "recovery") {
+        Some(rec) => {
+            format!(
+                "{{\n  {smoke_section},\n  {full_section},\n  {cluster_section},\n  {rec}\n}}\n"
+            )
+        }
+        None => format!("{{\n  {smoke_section},\n  {full_section},\n  {cluster_section}\n}}\n"),
+    };
     std::fs::write(bench_path, &json).expect("write BENCH_topology.json");
     eprintln!("wrote {bench_path}");
 }

@@ -70,11 +70,19 @@ pub enum FaultSite {
     /// transient partition of an inter-worker link. Every tree in the
     /// batch times out and replays; no process dies.
     LinkPartition,
+    /// The *whole* pipeline process dies abruptly — every executor, queue,
+    /// in-flight tuple tree and unpublished checkpoint vanishes at once.
+    /// Recovery must come entirely from durable artifacts: the newest
+    /// published snapshot plus a tail replay of the access log from its
+    /// sealed offset vector (`ckpt`). The checkpoint analogue of
+    /// [`FaultSite::WorkerKill`], which only kills one worker and leans on
+    /// the surviving supervisor's acker.
+    ProcessKill,
 }
 
 impl FaultSite {
     /// Every site, in stable order.
-    pub const ALL: [FaultSite; 11] = [
+    pub const ALL: [FaultSite; 12] = [
         FaultSite::ExecutorPanic,
         FaultSite::TupleDrop,
         FaultSite::TupleDelay,
@@ -86,6 +94,7 @@ impl FaultSite {
         FaultSite::BatchDrop,
         FaultSite::WorkerKill,
         FaultSite::LinkPartition,
+        FaultSite::ProcessKill,
     ];
 
     fn index(self) -> usize {
@@ -101,6 +110,7 @@ impl FaultSite {
             FaultSite::BatchDrop => 8,
             FaultSite::WorkerKill => 9,
             FaultSite::LinkPartition => 10,
+            FaultSite::ProcessKill => 11,
         }
     }
 }
@@ -113,7 +123,7 @@ struct SiteSpec {
     max_faults: u64,
 }
 
-const N_SITES: usize = 11;
+const N_SITES: usize = 12;
 
 struct Inner {
     seed: u64,

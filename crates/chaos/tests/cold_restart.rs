@@ -1,0 +1,328 @@
+//! Whole-process kill + snapshot recovery: the CF pipeline runs under the
+//! full chaos matrix while a checkpoint coordinator publishes periodic
+//! snapshots; at a seeded point the *entire process* dies
+//! ([`FaultSite::ProcessKill`] — executors, queues, in-flight trees and
+//! any unpublished checkpoint all vanish). The second life restores a
+//! fresh store from the newest durable snapshot and replays only the tail
+//! of the access log from the sealed offset vector — and must still
+//! converge byte-identically to the fault-free run, with the remaining
+//! chaos budget firing throughout.
+
+use ckpt::{CheckpointConfig, Coordinator};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tchaos::{Clock, FaultPlan, FaultSite};
+use tdaccess::{AccessCluster, ClusterConfig};
+use tdstore::{StoreConfig, TdStore};
+use tencentrec::action::{ActionType, UserAction};
+use tencentrec::topology::{
+    build_cf_topology_with_spout, CfParallelism, CfPipelineConfig, OffsetTable, ReplayProgress,
+    ReplayableSpout,
+};
+use tstorm::prelude::TopologyHandle;
+use tstorm::topology::TopologyConfig;
+
+const DEDUP_WINDOW: usize = 256;
+
+fn workload() -> Vec<UserAction> {
+    let mut actions = Vec::new();
+    let mut ts = 0u64;
+    for u in 1..=40u64 {
+        for item in [1u64, 2, (u % 5) + 3] {
+            ts += 1;
+            actions.push(UserAction::new(u, item, ActionType::Click, ts));
+        }
+        if u % 3 == 0 {
+            ts += 1;
+            actions.push(UserAction::new(u, 1, ActionType::Click, ts));
+        }
+    }
+    actions
+}
+
+fn cf_config() -> CfPipelineConfig {
+    CfPipelineConfig {
+        dedup_window: DEDUP_WINDOW,
+        ..Default::default()
+    }
+}
+
+fn chaos_plan(seed: u64) -> FaultPlan {
+    FaultPlan::builder(seed)
+        .site(FaultSite::ExecutorPanic, 0.02, 10)
+        .site(FaultSite::TupleDrop, 0.02, 10)
+        .site(FaultSite::TupleDelay, 0.05, 20)
+        .site(FaultSite::PollStall, 0.05, 10)
+        .site(FaultSite::TornBatch, 0.2, 10)
+        .site(FaultSite::WriteFail, 0.01, 10)
+        // Whole-process death: one per seed, decided by the driver loop.
+        .site(FaultSite::ProcessKill, 0.05, 1)
+        .build()
+}
+
+fn build_topic(actions: &[UserAction]) -> AccessCluster {
+    let cluster = AccessCluster::new(ClusterConfig::default());
+    cluster.create_topic("actions", 4).unwrap();
+    let producer = cluster.producer("actions").unwrap();
+    for a in actions {
+        producer
+            .send(Some(&a.user.to_le_bytes()[..]), &a.to_bytes())
+            .unwrap();
+    }
+    cluster
+}
+
+fn fresh_store(plan: &FaultPlan) -> TdStore {
+    TdStore::new(StoreConfig {
+        servers: 4,
+        instances: 8,
+        replicated: true,
+        write_through: true,
+        fault_plan: plan.clone(),
+        ..Default::default()
+    })
+}
+
+struct Life {
+    handle: TopologyHandle,
+    store: TdStore,
+    progress: Arc<ReplayProgress>,
+    offsets: Arc<OffsetTable>,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn launch(
+    cluster: &AccessCluster,
+    group: &str,
+    store: TdStore,
+    start_offsets: Vec<(u32, u64)>,
+    plan: &FaultPlan,
+    clock: &Clock,
+) -> Life {
+    let progress = Arc::new(ReplayProgress::default());
+    let offsets = Arc::new(OffsetTable::new());
+    let topo = build_cf_topology_with_spout(
+        {
+            let cluster = cluster.clone();
+            let group = group.to_string();
+            let progress = Arc::clone(&progress);
+            let offsets = Arc::clone(&offsets);
+            move || {
+                ReplayableSpout::new(cluster.clone(), "actions", &group, Arc::clone(&progress))
+                    .with_offset_table(Arc::clone(&offsets))
+                    .with_start_offsets(start_offsets.clone())
+            }
+        },
+        store.clone(),
+        cf_config(),
+        CfParallelism::default(),
+        TopologyConfig {
+            message_timeout: Duration::from_millis(3_000),
+            fault_plan: plan.clone(),
+            clock: clock.clone(),
+            ..Default::default()
+        },
+    )
+    .expect("valid topology");
+    Life {
+        handle: topo.launch(),
+        store,
+        progress,
+        offsets,
+    }
+}
+
+fn counts(store: &TdStore, prefix: &[u8]) -> BTreeMap<Vec<u8>, u64> {
+    store
+        .scan_prefix(prefix)
+        .unwrap()
+        .into_iter()
+        .map(|(k, v)| (k, u64::from_le_bytes(v[0..8].try_into().unwrap())))
+        .collect()
+}
+
+fn seed_matrix() -> (Vec<u64>, bool) {
+    match std::env::var("CHAOS_SEEDS") {
+        Ok(s) => (
+            s.split(',').filter_map(|t| t.trim().parse().ok()).collect(),
+            false,
+        ),
+        Err(_) => (vec![3, 7, 11, 23, 42], true),
+    }
+}
+
+/// One seed's full story: first life with periodic checkpoints, a
+/// possible seeded process kill, and (after a kill) a second life built
+/// from the newest snapshot plus tail replay. Returns the final store and
+/// whether the kill fired.
+fn run_with_kill(seed: u64, ckpt_path: &PathBuf) -> (TdStore, bool) {
+    let actions = workload();
+    let n = actions.len() as u64;
+    let plan = chaos_plan(seed);
+    let cluster = build_topic(&actions);
+    let clock = Clock::mock();
+    let coord = Coordinator::open(
+        ckpt_path,
+        CheckpointConfig {
+            drain_timeout: Duration::from_secs(30),
+            retain: 2,
+        },
+    )
+    .unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let advancer = {
+        let clock = clock.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                clock.advance(50);
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        })
+    };
+
+    // First life: checkpoint roughly every fifth of the workload; consult
+    // the kill schedule between steps.
+    let first = launch(
+        &cluster,
+        "cf",
+        fresh_store(&plan),
+        Vec::new(),
+        &plan,
+        &clock,
+    );
+    let mut next_ckpt = n / 5;
+    let mut killed = false;
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let committed = first.progress.committed();
+        if committed >= n {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "seed {seed}: first life stalled at {committed}/{n}"
+        );
+        if committed >= next_ckpt {
+            // A failed attempt (barrier timeout under heavy chaos) just
+            // leaves the previous snapshot live — exactly the production
+            // contract.
+            let _ = coord.checkpoint(&first.handle, &first.store, &first.offsets, committed);
+            next_ckpt += n / 5;
+        }
+        if plan.should_fault(FaultSite::ProcessKill) {
+            killed = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    if !killed {
+        first.handle.shutdown(Duration::from_secs(10));
+        stop.store(true, Ordering::Relaxed);
+        advancer.join().unwrap();
+        return (first.store, false);
+    }
+
+    // The process dies: no drain, no final checkpoint, in-flight trees
+    // and post-snapshot store writes are simply abandoned.
+    first.handle.kill();
+
+    // Second life. Durable artifacts only: the snapshot (if any was
+    // published) and the access log. The store faces the remaining chaos
+    // budget, so the restore write itself may need a retry with a fresh
+    // store after an injected failure.
+    let mut store;
+    let mut restored;
+    loop {
+        store = fresh_store(&plan);
+        match coord.restore_into(&store) {
+            Ok(r) => {
+                restored = r;
+                break;
+            }
+            Err(_) => continue,
+        }
+    }
+    let start_offsets = restored.take().map(|r| r.start_offsets).unwrap_or_default();
+    let skipped: u64 = start_offsets.iter().map(|&(_, off)| off).sum();
+
+    // A SIGKILLed spout never left consumer group "cf"; the snapshot's
+    // offset vector — not group state — carries the resume point, so the
+    // second life joins a fresh group.
+    let second = launch(&cluster, "cf-2", store, start_offsets, &plan, &clock);
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while second.progress.committed() < n - skipped {
+        assert!(
+            Instant::now() < deadline,
+            "seed {seed}: tail replay stalled at {}/{}",
+            second.progress.committed(),
+            n - skipped
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    second.handle.shutdown(Duration::from_secs(10));
+    stop.store(true, Ordering::Relaxed);
+    advancer.join().unwrap();
+    (second.store, true)
+}
+
+#[test]
+fn process_kill_recovers_via_snapshot_and_tail_replay() {
+    // Fault-free baseline.
+    let actions = workload();
+    let n = actions.len() as u64;
+    let clock = Clock::mock();
+    let baseline = launch(
+        &build_topic(&actions),
+        "cf",
+        fresh_store(&FaultPlan::none()),
+        Vec::new(),
+        &FaultPlan::none(),
+        &clock,
+    );
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while baseline.progress.committed() < n {
+        assert!(Instant::now() < deadline, "baseline stalled");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    baseline.handle.shutdown(Duration::from_secs(5));
+    let base_ic = counts(&baseline.store, b"ic:");
+    let base_pc = counts(&baseline.store, b"pc:");
+    assert!(!base_ic.is_empty() && !base_pc.is_empty(), "baseline ran");
+
+    let (seeds, full_matrix) = seed_matrix();
+    let mut kills = 0u64;
+    for &seed in &seeds {
+        let ckpt_path =
+            std::env::temp_dir().join(format!("tsnap-chaos-{}-{seed}.fdb", std::process::id()));
+        let _ = std::fs::remove_file(&ckpt_path);
+        let (store, killed) = run_with_kill(seed, &ckpt_path);
+        kills += u64::from(killed);
+
+        assert_eq!(
+            counts(&store, b"ic:"),
+            base_ic,
+            "seed {seed} (killed={killed}): itemCounts diverged"
+        );
+        assert_eq!(
+            counts(&store, b"pc:"),
+            base_pc,
+            "seed {seed} (killed={killed}): pairCounts diverged"
+        );
+        let _ = std::fs::remove_file(&ckpt_path);
+    }
+
+    // A kill matrix that never kills proves nothing.
+    if full_matrix {
+        assert!(
+            kills > 0,
+            "no process kill fired across seeds {seeds:?} — raise the site probability"
+        );
+    }
+    println!("process kills across seeds: {kills}/{}", seeds.len());
+}

@@ -1,0 +1,300 @@
+#![warn(missing_docs)]
+//! # ckpt — tsnap, durable asynchronous checkpoint/restore
+//!
+//! TencentRec's recovery story so far is *replay from offset zero*: the
+//! topology is state-free by design (§3.3), so a restarted worker rebuilds
+//! its TDStore state by re-consuming the whole TDAccess log. That is
+//! correct (the chaos matrix proves byte-identical convergence) but the
+//! time-to-recover grows linearly with log length — untenable once the
+//! access log spans a day of traffic and has spilled to disk.
+//!
+//! `ckpt` adds the missing primitive: a **checkpoint coordinator** that
+//! periodically captures
+//!
+//! 1. every stateful bolt's backing state (the full TDStore key space:
+//!    `ic:`/`pc:` co-rating counts with their in-value dedup rings,
+//!    `hist:` user histories, `sim:`/`res:` serving tables), and
+//! 2. a **consistent offset vector** over all replayable-spout partitions,
+//!
+//! inside one drain/seal barrier ([`tstorm::topology` handle
+//! `with_barrier`]: deactivate spouts → wait for every in-flight tuple
+//! tree to ack → seal → reactivate). Because capture happens with zero
+//! tuples in flight, the offset vector and the state agree exactly: every
+//! action at a committed offset is fully reflected in the state, and no
+//! action past it has touched anything. Restart therefore equals
+//! *load newest snapshot + replay only the tail*.
+//!
+//! The **asynchronous** half: only the in-memory capture happens inside
+//! the barrier (a scan + an offset-table encode). The durable write —
+//! blob, `fsync`, manifest, `fsync` against [`tdstore::SnapshotStore`] —
+//! runs after the spouts have resumed, so the pipeline stall is bounded by
+//! drain time, not disk time. Manifest atomicity (write the blob first,
+//! name it in the manifest last, let fdb's torn-tail truncation discard a
+//! half-written manifest) guarantees a crash *during* publication simply
+//! falls back to the previous checkpoint.
+
+use obs::{Counter, Gauge, Registry};
+use std::fmt;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use tdstore::{SnapshotMeta, SnapshotStore, StoreError, TdStore};
+use tencentrec::topology::{OffsetTable, PartitionId};
+use tstorm::executor::TopologyHandle;
+
+/// Checkpoint cadence and retention policy.
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// How long the barrier waits for in-flight tuple trees to drain
+    /// before giving up on this checkpoint attempt (the pipeline resumes
+    /// either way; a failed attempt just leaves the previous snapshot
+    /// live).
+    pub drain_timeout: Duration,
+    /// Number of snapshots kept on disk. Older blobs are deleted after
+    /// each publish; the fdb engine's dead-bytes compaction reclaims the
+    /// space.
+    pub retain: usize,
+}
+
+impl Default for CheckpointConfig {
+    fn default() -> Self {
+        CheckpointConfig {
+            drain_timeout: Duration::from_secs(10),
+            retain: 2,
+        }
+    }
+}
+
+/// Why a checkpoint or restore attempt failed.
+#[derive(Debug)]
+pub enum CkptError {
+    /// The drain/seal barrier timed out before the in-flight tuple trees
+    /// settled; no snapshot was taken and the pipeline has resumed.
+    BarrierTimeout,
+    /// The state scan or snapshot-store write failed.
+    Store(StoreError),
+    /// A loaded snapshot failed to decode (corrupt offset vector).
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::BarrierTimeout => write!(f, "checkpoint barrier timed out"),
+            CkptError::Store(e) => write!(f, "snapshot store: {e}"),
+            CkptError::Corrupt(what) => write!(f, "corrupt snapshot: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+impl From<StoreError> for CkptError {
+    fn from(e: StoreError) -> Self {
+        CkptError::Store(e)
+    }
+}
+
+/// What a successful restore hands back: the snapshot's identity plus the
+/// offsets every spout partition must seek to before replaying the tail.
+#[derive(Debug, Clone)]
+pub struct Restored {
+    /// Identity of the snapshot that was loaded.
+    pub meta: SnapshotMeta,
+    /// Per-partition committed offsets at the seal — pass to
+    /// `ReplayableSpout::with_start_offsets`.
+    pub start_offsets: Vec<(PartitionId, u64)>,
+}
+
+/// Checkpoint metrics, held as plain handles so the checkpoint path never
+/// touches the registry lock.
+struct CkptMetrics {
+    checkpoints: Counter,
+    failures: Counter,
+    barrier_ms: Gauge,
+    publish_ms: Gauge,
+    snapshot_bytes: Gauge,
+    snapshot_entries: Gauge,
+    last_epoch: Gauge,
+    last_created_ms: Gauge,
+}
+
+impl CkptMetrics {
+    fn new() -> Self {
+        CkptMetrics {
+            checkpoints: Counter::new(),
+            failures: Counter::new(),
+            barrier_ms: Gauge::new(),
+            publish_ms: Gauge::new(),
+            snapshot_bytes: Gauge::new(),
+            snapshot_entries: Gauge::new(),
+            last_epoch: Gauge::new(),
+            last_created_ms: Gauge::new(),
+        }
+    }
+}
+
+/// The checkpoint coordinator: owns the on-disk [`SnapshotStore`] and
+/// drives barrier capture, durable publication, retention and restore.
+pub struct Coordinator {
+    snapshots: SnapshotStore,
+    config: CheckpointConfig,
+    metrics: CkptMetrics,
+    /// Serialises concurrent `checkpoint` callers (e.g. a timer thread
+    /// racing a shutdown checkpoint): barriers must not nest.
+    gate: Mutex<()>,
+}
+
+impl Coordinator {
+    /// Opens (or creates) the checkpoint log at `path`.
+    pub fn open(
+        path: impl Into<std::path::PathBuf>,
+        config: CheckpointConfig,
+    ) -> Result<Self, CkptError> {
+        Ok(Coordinator {
+            snapshots: SnapshotStore::open(path)?,
+            config,
+            metrics: CkptMetrics::new(),
+            gate: Mutex::new(()),
+        })
+    }
+
+    /// The underlying snapshot repository (inspection / tests).
+    pub fn snapshots(&self) -> &SnapshotStore {
+        &self.snapshots
+    }
+
+    /// Takes one checkpoint of the running topology.
+    ///
+    /// Inside the barrier (spouts deactivated, zero tuples in flight) the
+    /// full bolt state and the committed offset vector are captured in
+    /// memory; the durable publish happens *after* the spouts resume.
+    /// `now_ms` is the coordinator's clock reading, stamped into the
+    /// manifest so restore can report snapshot age.
+    pub fn checkpoint(
+        &self,
+        handle: &TopologyHandle,
+        state: &TdStore,
+        offsets: &OffsetTable,
+        now_ms: u64,
+    ) -> Result<SnapshotMeta, CkptError> {
+        let _gate = self.gate.lock().unwrap();
+        let barrier_start = Instant::now();
+        let sealed = handle.with_barrier(self.config.drain_timeout, || {
+            (state.scan_prefix(b""), offsets.encode())
+        });
+        let barrier_ms = barrier_start.elapsed().as_secs_f64() * 1e3;
+
+        let (pairs, offset_blob) = match sealed {
+            Some((Ok(pairs), blob)) => (pairs, blob),
+            Some((Err(e), _)) => {
+                self.metrics.failures.inc();
+                return Err(e.into());
+            }
+            None => {
+                self.metrics.failures.inc();
+                return Err(CkptError::BarrierTimeout);
+            }
+        };
+
+        // Sort for a deterministic blob layout; scan order is
+        // engine-dependent.
+        let mut pairs = pairs;
+        pairs.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+
+        let publish_start = Instant::now();
+        let meta = self.snapshots.publish(now_ms, &offset_blob, &pairs)?;
+        self.snapshots.retain(self.config.retain);
+
+        let m = &self.metrics;
+        m.checkpoints.inc();
+        m.barrier_ms.set(barrier_ms);
+        m.publish_ms
+            .set(publish_start.elapsed().as_secs_f64() * 1e3);
+        m.snapshot_bytes.set(meta.bytes as f64);
+        m.snapshot_entries.set(meta.entries as f64);
+        m.last_epoch.set(meta.epoch as f64);
+        m.last_created_ms.set(meta.created_ms as f64);
+        Ok(meta)
+    }
+
+    /// Loads the newest snapshot into `state` and returns the offsets the
+    /// spouts must seek to. `Ok(None)` means no snapshot exists yet —
+    /// the caller falls back to a full replay from offset zero.
+    ///
+    /// `state` should be a *fresh* store: restore replaces nothing, it
+    /// only inserts, so pre-existing keys from a partial earlier life
+    /// would survive and break byte-identical convergence.
+    pub fn restore_into(&self, state: &TdStore) -> Result<Option<Restored>, CkptError> {
+        let Some(snap) = self.snapshots.load_latest() else {
+            return Ok(None);
+        };
+        let start_offsets =
+            OffsetTable::decode(&snap.offsets).ok_or(CkptError::Corrupt("offset vector"))?;
+        state.batch_put(snap.state)?;
+        Ok(Some(Restored {
+            meta: snap.meta,
+            start_offsets,
+        }))
+    }
+
+    /// The newest snapshot's identity without loading its payload.
+    pub fn latest(&self) -> Option<SnapshotMeta> {
+        self.snapshots.latest()
+    }
+
+    /// Registers checkpoint metrics with `registry`:
+    /// `ckpt_checkpoints_total`, `ckpt_failures_total`,
+    /// `ckpt_barrier_ms`, `ckpt_publish_ms`, `ckpt_snapshot_bytes`,
+    /// `ckpt_snapshot_entries`, `ckpt_last_epoch`, `ckpt_last_created_ms`.
+    pub fn register_metrics(&self, registry: &Registry) {
+        let m = &self.metrics;
+        registry.register_counter(
+            "ckpt_checkpoints_total",
+            &[],
+            "Checkpoints published",
+            &m.checkpoints,
+        );
+        registry.register_counter(
+            "ckpt_failures_total",
+            &[],
+            "Checkpoint attempts that failed (barrier timeout or store error)",
+            &m.failures,
+        );
+        registry.register_gauge(
+            "ckpt_barrier_ms",
+            &[],
+            "Pipeline stall of the last checkpoint: drain + in-memory capture",
+            &m.barrier_ms,
+        );
+        registry.register_gauge(
+            "ckpt_publish_ms",
+            &[],
+            "Durable publish time of the last checkpoint (off the hot path)",
+            &m.publish_ms,
+        );
+        registry.register_gauge(
+            "ckpt_snapshot_bytes",
+            &[],
+            "Payload size of the last checkpoint",
+            &m.snapshot_bytes,
+        );
+        registry.register_gauge(
+            "ckpt_snapshot_entries",
+            &[],
+            "State entries captured by the last checkpoint",
+            &m.snapshot_entries,
+        );
+        registry.register_gauge(
+            "ckpt_last_epoch",
+            &[],
+            "Epoch of the newest published checkpoint",
+            &m.last_epoch,
+        );
+        registry.register_gauge(
+            "ckpt_last_created_ms",
+            &[],
+            "Coordinator clock at the newest checkpoint's seal (snapshot age = now - this)",
+            &m.last_created_ms,
+        );
+    }
+}

@@ -88,6 +88,17 @@ pub struct ClusterApp {
     /// supervisor periodically; the latest blob comes back as
     /// [`WorkerContext::recovered`] after a restart.
     pub commit: Option<Arc<dyn Fn() -> Vec<u8> + Send + Sync>>,
+    /// Periodic checkpoint hook, invoked by the worker runtime every
+    /// [`ClusterApp::checkpoint_every`] with this slice's running
+    /// [`tstorm::TopologyHandle`]. A state-owning worker passes a closure
+    /// that drives a `ckpt` coordinator (`with_barrier` capture + durable
+    /// publish); on respawn the app restores its store from the newest
+    /// snapshot and seeks the spouts to the sealed offset vector instead
+    /// of replaying the topic from zero. `None` disables checkpointing.
+    #[allow(clippy::type_complexity)]
+    pub checkpoint: Option<Arc<dyn Fn(&tstorm::TopologyHandle) + Send + Sync>>,
+    /// Cadence of the [`ClusterApp::checkpoint`] hook.
+    pub checkpoint_every: std::time::Duration,
     /// App-owned metric registries to export alongside the topology's
     /// own registry in the worker's periodic metrics reports.
     pub registries: Vec<obs::Registry>,
@@ -101,6 +112,8 @@ impl ClusterApp {
             progress: None,
             drain: None,
             commit: None,
+            checkpoint: None,
+            checkpoint_every: std::time::Duration::from_millis(500),
             registries: Vec::new(),
         }
     }

@@ -94,16 +94,24 @@ pub struct SupervisorConfig {
     /// harnesses pass `["--exact", "<test_fn>", "--nocapture"]` so the
     /// respawned test binary reaches the same test body.
     pub spawn_args: Vec<String>,
+    /// Address the hub socket binds to. Defaults to `127.0.0.1:0`
+    /// (loopback, ephemeral port). Bind `0.0.0.0:<port>` to accept
+    /// workers from other machines; an unspecified IP is advertised to
+    /// locally spawned workers as loopback, since `0.0.0.0` itself is not
+    /// connectable.
+    pub bind_addr: SocketAddr,
 }
 
 impl SupervisorConfig {
-    /// Defaults: no faults, 5 s tree timeout, no extra argv.
+    /// Defaults: no faults, 5 s tree timeout, no extra argv, loopback
+    /// ephemeral bind.
     pub fn new(workers: Vec<WorkerSpec>) -> Self {
         SupervisorConfig {
             workers,
             fault_plan: FaultPlan::none(),
             message_timeout: Duration::from_secs(5),
             spawn_args: Vec::new(),
+            bind_addr: SocketAddr::from(([127, 0, 0, 1], 0)),
         }
     }
 }
@@ -426,8 +434,17 @@ impl Cluster {
             .map(|(spec, slots)| (spec.components.clone(), slots))
             .collect();
 
-        let listener = TcpListener::bind("127.0.0.1:0")?;
-        let addr = listener.local_addr()?;
+        let listener = TcpListener::bind(config.bind_addr)?;
+        let mut addr = listener.local_addr()?;
+        // A wildcard bind (0.0.0.0 / ::) accepts from any interface but is
+        // not itself connectable; advertise loopback with the bound port
+        // to the workers this supervisor spawns locally.
+        if addr.ip().is_unspecified() {
+            addr.set_ip(match addr.ip() {
+                std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
         let (acker_tx, acker_rx) = unbounded();
         let pending = Arc::new(AtomicI64::new(0));
         let shared = Arc::new(Shared {
@@ -470,7 +487,9 @@ impl Cluster {
                             // Lifecycle messages are meaningful only to
                             // in-process spouts; worker lifecycle is the
                             // Shutdown frame's job.
-                            SpoutMsg::Deactivate | SpoutMsg::Shutdown => continue,
+                            SpoutMsg::Deactivate | SpoutMsg::Activate | SpoutMsg::Shutdown => {
+                                continue
+                            }
                         };
                         send_to(
                             &sh,
@@ -550,7 +569,8 @@ impl Cluster {
         })
     }
 
-    /// The hub's listen address (`127.0.0.1:<ephemeral>`).
+    /// The address advertised to workers (the bound address, with a
+    /// wildcard IP rewritten to loopback).
     pub fn addr(&self) -> SocketAddr {
         self.addr
     }

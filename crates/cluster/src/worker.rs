@@ -75,6 +75,8 @@ fn launch(
         progress,
         drain,
         commit,
+        checkpoint,
+        checkpoint_every,
         registries,
     } = build(&ctx);
 
@@ -160,6 +162,21 @@ fn launch(
             }
         })
         .expect("spawn status thread");
+
+    // Checkpoint driver: periodically runs the app's checkpoint hook
+    // against the live handle. The hook owns the whole protocol (barrier,
+    // capture, durable publish); a slow checkpoint simply delays the next
+    // one — cadence is "at most this often", not a hard period.
+    if let Some(ckpt) = checkpoint {
+        let chandle = Arc::clone(&handle);
+        thread::Builder::new()
+            .name("tcluster-checkpoint".into())
+            .spawn(move || loop {
+                thread::sleep(checkpoint_every);
+                ckpt(&chandle);
+            })
+            .expect("spawn checkpoint thread");
+    }
 
     let mconn = Arc::clone(conn);
     let mhandle = Arc::clone(&handle);

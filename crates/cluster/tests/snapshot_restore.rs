@@ -1,0 +1,375 @@
+//! Worker respawn with durable checkpoints: a single kill-eligible
+//! worker owns the whole CF pipeline *and* its store, so a SIGKILL loses
+//! every byte of in-memory state. A `ckpt::Coordinator` snapshots the
+//! store + offset vector to a file the respawned incarnation restores
+//! from, so recovery replays only the tail after the last snapshot
+//! instead of the whole topic — and still drains byte-identical to a
+//! fault-free baseline.
+//!
+//! The offset vector a worker-local barrier seals can lag the landed
+//! state by up to the spout's replay horizon (acks round-trip through
+//! the supervisor's global acker), so the replayed tail overlaps events
+//! already folded into the snapshot; the dedup rings restored *with* the
+//! state absorb exactly that overlap (`dedup_window` ≥ replay horizon).
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use ckpt::{CheckpointConfig, Coordinator};
+use tchaos::{FaultPlan, FaultSite};
+use tcluster::{
+    maybe_run_worker, Cluster, ClusterApp, SupervisorConfig, WorkerContext, WorkerSpec,
+};
+use tdaccess::{AccessCluster, ClusterConfig};
+use tdstore::{StoreConfig, TdStore};
+use tencentrec::action::{ActionType, UserAction};
+use tencentrec::topology::{
+    build_cf_topology_with_spout, CfParallelism, CfPipelineConfig, OffsetTable, ReplayProgress,
+    ReplayableSpout,
+};
+use tstorm::prelude::*;
+
+/// Carries the per-seed checkpoint path into respawned worker processes
+/// (they inherit the supervisor's environment).
+const ENV_SNAP: &str = "TSNAP_CLUSTER_PATH";
+
+fn spawn_args(test_fn: &str) -> Vec<String> {
+    vec!["--exact".into(), test_fn.into(), "--nocapture".into()]
+}
+
+// Larger than the multiprocess chaos workload on purpose: the run must
+// outlive a few checkpoint intervals so a kill can land *after* a
+// snapshot published — otherwise every respawn takes the offset-zero
+// fall-back and the test proves nothing about restore.
+fn workload() -> Vec<UserAction> {
+    let mut actions = Vec::new();
+    let mut ts = 0u64;
+    for u in 1..=160u64 {
+        for item in [1u64, 2, (u % 5) + 3] {
+            ts += 1;
+            actions.push(UserAction::new(u, item, ActionType::Click, ts));
+        }
+        if u % 3 == 0 {
+            ts += 1;
+            actions.push(UserAction::new(u, 1, ActionType::Click, ts));
+        }
+    }
+    actions
+}
+
+fn cf_config() -> CfPipelineConfig {
+    CfPipelineConfig {
+        // Must cover the replay horizon of a barrier sealed with acks
+        // still in flight through the supervisor (max_pending + one poll
+        // batch), or restored-state-plus-tail-replay double-counts.
+        dedup_window: 256,
+        ..Default::default()
+    }
+}
+
+/// `ic:`/`pc:` keys with their count prefix, serialized in sorted order —
+/// the byte string every convergent run must agree on.
+fn encode_counts(store: &TdStore) -> Vec<u8> {
+    let mut out = Vec::new();
+    for prefix in [b"ic:".as_slice(), b"pc:".as_slice()] {
+        let sorted: BTreeMap<Vec<u8>, Vec<u8>> =
+            store.scan_prefix(prefix).unwrap().into_iter().collect();
+        for (k, v) in sorted {
+            out.extend_from_slice(&(k.len() as u32).to_le_bytes());
+            out.extend_from_slice(&k);
+            out.extend_from_slice(&v[0..8]);
+        }
+    }
+    out
+}
+
+/// Deterministic topic: same workload, same FNV key partitioning in
+/// every process and incarnation.
+fn build_topic() -> AccessCluster {
+    let access = AccessCluster::new(ClusterConfig::default());
+    access.create_topic("actions", 4).unwrap();
+    let producer = access.producer("actions").unwrap();
+    for a in workload() {
+        producer
+            .send(Some(&a.user.to_le_bytes()[..]), &a.to_bytes())
+            .unwrap();
+    }
+    access
+}
+
+fn now_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap()
+        .as_millis() as u64
+}
+
+/// The checkpointing cluster app. Every incarnation (probe, first life,
+/// respawns) restores the newest snapshot from `TSNAP_CLUSTER_PATH` into
+/// a fresh store and seeks the spout to the sealed offset vector; a
+/// periodic checkpoint hook publishes new snapshots while running.
+///
+/// The commit hook deliberately ships only the *sealed* offsets (the
+/// last published snapshot's vector), never the live table: the live
+/// watermark can run ahead of the snapshot, and the state behind it dies
+/// with the process — advertising it would skip events on respawn.
+fn cf_snapshot_app(ctx: &WorkerContext) -> ClusterApp {
+    let access = build_topic();
+    let store = TdStore::new(StoreConfig::default());
+    let progress = Arc::new(ReplayProgress::default());
+    let table = Arc::new(OffsetTable::new());
+    let coordinator = Arc::new(
+        Coordinator::open(
+            PathBuf::from(std::env::var(ENV_SNAP).expect("TSNAP_CLUSTER_PATH not set")),
+            CheckpointConfig {
+                drain_timeout: Duration::from_secs(30),
+                retain: 2,
+            },
+        )
+        .expect("open checkpoint log"),
+    );
+
+    let restored = coordinator.restore_into(&store).expect("restore snapshot");
+    let restored_epoch = restored.as_ref().map_or(0, |r| r.meta.epoch);
+    // Resume point: snapshot offsets, topped up by the recovered commit
+    // blob. The commit hook only ever ships sealed offsets, so recovered
+    // ≤ snapshot and the max-merge can never skip unsnapshotted events.
+    let start_table = OffsetTable::new();
+    if let Some(r) = &restored {
+        start_table.merge(&r.start_offsets);
+    }
+    if let Some(rec) = ctx.recovered.as_deref().and_then(OffsetTable::decode) {
+        start_table.merge(&rec);
+    }
+    let start = start_table.snapshot();
+    let sealed = Arc::new(Mutex::new(start_table.encode()));
+
+    let topology = build_cf_topology_with_spout(
+        {
+            let access = access.clone();
+            let progress = Arc::clone(&progress);
+            let table = Arc::clone(&table);
+            let start = start.clone();
+            move || {
+                ReplayableSpout::new(access.clone(), "actions", "cf", Arc::clone(&progress))
+                    // A SIGKILLed worker never leaves its consumer group;
+                    // the pinned slice sidesteps the ghost membership.
+                    .with_pinned_partitions(0, 1)
+                    .with_start_offsets(start.clone())
+                    .with_offset_table(Arc::clone(&table))
+            }
+        },
+        store.clone(),
+        cf_config(),
+        CfParallelism::default(),
+        TopologyConfig::default(),
+    )
+    .expect("cf topology");
+
+    let mut app = ClusterApp::new(topology);
+    app.progress = Some(Arc::new({
+        let table = Arc::clone(&table);
+        move || table.snapshot().iter().map(|&(_, off)| off).sum()
+    }));
+    app.commit = Some(Arc::new({
+        let sealed = Arc::clone(&sealed);
+        move || sealed.lock().unwrap().clone()
+    }));
+    app.drain = Some(Arc::new({
+        let store = store.clone();
+        move || encode_counts(&store)
+    }));
+    app.checkpoint = Some(Arc::new({
+        let coordinator = Arc::clone(&coordinator);
+        let store = store.clone();
+        let table = Arc::clone(&table);
+        move |handle| {
+            if coordinator
+                .checkpoint(handle, &store, &table, now_ms())
+                .is_ok()
+            {
+                if let Some(snap) = coordinator.snapshots().load_latest() {
+                    *sealed.lock().unwrap() = snap.offsets;
+                }
+            }
+        }
+    }));
+    app.checkpoint_every = Duration::from_millis(100);
+
+    // Exported so the supervisor can see whether the *final* incarnation
+    // resumed from a real snapshot (epoch > 0) or fell back to zero.
+    let registry = obs::Registry::new();
+    let epoch_gauge = obs::Gauge::new();
+    epoch_gauge.set(restored_epoch as f64);
+    registry.register_gauge(
+        "tsnap_restored_epoch",
+        &[],
+        "Snapshot epoch this incarnation restored from (0 = none)",
+        &epoch_gauge,
+    );
+    coordinator.register_metrics(&registry);
+    app.registries = vec![registry];
+    app
+}
+
+/// Fault-free single-process baseline over the identical workload and
+/// config, with no checkpointing in the loop.
+fn baseline_counts() -> Vec<u8> {
+    let access = build_topic();
+    let store = TdStore::new(StoreConfig::default());
+    let progress = Arc::new(ReplayProgress::default());
+    let topology = build_cf_topology_with_spout(
+        {
+            let access = access.clone();
+            let progress = Arc::clone(&progress);
+            move || ReplayableSpout::new(access.clone(), "actions", "cf", Arc::clone(&progress))
+        },
+        store.clone(),
+        cf_config(),
+        CfParallelism::default(),
+        TopologyConfig::default(),
+    )
+    .expect("baseline topology");
+    let n = workload().len() as u64;
+    let handle = topology.launch();
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    while progress.committed() < n {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "baseline stalled at {}/{n}",
+            progress.committed()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(handle.wait_idle(Duration::from_secs(30)));
+    handle.shutdown(Duration::from_secs(5));
+    let bytes = encode_counts(&store);
+    assert!(!bytes.is_empty(), "baseline produced no counts");
+    bytes
+}
+
+fn seed_matrix() -> Vec<u64> {
+    match std::env::var("CHAOS_SEEDS") {
+        Ok(s) => s.split(',').filter_map(|t| t.trim().parse().ok()).collect(),
+        Err(_) => vec![3, 7, 11, 23, 42],
+    }
+}
+
+/// How often the last-reported incarnation restored from a real snapshot
+/// (rendered gauge `tsnap_restored_epoch` > 0 for any worker series).
+fn restored_from_snapshot(rendered: &str) -> bool {
+    rendered
+        .lines()
+        .filter(|l| l.starts_with("tsnap_restored_epoch"))
+        .any(|l| {
+            l.rsplit(' ')
+                .next()
+                .and_then(|v| v.parse::<f64>().ok())
+                .is_some_and(|v| v > 0.0)
+        })
+}
+
+/// The tentpole cluster acceptance test: kill the worker that owns *all*
+/// state, respawn it, restore from the newest durable snapshot, replay
+/// only the tail — and drain byte-identical to the fault-free baseline.
+#[test]
+fn killed_state_worker_restores_from_snapshot_and_converges() {
+    assert!(!maybe_run_worker(cf_snapshot_app));
+    let baseline = baseline_counts();
+    let n = workload().len() as u64;
+    let mut kills = 0u64;
+    let mut snapshot_restores = 0u64;
+    for seed in seed_matrix() {
+        let dir = std::env::temp_dir().join(format!("tsnap-cluster-{}-{seed}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.fdb");
+        std::env::set_var(ENV_SNAP, &path);
+
+        // One worker holds everything: spout, every bolt, and the store.
+        // Nothing is protected — the kill wipes all in-memory state and
+        // only the checkpoint file survives.
+        let mut config = SupervisorConfig::new(vec![WorkerSpec::new([
+            "spout",
+            "pretreatment",
+            "user_history",
+            "item_count",
+            "cf_pair",
+        ])]);
+        // Drawn once per status frame (~20/s); the single-worker run is
+        // short, so the per-draw probability is high to make kills (and
+        // a second kill of the restored incarnation) actually land.
+        config.fault_plan = FaultPlan::builder(seed)
+            .site(FaultSite::WorkerKill, 0.15, 2)
+            .build();
+        config.message_timeout = Duration::from_millis(1500);
+        config.spawn_args = spawn_args("killed_state_worker_restores_from_snapshot_and_converges");
+        let cluster = Cluster::launch(config, cf_snapshot_app).expect("launch");
+        // Converge-and-drain must tolerate a kill landing between the
+        // idle check and the drain request (the drain frame dies with
+        // the socket): retry until the kill budget is exhausted and a
+        // fully converged incarnation reports.
+        let mut drained = Vec::new();
+        let deadline = std::time::Instant::now() + Duration::from_secs(180);
+        loop {
+            if std::time::Instant::now() >= deadline {
+                // Fall through to the assert below with whatever the last
+                // drain produced — the mismatch is the useful diagnostic.
+                break;
+            }
+            if !cluster.wait_progress(0, n, Duration::from_secs(60))
+                || !cluster.wait_idle(Duration::from_secs(30))
+            {
+                continue;
+            }
+            if let Some(bytes) = cluster.drain(0, Duration::from_secs(10)) {
+                drained = bytes;
+                // A report polled mid-respawn can be incomplete; only a
+                // baseline match (or the exhausted retry deadline) ends
+                // the loop.
+                if drained == baseline {
+                    break;
+                }
+            }
+        }
+        assert_eq!(
+            drained,
+            baseline,
+            "seed {seed}: restored counts diverged from the fault-free baseline (restarts {})",
+            cluster.restarts()
+        );
+        let seed_kills = cluster.fault_plan().fired(FaultSite::WorkerKill);
+        kills += seed_kills;
+        if seed_kills > 0 && restored_from_snapshot(&cluster.render_metrics()) {
+            snapshot_restores += 1;
+        }
+        cluster.shutdown(Duration::from_secs(10));
+
+        // The survivor artifact is readable on its own: reopening the
+        // checkpoint log must expose a loadable snapshot whenever one was
+        // published (torn tails from the kill fall back, never corrupt).
+        let coord = Coordinator::open(&path, CheckpointConfig::default()).unwrap();
+        if let Some(meta) = coord.latest() {
+            let fresh = TdStore::new(StoreConfig::default());
+            let restored = coord
+                .restore_into(&fresh)
+                .expect("post-run restore")
+                .expect("manifest points at a loadable snapshot");
+            assert_eq!(restored.meta.epoch, meta.epoch);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    // A chaos matrix that injects nothing proves nothing; and at least
+    // one respawn must have resumed from a real snapshot rather than the
+    // offset-zero fall-back. (Only enforced on the full default matrix.)
+    if std::env::var("CHAOS_SEEDS").is_err() {
+        assert!(kills > 0, "no worker kill fired across the seed matrix");
+        assert!(
+            snapshot_restores > 0,
+            "no respawn ever restored from a snapshot ({kills} kills)"
+        );
+    }
+    println!("snapshot-restore matrix: {kills} kills, {snapshot_restores} snapshot restores");
+}

@@ -1,0 +1,382 @@
+//! Durable state snapshots: the [`SnapshotState`] trait and its binary
+//! codec.
+//!
+//! Every stateful structure a checkpoint must capture — the CF engine's
+//! windowed counts and user histories, the CB profiles, the CTR cells,
+//! the replay-log offset table — implements `save` (serialize to an
+//! opaque, self-contained blob) and `load` (restore from one). The
+//! checkpoint coordinator composes these blobs with a consistent offset
+//! vector and writes them to the fdb-backed snapshot store; restore is
+//! `load` plus tail replay from the committed offsets.
+//!
+//! Encoding is the repo's usual little-endian framing: fixed-width
+//! integers, `u32` length prefixes, no self-description. A blob only
+//! loads into a structure built with the same configuration that saved
+//! it — configuration is construction-time input, not snapshot payload.
+
+use std::fmt;
+
+/// Error from [`SnapshotState::load`]: the blob is truncated or
+/// internally inconsistent. Carries a static context string naming the
+/// decode step that failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotError(pub &'static str);
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "snapshot decode failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// State that can round-trip through a checkpoint blob.
+pub trait SnapshotState {
+    /// Serializes the current state into a self-contained blob.
+    fn save(&self) -> Vec<u8>;
+
+    /// Replaces the current state with the blob's. On error the state is
+    /// unspecified (callers restore into a freshly constructed value).
+    fn load(&mut self, bytes: &[u8]) -> Result<(), SnapshotError>;
+}
+
+/// Bounds-checked little-endian reader over a snapshot blob.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over the whole blob.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], SnapshotError> {
+        let end = self.pos.checked_add(n).ok_or(SnapshotError(what))?;
+        let slice = self.buf.get(self.pos..end).ok_or(SnapshotError(what))?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Next `u8`.
+    pub fn u8(&mut self, what: &'static str) -> Result<u8, SnapshotError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Next little-endian `u16`.
+    pub fn u16(&mut self, what: &'static str) -> Result<u16, SnapshotError> {
+        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().unwrap()))
+    }
+
+    /// Next little-endian `u32`.
+    pub fn u32(&mut self, what: &'static str) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    /// Next little-endian `u64`.
+    pub fn u64(&mut self, what: &'static str) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    /// Next little-endian `f64`.
+    pub fn f64(&mut self, what: &'static str) -> Result<f64, SnapshotError> {
+        Ok(f64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    /// Next `u32`-length-prefixed byte slice.
+    pub fn bytes(&mut self, what: &'static str) -> Result<&'a [u8], SnapshotError> {
+        let len = self.u32(what)? as usize;
+        self.take(len, what)
+    }
+
+    /// A `u32` count, sanity-bounded by the bytes actually remaining so a
+    /// corrupt count cannot drive a huge allocation before the decode
+    /// fails. `min_entry` is the smallest on-wire size of one entry.
+    pub fn count(&mut self, min_entry: usize, what: &'static str) -> Result<usize, SnapshotError> {
+        let n = self.u32(what)? as usize;
+        if n.saturating_mul(min_entry.max(1)) > self.buf.len() - self.pos {
+            return Err(SnapshotError(what));
+        }
+        Ok(n)
+    }
+
+    /// Fails unless the blob was consumed exactly.
+    pub fn finish(self, what: &'static str) -> Result<(), SnapshotError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(SnapshotError(what))
+        }
+    }
+}
+
+/// Appends a `u32`-length-prefixed byte slice (inverse of
+/// [`Reader::bytes`]).
+pub fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+/// Map/set keys that a snapshot can serialize. Implemented for the id
+/// types the engines key their state by.
+pub trait SnapshotKey: Sized {
+    /// Fixed on-wire size of one key, for [`Reader::count`] bounds.
+    const WIRE_BYTES: usize;
+
+    /// Appends the key's encoding.
+    fn put(&self, out: &mut Vec<u8>);
+
+    /// Reads one key.
+    fn read(r: &mut Reader<'_>, what: &'static str) -> Result<Self, SnapshotError>;
+}
+
+impl SnapshotKey for u64 {
+    const WIRE_BYTES: usize = 8;
+
+    fn put(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+
+    fn read(r: &mut Reader<'_>, what: &'static str) -> Result<Self, SnapshotError> {
+        r.u64(what)
+    }
+}
+
+impl SnapshotKey for crate::types::ItemPair {
+    const WIRE_BYTES: usize = 16;
+
+    fn put(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.a.to_le_bytes());
+        out.extend_from_slice(&self.b.to_le_bytes());
+    }
+
+    fn read(r: &mut Reader<'_>, what: &'static str) -> Result<Self, SnapshotError> {
+        let a = r.u64(what)?;
+        let b = r.u64(what)?;
+        Ok(crate::types::ItemPair::new(a, b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reader_rejects_truncation_and_trailing_garbage() {
+        let mut out = Vec::new();
+        out.extend_from_slice(&7u32.to_le_bytes());
+        put_bytes(&mut out, b"abc");
+        let mut r = Reader::new(&out);
+        assert_eq!(r.u32("n").unwrap(), 7);
+        assert_eq!(r.bytes("b").unwrap(), b"abc");
+        r.finish("tail").unwrap();
+
+        let mut r = Reader::new(&out[..out.len() - 1]);
+        assert_eq!(r.u32("n").unwrap(), 7);
+        assert!(r.bytes("b").is_err(), "truncated slice must fail");
+
+        let mut padded = out.clone();
+        padded.push(0);
+        let mut r = Reader::new(&padded);
+        r.u32("n").unwrap();
+        r.bytes("b").unwrap();
+        assert!(r.finish("tail").is_err(), "trailing garbage must fail");
+    }
+
+    #[test]
+    fn count_bounds_against_remaining_bytes() {
+        // A blob claiming u32::MAX entries of 8 bytes each must fail fast
+        // instead of allocating.
+        let mut out = Vec::new();
+        out.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut r = Reader::new(&out);
+        assert!(r.count(8, "entries").is_err());
+    }
+
+    #[test]
+    fn keys_round_trip() {
+        let mut out = Vec::new();
+        42u64.put(&mut out);
+        crate::types::ItemPair::new(9, 3).put(&mut out);
+        let mut r = Reader::new(&out);
+        assert_eq!(u64::read(&mut r, "k").unwrap(), 42);
+        let p = crate::types::ItemPair::read(&mut r, "p").unwrap();
+        assert_eq!((p.a, p.b), (3, 9));
+        r.finish("tail").unwrap();
+    }
+
+    use crate::action::{ActionType, UserAction};
+    use crate::cf::{CfConfig, ItemCF, WindowConfig, WindowedCounts};
+
+    fn workload() -> Vec<UserAction> {
+        (0..300u64)
+            .map(|i| {
+                let action = match i % 4 {
+                    0 => ActionType::Browse,
+                    1 => ActionType::Click,
+                    2 => ActionType::Purchase,
+                    _ => ActionType::Browse,
+                };
+                UserAction::new(i % 13, i % 7, action, i * 137)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn item_cf_round_trips_and_continues_identically() {
+        // Feed half the workload, snapshot, load into a fresh engine with
+        // the same config, feed the rest into both: every observable must
+        // stay byte-identical — the convergence contract a checkpoint
+        // restore relies on.
+        let config = CfConfig {
+            window: Some(WindowConfig {
+                session_ms: 5_000,
+                sessions: 4,
+            }),
+            ..CfConfig::default()
+        };
+        let (first, second) = {
+            let w = workload();
+            (w[..150].to_vec(), w[150..].to_vec())
+        };
+        let mut original = ItemCF::new(config.clone());
+        for a in &first {
+            original.process(a);
+        }
+        let blob = original.save();
+        let mut restored = ItemCF::new(config);
+        restored.load(&blob).unwrap();
+        for a in &second {
+            original.process(a);
+            restored.process(a);
+        }
+        assert_eq!(restored.stats(), original.stats());
+        for item in 0..7u64 {
+            assert_eq!(
+                restored.similar_items(item),
+                original.similar_items(item),
+                "similar list of item {item} diverged"
+            );
+        }
+        for user in 0..13u64 {
+            assert_eq!(restored.recommend(user, 5), original.recommend(user, 5));
+        }
+    }
+
+    #[test]
+    fn item_cf_rejects_pruning_config_mismatch() {
+        let with = CfConfig::default(); // pruning on by default
+        assert!(with.pruning_delta.is_some(), "default config prunes");
+        let without = CfConfig {
+            pruning_delta: None,
+            ..CfConfig::default()
+        };
+        let mut a = ItemCF::new(with);
+        for act in workload() {
+            a.process(&act);
+        }
+        let blob = a.save();
+        let mut b = ItemCF::new(without);
+        assert!(b.load(&blob).is_err(), "pruned blob into unpruned engine");
+    }
+
+    #[test]
+    fn windowed_counts_expire_identically_after_load() {
+        let window = Some(WindowConfig {
+            session_ms: 100,
+            sessions: 3,
+        });
+        let mut original: WindowedCounts<u64> = WindowedCounts::new(window);
+        for i in 0..50u64 {
+            original.add(i % 5, 1.0, i * 37);
+        }
+        let mut restored: WindowedCounts<u64> = WindowedCounts::new(window);
+        restored.load(&original.save()).unwrap();
+        // Advance both far enough to expire sessions; totals must agree.
+        for c in [&mut original, &mut restored] {
+            c.add(99, 1.0, 5_000);
+        }
+        for k in 0..5u64 {
+            assert_eq!(restored.get(&k), original.get(&k), "key {k}");
+        }
+        assert_eq!(restored.len(), original.len());
+    }
+
+    #[test]
+    fn content_based_round_trips() {
+        use crate::catalog::{ItemCatalog, ItemMeta};
+        use crate::cb::{CbConfig, ContentBased};
+        let catalog = ItemCatalog::new();
+        for item in 0..6u64 {
+            catalog.upsert(
+                item,
+                ItemMeta {
+                    category: 0,
+                    price: 0.0,
+                    tags: vec![((item % 3) as u32, 1.0), (3, 0.4)],
+                },
+            );
+        }
+        let mut original = ContentBased::new(CbConfig::default(), catalog.clone());
+        for item in 0..6u64 {
+            original.register_item(item);
+        }
+        for i in 0..40u64 {
+            original.process(&UserAction::new(i % 4, i % 6, ActionType::Click, i * 1000));
+        }
+        let mut restored = ContentBased::new(CbConfig::default(), catalog);
+        restored.load(&original.save()).unwrap();
+        for user in 0..4u64 {
+            assert_eq!(restored.recommend(user, 4), original.recommend(user, 4));
+        }
+        assert_eq!(restored.item_count(), original.item_count());
+        assert_eq!(restored.user_count(), original.user_count());
+    }
+
+    #[test]
+    fn situational_ctr_round_trips() {
+        use crate::ctr::{CtrConfig, Situation, SituationalCtr};
+        use crate::db::DemographicProfile;
+        let mut original = SituationalCtr::new(CtrConfig::default());
+        let situations: Vec<Situation> = (0..8u8)
+            .map(|i| Situation {
+                profile: DemographicProfile {
+                    gender: i % 2,
+                    age: 20 + i,
+                    region: u16::from(i % 3),
+                },
+                position: i % 4,
+            })
+            .collect();
+        for (i, s) in situations.iter().cycle().take(200).enumerate() {
+            let item = (i % 5) as u64;
+            original.impression(item, s, i as u64 * 10);
+            if i % 3 == 0 {
+                original.click(item, s, i as u64 * 10 + 1);
+            }
+        }
+        let mut restored = SituationalCtr::new(CtrConfig::default());
+        restored.load(&original.save()).unwrap();
+        for s in &situations {
+            for item in 0..5u64 {
+                assert_eq!(restored.predict(item, s), original.predict(item, s));
+                assert_eq!(
+                    restored.situational_ctr(item, s),
+                    original.situational_ctr(item, s)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn offset_table_snapshot_state_round_trips() {
+        use crate::topology::OffsetTable;
+        let table = OffsetTable::new();
+        table.merge(&[(0, 17), (3, 5)]);
+        let mut restored = OffsetTable::new();
+        restored.load(&table.save()).unwrap();
+        assert_eq!(restored.snapshot(), table.snapshot());
+        assert!(restored.load(&[9, 9]).is_err(), "malformed blob rejected");
+    }
+}

@@ -31,6 +31,7 @@ pub use bolts::{
     ITEM_DELTA, PAIR_DELTA,
 };
 pub use replay::{OffsetTable, ReplayProgress, ReplayableSpout};
+pub use tdaccess::PartitionId;
 
 use crate::topology::state::{decode_sim_list, read_history, windowed_sum};
 use crate::types::{keys, FxHashMap, FxHashSet, ItemId, UserId};

@@ -212,6 +212,15 @@ impl OffsetTable {
         out
     }
 
+    /// Folds recovered watermarks into the table, keeping the maximum per
+    /// partition — merging a snapshot manifest's offsets with a possibly
+    /// newer offset-commit blob takes whichever got further.
+    pub fn merge(&self, offsets: &[(PartitionId, u64)]) {
+        for &(pid, off) in offsets {
+            self.record(pid, off);
+        }
+    }
+
     /// Inverse of [`encode`](Self::encode). Returns `None` on a malformed
     /// blob (a torn commit must read as "no recovery data", not garbage
     /// offsets).
@@ -228,6 +237,22 @@ impl OffsetTable {
             out.push((pid, off));
         }
         Some(out)
+    }
+}
+
+impl crate::snapshot::SnapshotState for OffsetTable {
+    /// Reuses the offset-commit wire format ([`OffsetTable::encode`]).
+    fn save(&self) -> Vec<u8> {
+        self.encode()
+    }
+
+    fn load(&mut self, bytes: &[u8]) -> Result<(), crate::snapshot::SnapshotError> {
+        let offsets =
+            Self::decode(bytes).ok_or(crate::snapshot::SnapshotError("offset table blob"))?;
+        let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        map.clear();
+        map.extend(offsets);
+        Ok(())
     }
 }
 

@@ -165,6 +165,100 @@ impl Partition {
         }
     }
 
+    /// Reopens a partition from its spill directory: every
+    /// `{name}-{base_offset}.seg` file becomes a spilled segment again,
+    /// in offset order, and appends resume after the last spilled record.
+    ///
+    /// Only sealed-and-spilled segments survive a restart — whatever was
+    /// still hot in memory when the process died is gone, which is
+    /// exactly the recovery contract: the durable log ends at the last
+    /// spilled offset, and anything past it was never acknowledged as
+    /// durable. Returns an empty partition when the directory has no
+    /// segments for `name` (or no spill dir is configured).
+    pub fn open(name: &str, config: SegmentConfig) -> Result<Self, AccessError> {
+        let Some(dir) = config.spill_dir.clone() else {
+            return Ok(Partition::new(name, config));
+        };
+        let _ = fs::create_dir_all(&dir);
+        let prefix = format!("{name}-");
+        let mut spilled: Vec<(u64, PathBuf)> = Vec::new();
+        for entry in fs::read_dir(&dir)? {
+            let path = entry?.path();
+            let Some(file) = path.file_name().and_then(|f| f.to_str()) else {
+                continue;
+            };
+            let Some(base) = file
+                .strip_prefix(&prefix)
+                .and_then(|rest| rest.strip_suffix(".seg"))
+                .and_then(|digits| digits.parse::<u64>().ok())
+            else {
+                continue;
+            };
+            spilled.push((base, path));
+        }
+        spilled.sort_unstable_by_key(|&(base, _)| base);
+
+        let mut partition = Partition {
+            name: name.to_string(),
+            config,
+            segments: Vec::with_capacity(spilled.len() + 1),
+            next_offset: 0,
+        };
+        for (base, path) in spilled {
+            // The durable log must be contiguous: a segment whose base
+            // skips past the previous end means a gap (a lost or foreign
+            // file), and reads across it would silently drop offsets.
+            if base != partition.next_offset {
+                return Err(AccessError::Io(format!(
+                    "segment {} starts at {base}, expected {}",
+                    path.display(),
+                    partition.next_offset
+                )));
+            }
+            let raw = fs::read(&path)?;
+            let mut bytes = Bytes::from(raw);
+            let mut count = 0usize;
+            let mut seg_bytes = 0usize;
+            while let Some(m) = Message::decode(&mut bytes) {
+                if m.offset != base + count as u64 {
+                    return Err(AccessError::Io(format!(
+                        "segment {} has non-contiguous offsets",
+                        path.display()
+                    )));
+                }
+                seg_bytes += m.size_bytes();
+                count += 1;
+            }
+            partition.next_offset = base + count as u64;
+            partition.segments.push(Segment {
+                base_offset: base,
+                bytes: seg_bytes,
+                data: SegmentData::Spilled { path, count },
+            });
+        }
+        partition.segments.push(Segment::new(partition.next_offset));
+        Ok(partition)
+    }
+
+    /// Seals (and, with a spill dir, persists) the active segment even if
+    /// it is not full, then starts a fresh one. Makes the whole log up to
+    /// [`Partition::end_offset`] durable — the flush a broker does before
+    /// an orderly shutdown or a checkpoint wants the topic pinned on disk.
+    pub fn seal_active(&mut self) -> Result<(), AccessError> {
+        let active = self.segments.last_mut().expect("always one segment");
+        if active.is_empty() {
+            return Ok(());
+        }
+        let spill_path = self
+            .config
+            .spill_dir
+            .as_ref()
+            .map(|d| d.join(format!("{}-{:020}.seg", self.name, active.base_offset())));
+        active.seal(spill_path)?;
+        self.segments.push(Segment::new(self.next_offset));
+        Ok(())
+    }
+
     /// Appends a record, returning its offset.
     pub fn append(
         &mut self,

@@ -3,7 +3,10 @@
 //! Every put/delete appends a framed record to the log; an in-memory map
 //! tracks the latest offset per key. Reopening replays the log, so data
 //! survives process restarts. `flush` rewrites the log keeping only live
-//! records (compaction).
+//! records (compaction); the same rewrite also runs automatically when
+//! overwrites and deletes have made more than half the log dead weight
+//! (checkpoint blobs churn the same keys every round, which would grow an
+//! append-only log without bound).
 //!
 //! Record framing: `key_len:u32 | key | val_len:i32 | value` where
 //! `val_len = -1` marks a delete.
@@ -16,12 +19,25 @@ use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::PathBuf;
 
+/// Auto-compaction floor: logs smaller than this never compact on their
+/// own (the rewrite would cost more than the bytes it reclaims).
+const COMPACT_MIN_BYTES: u64 = 64 * 1024;
+
 struct FdbInner {
     file: File,
     /// key → (value offset, value length) into the log file.
     index: HashMap<Vec<u8>, (u64, u32)>,
     /// Current append position.
     end: u64,
+    /// Bytes of the log occupied by *live* records (the latest put of each
+    /// indexed key). `end - live` is dead weight: overwritten values and
+    /// delete markers. Maintained incrementally on every append.
+    live: u64,
+}
+
+/// Size on disk of one put record for `key` carrying `val_len` value bytes.
+fn record_bytes(key: &[u8], val_len: u32) -> u64 {
+    8 + key.len() as u64 + u64::from(val_len)
 }
 
 /// File-backed engine.
@@ -72,9 +88,18 @@ impl FdbEngine {
         // leave stale bytes that replay might misparse.
         file.set_len(end)?;
         file.seek(SeekFrom::Start(end))?;
+        let live = index
+            .iter()
+            .map(|(k, &(_, len))| record_bytes(k, len))
+            .sum();
         Ok(FdbEngine {
             path,
-            inner: Mutex::new(FdbInner { file, index, end }),
+            inner: Mutex::new(FdbInner {
+                file,
+                index,
+                end,
+                live,
+            }),
         })
     }
 
@@ -88,17 +113,79 @@ impl FdbEngine {
                 rec.extend_from_slice(&(v.len() as i32).to_le_bytes());
                 let value_offset = inner.end + rec.len() as u64;
                 rec.extend_from_slice(v);
-                inner
+                let prev = inner
                     .index
                     .insert(key.to_vec(), (value_offset, v.len() as u32));
+                if let Some((_, old_len)) = prev {
+                    inner.live -= record_bytes(key, old_len);
+                }
+                inner.live += record_bytes(key, v.len() as u32);
             }
         }
         if value.is_none() {
-            inner.index.remove(key);
+            if let Some((_, old_len)) = inner.index.remove(key) {
+                inner.live -= record_bytes(key, old_len);
+            }
         }
         inner.file.write_all(&rec)?;
         inner.end += rec.len() as u64;
         Ok(())
+    }
+
+    /// Compacts when dead records (overwrites + delete markers) outweigh
+    /// live ones and the log is big enough for the rewrite to pay off.
+    fn maybe_compact(&self, inner: &mut FdbInner) {
+        if inner.end >= COMPACT_MIN_BYTES && (inner.end - inner.live) * 2 > inner.end {
+            self.compact(inner);
+        }
+    }
+
+    /// Rewrites the log with only live records and swaps it in atomically.
+    fn compact(&self, inner: &mut FdbInner) {
+        let live: Vec<(Vec<u8>, Vec<u8>)> = {
+            let keys: Vec<(Vec<u8>, (u64, u32))> = inner
+                .index
+                .iter()
+                .map(|(k, &loc)| (k.clone(), loc))
+                .collect();
+            keys.into_iter()
+                .filter_map(|(k, (off, len))| Self::read_at(inner, off, len).ok().map(|v| (k, v)))
+                .collect()
+        };
+        let tmp = self.path.with_extension("compact");
+        {
+            let file = OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&tmp)
+                .expect("create compact file");
+            inner.file = file;
+            inner.end = 0;
+            inner.live = 0;
+            inner.index.clear();
+            for (k, v) in live {
+                Self::append(inner, &k, Some(&v)).expect("fdb compact append");
+            }
+            inner.file.sync_all().ok();
+        }
+        std::fs::rename(&tmp, &self.path).expect("swap compacted log");
+        // Reopen the renamed file for continued appends.
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&self.path)
+            .expect("reopen compacted log");
+        file.seek(SeekFrom::Start(inner.end)).expect("seek end");
+        inner.file = file;
+    }
+
+    /// Forces appended records to disk (`fsync`). The write path is
+    /// OS-buffered — enough for process-kill durability — so only
+    /// ordering-critical writers (the snapshot store's blob-before-
+    /// manifest protocol) pay for this.
+    pub fn sync(&self) -> std::io::Result<()> {
+        self.inner.lock().file.sync_data()
     }
 
     fn read_at(inner: &mut FdbInner, offset: u64, len: u32) -> std::io::Result<Vec<u8>> {
@@ -120,6 +207,7 @@ impl StorageEngine for FdbEngine {
     fn put(&self, key: &[u8], value: Vec<u8>) {
         let mut inner = self.inner.lock();
         Self::append(&mut inner, key, Some(&value)).expect("fdb append");
+        self.maybe_compact(&mut inner);
     }
 
     fn delete(&self, key: &[u8]) -> bool {
@@ -127,6 +215,7 @@ impl StorageEngine for FdbEngine {
         let existed = inner.index.contains_key(key);
         if existed {
             Self::append(&mut inner, key, None).expect("fdb append");
+            self.maybe_compact(&mut inner);
         }
         existed
     }
@@ -140,6 +229,7 @@ impl StorageEngine for FdbEngine {
             .and_then(|(off, len)| Self::read_at(&mut inner, off, len).ok());
         let new = f(old.as_deref());
         Self::append(&mut inner, key, new.as_deref()).expect("fdb append");
+        self.maybe_compact(&mut inner);
         new
     }
 
@@ -163,43 +253,7 @@ impl StorageEngine for FdbEngine {
     /// Compaction: rewrites the log with only live records.
     fn flush(&self) {
         let mut inner = self.inner.lock();
-        let live: Vec<(Vec<u8>, Vec<u8>)> = {
-            let keys: Vec<(Vec<u8>, (u64, u32))> = inner
-                .index
-                .iter()
-                .map(|(k, &loc)| (k.clone(), loc))
-                .collect();
-            keys.into_iter()
-                .filter_map(|(k, (off, len))| {
-                    Self::read_at(&mut inner, off, len).ok().map(|v| (k, v))
-                })
-                .collect()
-        };
-        let tmp = self.path.with_extension("compact");
-        {
-            let file = OpenOptions::new()
-                .write(true)
-                .create(true)
-                .truncate(true)
-                .open(&tmp)
-                .expect("create compact file");
-            inner.file = file;
-            inner.end = 0;
-            inner.index.clear();
-            for (k, v) in live {
-                Self::append(&mut inner, &k, Some(&v)).expect("fdb compact append");
-            }
-            inner.file.sync_all().ok();
-        }
-        std::fs::rename(&tmp, &self.path).expect("swap compacted log");
-        // Reopen the renamed file for continued appends.
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .open(&self.path)
-            .expect("reopen compacted log");
-        file.seek(SeekFrom::Start(inner.end)).expect("seek end");
-        inner.file = file;
+        self.compact(&mut inner);
     }
 }
 
@@ -279,6 +333,41 @@ mod tests {
         drop(e);
         let e2 = FdbEngine::open(p.clone()).unwrap();
         assert_eq!(e2.get(b"c"), Some(vec![3]));
+        let _ = std::fs::remove_file(p);
+    }
+
+    #[test]
+    fn churn_triggers_auto_compaction() {
+        // Overwriting the same keys forever must not grow the log without
+        // bound: once dead bytes outweigh live ones past the floor, the
+        // engine compacts by itself — no explicit flush() call.
+        let p = temp_path("auto");
+        let _ = std::fs::remove_file(&p);
+        let e = FdbEngine::open(p.clone()).unwrap();
+        let val = vec![0xCD; 1024];
+        for round in 0..400u32 {
+            for i in 0..16u32 {
+                e.put(&i.to_le_bytes(), val.clone());
+            }
+            // Deletes churn too: their markers are pure dead weight.
+            e.put(b"tmp", vec![round as u8; 512]);
+            e.delete(b"tmp");
+        }
+        let size = std::fs::metadata(&p).unwrap().len();
+        let live = 16 * (8 + 4 + 1024) as u64;
+        assert!(
+            size < live * 3 + COMPACT_MIN_BYTES,
+            "log should stay near its live size, got {size} for {live} live"
+        );
+        for i in 0..16u32 {
+            assert_eq!(e.get(&i.to_le_bytes()), Some(val.clone()));
+        }
+        assert!(e.get(b"tmp").is_none());
+        // Replay after auto-compaction still sees the same data.
+        drop(e);
+        let e2 = FdbEngine::open(p.clone()).unwrap();
+        assert_eq!(e2.len(), 16);
+        assert_eq!(e2.get(&3u32.to_le_bytes()), Some(val));
         let _ = std::fs::remove_file(p);
     }
 

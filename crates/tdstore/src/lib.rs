@@ -30,11 +30,13 @@ pub mod engine;
 mod error;
 mod route;
 mod server;
+pub mod snapshot;
 
 pub use engine::{EngineKind, FdbEngine, LdbEngine, MdbEngine, RdbEngine, StorageEngine};
 pub use error::StoreError;
 pub use route::{ConfigServers, InstanceId, InstanceRoute, RouteTable, ServerId};
 pub use server::DataServer;
+pub use snapshot::{Snapshot, SnapshotMeta, SnapshotStore};
 
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -1,0 +1,334 @@
+//! The snapshot store: durable checkpoint blobs + manifest on one
+//! [`FdbEngine`] log.
+//!
+//! Layout (all keys in one append-only fdb log):
+//!
+//! - `snap:<epoch:u64le>` → snapshot payload: the consistent offset
+//!   vector over every spout partition, then the full bolt-state
+//!   key/value set captured inside the drain/seal barrier.
+//! - `manifest` → `epoch | created_ms | entries | bytes` of the newest
+//!   *complete* snapshot.
+//!
+//! Atomicity falls out of the engine's replay rules. `publish` writes the
+//! blob, fsyncs, then writes the manifest record and fsyncs again. A
+//! crash before the manifest append leaves the previous manifest as the
+//! latest key; a crash *during* it leaves a torn tail record that replay
+//! truncates — again exposing the previous manifest. Either way restart
+//! sees a manifest that points at a fully-written blob, never a partial
+//! one. Superseded blobs are deleted by `retain`, and the engine's
+//! dead-bytes compaction keeps the churned log near its live size.
+
+use crate::engine::{FdbEngine, StorageEngine};
+use crate::error::StoreError;
+use std::path::PathBuf;
+
+/// Key of the manifest record.
+const MANIFEST_KEY: &[u8] = b"manifest";
+/// Prefix of snapshot payload keys.
+const SNAP_PREFIX: &[u8] = b"snap:";
+
+/// Identity and size of one published snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotMeta {
+    /// Monotonic checkpoint epoch (1-based).
+    pub epoch: u64,
+    /// Coordinator clock time at the seal, in milliseconds.
+    pub created_ms: u64,
+    /// Number of state key/value pairs captured.
+    pub entries: u64,
+    /// Payload size in bytes (offset vector + state).
+    pub bytes: u64,
+}
+
+/// Bolt-state key/value pairs as captured inside the barrier.
+pub type StateEntries = Vec<(Vec<u8>, Vec<u8>)>;
+
+/// One decoded snapshot: what a restore replays forward from.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Identity of this snapshot.
+    pub meta: SnapshotMeta,
+    /// Opaque offset-vector blob (the topology layer encodes/decodes it;
+    /// the store only guarantees it was sealed with `state`).
+    pub offsets: Vec<u8>,
+    /// Bolt-state key/value pairs captured inside the barrier.
+    pub state: StateEntries,
+}
+
+/// File-backed checkpoint repository.
+pub struct SnapshotStore {
+    engine: FdbEngine,
+}
+
+fn snap_key(epoch: u64) -> Vec<u8> {
+    let mut key = SNAP_PREFIX.to_vec();
+    key.extend_from_slice(&epoch.to_le_bytes());
+    key
+}
+
+fn encode_payload(offsets: &[u8], state: &[(Vec<u8>, Vec<u8>)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(
+        8 + offsets.len()
+            + state
+                .iter()
+                .map(|(k, v)| 8 + k.len() + v.len())
+                .sum::<usize>(),
+    );
+    out.extend_from_slice(&(offsets.len() as u32).to_le_bytes());
+    out.extend_from_slice(offsets);
+    out.extend_from_slice(&(state.len() as u32).to_le_bytes());
+    for (k, v) in state {
+        out.extend_from_slice(&(k.len() as u32).to_le_bytes());
+        out.extend_from_slice(k);
+        out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+        out.extend_from_slice(v);
+    }
+    out
+}
+
+fn decode_payload(bytes: &[u8]) -> Option<(Vec<u8>, StateEntries)> {
+    let mut pos = 0usize;
+    let mut take = |n: usize| {
+        let slice = bytes.get(pos..pos.checked_add(n)?)?;
+        pos += n;
+        Some(slice)
+    };
+    let off_len = u32::from_le_bytes(take(4)?.try_into().ok()?) as usize;
+    let offsets = take(off_len)?.to_vec();
+    let count = u32::from_le_bytes(take(4)?.try_into().ok()?) as usize;
+    let mut state = Vec::with_capacity(count.min(bytes.len() / 8 + 1));
+    for _ in 0..count {
+        let klen = u32::from_le_bytes(take(4)?.try_into().ok()?) as usize;
+        let k = take(klen)?.to_vec();
+        let vlen = u32::from_le_bytes(take(4)?.try_into().ok()?) as usize;
+        let v = take(vlen)?.to_vec();
+        state.push((k, v));
+    }
+    (pos == bytes.len()).then_some((offsets, state))
+}
+
+fn encode_manifest(meta: &SnapshotMeta) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    out.extend_from_slice(&meta.epoch.to_le_bytes());
+    out.extend_from_slice(&meta.created_ms.to_le_bytes());
+    out.extend_from_slice(&meta.entries.to_le_bytes());
+    out.extend_from_slice(&meta.bytes.to_le_bytes());
+    out
+}
+
+fn decode_manifest(bytes: &[u8]) -> Option<SnapshotMeta> {
+    if bytes.len() != 32 {
+        return None;
+    }
+    let word = |i: usize| u64::from_le_bytes(bytes[i * 8..(i + 1) * 8].try_into().unwrap());
+    Some(SnapshotMeta {
+        epoch: word(0),
+        created_ms: word(1),
+        entries: word(2),
+        bytes: word(3),
+    })
+}
+
+impl SnapshotStore {
+    /// Opens (or creates) the checkpoint log at `path`.
+    pub fn open(path: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        Ok(SnapshotStore {
+            engine: FdbEngine::open(path.into())?,
+        })
+    }
+
+    /// Publishes one sealed snapshot and returns its identity. The blob
+    /// is fully on disk before the manifest names it, so a crash at any
+    /// point leaves the previous snapshot restorable.
+    pub fn publish(
+        &self,
+        created_ms: u64,
+        offsets: &[u8],
+        state: &[(Vec<u8>, Vec<u8>)],
+    ) -> Result<SnapshotMeta, StoreError> {
+        let epoch = self.latest().map_or(1, |m| m.epoch + 1);
+        let payload = encode_payload(offsets, state);
+        let meta = SnapshotMeta {
+            epoch,
+            created_ms,
+            entries: state.len() as u64,
+            bytes: payload.len() as u64,
+        };
+        self.engine.put(&snap_key(epoch), payload);
+        self.engine.sync()?;
+        self.engine.put(MANIFEST_KEY, encode_manifest(&meta));
+        self.engine.sync()?;
+        Ok(meta)
+    }
+
+    /// The newest complete snapshot's identity, if any.
+    pub fn latest(&self) -> Option<SnapshotMeta> {
+        decode_manifest(&self.engine.get(MANIFEST_KEY)?)
+    }
+
+    /// Loads the snapshot of `epoch`. `None` when the blob is missing
+    /// (retained out) or undecodable. Only the manifest records
+    /// `created_ms`, so older epochs report it as zero.
+    pub fn load(&self, epoch: u64) -> Option<Snapshot> {
+        let raw = self.engine.get(&snap_key(epoch))?;
+        let (offsets, state) = decode_payload(&raw)?;
+        let created_ms = self
+            .latest()
+            .filter(|m| m.epoch == epoch)
+            .map_or(0, |m| m.created_ms);
+        Some(Snapshot {
+            meta: SnapshotMeta {
+                epoch,
+                created_ms,
+                entries: state.len() as u64,
+                bytes: raw.len() as u64,
+            },
+            offsets,
+            state,
+        })
+    }
+
+    /// Loads the snapshot the manifest points at. This is the restore
+    /// entry point: manifest → blob → seek offsets → replay the tail.
+    pub fn load_latest(&self) -> Option<Snapshot> {
+        let meta = self.latest()?;
+        let raw = self.engine.get(&snap_key(meta.epoch))?;
+        let (offsets, state) = decode_payload(&raw)?;
+        Some(Snapshot {
+            meta,
+            offsets,
+            state,
+        })
+    }
+
+    /// Published epochs, oldest first.
+    pub fn epochs(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = self
+            .engine
+            .scan_prefix(SNAP_PREFIX)
+            .into_iter()
+            .filter_map(|(k, _)| Some(u64::from_le_bytes(k.get(5..13)?.try_into().ok()?)))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Deletes all but the newest `keep` snapshot blobs. The deletes make
+    /// the superseded blobs dead weight, which the engine's dead-bytes
+    /// compaction then reclaims.
+    pub fn retain(&self, keep: usize) {
+        let epochs = self.epochs();
+        let cut = epochs.len().saturating_sub(keep.max(1));
+        for &epoch in &epochs[..cut] {
+            self.engine.delete(&snap_key(epoch));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> (SnapshotStore, PathBuf) {
+        let p = std::env::temp_dir().join(format!("tsnap-test-{}-{tag}.fdb", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        (SnapshotStore::open(p.clone()).unwrap(), p)
+    }
+
+    fn state(n: u64, round: u8) -> Vec<(Vec<u8>, Vec<u8>)> {
+        (0..n)
+            .map(|i| (i.to_le_bytes().to_vec(), vec![round; 16]))
+            .collect()
+    }
+
+    #[test]
+    fn publish_load_round_trip() {
+        let (s, p) = temp_store("roundtrip");
+        assert!(s.latest().is_none());
+        assert!(s.load_latest().is_none());
+        let meta = s.publish(1_000, b"offsets-blob", &state(10, 1)).unwrap();
+        assert_eq!(meta.epoch, 1);
+        assert_eq!(meta.entries, 10);
+        let snap = s.load_latest().unwrap();
+        assert_eq!(snap.meta, meta);
+        assert_eq!(snap.offsets, b"offsets-blob");
+        assert_eq!(snap.state, state(10, 1));
+        let _ = std::fs::remove_file(p);
+    }
+
+    #[test]
+    fn epochs_advance_and_survive_reopen() {
+        let (s, p) = temp_store("reopen");
+        for round in 1..=3u8 {
+            let meta = s
+                .publish(u64::from(round) * 100, b"off", &state(4, round))
+                .unwrap();
+            assert_eq!(meta.epoch, u64::from(round));
+        }
+        drop(s);
+        let s = SnapshotStore::open(p.clone()).unwrap();
+        let latest = s.latest().unwrap();
+        assert_eq!(latest.epoch, 3);
+        assert_eq!(latest.created_ms, 300);
+        assert_eq!(s.load_latest().unwrap().state, state(4, 3));
+        assert_eq!(s.epochs(), vec![1, 2, 3]);
+        // Older epochs remain loadable until retained out.
+        assert_eq!(s.load(2).unwrap().state, state(4, 2));
+        let _ = std::fs::remove_file(p);
+    }
+
+    #[test]
+    fn retain_keeps_newest() {
+        let (s, p) = temp_store("retain");
+        for round in 1..=5u8 {
+            s.publish(0, b"", &state(2, round)).unwrap();
+        }
+        s.retain(2);
+        assert_eq!(s.epochs(), vec![4, 5]);
+        assert!(s.load(1).is_none());
+        assert_eq!(s.load_latest().unwrap().meta.epoch, 5);
+        let _ = std::fs::remove_file(p);
+    }
+
+    #[test]
+    fn torn_manifest_tail_falls_back_to_previous_snapshot() {
+        // Simulate a crash mid-manifest-append: everything up to and
+        // including snapshot 2's blob is intact, but the manifest record
+        // naming epoch 2 is torn. Reopen must see epoch 1.
+        let (s, p) = temp_store("torn");
+        s.publish(100, b"off-1", &state(3, 1)).unwrap();
+        let file_after_first = std::fs::metadata(&p).unwrap().len();
+        s.publish(200, b"off-2", &state(3, 2)).unwrap();
+        drop(s);
+        // The last record in the log is epoch 2's manifest. Tear it by
+        // chopping bytes off the file tail (the manifest record is
+        // 8 + len("manifest") + 4 + 32 = 52 bytes).
+        let full = std::fs::metadata(&p).unwrap().len();
+        assert!(full > file_after_first + 52);
+        let f = std::fs::OpenOptions::new().write(true).open(&p).unwrap();
+        f.set_len(full - 20).unwrap();
+        drop(f);
+        let s = SnapshotStore::open(p.clone()).unwrap();
+        let latest = s.latest().unwrap();
+        assert_eq!(latest.epoch, 1, "torn manifest must expose epoch 1");
+        assert_eq!(s.load_latest().unwrap().offsets, b"off-1");
+        // And publishing after the fallback continues from the manifest.
+        let meta = s.publish(300, b"off-2b", &state(3, 3)).unwrap();
+        assert_eq!(meta.epoch, 2);
+        assert_eq!(s.load_latest().unwrap().offsets, b"off-2b");
+        let _ = std::fs::remove_file(p);
+    }
+
+    #[test]
+    fn payload_codec_rejects_malformed() {
+        assert!(decode_payload(&[]).is_none());
+        let good = encode_payload(b"off", &state(2, 7));
+        let (off, st) = decode_payload(&good).unwrap();
+        assert_eq!(off, b"off");
+        assert_eq!(st, state(2, 7));
+        assert!(decode_payload(&good[..good.len() - 1]).is_none());
+        let mut padded = good.clone();
+        padded.push(0);
+        assert!(decode_payload(&padded).is_none());
+    }
+}

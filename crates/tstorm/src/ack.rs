@@ -31,6 +31,9 @@ pub enum SpoutMsg {
     Fail(u64),
     /// Stop emitting new tuples but keep servicing acks.
     Deactivate,
+    /// Resume emitting after a [`SpoutMsg::Deactivate`] (e.g. once a
+    /// checkpoint has sealed its snapshot).
+    Activate,
     /// Close the spout and exit the task thread.
     Shutdown,
 }

@@ -574,6 +574,7 @@ fn handle_ctl(
             spout.fail(id);
         }
         SpoutMsg::Deactivate => *active = false,
+        SpoutMsg::Activate => *active = true,
         SpoutMsg::Shutdown => {
             spout.close();
             return Ctl::Shutdown;
@@ -814,6 +815,31 @@ impl TopologyHandle {
         }
     }
 
+    /// Resumes spout emission after a [`TopologyHandle::deactivate`] (the
+    /// tail of a checkpoint barrier: drain, seal, resume).
+    pub fn activate(&self) {
+        for tx in &self.spout_ctl_txs {
+            let _ = tx.send(SpoutMsg::Activate);
+        }
+    }
+
+    /// Runs `seal` inside a drain/seal barrier: deactivates the spouts,
+    /// waits for every in-flight tuple tree to complete, invokes `seal` on
+    /// the quiesced topology, then reactivates the spouts. With the
+    /// pipeline drained, everything the spouts have emitted is fully
+    /// reflected in bolt state and the replay trackers' committed offsets
+    /// — exactly the consistency a checkpoint needs.
+    ///
+    /// Returns `None` (without calling `seal`) if the pipeline fails to
+    /// drain within `timeout`. The spouts are reactivated either way.
+    pub fn with_barrier<T>(&self, timeout: Duration, seal: impl FnOnce() -> T) -> Option<T> {
+        self.deactivate();
+        let drained = self.wait_idle(timeout);
+        let out = if drained { Some(seal()) } else { None };
+        self.activate();
+        out
+    }
+
     /// Blocks until no tuples are in flight and no tuple trees are pending,
     /// with the spouts quiescent across two consecutive checks. Returns
     /// `false` on timeout.
@@ -855,6 +881,33 @@ impl TopologyHandle {
             for tx in txs {
                 let _ = tx.send(BoltMsg::Tick);
             }
+        }
+    }
+
+    /// Abrupt teardown: stops every task **without** draining. Queued and
+    /// in-flight tuple trees are abandoned mid-flight, their offsets never
+    /// commit, and whatever partial writes already landed stay as they
+    /// are — the in-process analogue of a worker being SIGKILLed. Used by
+    /// the process-kill recovery tests; production restarts should prefer
+    /// [`TopologyHandle::shutdown`].
+    pub fn kill(mut self) {
+        for tx in &self.spout_ctl_txs {
+            let _ = tx.send(SpoutMsg::Shutdown);
+        }
+        for txs in self.bolt_txs.values() {
+            for tx in txs {
+                let _ = tx.send(BoltMsg::Shutdown);
+            }
+        }
+        let _ = self.acker_tx.send(AckerMsg::Shutdown);
+        for t in self.spout_threads.drain(..) {
+            let _ = t.join();
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        if let Some(h) = self.acker_handle.take() {
+            let _ = h.join();
         }
     }
 

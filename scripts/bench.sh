@@ -19,6 +19,9 @@ fi
 echo "==> topology batch-transport report (writes BENCH_topology.json)"
 cargo run --release -p bench --bin topology_bench -- $SMOKE
 
+echo "==> time-to-recover report (writes the recovery section)"
+cargo run --release -p bench --bin recovery_bench -- $SMOKE
+
 echo "==> criterion: topology_throughput"
 cargo bench -p bench --bench topology_throughput
 

@@ -68,6 +68,35 @@ for marker in \
 done
 echo "    cluster smoke OK ($(grep -c '^cluster:' <<<"$cluster_out") markers)"
 
+# Cold-restart stage: the checkpoint/restore example runs the CF pipeline
+# in a child process, SIGKILLs it mid-run after the manifest has advanced,
+# restores a fresh store from the newest durable snapshot, replays only
+# the access-log tail, and asserts the similarity tables are
+# byte-identical to a fault-free baseline. The markers prove each phase
+# actually happened (checkpointing child, real kill, snapshot restore).
+echo "==> cold-restart smoke (SIGKILL + snapshot restore, cold_restart)"
+restart_out="$(cargo run --release -p ckpt --example cold_restart 2>/dev/null)"
+for marker in \
+    "checkpointing at" \
+    "(SIGKILL)" \
+    "tsnap: restored epoch" \
+    "tsnap: tables byte-identical to fault-free baseline" \
+    "COLD RESTART OK"; do
+    if ! grep -q "$marker" <<<"$restart_out"; then
+        echo "COLD RESTART FAILURE: marker \"$marker\" missing from output:" >&2
+        echo "$restart_out" >&2
+        exit 1
+    fi
+done
+echo "    cold restart OK ($(grep -c '^tsnap' <<<"$restart_out") markers)"
+
+# Recovery gate: snapshot restore + tail replay must beat a full-log
+# replay by at least 5x on a disk-spilled log (smoke size). Rewrites the
+# recovery section of BENCH_topology.json; the committed baseline is
+# restored below unless re-baselining.
+echo "==> time-to-recover gate (smoke)"
+cargo run --release -p bench --bin recovery_bench -- --smoke --check
+
 # Throughput gate: a smoke-size batch-transport run must stay within 20%
 # of the committed BENCH_topology.json baseline. After an intentional perf
 # change, re-baseline with: BENCH_REBASELINE=1 scripts/ci.sh (or re-run
