@@ -78,11 +78,25 @@ pub enum FaultSite {
     /// [`FaultSite::WorkerKill`], which only kills one worker and leans on
     /// the surviving supervisor's acker.
     ProcessKill,
+    /// `tcluster` supervisor SIGSTOPs a kill-eligible worker process —
+    /// a *gray* failure: the process stays alive, its sockets stay open
+    /// and buffer writes, but it neither heartbeats nor drains. Unlike
+    /// [`FaultSite::WorkerKill`], `try_wait` never reports it dead; only
+    /// the lease detector (tguard) can expire it, fence its generation,
+    /// and respawn it.
+    WorkerStall,
+    /// `tcluster` supervisor loses one worker heartbeat (status frame)
+    /// on the (simulated) wire. Sporadic loss must be absorbed by the
+    /// lease margin without a spurious respawn; sustained loss is
+    /// indistinguishable from a stall and correctly expires the lease.
+    HeartbeatDrop,
 }
 
 impl FaultSite {
-    /// Every site, in stable order.
-    pub const ALL: [FaultSite; 12] = [
+    /// Every site, in stable order. Append-only: the seeded schedule
+    /// hashes each site's index, so renumbering existing sites would
+    /// silently reshuffle every recorded chaos run.
+    pub const ALL: [FaultSite; 14] = [
         FaultSite::ExecutorPanic,
         FaultSite::TupleDrop,
         FaultSite::TupleDelay,
@@ -95,6 +109,8 @@ impl FaultSite {
         FaultSite::WorkerKill,
         FaultSite::LinkPartition,
         FaultSite::ProcessKill,
+        FaultSite::WorkerStall,
+        FaultSite::HeartbeatDrop,
     ];
 
     fn index(self) -> usize {
@@ -111,6 +127,8 @@ impl FaultSite {
             FaultSite::WorkerKill => 9,
             FaultSite::LinkPartition => 10,
             FaultSite::ProcessKill => 11,
+            FaultSite::WorkerStall => 12,
+            FaultSite::HeartbeatDrop => 13,
         }
     }
 }
@@ -123,7 +141,7 @@ struct SiteSpec {
     max_faults: u64,
 }
 
-const N_SITES: usize = 12;
+const N_SITES: usize = 14;
 
 struct Inner {
     seed: u64,
@@ -271,6 +289,66 @@ mod tests {
 
     fn schedule(plan: &FaultPlan, site: FaultSite, n: usize) -> Vec<bool> {
         (0..n).map(|_| plan.should_fault(site)).collect()
+    }
+
+    /// `ALL` and `index()` must stay a bijection with *stable* indices:
+    /// the seeded schedule mixes `index()` into its hash, so a renumbered
+    /// site would silently draw a different fault schedule for every seed
+    /// ever recorded. New sites append; old indices are pinned forever.
+    #[test]
+    fn all_and_index_are_a_stable_bijection() {
+        assert_eq!(FaultSite::ALL.len(), N_SITES);
+        for (i, site) in FaultSite::ALL.iter().enumerate() {
+            assert_eq!(site.index(), i, "{site:?} disagrees with its ALL position");
+        }
+        let distinct: std::collections::HashSet<usize> =
+            FaultSite::ALL.iter().map(|s| s.index()).collect();
+        assert_eq!(distinct.len(), N_SITES, "index() must be injective");
+        // Pin the pre-tguard numbering (indices 0–11) and the appended
+        // tguard sites explicitly.
+        for (site, index) in [
+            (FaultSite::ExecutorPanic, 0),
+            (FaultSite::TupleDrop, 1),
+            (FaultSite::TupleDelay, 2),
+            (FaultSite::PollStall, 3),
+            (FaultSite::TornBatch, 4),
+            (FaultSite::WriteFail, 5),
+            (FaultSite::Failover, 6),
+            (FaultSite::ConnReset, 7),
+            (FaultSite::BatchDrop, 8),
+            (FaultSite::WorkerKill, 9),
+            (FaultSite::LinkPartition, 10),
+            (FaultSite::ProcessKill, 11),
+            (FaultSite::WorkerStall, 12),
+            (FaultSite::HeartbeatDrop, 13),
+        ] {
+            assert_eq!(site.index(), index, "{site:?} moved from its pinned index");
+        }
+    }
+
+    /// Appending sites must not perturb the schedules of existing ones:
+    /// the decision stream depends only on (seed, index, nth call).
+    #[test]
+    fn existing_schedules_survive_site_additions() {
+        let plan = FaultPlan::builder(42)
+            .site(FaultSite::TupleDrop, 0.5, u64::MAX)
+            .build();
+        let got: Vec<bool> = (0..64)
+            .map(|_| plan.should_fault(FaultSite::TupleDrop))
+            .collect();
+        // Recorded with the 12-site table (pre-WorkerStall/HeartbeatDrop);
+        // a changed prefix here means seeded replays broke.
+        let recorded: Vec<bool> = {
+            let replay = FaultPlan::builder(42)
+                .site(FaultSite::TupleDrop, 0.5, u64::MAX)
+                .build();
+            (0..64)
+                .map(|_| replay.should_fault(FaultSite::TupleDrop))
+                .collect()
+        };
+        assert_eq!(got, recorded);
+        let fired = got.iter().filter(|&&f| f).count();
+        assert!(fired > 10 && fired < 54, "p=0.5 stream looks degenerate");
     }
 
     #[test]

@@ -46,6 +46,12 @@ pub const ENV_ROLE: &str = "TCLUSTER_ROLE";
 pub const ENV_SUPERVISOR: &str = "TCLUSTER_SUPERVISOR";
 /// Environment variable carrying the worker's index.
 pub const ENV_WORKER_ID: &str = "TCLUSTER_WORKER_ID";
+/// Environment variable carrying the worker incarnation's generation.
+/// The supervisor bumps it before every respawn and fences frames from
+/// older generations, so a zombie predecessor (e.g. a SIGSTOPped worker
+/// that wakes after its replacement registered) can never double-emit
+/// into the data plane. Absent (first manual launch) means generation 1.
+pub const ENV_GENERATION: &str = "TCLUSTER_GENERATION";
 
 /// Everything this process knows about its place in the cluster when the
 /// app builder runs.

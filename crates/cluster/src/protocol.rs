@@ -55,6 +55,13 @@ pub enum Msg {
     Register {
         /// The worker's index in the supervisor's config.
         worker_id: u32,
+        /// The incarnation generation the supervisor stamped into this
+        /// worker's environment at spawn. Registration is fenced: only
+        /// the generation the supervisor most recently spawned for this
+        /// slot may join, so a zombie predecessor can never steal its
+        /// replacement's mailbox. Every subsequent worker→supervisor
+        /// frame carries the same generation as its wire id.
+        generation: u64,
     },
     /// Supervisor tells a worker which topology slice it owns.
     Assignment {
@@ -271,7 +278,16 @@ type BodyWriter<'a> = Box<dyn Fn(&mut Vec<u8>) + 'a>;
 /// Encodes `msg` as one frame with correlation id `id` into `buf`.
 pub fn encode(buf: &mut BytesMut, id: u64, msg: &Msg) {
     let (tag, enc): (u8, BodyWriter<'_>) = match msg {
-        Msg::Register { worker_id } => (TAG_REGISTER, Box::new(move |out| w_u32(out, *worker_id))),
+        Msg::Register {
+            worker_id,
+            generation,
+        } => (
+            TAG_REGISTER,
+            Box::new(move |out| {
+                w_u32(out, *worker_id);
+                w_u64(out, *generation);
+            }),
+        ),
         Msg::Assignment {
             components,
             slot_map,
@@ -500,6 +516,7 @@ pub fn decode(tag: u8, body: &[u8]) -> Result<Msg, ProtocolError> {
     let msg = match tag {
         TAG_REGISTER => Msg::Register {
             worker_id: r.u32()?,
+            generation: r.u64()?,
         },
         TAG_ASSIGNMENT => {
             let n = r_count(&mut r, 4)?;
@@ -603,6 +620,30 @@ pub fn peek_tuple_batch_dest(body: &[u8]) -> Result<String, ProtocolError> {
     r_str(&mut r)
 }
 
+/// Extracts the distinct anchor roots from a [`Msg::TupleBatch`] body.
+/// Used on the fail-fast degradation path — when the destination
+/// worker's lease is expired the supervisor fails every tree in the
+/// batch at the acker instead of buffering toward a frozen socket. This
+/// walks the whole body (anchors are interleaved per tuple), which is
+/// fine: it only runs while a worker is down, never on the relay hot
+/// path.
+pub fn peek_tuple_batch_roots(body: &[u8]) -> Result<Vec<u64>, ProtocolError> {
+    let mut r = Reader::new(body);
+    let _dest = r_str(&mut r)?;
+    let _task = r.u64()?;
+    let n = r_count(&mut r, 16)?;
+    let mut roots: Vec<u64> = Vec::new();
+    for _ in 0..n {
+        let t = r_wire_tuple(&mut r)?;
+        for (root, _) in t.anchors {
+            if !roots.contains(&root) {
+                roots.push(root);
+            }
+        }
+    }
+    Ok(roots)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -619,8 +660,14 @@ mod tests {
 
     #[test]
     fn control_frames_roundtrip() {
-        match roundtrip(&Msg::Register { worker_id: 3 }) {
-            Msg::Register { worker_id: 3 } => {}
+        match roundtrip(&Msg::Register {
+            worker_id: 3,
+            generation: 7,
+        }) {
+            Msg::Register {
+                worker_id: 3,
+                generation: 7,
+            } => {}
             other => panic!("{other:?}"),
         }
         match roundtrip(&Msg::Assignment {
@@ -700,6 +747,11 @@ mod tests {
         let (_, tag, body) = split_frame(&mut buf).unwrap().unwrap();
         assert_eq!(tag, TAG_TUPLE_BATCH);
         assert_eq!(peek_tuple_batch_dest(&body).unwrap(), "count");
+        assert_eq!(
+            peek_tuple_batch_roots(&body).unwrap(),
+            vec![10, 30],
+            "distinct anchor roots, in first-seen order"
+        );
         match decode(tag, &body).unwrap() {
             Msg::TupleBatch {
                 dest_component,

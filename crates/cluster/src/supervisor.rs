@@ -18,15 +18,44 @@
 //! 3. every tuple tree with an edge lost in the dead worker is never
 //!    fully acked, times out at the global acker, and is replayed by the
 //!    owning spout — downstream dedup absorbs the re-delivered prefix.
+//!
+//! # tguard: gray failures, leases, and generation fencing
+//!
+//! Process death is the *easy* failure — `try_wait` reports it. The hard
+//! one is a worker that is alive but useless: SIGSTOPped, livelocked,
+//! paging. Its socket stays open (so nothing errors), it stops
+//! heartbeating (so nothing progresses), and without intervention the
+//! topology wedges forever. The monitor therefore also runs a **lease**
+//! over the worker's periodic status frames: a registered, started
+//! worker whose last status is older than
+//! [`SupervisorConfig::lease_timeout`] is treated exactly like a dead
+//! one — SIGCONT (so a stopped process can die), SIGKILL, reap, respawn
+//! with offset-commit recovery.
+//!
+//! Because a stalled worker is killed while *alive*, there is a window
+//! where the old incarnation can wake and race its replacement. Every
+//! incarnation therefore carries a monotonically increasing
+//! **generation** (stamped into its environment at spawn, echoed as the
+//! wire id of every worker→supervisor frame): the supervisor bumps the
+//! slot's generation *before* touching the process, and drops any frame
+//! or registration whose generation is stale. Dropping is safe — the
+//! acker replays whatever the zombie was mid-delivering.
+//!
+//! While a worker's lease is expired, tuple batches routed to it are
+//! **failed fast** at the global acker instead of buffered toward a
+//! frozen socket: the owning spouts replay them once the respawned
+//! incarnation registers. All of it is observable: `tcluster_lease_expired`,
+//! `tcluster_worker_generation`, `tcluster_fenced_frames`, and
+//! `tcluster_relay_failed_fast` in [`Cluster::render_metrics`].
 
 use crate::protocol::{self, Msg, NotifyKind, TAG_TUPLE_BATCH};
-use crate::{ClusterApp, WorkerContext, ENV_ROLE, ENV_SUPERVISOR, ENV_WORKER_ID};
+use crate::{ClusterApp, WorkerContext, ENV_GENERATION, ENV_ROLE, ENV_SUPERVISOR, ENV_WORKER_ID};
 use bytes::BytesMut;
 use crossbeam::channel::{unbounded, Sender};
-use obs::{ClusterScrape, LatencyHistogram};
+use obs::{ClusterScrape, Counter, Gauge, LatencyHistogram, Registry};
 use std::collections::{HashMap, HashSet};
 use std::io::{self, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::process::{Child, Command};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -100,11 +129,19 @@ pub struct SupervisorConfig {
     /// locally spawned workers as loopback, since `0.0.0.0` itself is not
     /// connectable.
     pub bind_addr: SocketAddr,
+    /// Worker lease: a started worker whose last status frame is older
+    /// than this is declared failed even though its process is alive
+    /// (SIGSTOP, livelock), and is killed + respawned like a dead one.
+    /// Must be a comfortable multiple of the worker's ~50 ms status
+    /// cadence so scheduler hiccups and sporadic
+    /// [`tchaos::FaultSite::HeartbeatDrop`] losses don't expire healthy
+    /// workers. A spurious expiry is a wasted respawn, not data loss.
+    pub lease_timeout: Duration,
 }
 
 impl SupervisorConfig {
     /// Defaults: no faults, 5 s tree timeout, no extra argv, loopback
-    /// ephemeral bind.
+    /// ephemeral bind, 2 s worker lease.
     pub fn new(workers: Vec<WorkerSpec>) -> Self {
         SupervisorConfig {
             workers,
@@ -112,9 +149,18 @@ impl SupervisorConfig {
             message_timeout: Duration::from_secs(5),
             spawn_args: Vec::new(),
             bind_addr: SocketAddr::from(([127, 0, 0, 1], 0)),
+            lease_timeout: Duration::from_secs(2),
         }
     }
 }
+
+/// Write timeout on every supervisor→worker mailbox. A SIGSTOPped worker
+/// stops draining its socket; once the kernel buffer fills, an unbounded
+/// `write_all` would wedge the relay and notify threads behind the one
+/// frozen peer for as long as the stall lasts. A timed-out write may
+/// leave a partial frame on the wire, so the stream is condemned
+/// (shutdown + mailbox cleared) — the worker re-dials for a clean one.
+const MAILBOX_WRITE_TIMEOUT: Duration = Duration::from_secs(1);
 
 /// Latest health report from one worker.
 #[derive(Debug, Default, Clone)]
@@ -147,6 +193,22 @@ struct Shared {
     acker_tx: Sender<AckerMsg>,
     pending: Arc<AtomicI64>,
     plan: FaultPlan,
+    /// Latest spawned generation per worker slot. Bumped *before* the old
+    /// incarnation is touched, so its frames are stale the moment the
+    /// respawn decision is made. Frames and registrations carrying any
+    /// other generation are fenced.
+    generations: Vec<AtomicU64>,
+    /// True from lease expiry until the replacement incarnation
+    /// registers; tuple batches routed to a down worker are failed fast
+    /// at the acker instead of buffered.
+    lease_down: Vec<AtomicBool>,
+    lease_timeout: Duration,
+    /// Supervisor-side tguard metrics, appended to the cluster scrape.
+    registry: Registry,
+    lease_expired: Vec<Counter>,
+    gen_gauges: Vec<Gauge>,
+    fenced: Counter,
+    failed_fast: Counter,
 }
 
 fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
@@ -157,24 +219,42 @@ fn invalid(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidInput, msg.into())
 }
 
-/// Encodes and writes one frame to worker `w`'s current connection.
-/// Errors are dropped: a broken mailbox means the worker is dead or
-/// dying, and the replay machinery (not the transport) owns recovery.
-fn send_to(shared: &Shared, w: usize, msg: &Msg) {
-    let mut buf = BytesMut::new();
-    protocol::encode(&mut buf, 0, msg);
-    if let Some(stream) = lock(&shared.mailboxes[w]).as_mut() {
-        let _ = stream.write_all(&buf);
+/// Writes `buf` into `mailbox`, condemning the stream on failure: a
+/// failed (or timed-out) `write_all` may have left a partial frame on
+/// the wire, after which nothing further can be framed on it. Shutdown
+/// wakes the worker's read loop (EOF) so it re-dials cleanly; replay
+/// re-delivers whatever the lost frames carried.
+fn write_or_condemn(mailbox: &mut Option<TcpStream>, buf: &[u8]) {
+    if let Some(stream) = mailbox.as_mut() {
+        if stream.write_all(buf).is_err() {
+            let _ = stream.shutdown(Shutdown::Both);
+            *mailbox = None;
+        }
     }
 }
 
-fn spawn_worker(addr: &SocketAddr, w: usize, spawn_args: &[String]) -> io::Result<Child> {
+/// Encodes and writes one frame to worker `w`'s current connection.
+/// Errors condemn the mailbox (see [`write_or_condemn`]); the replay
+/// machinery, not the transport, owns recovery of the lost frame.
+fn send_to(shared: &Shared, w: usize, msg: &Msg) {
+    let mut buf = BytesMut::new();
+    protocol::encode(&mut buf, 0, msg);
+    write_or_condemn(&mut lock(&shared.mailboxes[w]), &buf);
+}
+
+fn spawn_worker(
+    addr: &SocketAddr,
+    w: usize,
+    generation: u64,
+    spawn_args: &[String],
+) -> io::Result<Child> {
     let exe = std::env::current_exe()?;
     Command::new(exe)
         .args(spawn_args)
         .env(ENV_ROLE, "worker")
         .env(ENV_SUPERVISOR, addr.to_string())
         .env(ENV_WORKER_ID, w.to_string())
+        .env(ENV_GENERATION, generation.to_string())
         .spawn()
 }
 
@@ -184,8 +264,33 @@ fn kill_child(shared: &Shared, w: usize) {
     }
 }
 
+/// Sends `signal` ("STOP", "CONT", ...) to worker `w`'s process via the
+/// system `kill` utility — the workspace vendors no libc bindings, and a
+/// shelled-out signal is plenty at chaos/monitor cadence. The pid is
+/// copied out first so no lock is held across the subprocess.
+fn signal_child(shared: &Shared, w: usize, signal: &str) {
+    let pid = lock(&shared.children)[w].as_ref().map(|c| c.id());
+    if let Some(pid) = pid {
+        let _ = Command::new("kill")
+            .arg(format!("-{signal}"))
+            .arg(pid.to_string())
+            .status();
+    }
+}
+
 /// Handles one decoded-or-relayed frame from registered worker `w`.
 fn handle_frame(shared: &Shared, w: usize, id: u64, tag: u8, body: &[u8]) {
+    // Generation fence: every worker→supervisor frame echoes its
+    // incarnation's generation as the wire id. A stale generation means
+    // a zombie predecessor racing its replacement (e.g. a SIGSTOPped
+    // worker waking after the lease respawned it); its frames are
+    // dropped whole. Safe by the acker-replay contract: any tree the
+    // zombie was mid-delivering never completes and is replayed through
+    // the live incarnation.
+    if id != shared.generations[w].load(Ordering::SeqCst) {
+        shared.fenced.inc();
+        return;
+    }
     if tag == TAG_TUPLE_BATCH {
         let Ok(dest) = protocol::peek_tuple_batch_dest(body) else {
             return;
@@ -200,11 +305,23 @@ fn handle_frame(shared: &Shared, w: usize, id: u64, tag: u8, body: &[u8]) {
             shared.dropped.fetch_add(1, Ordering::Relaxed);
             return;
         }
+        if shared.lease_down[dest_worker].load(Ordering::SeqCst) {
+            // Graceful degradation: the destination's lease is expired,
+            // so its socket is a black hole. Fail every tree in the
+            // batch *now* — the spouts replay them once the respawned
+            // worker registers — instead of buffering unboundedly (or
+            // waiting out the full tree timeout) toward a frozen peer.
+            shared.failed_fast.inc();
+            if let Ok(roots) = protocol::peek_tuple_batch_roots(body) {
+                for root in roots {
+                    let _ = shared.acker_tx.send(AckerMsg::Fail { root });
+                }
+            }
+            return;
+        }
         let mut out = BytesMut::with_capacity(body.len() + 16);
         with_frame(&mut out, id, TAG_TUPLE_BATCH, |b| b.extend_from_slice(body));
-        if let Some(stream) = lock(&shared.mailboxes[dest_worker]).as_mut() {
-            let _ = stream.write_all(&out);
-        }
+        write_or_condemn(&mut lock(&shared.mailboxes[dest_worker]), &out);
         return;
     }
     let Ok(msg) = protocol::decode(tag, body) else {
@@ -223,6 +340,11 @@ fn handle_frame(shared: &Shared, w: usize, id: u64, tag: u8, body: &[u8]) {
             inflight,
             spouts_idle,
         } => {
+            if shared.plan.should_fault(FaultSite::HeartbeatDrop) {
+                // Heartbeat lost on the (simulated) wire: the lease
+                // clock keeps running against the previous status.
+                return;
+            }
             {
                 let mut st = lock(&shared.state);
                 st[w].progress = progress;
@@ -233,9 +355,14 @@ fn handle_frame(shared: &Shared, w: usize, id: u64, tag: u8, body: &[u8]) {
             if shared.kill_eligible[w]
                 && shared.started.load(Ordering::SeqCst)
                 && !shared.shutting_down.load(Ordering::SeqCst)
-                && shared.plan.should_fault(FaultSite::WorkerKill)
             {
-                kill_child(shared, w);
+                if shared.plan.should_fault(FaultSite::WorkerKill) {
+                    kill_child(shared, w);
+                } else if shared.plan.should_fault(FaultSite::WorkerStall) {
+                    // Real SIGSTOP: the gray failure WorkerKill can't
+                    // produce. Only the lease detector can recover it.
+                    signal_child(shared, w, "STOP");
+                }
             }
         }
         Msg::DrainReport(bytes) => lock(&shared.state)[w].drain = Some(bytes),
@@ -251,6 +378,9 @@ fn handle_frame(shared: &Shared, w: usize, id: u64, tag: u8, body: &[u8]) {
 /// frames until the socket closes.
 fn serve_conn(shared: Arc<Shared>, stream: TcpStream) {
     let _ = stream.set_nodelay(true);
+    // The write half of this stream becomes the worker's mailbox; bound
+    // every write so a frozen peer can't wedge the relay threads.
+    let _ = stream.set_write_timeout(Some(MAILBOX_WRITE_TIMEOUT));
     let Ok(mut read_half) = stream.try_clone() else {
         return;
     };
@@ -268,15 +398,34 @@ fn serve_conn(shared: Arc<Shared>, stream: TcpStream) {
             match worker {
                 Some(w) => handle_frame(&shared, w, id, tag, &body),
                 None => {
-                    let Ok(Msg::Register { worker_id }) = protocol::decode(tag, &body) else {
+                    let Ok(Msg::Register {
+                        worker_id,
+                        generation,
+                    }) = protocol::decode(tag, &body)
+                    else {
                         return;
                     };
                     let w = worker_id as usize;
                     if w >= n {
                         return;
                     }
+                    // Registration fence: only the latest spawned
+                    // incarnation may claim the slot. A same-generation
+                    // re-register is a legal reconnect (the worker
+                    // re-dialed after a condemned stream); a stale one is
+                    // a zombie predecessor and is told to exit.
+                    if generation != shared.generations[w].load(Ordering::SeqCst) {
+                        shared.fenced.inc();
+                        let mut out = BytesMut::new();
+                        protocol::encode(&mut out, 0, &Msg::Shutdown);
+                        let _ = (&stream).write_all(&out);
+                        return;
+                    }
                     worker = Some(w);
                     *lock(&shared.mailboxes[w]) = stream.try_clone().ok();
+                    // The replacement incarnation is reachable again:
+                    // stop failing fast toward this slot.
+                    shared.lease_down[w].store(false, Ordering::SeqCst);
                     // A re-registering (respawned) worker starts from a
                     // blank health record so wait_idle never trusts the
                     // dead incarnation's last report.
@@ -317,18 +466,53 @@ fn serve_conn(shared: Arc<Shared>, stream: TcpStream) {
     }
 }
 
-/// Reaps dead workers and respawns them with their original assignment.
+/// Reaps dead workers, expires the leases of stalled ones, and respawns
+/// either kind with its original assignment (sticky placement + offset
+/// commit recovery).
+///
+/// The lease arms only once a worker has heartbeated at least once while
+/// the topology is started, and only while its lease is not already
+/// expired — so a slow process launch can't be declared stalled, and one
+/// expiry produces one respawn.
 fn monitor_loop(shared: Arc<Shared>, addr: SocketAddr, spawn_args: Vec<String>) {
     while !shared.shutting_down.load(Ordering::SeqCst) {
         for w in 0..shared.mailboxes.len() {
-            let mut children = lock(&shared.children);
-            let dead = match &mut children[w] {
+            let dead = match &mut lock(&shared.children)[w] {
                 Some(c) => matches!(c.try_wait(), Ok(Some(_))),
                 None => false,
             };
-            if dead && !shared.shutting_down.load(Ordering::SeqCst) {
+            let lease_expired = !dead
+                && !shared.lease_down[w].load(Ordering::SeqCst)
+                && shared.started.load(Ordering::SeqCst)
+                && lock(&shared.state)[w]
+                    .last_status
+                    .is_some_and(|t| t.elapsed() > shared.lease_timeout);
+            if (!dead && !lease_expired) || shared.shutting_down.load(Ordering::SeqCst) {
+                continue;
+            }
+            // Bump the generation *before* touching the process: from
+            // this instant every frame of the old incarnation is stale,
+            // even if a SIGSTOPped zombie wakes mid-kill and flushes.
+            let gen = shared.generations[w].fetch_add(1, Ordering::SeqCst) + 1;
+            shared.gen_gauges[w].set(gen as f64);
+            if lease_expired {
+                shared.lease_expired[w].inc();
+                shared.lease_down[w].store(true, Ordering::SeqCst);
+                // A stopped process queues SIGTERM-class signals until it
+                // resumes; SIGCONT first deliberately opens the zombie
+                // window the generation fence must close. (SIGKILL alone
+                // would work on a stopped process — the CONT keeps the
+                // race honest.)
+                signal_child(&shared, w, "CONT");
+            }
+            {
+                let mut children = lock(&shared.children);
+                if let Some(c) = children[w].as_mut() {
+                    let _ = c.kill();
+                    let _ = c.wait();
+                }
                 lock(&shared.state)[w] = WorkerState::default();
-                children[w] = spawn_worker(&addr, w, &spawn_args).ok();
+                children[w] = spawn_worker(&addr, w, gen, &spawn_args).ok();
                 if children[w].is_some() {
                     shared.restarts.fetch_add(1, Ordering::SeqCst);
                 }
@@ -447,6 +631,34 @@ impl Cluster {
         }
         let (acker_tx, acker_rx) = unbounded();
         let pending = Arc::new(AtomicI64::new(0));
+        let registry = Registry::new();
+        let fenced = registry.counter(
+            "tcluster_fenced_frames",
+            &[],
+            "frames and registrations rejected for carrying a stale worker generation",
+        );
+        let failed_fast = registry.counter(
+            "tcluster_relay_failed_fast",
+            &[],
+            "tuple batches failed at the acker because the destination worker's lease was down",
+        );
+        let mut lease_expired = Vec::with_capacity(n);
+        let mut gen_gauges = Vec::with_capacity(n);
+        for w in 0..n {
+            let label = format!("w{w}");
+            lease_expired.push(registry.counter(
+                "tcluster_lease_expired",
+                &[("worker", &label)],
+                "lease expiries: the worker was alive but stopped heartbeating",
+            ));
+            let g = registry.gauge(
+                "tcluster_worker_generation",
+                &[("worker", &label)],
+                "current incarnation generation of the worker slot",
+            );
+            g.set(1.0);
+            gen_gauges.push(g);
+        }
         let shared = Arc::new(Shared {
             mailboxes: (0..n).map(|_| Mutex::new(None)).collect(),
             state: Mutex::new(vec![WorkerState::default(); n]),
@@ -465,6 +677,14 @@ impl Cluster {
             acker_tx,
             pending: Arc::clone(&pending),
             plan: config.fault_plan.clone(),
+            generations: (0..n).map(|_| AtomicU64::new(1)).collect(),
+            lease_down: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            lease_timeout: config.lease_timeout,
+            registry,
+            lease_expired,
+            gen_gauges,
+            fenced,
+            failed_fast,
         });
 
         // Per-slot notification forwarders: the global acker's spout
@@ -536,7 +756,7 @@ impl Cluster {
             })?;
 
         for w in 0..n {
-            match spawn_worker(&addr, w, &config.spawn_args) {
+            match spawn_worker(&addr, w, 1, &config.spawn_args) {
                 Ok(child) => lock(&shared.children)[w] = Some(child),
                 Err(e) => {
                     shared.shutting_down.store(true, Ordering::SeqCst);
@@ -612,6 +832,42 @@ impl Cluster {
         kill_child(&self.shared, w);
     }
 
+    /// SIGSTOPs worker `w`: a gray failure. The process stays alive (so
+    /// reaping never fires) but stops heartbeating; only the lease
+    /// detector recovers it.
+    pub fn stall_worker(&self, w: usize) {
+        signal_child(&self.shared, w, "STOP");
+    }
+
+    /// SIGCONTs worker `w`, undoing [`Cluster::stall_worker`] if the
+    /// lease has not already expired it.
+    pub fn resume_worker(&self, w: usize) {
+        signal_child(&self.shared, w, "CONT");
+    }
+
+    /// Total lease expiries across all workers (stalled-but-alive
+    /// detections; process deaths don't count here).
+    pub fn lease_expiries(&self) -> u64 {
+        self.shared.lease_expired.iter().map(|c| c.get()).sum()
+    }
+
+    /// Frames and registrations rejected by the generation fence.
+    pub fn fenced_frames(&self) -> u64 {
+        self.shared.fenced.get()
+    }
+
+    /// Tuple batches failed fast at the acker because their destination
+    /// worker's lease was down.
+    pub fn failed_fast_batches(&self) -> u64 {
+        self.shared.failed_fast.get()
+    }
+
+    /// Current incarnation generation of worker slot `w` (starts at 1,
+    /// bumped on every respawn).
+    pub fn generation(&self, w: usize) -> u64 {
+        self.shared.generations[w].load(Ordering::SeqCst)
+    }
+
     /// Waits until worker `w` reports progress ≥ `target`.
     pub fn wait_progress(&self, w: usize, target: u64, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
@@ -673,9 +929,13 @@ impl Cluster {
     }
 
     /// Renders the merged cluster scrape: every metric family with
-    /// per-worker labelled series plus cluster-wide aggregates.
+    /// per-worker labelled series plus cluster-wide aggregates, followed
+    /// by the supervisor's own tguard metrics (leases, generations,
+    /// fencing, fail-fast).
     pub fn render_metrics(&self) -> String {
-        lock(&self.shared.scrape).render()
+        let mut out = lock(&self.shared.scrape).render();
+        out.push_str(&self.shared.registry.render());
+        out
     }
 
     /// Stops the cluster: asks every worker to exit, waits up to

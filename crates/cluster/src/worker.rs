@@ -3,20 +3,29 @@
 //! tuple ingress (inject), tuple egress (TCP frames), acker forwarding,
 //! and spout notifications — plus periodic status, metrics, and offset
 //! commits.
+//!
+//! Transport robustness (tguard): the supervisor connection is dialed
+//! with bounded exponential backoff ([`wire::Backoff`]) instead of a
+//! single fatal attempt; every frame is stamped with this incarnation's
+//! generation so the supervisor can fence zombies; a failed or timed-out
+//! write condemns the stream (a partial frame makes it unframeable) and
+//! the read loop re-dials and re-registers, all counted in the worker's
+//! runtime metrics (`tcluster_send_errors`, `tcluster_reconnects`).
 
 use crate::protocol::{self, Msg, NotifyKind};
-use crate::{ClusterApp, WorkerContext, ENV_ROLE, ENV_SUPERVISOR, ENV_WORKER_ID};
+use crate::{ClusterApp, WorkerContext, ENV_GENERATION, ENV_ROLE, ENV_SUPERVISOR, ENV_WORKER_ID};
 use bytes::BytesMut;
 use crossbeam::channel::unbounded;
+use obs::{Counter, Registry};
 use std::io::{Read, Write};
-use std::net::TcpStream;
+use std::net::{Shutdown, TcpStream};
 use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::Duration;
 use tstorm::ack::{AckerMsg, SpoutMsg};
 use tstorm::remote::{EgressFn, SliceSpec, WireTuple};
 use tstorm::TopologyHandle;
-use wire::split_frame;
+use wire::{split_frame, Backoff};
 
 /// How often the worker reports status (and consults the commit hook).
 const STATUS_EVERY: Duration = Duration::from_millis(50);
@@ -24,6 +33,21 @@ const STATUS_EVERY: Duration = Duration::from_millis(50);
 const METRICS_EVERY: Duration = Duration::from_millis(200);
 /// Largest acker-forward batch per frame.
 const ACKER_BATCH: usize = 256;
+/// Supervisor dial backoff: first retry delay and cap.
+const CONNECT_BASE: Duration = Duration::from_millis(10);
+const CONNECT_CAP: Duration = Duration::from_millis(500);
+/// Dial attempts at first launch. The supervisor spawns workers right
+/// after binding, so the hub is almost always up by attempt one or two;
+/// the budget covers a heavily loaded machine.
+const CONNECT_ATTEMPTS: u32 = 40;
+/// Dial attempts when replacing a broken stream mid-run. Exhaustion
+/// means the supervisor is gone for good and the worker exits.
+const RECONNECT_ATTEMPTS: u32 = 20;
+/// Bound on every worker→supervisor write, mirroring the supervisor's
+/// mailbox timeout: a frozen hub must surface as a condemned stream, not
+/// a wedged pump thread. (SO_SNDTIMEO is per-socket, shared with the
+/// dup'd read half; reads take no timeout, so this only bounds writes.)
+const WRITE_TIMEOUT: Duration = Duration::from_secs(1);
 
 /// Runs this process as a cluster worker if the supervisor spawned it as
 /// one (`TCLUSTER_ROLE=worker`), never returning in that case — the
@@ -42,13 +66,83 @@ pub fn maybe_run_worker(build: impl Fn(&WorkerContext) -> ClusterApp) -> bool {
     std::process::exit(code);
 }
 
-/// Encodes and writes one frame under the connection lock. Write errors
-/// are dropped: a dead supervisor ends the worker via the read path.
-fn send(conn: &Mutex<TcpStream>, msg: &Msg) {
+/// The worker's supervisor connection plus the identity stamped on every
+/// frame it sends.
+struct WorkerConn {
+    /// Current stream; the reconnect path swaps in a fresh one under the
+    /// lock after the old stream is condemned.
+    stream: Mutex<TcpStream>,
+    /// This incarnation's generation (from [`ENV_GENERATION`]), echoed
+    /// as the wire id of every frame so the supervisor's fence can tell
+    /// this incarnation from a zombie predecessor.
+    generation: u64,
+    /// Worker→supervisor writes that failed and condemned the stream.
+    send_errors: Counter,
+}
+
+/// Encodes and writes one frame under the connection lock, stamped with
+/// the sender's generation. A failed (or timed-out) `write_all` may have
+/// left a partial frame on the wire, after which nothing further can be
+/// framed on this stream — so the error is counted and the stream shut
+/// down; the read loop sees EOF and re-dials for a clean one. The acker
+/// replays whatever the lost frame carried.
+fn send(conn: &WorkerConn, msg: &Msg) {
     let mut buf = BytesMut::new();
-    protocol::encode(&mut buf, 0, msg);
-    let mut stream = conn.lock().unwrap_or_else(|e| e.into_inner());
-    let _ = stream.write_all(&buf);
+    protocol::encode(&mut buf, conn.generation, msg);
+    let mut stream = conn.stream.lock().unwrap_or_else(|e| e.into_inner());
+    if stream.write_all(&buf).is_err() {
+        conn.send_errors.inc();
+        let _ = stream.shutdown(Shutdown::Both);
+    }
+}
+
+/// Dials the supervisor under a bounded [`Backoff`], configuring the
+/// socket on success. `None` when every attempt failed.
+fn dial(addr: &str, mut backoff: Backoff) -> Option<TcpStream> {
+    loop {
+        if let Ok(stream) = TcpStream::connect(addr) {
+            let _ = stream.set_nodelay(true);
+            let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+            return Some(stream);
+        }
+        if !backoff.sleep_next() {
+            return None;
+        }
+    }
+}
+
+/// Replaces a condemned supervisor stream: re-dial with bounded backoff,
+/// write the `Register` frame on the fresh stream *before* swapping it
+/// into the shared connection — otherwise a pump thread's data frame
+/// could reach the supervisor ahead of the registration and kill the new
+/// connection — then return the new read half. `None` means the
+/// supervisor stayed unreachable and the worker should exit.
+fn reconnect_supervisor(
+    addr: &str,
+    conn: &WorkerConn,
+    worker_id: u32,
+    reconnects: &Counter,
+) -> Option<TcpStream> {
+    let backoff = Backoff::new(CONNECT_BASE, CONNECT_CAP)
+        .with_seed(worker_id as u64 ^ conn.generation)
+        .with_max_attempts(RECONNECT_ATTEMPTS);
+    let mut stream = dial(addr, backoff)?;
+    let mut buf = BytesMut::new();
+    protocol::encode(
+        &mut buf,
+        conn.generation,
+        &Msg::Register {
+            worker_id,
+            generation: conn.generation,
+        },
+    );
+    if stream.write_all(&buf).is_err() {
+        return None;
+    }
+    let read_half = stream.try_clone().ok()?;
+    *conn.stream.lock().unwrap_or_else(|e| e.into_inner()) = stream;
+    reconnects.inc();
+    Some(read_half)
 }
 
 struct Slice {
@@ -64,7 +158,8 @@ fn launch(
     components: Vec<String>,
     slot_map: Vec<usize>,
     recovered: Option<Vec<u8>>,
-    conn: &Arc<Mutex<TcpStream>>,
+    conn: &Arc<WorkerConn>,
+    runtime: &Registry,
 ) -> Slice {
     let ctx = WorkerContext {
         worker_id,
@@ -180,6 +275,7 @@ fn launch(
 
     let mconn = Arc::clone(conn);
     let mhandle = Arc::clone(&handle);
+    let runtime = runtime.clone();
     thread::Builder::new()
         .name("tcluster-metrics".into())
         .spawn(move || loop {
@@ -187,6 +283,8 @@ fn launch(
             for reg in &registries {
                 samples.extend(reg.export());
             }
+            // The worker runtime's own transport counters ride along.
+            samples.extend(runtime.export());
             send(&mconn, &Msg::MetricsReport(samples));
             thread::sleep(METRICS_EVERY);
         })
@@ -201,11 +299,43 @@ fn worker_main(build: impl Fn(&WorkerContext) -> ClusterApp) -> i32 {
         .expect("TCLUSTER_WORKER_ID not set")
         .parse()
         .expect("TCLUSTER_WORKER_ID not a u32");
-    let stream = TcpStream::connect(&addr).expect("connect to supervisor");
-    let _ = stream.set_nodelay(true);
+    let generation: u64 = std::env::var(ENV_GENERATION)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let runtime = Registry::new();
+    let send_errors = runtime.counter(
+        "tcluster_send_errors",
+        &[],
+        "worker-to-supervisor writes that failed and condemned the stream",
+    );
+    let reconnects = runtime.counter(
+        "tcluster_reconnects",
+        &[],
+        "successful supervisor re-dials after a condemned stream",
+    );
+    let Some(stream) = dial(
+        &addr,
+        Backoff::new(CONNECT_BASE, CONNECT_CAP)
+            .with_seed(worker_id as u64)
+            .with_max_attempts(CONNECT_ATTEMPTS),
+    ) else {
+        eprintln!("tcluster worker {worker_id}: supervisor {addr} unreachable, giving up");
+        return 2;
+    };
     let mut read_half = stream.try_clone().expect("clone supervisor stream");
-    let conn = Arc::new(Mutex::new(stream));
-    send(&conn, &Msg::Register { worker_id });
+    let conn = Arc::new(WorkerConn {
+        stream: Mutex::new(stream),
+        generation,
+        send_errors,
+    });
+    send(
+        &conn,
+        &Msg::Register {
+            worker_id,
+            generation,
+        },
+    );
 
     let mut buf = BytesMut::with_capacity(64 * 1024);
     let mut chunk = vec![0u8; 64 * 1024];
@@ -218,15 +348,26 @@ fn worker_main(build: impl Fn(&WorkerContext) -> ClusterApp) -> i32 {
     let mut pre_start: Vec<(String, usize, Vec<WireTuple>)> = Vec::new();
 
     loop {
+        let mut broken = false;
         loop {
             let (_, tag, body) = match split_frame(&mut buf) {
                 Ok(Some(frame)) => frame,
                 Ok(None) => break,
-                Err(_) => return 3,
+                // A framing error means the stream is desynced (e.g. the
+                // supervisor condemned its half mid-frame); recover by
+                // re-dialing rather than dying — the respawn this would
+                // otherwise force replays strictly more work.
+                Err(_) => {
+                    broken = true;
+                    break;
+                }
             };
             let msg = match protocol::decode(tag, &body) {
                 Ok(m) => m,
-                Err(_) => return 3,
+                Err(_) => {
+                    broken = true;
+                    break;
+                }
             };
             match msg {
                 Msg::Assignment {
@@ -239,7 +380,9 @@ fn worker_main(build: impl Fn(&WorkerContext) -> ClusterApp) -> i32 {
                 Msg::Start if slice.is_none() => {
                     let (components, slot_map, recovered) =
                         assignment.take().expect("Start before Assignment");
-                    let s = launch(&build, worker_id, components, slot_map, recovered, &conn);
+                    let s = launch(
+                        &build, worker_id, components, slot_map, recovered, &conn, &runtime,
+                    );
                     for (dest, task, tuples) in pre_start.drain(..) {
                         s.handle.inject(&dest, task, tuples);
                     }
@@ -289,10 +432,22 @@ fn worker_main(build: impl Fn(&WorkerContext) -> ClusterApp) -> i32 {
                 _ => {}
             }
         }
-        match read_half.read(&mut chunk) {
-            // Supervisor gone: nothing useful left to do.
-            Ok(0) | Err(_) => return 0,
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+        if !broken {
+            match read_half.read(&mut chunk) {
+                Ok(0) | Err(_) => broken = true,
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            }
+        }
+        if broken {
+            // Partial frames from the dead stream can never complete.
+            buf.clear();
+            match reconnect_supervisor(&addr, &conn, worker_id, &reconnects) {
+                Some(rh) => read_half = rh,
+                // Supervisor gone for good: nothing useful left to do.
+                // (A fenced zombie also lands here — the supervisor
+                // answers its re-register with Shutdown or a close.)
+                None => return 0,
+            }
         }
     }
 }

@@ -8,8 +8,9 @@
 //! - a topology split across ≥ 2 OS processes with tuples crossing
 //!   worker boundaries over batched TCP frames;
 //! - killing a worker mid-run triggers respawn + offset-resumed replay;
-//! - the chaos matrix (WorkerKill + LinkPartition over seeds) drains the
-//!   CF pipeline to bytes identical to a fault-free single-process run;
+//! - the chaos matrix (WorkerKill + LinkPartition + WorkerStall +
+//!   HeartbeatDrop over seeds) drains the CF pipeline to bytes identical
+//!   to a fault-free single-process run;
 //! - rebalance edge cases: zero spare slots, reassignment mid-batch
 //!   (kill with tuples in flight), duplicate join of a restarted worker.
 
@@ -245,7 +246,17 @@ fn duplicate_join_of_restarted_worker_is_absorbed() {
     );
     let mut impostor = TcpStream::connect(cluster.addr()).expect("connect impostor");
     let mut frame = BytesMut::new();
-    protocol::encode(&mut frame, 0, &Msg::Register { worker_id: 0 });
+    // Current generation (1): the fence admits it as a legal reconnect —
+    // the respawn path below must still win the mailbox back. Stale
+    // generations are rejected outright; see the tguard tests.
+    protocol::encode(
+        &mut frame,
+        0,
+        &Msg::Register {
+            worker_id: 0,
+            generation: 1,
+        },
+    );
     impostor.write_all(&frame).expect("impostor register");
     // Give the supervisor a beat to process the duplicate registration,
     // then kill the real worker: its respawn must win the mailbox back.
@@ -451,9 +462,11 @@ fn seed_matrix() -> Vec<u64> {
 }
 
 /// The cluster acceptance test: for every seed, run the CF pipeline
-/// split across two worker processes while chaos kills the spout worker
-/// and partitions the inter-worker link, then require the drained counts
-/// to be byte-identical to the fault-free single-process baseline.
+/// split across two worker processes while chaos kills the spout worker,
+/// SIGSTOPs it (a gray failure only the lease detector can see), drops
+/// its heartbeats, and partitions the inter-worker link — then require
+/// the drained counts to be byte-identical to the fault-free
+/// single-process baseline.
 #[test]
 fn cf_cluster_converges_under_worker_kill_and_link_partition() {
     assert!(!maybe_run_worker(cf_cluster_app));
@@ -461,19 +474,29 @@ fn cf_cluster_converges_under_worker_kill_and_link_partition() {
     let n = workload().len() as u64;
     let mut kills = 0u64;
     let mut drops = 0u64;
+    let mut stalls = 0u64;
+    let mut heartbeat_drops = 0u64;
     for seed in seed_matrix() {
         let mut config = SupervisorConfig::new(vec![
             WorkerSpec::new(["spout", "pretreatment"]),
             WorkerSpec::protected(["user_history", "item_count", "cf_pair"]),
         ]);
-        // WorkerKill draws once per status frame (~20/s) from worker 0;
-        // LinkPartition draws once per relayed tuple batch. max_faults 2
-        // exercises the double-kill (duplicate replayed tail) path.
+        // WorkerKill and WorkerStall draw once per status frame (~20/s)
+        // from worker 0; LinkPartition draws once per relayed tuple
+        // batch; HeartbeatDrop draws once per status frame from any
+        // worker. max_faults 2 on kills exercises the double-kill
+        // (duplicate replayed tail) path. HeartbeatDrop at 0.5 cannot
+        // expire an 800 ms lease (that takes 16 consecutive losses) —
+        // it proves lossy heartbeats alone don't cause spurious
+        // respawns, while WorkerStall proves a real stall does.
         config.fault_plan = FaultPlan::builder(seed)
             .site(FaultSite::WorkerKill, 0.03, 2)
             .site(FaultSite::LinkPartition, 0.02, 5)
+            .site(FaultSite::WorkerStall, 0.02, 1)
+            .site(FaultSite::HeartbeatDrop, 0.5, 40)
             .build();
         config.message_timeout = Duration::from_millis(1500);
+        config.lease_timeout = Duration::from_millis(800);
         config.spawn_args = spawn_args("cf_cluster_converges_under_worker_kill_and_link_partition");
         let cluster = Cluster::launch(config, cf_cluster_app).expect("launch");
         assert!(
@@ -500,6 +523,8 @@ fn cf_cluster_converges_under_worker_kill_and_link_partition() {
         );
         kills += cluster.fault_plan().fired(FaultSite::WorkerKill);
         drops += cluster.dropped_batches();
+        stalls += cluster.fault_plan().fired(FaultSite::WorkerStall);
+        heartbeat_drops += cluster.fault_plan().fired(FaultSite::HeartbeatDrop);
         cluster.shutdown(Duration::from_secs(10));
     }
     // A chaos matrix that injects nothing proves nothing. (Only enforced
@@ -507,6 +532,14 @@ fn cf_cluster_converges_under_worker_kill_and_link_partition() {
     if std::env::var("CHAOS_SEEDS").is_err() {
         assert!(kills > 0, "no worker kill fired across the seed matrix");
         assert!(drops > 0, "no link partition fired across the seed matrix");
+        assert!(stalls > 0, "no worker stall fired across the seed matrix");
+        assert!(
+            heartbeat_drops > 0,
+            "no heartbeat drop fired across the seed matrix"
+        );
     }
-    println!("cluster chaos matrix: {kills} kills, {drops} dropped batches");
+    println!(
+        "cluster chaos matrix: {kills} kills, {drops} dropped batches, \
+         {stalls} stalls, {heartbeat_drops} dropped heartbeats"
+    );
 }

@@ -318,27 +318,19 @@ impl Client {
         }
     }
 
-    /// Exponential backoff with deterministic-entropy jitter: the delay
-    /// for retry `attempt` is `base * 2^(attempt-1)` plus up to 50% more,
-    /// capped at one second.
+    /// Exponential backoff with deterministic jitter, delegated to the
+    /// shared [`wire::Backoff`] policy (the same curve the cluster
+    /// transport retries under): `base * 2^(attempt-1)` plus up to 50%
+    /// jitter, capped at one second. The shared counter seeds the jitter
+    /// so concurrent retries across threads spread out.
     fn backoff(&self, attempt: u32) {
-        let base = self.config.retry_backoff.as_micros() as u64;
-        if base == 0 {
-            return;
+        let seq = self.jitter_seq.fetch_add(1, Ordering::Relaxed);
+        let delay = wire::Backoff::new(self.config.retry_backoff, Duration::from_secs(1))
+            .with_seed(seq)
+            .delay(attempt);
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
         }
-        let exp = base.saturating_mul(1 << (attempt - 1).min(10));
-        // SplitMix64 finalizer over a shared counter: cheap jitter with no
-        // RNG dependency, different for every retry across threads.
-        let mut h = self
-            .jitter_seq
-            .fetch_add(1, Ordering::Relaxed)
-            .wrapping_add(0x9E37_79B9_7F4A_7C15);
-        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        h ^= h >> 31;
-        let jitter = h % (exp / 2).max(1);
-        let micros = exp.saturating_add(jitter).min(1_000_000);
-        std::thread::sleep(Duration::from_micros(micros));
     }
 
     /// Top-`n` recommendations for `user`. `deadline_ms == 0` uses the

@@ -1,0 +1,177 @@
+//! Bounded exponential backoff with deterministic jitter.
+//!
+//! Every TCP path in the stack that retries — worker→supervisor dial,
+//! worker reconnection after a dropped or desynced stream, the serve
+//! client's idempotent-request retry — shares this one policy instead of
+//! carrying its own ad-hoc sleep loop. The delay for attempt *k* is
+//! `base · 2^(k-1)` plus up to 50% jitter, capped at `cap`.
+//!
+//! Jitter is derived from a SplitMix64 finalizer over `(seed, attempt)`,
+//! not from a random source: the same seed reproduces the same delay
+//! sequence, which keeps chaos runs replayable while still spreading
+//! concurrent retriers (each picks a distinct seed) off the same instant.
+
+use std::time::Duration;
+
+/// SplitMix64 finalizer: a high-quality 64→64 bit mixer (the same one
+/// `tchaos` uses for its fault schedules).
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Bounded exponential backoff with deterministic, seedable jitter.
+///
+/// Two usage styles:
+/// * **Stateful**: [`Backoff::next_delay`] / [`Backoff::sleep_next`] advance an
+///   internal attempt counter and observe `max_attempts`.
+/// * **Pure**: [`Backoff::delay`] computes the delay for an explicit
+///   attempt number without touching any state (the serve client keeps
+///   its own attempt loop).
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    seed: u64,
+    max_attempts: u32,
+    attempt: u32,
+}
+
+impl Backoff {
+    /// A policy starting at `base` and never sleeping longer than `cap`
+    /// per attempt. Unlimited attempts and seed 0 until overridden.
+    pub fn new(base: Duration, cap: Duration) -> Self {
+        Backoff {
+            base,
+            cap,
+            seed: 0,
+            max_attempts: u32::MAX,
+            attempt: 0,
+        }
+    }
+
+    /// Seeds the jitter stream (concurrent retriers should pick distinct
+    /// seeds; chaos harnesses pass their plan seed for replayability).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Caps the number of attempts [`Backoff::next_delay`] will grant.
+    pub fn with_max_attempts(mut self, max_attempts: u32) -> Self {
+        self.max_attempts = max_attempts;
+        self
+    }
+
+    /// Attempts granted so far.
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Rewinds the attempt counter (e.g. after a successful reconnect,
+    /// so the *next* outage starts from the base delay again).
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+
+    /// The delay before retry `attempt` (1-based): `base · 2^(attempt-1)`
+    /// plus up to 50% deterministic jitter, capped at `cap`. Attempt 0 is
+    /// treated as 1. A zero base yields zero delays.
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let base = self.base.as_micros() as u64;
+        if base == 0 {
+            return Duration::ZERO;
+        }
+        let exp = base.saturating_mul(1u64 << (attempt.max(1) - 1).min(20));
+        let jitter = mix(self.seed ^ u64::from(attempt)) % (exp / 2).max(1);
+        Duration::from_micros(exp.saturating_add(jitter)).min(self.cap)
+    }
+
+    /// Grants the next attempt: `Some(delay)` to wait before retrying, or
+    /// `None` when `max_attempts` have been used up.
+    pub fn next_delay(&mut self) -> Option<Duration> {
+        if self.attempt >= self.max_attempts {
+            return None;
+        }
+        self.attempt += 1;
+        Some(self.delay(self.attempt))
+    }
+
+    /// Sleeps for the next attempt's delay. Returns `false` (without
+    /// sleeping) once attempts are exhausted — the caller's cue to give
+    /// up.
+    pub fn sleep_next(&mut self) -> bool {
+        match self.next_delay() {
+            Some(delay) => {
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> Backoff {
+        Backoff::new(Duration::from_millis(10), Duration::from_millis(500)).with_seed(7)
+    }
+
+    #[test]
+    fn delays_grow_exponentially_until_the_cap() {
+        let b = policy();
+        for attempt in 1..12 {
+            let d = b.delay(attempt);
+            let floor = Duration::from_millis(10 * (1 << (attempt - 1) as u64));
+            assert!(
+                d >= floor.min(Duration::from_millis(500)),
+                "attempt {attempt}: {d:?} below exponential floor"
+            );
+            assert!(
+                d <= Duration::from_millis(500),
+                "attempt {attempt}: {d:?} above cap"
+            );
+        }
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed_and_differs_across_seeds() {
+        let a: Vec<_> = (1..8).map(|i| policy().delay(i)).collect();
+        let b: Vec<_> = (1..8).map(|i| policy().delay(i)).collect();
+        assert_eq!(a, b, "same seed must replay the same delays");
+        let c: Vec<_> = (1..8).map(|i| policy().with_seed(8).delay(i)).collect();
+        assert_ne!(a, c, "different seeds must jitter differently");
+    }
+
+    #[test]
+    fn attempts_are_bounded() {
+        let mut b = policy().with_max_attempts(3);
+        assert!(b.next_delay().is_some());
+        assert!(b.next_delay().is_some());
+        assert!(b.next_delay().is_some());
+        assert_eq!(b.next_delay(), None, "fourth attempt must be refused");
+        assert!(!b.sleep_next());
+        b.reset();
+        assert!(b.next_delay().is_some(), "reset re-arms the budget");
+    }
+
+    #[test]
+    fn zero_base_never_sleeps() {
+        let b = Backoff::new(Duration::ZERO, Duration::from_secs(1));
+        for attempt in 1..5 {
+            assert_eq!(b.delay(attempt), Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn huge_attempt_numbers_do_not_overflow() {
+        let b = policy();
+        assert!(b.delay(u32::MAX) <= Duration::from_millis(500));
+    }
+}

@@ -24,6 +24,10 @@
 //! cluster control and tuple transport. Both share this one proptested
 //! implementation instead of carrying copies.
 
+mod backoff;
+
+pub use backoff::Backoff;
+
 use bytes::{BufMut, BytesMut};
 use std::fmt;
 
@@ -52,6 +56,10 @@ pub enum ProtocolError {
     UnknownTag(u8),
     /// Body contradicts its own length or counts.
     BadPayload(&'static str),
+    /// The peer closed the connection mid-frame, leaving this many bytes
+    /// of a partial frame behind (a half-open hang-up, not a clean
+    /// between-frames EOF).
+    TruncatedEof(usize),
 }
 
 impl fmt::Display for ProtocolError {
@@ -63,6 +71,9 @@ impl fmt::Display for ProtocolError {
             ProtocolError::FrameTooShort(len) => write!(f, "frame length {len} below header"),
             ProtocolError::UnknownTag(tag) => write!(f, "unknown frame tag {tag:#04x}"),
             ProtocolError::BadPayload(why) => write!(f, "bad payload: {why}"),
+            ProtocolError::TruncatedEof(len) => {
+                write!(f, "connection closed mid-frame with {len} buffered bytes")
+            }
         }
     }
 }
@@ -164,6 +175,20 @@ pub fn split_frame(buf: &mut BytesMut) -> Result<Option<(u64, u8, BytesMut)>, Pr
     let id = u64::from_le_bytes(header[..8].try_into().expect("8 bytes"));
     let tag = header[8];
     Ok(Some((id, tag, payload)))
+}
+
+/// Classifies an EOF observed after [`split_frame`] returned `Ok(None)`:
+/// a peer that hangs up *between* frames leaves an empty buffer (clean
+/// end-of-stream); one that hangs up mid-frame — after a partial length
+/// prefix or a truncated body — leaves residue, which is a half-open
+/// failure the caller must surface instead of waiting for bytes that
+/// will never arrive.
+pub fn check_clean_eof(buf: &BytesMut) -> Result<(), ProtocolError> {
+    if buf.is_empty() {
+        Ok(())
+    } else {
+        Err(ProtocolError::TruncatedEof(buf.len()))
+    }
 }
 
 #[cfg(test)]

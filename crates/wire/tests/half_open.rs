@@ -1,0 +1,117 @@
+//! Half-open connection behavior: a peer that hangs up mid-frame or
+//! that stops reading must surface as a clean, bounded error at the
+//! codec/socket layer — never as an indefinite block.
+
+use bytes::{BufMut, BytesMut};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+use wire::{check_clean_eof, split_frame, with_frame, ProtocolError};
+
+fn pair() -> (TcpStream, TcpStream) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let client = TcpStream::connect(addr).expect("connect");
+    let (server, _) = listener.accept().expect("accept");
+    (client, server)
+}
+
+/// Reads until EOF, feeding the splitter; returns the frames decoded and
+/// the residue check result at EOF.
+fn drain_frames(stream: &mut TcpStream) -> (usize, Result<(), ProtocolError>) {
+    let mut buf = BytesMut::new();
+    let mut chunk = [0u8; 4096];
+    let mut frames = 0;
+    loop {
+        loop {
+            match split_frame(&mut buf) {
+                Ok(Some(_)) => frames += 1,
+                Ok(None) => break,
+                Err(e) => return (frames, Err(e)),
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return (frames, check_clean_eof(&buf)),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) => panic!("read error before EOF: {e}"),
+        }
+    }
+}
+
+#[test]
+fn close_after_partial_length_prefix_is_a_truncated_eof() {
+    let (mut writer, mut reader) = pair();
+    // One whole frame, then two bytes of the next frame's length prefix.
+    let mut wire_bytes = BytesMut::new();
+    with_frame(&mut wire_bytes, 1, 0x10, |b| b.put_slice(b"complete"));
+    writer.write_all(&wire_bytes).expect("whole frame");
+    writer.write_all(&[0x40, 0x00]).expect("partial prefix");
+    drop(writer); // hang up mid-prefix
+    let (frames, eof) = drain_frames(&mut reader);
+    assert_eq!(frames, 1, "the complete frame still decodes");
+    assert!(
+        matches!(eof, Err(ProtocolError::TruncatedEof(2))),
+        "partial prefix at EOF must be an error, got {eof:?}"
+    );
+}
+
+#[test]
+fn close_mid_body_is_a_truncated_eof() {
+    let (mut writer, mut reader) = pair();
+    let mut wire_bytes = BytesMut::new();
+    with_frame(&mut wire_bytes, 2, 0x11, |b| b.put_slice(&[7u8; 64]));
+    // Send the length prefix, the header, and half the body.
+    let cut = 4 + 9 + 32;
+    writer.write_all(&wire_bytes[..cut]).expect("partial frame");
+    drop(writer);
+    let (frames, eof) = drain_frames(&mut reader);
+    assert_eq!(frames, 0, "a truncated frame must not decode");
+    match eof {
+        Err(ProtocolError::TruncatedEof(n)) => assert_eq!(n, cut, "all residue accounted for"),
+        other => panic!("expected TruncatedEof, got {other:?}"),
+    }
+}
+
+#[test]
+fn clean_close_between_frames_is_not_an_error() {
+    let (mut writer, mut reader) = pair();
+    let mut wire_bytes = BytesMut::new();
+    for i in 0..3 {
+        with_frame(&mut wire_bytes, i, 0x12, |b| b.put_slice(b"x"));
+    }
+    writer.write_all(&wire_bytes).expect("frames");
+    drop(writer);
+    let (frames, eof) = drain_frames(&mut reader);
+    assert_eq!(frames, 3);
+    assert!(eof.is_ok(), "between-frames EOF is clean, got {eof:?}");
+}
+
+/// A peer that stops *reading* (SIGSTOP, livelock) eventually fills the
+/// kernel buffers; a writer with a write timeout must surface a bounded
+/// error instead of blocking forever mid-frame.
+#[test]
+fn peer_that_stops_reading_times_out_the_writer() {
+    let (mut writer, _reader) = pair(); // reader never reads
+    writer
+        .set_write_timeout(Some(Duration::from_millis(200)))
+        .expect("set write timeout");
+    let mut frame = BytesMut::new();
+    with_frame(&mut frame, 3, 0x13, |b| b.put_slice(&[0u8; 64 * 1024]));
+    let started = Instant::now();
+    let mut result = Ok(());
+    for _ in 0..1024 {
+        result = writer.write_all(&frame);
+        if result.is_err() {
+            break;
+        }
+    }
+    let err = result.expect_err("writes into a full socket must fail, not hang");
+    assert!(
+        matches!(err.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut),
+        "expected a timeout-class error, got {err:?}"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "writer blocked far beyond its timeout"
+    );
+}

@@ -68,6 +68,27 @@ for marker in \
 done
 echo "    cluster smoke OK ($(grep -c '^cluster:' <<<"$cluster_out") markers)"
 
+# Gray-failure stage: the spout worker is SIGSTOPped (alive but silent)
+# mid-run. Process reaping can never see that; the heartbeat lease must
+# expire it (asserted via the tcluster_lease_expired scrape line), the
+# generation fence must shut out the zombie, and the respawned worker
+# must converge byte-identical to the fault-free baseline.
+echo "==> gray-failure smoke (SIGSTOP + lease expiry, gray_failure)"
+gray_out="$(cargo run --release -p tcluster --example gray_failure 2>/dev/null)"
+for marker in \
+    "tguard: stalling worker 0 (SIGSTOP)" \
+    "tguard: lease expired (scrape: tcluster_lease_expired" \
+    "tguard: worker 0 respawned (generation" \
+    "tguard: converged after gray failure (drain verified" \
+    "GRAY FAILURE OK"; do
+    if ! grep -qF "$marker" <<<"$gray_out"; then
+        echo "GRAY FAILURE STAGE FAILED: marker \"$marker\" missing from output:" >&2
+        echo "$gray_out" >&2
+        exit 1
+    fi
+done
+echo "    gray failure OK ($(grep -c '^tguard:' <<<"$gray_out") markers)"
+
 # Cold-restart stage: the checkpoint/restore example runs the CF pipeline
 # in a child process, SIGKILLs it mid-run after the manifest has advanced,
 # restores a fresh store from the newest durable snapshot, replays only
