@@ -117,7 +117,10 @@ fn launch(cluster: &AccessCluster, group: &str, store: TdStore, start: Vec<(u32,
 }
 
 fn wait_committed(life: &Life, target: u64, what: &str) {
-    let deadline = Instant::now() + Duration::from_secs(600);
+    // Scales with the arm size: the full sweep replays 600k actions
+    // through the pair bolt at store speed, which overruns a fixed
+    // 600 s budget on a single-core box without being stalled.
+    let deadline = Instant::now() + Duration::from_secs(600.max(target / 300));
     while life.progress.committed() < target {
         assert!(
             Instant::now() < deadline,

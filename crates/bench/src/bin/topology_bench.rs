@@ -84,7 +84,7 @@ impl Spout for NumberSpout {
         }
         let i = self.next;
         self.next += 1;
-        collector.emit(vec![Value::U64(i % 64), Value::U64(i)], Some(i));
+        collector.emit_values(&[Value::U64(i % 64), Value::U64(i)], Some(i));
         true
     }
     fn declare_outputs(&self) -> Vec<StreamDef> {
@@ -198,7 +198,7 @@ impl Spout for AckedSpout {
         });
         match value {
             Some(v) => {
-                collector.emit(vec![Value::U64(v % 64), Value::U64(v)], Some(v));
+                collector.emit_values(&[Value::U64(v % 64), Value::U64(v)], Some(v));
                 true
             }
             None => false,
@@ -446,8 +446,8 @@ fn micro_json(label: &str, b1: &MicroResult, b64: &MicroResult) -> String {
             "      \"speedup\": {:.2},\n",
             "      \"allocs_per_tuple_batch1\": {:.1},\n",
             "      \"allocs_per_tuple_batch64\": {:.1},\n",
-            "      \"bolt_p50_us_batch64\": {:.1},\n",
-            "      \"bolt_p99_us_batch64\": {:.1}\n",
+            "      \"bolt_p50_us_batch64\": {:.3},\n",
+            "      \"bolt_p99_us_batch64\": {:.3}\n",
             "    }}"
         ),
         label,
@@ -466,7 +466,7 @@ fn cf_json(actions: usize, b1: &CfResult, b64: &CfResult) -> String {
         .bolt_latency
         .iter()
         .map(|(name, p50, p99)| {
-            format!("        \"{name}\": {{\"p50_us\": {p50:.1}, \"p99_us\": {p99:.1}}}")
+            format!("        \"{name}\": {{\"p50_us\": {p50:.3}, \"p99_us\": {p99:.3}}}")
         })
         .collect();
     let batches: Vec<String> = b64
@@ -577,7 +577,7 @@ fn main() {
             cf64.tuples_per_sec / cf1.tuples_per_sec
         );
         for (name, p50, p99) in &cf64.bolt_latency {
-            eprintln!("    {name}: p50 {p50:.1}us p99 {p99:.1}us");
+            eprintln!("    {name}: p50 {p50:.3}us p99 {p99:.3}us");
         }
         for (name, p99) in &cf64.batch_p99 {
             eprintln!("    {name}: batch p99 {p99:.0} (obs registry)");
@@ -625,6 +625,29 @@ fn main() {
             }
             Some(_) => eprintln!("gate: BENCH_REBASELINE=1, accepting new baseline"),
             None => eprintln!("gate: no committed baseline, writing one"),
+        }
+        // Absolute gates (no baseline needed): the allocation-lean
+        // transport must stay under 3.1 allocations per tuple at batch 64
+        // (the pre-batching transport's level; the batched hot path runs
+        // at ~0.1), and the in-place history update must keep the
+        // user_history bolt's tail under 500us even at smoke sizes.
+        let allocs = extract_number(
+            &smoke_section,
+            &["shuffle_micro"],
+            "allocs_per_tuple_batch64",
+        )
+        .expect("own output parses");
+        eprintln!("gate: shuffle allocs/tuple batch64 {allocs:.1} (ceiling 3.1)");
+        if allocs > 3.1 {
+            eprintln!("FAIL: batched transport allocates more than 3.1 per tuple");
+            std::process::exit(1);
+        }
+        let uh_p99 = extract_number(&smoke_section, &["cf_pipeline", "user_history"], "p99_us")
+            .expect("own output parses");
+        eprintln!("gate: user_history p99 {uh_p99:.1}us (ceiling 500us)");
+        if uh_p99 > 500.0 {
+            eprintln!("FAIL: user_history execute p99 above 500us");
+            std::process::exit(1);
         }
     }
 

@@ -1,0 +1,91 @@
+//! Cached field-index resolution for hot-path bolts.
+//!
+//! `Tuple::u64("name")` scans the schema's field names on every call —
+//! cheap once, but it is paid per field per tuple in every bolt. A
+//! [`FieldIndex`] resolves the names once per *schema* (keyed by
+//! [`tstorm::Schema::identity`], the shared field-table pointer) and then
+//! hands back plain positions for [`tstorm::Tuple::u64_at`] /
+//! [`tstorm::Tuple::f64_at`], so steady-state execution never touches a
+//! string again. Bolts that consume several streams (different schemas)
+//! re-resolve only when the schema actually changes between tuples.
+
+use tstorm::Tuple;
+
+/// Resolved positions of `N` named fields in whatever schema the current
+/// tuple carries. Keep one per input-field set in the bolt struct.
+#[derive(Debug, Clone)]
+pub struct FieldIndex<const N: usize> {
+    names: [&'static str; N],
+    /// `Schema::identity()` the cached positions were resolved against
+    /// (0 = never resolved; no real schema has a null field table).
+    schema_id: usize,
+    idx: [usize; N],
+}
+
+impl<const N: usize> FieldIndex<N> {
+    /// A resolver for the given field names (in the order the caller will
+    /// destructure them).
+    pub fn new(names: [&'static str; N]) -> Self {
+        FieldIndex {
+            names,
+            schema_id: 0,
+            idx: [usize::MAX; N],
+        }
+    }
+
+    /// Positions of the named fields in `tuple`'s schema. Cached across
+    /// calls; re-resolves only when the tuple carries a different schema.
+    ///
+    /// Panics if a name is missing from the schema — the same contract as
+    /// `Tuple::u64(name)` on a missing field (a topology wiring bug, not
+    /// a data error).
+    #[inline]
+    pub fn resolve(&mut self, tuple: &Tuple) -> &[usize; N] {
+        let id = tuple.schema().identity();
+        if id != self.schema_id {
+            let schema = tuple.schema();
+            for (slot, name) in self.idx.iter_mut().zip(self.names) {
+                *slot = schema.index_of(name).unwrap_or_else(|| {
+                    panic!("schema {:?} has no field {name:?}", schema.fields())
+                });
+            }
+            self.schema_id = id;
+        }
+        &self.idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tstorm::{Schema, Tuple, Value};
+
+    fn tuple(schema: &Schema, values: Vec<Value>) -> Tuple {
+        Tuple::standalone("s", schema.clone(), "src", 0, values)
+    }
+
+    #[test]
+    fn resolves_once_per_schema() {
+        let schema = Schema::new(["a", "b", "c"]);
+        let mut fi = FieldIndex::new(["c", "a"]);
+        let t = tuple(&schema, vec![Value::U64(1), Value::U64(2), Value::U64(3)]);
+        assert_eq!(*fi.resolve(&t), [2, 0]);
+        assert_eq!(t.u64_at(fi.resolve(&t)[0]), 3);
+        // Same shared schema: cached positions, identity unchanged.
+        let t2 = tuple(&schema, vec![Value::U64(9), Value::U64(8), Value::U64(7)]);
+        assert_eq!(*fi.resolve(&t2), [2, 0]);
+        // A different schema re-resolves.
+        let other = Schema::new(["x", "c", "a"]);
+        let t3 = tuple(&other, vec![Value::U64(0), Value::U64(5), Value::U64(6)]);
+        assert_eq!(*fi.resolve(&t3), [1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "has no field")]
+    fn missing_field_panics() {
+        let schema = Schema::new(["a"]);
+        let mut fi = FieldIndex::new(["nope"]);
+        let t = tuple(&schema, vec![Value::U64(1)]);
+        fi.resolve(&t);
+    }
+}

@@ -50,7 +50,9 @@ pub mod combiner;
 pub mod ctr;
 pub mod db;
 pub mod engine;
+pub mod fields;
 pub mod filtering;
+pub mod interner;
 pub mod multihash;
 pub mod snapshot;
 pub mod topology;

@@ -11,10 +11,12 @@
 use crate::action::{ActionType, ActionWeights, UserAction};
 use crate::cf::counts::WindowConfig;
 use crate::cf::pruning::PruneState;
+use crate::fields::FieldIndex;
+use crate::interner::Interner;
 use crate::topology::state::{
     apply_counter_delta, apply_counter_deltas, decode_history, decode_history_v2, encode_history,
     encode_history_v2, session_key, sim_list_threshold, update_sim_list, windowed_sum,
-    ReplayLogEntry,
+    HistoryRecord, ReplayLogEntry,
 };
 use crate::types::{keys, ItemPair};
 use crossbeam::channel::Receiver;
@@ -156,15 +158,35 @@ impl Spout for ActionSpout {
 }
 
 /// Pretreatment (§5.1): parses and validates raw tuples, dropping
-/// unqualified ones, and forwards clean action tuples.
+/// unqualified ones, and forwards clean action tuples. With an
+/// [`Interner`] attached, raw tuples carrying *string* user/item ids (the
+/// form production front ends send) are translated to dense `u64`s here,
+/// at the topology's edge — downstream groupings, bolts, and TDStore keys
+/// only ever see integers.
 pub struct PretreatmentBolt {
     dropped: u64,
+    interner: Option<Interner>,
+    fields: FieldIndex<5>,
 }
 
 impl PretreatmentBolt {
-    /// New bolt.
+    /// New bolt for pre-interned (integer-keyed) feeds.
     pub fn new() -> Self {
-        PretreatmentBolt { dropped: 0 }
+        PretreatmentBolt {
+            dropped: 0,
+            interner: None,
+            fields: FieldIndex::new(["user", "item", "action", "ts", "src"]),
+        }
+    }
+
+    /// New bolt that interns string user/item ids through `interner`.
+    /// Integer-keyed tuples still pass through unchanged, so mixed feeds
+    /// work during a migration.
+    pub fn with_interner(interner: Interner) -> Self {
+        PretreatmentBolt {
+            interner: Some(interner),
+            ..Self::new()
+        }
     }
 }
 
@@ -176,12 +198,33 @@ impl Default for PretreatmentBolt {
 
 impl Bolt for PretreatmentBolt {
     fn execute(&mut self, tuple: &Tuple, collector: &mut BoltCollector) -> Result<(), String> {
-        let code = tuple.u64("action");
+        let [user_i, item_i, action_i, ts_i, src_i] = *self.fields.resolve(tuple);
+        let values = tuple.values();
+        let code = values[action_i].as_u64().unwrap_or(u64::MAX);
         if code > u8::MAX as u64 || ActionType::from_code(code as u8).is_none() {
             self.dropped += 1;
             return Ok(()); // unqualified tuple: filtered, still acked
         }
-        collector.emit(tuple.values().to_vec());
+        let (user, item) = (&values[user_i], &values[item_i]);
+        if user.as_str().is_some() || item.as_str().is_some() {
+            // String-keyed raw tuple: both ids must be strings and an
+            // interner must be attached, else the tuple is unqualified.
+            let (Some(interner), Some(user), Some(item)) =
+                (self.interner.as_ref(), user.as_str(), item.as_str())
+            else {
+                self.dropped += 1;
+                return Ok(());
+            };
+            collector.emit_values(&[
+                Value::U64(interner.intern(user)),
+                Value::U64(interner.intern(item)),
+                values[action_i].clone(),
+                values[ts_i].clone(),
+                values[src_i].clone(),
+            ]);
+        } else {
+            collector.emit_values(values);
+        }
         Ok(())
     }
 
@@ -193,103 +236,257 @@ impl Bolt for PretreatmentBolt {
     }
 }
 
+/// One raw, string-keyed user action as sent by a production front end,
+/// before pretreatment assigns dense ids.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RawAction {
+    /// Frontend user key (cookie, account id, ...).
+    pub user: String,
+    /// Frontend item key (content url, SKU, ...).
+    pub item: String,
+    /// What the user did.
+    pub action: ActionType,
+    /// Event time in stream milliseconds.
+    pub timestamp: u64,
+}
+
+/// Spout feeding raw string-keyed actions from a channel. Must be paired
+/// with [`PretreatmentBolt::with_interner`], which assigns the dense ids
+/// before the first fields-grouped edge.
+pub struct RawActionSpout {
+    source: Receiver<RawAction>,
+    emitted: u64,
+}
+
+impl RawActionSpout {
+    /// Spout reading from `source` until it disconnects.
+    pub fn new(source: Receiver<RawAction>) -> Self {
+        RawActionSpout { source, emitted: 0 }
+    }
+}
+
+impl Spout for RawActionSpout {
+    fn next_tuple(&mut self, collector: &mut SpoutCollector) -> bool {
+        match self.source.try_recv() {
+            Ok(action) => {
+                self.emitted += 1;
+                collector.emit(
+                    vec![
+                        Value::from(action.user),
+                        Value::from(action.item),
+                        Value::U64(action.action.code() as u64),
+                        Value::U64(action.timestamp),
+                        Value::U64(self.emitted),
+                    ],
+                    Some(self.emitted),
+                );
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn declare_outputs(&self) -> Vec<StreamDef> {
+        vec![StreamDef::new(
+            DEFAULT_STREAM,
+            ["user", "item", "action", "ts", "src"],
+        )]
+    }
+}
+
+/// Decoded per-user state cached between tuples by [`UserHistoryBolt`]:
+/// the history records and (under dedup) the embedded replay log.
+struct CachedHistory {
+    entries: Vec<HistoryRecord>,
+    log: Vec<ReplayLogEntry>,
+    /// LRU stamp: the cache's logical clock at last touch.
+    stamp: u64,
+}
+
+/// Bounded LRU of decoded user histories. The bolt is the only writer of
+/// its users' keys (fields grouping), so a cached copy mirrors the store
+/// exactly as long as every write-through succeeds; a failed write
+/// invalidates the entry and a store failover (which can lose unsynced
+/// writes) invalidates everything.
+struct HistoryCache {
+    map: std::collections::HashMap<u64, CachedHistory>,
+    capacity: usize,
+    clock: u64,
+}
+
+/// Decoded histories [`UserHistoryBolt`] keeps in memory between tuples.
+const HISTORY_CACHE_CAP: usize = 1024;
+
+impl HistoryCache {
+    fn new(capacity: usize) -> Self {
+        HistoryCache {
+            map: std::collections::HashMap::with_capacity(capacity.min(4096)),
+            capacity,
+            clock: 0,
+        }
+    }
+
+    /// Fetches the decoded state for `user`, loading and decoding from the
+    /// store value on a miss. Evicts the least-recently-used entry when
+    /// full (evicted state is not lost — the store holds the encoding).
+    fn get_or_load(
+        &mut self,
+        user: u64,
+        raw: impl FnOnce() -> Result<Option<Vec<u8>>, String>,
+        dedup: usize,
+    ) -> Result<&mut CachedHistory, String> {
+        self.clock += 1;
+        let stamp = self.clock;
+        if !self.map.contains_key(&user) {
+            let (entries, log) = match (raw()?, dedup) {
+                (None, _) => (Vec::new(), Vec::new()),
+                (Some(raw), 0) => (decode_history(&raw), Vec::new()),
+                (Some(raw), _) => decode_history_v2(&raw),
+            };
+            if self.map.len() >= self.capacity {
+                if let Some((&lru, _)) = self.map.iter().min_by_key(|(_, c)| c.stamp) {
+                    self.map.remove(&lru);
+                }
+            }
+            self.map.insert(
+                user,
+                CachedHistory {
+                    entries,
+                    log,
+                    stamp,
+                },
+            );
+        }
+        let cached = self.map.get_mut(&user).expect("just inserted");
+        cached.stamp = stamp;
+        Ok(cached)
+    }
+}
+
 /// The user-behaviour-history layer (Fig. 4, layer 1). Grouped by `user`;
-/// history state lives in TDStore under `hist:<user>`.
+/// history state lives in TDStore under `hist:<user>`, with the decoded
+/// form of recently seen users cached in memory so the hot path mutates
+/// the history tail in place and encodes once, instead of decoding and
+/// rebuilding the whole value for every action.
 pub struct UserHistoryBolt {
     store: TdStore,
     config: CfPipelineConfig,
+    cache: HistoryCache,
+    /// Store failover count at the last execute; a change means unsynced
+    /// writes may have been lost, so every cached copy is suspect.
+    failovers_seen: u64,
+    fields: FieldIndex<5>,
 }
 
 impl UserHistoryBolt {
     /// New bolt over the shared store.
     pub fn new(store: TdStore, config: CfPipelineConfig) -> Self {
-        UserHistoryBolt { store, config }
+        let failovers_seen = store.failover_count();
+        UserHistoryBolt {
+            store,
+            config,
+            cache: HistoryCache::new(HISTORY_CACHE_CAP),
+            failovers_seen,
+            fields: FieldIndex::new(["user", "item", "action", "ts", "src"]),
+        }
     }
 }
 
 impl Bolt for UserHistoryBolt {
     fn execute(&mut self, tuple: &Tuple, collector: &mut BoltCollector) -> Result<(), String> {
-        let user = tuple.u64("user");
-        let item = tuple.u64("item");
-        let code = tuple.u64("action") as u8;
-        let ts = tuple.u64("ts");
-        let src = tuple.u64("src");
+        let [user_i, item_i, action_i, ts_i, src_i] = *self.fields.resolve(tuple);
+        let user = tuple.u64_at(user_i);
+        let item = tuple.u64_at(item_i);
+        let code = tuple.u64_at(action_i) as u8;
+        let ts = tuple.u64_at(ts_i);
+        let src = tuple.u64_at(src_i);
         let action = ActionType::from_code(code).ok_or("bad action code")?;
         let weight = self.config.weights.weight(action);
-
-        let mut delta_rating = 0.0;
-        let mut pair_deltas: Vec<(ItemPair, f64)> = Vec::new();
         let linked = self.config.linked_time_ms;
         let max_history = self.config.max_history;
         let dedup = self.config.dedup_window;
-        self.store
-            .update(&keys::user_history(user), |raw| {
-                delta_rating = 0.0;
-                pair_deltas.clear();
-                let (mut entries, mut log) = match (raw, dedup) {
-                    (None, _) => (Vec::new(), Vec::new()),
-                    (Some(raw), 0) => (decode_history(raw), Vec::new()),
-                    (Some(raw), _) => decode_history_v2(raw),
-                };
-                if let Some(seen) = log.iter().find(|e| e.src == src) {
-                    // Redelivered tuple: the history mutation already
-                    // happened; re-emit the original deltas so a
-                    // downstream loss further along the tree is repaired
-                    // without double-counting here.
-                    delta_rating = seen.delta_rating;
-                    pair_deltas.extend(
-                        seen.pair_deltas
-                            .iter()
-                            .map(|&(a, b, d)| (ItemPair::new(a, b), d)),
-                    );
-                    return Some(encode_history_v2(&entries, &log));
-                }
-                let old = entries
+
+        let failovers = self.store.failover_count();
+        if failovers != self.failovers_seen {
+            // The store may have regressed past our copies (lazy
+            // replication loses unsynced writes on failover); re-read.
+            self.cache.map.clear();
+            self.failovers_seen = failovers;
+        }
+
+        let key = keys::user_history(user);
+        let store = &self.store;
+        let state =
+            self.cache
+                .get_or_load(user, || store.get(&key).map_err(|e| e.to_string()), dedup)?;
+
+        let delta_rating;
+        let mut pair_deltas: Vec<(ItemPair, f64)> = Vec::new();
+        if let Some(seen) = state.log.iter().find(|e| e.src == src) {
+            // Redelivered tuple: the history mutation already happened;
+            // re-emit the original deltas so a downstream loss further
+            // along the tree is repaired without double-counting here.
+            // The stored value is already correct — no write needed.
+            delta_rating = seen.delta_rating;
+            pair_deltas.extend(
+                seen.pair_deltas
                     .iter()
-                    .find(|&&(i, _, _)| i == item)
-                    .map_or(0.0, |&(_, r, _)| r);
-                let new = old.max(weight);
-                delta_rating = new - old;
-                for &(other, rating, last_ts) in &entries {
-                    if other == item || ts.saturating_sub(last_ts) > linked {
-                        continue;
-                    }
-                    let delta = new.min(rating) - old.min(rating);
-                    if delta != 0.0 {
-                        pair_deltas.push((ItemPair::new(item, other), delta));
-                    }
+                    .map(|&(a, b, d)| (ItemPair::new(a, b), d)),
+            );
+        } else {
+            let entries = &mut state.entries;
+            let old = entries
+                .iter()
+                .find(|&&(i, _, _)| i == item)
+                .map_or(0.0, |&(_, r, _)| r);
+            let new = old.max(weight);
+            delta_rating = new - old;
+            for &(other, rating, last_ts) in entries.iter() {
+                if other == item || ts.saturating_sub(last_ts) > linked {
+                    continue;
                 }
-                entries.retain(|&(i, _, _)| i != item);
-                entries.push((item, new, ts));
-                if entries.len() > max_history {
-                    // Drop the stalest record to bound history size.
-                    let (idx, _) = entries
-                        .iter()
-                        .enumerate()
-                        .min_by_key(|(_, &(_, _, t))| t)
-                        .expect("non-empty");
-                    entries.swap_remove(idx);
+                let delta = new.min(rating) - old.min(rating);
+                if delta != 0.0 {
+                    pair_deltas.push((ItemPair::new(item, other), delta));
                 }
-                if dedup == 0 {
-                    return Some(encode_history(&entries));
-                }
-                log.push(ReplayLogEntry {
+            }
+            entries.retain(|&(i, _, _)| i != item);
+            entries.push((item, new, ts));
+            if entries.len() > max_history {
+                // Drop the stalest record to bound history size.
+                let (idx, _) = entries
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &(_, _, t))| t)
+                    .expect("non-empty");
+                entries.swap_remove(idx);
+            }
+            let raw = if dedup == 0 {
+                encode_history(entries)
+            } else {
+                state.log.push(ReplayLogEntry {
                     src,
                     delta_rating,
                     pair_deltas: pair_deltas.iter().map(|&(p, d)| (p.a, p.b, d)).collect(),
                 });
-                if log.len() > dedup {
-                    let excess = log.len() - dedup;
-                    log.drain(..excess);
+                if state.log.len() > dedup {
+                    let excess = state.log.len() - dedup;
+                    state.log.drain(..excess);
                 }
-                Some(encode_history_v2(&entries, &log))
-            })
-            .map_err(|e| e.to_string())?;
+                encode_history_v2(&state.entries, &state.log)
+            };
+            if let Err(e) = self.store.put(&key, raw) {
+                // The cached copy now disagrees with the store (the write
+                // had no effect); drop it so the retry re-reads.
+                self.cache.map.remove(&user);
+                return Err(e.to_string());
+            }
+        }
 
         if delta_rating != 0.0 {
-            collector.emit_on(
+            collector.emit_values_on(
                 ITEM_DELTA,
-                vec![
+                &[
                     Value::U64(item),
                     Value::F64(delta_rating),
                     Value::U64(ts),
@@ -298,9 +495,9 @@ impl Bolt for UserHistoryBolt {
             );
         }
         for (pair, delta) in pair_deltas.drain(..) {
-            collector.emit_on(
+            collector.emit_values_on(
                 PAIR_DELTA,
-                vec![
+                &[
                     Value::U64(pair.a),
                     Value::U64(pair.b),
                     Value::F64(delta),
@@ -330,6 +527,7 @@ pub struct ItemCountBolt {
     config: CfPipelineConfig,
     cache: Option<crate::cache::CachedStore>,
     combiner: Option<crate::combiner::Combiner<Vec<u8>>>,
+    fields: FieldIndex<4>,
 }
 
 impl ItemCountBolt {
@@ -412,6 +610,7 @@ impl ItemCountBolt {
             config,
             cache,
             combiner,
+            fields: FieldIndex::new(["item", "delta", "ts", "src"]),
         }
     }
 
@@ -439,9 +638,10 @@ impl ItemCountBolt {
 
 impl Bolt for ItemCountBolt {
     fn execute(&mut self, tuple: &Tuple, _collector: &mut BoltCollector) -> Result<(), String> {
-        let item = tuple.u64("item");
-        let delta = tuple.f64("delta");
-        let ts = tuple.u64("ts");
+        let [item_i, delta_i, ts_i, src_i] = *self.fields.resolve(tuple);
+        let item = tuple.u64_at(item_i);
+        let delta = tuple.f64_at(delta_i);
+        let ts = tuple.u64_at(ts_i);
         let session = self.config.session_of(ts);
         let key = session_key(&keys::item_count(item), session);
         if self.config.dedup_window > 0 {
@@ -449,7 +649,7 @@ impl Bolt for ItemCountBolt {
                 &self.store,
                 &key,
                 delta,
-                tuple.u64("src"),
+                tuple.u64_at(src_i),
                 self.config.dedup_window,
             )
             .map_err(|e| e.to_string())?;
@@ -491,11 +691,12 @@ impl Bolt for ItemCountBolt {
         // order without hashing.
         let mut groups: CountGroups = Vec::new();
         for tuple in tuples {
-            let item = tuple.u64("item");
-            let delta = tuple.f64("delta");
-            let session = self.config.session_of(tuple.u64("ts"));
+            let [item_i, delta_i, ts_i, src_i] = *self.fields.resolve(tuple);
+            let item = tuple.u64_at(item_i);
+            let delta = tuple.f64_at(delta_i);
+            let session = self.config.session_of(tuple.u64_at(ts_i));
             let key = session_key(&keys::item_count(item), session);
-            let entry = (tuple.u64("src"), delta);
+            let entry = (tuple.u64_at(src_i), delta);
             match groups.iter_mut().find(|(k, _)| *k == key) {
                 Some((_, deltas)) => deltas.push(entry),
                 None => groups.push((key, vec![entry])),
@@ -547,6 +748,7 @@ pub struct CfPairBolt {
     /// owns any given pair for the topology's lifetime.
     pruning: Option<PruneState>,
     prune_obs: Option<PruneObs>,
+    fields: FieldIndex<5>,
 }
 
 /// Mirrors one task's [`PruneState`] into shared registry metrics. The
@@ -612,6 +814,7 @@ impl CfPairBolt {
             config,
             pruning,
             prune_obs,
+            fields: FieldIndex::new(["a", "b", "delta", "ts", "src"]),
         }
     }
 
@@ -721,12 +924,17 @@ impl CfPairBolt {
 
 impl Bolt for CfPairBolt {
     fn execute(&mut self, tuple: &Tuple, _collector: &mut BoltCollector) -> Result<(), String> {
-        let pair = ItemPair::new(tuple.u64("a"), tuple.u64("b"));
+        let [a_i, b_i, delta_i, ts_i, src_i] = *self.fields.resolve(tuple);
+        let pair = ItemPair::new(tuple.u64_at(a_i), tuple.u64_at(b_i));
         if self.pruning.as_ref().is_some_and(|p| p.is_pruned(pair)) {
             return Ok(());
         }
-        let session = self.config.session_of(tuple.u64("ts"));
-        self.apply_pair_deltas(pair, session, &[(tuple.u64("src"), tuple.f64("delta"))])?;
+        let session = self.config.session_of(tuple.u64_at(ts_i));
+        self.apply_pair_deltas(
+            pair,
+            session,
+            &[(tuple.u64_at(src_i), tuple.f64_at(delta_i))],
+        )?;
         self.refresh_similarity(pair, session)?;
         self.sync_prune_obs();
         Ok(())
@@ -749,12 +957,13 @@ impl Bolt for CfPairBolt {
         // Per pair, per session bucket (in arrival order): src/delta runs.
         let mut groups: PairGroups = Vec::new();
         for tuple in tuples {
-            let pair = ItemPair::new(tuple.u64("a"), tuple.u64("b"));
+            let [a_i, b_i, delta_i, ts_i, src_i] = *self.fields.resolve(tuple);
+            let pair = ItemPair::new(tuple.u64_at(a_i), tuple.u64_at(b_i));
             if self.pruning.as_ref().is_some_and(|p| p.is_pruned(pair)) {
                 continue;
             }
-            let session = self.config.session_of(tuple.u64("ts"));
-            let entry = (tuple.u64("src"), tuple.f64("delta"));
+            let session = self.config.session_of(tuple.u64_at(ts_i));
+            let entry = (tuple.u64_at(src_i), tuple.f64_at(delta_i));
             let sessions = match groups.iter_mut().find(|(p, _)| *p == pair) {
                 Some((_, sessions)) => sessions,
                 None => {

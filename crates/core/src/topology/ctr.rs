@@ -10,6 +10,7 @@
 //! persists the per-situation ranking that the query side serves.
 
 use crate::db::DemographicProfile;
+use crate::fields::FieldIndex;
 use crate::topology::state::{session_key, windowed_sum};
 use crate::types::ItemId;
 use crossbeam::channel::Receiver;
@@ -165,25 +166,30 @@ impl Bolt for AdPretreatmentBolt {
 pub struct CtrStoreBolt {
     store: TdStore,
     config: CtrPipelineConfig,
+    fields: FieldIndex<5>,
 }
 
 impl CtrStoreBolt {
     /// New bolt over the shared store.
     pub fn new(store: TdStore, config: CtrPipelineConfig) -> Self {
-        CtrStoreBolt { store, config }
+        CtrStoreBolt {
+            store,
+            config,
+            fields: FieldIndex::new(["item", "gender", "age_band", "clicked", "ts"]),
+        }
     }
 }
 
 impl Bolt for CtrStoreBolt {
     fn execute(&mut self, tuple: &Tuple, collector: &mut BoltCollector) -> Result<(), String> {
-        let item = tuple.u64("item");
-        let gender = tuple.u64("gender") as u8;
-        let age_band = tuple.u64("age_band") as u8;
-        let clicked = tuple
-            .get_by_name("clicked")
-            .and_then(Value::as_bool)
+        let [item_i, gender_i, age_i, clicked_i, ts_i] = *self.fields.resolve(tuple);
+        let item = tuple.u64_at(item_i);
+        let gender = tuple.u64_at(gender_i) as u8;
+        let age_band = tuple.u64_at(age_i) as u8;
+        let clicked = tuple.values()[clicked_i]
+            .as_bool()
             .ok_or("missing clicked flag")?;
-        let ts = tuple.u64("ts");
+        let ts = tuple.u64_at(ts_i);
         let session = self.config.session_of(ts);
         let map_err = |e: tdstore::StoreError| e.to_string();
         self.store
@@ -222,21 +228,27 @@ impl Bolt for CtrStoreBolt {
 pub struct CtrBolt {
     store: TdStore,
     config: CtrPipelineConfig,
+    fields: FieldIndex<4>,
 }
 
 impl CtrBolt {
     /// New bolt over the shared store.
     pub fn new(store: TdStore, config: CtrPipelineConfig) -> Self {
-        CtrBolt { store, config }
+        CtrBolt {
+            store,
+            config,
+            fields: FieldIndex::new(["item", "gender", "age_band", "ts"]),
+        }
     }
 }
 
 impl Bolt for CtrBolt {
     fn execute(&mut self, tuple: &Tuple, collector: &mut BoltCollector) -> Result<(), String> {
-        let item = tuple.u64("item");
-        let gender = tuple.u64("gender") as u8;
-        let age_band = tuple.u64("age_band") as u8;
-        let ts = tuple.u64("ts");
+        let [item_i, gender_i, age_i, ts_i] = *self.fields.resolve(tuple);
+        let item = tuple.u64_at(item_i);
+        let gender = tuple.u64_at(gender_i) as u8;
+        let age_band = tuple.u64_at(age_i) as u8;
+        let ts = tuple.u64_at(ts_i);
         let windows = self.config.window_sessions();
         let session = if windows == 0 {
             0
@@ -281,21 +293,26 @@ impl Bolt for CtrBolt {
 /// where the recommender engine can read them.
 pub struct ResultStorageBolt {
     store: TdStore,
+    fields: FieldIndex<4>,
 }
 
 impl ResultStorageBolt {
     /// New bolt over the shared store.
     pub fn new(store: TdStore) -> Self {
-        ResultStorageBolt { store }
+        ResultStorageBolt {
+            store,
+            fields: FieldIndex::new(["item", "gender", "age_band", "ctr"]),
+        }
     }
 }
 
 impl Bolt for ResultStorageBolt {
     fn execute(&mut self, tuple: &Tuple, _collector: &mut BoltCollector) -> Result<(), String> {
-        let item = tuple.u64("item");
-        let gender = tuple.u64("gender") as u8;
-        let age_band = tuple.u64("age_band") as u8;
-        let ctr = tuple.f64("ctr");
+        let [item_i, gender_i, age_i, ctr_i] = *self.fields.resolve(tuple);
+        let item = tuple.u64_at(item_i);
+        let gender = tuple.u64_at(gender_i) as u8;
+        let age_band = tuple.u64_at(age_i) as u8;
+        let ctr = tuple.f64_at(ctr_i);
         self.store
             .put(
                 &ctr_keys::ctr(item, gender, age_band),

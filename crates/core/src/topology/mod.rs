@@ -27,8 +27,8 @@ pub mod serving;
 pub mod state;
 
 pub use bolts::{
-    ActionSpout, CfPairBolt, CfPipelineConfig, ItemCountBolt, PretreatmentBolt, UserHistoryBolt,
-    ITEM_DELTA, PAIR_DELTA,
+    ActionSpout, CfPairBolt, CfPipelineConfig, ItemCountBolt, PretreatmentBolt, RawAction,
+    RawActionSpout, UserHistoryBolt, ITEM_DELTA, PAIR_DELTA,
 };
 pub use replay::{OffsetTable, ReplayProgress, ReplayableSpout};
 pub use tdaccess::PartitionId;
@@ -112,6 +112,52 @@ where
             parallelism.pretreatment,
         )
         .shuffle_grouping("spout");
+    wire_cf_counting_layers(&mut builder, store, config, parallelism);
+    builder.build()
+}
+
+/// Builds the CF topology over a *raw* string-keyed action feed: the
+/// spout emits frontend keys verbatim and the pretreatment bolt interns
+/// them to dense `u64` ids through `interner`, so every fields-grouped
+/// edge and every TDStore key downstream is integer-only. Query results
+/// de-intern through the same handle (see
+/// [`serving::RecommenderFrontEnd::with_interner`]).
+pub fn build_cf_topology_raw(
+    source: Receiver<RawAction>,
+    interner: crate::interner::Interner,
+    store: TdStore,
+    config: CfPipelineConfig,
+    parallelism: CfParallelism,
+) -> Result<Topology, TopologyError> {
+    let topology_config = tstorm::topology::TopologyConfig {
+        registry: config.registry.clone(),
+        ..Default::default()
+    };
+    let mut builder = TopologyBuilder::new().with_config(topology_config);
+    builder.set_spout(
+        "spout",
+        move || RawActionSpout::new(source.clone()),
+        parallelism.spouts,
+    );
+    builder
+        .set_bolt(
+            "pretreatment",
+            move || PretreatmentBolt::with_interner(interner.clone()),
+            parallelism.pretreatment,
+        )
+        .shuffle_grouping("spout");
+    wire_cf_counting_layers(&mut builder, store, config, parallelism);
+    builder.build()
+}
+
+/// Wires the counting layers below pretreatment (user history, item
+/// counts, pair similarity) — shared by every CF topology variant.
+fn wire_cf_counting_layers(
+    builder: &mut TopologyBuilder,
+    store: TdStore,
+    config: CfPipelineConfig,
+    parallelism: CfParallelism,
+) {
     {
         let store = store.clone();
         let config = config.clone();
@@ -148,7 +194,6 @@ where
             )
             .grouping_on("user_history", PAIR_DELTA, Grouping::fields(["a", "b"]));
     }
-    builder.build()
 }
 
 /// Query-side engine over the state the topology maintains in TDStore.

@@ -9,6 +9,7 @@
 //! recommendation results."
 
 use crate::db::GroupScheme;
+use crate::interner::Interner;
 use crate::topology::bolts::CfPipelineConfig;
 use crate::topology::demographic::{hot_items, DemographicPipelineConfig, ProfileRegistry};
 use crate::topology::state::decode_history;
@@ -35,6 +36,10 @@ pub struct RecommenderFrontEnd {
     cf: TopologyRecommender,
     config: ServingConfig,
     profiles: ProfileRegistry,
+    /// Present when the topology was built by
+    /// [`crate::topology::build_cf_topology_raw`]: maps the dense ids back
+    /// to the frontend's original string keys at the serving edge.
+    interner: Option<Interner>,
 }
 
 impl RecommenderFrontEnd {
@@ -45,6 +50,23 @@ impl RecommenderFrontEnd {
             store,
             config,
             profiles,
+            interner: None,
+        }
+    }
+
+    /// Front end for a string-keyed deployment: queries arrive with the
+    /// frontend's raw keys, get interned to the dense ids the topology
+    /// counts under, and results de-intern on the way out
+    /// ([`Self::recommend_raw`]).
+    pub fn with_interner(
+        store: TdStore,
+        config: ServingConfig,
+        profiles: ProfileRegistry,
+        interner: Interner,
+    ) -> Self {
+        RecommenderFrontEnd {
+            interner: Some(interner),
+            ..Self::new(store, config, profiles)
         }
     }
 
@@ -90,6 +112,25 @@ impl RecommenderFrontEnd {
         }
         recs.truncate(n);
         recs
+    }
+
+    /// Top-`n` recommendations for a *string-keyed* user, de-interned
+    /// back to the frontend's original item keys. Requires
+    /// [`Self::with_interner`]; an unknown user (never interned) has no
+    /// history and gets only the demographic complement.
+    ///
+    /// Panics if the front end was built without an interner — mixing the
+    /// raw and integer-keyed APIs is a wiring bug.
+    pub fn recommend_raw(&self, user: &str, n: usize, now: u64) -> Vec<(String, f64)> {
+        let interner = self
+            .interner
+            .as_ref()
+            .expect("recommend_raw requires RecommenderFrontEnd::with_interner");
+        let uid = interner.intern(user);
+        self.recommend(uid, n, now)
+            .into_iter()
+            .filter_map(|(item, score)| interner.resolve(item).map(|key| (key, score)))
+            .collect()
     }
 
     /// Direct access to the CF query engine.
@@ -198,6 +239,59 @@ mod tests {
         let m = front.recommend(501, 2, 1_000);
         assert_eq!(w.first().map(|r| r.0), Some(7), "women's group: {w:?}");
         assert_eq!(m.first().map(|r| r.0), Some(8), "men's group: {m:?}");
+    }
+
+    #[test]
+    fn raw_feed_round_trips_string_keys() {
+        // End-to-end over the interning path: string-keyed actions in,
+        // string-keyed recommendations out, with every stage in between
+        // (groupings, store keys) running on dense u64 ids.
+        use crate::interner::Interner;
+        use crate::topology::{build_cf_topology_raw, RawAction};
+
+        let store = TdStore::new(tdstore::StoreConfig::default());
+        let interner = Interner::new();
+        let config = ServingConfig::default();
+        let (tx, rx) = unbounded();
+        for u in 1..=20u32 {
+            for item in ["video/cats", "video/dogs"] {
+                tx.send(RawAction {
+                    user: format!("cookie-{u}"),
+                    item: item.to_string(),
+                    action: ActionType::Click,
+                    timestamp: u as u64 * 10,
+                })
+                .unwrap();
+            }
+        }
+        tx.send(RawAction {
+            user: "cookie-new".into(),
+            item: "video/cats".into(),
+            action: ActionType::Click,
+            timestamp: 500,
+        })
+        .unwrap();
+        drop(tx);
+        let topo = build_cf_topology_raw(
+            rx,
+            interner.clone(),
+            store.clone(),
+            config.cf.clone(),
+            CfParallelism::default(),
+        )
+        .unwrap();
+        let handle = topo.launch();
+        assert!(handle.wait_idle(Duration::from_secs(30)));
+        handle.shutdown(Duration::from_secs(5));
+
+        let front =
+            RecommenderFrontEnd::with_interner(store, config, ProfileRegistry::new(), interner);
+        let recs = front.recommend_raw("cookie-new", 3, 1_000);
+        assert_eq!(
+            recs.first().map(|r| r.0.as_str()),
+            Some("video/dogs"),
+            "{recs:?}"
+        );
     }
 
     #[test]

@@ -3,14 +3,25 @@
 //! The transport cost model this exists for: with a plain bounded channel
 //! every tuple pays one lock acquisition and one condvar wake per hop.
 //! Here a producer hands the queue a whole batch under a single lock and a
-//! single wake, and the consumer drains up to `max` messages per lock.
-//! Capacity is accounted in *messages* (i.e. tuples), not batches, so
-//! backpressure behaves exactly as it did pre-batching: a producer blocks
-//! once `capacity` tuples are queued, however they were grouped in flight.
+//! single wake, and the consumer drains up to a budget of messages per
+//! lock. Capacity is accounted in *weight* units — a message's [`Weigh`]
+//! value, which for bolt traffic is its tuple count — so backpressure
+//! behaves exactly as it did pre-batching: a producer blocks once
+//! `capacity` tuples are queued, however they were grouped into messages
+//! in flight.
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Instant;
+
+/// How many capacity slots a message occupies. Batch messages weigh their
+/// tuple count so that queue depth, backpressure, and drain budgets all
+/// keep counting tuples regardless of how tuples are grouped in flight.
+pub(crate) trait Weigh {
+    fn weight(&self) -> usize {
+        1
+    }
+}
 
 /// Locks ignoring poisoning: a panicking bolt thread is already handled at
 /// the executor layer (the bolt is rebuilt, the tree failed), so a poisoned
@@ -25,14 +36,17 @@ fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
 
 struct State<T> {
     buf: VecDeque<T>,
+    /// Sum of `weight()` over `buf` (maintained incrementally; recomputing
+    /// it would walk the queue under the lock).
+    weight: usize,
     senders: usize,
     receiver_alive: bool,
 }
 
-/// Observability handles for one queue: current depth (set under the queue
-/// mutex at every push/drain, so it is exact) and the number of
-/// backpressure stall episodes (a producer arriving to a full queue counts
-/// once per blocking send, not once per condvar wake).
+/// Observability handles for one queue: current depth in weight units (set
+/// under the queue mutex at every push/drain, so it is exact) and the
+/// number of backpressure stall episodes (a producer arriving to a full
+/// queue counts once per blocking send, not once per condvar wake).
 #[derive(Clone)]
 pub(crate) struct ChannelStats {
     pub(crate) depth: obs::Gauge,
@@ -56,7 +70,7 @@ impl<T> Shared<T> {
     }
 }
 
-/// Creates a bounded batch channel with `capacity` message slots.
+/// Creates a bounded batch channel with `capacity` weight slots.
 #[cfg(test)]
 pub(crate) fn batch_channel<T>(capacity: usize) -> (BatchSender<T>, BatchReceiver<T>) {
     batch_channel_with_stats(capacity, None)
@@ -70,6 +84,7 @@ pub(crate) fn batch_channel_with_stats<T>(
     let shared = Arc::new(Shared {
         state: Mutex::new(State {
             buf: VecDeque::with_capacity(capacity.min(4096)),
+            weight: 0,
             senders: 1,
             receiver_alive: true,
         }),
@@ -90,8 +105,8 @@ pub(crate) fn batch_channel_with_stats<T>(
 #[derive(Debug)]
 pub(crate) struct SendError<T>(pub(crate) T);
 
-/// The receiver dropped mid-batch; `undelivered` messages were never
-/// enqueued (earlier chunks of the same batch may already have been).
+/// The receiver dropped mid-batch; `undelivered` *weight units* (tuples)
+/// were never enqueued (earlier chunks of the same batch may have been).
 #[derive(Debug)]
 pub(crate) struct SendBatchError {
     pub(crate) undelivered: usize,
@@ -133,12 +148,15 @@ impl<T> Drop for BatchSender<T> {
     }
 }
 
-impl<T> BatchSender<T> {
-    /// Blocks until a slot is free, then enqueues one message.
+impl<T: Weigh> BatchSender<T> {
+    /// Blocks until the queue has spare weight, then enqueues one message.
+    /// A message heavier than the remaining capacity still enqueues whole
+    /// (messages are indivisible); the queue briefly overshoots and
+    /// producers block until the overshoot drains.
     pub(crate) fn send(&self, msg: T) -> Result<(), SendError<T>> {
         let mut st = lock(&self.shared.state);
         let mut stalled = false;
-        while st.buf.len() >= self.shared.capacity {
+        while st.weight >= self.shared.capacity {
             if !st.receiver_alive {
                 return Err(SendError(msg));
             }
@@ -153,27 +171,28 @@ impl<T> BatchSender<T> {
         if !st.receiver_alive {
             return Err(SendError(msg));
         }
+        st.weight += msg.weight();
         st.buf.push_back(msg);
-        self.shared.note_depth(st.buf.len());
+        self.shared.note_depth(st.weight);
         drop(st);
         self.shared.not_empty.notify_one();
         Ok(())
     }
 
     /// Enqueues a whole batch: one lock acquisition and one wake per chunk
-    /// of free capacity, not per message. A batch larger than the channel
+    /// of free capacity, not per message. A batch heavier than the channel
     /// capacity is delivered in chunks as the consumer drains, so it can
     /// never deadlock against a small queue.
     pub(crate) fn send_batch(&self, msgs: Vec<T>) -> Result<(), SendBatchError> {
-        let mut it = msgs.into_iter();
-        let mut remaining = it.len();
+        let mut remaining_weight: usize = msgs.iter().map(Weigh::weight).sum();
+        let mut it = msgs.into_iter().peekable();
         let mut stalled = false;
-        while remaining > 0 {
+        while it.peek().is_some() {
             let mut st = lock(&self.shared.state);
-            while st.buf.len() >= self.shared.capacity {
+            while st.weight >= self.shared.capacity {
                 if !st.receiver_alive {
                     return Err(SendBatchError {
-                        undelivered: remaining,
+                        undelivered: remaining_weight,
                     });
                 }
                 if !stalled {
@@ -186,15 +205,17 @@ impl<T> BatchSender<T> {
             }
             if !st.receiver_alive {
                 return Err(SendBatchError {
-                    undelivered: remaining,
+                    undelivered: remaining_weight,
                 });
             }
-            let room = self.shared.capacity - st.buf.len();
-            for msg in it.by_ref().take(room) {
+            while st.weight < self.shared.capacity {
+                let Some(msg) = it.next() else { break };
+                let w = msg.weight();
+                st.weight += w;
+                remaining_weight -= w;
                 st.buf.push_back(msg);
-                remaining -= 1;
             }
-            self.shared.note_depth(st.buf.len());
+            self.shared.note_depth(st.weight);
             drop(st);
             self.shared.not_empty.notify_one();
         }
@@ -215,10 +236,11 @@ impl<T> Drop for BatchReceiver<T> {
     }
 }
 
-impl<T> BatchReceiver<T> {
+impl<T: Weigh> BatchReceiver<T> {
     /// Blocks until at least one message is available (or `deadline`
-    /// passes, or all senders drop), then drains up to `max` messages into
-    /// `out` under a single lock.
+    /// passes, or all senders drop), then drains messages into `out` under
+    /// a single lock until their summed weight reaches `max`. At least one
+    /// message is always delivered, even when it alone exceeds the budget.
     pub(crate) fn recv_batch(
         &self,
         out: &mut Vec<T>,
@@ -248,9 +270,24 @@ impl<T> BatchReceiver<T> {
                 None => st = wait(&self.shared.not_empty, st),
             }
         }
-        let n = st.buf.len().min(max.max(1));
-        out.extend(st.buf.drain(..n));
-        self.shared.note_depth(st.buf.len());
+        let budget = max.max(1);
+        let mut n = 0usize;
+        let mut drained = 0usize;
+        while let Some(front) = st.buf.front() {
+            let w = front.weight();
+            if n > 0 && drained + w > budget {
+                break;
+            }
+            drained += w;
+            n += 1;
+            let msg = st.buf.pop_front().expect("front checked");
+            out.push(msg);
+            if drained >= budget {
+                break;
+            }
+        }
+        st.weight -= drained.min(st.weight);
+        self.shared.note_depth(st.weight);
         drop(st);
         // Producers may be parked on distinct batches; wake them all and
         // let them race for the freed slots.
@@ -263,6 +300,17 @@ impl<T> BatchReceiver<T> {
 mod tests {
     use super::*;
     use std::time::Duration;
+
+    impl Weigh for u32 {}
+
+    /// Test message with an explicit weight, standing in for a tuple batch.
+    #[derive(Debug, PartialEq)]
+    struct Heavy(usize);
+    impl Weigh for Heavy {
+        fn weight(&self) -> usize {
+            self.0
+        }
+    }
 
     #[test]
     fn batch_roundtrip() {
@@ -309,6 +357,32 @@ mod tests {
         drop(tx);
         while let RecvBatch::Msgs(_) = rx.recv_batch(&mut out, 16, None) {}
         assert_eq!(out, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn capacity_counted_in_weight_units() {
+        // Two 40-tuple batches fit a 64-slot queue only because messages
+        // are indivisible (the second overshoots); a third must block.
+        let (tx, rx) = batch_channel::<Heavy>(64);
+        tx.send(Heavy(40)).unwrap();
+        tx.send(Heavy(40)).unwrap();
+        let tx2 = tx.clone();
+        let blocked = std::thread::spawn(move || tx2.send(Heavy(1)).is_ok());
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!blocked.is_finished(), "queue is over weight capacity");
+        // Drain budget is also in weight units: max=64 takes only the
+        // first 40-tuple batch.
+        let mut out = Vec::new();
+        match rx.recv_batch(&mut out, 64, None) {
+            RecvBatch::Msgs(1) => {}
+            _ => panic!("expected exactly one heavy message"),
+        }
+        assert_eq!(out, vec![Heavy(40)]);
+        assert!(blocked.join().unwrap());
+        drop(tx);
+        out.clear();
+        while let RecvBatch::Msgs(_) = rx.recv_batch(&mut out, 1000, None) {}
+        assert_eq!(out, vec![Heavy(40), Heavy(1)]);
     }
 
     #[test]

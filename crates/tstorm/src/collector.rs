@@ -2,32 +2,83 @@
 //! routing, anchoring, in-flight accounting and batch coalescing.
 //!
 //! Emits do not go straight to the downstream queue. Each emitter keeps one
-//! scatter buffer per (stream, consumer edge, task); `dispatch` routes every
+//! *value arena* per (stream, consumer edge, task): `dispatch` routes every
 //! tuple individually (keyed placement never depends on batching) but only
-//! appends it to the target's buffer. Buffers flush — one `send_batch`, one
-//! lock, one wake — when they reach `batch_size`, and are force-flushed at
-//! the end of every bolt execute run, on ticks, and whenever a spout goes
-//! idle or its flush interval elapses. In-flight accounting happens at
-//! buffer-append time, so `wait_idle` counts buffered tuples as in flight.
+//! copies its values into the target's arena and records a `(len, anchors)`
+//! meta entry. Arenas flush — one shared [`BatchShared`] allocation, one
+//! `send`, one wake for the whole batch — when they reach `batch_size`, and
+//! are force-flushed at the end of every bolt execute run, on ticks, and
+//! whenever a spout goes idle or its flush interval elapses. In-flight
+//! accounting happens at arena-append time, so `wait_idle` counts buffered
+//! tuples as in flight.
+//!
+//! The allocation budget per tuple on this path is ~zero amortized: values
+//! are copied into a reused `Vec`, anchors are inline for the 0/1-root
+//! cases ([`AnchorSet`]), and the per-flush cost (one arena, one meta list,
+//! one `Arc`) is shared by up to `batch_size` tuples.
 
 use crate::ack::{AckerMsg, InitEntry};
-use crate::channel::BatchSender;
+use crate::channel::{BatchSender, Weigh};
 use crate::grouping::{Route, RoutingRule};
 use crate::metrics::ComponentMetrics;
-use crate::tuple::{Anchors, Schema, Tuple, Value, DEFAULT_STREAM};
+use crate::tuple::{AnchorSet, BatchShared, Schema, Tuple, Value, DEFAULT_STREAM};
 use crossbeam::channel::Sender;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Per-tuple metadata inside a batch message: the tuple's width in the
+/// shared value arena and its anchor set.
+#[derive(Debug)]
+pub(crate) struct TupleMeta {
+    pub(crate) len: u32,
+    pub(crate) anchors: AnchorSet,
+}
+
+/// A batch of tuples sharing one value arena, shipped as a single channel
+/// message. The receiver materializes [`Tuple`] windows out of it (one
+/// `Arc` bump each).
+#[derive(Debug)]
+pub(crate) struct TupleBatch {
+    pub(crate) shared: Arc<BatchShared>,
+    pub(crate) metas: Vec<TupleMeta>,
+}
+
+impl TupleBatch {
+    /// Materializes every tuple of the batch into `run`.
+    pub(crate) fn extend_into(self, run: &mut Vec<Tuple>) {
+        let mut start = 0u32;
+        for meta in self.metas {
+            run.push(Tuple::from_batch(
+                &self.shared,
+                start,
+                meta.len,
+                meta.anchors,
+            ));
+            start += meta.len;
+        }
+    }
+}
 
 /// Messages delivered to bolt task queues.
 #[derive(Debug)]
 pub(crate) enum BoltMsg {
     Tuple(Tuple),
+    Batch(TupleBatch),
     Tick,
     Shutdown,
+}
+
+impl Weigh for BoltMsg {
+    /// Channel capacity and drain budgets are counted in tuples, so a
+    /// batch message weighs as many slots as it carries.
+    fn weight(&self) -> usize {
+        match self {
+            BoltMsg::Batch(b) => b.metas.len().max(1),
+            _ => 1,
+        }
+    }
 }
 
 /// One subscription edge from a producer stream to a consumer component.
@@ -43,14 +94,44 @@ pub(crate) struct StreamOutputs {
     pub(crate) consumers: Vec<ConsumerEdge>,
 }
 
-/// All output streams of one component, keyed by stream id.
-pub(crate) type OutputMap = HashMap<String, StreamOutputs>;
+/// All output streams of one component. Streams are index-aligned and
+/// resolved by a short linear name scan (components declare a handful of
+/// streams at most), replacing the per-emit `HashMap` + SipHash lookup of
+/// the name-keyed layout.
+#[derive(Default)]
+pub(crate) struct OutputMap {
+    pub(crate) streams: Vec<StreamOutputs>,
+}
 
-/// Scatter-buffer state for one consumer edge: the shuffle stickiness for
-/// the current batch epoch and one pending-tuple buffer per consumer task.
+impl OutputMap {
+    /// Adds a stream; emit-time indices follow insertion order.
+    pub(crate) fn push(&mut self, out: StreamOutputs) {
+        self.streams.push(out);
+    }
+
+    /// Resolves a stream id to its index + spec.
+    #[inline]
+    pub(crate) fn get(&self, name: &str) -> Option<(usize, &StreamOutputs)> {
+        self.streams
+            .iter()
+            .position(|s| &*s.stream == name)
+            .map(|i| (i, &self.streams[i]))
+    }
+}
+
+/// Pending-value arena for one consumer task: tuples appended since the
+/// last flush, as concatenated values plus per-tuple metas.
+#[derive(Default)]
+struct ValueBuf {
+    values: Vec<Value>,
+    metas: Vec<TupleMeta>,
+}
+
+/// Scatter state for one consumer edge: the shuffle stickiness for the
+/// current batch epoch and one value arena per consumer task.
 struct EdgeBuffers {
     sticky: Option<usize>,
-    bufs: Vec<Vec<Tuple>>,
+    bufs: Vec<ValueBuf>,
 }
 
 /// State shared by both collector kinds.
@@ -64,8 +145,11 @@ pub(crate) struct EmitterCore {
     pub(crate) rng: SmallRng,
     pub(crate) fault_plan: tchaos::FaultPlan,
     batch_size: usize,
-    /// Mirrors `outputs`: stream id -> per-edge scatter buffers.
-    scatter: HashMap<String, Vec<EdgeBuffers>>,
+    /// Index-aligned with `outputs.streams`: per-edge scatter arenas.
+    scatter: Vec<Vec<EdgeBuffers>>,
+    /// Emits since the last flush, folded into the `emitted` counter at
+    /// flush time (one atomic add per batch instead of one per tuple).
+    emitted_pending: u64,
 }
 
 impl EmitterCore {
@@ -81,17 +165,18 @@ impl EmitterCore {
         batch_size: usize,
     ) -> Self {
         let scatter = outputs
+            .streams
             .iter()
-            .map(|(stream, out)| {
-                let edges = out
-                    .consumers
+            .map(|out| {
+                out.consumers
                     .iter()
                     .map(|edge| EdgeBuffers {
                         sticky: None,
-                        bufs: (0..edge.senders.len()).map(|_| Vec::new()).collect(),
+                        bufs: (0..edge.senders.len())
+                            .map(|_| ValueBuf::default())
+                            .collect(),
                     })
-                    .collect();
-                (stream.clone(), edges)
+                    .collect()
             })
             .collect();
         EmitterCore {
@@ -105,23 +190,24 @@ impl EmitterCore {
             fault_plan,
             batch_size: batch_size.max(1),
             scatter,
+            emitted_pending: 0,
         }
     }
 
-    /// Routes `values` on `stream` into the scatter buffer of every
-    /// subscribed consumer task, flushing any buffer that reaches the batch
-    /// size. `make_anchors` produces the per-delivery anchor list and lets
+    /// Routes `values` on `stream` into the scatter arena of every
+    /// subscribed consumer task, flushing any arena that reaches the batch
+    /// size. `make_anchors` produces the per-delivery anchor set and lets
     /// the caller observe the generated edge ids.
     fn dispatch(
         &mut self,
         stream: &str,
-        values: Vec<Value>,
-        mut make_anchors: impl FnMut(&mut SmallRng) -> Anchors,
+        values: &[Value],
+        mut make_anchors: impl FnMut(&mut SmallRng) -> AnchorSet,
     ) {
         // Split borrows: `outputs` is behind an Arc we must not hold while
         // mutating the scatter buffers, so clone the cheap Arc first.
         let outputs = Arc::clone(&self.outputs);
-        let out = outputs.get(stream).unwrap_or_else(|| {
+        let (stream_idx, out) = outputs.get(stream).unwrap_or_else(|| {
             panic!(
                 "component `{}` emitted on undeclared stream `{stream}`",
                 self.component
@@ -135,17 +221,13 @@ impl EmitterCore {
             values.len(),
             out.schema.len()
         );
-        let values: Arc<[Value]> = values.into();
-        let scatter = self
-            .scatter
-            .get_mut(stream)
-            .expect("scatter mirrors outputs");
+        let scatter = &mut self.scatter[stream_idx];
         for (edge, ebuf) in out.consumers.iter().zip(scatter.iter_mut()) {
             let n_tasks = edge.senders.len();
             if n_tasks == 0 {
                 continue;
             }
-            match edge.rule.route_buffered(&values, n_tasks, &mut ebuf.sticky) {
+            match edge.rule.route_buffered(values, n_tasks, &mut ebuf.sticky) {
                 Route::One(task) => buffer_one(
                     &mut self.rng,
                     &self.fault_plan,
@@ -153,7 +235,7 @@ impl EmitterCore {
                     &self.component,
                     self.task_index,
                     out,
-                    &values,
+                    values,
                     &mut make_anchors,
                     self.batch_size,
                     edge,
@@ -169,7 +251,7 @@ impl EmitterCore {
                             &self.component,
                             self.task_index,
                             out,
-                            &values,
+                            values,
                             &mut make_anchors,
                             self.batch_size,
                             edge,
@@ -180,18 +262,29 @@ impl EmitterCore {
                 }
             }
         }
-        self.metrics.emitted.inc();
+        self.emitted_pending += 1;
     }
 
-    /// Flushes every non-empty scatter buffer and resets shuffle
+    /// Flushes every non-empty scatter arena and resets shuffle
     /// stickiness, advancing the round-robin by whole batches.
     pub(crate) fn flush(&mut self) {
+        if self.emitted_pending > 0 {
+            self.metrics.emitted.add(self.emitted_pending);
+            self.emitted_pending = 0;
+        }
         let outputs = Arc::clone(&self.outputs);
-        for (stream, ebufs) in self.scatter.iter_mut() {
-            let out = outputs.get(stream).expect("scatter mirrors outputs");
+        for (out, ebufs) in outputs.streams.iter().zip(self.scatter.iter_mut()) {
             for (edge, ebuf) in out.consumers.iter().zip(ebufs.iter_mut()) {
                 for (task, buf) in ebuf.bufs.iter_mut().enumerate() {
-                    flush_buffer(&self.fault_plan, &self.inflight, &edge.senders[task], buf);
+                    flush_buffer(
+                        &self.fault_plan,
+                        &self.inflight,
+                        &self.component,
+                        self.task_index,
+                        out,
+                        &edge.senders[task],
+                        buf,
+                    );
                 }
                 ebuf.sticky = None;
             }
@@ -199,9 +292,9 @@ impl EmitterCore {
     }
 }
 
-/// Anchors, builds and appends one delivery to its scatter buffer,
-/// flushing the buffer if it reached the batch size. (A free function so
-/// `dispatch` can borrow `rng` and the scatter buffers simultaneously.)
+/// Anchors and appends one delivery to its scatter arena, flushing the
+/// arena if it reached the batch size. (A free function so `dispatch` can
+/// borrow `rng` and the scatter buffers simultaneously.)
 #[allow(clippy::too_many_arguments)]
 fn buffer_one(
     rng: &mut SmallRng,
@@ -210,8 +303,8 @@ fn buffer_one(
     component: &Arc<str>,
     task_index: usize,
     out: &StreamOutputs,
-    values: &Arc<[Value]>,
-    make_anchors: &mut impl FnMut(&mut SmallRng) -> Anchors,
+    values: &[Value],
+    make_anchors: &mut impl FnMut(&mut SmallRng) -> AnchorSet,
     batch_size: usize,
     edge: &ConsumerEdge,
     ebuf: &mut EdgeBuffers,
@@ -227,54 +320,77 @@ fn buffer_one(
     if fault_plan.should_fault(tchaos::FaultSite::TupleDelay) {
         std::thread::sleep(std::time::Duration::from_millis(1));
     }
-    let tuple = Tuple::from_parts(
-        Arc::clone(values),
-        out.schema.clone(),
-        Arc::clone(&out.stream),
-        Arc::clone(component),
-        task_index,
-        anchors,
-    );
-    inflight.fetch_add(1, Ordering::Relaxed);
     let buf = &mut ebuf.bufs[task];
-    buf.push(tuple);
-    if buf.len() >= batch_size {
-        flush_buffer(fault_plan, inflight, &edge.senders[task], buf);
+    buf.values.extend_from_slice(values);
+    buf.metas.push(TupleMeta {
+        len: values.len() as u32,
+        anchors,
+    });
+    if buf.metas.len() >= batch_size {
+        flush_buffer(
+            fault_plan,
+            inflight,
+            component,
+            task_index,
+            out,
+            &edge.senders[task],
+            buf,
+        );
         ebuf.sticky = None;
     }
 }
 
-/// Ships one scatter buffer downstream as a single batched send.
+/// Ships one scatter arena downstream as a single batch message (or a
+/// single-tuple message for the trickle case). The arena `Vec`s keep their
+/// capacity across flushes; the batch itself is one exact-size value slab
+/// plus one meta list shared by every tuple in it.
+#[allow(clippy::too_many_arguments)]
 fn flush_buffer(
     fault_plan: &tchaos::FaultPlan,
     inflight: &AtomicI64,
+    component: &Arc<str>,
+    task_index: usize,
+    out: &StreamOutputs,
     sender: &BatchSender<BoltMsg>,
-    buf: &mut Vec<Tuple>,
+    buf: &mut ValueBuf,
 ) {
-    if buf.is_empty() {
+    if buf.metas.is_empty() {
         return;
     }
     // The whole in-flight batch vanishes at the transport boundary: every
     // tree in it can no longer complete, times out, and replays from the
-    // spout — the batched analogue of TupleDrop.
+    // spout — the batched analogue of TupleDrop. The batch was never
+    // counted in flight (accounting happens just before the send below).
     if fault_plan.should_fault(tchaos::FaultSite::BatchDrop) {
-        inflight.fetch_sub(buf.len() as i64, Ordering::Relaxed);
-        buf.clear();
+        buf.values.clear();
+        buf.metas.clear();
         return;
     }
-    if buf.len() == 1 {
-        // Unbatched fast path: no per-flush Vec allocation.
-        let msg = BoltMsg::Tuple(buf.pop().expect("len checked"));
-        if sender.send(msg).is_err() {
-            // Consumer already shut down; drop silently (only happens
-            // during teardown).
-            inflight.fetch_sub(1, Ordering::Relaxed);
-        }
-        return;
-    }
-    let msgs: Vec<BoltMsg> = buf.drain(..).map(BoltMsg::Tuple).collect();
-    if let Err(e) = sender.send_batch(msgs) {
-        inflight.fetch_sub(e.undelivered as i64, Ordering::Relaxed);
+    // Count the whole batch in flight in one add, *before* the send: the
+    // consumer's matching subtract (after its execute run) must never be
+    // observable first, or `wait_idle` could see a spuriously idle window.
+    inflight.fetch_add(buf.metas.len() as i64, Ordering::Relaxed);
+    let shared = Arc::new(BatchShared {
+        values: buf.values.as_slice().into(),
+        schema: out.schema.clone(),
+        stream: Arc::clone(&out.stream),
+        src_component: Arc::clone(component),
+        src_task: task_index,
+    });
+    buf.values.clear();
+    let msg = if buf.metas.len() == 1 {
+        let meta = buf.metas.pop().expect("len checked");
+        BoltMsg::Tuple(Tuple::from_batch(&shared, 0, meta.len, meta.anchors))
+    } else {
+        let cap = buf.metas.len();
+        let metas = std::mem::replace(&mut buf.metas, Vec::with_capacity(cap));
+        BoltMsg::Batch(TupleBatch { shared, metas })
+    };
+    let weight = msg.weight();
+    if sender.send(msg).is_err() {
+        // Consumer already shut down; drop silently (only happens during
+        // teardown).
+        inflight.fetch_sub(weight as i64, Ordering::Relaxed);
     }
 }
 
@@ -299,22 +415,37 @@ pub struct SpoutCollector {
     /// Stamps `emit_ms` on every tracked root so the acker can measure
     /// whole-pipeline latency (same clock as the timeout sweep).
     pub(crate) clock: tchaos::Clock,
+    /// Cached `clock.now_ms()`, refreshed on every flush: reading the
+    /// clock costs an `Instant::now` and emit batches span well under the
+    /// 1 ms flush interval, so per-emit reads buy no extra precision.
+    pub(crate) now_ms: u64,
 }
 
 impl SpoutCollector {
     /// Emits on the default stream. With `Some(msg_id)` the tuple tree is
     /// tracked and `ack`/`fail` will eventually be called with `msg_id`.
     pub fn emit(&mut self, values: Vec<Value>, msg_id: Option<u64>) {
-        self.emit_on(DEFAULT_STREAM, values, msg_id);
+        self.emit_values_on(DEFAULT_STREAM, &values, msg_id);
     }
 
     /// Emits on a named stream.
     pub fn emit_on(&mut self, stream: &str, values: Vec<Value>, msg_id: Option<u64>) {
+        self.emit_values_on(stream, &values, msg_id);
+    }
+
+    /// Emits on the default stream from a borrowed slice — the
+    /// allocation-free fast path (values are copied into the batch arena;
+    /// build them in a stack array or a reused buffer).
+    pub fn emit_values(&mut self, values: &[Value], msg_id: Option<u64>) {
+        self.emit_values_on(DEFAULT_STREAM, values, msg_id);
+    }
+
+    /// Emits on a named stream from a borrowed slice.
+    pub fn emit_values_on(&mut self, stream: &str, values: &[Value], msg_id: Option<u64>) {
         self.emitted_roots.fetch_add(1, Ordering::Relaxed);
         match msg_id {
             None => {
-                self.core
-                    .dispatch(stream, values, |_| Arc::from(Vec::new()));
+                self.core.dispatch(stream, values, |_| AnchorSet::None);
             }
             Some(id) => {
                 let root: u64 = self.core.rng.gen();
@@ -322,7 +453,7 @@ impl SpoutCollector {
                 self.core.dispatch(stream, values, |rng| {
                     let edge: u64 = rng.gen();
                     xor ^= edge;
-                    Arc::from([(root, edge)].as_slice())
+                    AnchorSet::One((root, edge))
                 });
                 // The Init is buffered and rides the next flush rather
                 // than paying one acker send per emit. Deliveries can
@@ -337,7 +468,7 @@ impl SpoutCollector {
                     xor,
                     slot: self.slot,
                     msg_id: id,
-                    emit_ms: self.clock.now_ms(),
+                    emit_ms: self.now_ms,
                 });
             }
         }
@@ -347,6 +478,7 @@ impl SpoutCollector {
     /// accumulated since the last flush to the acker (runtime-driven: on
     /// idle and on the configured flush interval).
     pub(crate) fn flush(&mut self) {
+        self.now_ms = self.clock.now_ms();
         self.core.flush();
         match self.pending_inits.len() {
             0 => {}
@@ -380,7 +512,7 @@ pub struct BoltCollector {
     pub(crate) core: EmitterCore,
     /// Anchors of the tuple currently being executed (empty inside `tick`;
     /// the union of the run's anchors inside `execute_batch`).
-    pub(crate) current_anchors: Anchors,
+    pub(crate) current_anchors: AnchorSet,
     /// XOR accumulated by emits of the tuple currently executing. Folded
     /// into `run_pending` when the tuple completes, discarded when it
     /// fails (its deliveries become orphans, exactly as unbatched).
@@ -393,41 +525,57 @@ pub struct BoltCollector {
 impl BoltCollector {
     /// Emits on the default stream, anchored to the input tuple.
     pub fn emit(&mut self, values: Vec<Value>) {
-        self.emit_on(DEFAULT_STREAM, values);
+        self.emit_values_on(DEFAULT_STREAM, &values);
     }
 
     /// Emits on a named stream, anchored to the input tuple.
     pub fn emit_on(&mut self, stream: &str, values: Vec<Value>) {
-        let anchors = Arc::clone(&self.current_anchors);
-        let mut new_edges: Vec<(u64, u64)> = Vec::new();
-        self.core.dispatch(stream, values, |rng| {
-            let pairs: Vec<(u64, u64)> = anchors
-                .iter()
-                .map(|&(root, _)| {
-                    let edge: u64 = rng.gen();
-                    new_edges.push((root, edge));
-                    (root, edge)
-                })
-                .collect();
-            Arc::from(pairs)
+        self.emit_values_on(stream, &values);
+    }
+
+    /// Emits on the default stream from a borrowed slice — the
+    /// allocation-free fast path.
+    pub fn emit_values(&mut self, values: &[Value]) {
+        self.emit_values_on(DEFAULT_STREAM, values);
+    }
+
+    /// Emits on a named stream from a borrowed slice, anchored to the
+    /// input tuple.
+    pub fn emit_values_on(&mut self, stream: &str, values: &[Value]) {
+        let anchors = self.current_anchors.clone();
+        let tuple_pending = &mut self.tuple_pending;
+        self.core.dispatch(stream, values, |rng| match &anchors {
+            AnchorSet::None => AnchorSet::None,
+            AnchorSet::One((root, _)) => {
+                let edge: u64 = rng.gen();
+                fold_xor(tuple_pending, *root, edge);
+                AnchorSet::One((*root, edge))
+            }
+            AnchorSet::Many(pairs) => {
+                let new: Vec<(u64, u64)> = pairs
+                    .iter()
+                    .map(|&(root, _)| {
+                        let edge: u64 = rng.gen();
+                        fold_xor(tuple_pending, root, edge);
+                        (root, edge)
+                    })
+                    .collect();
+                AnchorSet::Many(new.into())
+            }
         });
-        for (root, edge) in new_edges {
-            fold_xor(&mut self.tuple_pending, root, edge);
-        }
     }
 
     /// Emits without anchoring (the tuple is not tracked; use for derived
     /// data whose loss is acceptable).
     pub fn emit_unanchored(&mut self, stream: &str, values: Vec<Value>) {
-        self.core
-            .dispatch(stream, values, |_| Arc::from(Vec::new()));
+        self.core.dispatch(stream, &values, |_| AnchorSet::None);
     }
 
     /// Re-anchors subsequent emits to `tuple`. Only needed inside a custom
     /// [`crate::component::Bolt::execute_batch`] that emits per input
     /// tuple; the runtime anchors `execute` calls automatically.
     pub fn anchor_to(&mut self, tuple: &Tuple) {
-        self.current_anchors = Arc::clone(&tuple.anchors);
+        self.current_anchors = tuple.anchors.clone();
     }
 
     /// Called by the runtime when the current tuple completes: appends its
@@ -441,7 +589,7 @@ impl BoltCollector {
             run_pending,
             ..
         } = self;
-        run_pending.extend(current_anchors.iter().copied());
+        run_pending.extend_from_slice(current_anchors.pairs());
         run_pending.append(tuple_pending);
     }
 
@@ -450,7 +598,7 @@ impl BoltCollector {
     /// already-buffered children deliver as orphans, as unbatched).
     pub(crate) fn complete_err(&mut self) {
         self.tuple_pending.clear();
-        for &(root, _) in self.current_anchors.iter() {
+        for &(root, _) in self.current_anchors.pairs() {
             let _ = self.core.acker.send(AckerMsg::Fail { root });
         }
     }
@@ -463,7 +611,7 @@ impl BoltCollector {
         self.tuple_pending.clear();
         let mut roots: Vec<u64> = tuples
             .iter()
-            .flat_map(|t| t.anchors.iter().map(|&(root, _)| root))
+            .flat_map(|t| t.anchors.pairs().iter().map(|&(root, _)| root))
             .collect();
         roots.sort_unstable();
         roots.dedup();

@@ -12,10 +12,11 @@
 
 use crate::ack::{run_acker, AckerMsg, SpoutMsg};
 use crate::channel::{
-    batch_channel_with_stats, BatchReceiver, BatchSender, ChannelStats, RecvBatch,
+    batch_channel_with_stats, BatchReceiver, BatchSender, ChannelStats, RecvBatch, Weigh,
 };
 use crate::collector::{
     BoltCollector, BoltMsg, ConsumerEdge, EmitterCore, OutputMap, SpoutCollector, StreamOutputs,
+    TupleBatch, TupleMeta,
 };
 use crate::component::{Bolt, Spout, TaskContext};
 use crate::grouping::RoutingRule;
@@ -24,7 +25,7 @@ use crate::metrics::{
 };
 use crate::remote::{SliceSpec, WireTuple};
 use crate::topology::{BoltFactory, Topology};
-use crate::tuple::Schema;
+use crate::tuple::{AnchorSet, BatchShared, Schema, Value};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
@@ -185,7 +186,7 @@ impl Topology {
             )
             .collect();
         for &(name, outputs) in &all_outputs {
-            let mut map = OutputMap::new();
+            let mut map = OutputMap::default();
             for def in outputs {
                 let mut consumers = Vec::new();
                 for b in &self.bolts {
@@ -201,14 +202,11 @@ impl Topology {
                         }
                     }
                 }
-                map.insert(
-                    def.id.clone(),
-                    StreamOutputs {
-                        stream: Arc::from(def.id.as_str()),
-                        schema: def.schema.clone(),
-                        consumers,
-                    },
-                );
+                map.push(StreamOutputs {
+                    stream: Arc::from(def.id.as_str()),
+                    schema: def.schema.clone(),
+                    consumers,
+                });
             }
             output_maps.insert(name, Arc::new(map));
         }
@@ -265,10 +263,19 @@ impl Topology {
                                     RecvBatch::Disconnected => break,
                                 }
                                 let mut shutdown = false;
+                                let mut scratch: Vec<Tuple> = Vec::new();
                                 let mut tuples: Vec<WireTuple> = Vec::with_capacity(inbox.len());
                                 for msg in inbox.drain(..) {
                                     match msg {
                                         BoltMsg::Tuple(t) => tuples.push(WireTuple::from_tuple(&t)),
+                                        BoltMsg::Batch(b) => {
+                                            b.extend_into(&mut scratch);
+                                            tuples.extend(
+                                                scratch
+                                                    .drain(..)
+                                                    .map(|t| WireTuple::from_tuple(&t)),
+                                            );
+                                        }
                                         BoltMsg::Tick => {}
                                         BoltMsg::Shutdown => shutdown = true,
                                     }
@@ -323,7 +330,7 @@ impl Topology {
                         self.config.fault_plan.clone(),
                         batch_size,
                     ),
-                    current_anchors: Arc::from(Vec::new()),
+                    current_anchors: AnchorSet::None,
                     tuple_pending: Vec::new(),
                     run_pending: Vec::new(),
                 };
@@ -345,7 +352,11 @@ impl Topology {
                                 match rx.recv_batch(&mut inbox, batch_size, next_tick) {
                                     RecvBatch::Msgs(n) => {
                                         debug_assert_eq!(n, inbox.len());
-                                        batch_hist.record_nanos(n as u64);
+                                        // Depth of the drain in *tuples*, not
+                                        // transport messages: a whole-arena
+                                        // batch message counts its payload.
+                                        let tuples: usize = inbox.iter().map(Weigh::weight).sum();
+                                        batch_hist.record_nanos(tuples as u64);
                                     }
                                     RecvBatch::TimedOut => {
                                         do_tick(&mut bolt, &mut collector);
@@ -358,6 +369,7 @@ impl Topology {
                                 for msg in inbox.drain(..) {
                                     match msg {
                                         BoltMsg::Tuple(t) => run.push(t),
+                                        BoltMsg::Batch(b) => b.extend_into(&mut run),
                                         BoltMsg::Tick => {
                                             // Flush the pending run first so
                                             // the tick observes every tuple
@@ -448,6 +460,7 @@ impl Topology {
                     slot: slot_map[slot],
                     emitted_roots: Arc::clone(&emitted_roots),
                     pending_inits: Vec::new(),
+                    now_ms: self.config.clock.now_ms(),
                     clock: self.config.clock.clone(),
                 };
                 let metrics = Arc::clone(&comp_metrics);
@@ -471,17 +484,37 @@ impl Topology {
                                         return;
                                     }
                                 }
-                                let emitted = if active {
+                                // Poll the source in bursts of up to
+                                // `batch_size` between control drains,
+                                // metering the whole burst once: a second
+                                // `Instant` pair plus a control-queue check
+                                // per poll would dominate a cheap source at
+                                // millions of tuples per second. The burst
+                                // also ends at the flush deadline so a slow
+                                // source (paced, I/O-bound) keeps the
+                                // pre-batching flush cadence instead of
+                                // stranding emits for `batch_size` polls.
+                                let mut polled = 0u64;
+                                if active {
                                     let start = Instant::now();
-                                    let emitted = spout.next_tuple(&mut collector);
-                                    if emitted {
-                                        metrics
-                                            .record_exec(start.elapsed().as_nanos() as u64, true);
+                                    let deadline = start + flush_interval;
+                                    while (polled as usize) < batch_size
+                                        && spout.next_tuple(&mut collector)
+                                    {
+                                        polled += 1;
+                                        if Instant::now() >= deadline {
+                                            break;
+                                        }
                                     }
-                                    emitted
-                                } else {
-                                    false
-                                };
+                                    if polled > 0 {
+                                        metrics.record_exec_batch(
+                                            start.elapsed().as_nanos() as u64,
+                                            polled,
+                                            true,
+                                        );
+                                    }
+                                }
+                                let emitted = polled > 0;
                                 // Emit buffers flush on the interval while
                                 // producing, and always before going idle —
                                 // batching may not strand tuples locally.
@@ -584,7 +617,7 @@ fn handle_ctl(
 }
 
 fn do_tick(bolt: &mut Box<dyn Bolt>, collector: &mut BoltCollector) {
-    collector.current_anchors = Arc::from(Vec::new());
+    collector.current_anchors = AnchorSet::None;
     bolt.tick(collector);
     collector.flush_run();
 }
@@ -616,8 +649,10 @@ fn execute_run(
     if bolt.supports_batch() {
         // Conservative pre-anchor: emits from a batch override that does
         // not call `anchor_to` attach to every root in the run.
-        let union: Vec<(u64, u64)> = run.iter().flat_map(|t| t.anchors.iter().copied()).collect();
-        collector.current_anchors = Arc::from(union);
+        collector.current_anchors = run
+            .iter()
+            .flat_map(|t| t.anchors.pairs().iter().copied())
+            .collect();
         let start = Instant::now();
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             // Injected before execute so a faulted run has had no effect
@@ -631,7 +666,7 @@ fn execute_run(
         match result {
             Ok(Ok(())) => {
                 for t in run.iter() {
-                    collector.current_anchors = Arc::clone(&t.anchors);
+                    collector.current_anchors = t.anchors.clone();
                     collector.complete_ok();
                 }
                 metrics.record_exec_batch(nanos, n as u64, true);
@@ -649,7 +684,7 @@ fn execute_run(
         }
     } else {
         for t in run.iter() {
-            collector.current_anchors = Arc::clone(&t.anchors);
+            collector.current_anchors = t.anchors.clone();
             let start = Instant::now();
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 if fault_plan.should_fault(tchaos::FaultSite::ExecutorPanic) {
@@ -771,26 +806,70 @@ impl TopologyHandle {
         let tx = &txs[task];
         self.inflight
             .fetch_add(tuples.len() as i64, Ordering::Relaxed);
-        // Intern per (source, stream) so a batch from one remote edge
-        // shares one Schema clone and one Arc<str> pair.
-        type Interned = (Schema, Arc<str>, Arc<str>);
-        let mut interned: HashMap<(String, String), Interned> = HashMap::new();
-        let msgs: Vec<BoltMsg> = tuples
-            .into_iter()
-            .map(|wt| {
-                let key = (wt.src_component.clone(), wt.stream.clone());
-                let (schema, stream, src) = interned.entry(key).or_insert_with_key(|k| {
-                    let schema = self
-                        .schemas
-                        .get(k)
-                        .unwrap_or_else(|| panic!("inject: unknown stream `{}:{}`", k.0, k.1))
-                        .clone();
-                    (schema, Arc::from(k.1.as_str()), Arc::from(k.0.as_str()))
+        // Regroup per (source, stream) so the whole injected batch
+        // re-enters the in-process representation it left: one shared
+        // value arena + one schema/stream/source handle per group instead
+        // of a standalone tuple per wire record.
+        struct Group {
+            schema: Schema,
+            stream: Arc<str>,
+            src: Arc<str>,
+            src_task: usize,
+            values: Vec<Value>,
+            metas: Vec<TupleMeta>,
+        }
+        let mut groups: HashMap<(String, String, usize), Group> = HashMap::new();
+        for wt in tuples {
+            let key = (wt.src_component, wt.stream, wt.src_task);
+            let g = groups.entry(key).or_insert_with_key(|k| {
+                let schema = self
+                    .schemas
+                    .get(&(k.0.clone(), k.1.clone()))
+                    .unwrap_or_else(|| panic!("inject: unknown stream `{}:{}`", k.0, k.1))
+                    .clone();
+                Group {
+                    schema,
+                    stream: Arc::from(k.1.as_str()),
+                    src: Arc::from(k.0.as_str()),
+                    src_task: k.2,
+                    values: Vec::new(),
+                    metas: Vec::new(),
+                }
+            });
+            g.metas.push(TupleMeta {
+                len: wt.values.len() as u32,
+                anchors: AnchorSet::from_pairs(wt.anchors),
+            });
+            g.values.extend(wt.values);
+        }
+        let msgs: Vec<BoltMsg> = groups
+            .into_values()
+            .map(|mut g| {
+                let shared = Arc::new(BatchShared {
+                    values: g.values.into_boxed_slice(),
+                    schema: g.schema,
+                    stream: g.stream,
+                    src_component: g.src,
+                    src_task: g.src_task,
                 });
-                BoltMsg::Tuple(wt.into_tuple(schema.clone(), Arc::clone(stream), Arc::clone(src)))
+                if g.metas.len() == 1 {
+                    let meta = g.metas.pop().expect("len checked");
+                    BoltMsg::Tuple(crate::tuple::Tuple::from_batch(
+                        &shared,
+                        0,
+                        meta.len,
+                        meta.anchors,
+                    ))
+                } else {
+                    BoltMsg::Batch(TupleBatch {
+                        shared,
+                        metas: g.metas,
+                    })
+                }
             })
             .collect();
         if let Err(e) = tx.send_batch(msgs) {
+            // `undelivered` is in weight units, i.e. tuples.
             self.inflight
                 .fetch_sub(e.undelivered as i64, Ordering::Relaxed);
         }

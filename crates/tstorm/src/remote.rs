@@ -16,7 +16,7 @@
 //! and the owning spout replays it.
 
 use crate::ack::AckerMsg;
-use crate::tuple::{Schema, Tuple, Value};
+use crate::tuple::{Tuple, Value};
 use crossbeam::channel::Sender;
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -56,25 +56,8 @@ impl WireTuple {
             src_component: t.src_component().to_string(),
             src_task: t.src_task(),
             values: t.values().to_vec(),
-            anchors: t.anchors.to_vec(),
+            anchors: t.anchors.pairs().to_vec(),
         }
-    }
-
-    /// Re-hydrates against the receiving process's interned handles.
-    pub(crate) fn into_tuple(
-        self,
-        schema: Schema,
-        stream: Arc<str>,
-        src_component: Arc<str>,
-    ) -> Tuple {
-        Tuple::from_parts(
-            self.values.into(),
-            schema,
-            stream,
-            src_component,
-            self.src_task,
-            self.anchors.into(),
-        )
     }
 }
 

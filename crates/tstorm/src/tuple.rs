@@ -3,6 +3,14 @@
 //! A [`Tuple`] is a named list of [`Value`]s. The field names live in a
 //! shared [`Schema`] so that cloning a tuple (which happens on every fan-out
 //! edge) never copies the field-name strings.
+//!
+//! Tuples are carried in *batch arenas*: the emit path accumulates the
+//! values of consecutive tuples bound for the same consumer task in one
+//! [`BatchShared`] buffer, and every tuple of the batch is a `(start, len)`
+//! window into it plus its own anchor set. One `Arc` bump materializes a
+//! tuple out of a batch; the per-tuple schema/stream/source handles of the
+//! old layout (four `Arc` clones and a fresh `Arc<[Value]>` per tuple) are
+//! shared batch-wide instead.
 
 use std::fmt;
 use std::sync::Arc;
@@ -201,81 +209,208 @@ impl Schema {
     pub fn is_empty(&self) -> bool {
         self.fields.is_empty()
     }
+
+    /// A cheap identity token for this schema's shared field table: two
+    /// schemas cloned from the same declaration share it. Bolts use it to
+    /// cache resolved field indices across tuples (see
+    /// `tencentrec`'s `FieldIndex`) without re-scanning names.
+    pub fn identity(&self) -> usize {
+        Arc::as_ptr(&self.fields) as *const u8 as usize
+    }
 }
 
 /// Identifies an output stream of a component. Components may emit on
 /// multiple named streams; `"default"` is used when none is specified.
 pub const DEFAULT_STREAM: &str = "default";
 
-/// Anchor bookkeeping for the XOR ack tracker: `(root id, edge id)` pairs
-/// this tuple is tied to.
-pub type Anchors = Arc<[(u64, u64)]>;
+/// Anchor bookkeeping for the XOR ack tracker: the `(root id, edge id)`
+/// pairs a tuple is tied to. The overwhelmingly common cases — untracked
+/// (zero pairs) and a single tracked root — are stored inline; only
+/// multi-root tuples (batch-path unions, fan-in joins) pay an allocation.
+#[derive(Debug, Clone, Default)]
+pub enum AnchorSet {
+    /// Untracked tuple: no ack bookkeeping.
+    #[default]
+    None,
+    /// Tracked under exactly one root (the spout fast path).
+    One((u64, u64)),
+    /// Tracked under several roots.
+    Many(Arc<[(u64, u64)]>),
+}
 
-/// A unit of data flowing along a stream.
-#[derive(Debug, Clone)]
+impl AnchorSet {
+    /// The anchor pairs as a slice.
+    pub fn pairs(&self) -> &[(u64, u64)] {
+        match self {
+            AnchorSet::None => &[],
+            AnchorSet::One(p) => std::slice::from_ref(p),
+            AnchorSet::Many(ps) => ps,
+        }
+    }
+
+    /// Builds the smallest representation of `pairs`.
+    pub fn from_pairs(pairs: Vec<(u64, u64)>) -> Self {
+        match pairs.len() {
+            0 => AnchorSet::None,
+            1 => AnchorSet::One(pairs[0]),
+            _ => AnchorSet::Many(pairs.into()),
+        }
+    }
+
+    /// Number of anchor pairs.
+    pub fn len(&self) -> usize {
+        self.pairs().len()
+    }
+
+    /// True when the tuple is untracked.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, AnchorSet::None)
+    }
+}
+
+impl FromIterator<(u64, u64)> for AnchorSet {
+    fn from_iter<I: IntoIterator<Item = (u64, u64)>>(iter: I) -> Self {
+        let mut it = iter.into_iter();
+        let Some(first) = it.next() else {
+            return AnchorSet::None;
+        };
+        let Some(second) = it.next() else {
+            return AnchorSet::One(first);
+        };
+        let mut pairs = vec![first, second];
+        pairs.extend(it);
+        AnchorSet::Many(pairs.into())
+    }
+}
+
+/// The parts of a tuple batch shared by every tuple in it: one value arena
+/// plus the schema/stream/source handles that used to be cloned per tuple.
+#[derive(Debug)]
+pub(crate) struct BatchShared {
+    /// Concatenated field values of every tuple in the batch.
+    pub(crate) values: Box<[Value]>,
+    /// Schema of the stream the batch was emitted on.
+    pub(crate) schema: Schema,
+    /// Stream id.
+    pub(crate) stream: Arc<str>,
+    /// Emitting component.
+    pub(crate) src_component: Arc<str>,
+    /// Emitting task index.
+    pub(crate) src_task: usize,
+}
+
+/// A unit of data flowing along a stream: a window into its batch's value
+/// arena plus its own anchors. Cloning bumps one `Arc`.
+#[derive(Clone)]
 pub struct Tuple {
-    values: Arc<[Value]>,
-    schema: Schema,
-    stream: Arc<str>,
-    src_component: Arc<str>,
-    src_task: usize,
-    pub(crate) anchors: Anchors,
+    pub(crate) shared: Arc<BatchShared>,
+    pub(crate) start: u32,
+    pub(crate) len: u32,
+    pub(crate) anchors: AnchorSet,
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tuple")
+            .field("values", &self.values())
+            .field("stream", &self.stream())
+            .field("src_component", &self.src_component())
+            .field("src_task", &self.src_task())
+            .field("anchors", &self.anchors)
+            .finish()
+    }
 }
 
 impl Tuple {
-    #[cfg_attr(not(test), allow(dead_code))]
+    /// Builds a standalone single-tuple batch. This is the slow
+    /// constructor (one arena allocation per tuple) used by tests;
+    /// runtime tuples go through the collector's arenas.
+    #[cfg(test)]
     pub(crate) fn new(
         values: Vec<Value>,
         schema: Schema,
         stream: Arc<str>,
         src_component: Arc<str>,
         src_task: usize,
-        anchors: Anchors,
+        anchors: AnchorSet,
     ) -> Self {
         debug_assert_eq!(
             values.len(),
             schema.len(),
             "tuple arity must match stream schema"
         );
+        let len = values.len() as u32;
         Tuple {
-            values: values.into(),
-            schema,
-            stream,
-            src_component,
-            src_task,
+            shared: Arc::new(BatchShared {
+                values: values.into_boxed_slice(),
+                schema,
+                stream,
+                src_component,
+                src_task,
+            }),
+            start: 0,
+            len,
             anchors,
         }
     }
 
-    /// Constructor sharing an already-built value slice (the emit fast
-    /// path: fan-out deliveries share one `Arc<[Value]>`).
-    pub(crate) fn from_parts(
-        values: Arc<[Value]>,
+    /// Builds a standalone, unanchored single-tuple batch — the slow
+    /// constructor (one arena allocation per tuple) for unit-testing
+    /// bolts outside the runtime. Runtime tuples go through the
+    /// collector's shared arenas.
+    pub fn standalone(
+        stream: &str,
         schema: Schema,
-        stream: Arc<str>,
-        src_component: Arc<str>,
+        src_component: &str,
         src_task: usize,
-        anchors: Anchors,
+        values: Vec<Value>,
     ) -> Self {
-        debug_assert_eq!(values.len(), schema.len());
+        debug_assert_eq!(
+            values.len(),
+            schema.len(),
+            "tuple arity must match stream schema"
+        );
+        let len = values.len() as u32;
         Tuple {
-            values,
-            schema,
-            stream,
-            src_component,
-            src_task,
+            shared: Arc::new(BatchShared {
+                values: values.into_boxed_slice(),
+                schema,
+                stream: stream.into(),
+                src_component: src_component.into(),
+                src_task,
+            }),
+            start: 0,
+            len,
+            anchors: AnchorSet::None,
+        }
+    }
+
+    /// Materializes the window `[start, start + len)` of a shared batch.
+    #[inline]
+    pub(crate) fn from_batch(
+        shared: &Arc<BatchShared>,
+        start: u32,
+        len: u32,
+        anchors: AnchorSet,
+    ) -> Self {
+        debug_assert!((start + len) as usize <= shared.values.len());
+        Tuple {
+            shared: Arc::clone(shared),
+            start,
+            len,
             anchors,
         }
     }
 
     /// Value at position `idx`. Panics when out of range.
+    #[inline]
     pub fn get(&self, idx: usize) -> &Value {
-        &self.values[idx]
+        &self.values()[idx]
     }
 
     /// Value of the field called `name`, if the schema declares it.
     pub fn get_by_name(&self, name: &str) -> Option<&Value> {
-        self.schema.index_of(name).map(|i| &self.values[i])
+        self.shared.schema.index_of(name).map(|i| &self.values()[i])
     }
 
     /// Convenience: required `u64` field.
@@ -299,29 +434,47 @@ impl Tuple {
             .unwrap_or_else(|| panic!("tuple field `{name}` missing or not a string: {self:?}"))
     }
 
+    /// Required `u64` field by position — the no-scan accessor for bolts
+    /// that cache resolved field indices (see [`Schema::identity`]).
+    #[inline]
+    pub fn u64_at(&self, idx: usize) -> u64 {
+        self.values()[idx]
+            .as_u64()
+            .unwrap_or_else(|| panic!("tuple field #{idx} not a u64: {self:?}"))
+    }
+
+    /// Required `f64` field by position (integers widen).
+    #[inline]
+    pub fn f64_at(&self, idx: usize) -> f64 {
+        self.values()[idx]
+            .as_f64()
+            .unwrap_or_else(|| panic!("tuple field #{idx} not an f64: {self:?}"))
+    }
+
     /// All values in order.
+    #[inline]
     pub fn values(&self) -> &[Value] {
-        &self.values
+        &self.shared.values[self.start as usize..(self.start + self.len) as usize]
     }
 
     /// The stream this tuple was emitted on.
     pub fn stream(&self) -> &str {
-        &self.stream
+        &self.shared.stream
     }
 
     /// The component that emitted this tuple.
     pub fn src_component(&self) -> &str {
-        &self.src_component
+        &self.shared.src_component
     }
 
     /// The task index (within the source component) that emitted this tuple.
     pub fn src_task(&self) -> usize {
-        self.src_task
+        self.shared.src_task
     }
 
     /// The tuple's schema.
     pub fn schema(&self) -> &Schema {
-        &self.schema
+        &self.shared.schema
     }
 }
 
@@ -365,6 +518,37 @@ mod tests {
     }
 
     #[test]
+    fn schema_identity_shared_by_clones() {
+        let s = Schema::new(["a", "b"]);
+        let t = s.clone();
+        assert_eq!(s.identity(), t.identity());
+        let other = Schema::new(["a", "b"]);
+        assert_ne!(
+            s.identity(),
+            other.identity(),
+            "independent declarations get distinct identities"
+        );
+    }
+
+    #[test]
+    fn anchor_set_representations() {
+        assert_eq!(AnchorSet::None.pairs(), &[]);
+        assert!(AnchorSet::None.is_empty());
+        let one = AnchorSet::One((1, 2));
+        assert_eq!(one.pairs(), &[(1, 2)]);
+        assert_eq!(one.len(), 1);
+        let many = AnchorSet::from_pairs(vec![(1, 2), (3, 4)]);
+        assert_eq!(many.pairs(), &[(1, 2), (3, 4)]);
+        assert!(matches!(
+            AnchorSet::from_pairs(vec![(9, 9)]),
+            AnchorSet::One((9, 9))
+        ));
+        assert!(matches!(AnchorSet::from_pairs(Vec::new()), AnchorSet::None));
+        let collected: AnchorSet = [(5u64, 6u64)].into_iter().collect();
+        assert!(matches!(collected, AnchorSet::One((5, 6))));
+    }
+
+    #[test]
     fn tuple_field_access() {
         let schema = Schema::new(["user", "weight", "kind"]);
         let t = Tuple::new(
@@ -373,15 +557,36 @@ mod tests {
             Arc::from(DEFAULT_STREAM),
             Arc::from("spout"),
             0,
-            Arc::from(Vec::new()),
+            AnchorSet::None,
         );
         assert_eq!(t.u64("user"), 9);
         assert_eq!(t.f64("weight"), 1.5);
         assert_eq!(t.str("kind"), "click");
+        assert_eq!(t.u64_at(0), 9);
+        assert_eq!(t.f64_at(1), 1.5);
         assert_eq!(t.stream(), DEFAULT_STREAM);
         assert_eq!(t.src_component(), "spout");
         assert_eq!(t.get(0), &Value::U64(9));
         assert!(t.get_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn batch_windows_share_one_arena() {
+        let shared = Arc::new(BatchShared {
+            values: vec![Value::U64(1), Value::U64(10), Value::U64(2), Value::U64(20)]
+                .into_boxed_slice(),
+            schema: Schema::new(["k", "v"]),
+            stream: Arc::from(DEFAULT_STREAM),
+            src_component: Arc::from("spout"),
+            src_task: 3,
+        });
+        let a = Tuple::from_batch(&shared, 0, 2, AnchorSet::One((7, 8)));
+        let b = Tuple::from_batch(&shared, 2, 2, AnchorSet::None);
+        assert_eq!(a.u64("k"), 1);
+        assert_eq!(b.u64("v"), 20);
+        assert_eq!(a.src_task(), 3);
+        assert_eq!(a.anchors.pairs(), &[(7, 8)]);
+        assert_eq!(Arc::strong_count(&shared), 3);
     }
 
     #[test]
@@ -393,7 +598,7 @@ mod tests {
             Arc::from(DEFAULT_STREAM),
             Arc::from("spout"),
             0,
-            Arc::from(Vec::new()),
+            AnchorSet::None,
         );
         t.u64("user");
     }
