@@ -24,6 +24,7 @@ use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tdaccess::{AccessCluster, ClusterConfig, SegmentConfig};
+use tdstore::SnapshotKind;
 use tdstore::{StoreConfig, TdStore};
 use tencentrec::action::{ActionType, UserAction};
 use tencentrec::topology::{
@@ -37,6 +38,16 @@ use tstorm::topology::TopologyConfig;
 const SPEEDUP_FLOOR: f64 = 5.0;
 /// Snapshot position in the log: the crash loses the last 5%.
 const SNAP_FRACTION: f64 = 0.95;
+/// A steady-state delta checkpoint must stay under this fraction of the
+/// full blob it patches — the incremental-checkpoint acceptance gate.
+const DELTA_RATIO_CEIL: f64 = 0.3;
+/// Checkpoint cadence as a fraction of the log: the delta is published
+/// this many actions after its full base, so it carries exactly one
+/// interval's churn — the steady state an operator actually runs at.
+/// The log is produced in stages and each checkpoint is taken at a
+/// quiescent point, so the interval is deterministic instead of racing
+/// the pipeline against publish latency.
+const CKPT_INTERVAL_FRACTION: f64 = 0.0005;
 
 fn workload(n: u64, users: u64, items: u64) -> Vec<UserAction> {
     let mut actions = Vec::with_capacity(n as usize);
@@ -61,7 +72,8 @@ fn cf_config() -> CfPipelineConfig {
 
 /// Day-scale log shape: segments spill to disk, so replay-from-zero
 /// pays real file reads, exactly like a restart against yesterday's log.
-fn build_spilled_topic(actions: &[UserAction], spill_dir: &Path) -> AccessCluster {
+/// The topic starts empty; `produce` appends the staged slices.
+fn build_spilled_topic(spill_dir: &Path) -> AccessCluster {
     let cluster = AccessCluster::new(ClusterConfig {
         segment: SegmentConfig {
             max_messages: 8_192,
@@ -71,13 +83,16 @@ fn build_spilled_topic(actions: &[UserAction], spill_dir: &Path) -> AccessCluste
         ..Default::default()
     });
     cluster.create_topic("actions", 4).unwrap();
+    cluster
+}
+
+fn produce(cluster: &AccessCluster, actions: &[UserAction]) {
     let producer = cluster.producer("actions").unwrap();
     for a in actions {
         producer
             .send(Some(&a.user.to_le_bytes()[..]), &a.to_bytes())
             .unwrap();
     }
-    cluster
 }
 
 struct Life {
@@ -143,6 +158,9 @@ struct RecoveryResult {
     spilled_segments: usize,
     snapshot_entries: u64,
     snapshot_bytes: u64,
+    delta_entries: u64,
+    delta_bytes: u64,
+    delta_ratio: f64,
     tail_records: u64,
     restore_ms: f64,
     tail_replay_ms: f64,
@@ -160,15 +178,25 @@ fn run_recovery(n: u64, users: u64, items: u64) -> RecoveryResult {
     let ckpt_path = tmp.join("ckpt.fdb");
 
     let actions = workload(n, users, items);
-    let topic = build_spilled_topic(&actions, &spill_dir);
-    let spilled_segments = std::fs::read_dir(&spill_dir).unwrap().count();
+    let topic = build_spilled_topic(&spill_dir);
 
-    // Primary life: process to the snapshot point, publish once, crash.
+    // Primary life: publish a full blob one checkpoint interval before
+    // the crash point, then a steady-state delta at the crash point —
+    // recovery must walk the base + delta chain, and the delta's size
+    // against its base is the incremental-checkpoint gate. The log is
+    // fed in stages and each checkpoint lands on a quiescent pipeline,
+    // so the delta carries exactly one interval of churn no matter how
+    // fast this box drains the topic.
     let coord = Coordinator::open(
         &ckpt_path,
         CheckpointConfig {
             drain_timeout: Duration::from_secs(60),
             retain: 2,
+            // The bench measures the real delta/full byte ratio; don't
+            // let the coordinator fold a too-fat delta into a full blob
+            // and mask a regression from the gate below.
+            max_delta_ratio: f64::MAX,
+            ..Default::default()
         },
     )
     .expect("open checkpoint log");
@@ -179,12 +207,34 @@ fn run_recovery(n: u64, users: u64, items: u64) -> RecoveryResult {
         Vec::new(),
     );
     let snap_at = (n as f64 * SNAP_FRACTION) as u64;
+    let interval = ((n as f64 * CKPT_INTERVAL_FRACTION) as u64).max(1);
+    let full_at = snap_at - interval;
+    produce(&topic, &actions[..full_at as usize]);
+    wait_committed(&primary, full_at, "primary");
+    let full_meta = coord
+        .checkpoint(&primary.handle, &primary.store, &primary.offsets, now_ms())
+        .expect("publish full snapshot");
+    produce(&topic, &actions[full_at as usize..snap_at as usize]);
     wait_committed(&primary, snap_at, "primary");
     let meta = coord
         .checkpoint(&primary.handle, &primary.store, &primary.offsets, now_ms())
-        .expect("publish snapshot");
+        .expect("publish delta checkpoint");
+    assert!(
+        matches!(
+            coord.snapshots().load_record(meta.epoch).map(|r| r.kind),
+            Some(SnapshotKind::Delta { .. })
+        ),
+        "second checkpoint should ride the chain as a delta"
+    );
+    let delta_ratio = meta.bytes as f64 / full_meta.bytes as f64;
     primary.handle.kill(); // crash: no drain, no final checkpoint
     drop(coord); // recovery reopens the log cold, like a fresh process
+
+    // The tail the crash loses: appended after the kill, so the sealed
+    // offset vector is exactly `snap_at` and the two recovery arms race
+    // over a log the dead primary never saw the end of.
+    produce(&topic, &actions[snap_at as usize..]);
+    let spilled_segments = std::fs::read_dir(&spill_dir).unwrap().count();
 
     // Arm 1: snapshot restore + tail replay.
     let recover_start = Instant::now();
@@ -218,8 +268,11 @@ fn run_recovery(n: u64, users: u64, items: u64) -> RecoveryResult {
     RecoveryResult {
         actions: n,
         spilled_segments,
-        snapshot_entries: meta.entries,
-        snapshot_bytes: meta.bytes,
+        snapshot_entries: full_meta.entries,
+        snapshot_bytes: full_meta.bytes,
+        delta_entries: meta.entries,
+        delta_bytes: meta.bytes,
+        delta_ratio,
         tail_records: tail,
         restore_ms,
         tail_replay_ms: time_to_recover_ms - restore_ms,
@@ -237,6 +290,9 @@ fn recovery_json(r: &RecoveryResult) -> String {
             "    \"spilled_segments\": {},\n",
             "    \"snapshot_entries\": {},\n",
             "    \"snapshot_bytes\": {},\n",
+            "    \"delta_entries\": {},\n",
+            "    \"delta_bytes\": {},\n",
+            "    \"delta_ratio\": {:.4},\n",
             "    \"tail_records\": {},\n",
             "    \"restore_ms\": {:.1},\n",
             "    \"tail_replay_ms\": {:.1},\n",
@@ -249,6 +305,9 @@ fn recovery_json(r: &RecoveryResult) -> String {
         r.spilled_segments,
         r.snapshot_entries,
         r.snapshot_bytes,
+        r.delta_entries,
+        r.delta_bytes,
+        r.delta_ratio,
         r.tail_records,
         r.restore_ms,
         r.tail_replay_ms,
@@ -302,6 +361,10 @@ fn main() {
         r.snapshot_entries, r.snapshot_bytes, r.spilled_segments
     );
     eprintln!(
+        "  delta: {} changed entries / {} bytes = {:.3}x of the full blob",
+        r.delta_entries, r.delta_bytes, r.delta_ratio
+    );
+    eprintln!(
         "  restore {:.1} ms + tail replay {:.1} ms ({} records) = {:.1} ms",
         r.restore_ms, r.tail_replay_ms, r.tail_records, r.time_to_recover_ms
     );
@@ -333,10 +396,17 @@ fn main() {
         );
         std::process::exit(1);
     }
+    if check && r.delta_ratio > DELTA_RATIO_CEIL {
+        eprintln!(
+            "FAIL: steady-state delta is {:.3}x of the full blob, above the {DELTA_RATIO_CEIL}x ceiling",
+            r.delta_ratio
+        );
+        std::process::exit(1);
+    }
     if check {
         eprintln!(
-            "gate: speedup {:.2}x >= {SPEEDUP_FLOOR:.0}x floor",
-            r.speedup
+            "gate: speedup {:.2}x >= {SPEEDUP_FLOOR:.0}x floor; delta ratio {:.3}x <= {DELTA_RATIO_CEIL}x ceiling",
+            r.speedup, r.delta_ratio
         );
     }
 }

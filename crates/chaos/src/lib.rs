@@ -90,13 +90,24 @@ pub enum FaultSite {
     /// lease margin without a spurious respawn; sustained loss is
     /// indistinguishable from a stall and correctly expires the lease.
     HeartbeatDrop,
+    /// The process dies mid-append of a *delta* checkpoint record: the
+    /// ckpt log gains a torn delta tail. On restart the store truncates
+    /// the torn record and the manifest still names the previous epoch,
+    /// so restore resolves the intact prefix of the chain and tail-replays
+    /// the rest — the incremental-checkpoint analogue of a torn manifest.
+    TornDeltaTail,
+    /// The process is killed right after publishing a delta checkpoint,
+    /// before the next rebase: restore must walk a full base plus a
+    /// partial delta chain (not a lone full snapshot) and still converge
+    /// byte-identically after tail replay.
+    MidChainCrash,
 }
 
 impl FaultSite {
     /// Every site, in stable order. Append-only: the seeded schedule
     /// hashes each site's index, so renumbering existing sites would
     /// silently reshuffle every recorded chaos run.
-    pub const ALL: [FaultSite; 14] = [
+    pub const ALL: [FaultSite; 16] = [
         FaultSite::ExecutorPanic,
         FaultSite::TupleDrop,
         FaultSite::TupleDelay,
@@ -111,6 +122,8 @@ impl FaultSite {
         FaultSite::ProcessKill,
         FaultSite::WorkerStall,
         FaultSite::HeartbeatDrop,
+        FaultSite::TornDeltaTail,
+        FaultSite::MidChainCrash,
     ];
 
     fn index(self) -> usize {
@@ -129,6 +142,8 @@ impl FaultSite {
             FaultSite::ProcessKill => 11,
             FaultSite::WorkerStall => 12,
             FaultSite::HeartbeatDrop => 13,
+            FaultSite::TornDeltaTail => 14,
+            FaultSite::MidChainCrash => 15,
         }
     }
 }
@@ -141,7 +156,7 @@ struct SiteSpec {
     max_faults: u64,
 }
 
-const N_SITES: usize = 14;
+const N_SITES: usize = 16;
 
 struct Inner {
     seed: u64,
@@ -321,6 +336,8 @@ mod tests {
             (FaultSite::ProcessKill, 11),
             (FaultSite::WorkerStall, 12),
             (FaultSite::HeartbeatDrop, 13),
+            (FaultSite::TornDeltaTail, 14),
+            (FaultSite::MidChainCrash, 15),
         ] {
             assert_eq!(site.index(), index, "{site:?} moved from its pinned index");
         }

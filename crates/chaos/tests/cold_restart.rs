@@ -16,6 +16,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tchaos::{Clock, FaultPlan, FaultSite};
 use tdaccess::{AccessCluster, ClusterConfig};
+use tdstore::SnapshotKind;
 use tdstore::{StoreConfig, TdStore};
 use tencentrec::action::{ActionType, UserAction};
 use tencentrec::topology::{
@@ -51,16 +52,28 @@ fn cf_config() -> CfPipelineConfig {
 }
 
 fn chaos_plan(seed: u64) -> FaultPlan {
-    FaultPlan::builder(seed)
+    let builder = FaultPlan::builder(seed)
         .site(FaultSite::ExecutorPanic, 0.02, 10)
         .site(FaultSite::TupleDrop, 0.02, 10)
         .site(FaultSite::TupleDelay, 0.05, 20)
         .site(FaultSite::PollStall, 0.05, 10)
         .site(FaultSite::TornBatch, 0.2, 10)
-        .site(FaultSite::WriteFail, 0.01, 10)
-        // Whole-process death: one per seed, decided by the driver loop.
-        .site(FaultSite::ProcessKill, 0.05, 1)
-        .build()
+        .site(FaultSite::WriteFail, 0.01, 10);
+    // Split the matrix into two death styles. Even seeds die at an
+    // arbitrary instant between steps (ProcessKill), recovering from
+    // whatever snapshot happened to be newest. Odd seeds die right
+    // after publishing a *delta* (MidChainCrash) — guaranteeing the
+    // second life restores through a full base plus a delta chain —
+    // and may additionally tear the delta's tail bytes off the log
+    // (TornDeltaTail), forcing the chain to resolve one epoch short.
+    if seed.is_multiple_of(2) {
+        builder.site(FaultSite::ProcessKill, 0.05, 1).build()
+    } else {
+        builder
+            .site(FaultSite::MidChainCrash, 1.0, 1)
+            .site(FaultSite::TornDeltaTail, 0.75, 1)
+            .build()
+    }
 }
 
 fn build_topic(actions: &[UserAction]) -> AccessCluster {
@@ -154,24 +167,41 @@ fn seed_matrix() -> (Vec<u64>, bool) {
     }
 }
 
+/// What kind of death (if any) a seed suffered in its first life.
+#[derive(Default)]
+struct KillStats {
+    killed: bool,
+    /// Died right after publishing a delta: restore walks a chain.
+    mid_chain: bool,
+    /// The newest delta's tail bytes were chopped off the log.
+    torn_tail: bool,
+}
+
+fn ckpt_config() -> CheckpointConfig {
+    CheckpointConfig {
+        drain_timeout: Duration::from_secs(30),
+        retain: 2,
+        // Short rebase cadence + permissive churn ratio so the five
+        // per-life checkpoints actually form base+delta chains even
+        // though a fifth of the workload mutates between epochs.
+        rebase_every: 3,
+        max_delta_ratio: 1.0,
+    }
+}
+
 /// One seed's full story: first life with periodic checkpoints, a
-/// possible seeded process kill, and (after a kill) a second life built
-/// from the newest snapshot plus tail replay. Returns the final store and
-/// whether the kill fired.
-fn run_with_kill(seed: u64, ckpt_path: &PathBuf) -> (TdStore, bool) {
+/// possible seeded process kill (between steps, or right after a delta
+/// publish for odd seeds — optionally tearing the delta's tail bytes),
+/// and after a kill a second life built from the newest durable
+/// snapshot chain plus tail replay. Returns the final store and how the
+/// first life died.
+fn run_with_kill(seed: u64, ckpt_path: &PathBuf) -> (TdStore, KillStats) {
     let actions = workload();
     let n = actions.len() as u64;
     let plan = chaos_plan(seed);
     let cluster = build_topic(&actions);
     let clock = Clock::mock();
-    let coord = Coordinator::open(
-        ckpt_path,
-        CheckpointConfig {
-            drain_timeout: Duration::from_secs(30),
-            retain: 2,
-        },
-    )
-    .unwrap();
+    let coord = Coordinator::open(ckpt_path, ckpt_config()).unwrap();
 
     let stop = Arc::new(AtomicBool::new(false));
     let advancer = {
@@ -196,41 +226,92 @@ fn run_with_kill(seed: u64, ckpt_path: &PathBuf) -> (TdStore, bool) {
         &clock,
     );
     let mut next_ckpt = n / 5;
-    let mut killed = false;
+    let mut stats = KillStats::default();
+    let mut published = 0u64;
+    // File length just before the newest delta's record was appended —
+    // the window a torn tail chops into.
+    let mut delta_write_start: Option<u64> = None;
     let deadline = Instant::now() + Duration::from_secs(120);
     loop {
         let committed = first.progress.committed();
-        if committed >= n {
+        // A fast life can outrun the n/5 cadence between two polls. Take
+        // at least two checkpoints before declaring the life complete, so
+        // every seed forms a base + delta pair (a quiesced pipeline just
+        // publishes an empty delta) and the delta-coupled death styles
+        // below always get their chance to fire.
+        if committed >= n && published >= 2 {
             break;
         }
         assert!(
             Instant::now() < deadline,
             "seed {seed}: first life stalled at {committed}/{n}"
         );
-        if committed >= next_ckpt {
+        if committed >= next_ckpt || committed >= n {
             // A failed attempt (barrier timeout under heavy chaos) just
             // leaves the previous snapshot live — exactly the production
             // contract.
-            let _ = coord.checkpoint(&first.handle, &first.store, &first.offsets, committed);
+            let len_before = std::fs::metadata(ckpt_path).map(|m| m.len()).unwrap_or(0);
+            if let Ok(meta) =
+                coord.checkpoint(&first.handle, &first.store, &first.offsets, committed)
+            {
+                published += 1;
+                let is_delta = matches!(
+                    coord.snapshots().load_record(meta.epoch).map(|r| r.kind),
+                    Some(SnapshotKind::Delta { .. })
+                );
+                if is_delta {
+                    delta_write_start = Some(len_before);
+                    if plan.should_fault(FaultSite::MidChainCrash) {
+                        stats.killed = true;
+                        stats.mid_chain = true;
+                    }
+                }
+            }
             next_ckpt += n / 5;
+            if stats.killed {
+                break;
+            }
         }
         if plan.should_fault(FaultSite::ProcessKill) {
-            killed = true;
+            stats.killed = true;
             break;
         }
         std::thread::sleep(Duration::from_millis(2));
     }
 
-    if !killed {
+    if !stats.killed {
         first.handle.shutdown(Duration::from_secs(10));
         stop.store(true, Ordering::Relaxed);
         advancer.join().unwrap();
-        return (first.store, false);
+        return (first.store, stats);
     }
 
     // The process dies: no drain, no final checkpoint, in-flight trees
     // and post-snapshot store writes are simply abandoned.
     first.handle.kill();
+
+    // For a mid-chain death the crash may additionally land *during* the
+    // delta append: chop the log midway through the bytes the last delta
+    // publish wrote (record + manifest), exactly what an interrupted
+    // write leaves behind. The reopened store truncates the torn record;
+    // the surviving manifest names an older epoch whose chain is intact.
+    let coord = match delta_write_start {
+        Some(len_before) if stats.mid_chain && plan.should_fault(FaultSite::TornDeltaTail) => {
+            drop(coord);
+            let len = std::fs::metadata(ckpt_path).unwrap().len();
+            assert!(len > len_before, "delta publish must have grown the log");
+            let file = std::fs::OpenOptions::new()
+                .write(true)
+                .open(ckpt_path)
+                .unwrap();
+            file.set_len(len_before + (len - len_before) / 2).unwrap();
+            file.sync_all().unwrap();
+            drop(file);
+            stats.torn_tail = true;
+            Coordinator::open(ckpt_path, ckpt_config()).unwrap()
+        }
+        _ => coord,
+    };
 
     // Second life. Durable artifacts only: the snapshot (if any was
     // published) and the access log. The store faces the remaining chaos
@@ -268,7 +349,7 @@ fn run_with_kill(seed: u64, ckpt_path: &PathBuf) -> (TdStore, bool) {
     second.handle.shutdown(Duration::from_secs(10));
     stop.store(true, Ordering::Relaxed);
     advancer.join().unwrap();
-    (second.store, true)
+    (second.store, stats)
 }
 
 #[test]
@@ -297,32 +378,52 @@ fn process_kill_recovers_via_snapshot_and_tail_replay() {
 
     let (seeds, full_matrix) = seed_matrix();
     let mut kills = 0u64;
+    let mut mid_chain_kills = 0u64;
+    let mut torn_tails = 0u64;
     for &seed in &seeds {
         let ckpt_path =
             std::env::temp_dir().join(format!("tsnap-chaos-{}-{seed}.fdb", std::process::id()));
         let _ = std::fs::remove_file(&ckpt_path);
-        let (store, killed) = run_with_kill(seed, &ckpt_path);
-        kills += u64::from(killed);
+        let (store, stats) = run_with_kill(seed, &ckpt_path);
+        kills += u64::from(stats.killed);
+        mid_chain_kills += u64::from(stats.mid_chain);
+        torn_tails += u64::from(stats.torn_tail);
 
         assert_eq!(
             counts(&store, b"ic:"),
             base_ic,
-            "seed {seed} (killed={killed}): itemCounts diverged"
+            "seed {seed} (killed={}): itemCounts diverged",
+            stats.killed
         );
         assert_eq!(
             counts(&store, b"pc:"),
             base_pc,
-            "seed {seed} (killed={killed}): pairCounts diverged"
+            "seed {seed} (killed={}): pairCounts diverged",
+            stats.killed
         );
         let _ = std::fs::remove_file(&ckpt_path);
     }
 
-    // A kill matrix that never kills proves nothing.
+    // A kill matrix that never kills proves nothing; the default matrix
+    // must also exercise the incremental-checkpoint death modes — a kill
+    // right after a delta publish (restore walks base + chain) and a
+    // torn delta tail (restore falls back one epoch along the chain).
     if full_matrix {
         assert!(
             kills > 0,
             "no process kill fired across seeds {seeds:?} — raise the site probability"
         );
+        assert!(
+            mid_chain_kills > 0,
+            "no mid-chain kill fired across seeds {seeds:?} — delta chains went untested"
+        );
+        assert!(
+            torn_tails > 0,
+            "no delta tail was torn across seeds {seeds:?} — raise TornDeltaTail probability"
+        );
     }
-    println!("process kills across seeds: {kills}/{}", seeds.len());
+    println!(
+        "kills across seeds: {kills}/{} ({mid_chain_kills} mid-chain, {torn_tails} torn tails)",
+        seeds.len()
+    );
 }

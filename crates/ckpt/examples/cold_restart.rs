@@ -142,6 +142,7 @@ fn child_main(path: PathBuf) -> ! {
         CheckpointConfig {
             drain_timeout: Duration::from_secs(30),
             retain: 2,
+            ..Default::default()
         },
     )
     .expect("open checkpoint log");

@@ -89,7 +89,17 @@ fn encode_counts(store: &TdStore) -> Vec<u8> {
 /// Deterministic topic: same workload, same FNV key partitioning in
 /// every process and incarnation.
 fn build_topic() -> AccessCluster {
-    let access = AccessCluster::new(ClusterConfig::default());
+    let access = AccessCluster::new(ClusterConfig {
+        // Small segments so the checkpoint hook's log compaction has
+        // sealed head segments to shed within one run (the default 4096
+        // per segment would keep this whole workload in one hot segment
+        // per partition and truncation would be a permanent no-op).
+        segment: tdaccess::SegmentConfig {
+            max_messages: 64,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
     access.create_topic("actions", 4).unwrap();
     let producer = access.producer("actions").unwrap();
     for a in workload() {
@@ -127,13 +137,13 @@ fn cf_snapshot_app(ctx: &WorkerContext) -> ClusterApp {
             CheckpointConfig {
                 drain_timeout: Duration::from_secs(30),
                 retain: 2,
+                ..Default::default()
             },
         )
         .expect("open checkpoint log"),
     );
 
     let restored = coordinator.restore_into(&store).expect("restore snapshot");
-    let restored_epoch = restored.as_ref().map_or(0, |r| r.meta.epoch);
     // Resume point: snapshot offsets, topped up by the recovered commit
     // blob. The commit hook only ever ships sealed offsets, so recovered
     // ≤ snapshot and the max-merge can never skip unsnapshotted events.
@@ -186,12 +196,22 @@ fn cf_snapshot_app(ctx: &WorkerContext) -> ClusterApp {
         let coordinator = Arc::clone(&coordinator);
         let store = store.clone();
         let table = Arc::clone(&table);
+        let access = access.clone();
         move |handle| {
             if coordinator
                 .checkpoint(handle, &store, &table, now_ms())
                 .is_ok()
             {
                 if let Some(snap) = coordinator.snapshots().load_latest() {
+                    // The sealed offset vector is the proven replay
+                    // floor: everything below it is re-creatable from
+                    // the published snapshot, so commit it for the
+                    // spout's group and let the log shed head segments
+                    // that no group still needs.
+                    if let Some(pairs) = OffsetTable::decode(&snap.offsets) {
+                        let _ = access.commit_group_offsets("actions", "cf", &pairs);
+                        let _ = access.truncate_topic_before("actions", &pairs);
+                    }
                     *sealed.lock().unwrap() = snap.offsets;
                 }
             }
@@ -200,18 +220,12 @@ fn cf_snapshot_app(ctx: &WorkerContext) -> ClusterApp {
     app.checkpoint_every = Duration::from_millis(100);
 
     // Exported so the supervisor can see whether the *final* incarnation
-    // resumed from a real snapshot (epoch > 0) or fell back to zero.
+    // resumed from a real snapshot (`tsnap_restored_epoch` > 0, set by
+    // `restore_into` above) and how many log segments compaction shed
+    // (`tdaccess_truncated_segments`, in the access registry).
     let registry = obs::Registry::new();
-    let epoch_gauge = obs::Gauge::new();
-    epoch_gauge.set(restored_epoch as f64);
-    registry.register_gauge(
-        "tsnap_restored_epoch",
-        &[],
-        "Snapshot epoch this incarnation restored from (0 = none)",
-        &epoch_gauge,
-    );
     coordinator.register_metrics(&registry);
-    app.registries = vec![registry];
+    app.registries = vec![registry, access.registry().clone()];
     app
 }
 
@@ -270,6 +284,16 @@ fn restored_from_snapshot(rendered: &str) -> bool {
                 .and_then(|v| v.parse::<f64>().ok())
                 .is_some_and(|v| v > 0.0)
         })
+}
+
+/// Total log segments shed by the checkpoint hook's compaction, summed
+/// over every `tdaccess_truncated_segments` series in the scrape.
+fn truncated_segments(rendered: &str) -> u64 {
+    rendered
+        .lines()
+        .filter(|l| l.starts_with("tdaccess_truncated_segments"))
+        .filter_map(|l| l.rsplit(' ').next().and_then(|v| v.parse::<f64>().ok()))
+        .sum::<f64>() as u64
 }
 
 /// The tentpole cluster acceptance test: kill the worker that owns *all*
@@ -432,12 +456,20 @@ fn killed_state_worker_restores_from_snapshot_and_converges() {
     );
     assert!(cluster.restarts() >= 1, "worker was never respawned");
     // The respawned incarnation's metrics report can lag convergence by
-    // one export interval; poll rather than sampling once.
+    // one export interval; poll rather than sampling once. The converged
+    // incarnation must also have compacted the access log: its sealed
+    // offsets sit at the workload's end, far past the first 64-message
+    // segments, so the hook's truncation has head segments to shed.
     let deadline = std::time::Instant::now() + Duration::from_secs(30);
-    while !restored_from_snapshot(&cluster.render_metrics()) {
+    loop {
+        let rendered = cluster.render_metrics();
+        if restored_from_snapshot(&rendered) && truncated_segments(&rendered) > 0 {
+            break;
+        }
         assert!(
             std::time::Instant::now() < deadline,
-            "respawn never reported restoring from the pre-kill snapshot"
+            "respawn never reported a snapshot restore plus compacted log \
+             (tsnap_restored_epoch > 0 and tdaccess_truncated_segments > 0)"
         );
         std::thread::sleep(Duration::from_millis(20));
     }

@@ -411,6 +411,7 @@ fn cf_guard_app(ctx: &WorkerContext) -> ClusterApp {
             CheckpointConfig {
                 drain_timeout: Duration::from_secs(30),
                 retain: 2,
+                ..Default::default()
             },
         )
         .expect("open checkpoint log"),

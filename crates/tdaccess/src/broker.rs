@@ -99,6 +99,51 @@ impl Broker {
         Ok(part.end_offset())
     }
 
+    /// Start offset (oldest retained offset) of a hosted partition.
+    pub fn partition_start_offset(
+        &self,
+        topic: &str,
+        pid: PartitionId,
+    ) -> Result<u64, AccessError> {
+        let parts = self.partitions.lock();
+        let part = parts
+            .get(&(topic.to_string(), pid))
+            .ok_or_else(|| AccessError::UnknownPartition(topic.to_string(), pid))?;
+        Ok(part.start_offset())
+    }
+
+    /// Records that `group` has durably consumed everything below
+    /// `offset` in a hosted partition. See [`Partition::commit_group_offset`].
+    pub fn commit_group_offset(
+        &self,
+        topic: &str,
+        pid: PartitionId,
+        group: &str,
+        offset: u64,
+    ) -> Result<(), AccessError> {
+        let mut parts = self.partitions.lock();
+        let part = parts
+            .get_mut(&(topic.to_string(), pid))
+            .ok_or_else(|| AccessError::UnknownPartition(topic.to_string(), pid))?;
+        part.commit_group_offset(group, offset);
+        Ok(())
+    }
+
+    /// Truncates head segments of a hosted partition wholly below `upto`,
+    /// clamped to the slowest committed group. Returns segments removed.
+    pub fn truncate_before(
+        &self,
+        topic: &str,
+        pid: PartitionId,
+        upto: u64,
+    ) -> Result<usize, AccessError> {
+        let mut parts = self.partitions.lock();
+        let part = parts
+            .get_mut(&(topic.to_string(), pid))
+            .ok_or_else(|| AccessError::UnknownPartition(topic.to_string(), pid))?;
+        part.truncate_before(upto)
+    }
+
     /// Number of partitions this broker hosts.
     pub fn partition_count(&self) -> usize {
         self.partitions.lock().len()

@@ -18,6 +18,11 @@ pub enum AccessError {
     Io(String),
     /// A topic must have at least one partition.
     ZeroPartitions(String),
+    /// A read addressed an offset below the partition's compacted start
+    /// (`partition`, `requested`, `start`): the segment holding it was
+    /// truncated by log compaction. Failing loudly beats silently
+    /// skipping records a replay believed were still there.
+    Compacted(String, u64, u64),
 }
 
 impl fmt::Display for AccessError {
@@ -33,6 +38,10 @@ impl fmt::Display for AccessError {
             AccessError::ZeroPartitions(t) => {
                 write!(f, "topic `{t}` must have at least one partition")
             }
+            AccessError::Compacted(p, requested, start) => write!(
+                f,
+                "offset {requested} of partition `{p}` is below the compacted start {start}"
+            ),
         }
     }
 }

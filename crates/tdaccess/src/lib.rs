@@ -249,6 +249,69 @@ impl AccessCluster {
         self.inner.brokers.len()
     }
 
+    /// Records durable replay floors for consumer `group`: for each
+    /// `(partition, offset)` pair, the group promises it will never again
+    /// need offsets below `offset` of that partition (it has checkpointed
+    /// past them). Floors only move forward. Log compaction
+    /// ([`AccessCluster::truncate_topic_before`]) is clamped to the
+    /// slowest group's floor, so committing is what makes truncation
+    /// possible — and not committing is what makes it safe.
+    pub fn commit_group_offsets(
+        &self,
+        topic: &str,
+        group: &str,
+        offsets: &[(PartitionId, u64)],
+    ) -> Result<(), AccessError> {
+        for &(pid, offset) in offsets {
+            let broker = self.broker(self.route(topic, pid)?)?;
+            broker.commit_group_offset(topic, pid, group, offset)?;
+        }
+        Ok(())
+    }
+
+    /// Compacts `topic`: for each `(partition, offset)` pair, drops head
+    /// segments wholly below `offset`, clamped per partition to the
+    /// minimum committed floor across all consumer groups (a partition
+    /// with no committed groups is never truncated). Returns the total
+    /// number of segments removed and adds it to the
+    /// `tdaccess_truncated_segments` counter per partition.
+    pub fn truncate_topic_before(
+        &self,
+        topic: &str,
+        offsets: &[(PartitionId, u64)],
+    ) -> Result<usize, AccessError> {
+        let mut total = 0usize;
+        for &(pid, upto) in offsets {
+            let broker = self.broker(self.route(topic, pid)?)?;
+            let removed = broker.truncate_before(topic, pid, upto)?;
+            if removed > 0 {
+                let partition = pid.to_string();
+                self.inner
+                    .metrics
+                    .counter(
+                        "tdaccess_truncated_segments",
+                        &[("topic", topic), ("partition", &partition)],
+                        "Log segments removed by compaction.",
+                    )
+                    .add(removed as u64);
+            }
+            total += removed;
+        }
+        Ok(total)
+    }
+
+    /// Oldest retained offset of every partition of `topic` (ascending by
+    /// partition id). Reads below these fail with [`AccessError::Compacted`].
+    pub fn topic_start_offsets(&self, topic: &str) -> Result<Vec<(PartitionId, u64)>, AccessError> {
+        let meta = self.topic_meta(topic)?;
+        let mut out = Vec::with_capacity(meta.partitions as usize);
+        for pid in 0..meta.partitions {
+            let broker = self.broker(self.route(topic, pid)?)?;
+            out.push((pid, broker.partition_start_offset(topic, pid)?));
+        }
+        Ok(out)
+    }
+
     /// Total number of messages retained across all partitions of `topic`.
     pub fn topic_len(&self, topic: &str) -> Result<u64, AccessError> {
         let meta = self.topic_meta(topic)?;
@@ -403,6 +466,51 @@ mod tests {
         let text = registry.render();
         assert!(text.contains("tdaccess_produced_total"));
         assert!(text.contains("tdaccess_consumer_lag"));
+    }
+
+    #[test]
+    fn compaction_respects_group_floors_and_counts_segments() {
+        let cluster = AccessCluster::new(ClusterConfig {
+            segment: SegmentConfig {
+                max_messages: 4,
+                max_bytes: usize::MAX,
+                spill_dir: None,
+            },
+            ..Default::default()
+        });
+        cluster.create_topic("t", 1).unwrap();
+        let producer = cluster.producer("t").unwrap();
+        for i in 0..16u32 {
+            producer.send(None, &i.to_le_bytes()).unwrap();
+        }
+        // No commits yet: truncation must be a no-op.
+        assert_eq!(cluster.truncate_topic_before("t", &[(0, 16)]).unwrap(), 0);
+
+        cluster
+            .commit_group_offsets("t", "fast", &[(0, 16)])
+            .unwrap();
+        cluster
+            .commit_group_offsets("t", "slow", &[(0, 6)])
+            .unwrap();
+        let removed = cluster.truncate_topic_before("t", &[(0, 16)]).unwrap();
+        assert_eq!(removed, 1, "only [0..4) is below the slow group's floor 6");
+        assert_eq!(cluster.topic_start_offsets("t").unwrap(), vec![(0, 4)]);
+        assert_eq!(
+            cluster.registry().counter_value(
+                "tdaccess_truncated_segments",
+                &[("topic", "t"), ("partition", "0")],
+            ),
+            Some(1)
+        );
+
+        // Once the slow group catches up, the rest of the head goes too.
+        cluster
+            .commit_group_offsets("t", "slow", &[(0, 16)])
+            .unwrap();
+        assert!(cluster.truncate_topic_before("t", &[(0, 16)]).unwrap() >= 2);
+        let mut c = cluster.consumer("t", "fresh").unwrap();
+        c.seek(0, 0);
+        assert!(matches!(c.poll(10), Err(AccessError::Compacted(_, 0, _))));
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use crate::error::AccessError;
 use crate::message::Message;
 use bytes::{Bytes, BytesMut};
+use std::collections::HashMap;
 use std::fs;
 use std::io::Write;
 use std::path::PathBuf;
@@ -148,6 +149,10 @@ pub struct Partition {
     config: SegmentConfig,
     segments: Vec<Segment>,
     next_offset: u64,
+    /// Per-consumer-group replay floors: the smallest offset each group
+    /// may still need. [`Partition::truncate_before`] never cuts below
+    /// the minimum of these, so a lagging group can always resume.
+    group_floors: HashMap<String, u64>,
 }
 
 impl Partition {
@@ -162,6 +167,7 @@ impl Partition {
             config,
             segments: vec![Segment::new(0)],
             next_offset: 0,
+            group_floors: HashMap::new(),
         }
     }
 
@@ -202,12 +208,15 @@ impl Partition {
             name: name.to_string(),
             config,
             segments: Vec::with_capacity(spilled.len() + 1),
-            next_offset: 0,
+            next_offset: spilled.first().map_or(0, |&(base, _)| base),
+            group_floors: HashMap::new(),
         };
         for (base, path) in spilled {
-            // The durable log must be contiguous: a segment whose base
-            // skips past the previous end means a gap (a lost or foreign
-            // file), and reads across it would silently drop offsets.
+            // The durable log must be contiguous after its first segment:
+            // log compaction may have truncated the head (so an arbitrary
+            // first base is legal), but a later segment whose base skips
+            // past the previous end means a gap (a lost or foreign file),
+            // and reads across it would silently drop offsets.
             if base != partition.next_offset {
                 return Err(AccessError::Io(format!(
                     "segment {} starts at {base}, expected {}",
@@ -288,7 +297,15 @@ impl Partition {
     }
 
     /// Reads up to `max` messages starting at offset `from`.
+    ///
+    /// Offsets below [`Partition::start_offset`] were removed by log
+    /// compaction; reading them is an error rather than a silent skip,
+    /// so a replayer can distinguish "caught up" from "data gone".
     pub fn read(&self, from: u64, max: usize) -> Result<Vec<Message>, AccessError> {
+        let start = self.start_offset();
+        if from < start {
+            return Err(AccessError::Compacted(self.name.clone(), from, start));
+        }
         let mut out = Vec::new();
         // Binary search for the first segment that can contain `from`.
         let start = match self
@@ -311,6 +328,57 @@ impl Partition {
     /// Offset that the next appended message will receive.
     pub fn end_offset(&self) -> u64 {
         self.next_offset
+    }
+
+    /// Oldest offset still present in the log. Equals 0 until
+    /// [`Partition::truncate_before`] removes a head segment, and equals
+    /// [`Partition::end_offset`] when compaction emptied the log.
+    pub fn start_offset(&self) -> u64 {
+        self.segments
+            .first()
+            .expect("always one segment")
+            .base_offset()
+    }
+
+    /// Records that `group` has durably consumed everything below
+    /// `offset`. Floors only move forward; a stale (smaller) commit is
+    /// ignored so a late heartbeat cannot reopen already-truncatable log.
+    pub fn commit_group_offset(&mut self, group: &str, offset: u64) {
+        let floor = self.group_floors.entry(group.to_string()).or_insert(0);
+        *floor = (*floor).max(offset);
+    }
+
+    /// The committed floor for `group`, or `None` if it never committed.
+    pub fn group_floor(&self, group: &str) -> Option<u64> {
+        self.group_floors.get(group).copied()
+    }
+
+    /// Drops head segments wholly below `upto`, clamped so that no
+    /// registered consumer group loses offsets it has not committed
+    /// past. Segments are removed only if every message they hold is
+    /// below the cut; the active segment is never removed. Spill files
+    /// of dropped segments are deleted. Returns the number of segments
+    /// removed.
+    ///
+    /// With no committed groups the cut clamps to 0 and nothing is
+    /// removed — absence of commit information is treated as "someone
+    /// may still need everything", not as permission to truncate.
+    pub fn truncate_before(&mut self, upto: u64) -> Result<usize, AccessError> {
+        let floor = self.group_floors.values().copied().min().unwrap_or(0);
+        let cut = upto.min(floor);
+        let mut removed = 0usize;
+        while self.segments.len() > 1 {
+            let seg = &self.segments[0];
+            if seg.base_offset() + seg.len() as u64 > cut {
+                break;
+            }
+            let seg = self.segments.remove(0);
+            if let SegmentData::Spilled { path, .. } = &seg.data {
+                fs::remove_file(path)?;
+            }
+            removed += 1;
+        }
+        Ok(removed)
     }
 
     /// Number of segments (spilled + hot).
@@ -400,6 +468,99 @@ mod tests {
             assert_eq!(m.offset, i as u64);
             assert_eq!(m.payload, Bytes::from(format!("payload-{i}")));
         }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn truncate_is_clamped_to_the_slowest_group() {
+        let mut p = Partition::new("t-0", small_config());
+        for i in 0..12u64 {
+            p.append(None, Bytes::from_static(b"x"), i).unwrap();
+        }
+        // Segments: [0..4) [4..8) [8..12) + empty active.
+        p.commit_group_offset("fast", 12);
+        p.commit_group_offset("slow", 5);
+        let removed = p.truncate_before(12).unwrap();
+        assert_eq!(removed, 1, "only [0..4) is wholly below the slow floor 5");
+        assert_eq!(p.start_offset(), 4);
+        // The slow group can still resume exactly where it left off.
+        let msgs = p.read(5, 100).unwrap();
+        assert_eq!(msgs.first().map(|m| m.offset), Some(5));
+        assert_eq!(msgs.len(), 7);
+    }
+
+    #[test]
+    fn truncate_without_commits_removes_nothing() {
+        let mut p = Partition::new("t-0", small_config());
+        for i in 0..8u64 {
+            p.append(None, Bytes::from_static(b"x"), i).unwrap();
+        }
+        assert_eq!(p.truncate_before(8).unwrap(), 0);
+        assert_eq!(p.start_offset(), 0);
+    }
+
+    #[test]
+    fn stale_commit_cannot_lower_a_floor() {
+        let mut p = Partition::new("t-0", small_config());
+        for i in 0..8u64 {
+            p.append(None, Bytes::from_static(b"x"), i).unwrap();
+        }
+        p.commit_group_offset("g", 8);
+        p.commit_group_offset("g", 2); // late, out-of-order commit
+        assert_eq!(p.group_floor("g"), Some(8));
+        assert_eq!(p.truncate_before(8).unwrap(), 2);
+    }
+
+    #[test]
+    fn reading_below_the_compacted_start_fails_loudly() {
+        let mut p = Partition::new("t-0", small_config());
+        for i in 0..8u64 {
+            p.append(None, Bytes::from_static(b"x"), i).unwrap();
+        }
+        p.commit_group_offset("g", 8);
+        p.truncate_before(8).unwrap();
+        assert_eq!(p.start_offset(), 8);
+        let err = p.read(3, 10).unwrap_err();
+        assert_eq!(err, AccessError::Compacted("t-0".into(), 3, 8));
+        // Reading at or past the start still works.
+        assert!(p.read(8, 10).unwrap().is_empty());
+    }
+
+    #[test]
+    fn truncate_deletes_spill_files_and_reopen_resumes_at_the_cut() {
+        let dir = std::env::temp_dir().join(format!("tdaccess-compact-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = SegmentConfig {
+            max_messages: 4,
+            max_bytes: usize::MAX,
+            spill_dir: Some(dir.clone()),
+        };
+        let mut p = Partition::new("c-0", config.clone());
+        for i in 0..12u64 {
+            p.append(None, Bytes::from(format!("m{i}")), i).unwrap();
+        }
+        p.seal_active().unwrap();
+        let spilled_before = p.spilled_count();
+        p.commit_group_offset("g", 9);
+        let removed = p.truncate_before(12).unwrap();
+        assert_eq!(removed, 2, "[0..4) and [4..8) fall below floor 9");
+        assert_eq!(p.spilled_count(), spilled_before - 2);
+        drop(p);
+
+        // The deleted files must be gone from disk, so a reopen starts
+        // at the compacted base and keeps appending from the old end.
+        let reopened = Partition::open("c-0", config).unwrap();
+        assert_eq!(reopened.start_offset(), 8);
+        assert_eq!(reopened.end_offset(), 12);
+        let msgs = reopened.read(8, 100).unwrap();
+        assert_eq!(
+            msgs.iter().map(|m| m.offset).collect::<Vec<_>>(),
+            vec![8, 9, 10, 11]
+        );
+        assert!(matches!(
+            reopened.read(0, 1),
+            Err(AccessError::Compacted(_, 0, 8))
+        ));
         let _ = std::fs::remove_dir_all(dir);
     }
 

@@ -36,7 +36,7 @@ pub use engine::{EngineKind, FdbEngine, LdbEngine, MdbEngine, RdbEngine, Storage
 pub use error::StoreError;
 pub use route::{ConfigServers, InstanceId, InstanceRoute, RouteTable, ServerId};
 pub use server::DataServer;
-pub use snapshot::{Snapshot, SnapshotMeta, SnapshotStore};
+pub use snapshot::{Snapshot, SnapshotKind, SnapshotMeta, SnapshotRecord, SnapshotStore};
 
 use parking_lot::Mutex;
 use std::collections::VecDeque;

@@ -111,11 +111,36 @@ for marker in \
 done
 echo "    cold restart OK ($(grep -c '^tsnap' <<<"$restart_out") markers)"
 
+# Incremental-checkpoint stage: the child publishes a full base plus a
+# chain of delta checkpoints and is SIGKILLed mid-chain; the parent must
+# restore through base + deltas (asserted via the tsnap_restored_epoch
+# scrape), compact the access log below the restored consumer floor
+# (asserted via the tdaccess_truncated_segments scrape), and replay the
+# tail of the *compacted* log byte-identical to a fault-free baseline.
+echo "==> incremental-checkpoint smoke (SIGKILL mid-chain, incremental_restart)"
+inc_out="$(cargo run --release -p ckpt --example incremental_restart 2>/dev/null)"
+for marker in \
+    "killed child mid-chain" \
+    "restored epoch" \
+    "via base+delta chain" \
+    "scrape tsnap_restored_epoch" \
+    "tdaccess: compaction truncated" \
+    "tsnap: tables byte-identical to fault-free baseline after compaction" \
+    "INCREMENTAL RESTART OK"; do
+    if ! grep -q "$marker" <<<"$inc_out"; then
+        echo "INCREMENTAL RESTART FAILURE: marker \"$marker\" missing from output:" >&2
+        echo "$inc_out" >&2
+        exit 1
+    fi
+done
+echo "    incremental restart OK ($(grep -c '^tsnap\|^tdaccess' <<<"$inc_out") markers)"
+
 # Recovery gate: snapshot restore + tail replay must beat a full-log
-# replay by at least 5x on a disk-spilled log (smoke size). Rewrites the
-# recovery section of BENCH_topology.json; the committed baseline is
-# restored below unless re-baselining.
-echo "==> time-to-recover gate (smoke)"
+# replay by at least 5x on a disk-spilled log (smoke size), and the
+# steady-state delta checkpoint must stay under 0.3x of the full blob it
+# patches. Rewrites the recovery section of BENCH_topology.json; the
+# committed baseline is restored below unless re-baselining.
+echo "==> time-to-recover + delta-ratio gate (smoke)"
 cargo run --release -p bench --bin recovery_bench -- --smoke --check
 
 # Throughput gate: a smoke-size batch-transport run must stay within 20%
